@@ -1,0 +1,77 @@
+// E7 — structural version diff (paper Q4): time to compute the path
+// difference between a document and a perturbed version, as the
+// document grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+/// A store with one article of `sections` sections bound as "v1" and a
+/// version with one extra section as "v2".
+const DocumentStore& DiffStore(size_t sections) {
+  static auto& cache =
+      *new std::map<size_t, std::unique_ptr<DocumentStore>>();
+  auto it = cache.find(sections);
+  if (it != cache.end()) return *it->second;
+  auto store = std::make_unique<DocumentStore>();
+  if (!store->LoadDtd(sgml::ArticleDtdText()).ok()) std::abort();
+  corpus::ArticleParams params;
+  params.seed = 7;
+  params.sections = sections;
+  if (!store->LoadDocument(corpus::GenerateArticle(params), "v1").ok()) {
+    std::abort();
+  }
+  params.sections = sections + 1;  // the perturbation
+  if (!store->LoadDocument(corpus::GenerateArticle(params), "v2").ok()) {
+    std::abort();
+  }
+  const DocumentStore& ref = *store;
+  cache[sections] = std::move(store);
+  return ref;
+}
+
+void BM_VersionDiff(benchmark::State& state) {
+  const DocumentStore& store =
+      DiffStore(static_cast<size_t>(state.range(0)));
+  size_t new_paths = 0;
+  for (auto _ : state) {
+    auto diff = store.Query("v2 PATH_p - v1 PATH_p");
+    if (!diff.ok()) {
+      state.SkipWithError(diff.status().ToString().c_str());
+      return;
+    }
+    new_paths = diff->size();
+    benchmark::DoNotOptimize(new_paths);
+  }
+  state.counters["new_paths"] = static_cast<double>(new_paths);
+  state.counters["sections"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_VersionDiff)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NewTitles(benchmark::State& state) {
+  // The §5.2 "new titles" query (content-level diff).
+  const DocumentStore& store =
+      DiffStore(static_cast<size_t>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = store.Query(
+        "(select text(t) from v2 .. title(t)) - "
+        "(select text(u) from v1 .. title(u))");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows = r->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["new_titles"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_NewTitles)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

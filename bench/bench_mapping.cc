@@ -1,0 +1,74 @@
+// E1 — the Figure 1 -> Figure 3 mapping (paper §3): DTD parsing +
+// schema compilation, and document loading throughput (parse +
+// validate + objects/values + ID resolution) for documents of growing
+// size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mapping/loader.h"
+#include "mapping/schema_compiler.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+void BM_CompileArticleDtd(benchmark::State& state) {
+  for (auto _ : state) {
+    auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+    if (!dtd.ok()) {
+      state.SkipWithError("dtd");
+      return;
+    }
+    auto schema = mapping::CompileDtdToSchema(dtd.value());
+    benchmark::DoNotOptimize(schema.ok());
+  }
+}
+BENCHMARK(BM_CompileArticleDtd);
+
+void BM_LoadDocument(benchmark::State& state) {
+  // One generated article with `sections` sections.
+  size_t sections = static_cast<size_t>(state.range(0));
+  corpus::ArticleParams params;
+  params.sections = sections;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  std::string article = corpus::GenerateArticle(params);
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  auto schema = mapping::CompileDtdToSchema(dtd.value());
+  size_t objects = 0;
+  for (auto _ : state) {
+    om::Database db(schema.value());
+    auto loaded =
+        mapping::LoadDocumentText(dtd.value(), article, &db);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    objects = db.object_count();
+    benchmark::DoNotOptimize(objects);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * article.size()));
+  state.counters["objects"] = static_cast<double>(objects);
+  state.counters["sections"] = static_cast<double>(sections);
+}
+BENCHMARK(BM_LoadDocument)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ExportDocument(benchmark::State& state) {
+  const DocumentStore& store = CorpusStore(1, 8);
+  auto root = store.db().LookupName("doc0");
+  if (!root.ok()) {
+    state.SkipWithError("no doc0");
+    return;
+  }
+  for (auto _ : state) {
+    auto sgml_text = store.ExportSgml(root->AsObject());
+    benchmark::DoNotOptimize(sgml_text.ok());
+  }
+}
+BENCHMARK(BM_ExportDocument);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

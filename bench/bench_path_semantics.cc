@@ -1,0 +1,123 @@
+// E4 — restricted vs liberal path semantics (paper §5.2). The
+// restricted semantics (no two dereferences through the same class)
+// keeps enumeration bounded by the schema; the liberal semantics (no
+// object revisited) grows with the data. Measured on a ring of
+// mutually-referencing Person objects and on article documents.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "path/path.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+using om::Database;
+using om::ObjectId;
+using om::Schema;
+using om::Type;
+using om::Value;
+
+/// A ring of n persons, each the spouse of the next.
+const Database& PersonRing(size_t n) {
+  static auto& cache =
+      *new std::map<size_t, std::unique_ptr<Database>>();
+  auto it = cache.find(n);
+  if (it != cache.end()) return *it->second;
+  Schema s;
+  (void)s.AddClass({"Person",
+                    Type::Tuple({{"name", Type::String()},
+                                 {"spouse", Type::Class("Person")}}),
+                    {},
+                    {},
+                    {}});
+  (void)s.AddName("First", Type::Class("Person"));
+  auto db = std::make_unique<Database>(std::move(s));
+  std::vector<ObjectId> oids;
+  for (size_t i = 0; i < n; ++i) {
+    oids.push_back(db->NewObject("Person", Value::Nil()).value());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (void)db->SetObjectValue(
+        oids[i],
+        Value::Tuple({{"name", Value::String("p" + std::to_string(i))},
+                      {"spouse", Value::Object(oids[(i + 1) % n])}}));
+  }
+  (void)db->BindName("First", Value::Object(oids[0]));
+  const Database& ref = *db;
+  cache[n] = std::move(db);
+  return ref;
+}
+
+void BM_Ring_Restricted(benchmark::State& state) {
+  const Database& db = PersonRing(static_cast<size_t>(state.range(0)));
+  Value start = db.LookupName("First").value();
+  path::EnumerateOptions opts;
+  opts.semantics = path::PathSemantics::kRestricted;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths = path::EnumeratePaths(
+        db, start, opts, [](const path::Path&, const Value&) {
+          return true;
+        });
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+  state.counters["persons"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Ring_Restricted)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Ring_Liberal(benchmark::State& state) {
+  const Database& db = PersonRing(static_cast<size_t>(state.range(0)));
+  Value start = db.LookupName("First").value();
+  path::EnumerateOptions opts;
+  opts.semantics = path::PathSemantics::kLiberal;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths = path::EnumeratePaths(
+        db, start, opts, [](const path::Path&, const Value&) {
+          return true;
+        });
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+  state.counters["persons"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Ring_Liberal)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Article_Restricted(benchmark::State& state) {
+  const DocumentStore& store = CorpusStore(1, 4);
+  Value start = store.db().LookupName("doc0").value();
+  path::EnumerateOptions opts;
+  opts.semantics = path::PathSemantics::kRestricted;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths = path::EnumeratePaths(
+        store.db(), start, opts,
+        [](const path::Path&, const Value&) { return true; });
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_Article_Restricted);
+
+void BM_Article_Liberal(benchmark::State& state) {
+  const DocumentStore& store = CorpusStore(1, 4);
+  Value start = store.db().LookupName("doc0").value();
+  path::EnumerateOptions opts;
+  opts.semantics = path::PathSemantics::kLiberal;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths = path::EnumeratePaths(
+        store.db(), start, opts,
+        [](const path::Path&, const Value&) { return true; });
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_Article_Liberal);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

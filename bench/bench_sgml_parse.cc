@@ -1,0 +1,92 @@
+// E9 — SGML substrate throughput: parsing + validation of documents
+// with omitted end tags (as generated; the Figure 2 style) vs fully
+// normalized documents (all tags explicit, via the serializer), and
+// content-model automaton construction.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sgml/automaton.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+std::string NormalizedArticle(size_t sections) {
+  corpus::ArticleParams params;
+  params.sections = sections;
+  std::string raw = corpus::GenerateArticle(params);
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  auto doc = sgml::ParseDocument(dtd.value(), raw);
+  return sgml::SerializeDocument(doc.value());
+}
+
+void BM_Parse_WithOmittedTags(benchmark::State& state) {
+  corpus::ArticleParams params;
+  params.sections = static_cast<size_t>(state.range(0));
+  std::string article = corpus::GenerateArticle(params);
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  for (auto _ : state) {
+    auto doc = sgml::ParseDocument(dtd.value(), article);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(doc->root.CountElements());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * article.size()));
+}
+BENCHMARK(BM_Parse_WithOmittedTags)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_Parse_Normalized(benchmark::State& state) {
+  std::string article =
+      NormalizedArticle(static_cast<size_t>(state.range(0)));
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  for (auto _ : state) {
+    auto doc = sgml::ParseDocument(dtd.value(), article);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(doc->root.CountElements());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * article.size()));
+}
+BENCHMARK(BM_Parse_Normalized)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_Validate(benchmark::State& state) {
+  corpus::ArticleParams params;
+  params.sections = static_cast<size_t>(state.range(0));
+  std::string article = corpus::GenerateArticle(params);
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  auto doc = sgml::ParseDocument(dtd.value(), article);
+  for (auto _ : state) {
+    auto st = sgml::ValidateDocument(dtd.value(), doc.value());
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_Validate)->Arg(4)->Arg(32);
+
+void BM_BuildAutomaton(benchmark::State& state) {
+  // The Figure 1 section model (nondeterministic at `title`).
+  using sgml::ContentNode;
+  using sgml::Occurrence;
+  ContentNode model = ContentNode::Choice(
+      {ContentNode::Seq({ContentNode::Element("title"),
+                         ContentNode::Element("body", Occurrence::kPlus)}),
+       ContentNode::Seq(
+           {ContentNode::Element("title"),
+            ContentNode::Element("body", Occurrence::kStar),
+            ContentNode::Element("subsectn", Occurrence::kPlus)})});
+  for (auto _ : state) {
+    auto a = sgml::ContentAutomaton::Build(model);
+    benchmark::DoNotOptimize(a.ok());
+  }
+}
+BENCHMARK(BM_BuildAutomaton);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// E6 — the paper's §3 closing remark: "the representation of SGML
+// documents in an OODB such as O2 comes with some extra cost in
+// storage. This is typically the price paid to improve access
+// flexibility and performance." Reports raw SGML bytes vs the object
+// representation vs the full-text index, across corpus sizes. The
+// time axis is incidental; the counters are the experiment.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench_util.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+void BM_StorageOverhead(benchmark::State& state) {
+  size_t articles = static_cast<size_t>(state.range(0));
+  const std::vector<std::string>& texts = CorpusTexts(articles, 4);
+  const DocumentStore& store = CorpusStore(articles, 4);
+  size_t raw_bytes = 0;
+  for (const std::string& t : texts) raw_bytes += t.size();
+  size_t db_bytes = store.db().ApproximateBytes();
+  size_t index_bytes = store.text_index().ApproximateBytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db_bytes);
+  }
+  state.counters["raw_sgml_bytes"] = static_cast<double>(raw_bytes);
+  state.counters["db_bytes"] = static_cast<double>(db_bytes);
+  state.counters["index_bytes"] = static_cast<double>(index_bytes);
+  state.counters["overhead_x"] =
+      static_cast<double>(db_bytes) / static_cast<double>(raw_bytes);
+  state.counters["objects"] = static_cast<double>(store.db().object_count());
+}
+BENCHMARK(BM_StorageOverhead)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E5 — full-text indexing (paper §4.1/§6). `contains` answered by
+// (a) scanning every element text and (b) the positional inverted
+// index (candidates + verification). Sweeps corpus size and word
+// selectivity (frequent head word vs rare tail word).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "text/pattern.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+const char* WordForSelectivity(int which) {
+  switch (which) {
+    case 0:
+      return "the";          // most frequent
+    case 1:
+      return "SGML";         // mid vocabulary
+    default:
+      return "recursion";    // tail, rare
+  }
+}
+
+void BM_Contains_Scan(benchmark::State& state) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), 4);
+  auto pattern = text::Pattern::Parse(
+      std::string("\"") + WordForSelectivity(static_cast<int>(
+                              state.range(1))) + "\"");
+  if (!pattern.ok()) {
+    state.SkipWithError("pattern");
+    return;
+  }
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const auto& [oid, text] : store.element_texts()) {
+      if (pattern->Matches(text)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["units"] =
+      static_cast<double>(store.element_texts().size());
+}
+BENCHMARK(BM_Contains_Scan)
+    ->Args({10, 0})
+    ->Args({10, 2})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({400, 2});
+
+void BM_Contains_Indexed(benchmark::State& state) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), 4);
+  auto pattern = text::Pattern::Parse(
+      std::string("\"") + WordForSelectivity(static_cast<int>(
+                              state.range(1))) + "\"");
+  if (!pattern.ok()) {
+    state.SkipWithError("pattern");
+    return;
+  }
+  size_t hits = 0;
+  for (auto _ : state) {
+    bool exact = false;
+    std::vector<text::UnitId> candidates =
+        store.text_index().Candidates(pattern.value(), &exact);
+    if (exact) {
+      hits = candidates.size();
+    } else {
+      hits = 0;
+      for (text::UnitId id : candidates) {
+        auto it = store.element_texts().find(id);
+        if (it != store.element_texts().end() &&
+            pattern->Matches(it->second)) {
+          ++hits;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["units"] =
+      static_cast<double>(store.element_texts().size());
+}
+BENCHMARK(BM_Contains_Indexed)
+    ->Args({10, 0})
+    ->Args({10, 2})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({400, 2});
+
+void BM_Near_Indexed(benchmark::State& state) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), 4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = store.text_index().NearLookup("SGML", "query", 5).size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Near_Indexed)->Arg(100);
+
+void BM_Near_Scan(benchmark::State& state) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), 4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const auto& [oid, text] : store.element_texts()) {
+      auto r = text::Near(text, "SGML", "query", 5);
+      if (r.ok() && r.value()) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_Near_Scan)->Arg(100);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

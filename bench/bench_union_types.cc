@@ -1,0 +1,63 @@
+// E8 — the §4.2 remark that the union-merge typing rule "may result
+// into a combinatorial explosion of types". Measures
+// LeastCommonSupertype over marked unions with k alternatives (half
+// overlapping), and the size of the resulting union.
+
+#include <benchmark/benchmark.h>
+
+#include "om/subtype.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+using om::Schema;
+using om::Type;
+
+Type UnionWithAlternatives(size_t k, size_t offset) {
+  std::vector<std::pair<std::string, Type>> alts;
+  for (size_t i = 0; i < k; ++i) {
+    alts.emplace_back("m" + std::to_string(i + offset),
+                      Type::Tuple({{"x", Type::Integer()},
+                                   {"y", Type::String()}}));
+  }
+  return Type::Union(std::move(alts));
+}
+
+void BM_UnionLcs(benchmark::State& state) {
+  Schema schema;
+  size_t k = static_cast<size_t>(state.range(0));
+  Type a = UnionWithAlternatives(k, 0);
+  Type b = UnionWithAlternatives(k, k / 2);  // half the markers overlap
+  size_t merged = 0;
+  for (auto _ : state) {
+    auto lcs = om::LeastCommonSupertype(a, b, schema);
+    if (!lcs.ok()) {
+      state.SkipWithError("lcs failed");
+      return;
+    }
+    merged = lcs->size();
+    benchmark::DoNotOptimize(merged);
+  }
+  state.counters["alternatives_in"] = static_cast<double>(k);
+  state.counters["alternatives_out"] = static_cast<double>(merged);
+}
+BENCHMARK(BM_UnionLcs)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SubtypeCheckUnions(benchmark::State& state) {
+  Schema schema;
+  size_t k = static_cast<size_t>(state.range(0));
+  Type small = UnionWithAlternatives(k / 2, 0);
+  Type big = UnionWithAlternatives(k, 0);
+  bool result = false;
+  for (auto _ : state) {
+    result = om::IsSubtype(small, big, schema);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["alternatives"] = static_cast<double>(k);
+}
+BENCHMARK(BM_SubtypeCheckUnions)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

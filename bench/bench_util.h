@@ -1,0 +1,67 @@
+// Shared fixtures for the experiment benchmarks (DESIGN.md §6): cached
+// document stores over synthetic corpora so repeated benchmark cases
+// do not re-parse the corpus.
+
+#ifndef SGMLQDB_BENCH_BENCH_UTIL_H_
+#define SGMLQDB_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::bench {
+
+/// A corpus-backed store, memoized by (articles, sections).
+inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
+  static auto& cache =
+      *new std::map<std::pair<size_t, size_t>,
+                    std::unique_ptr<DocumentStore>>();
+  auto key = std::make_pair(articles, sections);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  auto store = std::make_unique<DocumentStore>();
+  Status st = store->LoadDtd(sgml::ArticleDtdText());
+  if (!st.ok()) std::abort();
+  corpus::ArticleParams params;
+  params.sections = sections;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  bool first = true;
+  for (const std::string& article :
+       corpus::GenerateCorpus(articles, params)) {
+    // The first document is additionally bound to "doc0" for
+    // single-document queries.
+    if (!store->LoadDocument(article, first ? "doc0" : "").ok()) {
+      std::abort();
+    }
+    first = false;
+  }
+  const DocumentStore& ref = *store;
+  cache[key] = std::move(store);
+  return ref;
+}
+
+/// The raw SGML texts of a memoized corpus (for parse/storage
+/// benchmarks).
+inline const std::vector<std::string>& CorpusTexts(size_t articles,
+                                                   size_t sections) {
+  static auto& cache =
+      *new std::map<std::pair<size_t, size_t>, std::vector<std::string>>();
+  auto key = std::make_pair(articles, sections);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  corpus::ArticleParams params;
+  params.sections = sections;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  cache[key] = corpus::GenerateCorpus(articles, params);
+  return cache[key];
+}
+
+}  // namespace sgmlqdb::bench
+
+#endif  // SGMLQDB_BENCH_BENCH_UTIL_H_

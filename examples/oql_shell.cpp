@@ -1,0 +1,99 @@
+// Interactive query shell: load a DTD and documents, then type
+// extended-O2SQL statements. Without arguments it preloads the paper's
+// Figure 1 DTD and Figure 2 document (bound as `my_article`) plus a
+// small generated corpus.
+//
+//   ./build/examples/oql_shell
+//   > select t from my_article .. title(t)
+//   > select name(ATT_a) from my_article PATH_p.ATT_a(v)
+//         where v contains ("final")
+//   > .engine algebraic
+//   > .quit
+//
+// Usage with your own data:  oql_shell <dtd-file> <sgml-file>...
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "sgml/goldens.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sgmlqdb::DocumentStore store;
+  if (argc > 1) {
+    if (auto st = store.LoadDtd(ReadFile(argv[1])); !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    for (int i = 2; i < argc; ++i) {
+      if (auto r = store.LoadDocument(ReadFile(argv[i])); !r.ok()) {
+        std::cerr << argv[i] << ": " << r.status() << "\n";
+        return 1;
+      }
+    }
+  } else {
+    (void)store.LoadDtd(sgmlqdb::sgml::ArticleDtdText());
+    (void)store.LoadDocument(sgmlqdb::sgml::ArticleDocumentText(),
+                             "my_article");
+    for (const std::string& a :
+         sgmlqdb::corpus::GenerateCorpus(5, sgmlqdb::corpus::ArticleParams{})) {
+      (void)store.LoadDocument(a);
+    }
+  }
+  std::cout << "sgmlqdb shell — " << store.db().object_count()
+            << " objects loaded. Commands: .engine naive|algebraic, "
+               ".schema, .quit\n";
+
+  sgmlqdb::oql::Engine engine = sgmlqdb::oql::Engine::kNaive;
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".q") break;
+    if (line == ".schema") {
+      for (const auto& cls : store.schema().classes()) {
+        std::cout << "class " << cls.name << " : " << cls.type.ToString()
+                  << "\n";
+      }
+      for (const auto& name : store.schema().names()) {
+        std::cout << "name " << name.name << " : " << name.type.ToString()
+                  << "\n";
+      }
+      continue;
+    }
+    if (line.rfind(".engine", 0) == 0) {
+      engine = line.find("algebraic") != std::string::npos
+                   ? sgmlqdb::oql::Engine::kAlgebraic
+                   : sgmlqdb::oql::Engine::kNaive;
+      std::cout << "engine set\n";
+      continue;
+    }
+    auto r = store.Query(line, engine);
+    if (!r.ok()) {
+      std::cout << "error: " << r.status() << "\n";
+      continue;
+    }
+    if (r->kind() == sgmlqdb::om::ValueKind::kSet) {
+      std::cout << r->size() << " result(s):\n";
+      for (size_t i = 0; i < r->size(); ++i) {
+        std::cout << "  " << r->Element(i).ToString() << "\n";
+      }
+    } else {
+      std::cout << r->ToString() << "\n";
+    }
+  }
+  return 0;
+}

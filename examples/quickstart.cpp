@@ -1,0 +1,60 @@
+// Quickstart: load the paper's Figure 1 DTD and Figure 2 document,
+// then run the paper's example queries Q1/Q3/Q5 through the public
+// API. Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/document_store.h"
+#include "sgml/goldens.h"
+
+int main() {
+  sgmlqdb::DocumentStore store;
+
+  // 1. The DTD (paper Figure 1) becomes an O2-style schema (Figure 3).
+  if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
+    std::cerr << "LoadDtd failed: " << st << "\n";
+    return 1;
+  }
+  std::cout << "Schema compiled from the article DTD:\n";
+  for (const auto& cls : store.schema().classes()) {
+    std::cout << "  class " << cls.name << " : " << cls.type.ToString()
+              << "\n";
+  }
+
+  // 2. The document (Figure 2) becomes objects + values.
+  auto root = store.LoadDocument(sgmlqdb::sgml::ArticleDocumentText(),
+                                 "my_article");
+  if (!root.ok()) {
+    std::cerr << "LoadDocument failed: " << root.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nLoaded " << store.db().object_count()
+            << " objects from the Figure 2 document.\n";
+
+  // 3. Query Q1: title + first author of articles with a section title
+  //    containing given words.
+  auto q1 = store.Query(
+      "select tuple (t: text(a.title), f_author: text(first(a.authors))) "
+      "from a in Articles, s in a.sections "
+      "where s.title contains (\"SGML\" or \"Introduction\")");
+  if (!q1.ok()) {
+    std::cerr << "Q1 failed: " << q1.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nQ1 result: " << q1->ToString() << "\n";
+
+  // 4. Query Q3: every title reachable from my_article, via the `..`
+  //    path sugar.
+  auto q3 = store.Query("select text(t) from my_article .. title(t)");
+  std::cout << "\nQ3 (all titles): " << q3->ToString() << "\n";
+
+  // 5. Query Q5: grep inside the database — which attributes hold a
+  //    value containing \"final\"?
+  auto q5 = store.Query(
+      "select name(ATT_a) from my_article PATH_p.ATT_a(val) "
+      "where val contains (\"final\")");
+  std::cout << "\nQ5 (attributes containing 'final'): " << q5->ToString()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Version diff (paper Q4): the structural difference between two
+// versions of a document is one short query over first-class paths:
+//
+//     my_article PATH_p - my_old_article PATH_p
+//
+// Run:  ./build/examples/version_diff
+
+#include <iostream>
+
+#include "core/document_store.h"
+#include "path/path.h"
+#include "sgml/goldens.h"
+
+int main() {
+  sgmlqdb::DocumentStore store;
+  if (!store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()).ok()) return 1;
+  auto v_new = store.LoadDocument(sgmlqdb::sgml::ArticleDocumentText(),
+                                  "my_article");
+  auto v_old = store.LoadDocument(sgmlqdb::sgml::ArticleDocumentV2Text(),
+                                  "my_old_article");
+  if (!v_new.ok() || !v_old.ok()) return 1;
+
+  auto diff = store.Query("my_article PATH_p - my_old_article PATH_p");
+  if (!diff.ok()) {
+    std::cerr << diff.status() << "\n";
+    return 1;
+  }
+  std::cout << "Paths present in my_article but not in my_old_article ("
+            << diff->size() << "):\n";
+  for (size_t i = 0; i < diff->size(); ++i) {
+    auto p = sgmlqdb::path::Path::FromValue(diff->Element(i));
+    if (p.ok()) std::cout << "  " << p->ToString() << "\n";
+  }
+
+  // "What are the new titles in Doc?" (paper §5.2, last example):
+  // title texts of the new version minus those of the old one.
+  auto new_titles = store.Query(
+      "(select text(t) from my_article .. title(t)) - "
+      "(select text(u) from my_old_article .. title(u))");
+  if (!new_titles.ok()) {
+    std::cerr << new_titles.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nNew titles: " << new_titles->ToString() << "\n";
+  auto dropped_titles = store.Query(
+      "(select text(u) from my_old_article .. title(u)) - "
+      "(select text(t) from my_article .. title(t))");
+  std::cout << "Dropped titles: " << dropped_titles->ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,677 @@
+#include "algebra/ops.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace sgmlqdb::algebra {
+
+using calculus::Sort;
+using om::Value;
+using om::ValueKind;
+using path::Path;
+using path::PathStep;
+
+Status Node::ExecuteShared(const ExecContext& ctx,
+                           std::vector<Row>* out) const {
+  auto it = ctx.memo.find(this);
+  if (it == ctx.memo.end()) {
+    auto rows = std::make_shared<std::vector<Row>>();
+    SGMLQDB_RETURN_IF_ERROR(Execute(ctx, rows.get()));
+    it = ctx.memo.emplace(this, std::move(rows)).first;
+  }
+  out->insert(out->end(), it->second->begin(), it->second->end());
+  return Status::OK();
+}
+
+namespace {
+
+/// Appends a step to a path column (stored as a path value).
+Result<Value> AppendToPathCol(const Value& current, PathStep step) {
+  SGMLQDB_ASSIGN_OR_RETURN(Path p, Path::FromValue(current));
+  return p.Append(std::move(step)).ToValue();
+}
+
+Status ExtendPath(Row* row, const std::string& path_col, PathStep step) {
+  if (path_col.empty()) return Status::OK();
+  auto it = row->find(path_col);
+  Value current =
+      it == row->end() ? Path().ToValue() : it->second;
+  SGMLQDB_ASSIGN_OR_RETURN(Value next, AppendToPathCol(current, step));
+  (*row)[path_col] = std::move(next);
+  return Status::OK();
+}
+
+class RootScanNode : public Node {
+ public:
+  RootScanNode(std::string root, std::string col)
+      : root_(std::move(root)), col_(std::move(col)) {}
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    SGMLQDB_ASSIGN_OR_RETURN(Value v, ctx.db()->LookupName(root_));
+    Row row;
+    row[col_] = std::move(v);
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "RootScan " + root_ + " -> " + col_;
+  }
+
+ private:
+  std::string root_;
+  std::string col_;
+};
+
+class UnitNode : public Node {
+ public:
+  Status Execute(const ExecContext&, std::vector<Row>* out) const override {
+    out->push_back(Row{});
+    return Status::OK();
+  }
+  std::string Describe() const override { return "Unit"; }
+};
+
+/// Shared base for per-row transforms.
+class UnaryNode : public Node {
+ public:
+  explicit UnaryNode(PlanPtr input) { children_ = {std::move(input)}; }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> in;
+    if (children_[0].use_count() > 1) {
+      SGMLQDB_RETURN_IF_ERROR(children_[0]->ExecuteShared(ctx, &in));
+    } else {
+      SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    }
+    for (Row& row : in) {
+      SGMLQDB_RETURN_IF_ERROR(Transform(ctx, std::move(row), out));
+    }
+    return Status::OK();
+  }
+
+  virtual Status Transform(const ExecContext& ctx, Row row,
+                           std::vector<Row>* out) const = 0;
+};
+
+class AttrStepNode : public UnaryNode {
+ public:
+  AttrStepNode(PlanPtr input, std::string col, std::string attr,
+               std::string out, std::string path_col)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        attr_(std::move(attr)),
+        out_(std::move(out)),
+        path_col_(std::move(path_col)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end() || it->second.kind() != ValueKind::kTuple) {
+      return Status::OK();  // implicit selector: drop
+    }
+    std::optional<Value> f = it->second.FindField(attr_);
+    if (!f.has_value()) return Status::OK();  // drop (variant select)
+    row[out_] = *f;
+    SGMLQDB_RETURN_IF_ERROR(ExtendPath(&row, path_col_,
+                                       PathStep::Attr(attr_)));
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "AttrStep " + col_ + " ." + attr_ + " -> " + out_;
+  }
+
+ private:
+  std::string col_, attr_, out_, path_col_;
+};
+
+class DerefStepNode : public UnaryNode {
+ public:
+  DerefStepNode(PlanPtr input, std::string col, std::string out,
+                std::string path_col)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        out_(std::move(out)),
+        path_col_(std::move(path_col)) {}
+
+  Status Transform(const ExecContext& ctx, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end() || it->second.kind() != ValueKind::kObject) {
+      return Status::OK();
+    }
+    Result<Value> v = ctx.db()->Deref(it->second.AsObject());
+    if (!v.ok()) return Status::OK();  // dangling: drop
+    row[out_] = std::move(v).value();
+    SGMLQDB_RETURN_IF_ERROR(ExtendPath(&row, path_col_, PathStep::Deref()));
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "DerefStep " + col_ + " -> " + out_;
+  }
+
+ private:
+  std::string col_, out_, path_col_;
+};
+
+class ClassFilterNode : public UnaryNode {
+ public:
+  ClassFilterNode(PlanPtr input, std::string col, std::string class_name)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        class_(std::move(class_name)) {}
+
+  Status Transform(const ExecContext& ctx, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end() || it->second.kind() != ValueKind::kObject) {
+      return Status::OK();
+    }
+    const std::string* cls = ctx.db()->ClassOf(it->second.AsObject());
+    if (cls == nullptr || !ctx.db()->schema().IsSubclassOf(*cls, class_)) {
+      return Status::OK();
+    }
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "ClassFilter " + col_ + " : " + class_;
+  }
+
+ private:
+  std::string col_, class_;
+};
+
+class UnnestListNode : public UnaryNode {
+ public:
+  UnnestListNode(PlanPtr input, std::string col, std::string out,
+                 std::string pos_col, std::string path_col)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        out_(std::move(out)),
+        pos_col_(std::move(pos_col)),
+        path_col_(std::move(path_col)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end()) return Status::OK();
+    // Ordered tuples are also heterogeneous lists (§4.4).
+    Value list = it->second.kind() == ValueKind::kTuple
+                     ? it->second.AsHeterogeneousList()
+                     : it->second;
+    if (list.kind() != ValueKind::kList) return Status::OK();
+    for (size_t i = 0; i < list.size(); ++i) {
+      Row r = row;
+      r[out_] = list.Element(i);
+      if (!pos_col_.empty()) {
+        r[pos_col_] = Value::Integer(static_cast<int64_t>(i));
+      }
+      SGMLQDB_RETURN_IF_ERROR(ExtendPath(
+          &r, path_col_, PathStep::Index(static_cast<int64_t>(i))));
+      out->push_back(std::move(r));
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "UnnestList " + col_ + " -> " + out_;
+  }
+
+ private:
+  std::string col_, out_, pos_col_, path_col_;
+};
+
+class IndexStepNode : public UnaryNode {
+ public:
+  IndexStepNode(PlanPtr input, std::string col, int64_t index,
+                std::string out, std::string path_col)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        index_(index),
+        out_(std::move(out)),
+        path_col_(std::move(path_col)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end()) return Status::OK();
+    Value list = it->second.kind() == ValueKind::kTuple
+                     ? it->second.AsHeterogeneousList()
+                     : it->second;
+    if (list.kind() != ValueKind::kList || index_ < 0 ||
+        static_cast<size_t>(index_) >= list.size()) {
+      return Status::OK();
+    }
+    row[out_] = list.Element(static_cast<size_t>(index_));
+    SGMLQDB_RETURN_IF_ERROR(ExtendPath(&row, path_col_,
+                                       PathStep::Index(index_)));
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "IndexStep " + col_ + "[" + std::to_string(index_) + "] -> " +
+           out_;
+  }
+
+ private:
+  std::string col_;
+  int64_t index_;
+  std::string out_, path_col_;
+};
+
+class UnnestSetNode : public UnaryNode {
+ public:
+  UnnestSetNode(PlanPtr input, std::string col, std::string out,
+                std::string path_col)
+      : UnaryNode(std::move(input)),
+        col_(std::move(col)),
+        out_(std::move(out)),
+        path_col_(std::move(path_col)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(col_);
+    if (it == row.end() || it->second.kind() != ValueKind::kSet) {
+      return Status::OK();
+    }
+    Value set = it->second;
+    for (size_t i = 0; i < set.size(); ++i) {
+      Row r = row;
+      r[out_] = set.Element(i);
+      SGMLQDB_RETURN_IF_ERROR(
+          ExtendPath(&r, path_col_, PathStep::SetElem(set.Element(i))));
+      out->push_back(std::move(r));
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "UnnestSet " + col_ + " -> " + out_;
+  }
+
+ private:
+  std::string col_, out_, path_col_;
+};
+
+class ConstColNode : public UnaryNode {
+ public:
+  ConstColNode(PlanPtr input, std::string out, Value value)
+      : UnaryNode(std::move(input)),
+        out_(std::move(out)),
+        value_(std::move(value)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    row[out_] = value_;
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "ConstCol " + out_ + " = " + value_.ToString();
+  }
+
+ private:
+  std::string out_;
+  Value value_;
+};
+
+class BindOrCheckNode : public UnaryNode {
+ public:
+  BindOrCheckNode(PlanPtr input, std::string src, std::string dst)
+      : UnaryNode(std::move(input)), src_(std::move(src)),
+        dst_(std::move(dst)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    auto it = row.find(src_);
+    if (it == row.end()) return Status::OK();
+    auto existing = row.find(dst_);
+    if (existing != row.end()) {
+      if (existing->second != it->second) return Status::OK();
+    } else {
+      row[dst_] = it->second;
+    }
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "BindOrCheck " + src_ + " -> " + dst_;
+  }
+
+ private:
+  std::string src_, dst_;
+};
+
+class ComputeNode : public UnaryNode {
+ public:
+  ComputeNode(PlanPtr input, std::string out, calculus::DataTermPtr term,
+              std::map<std::string, Sort> sorts)
+      : UnaryNode(std::move(input)),
+        out_(std::move(out)),
+        term_(std::move(term)),
+        sorts_(std::move(sorts)) {}
+
+  Status Transform(const ExecContext& ctx, Row row,
+                   std::vector<Row>* out) const override {
+    calculus::Env env = RowToEnv(row, sorts_);
+    Result<Value> v =
+        calculus::EvaluateClosedTermInEnv(*ctx.calculus, *term_, env);
+    if (!v.ok()) {
+      if (v.status().code() == StatusCode::kNotFound ||
+          v.status().code() == StatusCode::kTypeError) {
+        return Status::OK();  // soft failure: drop row
+      }
+      return v.status();
+    }
+    row[out_] = std::move(v).value();
+    out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "Compute " + out_ + " = " + term_->ToString();
+  }
+
+ private:
+  std::string out_;
+  calculus::DataTermPtr term_;
+  std::map<std::string, Sort> sorts_;
+};
+
+class FilterNode : public UnaryNode {
+ public:
+  FilterNode(PlanPtr input, calculus::FormulaPtr formula,
+             std::map<std::string, Sort> sorts)
+      : UnaryNode(std::move(input)),
+        formula_(std::move(formula)),
+        sorts_(std::move(sorts)) {}
+
+  Status Transform(const ExecContext& ctx, Row row,
+                   std::vector<Row>* out) const override {
+    calculus::Env env = RowToEnv(row, sorts_);
+    SGMLQDB_ASSIGN_OR_RETURN(
+        bool ok, calculus::CheckFormulaInEnv(*ctx.calculus, *formula_, env));
+    if (ok) out->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "Filter " + formula_->ToString();
+  }
+
+ private:
+  calculus::FormulaPtr formula_;
+  std::map<std::string, Sort> sorts_;
+};
+
+class UnionAllNode : public Node {
+ public:
+  explicit UnionAllNode(std::vector<PlanPtr> inputs) {
+    children_ = std::move(inputs);
+  }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    for (const PlanPtr& c : children_) {
+      SGMLQDB_RETURN_IF_ERROR(c->Execute(ctx, out));
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return "UnionAll (" + std::to_string(children_.size()) + " branches)";
+  }
+};
+
+/// Projects a row onto columns (missing columns are skipped).
+Row ProjectRow(const Row& row, const std::vector<std::string>& cols) {
+  Row out;
+  for (const std::string& c : cols) {
+    auto it = row.find(c);
+    if (it != row.end()) out[c] = it->second;
+  }
+  return out;
+}
+
+class AntiSemiJoinNode : public Node {
+ public:
+  AntiSemiJoinNode(PlanPtr left, PlanPtr right,
+                   std::vector<std::string> cols)
+      : cols_(std::move(cols)) {
+    children_ = {std::move(left), std::move(right)};
+  }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> left, right;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &left));
+    SGMLQDB_RETURN_IF_ERROR(children_[1]->Execute(ctx, &right));
+    std::set<Value> keys;
+    for (const Row& r : right) {
+      keys.insert(RowKey(ProjectRow(r, cols_)));
+    }
+    for (Row& r : left) {
+      if (keys.count(RowKey(ProjectRow(r, cols_))) == 0) {
+        out->push_back(std::move(r));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    std::string out = "AntiSemiJoin on (";
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += cols_[i];
+    }
+    return out + ")";
+  }
+
+ private:
+  static Value RowKey(const Row& row) {
+    std::vector<std::pair<std::string, Value>> fields;
+    for (const auto& [k, v] : row) fields.emplace_back(k, v);
+    return Value::Tuple(std::move(fields));
+  }
+
+  std::vector<std::string> cols_;
+};
+
+class CrossProductNode : public Node {
+ public:
+  CrossProductNode(PlanPtr left, PlanPtr right) {
+    children_ = {std::move(left), std::move(right)};
+  }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> left, right;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &left));
+    SGMLQDB_RETURN_IF_ERROR(children_[1]->Execute(ctx, &right));
+    for (const Row& l : left) {
+      for (const Row& r : right) {
+        Row merged = l;
+        for (const auto& [k, v] : r) merged[k] = v;
+        out->push_back(std::move(merged));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override { return "CrossProduct"; }
+};
+
+class ProjectNode : public UnaryNode {
+ public:
+  ProjectNode(PlanPtr input, std::vector<std::string> cols)
+      : UnaryNode(std::move(input)), cols_(std::move(cols)) {}
+
+  Status Transform(const ExecContext&, Row row,
+                   std::vector<Row>* out) const override {
+    out->push_back(ProjectRow(row, cols_));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    std::string out = "Project (";
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += cols_[i];
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<std::string> cols_;
+};
+
+class DistinctNode : public Node {
+ public:
+  explicit DistinctNode(PlanPtr input) { children_ = {std::move(input)}; }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    std::set<Value> seen;
+    for (Row& row : in) {
+      std::vector<std::pair<std::string, Value>> fields;
+      for (const auto& [k, v] : row) fields.emplace_back(k, v);
+      Value key = Value::Tuple(std::move(fields));
+      if (seen.insert(std::move(key)).second) {
+        out->push_back(std::move(row));
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string Describe() const override { return "Distinct"; }
+};
+
+}  // namespace
+
+std::string PlanToString(const PlanPtr& plan) {
+  std::string out;
+  std::function<void(const PlanPtr&, int)> walk = [&](const PlanPtr& node,
+                                                      int depth) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += node->Describe();
+    out += '\n';
+    for (const PlanPtr& c : node->children()) walk(c, depth + 1);
+  };
+  walk(plan, 0);
+  return out;
+}
+
+calculus::Env RowToEnv(const Row& row,
+                       const std::map<std::string, calculus::Sort>& sorts) {
+  calculus::Env env;
+  for (const auto& [col, value] : row) {
+    auto it = sorts.find(col);
+    Sort sort = it == sorts.end() ? Sort::kData : it->second;
+    switch (sort) {
+      case Sort::kData:
+        env.data[col] = value;
+        break;
+      case Sort::kPath: {
+        Result<Path> p = Path::FromValue(value);
+        if (p.ok()) env.paths[col] = std::move(p).value();
+        break;
+      }
+      case Sort::kAttr:
+        if (value.kind() == ValueKind::kString) {
+          env.attrs[col] = value.AsString();
+        }
+        break;
+    }
+  }
+  return env;
+}
+
+PlanPtr RootScan(std::string root_name, std::string col) {
+  return std::make_shared<RootScanNode>(std::move(root_name),
+                                        std::move(col));
+}
+PlanPtr Unit() { return std::make_shared<UnitNode>(); }
+PlanPtr AttrStep(PlanPtr input, std::string col, std::string attr,
+                 std::string out, std::string path_col) {
+  return std::make_shared<AttrStepNode>(std::move(input), std::move(col),
+                                        std::move(attr), std::move(out),
+                                        std::move(path_col));
+}
+PlanPtr DerefStep(PlanPtr input, std::string col, std::string out,
+                  std::string path_col) {
+  return std::make_shared<DerefStepNode>(std::move(input), std::move(col),
+                                         std::move(out),
+                                         std::move(path_col));
+}
+PlanPtr ClassFilter(PlanPtr input, std::string col, std::string class_name) {
+  return std::make_shared<ClassFilterNode>(std::move(input), std::move(col),
+                                           std::move(class_name));
+}
+PlanPtr UnnestList(PlanPtr input, std::string col, std::string out,
+                   std::string pos_col, std::string path_col) {
+  return std::make_shared<UnnestListNode>(std::move(input), std::move(col),
+                                          std::move(out), std::move(pos_col),
+                                          std::move(path_col));
+}
+PlanPtr IndexStep(PlanPtr input, std::string col, int64_t index,
+                  std::string out, std::string path_col) {
+  return std::make_shared<IndexStepNode>(std::move(input), std::move(col),
+                                         index, std::move(out),
+                                         std::move(path_col));
+}
+PlanPtr UnnestSet(PlanPtr input, std::string col, std::string out,
+                  std::string path_col) {
+  return std::make_shared<UnnestSetNode>(std::move(input), std::move(col),
+                                         std::move(out),
+                                         std::move(path_col));
+}
+PlanPtr ConstCol(PlanPtr input, std::string out, om::Value value) {
+  return std::make_shared<ConstColNode>(std::move(input), std::move(out),
+                                        std::move(value));
+}
+PlanPtr EmptyPathCol(PlanPtr input, std::string out) {
+  return std::make_shared<ConstColNode>(std::move(input), std::move(out),
+                                        Path().ToValue());
+}
+PlanPtr BindOrCheck(PlanPtr input, std::string src, std::string dst) {
+  return std::make_shared<BindOrCheckNode>(std::move(input), std::move(src),
+                                           std::move(dst));
+}
+PlanPtr Compute(PlanPtr input, std::string out, calculus::DataTermPtr term,
+                const std::map<std::string, calculus::Sort>& sorts) {
+  return std::make_shared<ComputeNode>(std::move(input), std::move(out),
+                                       std::move(term), sorts);
+}
+PlanPtr Filter(PlanPtr input, calculus::FormulaPtr formula,
+               const std::map<std::string, calculus::Sort>& sorts) {
+  return std::make_shared<FilterNode>(std::move(input), std::move(formula),
+                                      sorts);
+}
+PlanPtr UnionAll(std::vector<PlanPtr> inputs) {
+  return std::make_shared<UnionAllNode>(std::move(inputs));
+}
+PlanPtr AntiSemiJoin(PlanPtr left, PlanPtr right,
+                     std::vector<std::string> cols) {
+  return std::make_shared<AntiSemiJoinNode>(std::move(left), std::move(right),
+                                            std::move(cols));
+}
+PlanPtr CrossProduct(PlanPtr left, PlanPtr right) {
+  return std::make_shared<CrossProductNode>(std::move(left),
+                                            std::move(right));
+}
+PlanPtr Project(PlanPtr input, std::vector<std::string> cols) {
+  return std::make_shared<ProjectNode>(std::move(input), std::move(cols));
+}
+PlanPtr Distinct(PlanPtr input) {
+  return std::make_shared<DistinctNode>(std::move(input));
+}
+
+}  // namespace sgmlqdb::algebra

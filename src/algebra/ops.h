@@ -1,0 +1,155 @@
+// The algebra of §5.4: operators over relations of variable bindings.
+//
+// A row maps column names (calculus variable names, plus internal
+// "__k" columns) to values. The operator set is the complex-object
+// algebra of [3,12] extended with the paper's requirements:
+//  * VariantSelect / AttrStep drop rows whose tuple lacks the selected
+//    attribute — this is the "variant-based selection (using implicit
+//    selectors) over heterogeneous sets" the paper calls for;
+//  * navigation steps optionally accumulate the concrete path taken
+//    into a path column, making paths first-class in the algebra too.
+//
+// Execution is materialized (each node produces its full row vector):
+// simple, deterministic, and sufficient for the experiments.
+
+#ifndef SGMLQDB_ALGEBRA_OPS_H_
+#define SGMLQDB_ALGEBRA_OPS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "calculus/eval.h"
+#include "calculus/formula.h"
+#include "om/database.h"
+#include "path/path.h"
+
+namespace sgmlqdb::algebra {
+
+/// A binding row. Path-sorted columns store the path's value encoding;
+/// attribute-sorted columns store strings.
+using Row = std::map<std::string, om::Value>;
+
+class Node;
+using PlanPtr = std::shared_ptr<const Node>;
+
+/// Execution context: the database plus the calculus context used for
+/// embedded filter formulas, and a per-execution memo so plan nodes
+/// shared between union branches (common prefixes of the §5.4
+/// expansion) run once.
+struct ExecContext {
+  const calculus::EvalContext* calculus = nullptr;
+  mutable std::map<const class Node*, std::shared_ptr<std::vector<
+      std::map<std::string, om::Value>>>> memo;
+  const om::Database* db() const { return calculus->db; }
+};
+
+/// Base of all plan nodes.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Appends this node's output rows to `out`.
+  virtual Status Execute(const ExecContext& ctx,
+                         std::vector<Row>* out) const = 0;
+
+  /// Execute with memoization: a node referenced by several parents
+  /// (a shared union-branch prefix) computes once per execution.
+  Status ExecuteShared(const ExecContext& ctx, std::vector<Row>* out) const;
+
+  /// One-line description ("AttrStep s -> .title t"); children are
+  /// rendered by PlanToString.
+  virtual std::string Describe() const = 0;
+
+  const std::vector<PlanPtr>& children() const { return children_; }
+
+ protected:
+  std::vector<PlanPtr> children_;
+};
+
+/// Pretty-prints a plan tree.
+std::string PlanToString(const PlanPtr& plan);
+
+// ---------------------------------------------------------------------
+// Factories (each returns a new plan node).
+
+/// One row binding `col` to the persistence root's value.
+PlanPtr RootScan(std::string root_name, std::string col);
+
+/// One row with no columns (unit input for constant plans).
+PlanPtr Unit();
+
+/// For each input row: bind `out` to field `attr` of tuple `col`;
+/// rows without the attribute are dropped (implicit selector). If
+/// `path_col` is non-empty, appends ".attr" to that path column.
+PlanPtr AttrStep(PlanPtr input, std::string col, std::string attr,
+                 std::string out, std::string path_col = "");
+
+/// Dereference the object in `col` into `out` (drops nil / dangling).
+PlanPtr DerefStep(PlanPtr input, std::string col, std::string out,
+                  std::string path_col = "");
+
+/// Keep rows whose `col` is an object of class `class_name` (or a
+/// subclass).
+PlanPtr ClassFilter(PlanPtr input, std::string col, std::string class_name);
+
+/// Unnest the list in `col`: one output row per element, bound to
+/// `out`; `pos_col` (optional) receives the integer index.
+PlanPtr UnnestList(PlanPtr input, std::string col, std::string out,
+                   std::string pos_col = "", std::string path_col = "");
+
+/// Select list element at a constant index.
+PlanPtr IndexStep(PlanPtr input, std::string col, int64_t index,
+                  std::string out, std::string path_col = "");
+
+/// Unnest the set in `col` into `out`.
+PlanPtr UnnestSet(PlanPtr input, std::string col, std::string out,
+                  std::string path_col = "");
+
+/// Bind `out` to a constant in every row.
+PlanPtr ConstCol(PlanPtr input, std::string out, om::Value value);
+
+/// Bind `out` to an empty-path value (start of a path accumulator).
+PlanPtr EmptyPathCol(PlanPtr input, std::string out);
+
+/// Copy `src` to `dst`; if `dst` already exists, keep only rows where
+/// the values are equal (capture-variable semantics).
+PlanPtr BindOrCheck(PlanPtr input, std::string src, std::string dst);
+
+/// Bind `out` to the result of evaluating a calculus data term whose
+/// variables are taken from the row. Rows where evaluation soft-fails
+/// are dropped.
+PlanPtr Compute(PlanPtr input, std::string out, calculus::DataTermPtr term,
+                const std::map<std::string, calculus::Sort>& sorts);
+
+/// Keep rows satisfying the (fully bound) calculus formula.
+PlanPtr Filter(PlanPtr input, calculus::FormulaPtr formula,
+               const std::map<std::string, calculus::Sort>& sorts);
+
+/// Concatenation of the children's outputs (the union of §5.4).
+PlanPtr UnionAll(std::vector<PlanPtr> inputs);
+
+/// Rows of `left` whose projection on `cols` does not appear in
+/// `right`'s projection on `cols` (anti-semi-join; used for negated
+/// path predicates such as Q4's difference).
+PlanPtr AntiSemiJoin(PlanPtr left, PlanPtr right,
+                     std::vector<std::string> cols);
+
+/// Cross product (for independent generators).
+PlanPtr CrossProduct(PlanPtr left, PlanPtr right);
+
+/// Keep only the named columns.
+PlanPtr Project(PlanPtr input, std::vector<std::string> cols);
+
+/// Remove duplicate rows.
+PlanPtr Distinct(PlanPtr input);
+
+/// Builds a calculus environment from a row (needs variable sorts).
+calculus::Env RowToEnv(const Row& row,
+                       const std::map<std::string, calculus::Sort>& sorts);
+
+}  // namespace sgmlqdb::algebra
+
+#endif  // SGMLQDB_ALGEBRA_OPS_H_

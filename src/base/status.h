@@ -1,0 +1,143 @@
+// Status / Result error model for sgmlqdb.
+//
+// The library does not throw exceptions across public API boundaries
+// (RocksDB/Arrow style): fallible operations return `Status` or
+// `Result<T>`. A `Status` carries an error code and a human-readable
+// message; `Result<T>` is a Status-or-value sum.
+
+#ifndef SGMLQDB_BASE_STATUS_H_
+#define SGMLQDB_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sgmlqdb {
+
+// Error taxonomy. Codes are coarse; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // SGML / DTD / OQL / pattern syntax error
+  kTypeError,         // static type checking failed
+  kNotFound,          // missing class, attribute, name, oid...
+  kConstraintViolation,
+  kUnsupported,       // feature intentionally out of scope
+  kInternal,          // invariant broken inside the library
+};
+
+/// Returns the canonical spelling of a status code, e.g. "TypeError".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Status-or-value. `ok()` implies `value()` is valid.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return MakeFoo();` and
+  // `return Status::TypeError(...)` from the same function.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors: `SGMLQDB_RETURN_IF_ERROR(DoThing());`
+#define SGMLQDB_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::sgmlqdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+// Unwraps a Result into a fresh variable or propagates its error:
+// `SGMLQDB_ASSIGN_OR_RETURN(auto v, ComputeThing());`
+#define SGMLQDB_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  SGMLQDB_ASSIGN_OR_RETURN_IMPL_(                        \
+      SGMLQDB_STATUS_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define SGMLQDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define SGMLQDB_STATUS_CONCAT_(a, b) SGMLQDB_STATUS_CONCAT_IMPL_(a, b)
+#define SGMLQDB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_BASE_STATUS_H_

@@ -1,0 +1,47 @@
+// Small string utilities shared across modules.
+
+#ifndef SGMLQDB_BASE_STRUTIL_H_
+#define SGMLQDB_BASE_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgmlqdb {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on any occurrence of `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True for [A-Za-z], [0-9], name characters as used by SGML names
+/// (letters, digits, '.', '-', '_').
+bool IsAsciiAlpha(char c);
+bool IsAsciiDigit(char c);
+bool IsSgmlNameChar(char c);
+bool IsAsciiSpace(char c);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Quotes a string for diagnostics: wraps in '"' and escapes \" \\ \n \t.
+std::string QuoteForError(std::string_view s);
+
+/// 64-bit FNV-1a hash; used to combine hashes of value trees.
+uint64_t Fnv1a(std::string_view s);
+uint64_t HashCombine(uint64_t seed, uint64_t v);
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_BASE_STRUTIL_H_

@@ -1,0 +1,1115 @@
+#include "calculus/eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "text/pattern.h"
+
+namespace sgmlqdb::calculus {
+
+using om::Value;
+using om::ValueKind;
+using path::Path;
+using path::PathStep;
+
+bool Env::Has(const Variable& v) const {
+  switch (v.sort) {
+    case Sort::kData:
+      return data.count(v.name) > 0;
+    case Sort::kPath:
+      return paths.count(v.name) > 0;
+    case Sort::kAttr:
+      return attrs.count(v.name) > 0;
+  }
+  return false;
+}
+
+namespace {
+
+using EmitFn = std::function<Status(const Env&)>;
+
+/// Sentinel: a term evaluation that "fails soft" (no such field, index
+/// out of range, capture mismatch) makes the enclosing atom false
+/// rather than erroring the query — this is the paper's "each atom
+/// where this occurs is false" rule (§5.3).
+bool IsSoftFailure(const Status& s) {
+  return s.code() == StatusCode::kNotFound ||
+         s.code() == StatusCode::kTypeError;
+}
+
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
+
+  // ---- Terms ----------------------------------------------------------
+
+  Result<Value> EvalTerm(const DataTerm& term, const Env& env) {
+    switch (term.kind()) {
+      case DataTerm::Kind::kVariable: {
+        auto it = env.data.find(term.var_name());
+        if (it == env.data.end()) {
+          return Status::Internal("unbound data variable " + term.var_name());
+        }
+        return it->second;
+      }
+      case DataTerm::Kind::kConstant:
+        return term.constant();
+      case DataTerm::Kind::kName: {
+        return ctx_.db->LookupName(term.root_name());
+      }
+      case DataTerm::Kind::kTupleCons: {
+        std::vector<std::pair<std::string, Value>> fields;
+        for (const auto& [attr, t] : term.tuple_fields()) {
+          std::string name = attr.name;
+          if (attr.is_variable) {
+            auto it = env.attrs.find(attr.name);
+            if (it == env.attrs.end()) {
+              return Status::Internal("unbound attribute variable " +
+                                      attr.name);
+            }
+            name = it->second;
+          }
+          SGMLQDB_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+          fields.emplace_back(name, std::move(v));
+        }
+        return Value::Tuple(std::move(fields));
+      }
+      case DataTerm::Kind::kListCons: {
+        std::vector<Value> elems;
+        for (const DataTermPtr& t : term.children()) {
+          SGMLQDB_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+          elems.push_back(std::move(v));
+        }
+        return Value::List(std::move(elems));
+      }
+      case DataTerm::Kind::kSetCons: {
+        std::vector<Value> elems;
+        for (const DataTermPtr& t : term.children()) {
+          SGMLQDB_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+          elems.push_back(std::move(v));
+        }
+        return Value::Set(std::move(elems));
+      }
+      case DataTerm::Kind::kFunction:
+        return EvalFunction(term, env);
+      case DataTerm::Kind::kPathApply: {
+        SGMLQDB_ASSIGN_OR_RETURN(Value base, EvalTerm(*term.base(), env));
+        // All components must be bound; walk them.
+        Value result;
+        bool found = false;
+        SGMLQDB_RETURN_IF_ERROR(MatchComponents(
+            term.path().components(), 0, base, env,
+            [&result, &found](const Env&, const Value& v) -> Status {
+              result = v;
+              found = true;
+              return Status::OK();
+            },
+            /*generate=*/false));
+        if (!found) {
+          return Status::NotFound("path " + term.path().ToString() +
+                                  " does not apply");
+        }
+        return result;
+      }
+      case DataTerm::Kind::kSubquery: {
+        // Nested query: free variables of the body beyond its head
+        // come from the enclosing environment.
+        return EvaluateSubquery(*term.subquery(), env);
+      }
+    }
+    return Status::Internal("unhandled term kind");
+  }
+
+  Result<Value> EvalFunction(const DataTerm& term, const Env& env) {
+    const std::string& fn = term.function_name();
+    if (fn == "__path_value") {
+      // A path term in data position: all variables must be bound.
+      Path p;
+      SGMLQDB_ASSIGN_OR_RETURN(p, ResolveClosedPath(term.path(), env));
+      return p.ToValue();
+    }
+    if (fn == "__attr_value") {
+      if (!term.attr().is_variable) return Value::String(term.attr().name);
+      auto it = env.attrs.find(term.attr().name);
+      if (it == env.attrs.end()) {
+        return Status::Internal("unbound attribute variable " +
+                                term.attr().name);
+      }
+      return Value::String(it->second);
+    }
+    std::vector<Value> args;
+    for (const DataTermPtr& t : term.children()) {
+      SGMLQDB_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+      args.push_back(std::move(v));
+    }
+    return ApplyFunction(fn, args);
+  }
+
+  Result<Value> ApplyFunction(const std::string& fn,
+                              const std::vector<Value>& args) {
+    auto arity = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::TypeError("function " + fn + " expects " +
+                                 std::to_string(n) + " argument(s)");
+      }
+      return Status::OK();
+    };
+    if (fn == "length") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      const Value& v = args[0];
+      if (v.kind() == ValueKind::kList || v.kind() == ValueKind::kSet) {
+        return Value::Integer(static_cast<int64_t>(v.size()));
+      }
+      if (v.kind() == ValueKind::kString) {
+        return Value::Integer(static_cast<int64_t>(v.AsString().size()));
+      }
+      return Status::TypeError("length() expects a list, set or string");
+    }
+    if (fn == "count") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      const Value& v = args[0];
+      if (v.kind() == ValueKind::kList || v.kind() == ValueKind::kSet) {
+        return Value::Integer(static_cast<int64_t>(v.size()));
+      }
+      return Status::TypeError("count() expects a collection");
+    }
+    if (fn == "name") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      // name() of an attribute-as-data value: identity on strings.
+      if (args[0].kind() == ValueKind::kString) return args[0];
+      return Status::TypeError("name() expects an attribute");
+    }
+    if (fn == "first" || fn == "last") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      const Value& v = args[0];
+      if (v.kind() != ValueKind::kList || v.size() == 0) {
+        return Status::NotFound(fn + "() on empty or non-list");
+      }
+      return v.Element(fn == "first" ? 0 : v.size() - 1);
+    }
+    if (fn == "element") {
+      SGMLQDB_RETURN_IF_ERROR(arity(2));
+      const Value& v = args[0];
+      if (v.kind() != ValueKind::kList ||
+          args[1].kind() != ValueKind::kInteger) {
+        return Status::TypeError("element() expects (list, integer)");
+      }
+      int64_t i = args[1].AsInteger();
+      if (i < 0 || static_cast<size_t>(i) >= v.size()) {
+        return Status::NotFound("element() index out of range");
+      }
+      return v.Element(static_cast<size_t>(i));
+    }
+    if (fn == "set_to_list") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      const Value& v = args[0];
+      if (v.kind() != ValueKind::kSet) {
+        return Status::TypeError("set_to_list() expects a set");
+      }
+      std::vector<Value> elems;
+      for (size_t i = 0; i < v.size(); ++i) elems.push_back(v.Element(i));
+      return Value::List(std::move(elems));
+    }
+    if (fn == "text") {
+      SGMLQDB_RETURN_IF_ERROR(arity(1));
+      return TextOf(args[0]);
+    }
+    if (fn == "__select_attr") {
+      // O2SQL attribute access with implicit dereferencing and the
+      // paper's *implicit selectors* on marked unions (§4.2): selecting
+      // s.subsectns on a section implicitly requires s.a2 to be
+      // defined; otherwise the access soft-fails (row filtered out).
+      SGMLQDB_RETURN_IF_ERROR(arity(2));
+      if (args[1].kind() != ValueKind::kString) {
+        return Status::TypeError("__select_attr expects an attribute name");
+      }
+      return SelectAttr(args[0], args[1].AsString());
+    }
+    if (fn == "__index") {
+      SGMLQDB_RETURN_IF_ERROR(arity(2));
+      if (args[1].kind() != ValueKind::kInteger) {
+        return Status::TypeError("__index expects an integer");
+      }
+      Value v = args[0];
+      if (v.kind() == ValueKind::kObject) {
+        SGMLQDB_ASSIGN_OR_RETURN(v, ctx_.db->Deref(v.AsObject()));
+      }
+      if (v.kind() == ValueKind::kTuple) v = v.AsHeterogeneousList();
+      if (v.kind() != ValueKind::kList) {
+        return Status::TypeError("cannot index " + v.ToString());
+      }
+      int64_t i = args[1].AsInteger();
+      if (i < 0 || static_cast<size_t>(i) >= v.size()) {
+        return Status::NotFound("index out of range");
+      }
+      return v.Element(static_cast<size_t>(i));
+    }
+    if (fn == "set_difference") {
+      SGMLQDB_RETURN_IF_ERROR(arity(2));
+      if (args[0].kind() != ValueKind::kSet ||
+          args[1].kind() != ValueKind::kSet) {
+        return Status::TypeError("set_difference expects two sets");
+      }
+      std::vector<Value> out;
+      for (size_t i = 0; i < args[0].size(); ++i) {
+        Value e = args[0].Element(i);
+        bool in_rhs = false;
+        for (size_t j = 0; j < args[1].size(); ++j) {
+          if (args[1].Element(j) == e) in_rhs = true;
+        }
+        if (!in_rhs) out.push_back(std::move(e));
+      }
+      return Value::Set(std::move(out));
+    }
+    if (fn == "positions") {
+      // Positions of an attribute in the heterogeneous-list view of a
+      // tuple / marked union (§4.4, query Q6).
+      SGMLQDB_RETURN_IF_ERROR(arity(2));
+      if (args[1].kind() != ValueKind::kString) {
+        return Status::TypeError("positions expects an attribute name");
+      }
+      Value v = args[0];
+      if (v.kind() == ValueKind::kObject) {
+        SGMLQDB_ASSIGN_OR_RETURN(v, ctx_.db->Deref(v.AsObject()));
+      }
+      // Descend through a marked-union wrapper whose single field is
+      // not the requested attribute.
+      if (v.IsMarkedUnionValue() && v.FieldName(0) != args[1].AsString()) {
+        v = v.FieldValue(0);
+        if (v.kind() == ValueKind::kObject) {
+          SGMLQDB_ASSIGN_OR_RETURN(v, ctx_.db->Deref(v.AsObject()));
+        }
+      }
+      if (v.kind() != ValueKind::kTuple) {
+        return Status::TypeError("positions expects a tuple");
+      }
+      std::vector<Value> out;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (v.FieldName(i) == args[1].AsString()) {
+          out.push_back(Value::Integer(static_cast<int64_t>(i)));
+        }
+      }
+      return Value::List(std::move(out));
+    }
+    return Status::NotFound("unknown interpreted function '" + fn + "'");
+  }
+
+  /// Implements `v.attr` with implicit dereferencing and implicit
+  /// selectors (see __select_attr above).
+  Result<Value> SelectAttr(Value v, const std::string& attr) {
+    if (v.kind() == ValueKind::kObject) {
+      SGMLQDB_ASSIGN_OR_RETURN(v, ctx_.db->Deref(v.AsObject()));
+    }
+    if (v.kind() != ValueKind::kTuple) {
+      return Status::TypeError("cannot select ." + attr + " on " +
+                               v.ToString());
+    }
+    std::optional<Value> direct = v.FindField(attr);
+    if (direct.has_value()) return *direct;
+    // Implicit selector: a marked-union value [ai: inner].
+    if (v.IsMarkedUnionValue()) {
+      Value inner = v.FieldValue(0);
+      if (inner.kind() == ValueKind::kObject) {
+        SGMLQDB_ASSIGN_OR_RETURN(inner, ctx_.db->Deref(inner.AsObject()));
+      }
+      if (inner.kind() == ValueKind::kTuple) {
+        std::optional<Value> f = inner.FindField(attr);
+        if (f.has_value()) return *f;
+      }
+    }
+    return Status::NotFound("no attribute '" + attr + "' reachable in " +
+                            v.ToString());
+  }
+
+  /// The text() inverse mapping (§4.2): strings are themselves;
+  /// objects map to their element's inner text.
+  Result<Value> TextOf(const Value& v) {
+    if (v.kind() == ValueKind::kString) return v;
+    if (v.kind() == ValueKind::kObject) {
+      if (ctx_.element_texts == nullptr) {
+        return Status::InvalidArgument(
+            "text() needs the element-text side table (load documents "
+            "through the mapping layer)");
+      }
+      auto it = ctx_.element_texts->find(v.AsObject().id());
+      if (it == ctx_.element_texts->end()) {
+        return Status::NotFound("no text recorded for oid " +
+                                std::to_string(v.AsObject().id()));
+      }
+      return Value::String(it->second);
+    }
+    // Complex value: concatenate the text of its parts (e.g. the
+    // marked-union wrapper around a Body).
+    if (v.kind() == ValueKind::kTuple || v.kind() == ValueKind::kList ||
+        v.kind() == ValueKind::kSet) {
+      std::string out;
+      for (size_t i = 0; i < v.size(); ++i) {
+        Value part = v.kind() == ValueKind::kTuple ? v.FieldValue(i)
+                                                   : v.Element(i);
+        Result<Value> t = TextOf(part);
+        if (!t.ok()) continue;
+        if (!out.empty()) out += ' ';
+        out += t.value().AsString();
+      }
+      return Value::String(out);
+    }
+    return Status::TypeError("text() expects a string or an object");
+  }
+
+  Result<Path> ResolveClosedPath(const PathTerm& term, const Env& env) {
+    Path out;
+    for (const PathComponent& c : term.components()) {
+      switch (c.kind) {
+        case PathComponent::Kind::kVar: {
+          auto it = env.paths.find(c.var);
+          if (it == env.paths.end()) {
+            return Status::Internal("unbound path variable " + c.var);
+          }
+          out = out.Concat(it->second);
+          break;
+        }
+        case PathComponent::Kind::kDeref:
+          out = out.Append(PathStep::Deref());
+          break;
+        case PathComponent::Kind::kAttrSel: {
+          if (c.attr.is_variable) {
+            auto it = env.attrs.find(c.attr.name);
+            if (it == env.attrs.end()) {
+              return Status::Internal("unbound attribute variable " +
+                                      c.attr.name);
+            }
+            out = out.Append(PathStep::Attr(it->second));
+          } else {
+            out = out.Append(PathStep::Attr(c.attr.name));
+          }
+          break;
+        }
+        case PathComponent::Kind::kIndexConst:
+          out = out.Append(PathStep::Index(c.index));
+          break;
+        case PathComponent::Kind::kIndexVar: {
+          auto it = env.data.find(c.var);
+          if (it == env.data.end() ||
+              it->second.kind() != ValueKind::kInteger) {
+            return Status::Internal("index variable " + c.var +
+                                    " unbound or not an integer");
+          }
+          out = out.Append(PathStep::Index(it->second.AsInteger()));
+          break;
+        }
+        case PathComponent::Kind::kCapture:
+          break;  // captures leave no trace in the concrete path
+        case PathComponent::Kind::kSetCapture: {
+          auto it = env.data.find(c.var);
+          if (it == env.data.end()) {
+            return Status::Internal("unbound set variable " + c.var);
+          }
+          out = out.Append(PathStep::SetElem(it->second));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // ---- Path matching --------------------------------------------------
+
+  /// Walks path components from `current`, extending `env` at binding
+  /// components, calling `emit` for every way the full component list
+  /// applies. With generate=false, unbound variables are an error.
+  using MatchEmit = std::function<Status(const Env&, const Value&)>;
+
+  Status MatchComponents(const std::vector<PathComponent>& cs, size_t idx,
+                         const Value& current, const Env& env,
+                         const MatchEmit& emit, bool generate) {
+    if (idx == cs.size()) return emit(env, current);
+    const PathComponent& c = cs[idx];
+    switch (c.kind) {
+      case PathComponent::Kind::kVar: {
+        auto it = env.paths.find(c.var);
+        if (it != env.paths.end()) {
+          Result<Value> next = path::ApplyPath(*ctx_.db, current, it->second);
+          if (!next.ok()) {
+            if (IsSoftFailure(next.status())) return Status::OK();
+            return next.status();
+          }
+          return MatchComponents(cs, idx + 1, next.value(), env, emit,
+                                 generate);
+        }
+        if (!generate) {
+          return Status::Internal("unbound path variable " + c.var);
+        }
+        // Enumerate all paths from `current` under the context's
+        // semantics; each is a candidate value for the variable.
+        path::EnumerateOptions opts;
+        opts.semantics = ctx_.semantics;
+        Status inner_status;
+        path::EnumeratePaths(
+            *ctx_.db, current, opts,
+            [&](const Path& p, const Value& v) {
+              Env env2 = env;
+              env2.paths[c.var] = p;
+              Status st =
+                  MatchComponents(cs, idx + 1, v, env2, emit, generate);
+              if (!st.ok()) {
+                inner_status = st;
+                return false;
+              }
+              return true;
+            });
+        return inner_status;
+      }
+      case PathComponent::Kind::kDeref: {
+        if (current.kind() != ValueKind::kObject) return Status::OK();
+        Result<Value> v = ctx_.db->Deref(current.AsObject());
+        if (!v.ok()) return Status::OK();
+        return MatchComponents(cs, idx + 1, v.value(), env, emit, generate);
+      }
+      case PathComponent::Kind::kAttrSel: {
+        if (current.kind() != ValueKind::kTuple) return Status::OK();
+        if (!c.attr.is_variable) {
+          std::optional<Value> f = current.FindField(c.attr.name);
+          if (!f.has_value()) return Status::OK();
+          return MatchComponents(cs, idx + 1, *f, env, emit, generate);
+        }
+        auto it = env.attrs.find(c.attr.name);
+        if (it != env.attrs.end()) {
+          std::optional<Value> f = current.FindField(it->second);
+          if (!f.has_value()) return Status::OK();
+          return MatchComponents(cs, idx + 1, *f, env, emit, generate);
+        }
+        if (!generate) {
+          return Status::Internal("unbound attribute variable " +
+                                  c.attr.name);
+        }
+        for (size_t i = 0; i < current.size(); ++i) {
+          Env env2 = env;
+          env2.attrs[c.attr.name] = current.FieldName(i);
+          SGMLQDB_RETURN_IF_ERROR(MatchComponents(
+              cs, idx + 1, current.FieldValue(i), env2, emit, generate));
+        }
+        return Status::OK();
+      }
+      case PathComponent::Kind::kIndexConst: {
+        // Ordered tuples are also heterogeneous lists (§4.4/§5.1):
+        // indexing a tuple indexes its [ai: vi] field list.
+        Value indexable = current.kind() == ValueKind::kTuple
+                              ? current.AsHeterogeneousList()
+                              : current;
+        if (indexable.kind() != ValueKind::kList || c.index < 0 ||
+            static_cast<size_t>(c.index) >= indexable.size()) {
+          return Status::OK();
+        }
+        return MatchComponents(
+            cs, idx + 1, indexable.Element(static_cast<size_t>(c.index)),
+            env, emit, generate);
+      }
+      case PathComponent::Kind::kIndexVar: {
+        Value indexable = current.kind() == ValueKind::kTuple
+                              ? current.AsHeterogeneousList()
+                              : current;
+        if (indexable.kind() != ValueKind::kList) return Status::OK();
+        auto it = env.data.find(c.var);
+        if (it != env.data.end()) {
+          if (it->second.kind() != ValueKind::kInteger) return Status::OK();
+          int64_t i = it->second.AsInteger();
+          if (i < 0 || static_cast<size_t>(i) >= indexable.size()) {
+            return Status::OK();
+          }
+          return MatchComponents(cs, idx + 1,
+                                 indexable.Element(static_cast<size_t>(i)),
+                                 env, emit, generate);
+        }
+        if (!generate) {
+          return Status::Internal("unbound index variable " + c.var);
+        }
+        for (size_t i = 0; i < indexable.size(); ++i) {
+          Env env2 = env;
+          env2.data[c.var] = Value::Integer(static_cast<int64_t>(i));
+          SGMLQDB_RETURN_IF_ERROR(MatchComponents(
+              cs, idx + 1, indexable.Element(i), env2, emit, generate));
+        }
+        return Status::OK();
+      }
+      case PathComponent::Kind::kCapture: {
+        auto it = env.data.find(c.var);
+        if (it != env.data.end()) {
+          if (it->second != current) return Status::OK();
+          return MatchComponents(cs, idx + 1, current, env, emit, generate);
+        }
+        if (!generate) {
+          return Status::Internal("unbound capture variable " + c.var);
+        }
+        Env env2 = env;
+        env2.data[c.var] = current;
+        return MatchComponents(cs, idx + 1, current, env2, emit, generate);
+      }
+      case PathComponent::Kind::kSetCapture: {
+        if (current.kind() != ValueKind::kSet) return Status::OK();
+        auto it = env.data.find(c.var);
+        if (it != env.data.end()) {
+          bool member = false;
+          for (size_t i = 0; i < current.size(); ++i) {
+            if (current.Element(i) == it->second) member = true;
+          }
+          if (!member) return Status::OK();
+          return MatchComponents(cs, idx + 1, it->second, env, emit,
+                                 generate);
+        }
+        if (!generate) {
+          return Status::Internal("unbound set variable " + c.var);
+        }
+        for (size_t i = 0; i < current.size(); ++i) {
+          Env env2 = env;
+          env2.data[c.var] = current.Element(i);
+          SGMLQDB_RETURN_IF_ERROR(MatchComponents(
+              cs, idx + 1, current.Element(i), env2, emit, generate));
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled path component");
+  }
+
+  // ---- Formulas ---------------------------------------------------------
+
+  /// Bound variables visible in an environment.
+  static std::set<Variable> BoundVars(const Env& env) {
+    std::set<Variable> out;
+    for (const auto& [k, v] : env.data) out.insert(DataVar(k));
+    for (const auto& [k, v] : env.paths) out.insert(PathVar(k));
+    for (const auto& [k, v] : env.attrs) out.insert(AttrVar(k));
+    return out;
+  }
+
+  static bool AllBound(const std::set<Variable>& vars,
+                       const std::set<Variable>& bound) {
+    for (const Variable& v : vars) {
+      if (bound.count(v) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Can `f` be evaluated (as generator or filter) given `bound`?
+  /// This is the static range-restriction analysis: it is purely
+  /// syntactic (no data access).
+  static bool CanEvaluate(const Formula& f, const std::set<Variable>& bound) {
+    std::set<Variable> free = f.FreeVariables();
+    if (AllBound(free, bound)) return true;
+    switch (f.kind()) {
+      case Formula::Kind::kPathPred: {
+        std::set<Variable> base_vars;
+        CollectVariables(*f.terms()[0], &base_vars);
+        return AllBound(base_vars, bound);
+      }
+      case Formula::Kind::kIn: {
+        std::set<Variable> coll_vars;
+        CollectVariables(*f.terms()[1], &coll_vars);
+        if (!AllBound(coll_vars, bound)) return false;
+        // The element side generates only if it is a bare variable.
+        return f.terms()[0]->kind() == DataTerm::Kind::kVariable;
+      }
+      case Formula::Kind::kEq: {
+        std::set<Variable> l, r;
+        CollectVariables(*f.terms()[0], &l);
+        CollectVariables(*f.terms()[1], &r);
+        bool l_closed = AllBound(l, bound);
+        bool r_closed = AllBound(r, bound);
+        if (l_closed && f.terms()[1]->kind() == DataTerm::Kind::kVariable) {
+          return true;
+        }
+        if (r_closed && f.terms()[0]->kind() == DataTerm::Kind::kVariable) {
+          return true;
+        }
+        return false;
+      }
+      case Formula::Kind::kAnd: {
+        // Simulate greedy ordering.
+        std::set<Variable> b = bound;
+        std::vector<const Formula*> pending;
+        for (const FormulaPtr& c : f.children()) pending.push_back(c.get());
+        while (!pending.empty()) {
+          bool progressed = false;
+          for (size_t i = 0; i < pending.size(); ++i) {
+            if (CanEvaluate(*pending[i], b)) {
+              std::set<Variable> free_i = pending[i]->FreeVariables();
+              b.insert(free_i.begin(), free_i.end());
+              pending.erase(pending.begin() + static_cast<long>(i));
+              progressed = true;
+              break;
+            }
+          }
+          if (!progressed) return false;
+        }
+        return true;
+      }
+      case Formula::Kind::kOr: {
+        // Every branch must be evaluable and bind all of the
+        // disjunction's free variables.
+        for (const FormulaPtr& c : f.children()) {
+          if (!CanEvaluate(*c, bound)) return false;
+          if (c->FreeVariables() != free) {
+            // Branch must cover the same free variables (minus bound).
+            std::set<Variable> cf = c->FreeVariables();
+            for (const Variable& v : free) {
+              if (bound.count(v) == 0 && cf.count(v) == 0) return false;
+            }
+          }
+        }
+        return true;
+      }
+      case Formula::Kind::kExists:
+        return CanEvaluate(*f.children()[0], bound);
+      default:
+        return false;  // filters need all vars bound (handled above)
+    }
+  }
+
+  /// Streams every satisfying extension of `env`.
+  Status EvalFormula(const Formula& f, const Env& env, const EmitFn& emit) {
+    std::set<Variable> bound = BoundVars(env);
+    std::set<Variable> free = f.FreeVariables();
+    if (AllBound(free, bound) && f.kind() != Formula::Kind::kAnd &&
+        f.kind() != Formula::Kind::kOr &&
+        f.kind() != Formula::Kind::kExists) {
+      SGMLQDB_ASSIGN_OR_RETURN(bool ok, EvalCheck(f, env));
+      if (ok) return emit(env);
+      return Status::OK();
+    }
+    switch (f.kind()) {
+      case Formula::Kind::kPathPred: {
+        Result<Value> base = EvalTerm(*f.terms()[0], env);
+        if (!base.ok()) {
+          if (IsSoftFailure(base.status())) return Status::OK();
+          return base.status();
+        }
+        return MatchComponents(
+            f.path().components(), 0, base.value(), env,
+            [&emit](const Env& e, const Value&) { return emit(e); },
+            /*generate=*/true);
+      }
+      case Formula::Kind::kIn: {
+        Result<Value> coll = EvalTerm(*f.terms()[1], env);
+        if (!coll.ok()) {
+          if (IsSoftFailure(coll.status())) return Status::OK();
+          return coll.status();
+        }
+        if (coll.value().kind() != ValueKind::kList &&
+            coll.value().kind() != ValueKind::kSet) {
+          return Status::OK();
+        }
+        const std::string& var = f.terms()[0]->var_name();
+        for (size_t i = 0; i < coll.value().size(); ++i) {
+          Env env2 = env;
+          env2.data[var] = coll.value().Element(i);
+          SGMLQDB_RETURN_IF_ERROR(emit(env2));
+        }
+        return Status::OK();
+      }
+      case Formula::Kind::kEq: {
+        // One side closed, other a fresh variable.
+        const DataTerm& lhs = *f.terms()[0];
+        const DataTerm& rhs = *f.terms()[1];
+        std::set<Variable> l;
+        CollectVariables(lhs, &l);
+        bool l_closed = AllBound(l, bound);
+        const DataTerm& closed = l_closed ? lhs : rhs;
+        const DataTerm& open = l_closed ? rhs : lhs;
+        if (open.kind() != DataTerm::Kind::kVariable) {
+          return Status::TypeError("equality cannot range-restrict " +
+                                   open.ToString());
+        }
+        Result<Value> v = EvalTerm(closed, env);
+        if (!v.ok()) {
+          if (IsSoftFailure(v.status())) return Status::OK();
+          return v.status();
+        }
+        Env env2 = env;
+        env2.data[open.var_name()] = v.value();
+        return emit(env2);
+      }
+      case Formula::Kind::kAnd: {
+        std::vector<FormulaPtr> pending = f.children();
+        return EvalConjunction(pending, env, emit);
+      }
+      case Formula::Kind::kOr: {
+        for (const FormulaPtr& c : f.children()) {
+          SGMLQDB_RETURN_IF_ERROR(EvalFormula(*c, env, emit));
+        }
+        return Status::OK();
+      }
+      case Formula::Kind::kExists: {
+        // Bindings for the quantified variables are discovered by the
+        // body; project them away before emitting.
+        std::vector<Variable> qs = f.variables();
+        return EvalFormula(*f.children()[0], env,
+                           [&qs, &emit](const Env& e) {
+                             Env projected = e;
+                             for (const Variable& q : qs) {
+                               projected.data.erase(q.name);
+                               projected.paths.erase(q.name);
+                               projected.attrs.erase(q.name);
+                             }
+                             return emit(projected);
+                           });
+      }
+      default:
+        return Status::TypeError(
+            "formula is not range-restricted: " + f.ToString() +
+            " has unbound variables and cannot generate them");
+    }
+  }
+
+  Status EvalConjunction(std::vector<FormulaPtr> pending, const Env& env,
+                         const EmitFn& emit) {
+    if (pending.empty()) return emit(env);
+    std::set<Variable> bound = BoundVars(env);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (!CanEvaluate(*pending[i], bound)) continue;
+      FormulaPtr chosen = pending[i];
+      std::vector<FormulaPtr> rest = pending;
+      rest.erase(rest.begin() + static_cast<long>(i));
+      return EvalFormula(*chosen, env, [this, &rest, &emit](const Env& e) {
+        return EvalConjunction(rest, e, emit);
+      });
+    }
+    std::string names;
+    for (const FormulaPtr& p : pending) {
+      if (!names.empty()) names += "; ";
+      names += p->ToString();
+    }
+    return Status::TypeError("query is not range-restricted; stuck on: " +
+                             names);
+  }
+
+  /// Boolean check with all free variables bound.
+  Result<bool> EvalCheck(const Formula& f, const Env& env) {
+    switch (f.kind()) {
+      case Formula::Kind::kEq: {
+        SGMLQDB_ASSIGN_OR_RETURN(Value pair, EvalSides(f, env));
+        if (pair.is_nil()) return false;  // soft failure
+        return pair.Element(0) == pair.Element(1);
+      }
+      case Formula::Kind::kLess: {
+        SGMLQDB_ASSIGN_OR_RETURN(Value pair, EvalSides(f, env));
+        if (pair.is_nil()) return false;
+        const Value& a = pair.Element(0);
+        const Value& b = pair.Element(1);
+        if (a.kind() != b.kind()) return false;
+        return Value::Compare(a, b) < 0;
+      }
+      case Formula::Kind::kIn: {
+        SGMLQDB_ASSIGN_OR_RETURN(Value pair, EvalSides(f, env));
+        if (pair.is_nil()) return false;
+        const Value& coll = pair.Element(1);
+        if (coll.kind() != ValueKind::kList &&
+            coll.kind() != ValueKind::kSet) {
+          return false;
+        }
+        for (size_t i = 0; i < coll.size(); ++i) {
+          if (coll.Element(i) == pair.Element(0)) return true;
+        }
+        return false;
+      }
+      case Formula::Kind::kSubset: {
+        SGMLQDB_ASSIGN_OR_RETURN(Value pair, EvalSides(f, env));
+        if (pair.is_nil()) return false;
+        const Value& a = pair.Element(0);
+        const Value& b = pair.Element(1);
+        if (a.kind() != ValueKind::kSet || b.kind() != ValueKind::kSet) {
+          return false;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+          bool found = false;
+          for (size_t j = 0; j < b.size(); ++j) {
+            if (a.Element(i) == b.Element(j)) found = true;
+          }
+          if (!found) return false;
+        }
+        return true;
+      }
+      case Formula::Kind::kPathPred: {
+        Result<Value> base = EvalTerm(*f.terms()[0], env);
+        if (!base.ok()) {
+          if (IsSoftFailure(base.status())) return false;
+          return base.status();
+        }
+        bool holds = false;
+        SGMLQDB_RETURN_IF_ERROR(MatchComponents(
+            f.path().components(), 0, base.value(), env,
+            [&holds](const Env&, const Value&) {
+              holds = true;
+              return Status::OK();
+            },
+            /*generate=*/true));
+        return holds;
+      }
+      case Formula::Kind::kInterpreted:
+        return EvalInterpreted(f, env);
+      case Formula::Kind::kAnd: {
+        for (const FormulaPtr& c : f.children()) {
+          SGMLQDB_ASSIGN_OR_RETURN(bool ok, EvalCheck(*c, env));
+          if (!ok) return false;
+        }
+        return true;
+      }
+      case Formula::Kind::kOr: {
+        for (const FormulaPtr& c : f.children()) {
+          SGMLQDB_ASSIGN_OR_RETURN(bool ok, EvalCheck(*c, env));
+          if (ok) return true;
+        }
+        return false;
+      }
+      case Formula::Kind::kNot: {
+        // The inner formula may have its own (existential) variables.
+        bool any = false;
+        SGMLQDB_RETURN_IF_ERROR(
+            EvalFormula(*f.children()[0], env, [&any](const Env&) {
+              any = true;
+              return Status::OK();
+            }));
+        return !any;
+      }
+      case Formula::Kind::kExists: {
+        bool any = false;
+        SGMLQDB_RETURN_IF_ERROR(EvalFormula(f, env, [&any](const Env&) {
+          any = true;
+          return Status::OK();
+        }));
+        return any;
+      }
+      case Formula::Kind::kForAll: {
+        // forall X (phi) == not exists X (not phi); only supported when
+        // phi = (not gen) or rest — the guarded-implication pattern.
+        FormulaPtr inner = f.children()[0];
+        if (inner->kind() != Formula::Kind::kOr) {
+          return Status::Unsupported(
+              "universal quantification requires the guarded form "
+              "forall X (not range(X) or cond(X))");
+        }
+        const Formula* guard = nullptr;
+        std::vector<FormulaPtr> conds;
+        for (const FormulaPtr& c : inner->children()) {
+          if (guard == nullptr && c->kind() == Formula::Kind::kNot) {
+            guard = c->children()[0].get();
+          } else {
+            conds.push_back(c);
+          }
+        }
+        if (guard == nullptr) {
+          return Status::Unsupported(
+              "universal quantification requires a negated range guard");
+        }
+        bool all = true;
+        SGMLQDB_RETURN_IF_ERROR(EvalFormula(
+            *guard, env, [this, &conds, &all](const Env& e) -> Status {
+              bool any = false;
+              for (const FormulaPtr& c : conds) {
+                SGMLQDB_ASSIGN_OR_RETURN(bool ok, EvalCheck(*c, e));
+                if (ok) any = true;
+              }
+              if (!any) all = false;
+              return Status::OK();
+            }));
+        return all;
+      }
+    }
+    return Status::Internal("unhandled formula kind in EvalCheck");
+  }
+
+  /// Evaluates both sides of a binary atom; nil result signals a soft
+  /// failure (atom is false).
+  Result<Value> EvalSides(const Formula& f, const Env& env) {
+    Result<Value> a = EvalTerm(*f.terms()[0], env);
+    if (!a.ok()) {
+      if (IsSoftFailure(a.status())) return Value::Nil();
+      return a.status();
+    }
+    Result<Value> b = EvalTerm(*f.terms()[1], env);
+    if (!b.ok()) {
+      if (IsSoftFailure(b.status())) return Value::Nil();
+      return b.status();
+    }
+    return Value::List({a.value(), b.value()});
+  }
+
+  Result<bool> EvalInterpreted(const Formula& f, const Env& env) {
+    const std::string& pred = f.predicate();
+    std::vector<Value> args;
+    for (const DataTermPtr& t : f.terms()) {
+      Result<Value> v = EvalTerm(*t, env);
+      if (!v.ok()) {
+        if (IsSoftFailure(v.status())) return false;
+        return v.status();
+      }
+      args.push_back(std::move(v).value());
+    }
+    if (pred == "contains") {
+      if (args.size() != 2 || args[1].kind() != ValueKind::kString) {
+        return Status::TypeError(
+            "contains expects (text, pattern-string)");
+      }
+      Result<Value> text = TextOf(args[0]);
+      if (!text.ok()) {
+        if (IsSoftFailure(text.status())) return false;
+        return text.status();
+      }
+      SGMLQDB_ASSIGN_OR_RETURN(text::Pattern p,
+                               text::Pattern::Parse(args[1].AsString()));
+      return p.Matches(text.value().AsString());
+    }
+    if (pred == "near") {
+      if (args.size() != 4 || args[1].kind() != ValueKind::kString ||
+          args[2].kind() != ValueKind::kString ||
+          args[3].kind() != ValueKind::kInteger) {
+        return Status::TypeError("near expects (text, word, word, k)");
+      }
+      Result<Value> text = TextOf(args[0]);
+      if (!text.ok()) {
+        if (IsSoftFailure(text.status())) return false;
+        return text.status();
+      }
+      return text::Near(text.value().AsString(), args[1].AsString(),
+                        args[2].AsString(),
+                        static_cast<size_t>(args[3].AsInteger()));
+    }
+    return Status::NotFound("unknown interpreted predicate '" + pred + "'");
+  }
+
+  // ---- Queries ---------------------------------------------------------
+
+  Result<Value> EvaluateSubquery(const Query& query, const Env& outer) {
+    std::vector<Value> rows;
+    SGMLQDB_RETURN_IF_ERROR(
+        EvalFormula(*query.body, outer, [&](const Env& env) -> Status {
+          SGMLQDB_ASSIGN_OR_RETURN(Value row, HeadTuple(query.head, env));
+          rows.push_back(std::move(row));
+          return Status::OK();
+        }));
+    if (query.head.size() == 1) {
+      // Single-variable head: a set of values, not 1-tuples.
+      std::vector<Value> elems;
+      for (const Value& row : rows) elems.push_back(row.FieldValue(0));
+      return Value::Set(std::move(elems));
+    }
+    return Value::Set(std::move(rows));
+  }
+
+  static Result<Value> HeadTuple(const std::vector<Variable>& head,
+                                 const Env& env) {
+    std::vector<std::pair<std::string, Value>> fields;
+    for (const Variable& v : head) {
+      switch (v.sort) {
+        case Sort::kData: {
+          auto it = env.data.find(v.name);
+          if (it == env.data.end()) {
+            return Status::TypeError("head variable " + v.name +
+                                     " is not bound by the formula");
+          }
+          fields.emplace_back(v.name, it->second);
+          break;
+        }
+        case Sort::kPath: {
+          auto it = env.paths.find(v.name);
+          if (it == env.paths.end()) {
+            return Status::TypeError("head path variable " + v.name +
+                                     " is not bound by the formula");
+          }
+          fields.emplace_back(v.name, it->second.ToValue());
+          break;
+        }
+        case Sort::kAttr: {
+          auto it = env.attrs.find(v.name);
+          if (it == env.attrs.end()) {
+            return Status::TypeError("head attribute variable " + v.name +
+                                     " is not bound by the formula");
+          }
+          fields.emplace_back(v.name, Value::String(it->second));
+          break;
+        }
+      }
+    }
+    return Value::Tuple(std::move(fields));
+  }
+
+  const EvalContext& ctx_;
+};
+
+}  // namespace
+
+Result<om::Value> EvaluateQuery(const EvalContext& ctx, const Query& query) {
+  if (ctx.db == nullptr) {
+    return Status::InvalidArgument("EvalContext.db must be set");
+  }
+  // The head must be exactly the free variables of the body.
+  std::set<Variable> free = query.body->FreeVariables();
+  for (const Variable& v : query.head) {
+    if (free.count(v) == 0) {
+      return Status::TypeError("head variable " + v.name +
+                               " is not free in the body");
+    }
+  }
+  if (free.size() != query.head.size()) {
+    std::string extra;
+    for (const Variable& v : free) {
+      bool in_head = false;
+      for (const Variable& h : query.head) {
+        if (h == v) in_head = true;
+      }
+      if (!in_head) extra += (extra.empty() ? "" : ", ") + v.name;
+    }
+    return Status::TypeError("free variables not in head: " + extra);
+  }
+  if (!Evaluator::CanEvaluate(*query.body, {})) {
+    return Status::TypeError("query is not range-restricted: " +
+                             query.ToString());
+  }
+  Evaluator ev(ctx);
+  std::vector<Value> rows;
+  SGMLQDB_RETURN_IF_ERROR(
+      ev.EvalFormula(*query.body, Env{}, [&](const Env& env) -> Status {
+        SGMLQDB_ASSIGN_OR_RETURN(Value row,
+                                 Evaluator::HeadTuple(query.head, env));
+        rows.push_back(std::move(row));
+        return Status::OK();
+      }));
+  if (query.head.size() == 1) {
+    // Single-variable head: a set of plain values (matches the
+    // subquery convention).
+    std::vector<Value> elems;
+    elems.reserve(rows.size());
+    for (const Value& row : rows) elems.push_back(row.FieldValue(0));
+    return Value::Set(std::move(elems));
+  }
+  return Value::Set(std::move(rows));
+}
+
+Status CheckRangeRestricted(const Query& query) {
+  if (!Evaluator::CanEvaluate(*query.body, {})) {
+    return Status::TypeError("query is not range-restricted: " +
+                             query.ToString());
+  }
+  return Status::OK();
+}
+
+Result<om::Value> EvaluateClosedTerm(const EvalContext& ctx,
+                                     const DataTerm& term) {
+  Evaluator ev(ctx);
+  return ev.EvalTerm(term, Env{});
+}
+
+Result<om::Value> EvaluateClosedTermInEnv(const EvalContext& ctx,
+                                          const DataTerm& term,
+                                          const Env& env) {
+  Evaluator ev(ctx);
+  return ev.EvalTerm(term, env);
+}
+
+Result<bool> CheckFormulaInEnv(const EvalContext& ctx, const Formula& f,
+                               const Env& env) {
+  Evaluator ev(ctx);
+  return ev.EvalCheck(f, env);
+}
+
+}  // namespace sgmlqdb::calculus

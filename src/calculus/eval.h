@@ -1,0 +1,78 @@
+// Reference (naive) evaluator for the calculus, implementing the
+// paper's semantics directly:
+//  * range restriction in the style of [3]: variables must get their
+//    range from a persistence root or an already-restricted variable;
+//    conjuncts are ordered greedily so that generators run before
+//    filters, and a query whose variables cannot be ordered is
+//    rejected (§5.2 "Range-Restriction");
+//  * path predicates <t P> range-restrict the variables on the path;
+//    path variables are interpreted by concrete paths with no two
+//    dereferences through the same class (the restricted semantics),
+//    or the liberal semantics on request;
+//  * interpreted predicates (contains, near) and functions (length,
+//    name, first, count, text, set_to_list, ...) in the style of [3].
+//
+// Results are sets of tuples, one attribute per head variable (paths
+// encode as path values, attribute names as strings).
+
+#ifndef SGMLQDB_CALCULUS_EVAL_H_
+#define SGMLQDB_CALCULUS_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "calculus/formula.h"
+#include "om/database.h"
+#include "path/path.h"
+
+namespace sgmlqdb::calculus {
+
+struct EvalContext {
+  const om::Database* db = nullptr;
+  /// oid -> element inner text, as produced by the loader; powers the
+  /// `text()` interpreted function and `contains` on objects. May be
+  /// null (then text(oid) is an error).
+  const std::map<uint64_t, std::string>* element_texts = nullptr;
+  /// Path-variable interpretation (§5.2).
+  path::PathSemantics semantics = path::PathSemantics::kRestricted;
+};
+
+/// A variable environment.
+struct Env {
+  std::map<std::string, om::Value> data;
+  std::map<std::string, path::Path> paths;
+  std::map<std::string, std::string> attrs;
+
+  bool Has(const Variable& v) const;
+};
+
+/// Evaluates {x1,...,xn | phi}: a set of tuples with one attribute per
+/// head variable (named after it). Fails with TypeError if the query
+/// is not range-restricted, or if the head does not match phi's free
+/// variables.
+Result<om::Value> EvaluateQuery(const EvalContext& ctx, const Query& query);
+
+/// Static check: can phi's variables be ordered so every one is
+/// range-restricted? (Runs the same planning as the evaluator, without
+/// touching data.)
+Status CheckRangeRestricted(const Query& query);
+
+/// Evaluates a closed data term (no free variables).
+Result<om::Value> EvaluateClosedTerm(const EvalContext& ctx,
+                                     const DataTerm& term);
+
+/// Evaluates a data term whose variables are supplied by `env`
+/// (used by the algebra's Compute operator).
+Result<om::Value> EvaluateClosedTermInEnv(const EvalContext& ctx,
+                                          const DataTerm& term,
+                                          const Env& env);
+
+/// Boolean check of a formula whose free variables are all bound in
+/// `env` (used by the algebra's Filter operator).
+Result<bool> CheckFormulaInEnv(const EvalContext& ctx, const Formula& f,
+                               const Env& env);
+
+}  // namespace sgmlqdb::calculus
+
+#endif  // SGMLQDB_CALCULUS_EVAL_H_

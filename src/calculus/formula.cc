@@ -1,0 +1,218 @@
+#include "calculus/formula.h"
+
+namespace sgmlqdb::calculus {
+
+FormulaPtr Formula::Eq(DataTermPtr lhs, DataTermPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kEq;
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::In(DataTermPtr elem, DataTermPtr coll) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kIn;
+  f->terms_ = {std::move(elem), std::move(coll)};
+  return f;
+}
+
+FormulaPtr Formula::Subset(DataTermPtr lhs, DataTermPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kSubset;
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::Less(DataTermPtr lhs, DataTermPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kLess;
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::PathPred(DataTermPtr base, PathTerm path) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kPathPred;
+  f->terms_ = {std::move(base)};
+  f->path_ = std::move(path);
+  return f;
+}
+
+FormulaPtr Formula::Interpreted(std::string predicate,
+                                std::vector<DataTermPtr> args) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kInterpreted;
+  f->symbol_ = std::move(predicate);
+  f->terms_ = std::move(args);
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kAnd;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kOr;
+  f->children_ = std::move(fs);
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kNot;
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::vector<Variable> vars, FormulaPtr inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kExists;
+  f->variables_ = std::move(vars);
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr Formula::ForAll(std::vector<Variable> vars, FormulaPtr inner) {
+  auto f = std::shared_ptr<Formula>(new Formula());
+  f->kind_ = Kind::kForAll;
+  f->variables_ = std::move(vars);
+  f->children_ = {std::move(inner)};
+  return f;
+}
+
+void CollectVariables(const PathTerm& path, std::set<Variable>* out) {
+  for (const PathComponent& c : path.components()) {
+    switch (c.kind) {
+      case PathComponent::Kind::kVar:
+        out->insert(PathVar(c.var));
+        break;
+      case PathComponent::Kind::kIndexVar:
+      case PathComponent::Kind::kCapture:
+      case PathComponent::Kind::kSetCapture:
+        out->insert(DataVar(c.var));
+        break;
+      case PathComponent::Kind::kAttrSel:
+        if (c.attr.is_variable) out->insert(AttrVar(c.attr.name));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void CollectVariables(const DataTerm& term, std::set<Variable>* out) {
+  switch (term.kind()) {
+    case DataTerm::Kind::kVariable:
+      out->insert(DataVar(term.var_name()));
+      break;
+    case DataTerm::Kind::kConstant:
+    case DataTerm::Kind::kName:
+      break;
+    case DataTerm::Kind::kTupleCons:
+      for (const auto& [attr, t] : term.tuple_fields()) {
+        if (attr.is_variable) out->insert(AttrVar(attr.name));
+        CollectVariables(*t, out);
+      }
+      break;
+    case DataTerm::Kind::kListCons:
+    case DataTerm::Kind::kSetCons:
+      for (const DataTermPtr& t : term.children()) {
+        CollectVariables(*t, out);
+      }
+      break;
+    case DataTerm::Kind::kFunction:
+      if (term.function_name() == "__path_value") {
+        CollectVariables(term.path(), out);
+      } else if (term.function_name() == "__attr_value") {
+        if (term.attr().is_variable) out->insert(AttrVar(term.attr().name));
+      } else {
+        for (const DataTermPtr& t : term.children()) {
+          CollectVariables(*t, out);
+        }
+      }
+      break;
+    case DataTerm::Kind::kPathApply:
+      CollectVariables(*term.base(), out);
+      CollectVariables(term.path(), out);
+      break;
+    case DataTerm::Kind::kSubquery: {
+      // Free variables of the subquery minus its own head.
+      std::set<Variable> inner = term.subquery()->body->FreeVariables();
+      for (const Variable& h : term.subquery()->head) inner.erase(h);
+      out->insert(inner.begin(), inner.end());
+      break;
+    }
+  }
+}
+
+std::set<Variable> Formula::FreeVariables() const {
+  std::set<Variable> out;
+  for (const DataTermPtr& t : terms_) CollectVariables(*t, &out);
+  if (kind_ == Kind::kPathPred) CollectVariables(path_, &out);
+  for (const FormulaPtr& c : children_) {
+    std::set<Variable> inner = c->FreeVariables();
+    out.insert(inner.begin(), inner.end());
+  }
+  for (const Variable& v : variables_) out.erase(v);
+  return out;
+}
+
+std::string Formula::ToString() const {
+  switch (kind_) {
+    case Kind::kEq:
+      return terms_[0]->ToString() + " = " + terms_[1]->ToString();
+    case Kind::kIn:
+      return terms_[0]->ToString() + " in " + terms_[1]->ToString();
+    case Kind::kSubset:
+      return terms_[0]->ToString() + " ⊆ " + terms_[1]->ToString();
+    case Kind::kLess:
+      return terms_[0]->ToString() + " < " + terms_[1]->ToString();
+    case Kind::kPathPred:
+      return "<" + terms_[0]->ToString() + " " + path_.ToString() + ">";
+    case Kind::kInterpreted: {
+      std::string out = symbol_ + "(";
+      for (size_t i = 0; i < terms_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += terms_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      const char* sep = kind_ == Kind::kAnd ? " ∧ " : " ∨ ";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "¬" + children_[0]->ToString();
+    case Kind::kExists:
+    case Kind::kForAll: {
+      std::string out = kind_ == Kind::kExists ? "∃" : "∀";
+      for (size_t i = 0; i < variables_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += variables_[i].name;
+      }
+      return out + "(" + children_[0]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].name;
+  }
+  return out + " | " + body->ToString() + "}";
+}
+
+}  // namespace sgmlqdb::calculus

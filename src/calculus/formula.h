@@ -1,0 +1,97 @@
+// Atoms, formulas and queries of the calculus (paper §5.2).
+
+#ifndef SGMLQDB_CALCULUS_FORMULA_H_
+#define SGMLQDB_CALCULUS_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/terms.h"
+
+namespace sgmlqdb::calculus {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Formulas: atoms closed under conjunction, disjunction, negation and
+/// quantification.
+class Formula {
+ public:
+  enum class Kind {
+    // Atoms.
+    kEq,          // t = t'
+    kIn,          // t in t'
+    kSubset,      // t ⊆ t'
+    kLess,        // t < t' (integers, floats, strings)
+    kPathPred,    // <t P>
+    kInterpreted, // contains / near / user-registered predicate
+    // Connectives.
+    kAnd,
+    kOr,
+    kNot,
+    kExists,
+    kForAll,
+  };
+
+  // -- Atom factories ---------------------------------------------------
+  static FormulaPtr Eq(DataTermPtr lhs, DataTermPtr rhs);
+  static FormulaPtr In(DataTermPtr elem, DataTermPtr coll);
+  static FormulaPtr Subset(DataTermPtr lhs, DataTermPtr rhs);
+  static FormulaPtr Less(DataTermPtr lhs, DataTermPtr rhs);
+  /// The path predicate <base path>.
+  static FormulaPtr PathPred(DataTermPtr base, PathTerm path);
+  /// Interpreted predicate: "contains" (args: text term, then a
+  /// constant pattern string) or "near" (text, w1, w2, k) or any
+  /// predicate registered with the evaluator.
+  static FormulaPtr Interpreted(std::string predicate,
+                                std::vector<DataTermPtr> args);
+
+  // -- Connectives ------------------------------------------------------
+  static FormulaPtr And(std::vector<FormulaPtr> fs);
+  static FormulaPtr Or(std::vector<FormulaPtr> fs);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr Exists(std::vector<Variable> vars, FormulaPtr f);
+  static FormulaPtr ForAll(std::vector<Variable> vars, FormulaPtr f);
+
+  Kind kind() const { return kind_; }
+  const std::vector<DataTermPtr>& terms() const { return terms_; }
+  const PathTerm& path() const { return path_; }
+  const std::string& predicate() const { return symbol_; }
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  const std::vector<Variable>& variables() const { return variables_; }
+
+  /// Free variables of the formula (all three sorts).
+  std::set<Variable> FreeVariables() const;
+
+  std::string ToString() const;
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kAnd;
+  std::vector<DataTermPtr> terms_;
+  PathTerm path_;
+  std::string symbol_;
+  std::vector<FormulaPtr> children_;
+  std::vector<Variable> variables_;
+};
+
+/// A query {x1, ..., xn | phi} (the xi must be exactly the free
+/// variables of phi; checked by the evaluator).
+struct Query {
+  std::vector<Variable> head;
+  FormulaPtr body;
+
+  std::string ToString() const;
+};
+
+/// Variables appearing in the pieces of terms (used by range
+/// restriction and the evaluator).
+void CollectVariables(const DataTerm& term, std::set<Variable>* out);
+void CollectVariables(const PathTerm& path, std::set<Variable>* out);
+
+}  // namespace sgmlqdb::calculus
+
+#endif  // SGMLQDB_CALCULUS_FORMULA_H_

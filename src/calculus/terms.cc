@@ -1,0 +1,250 @@
+#include "calculus/terms.h"
+
+namespace sgmlqdb::calculus {
+
+std::string PathComponent::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return " " + var;
+    case Kind::kDeref:
+      return "->";
+    case Kind::kAttrSel:
+      return attr.is_variable ? "." + attr.name : "." + attr.name;
+    case Kind::kIndexConst:
+      return "[" + std::to_string(index) + "]";
+    case Kind::kIndexVar:
+      return "[" + var + "]";
+    case Kind::kCapture:
+      return "(" + var + ")";
+    case Kind::kSetCapture:
+      return "{" + var + "}";
+  }
+  return "?";
+}
+
+PathTerm PathTerm::Var(std::string name) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kVar;
+  c.var = std::move(name);
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::Deref() {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kDeref;
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::Attr(std::string name) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kAttrSel;
+  c.attr = AttrTerm::Name(std::move(name));
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::AttrVariable(std::string var) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kAttrSel;
+  c.attr = AttrTerm::Var(std::move(var));
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::Index(int64_t i) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kIndexConst;
+  c.index = i;
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::IndexVariable(std::string var) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kIndexVar;
+  c.var = std::move(var);
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::Capture(std::string data_var) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kCapture;
+  c.var = std::move(data_var);
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::SetCapture(std::string data_var) {
+  PathTerm p;
+  PathComponent c;
+  c.kind = PathComponent::Kind::kSetCapture;
+  c.var = std::move(data_var);
+  p.components_.push_back(std::move(c));
+  return p;
+}
+
+PathTerm PathTerm::operator+(const PathTerm& other) const {
+  PathTerm p;
+  p.components_ = components_;
+  p.components_.insert(p.components_.end(), other.components_.begin(),
+                       other.components_.end());
+  return p;
+}
+
+std::string PathTerm::ToString() const {
+  if (components_.empty()) return "ε";
+  std::string out;
+  for (const PathComponent& c : components_) out += c.ToString();
+  return out;
+}
+
+DataTermPtr DataTerm::Var(std::string name) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kVariable;
+  t->symbol_ = std::move(name);
+  return t;
+}
+
+DataTermPtr DataTerm::Const(om::Value v) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kConstant;
+  t->constant_ = std::move(v);
+  return t;
+}
+
+DataTermPtr DataTerm::Name(std::string name) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kName;
+  t->symbol_ = std::move(name);
+  return t;
+}
+
+DataTermPtr DataTerm::TupleCons(
+    std::vector<std::pair<AttrTerm, DataTermPtr>> fields) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kTupleCons;
+  t->tuple_fields_ = std::move(fields);
+  return t;
+}
+
+DataTermPtr DataTerm::ListCons(std::vector<DataTermPtr> elems) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kListCons;
+  t->children_ = std::move(elems);
+  return t;
+}
+
+DataTermPtr DataTerm::SetCons(std::vector<DataTermPtr> elems) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kSetCons;
+  t->children_ = std::move(elems);
+  return t;
+}
+
+DataTermPtr DataTerm::Function(std::string function,
+                               std::vector<DataTermPtr> args) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kFunction;
+  t->symbol_ = std::move(function);
+  t->children_ = std::move(args);
+  return t;
+}
+
+DataTermPtr DataTerm::PathApply(DataTermPtr base, PathTerm path) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kPathApply;
+  t->children_ = {std::move(base)};
+  t->path_ = std::move(path);
+  return t;
+}
+
+DataTermPtr DataTerm::PathAsData(PathTerm path) {
+  // Encoded as PathApply over a marker-free nil base would be
+  // ambiguous; use a dedicated function name over an empty child list
+  // with the path stored alongside.
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kFunction;
+  t->symbol_ = "__path_value";
+  t->path_ = std::move(path);
+  return t;
+}
+
+DataTermPtr DataTerm::AttrAsData(AttrTerm attr) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kFunction;
+  t->symbol_ = "__attr_value";
+  t->attr_ = std::move(attr);
+  return t;
+}
+
+DataTermPtr DataTerm::Subquery(std::shared_ptr<const Query> query) {
+  auto t = std::shared_ptr<DataTerm>(new DataTerm());
+  t->kind_ = Kind::kSubquery;
+  t->subquery_ = std::move(query);
+  return t;
+}
+
+std::string DataTerm::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return symbol_;
+    case Kind::kConstant:
+      return constant_.ToString();
+    case Kind::kName:
+      return symbol_;
+    case Kind::kTupleCons: {
+      std::string out = "[";
+      for (size_t i = 0; i < tuple_fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += tuple_fields_[i].first.is_variable
+                   ? tuple_fields_[i].first.name
+                   : tuple_fields_[i].first.name;
+        out += ": " + tuple_fields_[i].second->ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kListCons: {
+      std::string out = "[";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kSetCons: {
+      std::string out = "{";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + "}";
+    }
+    case Kind::kFunction: {
+      if (symbol_ == "__path_value") return path_.ToString();
+      if (symbol_ == "__attr_value") return attr_.ToString();
+      std::string out = symbol_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kPathApply:
+      return children_[0]->ToString() + " " + path_.ToString();
+    case Kind::kSubquery:
+      return "{subquery}";
+  }
+  return "?";
+}
+
+}  // namespace sgmlqdb::calculus

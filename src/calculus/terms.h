@@ -1,0 +1,185 @@
+// The many-sorted calculus of paper §5.2: data, path and attribute
+// sorts; attribute, path and data terms; atoms (=, in, subseteq, <,
+// path predicates, interpreted predicates); and formulas closed under
+// and/or/not and quantification over the three sorts.
+//
+// Path terms are sequences of components:
+//   P          a path variable
+//   ->         dereference
+//   .a  /  .A  attribute selection (constant or attribute variable)
+//   [3] / [I]  list index (constant or integer data variable)
+//   (X)        value capture: X denotes the value reached here
+//   {X}        set-element choice: X ranges over the elements
+// Concatenation PQ is concatenation of the component sequences.
+
+#ifndef SGMLQDB_CALCULUS_TERMS_H_
+#define SGMLQDB_CALCULUS_TERMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "om/value.h"
+
+namespace sgmlqdb::calculus {
+
+enum class Sort { kData, kPath, kAttr };
+
+/// A sorted variable. Paper convention: X,Y,Z data; P,Q,R path;
+/// A,B,C attribute.
+struct Variable {
+  Sort sort;
+  std::string name;
+
+  friend bool operator==(const Variable& a, const Variable& b) {
+    return a.sort == b.sort && a.name == b.name;
+  }
+  friend bool operator<(const Variable& a, const Variable& b) {
+    if (a.sort != b.sort) return a.sort < b.sort;
+    return a.name < b.name;
+  }
+};
+
+inline Variable DataVar(std::string name) {
+  return Variable{Sort::kData, std::move(name)};
+}
+inline Variable PathVar(std::string name) {
+  return Variable{Sort::kPath, std::move(name)};
+}
+inline Variable AttrVar(std::string name) {
+  return Variable{Sort::kAttr, std::move(name)};
+}
+
+/// An attribute term: a constant attribute name or an attribute
+/// variable.
+struct AttrTerm {
+  bool is_variable = false;
+  std::string name;  // attribute name, or variable name
+
+  static AttrTerm Name(std::string n) { return AttrTerm{false, std::move(n)}; }
+  static AttrTerm Var(std::string v) { return AttrTerm{true, std::move(v)}; }
+
+  std::string ToString() const { return is_variable ? name : "." + name; }
+};
+
+/// One component of a path term.
+struct PathComponent {
+  enum class Kind {
+    kVar,         // path variable
+    kDeref,       // ->
+    kAttrSel,     // .a / .A
+    kIndexConst,  // [3]
+    kIndexVar,    // [I]   (I is a data variable over integers)
+    kCapture,     // (X)
+    kSetCapture,  // {X}
+  };
+
+  Kind kind;
+  std::string var;     // kVar / kIndexVar / kCapture / kSetCapture
+  AttrTerm attr;       // kAttrSel
+  int64_t index = 0;   // kIndexConst
+
+  std::string ToString() const;
+};
+
+/// A path term: a sequence of components (epsilon = empty sequence).
+class PathTerm {
+ public:
+  PathTerm() = default;
+
+  static PathTerm Epsilon() { return PathTerm(); }
+  static PathTerm Var(std::string name);
+  static PathTerm Deref();
+  static PathTerm Attr(std::string name);
+  static PathTerm AttrVariable(std::string var);
+  static PathTerm Index(int64_t i);
+  static PathTerm IndexVariable(std::string var);
+  static PathTerm Capture(std::string data_var);
+  static PathTerm SetCapture(std::string data_var);
+
+  /// Concatenation (paper: PQ).
+  PathTerm operator+(const PathTerm& other) const;
+
+  const std::vector<PathComponent>& components() const { return components_; }
+  bool empty() const { return components_.empty(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PathComponent> components_;
+};
+
+class DataTerm;
+using DataTermPtr = std::shared_ptr<const DataTerm>;
+struct Query;  // defined in calculus/formula.h
+
+/// A data term (paper §5.2).
+class DataTerm {
+ public:
+  enum class Kind {
+    kVariable,   // data variable
+    kConstant,   // atomic value (nil, int, string, ... or an oid)
+    kName,       // persistence root
+    kTupleCons,  // [A1: t1, ..., An: tn]
+    kListCons,   // [t1, ..., tn]
+    kSetCons,    // {t1, ..., tn}
+    kFunction,   // interpreted function application
+    kPathApply,  // t P  (navigate from t along P)
+    kSubquery,   // nested query used as a term ({X | phi} in §5.2)
+  };
+
+  static DataTermPtr Var(std::string name);
+  static DataTermPtr Const(om::Value v);
+  static DataTermPtr Name(std::string name);
+  static DataTermPtr TupleCons(
+      std::vector<std::pair<AttrTerm, DataTermPtr>> fields);
+  static DataTermPtr ListCons(std::vector<DataTermPtr> elems);
+  static DataTermPtr SetCons(std::vector<DataTermPtr> elems);
+  /// Interpreted function over data arguments (length, name, first,
+  /// count, text, set_to_list, ...). Path/attr terms are passed by
+  /// wrapping: PathAsData / AttrAsData below.
+  static DataTermPtr Function(std::string function,
+                              std::vector<DataTermPtr> args);
+  static DataTermPtr PathApply(DataTermPtr base, PathTerm path);
+  /// A path term used where data is expected (paths are first-class:
+  /// the term denotes the path's value encoding).
+  static DataTermPtr PathAsData(PathTerm path);
+  /// An attribute term used as data (denotes the attribute name
+  /// string; the paper's name(A)).
+  static DataTermPtr AttrAsData(AttrTerm attr);
+  /// A nested query used as a term ({X | phi}; §5.2 "nesting of
+  /// queries in a calculus a la [3]"). Denotes the query's result set.
+  static DataTermPtr Subquery(std::shared_ptr<const Query> query);
+
+  Kind kind() const { return kind_; }
+  const std::string& var_name() const { return symbol_; }
+  const std::string& root_name() const { return symbol_; }
+  const std::string& function_name() const { return symbol_; }
+  const om::Value& constant() const { return constant_; }
+  const std::vector<std::pair<AttrTerm, DataTermPtr>>& tuple_fields() const {
+    return tuple_fields_;
+  }
+  const std::vector<DataTermPtr>& children() const { return children_; }
+  const DataTermPtr& base() const { return children_[0]; }
+  const PathTerm& path() const { return path_; }
+  const AttrTerm& attr() const { return attr_; }
+  const std::shared_ptr<const Query>& subquery() const { return subquery_; }
+
+  std::string ToString() const;
+
+ private:
+  DataTerm() = default;
+
+  Kind kind_ = Kind::kConstant;
+  std::string symbol_;
+  om::Value constant_;
+  std::vector<std::pair<AttrTerm, DataTermPtr>> tuple_fields_;
+  std::vector<DataTermPtr> children_;
+  PathTerm path_;
+  AttrTerm attr_;
+  std::shared_ptr<const Query> subquery_;
+};
+
+}  // namespace sgmlqdb::calculus
+
+#endif  // SGMLQDB_CALCULUS_TERMS_H_

@@ -1,0 +1,93 @@
+#include "core/document_store.h"
+
+#include "mapping/exporter.h"
+#include "mapping/loader.h"
+#include "mapping/names.h"
+#include "mapping/schema_compiler.h"
+#include "om/typecheck.h"
+
+namespace sgmlqdb {
+
+Status DocumentStore::LoadDtd(std::string_view dtd_text) {
+  if (dtd_.has_value()) {
+    return Status::InvalidArgument("a DTD is already loaded");
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(sgml::Dtd dtd, sgml::ParseDtd(dtd_text));
+  SGMLQDB_ASSIGN_OR_RETURN(om::Schema schema,
+                           mapping::CompileDtdToSchema(dtd));
+  dtd_ = std::move(dtd);
+  db_ = std::make_unique<om::Database>(std::move(schema));
+  return Status::OK();
+}
+
+Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
+                                                 std::string_view name) {
+  if (!dtd_.has_value()) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  // Declare the per-document persistence name so its binding
+  // typechecks against the doctype's class.
+  if (!name.empty() && db_->schema().FindName(name) == nullptr) {
+    SGMLQDB_RETURN_IF_ERROR(db_->DeclareName(
+        std::string(name),
+        om::Type::Class(mapping::ClassNameFor(dtd_->doctype()))));
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(
+      mapping::LoadedDocument loaded,
+      mapping::LoadDocumentText(*dtd_, sgml_text, db_.get()));
+  // Conformance check: types + Figure 3 constraints.
+  SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db_, loaded.root));
+  for (const auto& [oid, text] : loaded.element_texts) {
+    element_texts_[oid.id()] = text;
+    text_index_.Add(oid.id(), text);
+  }
+  if (!name.empty()) {
+    SGMLQDB_RETURN_IF_ERROR(
+        db_->BindName(name, om::Value::Object(loaded.root)));
+  }
+  return loaded.root;
+}
+
+Result<om::Value> DocumentStore::Query(std::string_view statement,
+                                       oql::Engine engine) const {
+  QueryOptions options;
+  options.engine = engine;
+  return Query(statement, options);
+}
+
+Result<om::Value> DocumentStore::Query(std::string_view statement,
+                                       const QueryOptions& options) const {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  calculus::EvalContext ctx = eval_context();
+  ctx.semantics = options.semantics;
+  oql::OqlOptions oql_options;
+  oql_options.engine = options.engine;
+  return oql::ExecuteOql(ctx, db_->schema(), statement, oql_options);
+}
+
+Result<std::string> DocumentStore::ExportSgml(om::ObjectId root) const {
+  if (!dtd_.has_value()) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  return mapping::ExportDocumentText(*db_, *dtd_, root);
+}
+
+Result<std::string> DocumentStore::TextOf(om::ObjectId oid) const {
+  auto it = element_texts_.find(oid.id());
+  if (it == element_texts_.end()) {
+    return Status::NotFound("no text recorded for oid " +
+                            std::to_string(oid.id()));
+  }
+  return it->second;
+}
+
+calculus::EvalContext DocumentStore::eval_context() const {
+  calculus::EvalContext ctx;
+  ctx.db = db_.get();
+  ctx.element_texts = &element_texts_;
+  return ctx;
+}
+
+}  // namespace sgmlqdb

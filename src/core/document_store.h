@@ -1,0 +1,92 @@
+// DocumentStore: the library's facade. Owns the pipeline of the
+// paper's system — SGML parsing, DTD->schema mapping, document
+// loading, full-text indexing, and query execution (extended O2SQL on
+// top of the calculus, via the naive or the algebraic engine).
+//
+// Typical use:
+//
+//   sgmlqdb::DocumentStore store;
+//   store.LoadDtd(dtd_text);                      // Figure 1
+//   store.LoadDocument(sgml_text, "my_article");  // Figure 2
+//   auto rows = store.Query(
+//       "select t from my_article .. title(t)");  // Q3
+
+#ifndef SGMLQDB_CORE_DOCUMENT_STORE_H_
+#define SGMLQDB_CORE_DOCUMENT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "om/database.h"
+#include "oql/oql.h"
+#include "sgml/document.h"
+#include "sgml/dtd.h"
+#include "text/index.h"
+
+namespace sgmlqdb {
+
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// Parses a DTD and compiles it into the store's schema (paper §3).
+  /// Must be called exactly once, before any document is loaded.
+  Status LoadDtd(std::string_view dtd_text);
+
+  /// Parses, validates and loads a document; appends it to the
+  /// doctype's persistence root (e.g. `Articles`). When `name` is
+  /// non-empty, additionally binds the root object to that
+  /// persistence name (e.g. "my_article").
+  Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
+                                    std::string_view name = "");
+
+  struct QueryOptions {
+    oql::Engine engine = oql::Engine::kNaive;
+    /// Path-variable interpretation (§5.2). The liberal semantics is
+    /// what the paper prescribes for hypertext navigation; it is only
+    /// honored by the naive engine (the algebraic expansion is defined
+    /// for the restricted semantics).
+    path::PathSemantics semantics = path::PathSemantics::kRestricted;
+  };
+
+  /// Executes an extended-O2SQL statement (paper §4).
+  Result<om::Value> Query(std::string_view oql,
+                          oql::Engine engine = oql::Engine::kNaive) const;
+  Result<om::Value> Query(std::string_view oql,
+                          const QueryOptions& options) const;
+
+  /// Serializes a loaded document back to SGML (inverse mapping).
+  Result<std::string> ExportSgml(om::ObjectId root) const;
+
+  /// The `text()` operator: inner text of an element object.
+  Result<std::string> TextOf(om::ObjectId oid) const;
+
+  // -- Introspection -----------------------------------------------------
+  bool has_dtd() const { return dtd_.has_value(); }
+  const sgml::Dtd& dtd() const { return *dtd_; }
+  const om::Database& db() const { return *db_; }
+  const om::Schema& schema() const { return db_->schema(); }
+  const text::InvertedIndex& text_index() const { return text_index_; }
+  const std::map<uint64_t, std::string>& element_texts() const {
+    return element_texts_;
+  }
+  /// The calculus evaluation context over this store (valid while the
+  /// store lives).
+  calculus::EvalContext eval_context() const;
+
+ private:
+  std::optional<sgml::Dtd> dtd_;
+  std::unique_ptr<om::Database> db_;
+  std::map<uint64_t, std::string> element_texts_;
+  text::InvertedIndex text_index_;
+};
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_CORE_DOCUMENT_STORE_H_

@@ -1,0 +1,145 @@
+#include "corpus/generator.h"
+
+#include <cmath>
+
+namespace sgmlqdb::corpus {
+
+uint64_t Rng::Next() {
+  // splitmix64.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+const std::vector<std::string>& Vocabulary() {
+  static const std::vector<std::string>& kWords =
+      *new std::vector<std::string>{
+          // Frequent filler.
+          "the", "of", "a", "and", "to", "in", "is", "for", "with", "that",
+          "as", "on", "are", "this", "by", "an", "be", "from", "which",
+          "can", "we", "it", "or", "has", "its", "our", "their", "these",
+          "such", "more", "one", "two", "also", "may", "not", "but",
+          // Domain terms (the paper's running vocabulary).
+          "document", "documents", "structured", "SGML", "database",
+          "databases", "OODB", "OODBMS", "query", "queries", "language",
+          "languages", "object", "objects", "oriented", "model", "models",
+          "schema", "schemas", "type", "types", "union", "tuple", "tuples",
+          "ordered", "list", "lists", "path", "paths", "variable",
+          "variables", "attribute", "attributes", "calculus", "algebra",
+          "mapping", "instance", "instances", "element", "elements",
+          "grammar", "parser", "text", "retrieval", "index", "indexing",
+          "pattern", "matching", "complex", "value", "values", "class",
+          "classes", "inheritance", "section", "title", "figure",
+          "caption", "hypertext", "navigation", "semantics", "restricted",
+          "liberal", "dereferencing", "optimization", "storage",
+          "concurrency", "recovery", "version", "versions", "standard",
+          "markup", "logical", "structure", "content", "knowledge",
+          "incomplete", "heterogeneous", "first", "citizens", "formal",
+          "foundation", "evaluation", "safety", "finite", "recursion",
+      };
+  return kWords;
+}
+
+namespace {
+
+const std::string& ZipfWord(Rng& rng) {
+  const std::vector<std::string>& vocab = Vocabulary();
+  // Skewed index: cube of a uniform deviate biases towards the head.
+  double u = rng.NextDouble();
+  size_t idx = static_cast<size_t>(u * u * u *
+                                   static_cast<double>(vocab.size()));
+  if (idx >= vocab.size()) idx = vocab.size() - 1;
+  return vocab[idx];
+}
+
+}  // namespace
+
+std::string RandomSentence(Rng& rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += ZipfWord(rng);
+  }
+  out += '.';
+  return out;
+}
+
+namespace {
+
+void AppendBody(Rng& rng, const ArticleParams& p, size_t fig_counter,
+                std::string* out) {
+  if (rng.Chance(p.figure_prob)) {
+    *out += "<body><figure label=\"fig" + std::to_string(fig_counter) +
+            "\"><picture><caption>" + RandomSentence(rng, 6) +
+            "</caption></figure></body>\n";
+  } else {
+    *out += "<body><paragr>" +
+            RandomSentence(rng, p.words_per_paragraph) +
+            "</paragr></body>\n";
+  }
+}
+
+}  // namespace
+
+std::string GenerateArticle(const ArticleParams& p) {
+  Rng rng(p.seed);
+  std::string out = "<article status=\"";
+  out += rng.Chance(0.5) ? "final" : "draft";
+  out += "\">\n";
+  out += "<title>" + RandomSentence(rng, 7) + "</title>\n";
+  for (size_t i = 0; i < p.authors; ++i) {
+    out += "<author>Author " + std::to_string(rng.Below(1000)) + "\n";
+  }
+  out += "<affil>" + RandomSentence(rng, 3) + "</affil>\n";
+  out += "<abstract>" + RandomSentence(rng, 2 * p.words_per_paragraph) +
+         "</abstract>\n";
+  size_t fig_counter = p.seed % 100000;
+  for (size_t s = 0; s < p.sections; ++s) {
+    out += "<section><title>" + RandomSentence(rng, 5) + "</title>\n";
+    bool with_subsections = rng.Chance(p.subsection_prob);
+    size_t bodies = 1 + rng.Below(p.bodies_per_section);
+    if (with_subsections) {
+      // (title, body*, subsectn+): zero or more bodies first.
+      for (size_t b = 0; b + 1 < bodies; ++b) {
+        AppendBody(rng, p, ++fig_counter, &out);
+      }
+      size_t subs = 1 + rng.Below(p.max_subsections);
+      for (size_t k = 0; k < subs; ++k) {
+        out += "<subsectn><title>" + RandomSentence(rng, 4) + "</title>\n";
+        AppendBody(rng, p, ++fig_counter, &out);
+        out += "</subsectn>\n";
+      }
+    } else {
+      for (size_t b = 0; b < bodies; ++b) {
+        AppendBody(rng, p, ++fig_counter, &out);
+      }
+    }
+    out += "</section>\n";
+  }
+  out += "<acknowl>" + RandomSentence(rng, 10) + "</acknowl>\n";
+  out += "</article>\n";
+  return out;
+}
+
+std::vector<std::string> GenerateCorpus(size_t n, ArticleParams params) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  uint64_t base_seed = params.seed;
+  for (size_t i = 0; i < n; ++i) {
+    params.seed = base_seed + 0x9e3779b9ull * (i + 1);
+    out.push_back(GenerateArticle(params));
+  }
+  return out;
+}
+
+}  // namespace sgmlqdb::corpus

@@ -1,0 +1,61 @@
+// Synthetic SGML corpus generator over the paper's article DTD
+// (Figure 1). Deterministic (seeded); text is drawn from a skewed
+// (Zipf-like) vocabulary that includes the domain terms the paper's
+// example queries look for ("SGML", "OODBMS", "complex", "object",
+// ...), so query selectivities are stable and controllable.
+
+#ifndef SGMLQDB_CORPUS_GENERATOR_H_
+#define SGMLQDB_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgmlqdb::corpus {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n);
+  /// Uniform in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Chance(double p);
+
+ private:
+  uint64_t state_;
+};
+
+struct ArticleParams {
+  uint64_t seed = 42;
+  size_t authors = 3;
+  size_t sections = 4;
+  /// Probability a section uses the (title, body*, subsectn+)
+  /// alternative.
+  double subsection_prob = 0.3;
+  size_t max_subsections = 3;
+  size_t bodies_per_section = 3;
+  size_t words_per_paragraph = 40;
+  /// Probability a body is a figure instead of a paragraph.
+  double figure_prob = 0.1;
+};
+
+/// One SGML article conforming to the Figure 1 DTD.
+std::string GenerateArticle(const ArticleParams& params);
+
+/// `n` articles with seeds derived from params.seed.
+std::vector<std::string> GenerateCorpus(size_t n, ArticleParams params);
+
+/// A sentence of `words` vocabulary words (Zipf-skewed).
+std::string RandomSentence(Rng& rng, size_t words);
+
+/// The generator vocabulary, most-frequent first.
+const std::vector<std::string>& Vocabulary();
+
+}  // namespace sgmlqdb::corpus
+
+#endif  // SGMLQDB_CORPUS_GENERATOR_H_

@@ -1,0 +1,282 @@
+#include "mapping/exporter.h"
+
+#include <map>
+#include <set>
+
+#include "mapping/names.h"
+#include "mapping/schema_compiler.h"
+
+namespace sgmlqdb::mapping {
+
+using om::Database;
+using om::ObjectId;
+using om::Value;
+using om::ValueKind;
+using sgml::AttributeDef;
+using sgml::DocNode;
+using sgml::Dtd;
+using sgml::ElementDef;
+
+namespace {
+
+class Exporter {
+ public:
+  Exporter(const Database& db, const Dtd& dtd) : db_(db), dtd_(dtd) {
+    for (const ElementDef& e : dtd.elements()) {
+      element_of_class_[ClassNameFor(e.name)] = e.name;
+    }
+  }
+
+  Result<sgml::Document> Run(ObjectId root) {
+    SGMLQDB_RETURN_IF_ERROR(AssignIds(root));
+    sgml::Document doc;
+    SGMLQDB_ASSIGN_OR_RETURN(doc.root, ExportElement(root));
+    return doc;
+  }
+
+ private:
+  Result<const ElementDef*> DefFor(ObjectId oid) const {
+    const std::string* cls = db_.ClassOf(oid);
+    if (cls == nullptr) {
+      return Status::NotFound("dangling oid " + std::to_string(oid.id()));
+    }
+    auto it = element_of_class_.find(*cls);
+    if (it == element_of_class_.end()) {
+      return Status::NotFound("class '" + *cls +
+                              "' is not the image of a DTD element");
+    }
+    const ElementDef* def = dtd_.FindElement(it->second);
+    if (def == nullptr) {
+      return Status::Internal("element map out of sync");
+    }
+    return def;
+  }
+
+  /// First pass: assign synthetic ids to every object referenced from
+  /// an IDREF(S) attribute anywhere in the subtree.
+  Status AssignIds(ObjectId oid) {
+    if (!visited_.insert(oid.id()).second) return Status::OK();
+    SGMLQDB_ASSIGN_OR_RETURN(const ElementDef* def, DefFor(oid));
+    SGMLQDB_ASSIGN_OR_RETURN(Value v, db_.Deref(oid));
+    for (const AttributeDef& a : def->attributes) {
+      if (a.type != AttributeDef::DeclaredType::kIdref &&
+          a.type != AttributeDef::DeclaredType::kIdrefs) {
+        continue;
+      }
+      std::optional<Value> f = v.FindField(a.name);
+      if (!f.has_value()) continue;
+      std::vector<Value> targets;
+      if (f->kind() == ValueKind::kObject) targets.push_back(*f);
+      if (f->kind() == ValueKind::kList) {
+        for (size_t i = 0; i < f->size(); ++i) {
+          targets.push_back(f->Element(i));
+        }
+      }
+      for (const Value& t : targets) {
+        if (t.kind() != ValueKind::kObject) continue;
+        uint64_t id = t.AsObject().id();
+        if (id_of_.count(id) == 0) {
+          id_of_[id] = "id" + std::to_string(next_id_++);
+        }
+      }
+    }
+    // Recurse into structurally reachable objects.
+    std::vector<Value> work = {v};
+    while (!work.empty()) {
+      Value cur = work.back();
+      work.pop_back();
+      switch (cur.kind()) {
+        case ValueKind::kObject: {
+          // Only descend into structural children, not IDREF targets:
+          // a target inside the subtree is reached structurally
+          // anyway, one outside must not be exported.
+          break;
+        }
+        case ValueKind::kTuple:
+          for (size_t i = 0; i < cur.size(); ++i) {
+            Value fv = cur.FieldValue(i);
+            if (fv.kind() == ValueKind::kObject &&
+                !IsReferenceAttribute(*def, cur.FieldName(i))) {
+              SGMLQDB_RETURN_IF_ERROR(AssignIds(fv.AsObject()));
+            } else {
+              work.push_back(fv);
+            }
+          }
+          break;
+        case ValueKind::kList:
+        case ValueKind::kSet:
+          for (size_t i = 0; i < cur.size(); ++i) {
+            Value e = cur.Element(i);
+            if (e.kind() == ValueKind::kObject) {
+              SGMLQDB_RETURN_IF_ERROR(AssignIds(e.AsObject()));
+            } else {
+              work.push_back(e);
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static bool IsReferenceAttribute(const ElementDef& def,
+                                   const std::string& field) {
+    const AttributeDef* a = def.FindAttribute(field);
+    return a != nullptr && (a->type == AttributeDef::DeclaredType::kIdref ||
+                            a->type == AttributeDef::DeclaredType::kIdrefs ||
+                            a->type == AttributeDef::DeclaredType::kId);
+  }
+
+  Result<DocNode> ExportElement(ObjectId oid) {
+    SGMLQDB_ASSIGN_OR_RETURN(const ElementDef* def, DefFor(oid));
+    SGMLQDB_ASSIGN_OR_RETURN(Value v, db_.Deref(oid));
+    DocNode node = DocNode::Element(def->name);
+
+    // Attributes.
+    for (const AttributeDef& a : def->attributes) {
+      std::optional<Value> f = v.FindField(a.name);
+      switch (a.type) {
+        case AttributeDef::DeclaredType::kId: {
+          auto it = id_of_.find(oid.id());
+          if (it != id_of_.end()) {
+            node.attributes.emplace_back(a.name, it->second);
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kIdref: {
+          if (f.has_value() && f->kind() == ValueKind::kObject) {
+            node.attributes.emplace_back(a.name,
+                                         id_of_[f->AsObject().id()]);
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kIdrefs: {
+          if (f.has_value() && f->kind() == ValueKind::kList &&
+              f->size() > 0) {
+            std::string joined;
+            for (size_t i = 0; i < f->size(); ++i) {
+              if (i > 0) joined += ' ';
+              joined += id_of_[f->Element(i).AsObject().id()];
+            }
+            node.attributes.emplace_back(a.name, joined);
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kEntity:
+          // Lossy: the entity name is not stored; omitted on export.
+          break;
+        default: {
+          if (f.has_value() && f->kind() == ValueKind::kString &&
+              !f->AsString().empty()) {
+            node.attributes.emplace_back(a.name, f->AsString());
+          }
+          break;
+        }
+      }
+    }
+
+    // Content.
+    switch (ShapeOf(*def)) {
+      case ElementShape::kText: {
+        std::optional<Value> content = v.FindField(kContentAttr);
+        if (content.has_value() && content->kind() == ValueKind::kString &&
+            !content->AsString().empty()) {
+          node.children.push_back(DocNode::Text(content->AsString()));
+        }
+        break;
+      }
+      case ElementShape::kBitmap:
+        break;  // EMPTY
+      case ElementShape::kMixed: {
+        std::optional<Value> items = v.FindField("items");
+        if (items.has_value() && items->kind() == ValueKind::kList) {
+          for (size_t i = 0; i < items->size(); ++i) {
+            Value item = items->Element(i);
+            if (item.kind() != ValueKind::kTuple || item.size() != 1) {
+              continue;
+            }
+            if (item.FieldName(0) == kPcdataMarker) {
+              node.children.push_back(
+                  DocNode::Text(item.FieldValue(0).AsString()));
+            } else {
+              SGMLQDB_RETURN_IF_ERROR(
+                  EmitValue(item.FieldValue(0), *def, &node));
+            }
+          }
+        }
+        break;
+      }
+      case ElementShape::kStruct: {
+        if (v.kind() == ValueKind::kTuple) {
+          for (size_t i = 0; i < v.size(); ++i) {
+            if (def->FindAttribute(v.FieldName(i)) != nullptr) {
+              continue;  // ATTLIST attribute, already emitted
+            }
+            SGMLQDB_RETURN_IF_ERROR(EmitValue(v.FieldValue(i), *def, &node));
+          }
+        }
+        break;
+      }
+    }
+    return node;
+  }
+
+  /// Emits a structural value as children of `node`: objects become
+  /// child elements, lists/tuples flatten in order, nil vanishes.
+  Status EmitValue(const Value& v, const ElementDef& def, DocNode* node) {
+    switch (v.kind()) {
+      case ValueKind::kNil:
+        return Status::OK();
+      case ValueKind::kObject: {
+        SGMLQDB_ASSIGN_OR_RETURN(DocNode child, ExportElement(v.AsObject()));
+        node->children.push_back(std::move(child));
+        return Status::OK();
+      }
+      case ValueKind::kList:
+      case ValueKind::kSet: {
+        for (size_t i = 0; i < v.size(); ++i) {
+          SGMLQDB_RETURN_IF_ERROR(EmitValue(v.Element(i), def, node));
+        }
+        return Status::OK();
+      }
+      case ValueKind::kTuple: {
+        for (size_t i = 0; i < v.size(); ++i) {
+          SGMLQDB_RETURN_IF_ERROR(EmitValue(v.FieldValue(i), def, node));
+        }
+        return Status::OK();
+      }
+      case ValueKind::kString:
+        if (!v.AsString().empty()) {
+          node->children.push_back(DocNode::Text(v.AsString()));
+        }
+        return Status::OK();
+      default:
+        return Status::Internal("unexpected value in structural content: " +
+                                v.ToString());
+    }
+  }
+
+  const Database& db_;
+  const Dtd& dtd_;
+  std::map<std::string, std::string> element_of_class_;
+  std::map<uint64_t, std::string> id_of_;
+  std::set<uint64_t> visited_;
+  size_t next_id_ = 1;
+};
+
+}  // namespace
+
+Result<sgml::Document> ExportDocument(const Database& db, const Dtd& dtd,
+                                      ObjectId root) {
+  return Exporter(db, dtd).Run(root);
+}
+
+Result<std::string> ExportDocumentText(const Database& db, const Dtd& dtd,
+                                       ObjectId root) {
+  SGMLQDB_ASSIGN_OR_RETURN(sgml::Document doc, ExportDocument(db, dtd, root));
+  return sgml::SerializeDocument(doc);
+}
+
+}  // namespace sgmlqdb::mapping

@@ -1,0 +1,35 @@
+// Instance -> SGML: the inverse mapping the paper's footnote 1 and §6
+// mention ("providing the means to update the document from the
+// database"). Rebuilds a document tree from an element object by
+// walking its value along the same structural rules the loader used,
+// then serializes it.
+//
+// ID/IDREF attributes: the original identifier strings are not stored
+// in the database (Fig. 3 keeps object references only), so the
+// exporter synthesizes fresh identifiers ("id1", "id2", ...) for
+// objects that are referenced.
+
+#ifndef SGMLQDB_MAPPING_EXPORTER_H_
+#define SGMLQDB_MAPPING_EXPORTER_H_
+
+#include "base/status.h"
+#include "om/database.h"
+#include "sgml/document.h"
+#include "sgml/dtd.h"
+
+namespace sgmlqdb::mapping {
+
+/// Rebuilds the document tree rooted at `root` (an object created by
+/// the loader for a `dtd.doctype()`-mapped class).
+Result<sgml::Document> ExportDocument(const om::Database& db,
+                                      const sgml::Dtd& dtd,
+                                      om::ObjectId root);
+
+/// Convenience: export + serialize to normalized SGML text.
+Result<std::string> ExportDocumentText(const om::Database& db,
+                                       const sgml::Dtd& dtd,
+                                       om::ObjectId root);
+
+}  // namespace sgmlqdb::mapping
+
+#endif  // SGMLQDB_MAPPING_EXPORTER_H_

@@ -1,0 +1,646 @@
+#include "mapping/loader.h"
+
+#include <map>
+#include <optional>
+
+#include "base/strutil.h"
+#include "mapping/names.h"
+#include "mapping/schema_compiler.h"
+#include "om/typecheck.h"
+#include "sgml/automaton.h"
+
+namespace sgmlqdb::mapping {
+
+using om::Database;
+using om::ObjectId;
+using om::Value;
+using sgml::AttributeDef;
+using sgml::ContentNode;
+using sgml::DocNode;
+using sgml::Dtd;
+using sgml::ElementDef;
+using sgml::Occurrence;
+
+namespace {
+
+/// A structural parse of an element's children against its content
+/// model, expressed over child indices (no objects created while the
+/// backtracking matcher runs).
+struct Plan {
+  enum class Kind { kChild, kList, kTuple, kNil };
+  Kind kind = Kind::kNil;
+  size_t child_index = 0;                              // kChild
+  std::vector<Plan> elements;                          // kList
+  std::vector<std::pair<std::string, Plan>> fields;    // kTuple
+
+  static Plan Child(size_t i) {
+    Plan p;
+    p.kind = Kind::kChild;
+    p.child_index = i;
+    return p;
+  }
+  static Plan List(std::vector<Plan> elems) {
+    Plan p;
+    p.kind = Kind::kList;
+    p.elements = std::move(elems);
+    return p;
+  }
+  static Plan Tuple(std::vector<std::pair<std::string, Plan>> fields) {
+    Plan p;
+    p.kind = Kind::kTuple;
+    p.fields = std::move(fields);
+    return p;
+  }
+  static Plan Nil() { return Plan(); }
+};
+
+/// Matches element children against a content model, mirroring the
+/// field naming of schema_compiler.cc.
+class Matcher {
+ public:
+  explicit Matcher(const std::vector<const DocNode*>& kids) : kids_(kids) {}
+
+  /// Matches a whole element-content model; consumes all children.
+  std::optional<Plan> MatchContent(const ContentNode& model) {
+    bool repeated = model.occurrence == Occurrence::kPlus ||
+                    model.occurrence == Occurrence::kStar;
+    if (repeated) {
+      // One list entry per repetition of the group (the group itself
+      // is matched with occurrence One), greedy longest.
+      ContentNode group = model;
+      group.occurrence = Occurrence::kOne;
+      std::vector<Plan> items;
+      size_t i = 0;
+      while (i < kids_.size()) {
+        std::optional<std::pair<size_t, Plan>> m =
+            MatchGroupLongest(group, i, kids_.size());
+        if (!m.has_value() || m->first == i) return std::nullopt;
+        items.push_back(std::move(m->second));
+        i = m->first;
+      }
+      if (items.empty() && model.occurrence == Occurrence::kPlus) {
+        return std::nullopt;
+      }
+      // Field naming matches the schema compiler: plural element name
+      // for a repeated element model, "items" otherwise.
+      std::string field = model.kind == ContentNode::Kind::kElement
+                              ? PluralFieldNameFor(model.element_name)
+                              : "items";
+      return Plan::Tuple({{field, Plan::List(std::move(items))}});
+    }
+    switch (model.kind) {
+      case ContentNode::Kind::kSeq: {
+        size_t counter = 1;
+        std::vector<std::pair<std::string, Plan>> fields;
+        if (!MatchItems(model.children, 0, 0, kids_.size(), &counter,
+                        &fields)) {
+          return std::nullopt;
+        }
+        return Plan::Tuple(std::move(fields));
+      }
+      case ContentNode::Kind::kChoice:
+      case ContentNode::Kind::kAll: {
+        std::optional<Plan> p = MatchChoice(model, 0, kids_.size());
+        if (!p.has_value()) return std::nullopt;
+        return p;
+      }
+      case ContentNode::Kind::kElement: {
+        size_t counter = 1;
+        std::vector<std::pair<std::string, Plan>> fields;
+        if (!MatchItems({model}, 0, 0, kids_.size(), &counter, &fields)) {
+          return std::nullopt;
+        }
+        return Plan::Tuple(std::move(fields));
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+ private:
+  bool ChildIs(size_t i, const std::string& name) const {
+    return i < kids_.size() && kids_[i]->name == name;
+  }
+
+  /// Matches `items[idx..]` against children [i, end).
+  bool MatchItems(const std::vector<ContentNode>& items, size_t idx,
+                  size_t i, size_t end, size_t* counter,
+                  std::vector<std::pair<std::string, Plan>>* fields) {
+    if (idx == items.size()) return i == end;
+    const ContentNode& item = items[idx];
+    if (item.kind == ContentNode::Kind::kElement) {
+      switch (item.occurrence) {
+        case Occurrence::kOne: {
+          if (!ChildIs(i, item.element_name) || i >= end) return false;
+          fields->emplace_back(FieldNameFor(item.element_name),
+                               Plan::Child(i));
+          if (MatchItems(items, idx + 1, i + 1, end, counter, fields)) {
+            return true;
+          }
+          fields->pop_back();
+          return false;
+        }
+        case Occurrence::kOpt: {
+          if (i < end && ChildIs(i, item.element_name)) {
+            fields->emplace_back(FieldNameFor(item.element_name),
+                                 Plan::Child(i));
+            if (MatchItems(items, idx + 1, i + 1, end, counter, fields)) {
+              return true;
+            }
+            fields->pop_back();
+          }
+          fields->emplace_back(FieldNameFor(item.element_name), Plan::Nil());
+          if (MatchItems(items, idx + 1, i, end, counter, fields)) {
+            return true;
+          }
+          fields->pop_back();
+          return false;
+        }
+        case Occurrence::kPlus:
+        case Occurrence::kStar: {
+          size_t max = i;
+          while (max < end && ChildIs(max, item.element_name)) ++max;
+          size_t min =
+              item.occurrence == Occurrence::kPlus ? i + 1 : i;
+          for (size_t stop = max; stop + 1 > min; --stop) {
+            std::vector<Plan> elems;
+            for (size_t k = i; k < stop; ++k) elems.push_back(Plan::Child(k));
+            fields->emplace_back(PluralFieldNameFor(item.element_name),
+                                 Plan::List(std::move(elems)));
+            if (MatchItems(items, idx + 1, stop, end, counter, fields)) {
+              return true;
+            }
+            fields->pop_back();
+            if (stop == 0) break;  // size_t underflow guard
+          }
+          return false;
+        }
+      }
+      return false;
+    }
+    if (item.kind == ContentNode::Kind::kPcdata) {
+      // Text is handled outside structural matching.
+      return MatchItems(items, idx + 1, i, end, counter, fields);
+    }
+    // Nested group item: system-supplied attribute name, mirroring the
+    // compiler's counter.
+    std::string field_name = SystemMarker((*counter)++);
+    bool repeated = item.occurrence == Occurrence::kPlus ||
+                    item.occurrence == Occurrence::kStar;
+    if (repeated) {
+      // Greedy repetition of the group, then continue.
+      std::vector<Plan> elems;
+      size_t pos = i;
+      while (pos < end) {
+        std::optional<std::pair<size_t, Plan>> m =
+            MatchGroupLongest(item, pos, end);
+        if (!m.has_value() || m->first == pos) break;
+        elems.push_back(std::move(m->second));
+        pos = m->first;
+      }
+      if (item.occurrence == Occurrence::kPlus && elems.empty()) {
+        *counter -= 1;
+        return false;
+      }
+      fields->emplace_back(field_name, Plan::List(std::move(elems)));
+      if (MatchItems(items, idx + 1, pos, end, counter, fields)) return true;
+      fields->pop_back();
+      *counter -= 1;
+      return false;
+    }
+    // Single (or optional) group: try every split point, longest
+    // first.
+    for (size_t split = end + 1; split-- > i;) {
+      std::optional<Plan> g = MatchGroupExact(item, i, split);
+      if (!g.has_value()) {
+        if (split == i && item.occurrence == Occurrence::kOpt) {
+          fields->emplace_back(field_name, Plan::Nil());
+          if (MatchItems(items, idx + 1, i, end, counter, fields)) {
+            return true;
+          }
+          fields->pop_back();
+        }
+        continue;
+      }
+      fields->emplace_back(field_name, std::move(*g));
+      if (MatchItems(items, idx + 1, split, end, counter, fields)) {
+        return true;
+      }
+      fields->pop_back();
+    }
+    *counter -= 1;
+    return false;
+  }
+
+  /// Matches a group against exactly [i, end).
+  std::optional<Plan> MatchGroupExact(const ContentNode& group, size_t i,
+                                      size_t end) {
+    switch (group.kind) {
+      case ContentNode::Kind::kSeq: {
+        size_t counter = 1;
+        std::vector<std::pair<std::string, Plan>> fields;
+        if (!MatchItems(group.children, 0, i, end, &counter, &fields)) {
+          return std::nullopt;
+        }
+        return Plan::Tuple(std::move(fields));
+      }
+      case ContentNode::Kind::kChoice:
+      case ContentNode::Kind::kAll:
+        return MatchChoice(group, i, end);
+      case ContentNode::Kind::kElement: {
+        if (group.occurrence == Occurrence::kOne) {
+          if (end == i + 1 && ChildIs(i, group.element_name)) {
+            return Plan::Child(i);
+          }
+          return std::nullopt;
+        }
+        // Repeated element as a whole group.
+        std::vector<Plan> elems;
+        for (size_t k = i; k < end; ++k) {
+          if (!ChildIs(k, group.element_name)) return std::nullopt;
+          elems.push_back(Plan::Child(k));
+        }
+        if (elems.empty() && group.occurrence == Occurrence::kPlus) {
+          return std::nullopt;
+        }
+        return Plan::List(std::move(elems));
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Longest match of a group starting at `i` (for repetitions).
+  std::optional<std::pair<size_t, Plan>> MatchGroupLongest(
+      const ContentNode& group, size_t i, size_t end) {
+    for (size_t stop = end + 1; stop-- > i;) {
+      std::optional<Plan> p = MatchGroupExact(group, i, stop);
+      if (p.has_value()) return std::make_pair(stop, std::move(*p));
+      if (stop == i) break;
+    }
+    return std::nullopt;
+  }
+
+  /// Matches a choice group over exactly [i, end): the marked-union
+  /// value of the first arm that fits. Marker naming mirrors
+  /// UnionForChoice in schema_compiler.cc.
+  std::optional<Plan> MatchChoice(const ContentNode& node, size_t i,
+                                  size_t end) {
+    ContentNode choice = node;
+    if (node.kind == ContentNode::Kind::kAll) {
+      auto expanded = sgml::ExpandAllGroups(node);
+      if (!expanded.ok()) return std::nullopt;
+      choice = std::move(expanded).value();
+    }
+    bool all_plain = true;
+    for (const ContentNode& arm : choice.children) {
+      if (arm.kind != ContentNode::Kind::kElement ||
+          arm.occurrence != Occurrence::kOne) {
+        all_plain = false;
+        break;
+      }
+    }
+    size_t k = 1;
+    for (const ContentNode& arm : choice.children) {
+      std::string marker = all_plain ? FieldNameFor(arm.element_name)
+                                     : SystemMarker(k);
+      ++k;
+      std::optional<Plan> p = MatchGroupExact(arm, i, end);
+      if (p.has_value()) {
+        return Plan::Tuple({{marker, std::move(*p)}});
+      }
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<const DocNode*>& kids_;
+};
+
+/// Pending ID/IDREF fixups collected during the first pass.
+struct Fixups {
+  // id value -> object carrying the ID.
+  std::map<std::string, ObjectId> id_to_oid;
+  // (referencing oid, attribute, referenced id).
+  struct Ref {
+    ObjectId source;
+    std::string attribute;
+    std::string target_id;
+    bool is_list;  // IDREFS
+  };
+  std::vector<Ref> refs;
+  // oid -> name of its ID attribute (for back-reference lists).
+  std::map<uint64_t, std::string> id_attr_of;
+};
+
+class Loader {
+ public:
+  Loader(const Dtd& dtd, Database* db) : dtd_(dtd), db_(db) {}
+
+  Result<LoadedDocument> Load(const sgml::Document& doc) {
+    SGMLQDB_ASSIGN_OR_RETURN(ObjectId root, LoadElement(doc.root));
+    SGMLQDB_RETURN_IF_ERROR(ResolveReferences());
+    LoadedDocument out;
+    out.root = root;
+    out.element_texts = std::move(element_texts_);
+    // Append to the doctype's persistence root when present.
+    const std::string root_name = RootNameFor(dtd_.doctype());
+    if (db_->schema().FindName(root_name) != nullptr &&
+        doc.root.name == dtd_.doctype()) {
+      std::vector<Value> list;
+      Result<Value> existing = db_->LookupName(root_name);
+      if (existing.ok() && existing.value().kind() == om::ValueKind::kList) {
+        for (size_t i = 0; i < existing.value().size(); ++i) {
+          list.push_back(existing.value().Element(i));
+        }
+      }
+      list.push_back(Value::Object(root));
+      SGMLQDB_RETURN_IF_ERROR(db_->BindName(root_name,
+                                            Value::List(std::move(list))));
+    }
+    return out;
+  }
+
+ private:
+  Result<ObjectId> LoadElement(const DocNode& node) {
+    const ElementDef* def = dtd_.FindElement(node.name);
+    if (def == nullptr) {
+      return Status::NotFound("element '" + node.name +
+                              "' has no DTD declaration");
+    }
+    // Create the object first so children loaded during value
+    // construction can refer back (not needed today, but keeps oid
+    // order = document order).
+    SGMLQDB_ASSIGN_OR_RETURN(
+        ObjectId oid, db_->NewObject(ClassNameFor(node.name), Value::Nil()));
+    element_texts_.emplace_back(oid, node.InnerText());
+
+    std::vector<std::pair<std::string, Value>> fields;
+    ElementShape shape = ShapeOf(*def);
+    switch (shape) {
+      case ElementShape::kText:
+        fields.emplace_back(std::string(kContentAttr),
+                            Value::String(node.InnerText()));
+        break;
+      case ElementShape::kBitmap: {
+        // `file` comes from an ENTITY attribute when present.
+        std::string file;
+        if (const std::string* v = node.FindAttribute(kFileAttr)) {
+          const sgml::EntityDef* e = dtd_.FindEntity(*v);
+          file = (e != nullptr && e->is_external) ? e->system_id : *v;
+        }
+        fields.emplace_back(std::string(kFileAttr), Value::String(file));
+        break;
+      }
+      case ElementShape::kMixed: {
+        std::vector<Value> items;
+        for (const DocNode& c : node.children) {
+          if (c.is_text()) {
+            items.push_back(Value::Tuple(
+                {{std::string(kPcdataMarker), Value::String(c.text)}}));
+          } else {
+            SGMLQDB_ASSIGN_OR_RETURN(ObjectId child, LoadElement(c));
+            items.push_back(Value::Tuple(
+                {{FieldNameFor(c.name), Value::Object(child)}}));
+          }
+        }
+        fields.emplace_back("items", Value::List(std::move(items)));
+        break;
+      }
+      case ElementShape::kStruct: {
+        std::vector<const DocNode*> kids;
+        for (const DocNode& c : node.children) {
+          if (!c.is_text()) kids.push_back(&c);
+        }
+        Matcher matcher(kids);
+        std::optional<Plan> plan = matcher.MatchContent(def->content);
+        if (!plan.has_value()) {
+          return Status::Internal(
+              "children of element '" + node.name +
+              "' do not match its content model " + def->content.ToString() +
+              " (document not validated?)");
+        }
+        SGMLQDB_ASSIGN_OR_RETURN(Value v, Materialize(*plan, kids));
+        if (v.kind() == om::ValueKind::kTuple && !plan->fields.empty() &&
+            plan->kind == Plan::Kind::kTuple) {
+          for (size_t i = 0; i < v.size(); ++i) {
+            fields.emplace_back(v.FieldName(i), v.FieldValue(i));
+          }
+        } else {
+          // Union-typed content (choice at top level): the value IS
+          // the marked union; attributes are rejected by the compiler
+          // for this shape, so store it directly.
+          SGMLQDB_RETURN_IF_ERROR(db_->SetObjectValue(oid, v));
+          SGMLQDB_RETURN_IF_ERROR(
+              RegisterAttributes(*def, node, oid, nullptr));
+          return oid;
+        }
+        break;
+      }
+    }
+    SGMLQDB_RETURN_IF_ERROR(RegisterAttributes(*def, node, oid, &fields));
+    SGMLQDB_RETURN_IF_ERROR(
+        db_->SetObjectValue(oid, Value::Tuple(std::move(fields))));
+    return oid;
+  }
+
+  /// Appends ATTLIST attribute fields (when `fields` is non-null) and
+  /// records ID/IDREF bookkeeping.
+  Status RegisterAttributes(
+      const ElementDef& def, const DocNode& node, ObjectId oid,
+      std::vector<std::pair<std::string, Value>>* fields) {
+    for (const AttributeDef& a : def.attributes) {
+      const std::string* raw = node.FindAttribute(a.name);
+      switch (a.type) {
+        case AttributeDef::DeclaredType::kId: {
+          if (raw != nullptr) {
+            fixups_.id_to_oid[*raw] = oid;
+          }
+          fixups_.id_attr_of[oid.id()] = a.name;
+          if (fields != nullptr) {
+            fields->emplace_back(a.name, Value::List({}));
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kIdref: {
+          if (raw != nullptr) {
+            fixups_.refs.push_back(
+                Fixups::Ref{oid, a.name, *raw, /*is_list=*/false});
+          }
+          if (fields != nullptr) {
+            fields->emplace_back(a.name, Value::Nil());
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kIdrefs: {
+          if (raw != nullptr) {
+            for (const std::string& part : Split(*raw, ' ')) {
+              if (part.empty()) continue;
+              fixups_.refs.push_back(
+                  Fixups::Ref{oid, a.name, part, /*is_list=*/true});
+            }
+          }
+          if (fields != nullptr) {
+            fields->emplace_back(a.name, Value::List({}));
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kEntity: {
+          // Resolved by the kBitmap shape when it shadows `file`;
+          // otherwise store the entity's expansion.
+          if (fields != nullptr) {
+            bool shadowed = false;
+            for (const auto& [n, v] : *fields) {
+              if (n == a.name) shadowed = true;
+            }
+            if (!shadowed) {
+              std::string value;
+              if (raw != nullptr) {
+                const sgml::EntityDef* e = dtd_.FindEntity(*raw);
+                value = (e != nullptr && e->is_external) ? e->system_id
+                        : (e != nullptr)                 ? e->replacement
+                                                         : *raw;
+              }
+              fields->emplace_back(
+                  a.name, raw != nullptr ? Value::String(value)
+                                         : Value::Nil());
+            }
+          }
+          break;
+        }
+        default: {
+          if (fields != nullptr) {
+            bool shadowed = false;
+            for (const auto& [n, v] : *fields) {
+              if (n == a.name) shadowed = true;
+            }
+            if (!shadowed) {
+              fields->emplace_back(a.name, raw != nullptr
+                                               ? Value::String(*raw)
+                                               : Value::Nil());
+            }
+          }
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Value> Materialize(const Plan& plan,
+                            const std::vector<const DocNode*>& kids) {
+    switch (plan.kind) {
+      case Plan::Kind::kNil:
+        return Value::Nil();
+      case Plan::Kind::kChild: {
+        SGMLQDB_ASSIGN_OR_RETURN(ObjectId oid,
+                                 LoadElement(*kids[plan.child_index]));
+        return Value::Object(oid);
+      }
+      case Plan::Kind::kList: {
+        std::vector<Value> elems;
+        for (const Plan& p : plan.elements) {
+          SGMLQDB_ASSIGN_OR_RETURN(Value v, Materialize(p, kids));
+          elems.push_back(std::move(v));
+        }
+        return Value::List(std::move(elems));
+      }
+      case Plan::Kind::kTuple: {
+        std::vector<std::pair<std::string, Value>> fields;
+        for (const auto& [name, p] : plan.fields) {
+          SGMLQDB_ASSIGN_OR_RETURN(Value v, Materialize(p, kids));
+          fields.emplace_back(name, std::move(v));
+        }
+        return Value::Tuple(std::move(fields));
+      }
+    }
+    return Status::Internal("unhandled plan kind");
+  }
+
+  Status ResolveReferences() {
+    for (const Fixups::Ref& ref : fixups_.refs) {
+      auto it = fixups_.id_to_oid.find(ref.target_id);
+      if (it == fixups_.id_to_oid.end()) {
+        return Status::NotFound("IDREF '" + ref.target_id +
+                                "' has no matching ID");
+      }
+      ObjectId target = it->second;
+      // Set the forward reference on the source.
+      SGMLQDB_ASSIGN_OR_RETURN(Value src_val, db_->Deref(ref.source));
+      SGMLQDB_ASSIGN_OR_RETURN(
+          Value new_src,
+          SetTupleField(src_val, ref.attribute, Value::Object(target),
+                        ref.is_list));
+      SGMLQDB_RETURN_IF_ERROR(db_->SetObjectValue(ref.source, new_src));
+      // Append the back reference on the target's ID attribute.
+      auto id_attr = fixups_.id_attr_of.find(target.id());
+      if (id_attr != fixups_.id_attr_of.end()) {
+        SGMLQDB_ASSIGN_OR_RETURN(Value tgt_val, db_->Deref(target));
+        SGMLQDB_ASSIGN_OR_RETURN(
+            Value new_tgt,
+            SetTupleField(tgt_val, id_attr->second,
+                          Value::Object(ref.source), /*append=*/true));
+        SGMLQDB_RETURN_IF_ERROR(db_->SetObjectValue(target, new_tgt));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Returns `tuple` with `attr` replaced by `v` (append=false) or
+  /// with `v` appended to the attr's list (append=true).
+  static Result<Value> SetTupleField(const Value& tuple,
+                                     const std::string& attr, Value v,
+                                     bool append) {
+    if (tuple.kind() != om::ValueKind::kTuple) {
+      return Status::Internal("cannot set attribute on non-tuple");
+    }
+    std::vector<std::pair<std::string, Value>> fields;
+    bool found = false;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      Value fv = tuple.FieldValue(i);
+      if (tuple.FieldName(i) == attr) {
+        found = true;
+        if (append) {
+          std::vector<Value> elems;
+          if (fv.kind() == om::ValueKind::kList) {
+            for (size_t k = 0; k < fv.size(); ++k) {
+              elems.push_back(fv.Element(k));
+            }
+          }
+          elems.push_back(v);
+          fv = Value::List(std::move(elems));
+        } else {
+          fv = v;
+        }
+      }
+      fields.emplace_back(tuple.FieldName(i), std::move(fv));
+    }
+    if (!found) {
+      return Status::Internal("attribute '" + attr + "' absent in value");
+    }
+    return Value::Tuple(std::move(fields));
+  }
+
+  const Dtd& dtd_;
+  Database* db_;
+  Fixups fixups_;
+  std::vector<std::pair<ObjectId, std::string>> element_texts_;
+};
+
+}  // namespace
+
+Result<LoadedDocument> LoadDocument(const Dtd& dtd,
+                                    const sgml::Document& doc,
+                                    Database* db) {
+  return Loader(dtd, db).Load(doc);
+}
+
+Result<LoadedDocument> LoadDocumentText(const Dtd& dtd,
+                                        std::string_view sgml_text,
+                                        Database* db) {
+  SGMLQDB_ASSIGN_OR_RETURN(sgml::Document doc,
+                           sgml::ParseDocument(dtd, sgml_text));
+  SGMLQDB_RETURN_IF_ERROR(sgml::ValidateDocument(dtd, doc));
+  return LoadDocument(dtd, doc, db);
+}
+
+}  // namespace sgmlqdb::mapping

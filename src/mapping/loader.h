@@ -1,0 +1,48 @@
+// Document instance -> database objects (paper §3: "map ... a
+// document instance into corresponding objects and values", in the
+// spirit of annotating the grammar with semantic actions).
+//
+// Every element becomes an object of its mapped class; the object's
+// value follows the structural rules of schema_compiler.h. ID/IDREF
+// attributes are resolved in a second pass into object references
+// (IDREF -> the referenced object; ID -> the list of referencing
+// objects, as in Fig. 3's `private label: list(Object)`).
+
+#ifndef SGMLQDB_MAPPING_LOADER_H_
+#define SGMLQDB_MAPPING_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "om/database.h"
+#include "sgml/document.h"
+#include "sgml/dtd.h"
+
+namespace sgmlqdb::mapping {
+
+struct LoadedDocument {
+  /// The object created for the root element.
+  om::ObjectId root;
+  /// (oid, inner text) for every element object, in document order —
+  /// feeds the paper's `text()` inverse mapping and the full-text
+  /// index.
+  std::vector<std::pair<om::ObjectId, std::string>> element_texts;
+};
+
+/// Loads a parsed document into `db`, whose schema must be (or
+/// contain) the CompileDtdToSchema image of `dtd`. Also appends the
+/// new root object to the doctype's persistence root list (e.g.
+/// `Articles`) when that root exists in the schema.
+Result<LoadedDocument> LoadDocument(const sgml::Dtd& dtd,
+                                    const sgml::Document& doc,
+                                    om::Database* db);
+
+/// Convenience: parse + validate + load.
+Result<LoadedDocument> LoadDocumentText(const sgml::Dtd& dtd,
+                                        std::string_view sgml_text,
+                                        om::Database* db);
+
+}  // namespace sgmlqdb::mapping
+
+#endif  // SGMLQDB_MAPPING_LOADER_H_

@@ -1,0 +1,41 @@
+#include "mapping/names.h"
+
+#include <cctype>
+
+namespace sgmlqdb::mapping {
+
+std::string ClassNameFor(std::string_view element) {
+  std::string out(element);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+std::string FieldNameFor(std::string_view element) {
+  return std::string(element);
+}
+
+std::string PluralFieldNameFor(std::string_view element) {
+  std::string out(element);
+  auto is_vowel = [](char c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+  };
+  if (out.size() >= 2 && out.back() == 'y' && !is_vowel(out[out.size() - 2])) {
+    out.pop_back();
+    out += "ies";
+  } else if (!out.empty() && (out.back() == 's' || out.back() == 'x')) {
+    out += "es";
+  } else {
+    out += "s";
+  }
+  return out;
+}
+
+std::string SystemMarker(size_t k) { return "a" + std::to_string(k); }
+
+std::string RootNameFor(std::string_view doctype) {
+  return ClassNameFor(PluralFieldNameFor(doctype));
+}
+
+}  // namespace sgmlqdb::mapping

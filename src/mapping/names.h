@@ -1,0 +1,45 @@
+// Naming conventions of the Figure 3 mapping:
+//   element `article`  -> class  `Article`
+//   component `author+` -> attribute `authors: list(Author)`
+//   component `body+`   -> attribute `bodies: list(Body)`
+//   unnamed groups      -> system-supplied markers a1, a2, ...
+
+#ifndef SGMLQDB_MAPPING_NAMES_H_
+#define SGMLQDB_MAPPING_NAMES_H_
+
+#include <string>
+#include <string_view>
+
+namespace sgmlqdb::mapping {
+
+/// "article" -> "Article", "subsectn" -> "Subsectn".
+std::string ClassNameFor(std::string_view element);
+
+/// Attribute name for a non-repeated component: the element name.
+std::string FieldNameFor(std::string_view element);
+
+/// Attribute name for a repeated (+/*) component: naive English
+/// plural — "author" -> "authors", "body" -> "bodies".
+std::string PluralFieldNameFor(std::string_view element);
+
+/// System-supplied marker for the k-th unnamed alternative (1-based):
+/// "a1", "a2", ...
+std::string SystemMarker(size_t k);
+
+/// Names of the base classes supplied by the mapping.
+inline constexpr std::string_view kTextClass = "Text";
+inline constexpr std::string_view kBitmapClass = "Bitmap";
+/// The attribute holding character data of Text-derived classes.
+inline constexpr std::string_view kContentAttr = "content";
+/// The attribute holding the external data reference of Bitmap
+/// classes.
+inline constexpr std::string_view kFileAttr = "file";
+/// The marker used for character-data alternatives in mixed content.
+inline constexpr std::string_view kPcdataMarker = "pcdata";
+
+/// Persistence root for a doctype: "article" -> "Articles".
+std::string RootNameFor(std::string_view doctype);
+
+}  // namespace sgmlqdb::mapping
+
+#endif  // SGMLQDB_MAPPING_NAMES_H_

@@ -1,0 +1,427 @@
+#include "mapping/schema_compiler.h"
+
+#include <vector>
+
+#include "mapping/names.h"
+#include "om/subtype.h"
+#include "sgml/automaton.h"
+
+namespace sgmlqdb::mapping {
+
+using om::Constraint;
+using om::Schema;
+using om::Type;
+using sgml::AttributeDef;
+using sgml::ContentNode;
+using sgml::Dtd;
+using sgml::ElementDef;
+using sgml::Occurrence;
+
+ElementShape ShapeOf(const ElementDef& def) {
+  if (def.content.IsEmptyDecl()) return ElementShape::kBitmap;
+  if (def.content.kind == ContentNode::Kind::kPcdata) {
+    return ElementShape::kText;
+  }
+  if (def.content.AllowsPcdata()) return ElementShape::kMixed;
+  return ElementShape::kStruct;
+}
+
+namespace {
+
+/// One structural attribute derived from a content-model component.
+struct FieldSpec {
+  std::string name;
+  Type type;
+  bool not_nil = false;
+  bool non_empty = false;
+};
+
+class ElementTypeBuilder {
+ public:
+  /// Translates a content-model group into attribute specs (sequence
+  /// context) or a whole type (choice / repetition contexts).
+  Result<std::vector<FieldSpec>> FieldsForItems(
+      const std::vector<ContentNode>& items) {
+    std::vector<FieldSpec> fields;
+    for (const ContentNode& item : items) {
+      SGMLQDB_ASSIGN_OR_RETURN(FieldSpec f, FieldForItem(item));
+      for (const FieldSpec& existing : fields) {
+        if (existing.name == f.name) {
+          return Status::Unsupported(
+              "content model repeats component '" + f.name +
+              "' in one sequence; the mapping cannot derive distinct "
+              "attribute names");
+        }
+      }
+      fields.push_back(std::move(f));
+    }
+    return fields;
+  }
+
+  Result<FieldSpec> FieldForItem(const ContentNode& item) {
+    FieldSpec f;
+    if (item.kind == ContentNode::Kind::kElement) {
+      Type cls = Type::Class(ClassNameFor(item.element_name));
+      switch (item.occurrence) {
+        case Occurrence::kOne:
+          f.name = FieldNameFor(item.element_name);
+          f.type = cls;
+          f.not_nil = true;
+          break;
+        case Occurrence::kOpt:
+          f.name = FieldNameFor(item.element_name);
+          f.type = cls;
+          break;
+        case Occurrence::kPlus:
+          f.name = PluralFieldNameFor(item.element_name);
+          f.type = Type::List(cls);
+          f.non_empty = true;
+          break;
+        case Occurrence::kStar:
+          f.name = PluralFieldNameFor(item.element_name);
+          f.type = Type::List(cls);
+          break;
+      }
+      return f;
+    }
+    if (item.kind == ContentNode::Kind::kPcdata) {
+      f.name = std::string(kContentAttr);
+      f.type = Type::String();
+      return f;
+    }
+    // Nested group: system-supplied attribute name.
+    SGMLQDB_ASSIGN_OR_RETURN(Type inner, TypeForGroup(item));
+    f.name = SystemMarker(next_system_field_++);
+    switch (item.occurrence) {
+      case Occurrence::kOne:
+        f.type = inner;
+        break;
+      case Occurrence::kOpt:
+        f.type = inner;
+        break;
+      case Occurrence::kPlus:
+        f.type = Type::List(inner);
+        f.non_empty = true;
+        break;
+      case Occurrence::kStar:
+        f.type = Type::List(inner);
+        break;
+    }
+    return f;
+  }
+
+  /// Type of a group node, ignoring the group's own occurrence.
+  Result<Type> TypeForGroup(const ContentNode& node) {
+    switch (node.kind) {
+      case ContentNode::Kind::kSeq: {
+        SGMLQDB_ASSIGN_OR_RETURN(std::vector<FieldSpec> fields,
+                                 FieldsForItems(node.children));
+        return TupleOf(fields);
+      }
+      case ContentNode::Kind::kChoice:
+        return UnionForChoice(node);
+      case ContentNode::Kind::kAll: {
+        SGMLQDB_ASSIGN_OR_RETURN(ContentNode expanded,
+                                 sgml::ExpandAllGroups(node));
+        return UnionForChoice(expanded);
+      }
+      case ContentNode::Kind::kElement:
+        return Type::Class(ClassNameFor(node.element_name));
+      case ContentNode::Kind::kPcdata:
+        return Type::String();
+      case ContentNode::Kind::kEmpty:
+        return Status::Internal("EMPTY inside a model group");
+    }
+    return Status::Internal("unhandled content node kind");
+  }
+
+  /// Union type for a choice group. When every alternative is a plain
+  /// element with occurrence One, markers are the element field names
+  /// (class Body in Fig. 3); otherwise system markers a1.. (Section).
+  Result<Type> UnionForChoice(const ContentNode& node) {
+    bool all_plain = true;
+    for (const ContentNode& arm : node.children) {
+      if (arm.kind != ContentNode::Kind::kElement ||
+          arm.occurrence != Occurrence::kOne) {
+        all_plain = false;
+        break;
+      }
+    }
+    std::vector<std::pair<std::string, Type>> alts;
+    size_t k = 1;
+    for (const ContentNode& arm : node.children) {
+      if (all_plain) {
+        alts.emplace_back(FieldNameFor(arm.element_name),
+                          Type::Class(ClassNameFor(arm.element_name)));
+        continue;
+      }
+      SGMLQDB_ASSIGN_OR_RETURN(Type arm_type, TypeForArm(arm));
+      alts.emplace_back(SystemMarker(k++), arm_type);
+    }
+    return Type::Union(std::move(alts));
+  }
+
+  /// Type for one union arm: a sequence arm becomes a tuple; an
+  /// element arm its class (with its occurrence applied).
+  Result<Type> TypeForArm(const ContentNode& arm) {
+    if (arm.kind == ContentNode::Kind::kElement) {
+      Type cls = Type::Class(ClassNameFor(arm.element_name));
+      if (arm.occurrence == Occurrence::kPlus ||
+          arm.occurrence == Occurrence::kStar) {
+        return Type::List(cls);
+      }
+      return cls;
+    }
+    // Each arm builds its own tuple from scratch (system field
+    // counters are per arm in Fig. 3 — both Section arms start with
+    // their own attribute list).
+    ElementTypeBuilder arm_builder;
+    if (arm.kind == ContentNode::Kind::kSeq &&
+        arm.occurrence == Occurrence::kOne) {
+      SGMLQDB_ASSIGN_OR_RETURN(std::vector<FieldSpec> fields,
+                               arm_builder.FieldsForItems(arm.children));
+      // Arm constraints are recorded by the caller via arm_fields().
+      last_arm_fields_ = fields;
+      return TupleOf(fields);
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(Type t, arm_builder.TypeForGroup(arm));
+    last_arm_fields_.clear();
+    if (arm.occurrence == Occurrence::kPlus ||
+        arm.occurrence == Occurrence::kStar) {
+      return Type::List(t);
+    }
+    return t;
+  }
+
+  static Type TupleOf(const std::vector<FieldSpec>& fields) {
+    std::vector<std::pair<std::string, Type>> tf;
+    tf.reserve(fields.size());
+    for (const FieldSpec& f : fields) tf.emplace_back(f.name, f.type);
+    return Type::Tuple(std::move(tf));
+  }
+
+  const std::vector<FieldSpec>& last_arm_fields() const {
+    return last_arm_fields_;
+  }
+
+ private:
+  size_t next_system_field_ = 1;
+  std::vector<FieldSpec> last_arm_fields_;
+};
+
+/// Appends the constraints for a list of field specs (optionally
+/// scoped to a union alternative).
+void AppendFieldConstraints(const std::vector<FieldSpec>& fields,
+                            const std::string& alternative,
+                            std::vector<Constraint>* out) {
+  for (const FieldSpec& f : fields) {
+    if (f.not_nil) {
+      out->push_back(Constraint{Constraint::Kind::kAttrNotNil, alternative,
+                                f.name,
+                                {}});
+    }
+    if (f.non_empty) {
+      out->push_back(Constraint{Constraint::Kind::kAttrNonEmptyList,
+                                alternative, f.name,
+                                {}});
+    }
+  }
+}
+
+/// Translates ATTLIST attributes into (field, constraint) pairs.
+Result<std::vector<FieldSpec>> FieldsForAttributes(
+    const ElementDef& def, std::vector<Constraint>* constraints,
+    std::vector<std::string>* private_attrs) {
+  std::vector<FieldSpec> fields;
+  for (const AttributeDef& a : def.attributes) {
+    FieldSpec f;
+    f.name = a.name;
+    switch (a.type) {
+      case AttributeDef::DeclaredType::kId:
+      case AttributeDef::DeclaredType::kIdrefs:
+        // ID: the set of objects referencing this one (paper models
+        // cross references with object identity; Fig. 3 Figure.label).
+        f.type = Type::List(Type::Any());
+        break;
+      case AttributeDef::DeclaredType::kIdref:
+        f.type = Type::Any();
+        break;
+      default:
+        f.type = Type::String();
+        break;
+    }
+    if (a.default_kind == AttributeDef::DefaultKind::kRequired) {
+      constraints->push_back(
+          Constraint{Constraint::Kind::kAttrNotNil, "", f.name, {}});
+    }
+    if (a.type == AttributeDef::DeclaredType::kEnumerated) {
+      Constraint c{Constraint::Kind::kAttrInSet, "", f.name, {}};
+      for (const std::string& v : a.enumerated_values) {
+        c.allowed_values.push_back(om::Value::String(v));
+      }
+      constraints->push_back(std::move(c));
+    }
+    private_attrs->push_back(f.name);
+    fields.push_back(std::move(f));
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<om::Schema> CompileDtdToSchema(const Dtd& dtd) {
+  Schema schema;
+  // Base classes supplied by the mapping.
+  Type text_type = Type::Tuple({{std::string(kContentAttr), Type::String()}});
+  Type bitmap_type = Type::Tuple({{std::string(kFileAttr), Type::String()}});
+  SGMLQDB_RETURN_IF_ERROR(schema.AddClass(
+      {std::string(kTextClass), text_type, {}, {}, {}}));
+  SGMLQDB_RETURN_IF_ERROR(schema.AddClass(
+      {std::string(kBitmapClass), bitmap_type, {}, {}, {}}));
+
+  for (const ElementDef& def : dtd.elements()) {
+    om::ClassDef cls;
+    cls.name = ClassNameFor(def.name);
+    std::vector<Constraint> constraints;
+    std::vector<std::string> private_attrs;
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::vector<FieldSpec> attr_fields,
+        FieldsForAttributes(def, &constraints, &private_attrs));
+
+    ElementShape shape = ShapeOf(def);
+    switch (shape) {
+      case ElementShape::kText:
+      case ElementShape::kBitmap: {
+        // The inherited structural attribute comes first so the value
+        // layout matches the effective (inheritance-merged) type; an
+        // ATTLIST attribute with the same name shadows it.
+        std::string_view structural = shape == ElementShape::kText
+                                          ? kContentAttr
+                                          : kFileAttr;
+        cls.parents = {shape == ElementShape::kText
+                           ? std::string(kTextClass)
+                           : std::string(kBitmapClass)};
+        std::vector<FieldSpec> fields;
+        fields.push_back(
+            FieldSpec{std::string(structural), Type::String(), false, false});
+        for (FieldSpec& f : attr_fields) {
+          if (f.name == structural) continue;
+          fields.push_back(std::move(f));
+        }
+        cls.type = ElementTypeBuilder::TupleOf(fields);
+        break;
+      }
+      case ElementShape::kMixed: {
+        // [items: [(pcdata: string + elem: Class + ...)]] + attrs.
+        std::vector<std::pair<std::string, Type>> alts;
+        alts.emplace_back(std::string(kPcdataMarker), Type::String());
+        std::vector<ContentNode> stack = {def.content};
+        std::vector<std::string> seen;
+        while (!stack.empty()) {
+          ContentNode n = stack.back();
+          stack.pop_back();
+          if (n.kind == ContentNode::Kind::kElement) {
+            std::string marker = FieldNameFor(n.element_name);
+            bool dup = false;
+            for (const std::string& s : seen) {
+              if (s == marker) dup = true;
+            }
+            if (!dup) {
+              seen.push_back(marker);
+              alts.emplace_back(marker,
+                                Type::Class(ClassNameFor(n.element_name)));
+            }
+          }
+          for (const ContentNode& c : n.children) stack.push_back(c);
+        }
+        std::vector<FieldSpec> fields;
+        fields.push_back(FieldSpec{"items",
+                                   Type::List(Type::Union(std::move(alts))),
+                                   false, false});
+        fields.insert(fields.end(), attr_fields.begin(), attr_fields.end());
+        cls.type = ElementTypeBuilder::TupleOf(fields);
+        break;
+      }
+      case ElementShape::kStruct: {
+        ElementTypeBuilder builder;
+        const ContentNode& model = def.content;
+        bool repeated = model.occurrence == Occurrence::kPlus ||
+                        model.occurrence == Occurrence::kStar;
+        if (model.kind == ContentNode::Kind::kSeq && !repeated) {
+          SGMLQDB_ASSIGN_OR_RETURN(std::vector<FieldSpec> fields,
+                                   builder.FieldsForItems(model.children));
+          AppendFieldConstraints(fields, "", &constraints);
+          fields.insert(fields.end(), attr_fields.begin(), attr_fields.end());
+          cls.type = ElementTypeBuilder::TupleOf(fields);
+        } else if ((model.kind == ContentNode::Kind::kChoice ||
+                    model.kind == ContentNode::Kind::kAll) &&
+                   !repeated) {
+          if (!attr_fields.empty()) {
+            return Status::Unsupported(
+                "element '" + def.name +
+                "' has both a choice/& content model and attributes; "
+                "this combination is not mapped");
+          }
+          SGMLQDB_ASSIGN_OR_RETURN(cls.type,
+                                   builder.TypeForGroup(model));
+          // Alternative-scoped constraints (class Section in Fig. 3):
+          // recompute each arm to collect its field constraints.
+          if (cls.type.is_union()) {
+            ContentNode choice = model;
+            if (model.kind == ContentNode::Kind::kAll) {
+              SGMLQDB_ASSIGN_OR_RETURN(choice,
+                                       sgml::ExpandAllGroups(model));
+            }
+            size_t k = 1;
+            for (const ContentNode& arm : choice.children) {
+              if (arm.kind == ContentNode::Kind::kSeq) {
+                ElementTypeBuilder arm_builder;
+                SGMLQDB_ASSIGN_OR_RETURN(
+                    std::vector<FieldSpec> arm_fields,
+                    arm_builder.FieldsForItems(arm.children));
+                AppendFieldConstraints(arm_fields, SystemMarker(k),
+                                       &constraints);
+              }
+              ++k;
+            }
+          }
+        } else {
+          // Repeated whole model, or a bare element/other form: wrap.
+          ContentNode group = model;
+          group.occurrence = Occurrence::kOne;
+          SGMLQDB_ASSIGN_OR_RETURN(Type inner, builder.TypeForGroup(group));
+          std::vector<FieldSpec> fields;
+          if (repeated) {
+            // Field naming mirrors FieldForItem: plural element name
+            // for a repeated element, "items" for repeated groups.
+            std::string field = model.kind == ContentNode::Kind::kElement
+                                    ? PluralFieldNameFor(model.element_name)
+                                    : "items";
+            FieldSpec f{std::move(field), Type::List(inner), false,
+                        model.occurrence == Occurrence::kPlus};
+            AppendFieldConstraints({f}, "", &constraints);
+            fields.push_back(std::move(f));
+          } else {
+            fields.push_back(FieldSpec{"item", inner, true, false});
+          }
+          fields.insert(fields.end(), attr_fields.begin(), attr_fields.end());
+          cls.type = ElementTypeBuilder::TupleOf(fields);
+        }
+        break;
+      }
+    }
+    cls.constraints = std::move(constraints);
+    cls.private_attributes = std::move(private_attrs);
+    SGMLQDB_RETURN_IF_ERROR(schema.AddClass(std::move(cls)));
+  }
+
+  if (!dtd.doctype().empty()) {
+    SGMLQDB_RETURN_IF_ERROR(schema.AddName(
+        RootNameFor(dtd.doctype()),
+        Type::List(Type::Class(ClassNameFor(dtd.doctype())))));
+  }
+  SGMLQDB_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace sgmlqdb::mapping

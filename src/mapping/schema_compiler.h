@@ -1,0 +1,48 @@
+// DTD -> O2 schema compilation (paper §3, Figure 1 -> Figure 3).
+//
+// Rules implemented (each is the paper's, with the completion choices
+// documented in DESIGN.md):
+//  * element -> class, named by ClassNameFor;
+//  * #PCDATA elements inherit Text (type [content: string]);
+//  * EMPTY elements inherit Bitmap (type [file: string]);
+//  * "," sequences -> ordered tuples; component names per names.h;
+//  * "|" choices -> marked unions (element-name markers when every
+//    alternative is a plain element, system markers a1.. otherwise);
+//  * "&" groups -> marked union of the permutation tuples (§5.3
+//    Letters example);
+//  * "+" / "*" -> lists ( "+" adds a non-empty-list constraint, "?" a
+//    nilable attribute, plain occurrence a not-nil constraint);
+//  * mixed content -> [items: [(pcdata: string + elem: Class + ...)]];
+//  * ATTLIST attributes -> private attributes appended after the
+//    structural ones: enumerated/CDATA/NMTOKEN/ENTITY -> string (with
+//    an in-set constraint for enumerations), IDREF -> any (resolved to
+//    the referenced object at load), ID -> [any] (back-references),
+//    IDREFS -> [any]; #REQUIRED adds a not-nil constraint;
+//  * persistence root RootNameFor(doctype): list(DoctypeClass).
+
+#ifndef SGMLQDB_MAPPING_SCHEMA_COMPILER_H_
+#define SGMLQDB_MAPPING_SCHEMA_COMPILER_H_
+
+#include "base/status.h"
+#include "om/schema.h"
+#include "sgml/dtd.h"
+
+namespace sgmlqdb::mapping {
+
+/// Compiles a DTD into a validated schema.
+Result<om::Schema> CompileDtdToSchema(const sgml::Dtd& dtd);
+
+/// The structural kind a DTD element maps to (shared with the loader
+/// and exporter so the three traversals agree).
+enum class ElementShape {
+  kText,     // #PCDATA only -> inherits Text
+  kBitmap,   // EMPTY        -> inherits Bitmap
+  kMixed,    // mixed content
+  kStruct,   // element content (tuple / union / list-of)
+};
+
+ElementShape ShapeOf(const sgml::ElementDef& def);
+
+}  // namespace sgmlqdb::mapping
+
+#endif  // SGMLQDB_MAPPING_SCHEMA_COMPILER_H_

@@ -1,0 +1,119 @@
+#include "om/database.h"
+
+namespace sgmlqdb::om {
+
+Result<ObjectId> Database::NewObject(std::string_view class_name, Value v) {
+  if (schema_.FindClass(class_name) == nullptr) {
+    return Status::NotFound("cannot create object of unknown class '" +
+                            std::string(class_name) + "'");
+  }
+  ObjectId oid(next_oid_++);
+  objects_[oid.id()] = ObjectSlot{std::string(class_name), std::move(v)};
+  return oid;
+}
+
+Status Database::SetObjectValue(ObjectId oid, Value v) {
+  auto it = objects_.find(oid.id());
+  if (it == objects_.end()) {
+    return Status::NotFound("unknown oid " + std::to_string(oid.id()));
+  }
+  it->second.value = std::move(v);
+  return Status::OK();
+}
+
+Result<Value> Database::Deref(ObjectId oid) const {
+  auto it = objects_.find(oid.id());
+  if (it == objects_.end()) {
+    return Status::NotFound("dereference of unknown oid " +
+                            std::to_string(oid.id()));
+  }
+  return it->second.value;
+}
+
+const std::string* Database::ClassOf(ObjectId oid) const {
+  auto it = objects_.find(oid.id());
+  if (it == objects_.end()) return nullptr;
+  return &it->second.class_name;
+}
+
+std::vector<ObjectId> Database::Extent(std::string_view class_name) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, slot] : objects_) {
+    if (schema_.IsSubclassOf(slot.class_name, class_name)) {
+      out.push_back(ObjectId(id));
+    }
+  }
+  return out;
+}
+
+Status Database::BindName(std::string_view name, Value v) {
+  if (schema_.FindName(name) == nullptr) {
+    return Status::NotFound("unknown persistence root '" + std::string(name) +
+                            "'");
+  }
+  auto [it, inserted] = roots_.insert_or_assign(std::string(name),
+                                                std::move(v));
+  (void)it;
+  if (inserted) root_order_.emplace_back(name);
+  return Status::OK();
+}
+
+Result<Value> Database::LookupName(std::string_view name) const {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::NotFound("persistence root '" + std::string(name) +
+                            "' is not bound");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::BoundNames() const { return root_order_; }
+
+size_t ApproximateValueBytes(const Value& v) {
+  // Per-node bookkeeping overhead (rep header + shared_ptr control).
+  constexpr size_t kNodeOverhead = 48;
+  size_t bytes = kNodeOverhead;
+  switch (v.kind()) {
+    case ValueKind::kNil:
+      break;
+    case ValueKind::kInteger:
+    case ValueKind::kFloat:
+    case ValueKind::kObject:
+      bytes += 8;
+      break;
+    case ValueKind::kBoolean:
+      bytes += 1;
+      break;
+    case ValueKind::kString:
+      bytes += v.AsString().size();
+      break;
+    case ValueKind::kTuple:
+      for (size_t i = 0; i < v.size(); ++i) {
+        bytes += v.FieldName(i).size();
+        bytes += ApproximateValueBytes(v.FieldValue(i));
+      }
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet:
+      for (size_t i = 0; i < v.size(); ++i) {
+        bytes += ApproximateValueBytes(v.Element(i));
+      }
+      break;
+  }
+  return bytes;
+}
+
+size_t Database::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, slot] : objects_) {
+    (void)id;
+    bytes += slot.class_name.size() + 16;
+    bytes += ApproximateValueBytes(slot.value);
+  }
+  for (const auto& [name, value] : roots_) {
+    bytes += name.size() + ApproximateValueBytes(value);
+  }
+  return bytes;
+}
+
+}  // namespace sgmlqdb::om

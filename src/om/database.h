@@ -1,0 +1,96 @@
+// Database instances of the extended O2 model (paper §5.1):
+//
+//   I = (pi, nu, mu, gamma)
+//
+// pi assigns oids to classes (disjointly at creation; pi(c) includes
+// subclasses' oids, "oid assignment inherited from pi_d"), nu maps
+// each oid to its value, gamma binds the persistence roots. Method
+// semantics mu are represented by the interpreted-function registry of
+// the query layer.
+
+#ifndef SGMLQDB_OM_DATABASE_H_
+#define SGMLQDB_OM_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "om/schema.h"
+#include "om/type.h"
+#include "om/value.h"
+
+namespace sgmlqdb::om {
+
+/// An in-memory object database over a fixed schema.
+class Database {
+ public:
+  /// The schema is copied in; it must outlive nothing (self-contained).
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const Schema& schema() const { return schema_; }
+
+  /// Declares a new persistence root after construction (schemas are
+  /// otherwise fixed per database). Fails on duplicates.
+  Status DeclareName(std::string name, Type type) {
+    return schema_.AddName(std::move(name), std::move(type));
+  }
+
+  /// Creates a new object of `class_name` with value `v` (not type
+  /// checked here; see typecheck.h). Returns its fresh oid.
+  Result<ObjectId> NewObject(std::string_view class_name, Value v);
+
+  /// Replaces the value of an existing object.
+  Status SetObjectValue(ObjectId oid, Value v);
+
+  /// nu(oid): the object's value. Fails for unknown oids.
+  Result<Value> Deref(ObjectId oid) const;
+
+  /// The class an oid was created in (pi_d), or nullptr if unknown.
+  const std::string* ClassOf(ObjectId oid) const;
+
+  /// pi(c): all oids of class `c` or any subclass, in creation order.
+  std::vector<ObjectId> Extent(std::string_view class_name) const;
+
+  /// Binds a persistence root; the name must exist in the schema.
+  Status BindName(std::string_view name, Value v);
+
+  /// gamma(name). Fails if the root is unbound / unknown.
+  Result<Value> LookupName(std::string_view name) const;
+
+  /// Roots bound so far, in binding order.
+  std::vector<std::string> BoundNames() const;
+
+  size_t object_count() const { return objects_.size(); }
+
+  /// Rough in-memory footprint of all object values and root bindings,
+  /// in bytes (used by the storage-overhead experiment E6).
+  size_t ApproximateBytes() const;
+
+ private:
+  struct ObjectSlot {
+    std::string class_name;
+    Value value;
+  };
+
+  Schema schema_;
+  uint64_t next_oid_ = 1;
+  std::map<uint64_t, ObjectSlot> objects_;
+  std::map<std::string, Value, std::less<>> roots_;
+  std::vector<std::string> root_order_;
+};
+
+/// Rough byte footprint of a value tree (shared subtrees counted each
+/// time they appear; good enough for E6's relative comparison).
+size_t ApproximateValueBytes(const Value& v);
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_DATABASE_H_

@@ -1,0 +1,190 @@
+#include "om/schema.h"
+
+#include <set>
+
+#include "om/subtype.h"
+
+namespace sgmlqdb::om {
+
+std::string Constraint::ToString() const {
+  std::string prefix = alternative.empty() ? "" : alternative + ".";
+  switch (kind) {
+    case Kind::kAttrNotNil:
+      return prefix + attribute + " != nil";
+    case Kind::kAttrNonEmptyList:
+      return prefix + attribute + " != list()";
+    case Kind::kAttrInSet: {
+      std::string out = prefix + attribute + " in set(";
+      for (size_t i = 0; i < allowed_values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += allowed_values[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+Status Schema::AddClass(ClassDef def) {
+  if (class_index_.count(def.name) > 0) {
+    return Status::InvalidArgument("duplicate class name '" + def.name + "'");
+  }
+  class_index_[def.name] = classes_.size();
+  classes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::AddName(std::string name, Type type) {
+  if (name_index_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate persistence root '" + name +
+                                   "'");
+  }
+  name_index_[name] = names_.size();
+  names_.push_back(NameDef{std::move(name), std::move(type)});
+  return Status::OK();
+}
+
+Status Schema::AddMethod(MethodSignature sig) {
+  methods_.push_back(std::move(sig));
+  return Status::OK();
+}
+
+const ClassDef* Schema::FindClass(std::string_view name) const {
+  auto it = class_index_.find(name);
+  if (it == class_index_.end()) return nullptr;
+  return &classes_[it->second];
+}
+
+const NameDef* Schema::FindName(std::string_view name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) return nullptr;
+  return &names_[it->second];
+}
+
+bool Schema::IsSubclassOf(std::string_view sub, std::string_view super) const {
+  if (sub == super) return FindClass(sub) != nullptr;
+  const ClassDef* def = FindClass(sub);
+  if (def == nullptr) return false;
+  for (const std::string& p : def->parents) {
+    if (IsSubclassOf(p, super)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Schema::SubclassesOf(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const ClassDef& c : classes_) {
+    if (IsSubclassOf(c.name, name)) out.push_back(c.name);
+  }
+  return out;
+}
+
+Result<Type> Schema::EffectiveType(std::string_view class_name) const {
+  const ClassDef* def = FindClass(class_name);
+  if (def == nullptr) {
+    return Status::NotFound("unknown class '" + std::string(class_name) +
+                            "'");
+  }
+  if (!def->type.is_tuple() || def->parents.empty()) return def->type;
+
+  // Merge inherited tuple attributes: parents' fields first (in parent
+  // declaration order), own fields after, own types overriding.
+  std::vector<std::pair<std::string, Type>> fields;
+  auto upsert = [&fields](const std::string& name, const Type& type) {
+    for (auto& [n, t] : fields) {
+      if (n == name) {
+        t = type;
+        return;
+      }
+    }
+    fields.emplace_back(name, type);
+  };
+  for (const std::string& p : def->parents) {
+    SGMLQDB_ASSIGN_OR_RETURN(Type pt, EffectiveType(p));
+    if (!pt.is_tuple()) continue;
+    for (size_t i = 0; i < pt.size(); ++i) {
+      upsert(pt.FieldName(i), pt.FieldType(i));
+    }
+  }
+  for (size_t i = 0; i < def->type.size(); ++i) {
+    upsert(def->type.FieldName(i), def->type.FieldType(i));
+  }
+  return Type::Tuple(std::move(fields));
+}
+
+Status Schema::Validate() const {
+  // Parent references resolve; hierarchy acyclic.
+  for (const ClassDef& c : classes_) {
+    for (const std::string& p : c.parents) {
+      if (FindClass(p) == nullptr) {
+        return Status::NotFound("class '" + c.name +
+                                "' inherits unknown class '" + p + "'");
+      }
+    }
+  }
+  // Cycle check: DFS with colors.
+  std::set<std::string> done;
+  std::set<std::string> in_progress;
+  // Returns false on cycle.
+  auto visit = [&](auto&& self, const std::string& name) -> bool {
+    if (done.count(name) > 0) return true;
+    if (!in_progress.insert(name).second) return false;
+    const ClassDef* def = FindClass(name);
+    for (const std::string& p : def->parents) {
+      if (!self(self, p)) return false;
+    }
+    in_progress.erase(name);
+    done.insert(name);
+    return true;
+  };
+  for (const ClassDef& c : classes_) {
+    if (!visit(visit, c.name)) {
+      return Status::InvalidArgument("inheritance cycle involving class '" +
+                                     c.name + "'");
+    }
+  }
+  // Well-formedness: sigma(c) <= sigma(c') for each direct edge.
+  for (const ClassDef& c : classes_) {
+    SGMLQDB_ASSIGN_OR_RETURN(Type ct, EffectiveType(c.name));
+    for (const std::string& p : c.parents) {
+      SGMLQDB_ASSIGN_OR_RETURN(Type pt, EffectiveType(p));
+      if (!IsSubtype(ct, pt, *this)) {
+        return Status::TypeError("ill-formed hierarchy: sigma(" + c.name +
+                                 ") = " + ct.ToString() +
+                                 " is not a subtype of sigma(" + p +
+                                 ") = " + pt.ToString());
+      }
+    }
+  }
+  // Root types must be well-scoped (class references resolve).
+  for (const NameDef& n : names_) {
+    // Walk the type tree looking for unknown classes.
+    std::vector<Type> work = {n.type};
+    while (!work.empty()) {
+      Type t = work.back();
+      work.pop_back();
+      switch (t.kind()) {
+        case TypeKind::kClass:
+          if (FindClass(t.class_name()) == nullptr) {
+            return Status::NotFound("root '" + n.name +
+                                    "' references unknown class '" +
+                                    t.class_name() + "'");
+          }
+          break;
+        case TypeKind::kList:
+        case TypeKind::kSet:
+          work.push_back(t.element_type());
+          break;
+        case TypeKind::kTuple:
+        case TypeKind::kUnion:
+          for (size_t i = 0; i < t.size(); ++i) work.push_back(t.FieldType(i));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sgmlqdb::om

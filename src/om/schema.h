@@ -1,0 +1,127 @@
+// Schemas of the extended O2 model (paper §5.1):
+//
+//   S = (C, sigma, <, M, G)
+//
+// where C is a set of class names, sigma maps classes to types, < is
+// the inheritance partial order, M a set of method signatures, and G a
+// set of named persistence roots with types.
+//
+// We additionally attach the constraints of Figure 3 to classes
+// (attribute non-nil, non-empty list, enumerated range) — the paper
+// generates them from the DTD but defers their treatment; we check
+// them at load time (see om/typecheck.h).
+
+#ifndef SGMLQDB_OM_SCHEMA_H_
+#define SGMLQDB_OM_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "om/type.h"
+#include "om/value.h"
+
+namespace sgmlqdb::om {
+
+/// One constraint of the Figure 3 kind, attached to a class.
+struct Constraint {
+  enum class Kind {
+    kAttrNotNil,       // attr != nil
+    kAttrNonEmptyList, // attr != list()
+    kAttrInSet,        // attr in set(v1, ..., vk)
+  };
+
+  Kind kind;
+  /// Marker of the union alternative the constraint applies to
+  /// (e.g. "a1" in class Section), or empty for plain tuples.
+  std::string alternative;
+  /// The constrained attribute.
+  std::string attribute;
+  /// For kAttrInSet: the allowed values.
+  std::vector<Value> allowed_values;
+
+  std::string ToString() const;
+};
+
+/// A method signature (paper's M); semantics are not interpreted by
+/// the core model — the query layer binds a few names to built-ins.
+struct MethodSignature {
+  std::string name;
+  std::string class_name;           // receiver class
+  std::vector<Type> argument_types; // excluding receiver
+  Type result_type;
+};
+
+/// A class definition: name, structural type sigma(c), parents.
+struct ClassDef {
+  std::string name;
+  Type type;
+  std::vector<std::string> parents;  // direct superclasses
+  std::vector<Constraint> constraints;
+  /// Attributes marked `private` in the mapping (queryable but flagged;
+  /// e.g. "status" in Article, Fig. 3).
+  std::vector<std::string> private_attributes;
+};
+
+/// A named persistence root (paper's G).
+struct NameDef {
+  std::string name;
+  Type type;
+};
+
+/// A schema. Mutating operations validate incrementally; call
+/// `Validate()` after construction to check well-formedness
+/// (sigma(c) <= sigma(c') for c < c', acyclicity) — it needs the
+/// subtyping relation, so it lives here but is implemented with
+/// om/subtype.h.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a class. Fails if the name is already taken.
+  Status AddClass(ClassDef def);
+
+  /// Registers a persistence root. Fails on duplicates.
+  Status AddName(std::string name, Type type);
+
+  /// Registers a method signature.
+  Status AddMethod(MethodSignature sig);
+
+  const ClassDef* FindClass(std::string_view name) const;
+  const NameDef* FindName(std::string_view name) const;
+
+  /// All classes in registration order.
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  const std::vector<NameDef>& names() const { return names_; }
+  const std::vector<MethodSignature>& methods() const { return methods_; }
+
+  /// True if `sub` equals `super` or inherits from it (reflexive,
+  /// transitive closure of the declared parent edges). Unknown class
+  /// names are never subclasses.
+  bool IsSubclassOf(std::string_view sub, std::string_view super) const;
+
+  /// Direct + transitive subclasses of `name`, including itself.
+  std::vector<std::string> SubclassesOf(std::string_view name) const;
+
+  /// The structural type sigma(c) of a class, with inherited tuple
+  /// attributes merged in (parents' attributes first). For non-tuple
+  /// types the class's own type wins.
+  Result<Type> EffectiveType(std::string_view class_name) const;
+
+  /// Checks well-formedness: parent references resolve, the hierarchy
+  /// is acyclic, and sigma(c) <= sigma(c') for every edge c < c'.
+  Status Validate() const;
+
+ private:
+  std::vector<ClassDef> classes_;
+  std::vector<NameDef> names_;
+  std::vector<MethodSignature> methods_;
+  std::map<std::string, size_t, std::less<>> class_index_;
+  std::map<std::string, size_t, std::less<>> name_index_;
+};
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_SCHEMA_H_

@@ -1,0 +1,211 @@
+#include "om/subtype.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sgmlqdb::om {
+
+bool IsSubtype(const Type& sub, const Type& super, const Schema& schema) {
+  if (Type::Equals(sub, super)) return true;
+
+  // any is the top of the *class* hierarchy: classes (and any) only.
+  if (super.kind() == TypeKind::kAny) {
+    return sub.kind() == TypeKind::kClass || sub.kind() == TypeKind::kAny;
+  }
+
+  switch (super.kind()) {
+    case TypeKind::kClass:
+      return sub.kind() == TypeKind::kClass &&
+             schema.IsSubclassOf(sub.class_name(), super.class_name());
+    case TypeKind::kSet:
+      return sub.kind() == TypeKind::kSet &&
+             IsSubtype(sub.element_type(), super.element_type(), schema);
+    case TypeKind::kList:
+      if (sub.kind() == TypeKind::kList) {
+        return IsSubtype(sub.element_type(), super.element_type(), schema);
+      }
+      // Rule (HL): tuple as heterogeneous list. Each field ai:ti of the
+      // tuple must satisfy [ai:ti] <= elem.
+      if (sub.kind() == TypeKind::kTuple) {
+        Type elem = super.element_type();
+        for (size_t i = 0; i < sub.size(); ++i) {
+          Type single = Type::Tuple({{sub.FieldName(i), sub.FieldType(i)}});
+          if (!IsSubtype(single, elem, schema)) return false;
+        }
+        return true;
+      }
+      return false;
+    case TypeKind::kTuple: {
+      if (sub.kind() != TypeKind::kTuple) return false;
+      // Attribute-based: sub must offer every attribute of super at a
+      // subtype type (position-independent; see subtype.h).
+      for (size_t i = 0; i < super.size(); ++i) {
+        std::optional<Type> ft = sub.FindField(super.FieldName(i));
+        if (!ft.has_value()) return false;
+        if (!IsSubtype(*ft, super.FieldType(i), schema)) return false;
+      }
+      return true;
+    }
+    case TypeKind::kUnion: {
+      // Rule (U): a tuple with (at least) a marker attribute matching
+      // some alternative. We accept exactly the one-field encoding plus
+      // wider tuples whose first... no: the paper's rule is
+      // [ai:ti] <= union; combined with attribute-based tuple
+      // subtyping, any tuple T with T <= [ai:ti] also qualifies by
+      // transitivity.
+      if (sub.kind() == TypeKind::kTuple) {
+        for (size_t i = 0; i < super.size(); ++i) {
+          std::optional<Type> ft = sub.FindField(super.FieldName(i));
+          if (ft.has_value() && IsSubtype(*ft, super.FieldType(i), schema)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      // Union <= union: every alternative of sub present in super at a
+      // compatible type.
+      if (sub.kind() == TypeKind::kUnion) {
+        for (size_t i = 0; i < sub.size(); ++i) {
+          std::optional<Type> alt = super.FindField(sub.FieldName(i));
+          if (!alt.has_value()) return false;
+          if (!IsSubtype(sub.FieldType(i), *alt, schema)) return false;
+        }
+        return true;
+      }
+      return false;
+    }
+    default:
+      // Atomic supertypes admit only equal types (handled above).
+      return false;
+  }
+}
+
+namespace {
+
+/// All (transitive) superclasses of `name`, including itself.
+std::vector<std::string> SuperclassesOf(const Schema& schema,
+                                        const std::string& name) {
+  std::vector<std::string> out;
+  std::vector<std::string> work = {name};
+  std::set<std::string> seen;
+  while (!work.empty()) {
+    std::string c = work.back();
+    work.pop_back();
+    if (!seen.insert(c).second) continue;
+    out.push_back(c);
+    if (const ClassDef* def = schema.FindClass(c)) {
+      for (const std::string& p : def->parents) work.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Type> LeastCommonSupertype(const Type& a, const Type& b,
+                                  const Schema& schema) {
+  if (IsSubtype(a, b, schema)) return b;
+  if (IsSubtype(b, a, schema)) return a;
+
+  // §4.2 rule 1: no common supertype between a union and a non-union.
+  if (a.is_union() != b.is_union()) {
+    return Status::TypeError("no common supertype between union type " +
+                             (a.is_union() ? a : b).ToString() +
+                             " and non-union type " +
+                             (a.is_union() ? b : a).ToString());
+  }
+
+  // §4.2 rule 2: merge two unions unless a marker conflicts.
+  if (a.is_union() && b.is_union()) {
+    std::vector<std::pair<std::string, Type>> alts;
+    for (size_t i = 0; i < a.size(); ++i) {
+      alts.emplace_back(a.FieldName(i), a.FieldType(i));
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      const std::string& marker = b.FieldName(i);
+      std::optional<Type> existing = a.FindField(marker);
+      if (!existing.has_value()) {
+        alts.emplace_back(marker, b.FieldType(i));
+        continue;
+      }
+      Result<Type> joined =
+          LeastCommonSupertype(*existing, b.FieldType(i), schema);
+      if (!joined.ok()) {
+        return Status::TypeError(
+            "marker conflict on '" + marker + "' joining " + a.ToString() +
+            " and " + b.ToString() + ": " + joined.status().message());
+      }
+      for (auto& [n, t] : alts) {
+        if (n == marker) t = joined.value();
+      }
+    }
+    return Type::Union(std::move(alts));
+  }
+
+  if (a.kind() == TypeKind::kClass && b.kind() == TypeKind::kClass) {
+    // Least common named superclass: the first superclass of `a`
+    // (breadth by declaration order) that is also a superclass of `b`
+    // and minimal among candidates. With single inheritance this is
+    // the usual LCA; with multiple inheritance we pick a minimal one.
+    std::vector<std::string> supers_a = SuperclassesOf(schema, a.class_name());
+    std::vector<std::string> candidates;
+    for (const std::string& s : supers_a) {
+      if (schema.IsSubclassOf(b.class_name(), s)) candidates.push_back(s);
+    }
+    // Minimal candidates: not a strict superclass of another candidate.
+    for (const std::string& c : candidates) {
+      bool minimal = true;
+      for (const std::string& d : candidates) {
+        if (d != c && schema.IsSubclassOf(d, c)) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) return Type::Class(c);
+    }
+    return Type::Any();
+  }
+  if (a.kind() == TypeKind::kAny || b.kind() == TypeKind::kAny) {
+    bool a_classy = a.kind() == TypeKind::kClass || a.kind() == TypeKind::kAny;
+    bool b_classy = b.kind() == TypeKind::kClass || b.kind() == TypeKind::kAny;
+    if (a_classy && b_classy) return Type::Any();
+  }
+
+  if (a.kind() == TypeKind::kList && b.kind() == TypeKind::kList) {
+    SGMLQDB_ASSIGN_OR_RETURN(
+        Type elem,
+        LeastCommonSupertype(a.element_type(), b.element_type(), schema));
+    return Type::List(std::move(elem));
+  }
+  if (a.kind() == TypeKind::kSet && b.kind() == TypeKind::kSet) {
+    SGMLQDB_ASSIGN_OR_RETURN(
+        Type elem,
+        LeastCommonSupertype(a.element_type(), b.element_type(), schema));
+    return Type::Set(std::move(elem));
+  }
+
+  if (a.is_tuple() && b.is_tuple()) {
+    // Join on the shared attributes, in `a`'s field order.
+    std::vector<std::pair<std::string, Type>> fields;
+    for (size_t i = 0; i < a.size(); ++i) {
+      std::optional<Type> other = b.FindField(a.FieldName(i));
+      if (!other.has_value()) continue;
+      Result<Type> joined =
+          LeastCommonSupertype(a.FieldType(i), *other, schema);
+      if (!joined.ok()) continue;  // drop unjoinable attributes
+      fields.emplace_back(a.FieldName(i), std::move(joined).value());
+    }
+    if (fields.empty()) {
+      return Status::TypeError("tuples " + a.ToString() + " and " +
+                               b.ToString() + " share no attribute");
+    }
+    return Type::Tuple(std::move(fields));
+  }
+
+  return Status::TypeError("no common supertype between " + a.ToString() +
+                           " and " + b.ToString());
+}
+
+}  // namespace sgmlqdb::om

@@ -1,0 +1,41 @@
+// The subtyping relation of the extended model (paper §5.1) and the
+// least-common-supertype computation used by the query typechecker
+// (paper §4.2).
+//
+// Standard O2 rules plus the paper's two additions:
+//
+//   (U)  [ai:ti] <= (... + ai:ti' + ...)          if ti <= ti'
+//   (HL) [a1:t1,...,an:tn] <= [(a1:t1+...+an:tn)] (tuple as
+//                                                  heterogeneous list)
+//
+// Tuple subtyping is attribute-based (a subtype has at least the
+// supertype's attributes, at compatible types, in any position); this
+// is required for the paper's stated chain
+//   [a1:t1,...,an:tn] <= [ai:ti] <= (a1:t1+...+an:tn).
+
+#ifndef SGMLQDB_OM_SUBTYPE_H_
+#define SGMLQDB_OM_SUBTYPE_H_
+
+#include "base/status.h"
+#include "om/schema.h"
+#include "om/type.h"
+
+namespace sgmlqdb::om {
+
+/// True iff `sub` <= `super` under the schema's class hierarchy.
+bool IsSubtype(const Type& sub, const Type& super, const Schema& schema);
+
+/// Least common supertype per §4.2:
+///  - a union and a non-union have NO common supertype (rule 1);
+///  - two unions join iff they have no marker conflict; the join is
+///    the union of alternatives (rule 2);
+///  - tuples join on their common attributes;
+///  - classes join at their least common named superclass, else `any`;
+///  - lists/sets join covariantly.
+/// Returns TypeError when no common supertype exists.
+Result<Type> LeastCommonSupertype(const Type& a, const Type& b,
+                                  const Schema& schema);
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_SUBTYPE_H_

@@ -1,0 +1,261 @@
+#include "om/type.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::om {
+
+const char* TypeKindToString(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInteger:
+      return "integer";
+    case TypeKind::kFloat:
+      return "float";
+    case TypeKind::kBoolean:
+      return "boolean";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kAny:
+      return "any";
+    case TypeKind::kClass:
+      return "class";
+    case TypeKind::kList:
+      return "list";
+    case TypeKind::kSet:
+      return "set";
+    case TypeKind::kTuple:
+      return "tuple";
+    case TypeKind::kUnion:
+      return "union";
+  }
+  return "?";
+}
+
+class TypeRep {
+ public:
+  TypeKind kind = TypeKind::kAny;
+  std::string name;                      // class name
+  std::vector<std::string> field_names;  // tuple/union
+  std::vector<Type> children;            // tuple/union fields, list/set elem
+};
+
+namespace {
+const std::shared_ptr<const TypeRep>& AnyRep() {
+  static const std::shared_ptr<const TypeRep>& rep =
+      *new std::shared_ptr<const TypeRep>(std::make_shared<TypeRep>());
+  return rep;
+}
+}  // namespace
+
+Type::Type() : rep_(AnyRep()) {}
+
+Type Type::Integer() {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kInteger;
+  return Type(std::move(rep));
+}
+
+Type Type::Float() {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kFloat;
+  return Type(std::move(rep));
+}
+
+Type Type::Boolean() {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kBoolean;
+  return Type(std::move(rep));
+}
+
+Type Type::String() {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kString;
+  return Type(std::move(rep));
+}
+
+Type Type::Any() { return Type(); }
+
+Type Type::Class(std::string name) {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kClass;
+  rep->name = std::move(name);
+  return Type(std::move(rep));
+}
+
+Type Type::List(Type elem) {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kList;
+  rep->children.push_back(std::move(elem));
+  return Type(std::move(rep));
+}
+
+Type Type::Set(Type elem) {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kSet;
+  rep->children.push_back(std::move(elem));
+  return Type(std::move(rep));
+}
+
+Type Type::Tuple(std::vector<std::pair<std::string, Type>> fields) {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kTuple;
+  for (auto& [name, type] : fields) {
+    assert(std::find(rep->field_names.begin(), rep->field_names.end(), name) ==
+               rep->field_names.end() &&
+           "tuple field names must be distinct");
+    rep->field_names.push_back(std::move(name));
+    rep->children.push_back(std::move(type));
+  }
+  return Type(std::move(rep));
+}
+
+Type Type::Union(std::vector<std::pair<std::string, Type>> alternatives) {
+  auto rep = std::make_shared<TypeRep>();
+  rep->kind = TypeKind::kUnion;
+  for (auto& [name, type] : alternatives) {
+    assert(std::find(rep->field_names.begin(), rep->field_names.end(), name) ==
+               rep->field_names.end() &&
+           "union markers must be distinct");
+    rep->field_names.push_back(std::move(name));
+    rep->children.push_back(std::move(type));
+  }
+  return Type(std::move(rep));
+}
+
+TypeKind Type::kind() const { return rep_->kind; }
+
+const std::string& Type::class_name() const {
+  assert(kind() == TypeKind::kClass);
+  return rep_->name;
+}
+
+Type Type::element_type() const {
+  assert(kind() == TypeKind::kList || kind() == TypeKind::kSet);
+  return rep_->children[0];
+}
+
+size_t Type::size() const {
+  assert(kind() == TypeKind::kTuple || kind() == TypeKind::kUnion);
+  return rep_->children.size();
+}
+
+const std::string& Type::FieldName(size_t i) const {
+  assert((kind() == TypeKind::kTuple || kind() == TypeKind::kUnion) &&
+         i < rep_->field_names.size());
+  return rep_->field_names[i];
+}
+
+Type Type::FieldType(size_t i) const {
+  assert((kind() == TypeKind::kTuple || kind() == TypeKind::kUnion) &&
+         i < rep_->children.size());
+  return rep_->children[i];
+}
+
+std::optional<Type> Type::FindField(std::string_view name) const {
+  if (kind() != TypeKind::kTuple && kind() != TypeKind::kUnion) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < rep_->field_names.size(); ++i) {
+    if (rep_->field_names[i] == name) return rep_->children[i];
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Type::FieldIndex(std::string_view name) const {
+  if (kind() != TypeKind::kTuple && kind() != TypeKind::kUnion) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < rep_->field_names.size(); ++i) {
+    if (rep_->field_names[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Type::Equals(const Type& a, const Type& b) {
+  if (a.rep_ == b.rep_) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case TypeKind::kInteger:
+    case TypeKind::kFloat:
+    case TypeKind::kBoolean:
+    case TypeKind::kString:
+    case TypeKind::kAny:
+      return true;
+    case TypeKind::kClass:
+      return a.rep_->name == b.rep_->name;
+    case TypeKind::kList:
+    case TypeKind::kSet:
+      return Equals(a.rep_->children[0], b.rep_->children[0]);
+    case TypeKind::kTuple:
+    case TypeKind::kUnion: {
+      if (a.rep_->children.size() != b.rep_->children.size()) return false;
+      for (size_t i = 0; i < a.rep_->children.size(); ++i) {
+        if (a.rep_->field_names[i] != b.rep_->field_names[i]) return false;
+        if (!Equals(a.rep_->children[i], b.rep_->children[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Type::Hash() const {
+  uint64_t h = HashCombine(0x7e915, static_cast<uint64_t>(kind()));
+  switch (kind()) {
+    case TypeKind::kClass:
+      h = HashCombine(h, Fnv1a(rep_->name));
+      break;
+    case TypeKind::kList:
+    case TypeKind::kSet:
+      h = HashCombine(h, rep_->children[0].Hash());
+      break;
+    case TypeKind::kTuple:
+    case TypeKind::kUnion:
+      for (size_t i = 0; i < rep_->children.size(); ++i) {
+        h = HashCombine(h, Fnv1a(rep_->field_names[i]));
+        h = HashCombine(h, rep_->children[i].Hash());
+      }
+      break;
+    default:
+      break;
+  }
+  return h;
+}
+
+std::string Type::ToString() const {
+  switch (kind()) {
+    case TypeKind::kInteger:
+    case TypeKind::kFloat:
+    case TypeKind::kBoolean:
+    case TypeKind::kString:
+    case TypeKind::kAny:
+      return TypeKindToString(kind());
+    case TypeKind::kClass:
+      return rep_->name;
+    case TypeKind::kList:
+      return "[" + rep_->children[0].ToString() + "]";
+    case TypeKind::kSet:
+      return "{" + rep_->children[0].ToString() + "}";
+    case TypeKind::kTuple: {
+      std::string out = "[";
+      for (size_t i = 0; i < rep_->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rep_->field_names[i] + ": " + rep_->children[i].ToString();
+      }
+      return out + "]";
+    }
+    case TypeKind::kUnion: {
+      std::string out = "(";
+      for (size_t i = 0; i < rep_->children.size(); ++i) {
+        if (i > 0) out += " + ";
+        out += rep_->field_names[i] + ": " + rep_->children[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace sgmlqdb::om

@@ -1,0 +1,110 @@
+// Types of the extended O2 data model (paper §5.1, "types(C)"):
+//
+//   1. atomic types: integer, string, boolean, float;
+//   2. class names and `any` (top of the class hierarchy);
+//   3. list [t] and set {t};
+//   4. ordered tuple [a1:t1, ..., an:tn];
+//   5. marked union (a1:t1 + ... + an:tn)   <- paper extension.
+//
+// Types are immutable and cheaply copyable.
+
+#ifndef SGMLQDB_OM_TYPE_H_
+#define SGMLQDB_OM_TYPE_H_
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgmlqdb::om {
+
+enum class TypeKind {
+  kInteger = 0,
+  kFloat,
+  kBoolean,
+  kString,
+  kAny,     // top of the class hierarchy
+  kClass,   // class name reference
+  kList,
+  kSet,
+  kTuple,   // ordered tuple
+  kUnion,   // marked union
+};
+
+const char* TypeKindToString(TypeKind kind);
+
+class TypeRep;  // private representation, defined in type.cc
+
+/// An immutable type. Default-constructed Type is `any`.
+class Type {
+ public:
+  Type();  // any
+
+  // -- Factories ------------------------------------------------------
+  static Type Integer();
+  static Type Float();
+  static Type Boolean();
+  static Type String();
+  static Type Any();
+  static Type Class(std::string name);
+  static Type List(Type elem);
+  static Type Set(Type elem);
+  /// Ordered tuple type. Field names must be distinct.
+  static Type Tuple(std::vector<std::pair<std::string, Type>> fields);
+  /// Marked union type. Alternative markers must be distinct.
+  static Type Union(std::vector<std::pair<std::string, Type>> alternatives);
+
+  // -- Inspection ------------------------------------------------------
+  TypeKind kind() const;
+  bool is_atomic() const {
+    TypeKind k = kind();
+    return k == TypeKind::kInteger || k == TypeKind::kFloat ||
+           k == TypeKind::kBoolean || k == TypeKind::kString;
+  }
+  bool is_union() const { return kind() == TypeKind::kUnion; }
+  bool is_tuple() const { return kind() == TypeKind::kTuple; }
+
+  /// Class name (kind kClass only).
+  const std::string& class_name() const;
+
+  /// Element type (kList / kSet only).
+  Type element_type() const;
+
+  /// Field / alternative count (kTuple / kUnion only).
+  size_t size() const;
+  const std::string& FieldName(size_t i) const;
+  Type FieldType(size_t i) const;
+  std::optional<Type> FindField(std::string_view name) const;
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+
+  // -- Comparison / printing -------------------------------------------
+  friend bool operator==(const Type& a, const Type& b) {
+    return Equals(a, b);
+  }
+  friend bool operator!=(const Type& a, const Type& b) {
+    return !Equals(a, b);
+  }
+  static bool Equals(const Type& a, const Type& b);
+
+  uint64_t Hash() const;
+
+  /// Paper-style rendering: `[a: integer, b: [string]]`,
+  /// `(a1: integer + a2: char)`, `{Article}`, `list(Section)` style is
+  /// rendered as `[Section]`, sets as `{Section}`.
+  std::string ToString() const;
+
+ private:
+  explicit Type(std::shared_ptr<const TypeRep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const TypeRep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Type& t) {
+  return os << t.ToString();
+}
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_TYPE_H_

@@ -1,0 +1,218 @@
+#include "om/typecheck.h"
+
+namespace sgmlqdb::om {
+
+namespace {
+
+Status Mismatch(const Value& v, const Type& t, const std::string& why) {
+  return Status::TypeError("value " + v.ToString() + " does not inhabit " +
+                           t.ToString() + " (" + why + ")");
+}
+
+}  // namespace
+
+Status CheckValue(const Database& db, const Value& v, const Type& type) {
+  // nil — "the undefined value" (§5.1) — inhabits every type; the
+  // Figure 3 constraints (attr != nil) are what enforce presence.
+  if (v.is_nil()) return Status::OK();
+  switch (type.kind()) {
+    case TypeKind::kInteger:
+      if (v.kind() != ValueKind::kInteger) {
+        return Mismatch(v, type, "expected integer");
+      }
+      return Status::OK();
+    case TypeKind::kFloat:
+      if (v.kind() != ValueKind::kFloat) {
+        return Mismatch(v, type, "expected float");
+      }
+      return Status::OK();
+    case TypeKind::kBoolean:
+      if (v.kind() != ValueKind::kBoolean) {
+        return Mismatch(v, type, "expected boolean");
+      }
+      return Status::OK();
+    case TypeKind::kString:
+      if (v.kind() != ValueKind::kString) {
+        return Mismatch(v, type, "expected string");
+      }
+      return Status::OK();
+    case TypeKind::kAny:
+      // dom(any) = union of all class extents; nil also tolerated.
+      if (v.kind() != ValueKind::kObject && !v.is_nil()) {
+        return Mismatch(v, type, "expected an object (or nil)");
+      }
+      return Status::OK();
+    case TypeKind::kClass: {
+      if (v.is_nil()) return Status::OK();  // dom(c) includes nil
+      if (v.kind() != ValueKind::kObject) {
+        return Mismatch(v, type, "expected an oid");
+      }
+      const std::string* cls = db.ClassOf(v.AsObject());
+      if (cls == nullptr) {
+        return Mismatch(v, type, "dangling oid");
+      }
+      if (!db.schema().IsSubclassOf(*cls, type.class_name())) {
+        return Mismatch(v, type,
+                        "object of class '" + *cls + "' is not a '" +
+                            type.class_name() + "'");
+      }
+      return Status::OK();
+    }
+    case TypeKind::kList: {
+      if (v.kind() != ValueKind::kList) {
+        return Mismatch(v, type, "expected a list");
+      }
+      for (size_t i = 0; i < v.size(); ++i) {
+        SGMLQDB_RETURN_IF_ERROR(CheckValue(db, v.Element(i),
+                                           type.element_type()));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kSet: {
+      if (v.kind() != ValueKind::kSet) {
+        return Mismatch(v, type, "expected a set");
+      }
+      for (size_t i = 0; i < v.size(); ++i) {
+        SGMLQDB_RETURN_IF_ERROR(CheckValue(db, v.Element(i),
+                                           type.element_type()));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kTuple: {
+      if (v.kind() != ValueKind::kTuple) {
+        return Mismatch(v, type, "expected a tuple");
+      }
+      // dom([a1:t1,...,ak:tk]) admits extra attributes after the
+      // declared ones (paper §5.1); the declared ones must be present
+      // in order at positions 0..k-1.
+      if (v.size() < type.size()) {
+        return Mismatch(v, type, "missing attributes");
+      }
+      for (size_t i = 0; i < type.size(); ++i) {
+        if (v.FieldName(i) != type.FieldName(i)) {
+          return Mismatch(v, type,
+                          "attribute " + std::to_string(i) + " is '" +
+                              v.FieldName(i) + "', expected '" +
+                              type.FieldName(i) + "'");
+        }
+        SGMLQDB_RETURN_IF_ERROR(
+            CheckValue(db, v.FieldValue(i), type.FieldType(i)));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kUnion: {
+      // A union value is the one-field tuple of one alternative.
+      if (v.kind() != ValueKind::kTuple || v.size() != 1) {
+        return Mismatch(v, type,
+                        "expected a one-field tuple marking an alternative");
+      }
+      std::optional<Type> alt = type.FindField(v.FieldName(0));
+      if (!alt.has_value()) {
+        return Mismatch(v, type,
+                        "'" + v.FieldName(0) + "' is not an alternative");
+      }
+      return CheckValue(db, v.FieldValue(0), *alt);
+    }
+  }
+  return Status::Internal("unhandled type kind");
+}
+
+namespace {
+
+/// Resolves the sub-value a constraint talks about: for constraints on
+/// a union alternative, the value must currently be of that
+/// alternative for the constraint to apply.
+bool ConstraintApplies(const Constraint& c, const Value& v, Value* target) {
+  const Value* scope = &v;
+  Value alt_holder;
+  if (!c.alternative.empty()) {
+    if (v.kind() != ValueKind::kTuple || v.size() != 1 ||
+        v.FieldName(0) != c.alternative) {
+      return false;  // different alternative chosen; constraint vacuous
+    }
+    alt_holder = v.FieldValue(0);
+    scope = &alt_holder;
+  }
+  std::optional<Value> field = scope->FindField(c.attribute);
+  if (!field.has_value()) return false;
+  *target = *field;
+  return true;
+}
+
+}  // namespace
+
+Status CheckConstraints(const Database& db, ObjectId oid) {
+  const std::string* cls = db.ClassOf(oid);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown oid " + std::to_string(oid.id()));
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(Value v, db.Deref(oid));
+
+  // Constraints of the class and all superclasses apply.
+  std::vector<std::string> supers;
+  for (const ClassDef& c : db.schema().classes()) {
+    if (db.schema().IsSubclassOf(*cls, c.name)) supers.push_back(c.name);
+  }
+  for (const std::string& cname : supers) {
+    const ClassDef* def = db.schema().FindClass(cname);
+    for (const Constraint& c : def->constraints) {
+      Value target;
+      if (!ConstraintApplies(c, v, &target)) continue;
+      switch (c.kind) {
+        case Constraint::Kind::kAttrNotNil:
+          if (target.is_nil()) {
+            return Status::ConstraintViolation(
+                "object " + std::to_string(oid.id()) + " of class '" + *cls +
+                "' violates " + c.ToString());
+          }
+          break;
+        case Constraint::Kind::kAttrNonEmptyList:
+          if (target.kind() == ValueKind::kList && target.size() == 0) {
+            return Status::ConstraintViolation(
+                "object " + std::to_string(oid.id()) + " of class '" + *cls +
+                "' violates " + c.ToString());
+          }
+          break;
+        case Constraint::Kind::kAttrInSet: {
+          bool found = false;
+          for (const Value& allowed : c.allowed_values) {
+            if (allowed == target) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            return Status::ConstraintViolation(
+                "object " + std::to_string(oid.id()) + " of class '" + *cls +
+                "' violates " + c.ToString() + " (value " +
+                target.ToString() + ")");
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckDatabase(const Database& db) {
+  for (const ClassDef& c : db.schema().classes()) {
+    SGMLQDB_ASSIGN_OR_RETURN(Type effective, db.schema().EffectiveType(c.name));
+    for (ObjectId oid : db.Extent(c.name)) {
+      // Only check against the exact class to avoid re-checking
+      // subclass objects against subclass types repeatedly.
+      if (*db.ClassOf(oid) != c.name) continue;
+      SGMLQDB_ASSIGN_OR_RETURN(Value v, db.Deref(oid));
+      SGMLQDB_RETURN_IF_ERROR(CheckValue(db, v, effective));
+      SGMLQDB_RETURN_IF_ERROR(CheckConstraints(db, oid));
+    }
+  }
+  for (const std::string& name : db.BoundNames()) {
+    const NameDef* def = db.schema().FindName(name);
+    SGMLQDB_ASSIGN_OR_RETURN(Value v, db.LookupName(name));
+    SGMLQDB_RETURN_IF_ERROR(CheckValue(db, v, def->type));
+  }
+  return Status::OK();
+}
+
+}  // namespace sgmlqdb::om

@@ -1,0 +1,32 @@
+// Dynamic value-vs-type conformance (the dom(tau) interpretation of
+// paper §5.1) and Figure-3 constraint checking.
+
+#ifndef SGMLQDB_OM_TYPECHECK_H_
+#define SGMLQDB_OM_TYPECHECK_H_
+
+#include "base/status.h"
+#include "om/database.h"
+#include "om/schema.h"
+#include "om/type.h"
+#include "om/value.h"
+
+namespace sgmlqdb::om {
+
+/// Checks v in dom(tau) (paper §5.1):
+///  - dom(c) = pi(c) + {nil}: an oid of class c (or a subclass), or nil;
+///  - tuples may carry extra attributes after the declared ones;
+///  - a marked-union value is the one-field tuple of some alternative;
+///  - lists/sets elementwise.
+/// `db` supplies pi (class membership of oids).
+Status CheckValue(const Database& db, const Value& v, const Type& type);
+
+/// Checks the Figure-3 constraints of the object's class (and its
+/// superclasses) against its current value.
+Status CheckConstraints(const Database& db, ObjectId oid);
+
+/// Checks every object and every bound root of the database.
+Status CheckDatabase(const Database& db);
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_TYPECHECK_H_

@@ -1,0 +1,334 @@
+#include "om/value.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::om {
+
+const char* ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kInteger:
+      return "integer";
+    case ValueKind::kFloat:
+      return "float";
+    case ValueKind::kBoolean:
+      return "boolean";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kObject:
+      return "object";
+    case ValueKind::kTuple:
+      return "tuple";
+    case ValueKind::kList:
+      return "list";
+    case ValueKind::kSet:
+      return "set";
+  }
+  return "?";
+}
+
+/// Shared immutable representation of a Value. Only the members for
+/// the active kind are meaningful; the memory overhead of the inactive
+/// vectors/strings is acceptable for this workload.
+class ValueRep {
+ public:
+  ValueKind kind = ValueKind::kNil;
+  int64_t integer = 0;
+  double real = 0.0;
+  bool boolean = false;
+  std::string str;
+  ObjectId oid;
+  std::vector<std::string> field_names;  // tuple only; parallel to children
+  std::vector<Value> children;           // tuple fields / list / set elems
+};
+
+namespace {
+
+const std::shared_ptr<const ValueRep>& NilRep() {
+  static const std::shared_ptr<const ValueRep>& rep =
+      *new std::shared_ptr<const ValueRep>(std::make_shared<ValueRep>());
+  return rep;
+}
+
+}  // namespace
+
+Value::Value() : rep_(NilRep()) {}
+
+Value Value::Nil() { return Value(); }
+
+Value Value::Integer(int64_t v) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kInteger;
+  rep->integer = v;
+  return Value(std::move(rep));
+}
+
+Value Value::Float(double v) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kFloat;
+  rep->real = v;
+  return Value(std::move(rep));
+}
+
+Value Value::Boolean(bool v) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kBoolean;
+  rep->boolean = v;
+  return Value(std::move(rep));
+}
+
+Value Value::String(std::string v) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kString;
+  rep->str = std::move(v);
+  return Value(std::move(rep));
+}
+
+Value Value::Object(ObjectId oid) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kObject;
+  rep->oid = oid;
+  return Value(std::move(rep));
+}
+
+Value Value::Tuple(std::vector<std::pair<std::string, Value>> fields) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kTuple;
+  rep->field_names.reserve(fields.size());
+  rep->children.reserve(fields.size());
+  for (auto& [name, value] : fields) {
+#ifndef NDEBUG
+    assert(std::find(rep->field_names.begin(), rep->field_names.end(), name) ==
+               rep->field_names.end() &&
+           "tuple field names must be distinct");
+#endif
+    rep->field_names.push_back(std::move(name));
+    rep->children.push_back(std::move(value));
+  }
+  return Value(std::move(rep));
+}
+
+Value Value::List(std::vector<Value> elems) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kList;
+  rep->children = std::move(elems);
+  return Value(std::move(rep));
+}
+
+Value Value::Set(std::vector<Value> elems) {
+  auto rep = std::make_shared<ValueRep>();
+  rep->kind = ValueKind::kSet;
+  std::sort(elems.begin(), elems.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  elems.erase(std::unique(elems.begin(), elems.end(),
+                          [](const Value& a, const Value& b) {
+                            return Compare(a, b) == 0;
+                          }),
+              elems.end());
+  rep->children = std::move(elems);
+  return Value(std::move(rep));
+}
+
+ValueKind Value::kind() const { return rep_->kind; }
+
+int64_t Value::AsInteger() const {
+  assert(kind() == ValueKind::kInteger);
+  return rep_->integer;
+}
+
+double Value::AsFloat() const {
+  assert(kind() == ValueKind::kFloat);
+  return rep_->real;
+}
+
+bool Value::AsBoolean() const {
+  assert(kind() == ValueKind::kBoolean);
+  return rep_->boolean;
+}
+
+const std::string& Value::AsString() const {
+  assert(kind() == ValueKind::kString);
+  return rep_->str;
+}
+
+ObjectId Value::AsObject() const {
+  assert(kind() == ValueKind::kObject);
+  return rep_->oid;
+}
+
+size_t Value::size() const { return rep_->children.size(); }
+
+const std::string& Value::FieldName(size_t i) const {
+  assert(kind() == ValueKind::kTuple && i < rep_->field_names.size());
+  return rep_->field_names[i];
+}
+
+Value Value::FieldValue(size_t i) const {
+  assert(kind() == ValueKind::kTuple && i < rep_->children.size());
+  return rep_->children[i];
+}
+
+std::optional<Value> Value::FindField(std::string_view name) const {
+  if (kind() != ValueKind::kTuple) return std::nullopt;
+  for (size_t i = 0; i < rep_->field_names.size(); ++i) {
+    if (rep_->field_names[i] == name) return rep_->children[i];
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Value::FieldIndex(std::string_view name) const {
+  if (kind() != ValueKind::kTuple) return std::nullopt;
+  for (size_t i = 0; i < rep_->field_names.size(); ++i) {
+    if (rep_->field_names[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+Value Value::Element(size_t i) const {
+  assert((kind() == ValueKind::kList || kind() == ValueKind::kSet) &&
+         i < rep_->children.size());
+  return rep_->children[i];
+}
+
+Value Value::AsHeterogeneousList() const {
+  assert(kind() == ValueKind::kTuple);
+  std::vector<Value> elems;
+  elems.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    elems.push_back(Value::Tuple({{FieldName(i), FieldValue(i)}}));
+  }
+  return Value::List(std::move(elems));
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.rep_ == b.rep_) return 0;
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case ValueKind::kNil:
+      return 0;
+    case ValueKind::kInteger: {
+      int64_t x = a.rep_->integer, y = b.rep_->integer;
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kFloat: {
+      double x = a.rep_->real, y = b.rep_->real;
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kBoolean:
+      return static_cast<int>(a.rep_->boolean) -
+             static_cast<int>(b.rep_->boolean);
+    case ValueKind::kString:
+      return a.rep_->str.compare(b.rep_->str);
+    case ValueKind::kObject: {
+      uint64_t x = a.rep_->oid.id(), y = b.rep_->oid.id();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueKind::kTuple: {
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a.rep_->field_names[i].compare(b.rep_->field_names[i]);
+        if (c != 0) return c < 0 ? -1 : 1;
+        c = Compare(a.rep_->children[i], b.rep_->children[i]);
+        if (c != 0) return c;
+      }
+      return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+    }
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(a.rep_->children[i], b.rep_->children[i]);
+        if (c != 0) return c;
+      }
+      return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t h = HashCombine(0xdb5f3c9a, static_cast<uint64_t>(kind()));
+  switch (kind()) {
+    case ValueKind::kNil:
+      break;
+    case ValueKind::kInteger:
+      h = HashCombine(h, static_cast<uint64_t>(rep_->integer));
+      break;
+    case ValueKind::kFloat: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(rep_->real));
+      __builtin_memcpy(&bits, &rep_->real, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case ValueKind::kBoolean:
+      h = HashCombine(h, rep_->boolean ? 1 : 0);
+      break;
+    case ValueKind::kString:
+      h = HashCombine(h, Fnv1a(rep_->str));
+      break;
+    case ValueKind::kObject:
+      h = HashCombine(h, rep_->oid.id());
+      break;
+    case ValueKind::kTuple:
+      for (size_t i = 0; i < size(); ++i) {
+        h = HashCombine(h, Fnv1a(rep_->field_names[i]));
+        h = HashCombine(h, rep_->children[i].Hash());
+      }
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet:
+      for (const Value& c : rep_->children) h = HashCombine(h, c.Hash());
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kInteger:
+      return std::to_string(rep_->integer);
+    case ValueKind::kFloat: {
+      std::string s = std::to_string(rep_->real);
+      return s;
+    }
+    case ValueKind::kBoolean:
+      return rep_->boolean ? "true" : "false";
+    case ValueKind::kString:
+      return QuoteForError(rep_->str);
+    case ValueKind::kObject:
+      return "oid<" + std::to_string(rep_->oid.id()) + ">";
+    case ValueKind::kTuple: {
+      std::string out = "tuple(";
+      for (size_t i = 0; i < size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rep_->field_names[i];
+        out += ": ";
+        out += rep_->children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      std::string out = kind() == ValueKind::kList ? "list(" : "set(";
+      for (size_t i = 0; i < size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rep_->children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace sgmlqdb::om

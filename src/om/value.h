@@ -1,0 +1,156 @@
+// Complex values of the extended O2 data model (paper §5.1).
+//
+// A value is: nil, an atomic value (integer/float/boolean/string), an
+// object identifier, an *ordered* tuple [a1: v1, ..., an: vn], a list
+// [v1, ..., vn], or a set {v1, ..., vn}.
+//
+// Two deliberate paper-faithful choices:
+//  * Tuples are ordered: [a:1, b:2] != [b:2, a:1] (§5.1).
+//  * There is no separate "union value" kind. A value of marked union
+//    type (a1:t1 + ... + an:tn) is the one-field tuple [ai: v] (§5.1),
+//    so the subtyping rule [ai:ti] <= (...+ai:ti+...) holds by
+//    construction.
+//
+// Values are immutable and cheaply copyable (shared representation).
+
+#ifndef SGMLQDB_OM_VALUE_H_
+#define SGMLQDB_OM_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgmlqdb::om {
+
+/// An object identifier ("oid"). Id 0 is reserved as "invalid".
+class ObjectId {
+ public:
+  ObjectId() : id_(0) {}
+  explicit ObjectId(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+
+  friend bool operator==(ObjectId a, ObjectId b) { return a.id_ == b.id_; }
+  friend bool operator!=(ObjectId a, ObjectId b) { return a.id_ != b.id_; }
+  friend bool operator<(ObjectId a, ObjectId b) { return a.id_ < b.id_; }
+
+ private:
+  uint64_t id_;
+};
+
+enum class ValueKind {
+  kNil = 0,
+  kInteger,
+  kFloat,
+  kBoolean,
+  kString,
+  kObject,
+  kTuple,
+  kList,
+  kSet,
+};
+
+/// Returns e.g. "tuple" for diagnostics.
+const char* ValueKindToString(ValueKind kind);
+
+class ValueRep;  // private representation, defined in value.cc
+
+/// An immutable complex value. Default-constructed Value is nil.
+class Value {
+ public:
+  Value();  // nil
+
+  // -- Factories ------------------------------------------------------
+  static Value Nil();
+  static Value Integer(int64_t v);
+  static Value Float(double v);
+  static Value Boolean(bool v);
+  static Value String(std::string v);
+  static Value Object(ObjectId oid);
+  /// Ordered tuple. Field names must be distinct (checked in debug).
+  static Value Tuple(std::vector<std::pair<std::string, Value>> fields);
+  static Value List(std::vector<Value> elems);
+  /// Set; duplicates are removed and elements canonically ordered,
+  /// so set equality is structural equality.
+  static Value Set(std::vector<Value> elems);
+
+  // -- Inspection ------------------------------------------------------
+  ValueKind kind() const;
+  bool is_nil() const { return kind() == ValueKind::kNil; }
+
+  int64_t AsInteger() const;
+  double AsFloat() const;
+  bool AsBoolean() const;
+  const std::string& AsString() const;
+  ObjectId AsObject() const;
+
+  /// Number of fields (tuple) or elements (list/set).
+  size_t size() const;
+
+  // Tuple access.
+  const std::string& FieldName(size_t i) const;
+  Value FieldValue(size_t i) const;
+  /// Returns the value of the named field, or nullopt if absent.
+  std::optional<Value> FindField(std::string_view name) const;
+  /// Returns the position of the named field, or nullopt.
+  std::optional<size_t> FieldIndex(std::string_view name) const;
+
+  // List / set access (sets are stored in canonical order).
+  Value Element(size_t i) const;
+
+  /// The paper's tuple-as-heterogeneous-list view (§4.4 / §5.1):
+  /// [a1:v1,...,an:vn] -> list [[a1:v1],...,[an:vn]]. Requires a tuple.
+  Value AsHeterogeneousList() const;
+
+  /// True for a one-field tuple [a: v] — the encoding of a marked-union
+  /// value whose chosen alternative is `a`.
+  bool IsMarkedUnionValue() const {
+    return kind() == ValueKind::kTuple && size() == 1;
+  }
+
+  // -- Comparison / hashing / printing ---------------------------------
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return Compare(a, b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+  /// Total order over all values: first by kind, then by content.
+  /// Used to canonicalize sets and to produce deterministic output.
+  static int Compare(const Value& a, const Value& b);
+
+  uint64_t Hash() const;
+
+  /// Renders the value, e.g. `tuple(title: "Intro", n: 3)`,
+  /// `list(1, 2)`, `set("a")`, `oid<7>`, `nil`.
+  std::string ToString() const;
+
+ private:
+  explicit Value(std::shared_ptr<const ValueRep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const ValueRep> rep_;
+  friend class ValueRep;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace sgmlqdb::om
+
+#endif  // SGMLQDB_OM_VALUE_H_

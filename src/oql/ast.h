@@ -1,0 +1,105 @@
+// Abstract syntax of the extended O2SQL fragment (paper §4):
+//
+//   select E
+//   from   v1 in C1, ..., base PATH_p.title(t), my_doc .. title(u)
+//   where  W
+//
+// plus standalone expressions (Q4's `my_article PATH_p - my_old_article
+// PATH_p`). Identifiers prefixed PATH_ are path variables, ATT_ are
+// attribute variables (§4.3).
+
+#ifndef SGMLQDB_OQL_AST_H_
+#define SGMLQDB_OQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "om/value.h"
+
+namespace sgmlqdb::oql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One step of a from-clause path pattern after the path variable:
+/// `.title`, `.ATT_a`, `[0]`, `[i]`, with an optional `(v)` capture.
+struct PatternStep {
+  enum class Kind { kAttr, kAttrVar, kIndexConst, kIndexVar };
+  Kind kind;
+  std::string name;       // attr name / ATT_ var / index var
+  int64_t index = 0;      // kIndexConst
+  std::string capture;    // bound variable from "(v)", or empty
+};
+
+/// `base PATH_p.title(t)` or `base .. title(t)`.
+struct PathPattern {
+  /// Path variable name ("PATH_p"), or empty for the `..` sugar
+  /// (an anonymous, existentially quantified variable).
+  std::string path_var;
+  std::vector<PatternStep> steps;
+  /// Capture directly on the path variable: `base PATH_p(x).title`.
+  std::string var_capture;
+};
+
+struct SelectQuery;
+
+struct Expr {
+  enum class Kind {
+    kIdent,      // variable or persistence root
+    kLiteral,    // string/int/float/bool/nil constant
+    kTupleCons,  // tuple(a: e, ...)
+    kListCons,   // list(e, ...)
+    kSetCons,    // set(e, ...)
+    kCall,       // f(e, ...)
+    kAttr,       // e.name  (implicit deref + implicit selectors)
+    kIndex,      // e[i]    (constant index)
+    kBinary,     // e OP e
+    kNot,        // not e
+    kContains,   // e contains <pattern>
+    kPathSet,    // e PATH_p... — the set of paths/bindings as a value
+    kSelect,     // nested select (allowed as an expression)
+  };
+  enum class BinOp {
+    kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr, kMinus,
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string ident;                       // kIdent / kAttr name / kCall fn
+  om::Value literal;                       // kLiteral
+  std::vector<std::pair<std::string, ExprPtr>> fields;  // kTupleCons
+  std::vector<ExprPtr> args;               // kCall/kListCons/kSetCons,
+                                           // kBinary (2), kNot/kAttr/kIndex
+                                           // (child at 0), kContains (0)
+  int64_t index = 0;                       // kIndex
+  BinOp op = BinOp::kEq;                   // kBinary
+  std::string pattern;                     // kContains: raw pattern text
+  PathPattern path;                        // kPathSet
+  std::shared_ptr<const SelectQuery> select;  // kSelect
+};
+
+struct FromBinding {
+  enum class Kind { kIn, kPath };
+  Kind kind;
+  std::string var;       // kIn: the bound variable
+  ExprPtr expr;          // kIn: the collection; kPath: the base
+  PathPattern path;      // kPath
+};
+
+struct SelectQuery {
+  ExprPtr select;
+  std::vector<FromBinding> from;
+  ExprPtr where;  // may be null
+};
+
+/// A parsed OQL statement: either a select-from-where or a bare
+/// expression.
+struct Statement {
+  std::shared_ptr<const SelectQuery> select;  // one of these is set
+  ExprPtr expr;
+};
+
+}  // namespace sgmlqdb::oql
+
+#endif  // SGMLQDB_OQL_AST_H_

@@ -1,0 +1,29 @@
+#include "oql/oql.h"
+
+#include "algebra/compile.h"
+#include "oql/parser.h"
+#include "oql/translate.h"
+
+namespace sgmlqdb::oql {
+
+Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,
+                             const om::Schema& schema,
+                             std::string_view statement,
+                             const OqlOptions& options) {
+  SGMLQDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  SGMLQDB_ASSIGN_OR_RETURN(Translated t, Translate(schema, stmt));
+  if (!t.is_query) {
+    return calculus::EvaluateClosedTerm(ctx, *t.term);
+  }
+  if (options.engine == Engine::kAlgebraic) {
+    Result<om::Value> r =
+        algebra::EvaluateAlgebraic(ctx, schema, t.query);
+    if (r.ok() || r.status().code() != StatusCode::kUnsupported) {
+      return r;
+    }
+    // Fall back to the reference evaluator for unsupported shapes.
+  }
+  return calculus::EvaluateQuery(ctx, t.query);
+}
+
+}  // namespace sgmlqdb::oql

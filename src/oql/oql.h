@@ -1,0 +1,35 @@
+// Public entry point for the extended O2SQL language (paper §4):
+// parse, typecheck/translate to the calculus, evaluate with either the
+// naive reference evaluator or the §5.4 algebraic engine.
+
+#ifndef SGMLQDB_OQL_OQL_H_
+#define SGMLQDB_OQL_OQL_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "calculus/eval.h"
+#include "om/schema.h"
+
+namespace sgmlqdb::oql {
+
+enum class Engine {
+  kNaive,      // §5.2 reference semantics
+  kAlgebraic,  // §5.4 schema-guided algebra (falls back to naive for
+               // shapes outside the compilable fragment)
+};
+
+struct OqlOptions {
+  Engine engine = Engine::kNaive;
+};
+
+/// Executes an OQL statement. Select queries return a set (of values,
+/// or of head tuples); bare expressions return their value.
+Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,
+                             const om::Schema& schema,
+                             std::string_view statement,
+                             const OqlOptions& options = {});
+
+}  // namespace sgmlqdb::oql
+
+#endif  // SGMLQDB_OQL_OQL_H_

@@ -1,0 +1,607 @@
+#include "oql/parser.h"
+
+#include <cctype>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::oql {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kInteger,
+    kFloat,
+    kString,
+    kSymbol,  // punctuation, in `text`
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int64_t integer = 0;
+  double real = 0.0;
+  size_t offset = 0;
+};
+
+/// Lazy lexer with raw-capture support for contains patterns.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Next() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  bool PeekIdent(std::string_view kw) const {
+    return current_.kind == Token::Kind::kIdent &&
+           EqualsIgnoreCase(current_.text, kw);
+  }
+
+  bool ConsumeIdent(std::string_view kw) {
+    if (!PeekIdent(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  bool PeekSymbol(std::string_view s) const {
+    return current_.kind == Token::Kind::kSymbol && current_.text == s;
+  }
+
+  bool ConsumeSymbol(std::string_view s) {
+    if (!PeekSymbol(s)) return false;
+    Advance();
+    return true;
+  }
+
+  /// Captures a raw contains-pattern: either a balanced-paren group
+  /// (content *without* the outer parens is returned wrapped back in
+  /// parens so Pattern::Parse sees grouping) or a single string
+  /// literal (returned quoted).
+  Result<std::string> CapturePattern() {
+    if (current_.kind == Token::Kind::kString) {
+      std::string out = "\"" + current_.text + "\"";
+      Advance();
+      return out;
+    }
+    if (!PeekSymbol("(")) {
+      return Status::ParseError(
+          "OQL: expected a pattern after 'contains' at offset " +
+          std::to_string(current_.offset));
+    }
+    // Re-scan raw text from the '(' with quote awareness.
+    size_t start = current_.offset;
+    size_t i = start;
+    int depth = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (c == '"' || c == '\'') {
+        char q = c;
+        ++i;
+        while (i < input_.size() && input_[i] != q) ++i;
+        if (i >= input_.size()) {
+          return Status::ParseError("OQL: unterminated string in pattern");
+        }
+        ++i;
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      ++i;
+    }
+    if (depth != 0) {
+      return Status::ParseError("OQL: unbalanced parentheses in pattern");
+    }
+    std::string out(input_.substr(start, i - start));
+    pos_ = i;
+    Advance();
+    return out;
+  }
+
+  size_t offset() const { return current_.offset; }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+    current_ = Token{};
+    current_.offset = pos_;
+    if (pos_ >= input_.size()) {
+      current_.kind = Token::Kind::kEnd;
+      return;
+    }
+    char c = input_[pos_];
+    if (IsAsciiAlpha(c) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (IsAsciiAlpha(input_[pos_]) || IsAsciiDigit(input_[pos_]) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::kIdent;
+      current_.text = std::string(input_.substr(start, pos_ - start));
+      return;
+    }
+    if (IsAsciiDigit(c)) {
+      size_t start = pos_;
+      bool is_float = false;
+      while (pos_ < input_.size() &&
+             (IsAsciiDigit(input_[pos_]) || input_[pos_] == '.')) {
+        // ".." is the path sugar, not a float part.
+        if (input_[pos_] == '.') {
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') break;
+          is_float = true;
+        }
+        ++pos_;
+      }
+      std::string text(input_.substr(start, pos_ - start));
+      if (is_float) {
+        current_.kind = Token::Kind::kFloat;
+        current_.real = std::stod(text);
+      } else {
+        current_.kind = Token::Kind::kInteger;
+        current_.integer = std::stoll(text);
+      }
+      current_.text = std::move(text);
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      char q = c;
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != q) ++pos_;
+      current_.kind = Token::Kind::kString;
+      current_.text = std::string(input_.substr(start, pos_ - start));
+      if (pos_ < input_.size()) ++pos_;  // closing quote
+      return;
+    }
+    // Symbols, longest first.
+    static constexpr std::string_view kSymbols[] = {
+        "..", "!=", "<=", ">=", "(", ")", "[", "]", ",", ".", ":",
+        "=",  "<",  ">",  "-",  "+",
+    };
+    for (std::string_view s : kSymbols) {
+      if (input_.substr(pos_).substr(0, s.size()) == s) {
+        current_.kind = Token::Kind::kSymbol;
+        current_.text = std::string(s);
+        pos_ += s.size();
+        return;
+      }
+    }
+    current_.kind = Token::Kind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+bool IsPathVarName(const std::string& name) {
+  return StartsWith(name, "PATH_");
+}
+bool IsAttrVarName(const std::string& name) {
+  return StartsWith(name, "ATT_");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lex_(input) {}
+
+  Result<Statement> Parse() {
+    Statement stmt;
+    if (lex_.PeekIdent("select")) {
+      SGMLQDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      stmt.select = std::move(select);
+    } else {
+      SGMLQDB_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+    }
+    if (lex_.Peek().kind != Token::Kind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  Status Err(const std::string& m) {
+    return Status::ParseError("OQL: " + m + " at offset " +
+                              std::to_string(lex_.offset()));
+  }
+
+  Result<std::shared_ptr<const SelectQuery>> ParseSelect() {
+    if (!lex_.ConsumeIdent("select")) return Err("expected 'select'");
+    auto q = std::make_shared<SelectQuery>();
+    SGMLQDB_ASSIGN_OR_RETURN(q->select, ParseExpr());
+    if (!lex_.ConsumeIdent("from")) return Err("expected 'from'");
+    while (true) {
+      SGMLQDB_ASSIGN_OR_RETURN(FromBinding b, ParseBinding());
+      q->from.push_back(std::move(b));
+      if (!lex_.ConsumeSymbol(",")) break;
+    }
+    if (lex_.ConsumeIdent("where")) {
+      SGMLQDB_ASSIGN_OR_RETURN(q->where, ParseExpr());
+    }
+    return std::shared_ptr<const SelectQuery>(std::move(q));
+  }
+
+  Result<FromBinding> ParseBinding() {
+    // Lookahead: IDENT 'in' -> membership binding; otherwise a path
+    // binding `expr PATH_p...` / `expr .. attr...`.
+    if (lex_.Peek().kind == Token::Kind::kIdent &&
+        !IsPathVarName(lex_.Peek().text)) {
+      Token ident = lex_.Peek();
+      // Tentatively parse as expr; if followed by `in`, it was a
+      // variable. Simple approach: consume ident, check 'in'.
+      if (!IsReservedWord(ident.text)) {
+        Lexer saved = lex_;
+        lex_.Next();
+        if (lex_.ConsumeIdent("in")) {
+          FromBinding b;
+          b.kind = FromBinding::Kind::kIn;
+          b.var = ident.text;
+          SGMLQDB_ASSIGN_OR_RETURN(b.expr, ParseExpr());
+          return b;
+        }
+        lex_ = saved;
+      }
+    }
+    // Path binding: base expression then PATH_ var or '..'.
+    FromBinding b;
+    b.kind = FromBinding::Kind::kPath;
+    SGMLQDB_ASSIGN_OR_RETURN(b.expr, ParsePostfix());
+    SGMLQDB_ASSIGN_OR_RETURN(b.path, ParsePathPattern());
+    return b;
+  }
+
+  static bool IsReservedWord(const std::string& w) {
+    for (const char* kw :
+         {"select", "from", "where", "in", "and", "or", "not", "contains",
+          "tuple", "list", "set", "near"}) {
+      if (EqualsIgnoreCase(w, kw)) return true;
+    }
+    return false;
+  }
+
+  /// Parses `PATH_p(x).title(t)[0]...` or `.. title(t)...`.
+  Result<PathPattern> ParsePathPattern() {
+    PathPattern p;
+    if (lex_.ConsumeSymbol("..")) {
+      // Anonymous variable; first step is a bare attribute name.
+      if (lex_.Peek().kind != Token::Kind::kIdent) {
+        return Err("expected an attribute name after '..'");
+      }
+      SGMLQDB_RETURN_IF_ERROR(ParseBareStep(&p));
+    } else if (lex_.Peek().kind == Token::Kind::kIdent &&
+               IsPathVarName(lex_.Peek().text)) {
+      p.path_var = lex_.Next().text;
+      if (lex_.ConsumeSymbol("(")) {
+        if (lex_.Peek().kind != Token::Kind::kIdent) {
+          return Err("expected a capture variable");
+        }
+        p.var_capture = lex_.Next().text;
+        if (!lex_.ConsumeSymbol(")")) return Err("expected ')'");
+      }
+    } else {
+      return Err("expected PATH_ variable or '..'");
+    }
+    while (true) {
+      if (lex_.ConsumeSymbol(".")) {
+        SGMLQDB_RETURN_IF_ERROR(ParseBareStep(&p));
+        continue;
+      }
+      if (lex_.ConsumeSymbol("[")) {
+        PatternStep s;
+        if (lex_.Peek().kind == Token::Kind::kInteger) {
+          s.kind = PatternStep::Kind::kIndexConst;
+          s.index = lex_.Next().integer;
+        } else if (lex_.Peek().kind == Token::Kind::kIdent) {
+          s.kind = PatternStep::Kind::kIndexVar;
+          s.name = lex_.Next().text;
+        } else {
+          return Err("expected an index");
+        }
+        if (!lex_.ConsumeSymbol("]")) return Err("expected ']'");
+        SGMLQDB_RETURN_IF_ERROR(MaybeCapture(&s));
+        p.steps.push_back(std::move(s));
+        continue;
+      }
+      break;
+    }
+    return p;
+  }
+
+  /// One `.attr` / `.ATT_a` step (the dot already consumed, or a bare
+  /// first step after '..').
+  Status ParseBareStep(PathPattern* p) {
+    if (lex_.Peek().kind != Token::Kind::kIdent) {
+      return Err("expected an attribute name");
+    }
+    PatternStep s;
+    std::string name = lex_.Next().text;
+    s.kind = IsAttrVarName(name) ? PatternStep::Kind::kAttrVar
+                                 : PatternStep::Kind::kAttr;
+    s.name = std::move(name);
+    SGMLQDB_RETURN_IF_ERROR(MaybeCapture(&s));
+    p->steps.push_back(std::move(s));
+    return Status::OK();
+  }
+
+  Status MaybeCapture(PatternStep* s) {
+    if (!lex_.ConsumeSymbol("(")) return Status::OK();
+    if (lex_.Peek().kind != Token::Kind::kIdent) {
+      return Err("expected a capture variable");
+    }
+    s->capture = lex_.Next().text;
+    if (!lex_.ConsumeSymbol(")")) return Err("expected ')'");
+    return Status::OK();
+  }
+
+  // ---- Expressions ---------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (lex_.ConsumeIdent("or")) {
+      SGMLQDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(Expr::BinOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (lex_.ConsumeIdent("and")) {
+      SGMLQDB_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(Expr::BinOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (lex_.ConsumeIdent("not")) {
+      SGMLQDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kNot;
+      e->args = {std::move(inner)};
+      return ExprPtr(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr left, ParseMinus());
+    if (lex_.ConsumeIdent("contains")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kContains;
+      e->args = {std::move(left)};
+      SGMLQDB_ASSIGN_OR_RETURN(e->pattern, lex_.CapturePattern());
+      return ExprPtr(std::move(e));
+    }
+    struct OpMap {
+      const char* sym;
+      Expr::BinOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"!=", Expr::BinOp::kNe}, {"<=", Expr::BinOp::kLe},
+        {">=", Expr::BinOp::kGe}, {"=", Expr::BinOp::kEq},
+        {"<", Expr::BinOp::kLt},  {">", Expr::BinOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (lex_.ConsumeSymbol(m.sym)) {
+        SGMLQDB_ASSIGN_OR_RETURN(ExprPtr right, ParseMinus());
+        return MakeBinary(m.op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMinus() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr left, ParsePathSet());
+    while (lex_.PeekSymbol("-")) {
+      lex_.Next();
+      SGMLQDB_ASSIGN_OR_RETURN(ExprPtr right, ParsePathSet());
+      left = MakeBinary(Expr::BinOp::kMinus, left, right);
+    }
+    return left;
+  }
+
+  /// `expr PATH_p` (path-set expression) or a plain postfix expr.
+  Result<ExprPtr> ParsePathSet() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr base, ParsePostfix());
+    if (lex_.Peek().kind == Token::Kind::kIdent &&
+        IsPathVarName(lex_.Peek().text)) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kPathSet;
+      e->args = {std::move(base)};
+      SGMLQDB_ASSIGN_OR_RETURN(e->path, ParsePathPattern());
+      return ExprPtr(std::move(e));
+    }
+    return base;
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    SGMLQDB_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (true) {
+      if (lex_.ConsumeSymbol(".")) {
+        if (lex_.Peek().kind != Token::Kind::kIdent) {
+          return Err("expected an attribute after '.'");
+        }
+        auto a = std::make_shared<Expr>();
+        a->kind = Expr::Kind::kAttr;
+        a->ident = lex_.Next().text;
+        a->args = {std::move(e)};
+        e = std::move(a);
+        continue;
+      }
+      if (lex_.ConsumeSymbol("[")) {
+        if (lex_.Peek().kind != Token::Kind::kInteger) {
+          return Err("expected a constant index");
+        }
+        auto a = std::make_shared<Expr>();
+        a->kind = Expr::Kind::kIndex;
+        a->index = lex_.Next().integer;
+        a->args = {std::move(e)};
+        if (!lex_.ConsumeSymbol("]")) return Err("expected ']'");
+        e = std::move(a);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = lex_.Peek();
+    switch (t.kind) {
+      case Token::Kind::kString: {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = om::Value::String(lex_.Next().text);
+        return ExprPtr(std::move(e));
+      }
+      case Token::Kind::kInteger: {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = om::Value::Integer(lex_.Next().integer);
+        return ExprPtr(std::move(e));
+      }
+      case Token::Kind::kFloat: {
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = om::Value::Float(lex_.Next().real);
+        return ExprPtr(std::move(e));
+      }
+      case Token::Kind::kSymbol:
+        if (lex_.ConsumeSymbol("(")) {
+          if (lex_.PeekIdent("select")) {
+            SGMLQDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+            auto sub = std::make_shared<Expr>();
+            sub->kind = Expr::Kind::kSelect;
+            sub->select = std::move(select);
+            if (!lex_.ConsumeSymbol(")")) return Err("expected ')'");
+            return ExprPtr(std::move(sub));
+          }
+          SGMLQDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          if (!lex_.ConsumeSymbol(")")) return Err("expected ')'");
+          return inner;
+        }
+        return Err("unexpected symbol '" + t.text + "'");
+      case Token::Kind::kIdent:
+        break;
+      default:
+        return Err("unexpected end of input");
+    }
+    std::string name = lex_.Next().text;
+    if (EqualsIgnoreCase(name, "true") || EqualsIgnoreCase(name, "false")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = om::Value::Boolean(EqualsIgnoreCase(name, "true"));
+      return ExprPtr(std::move(e));
+    }
+    if (EqualsIgnoreCase(name, "nil")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = om::Value::Nil();
+      return ExprPtr(std::move(e));
+    }
+    if (EqualsIgnoreCase(name, "select")) {
+      return Err("nested 'select' must be parenthesized as an argument");
+    }
+    if (EqualsIgnoreCase(name, "tuple")) {
+      if (!lex_.ConsumeSymbol("(")) return Err("expected '(' after tuple");
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kTupleCons;
+      if (!lex_.ConsumeSymbol(")")) {
+        while (true) {
+          if (lex_.Peek().kind != Token::Kind::kIdent) {
+            return Err("expected a field name");
+          }
+          std::string field = lex_.Next().text;
+          if (!lex_.ConsumeSymbol(":")) return Err("expected ':'");
+          SGMLQDB_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+          e->fields.emplace_back(std::move(field), std::move(v));
+          if (lex_.ConsumeSymbol(",")) continue;
+          if (lex_.ConsumeSymbol(")")) break;
+          return Err("expected ',' or ')' in tuple constructor");
+        }
+      }
+      return ExprPtr(std::move(e));
+    }
+    if (EqualsIgnoreCase(name, "list") || EqualsIgnoreCase(name, "set")) {
+      if (!lex_.ConsumeSymbol("(")) {
+        return Err("expected '(' after " + name);
+      }
+      auto e = std::make_shared<Expr>();
+      e->kind = EqualsIgnoreCase(name, "list") ? Expr::Kind::kListCons
+                                               : Expr::Kind::kSetCons;
+      if (!lex_.ConsumeSymbol(")")) {
+        while (true) {
+          SGMLQDB_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+          e->args.push_back(std::move(v));
+          if (lex_.ConsumeSymbol(",")) continue;
+          if (lex_.ConsumeSymbol(")")) break;
+          return Err("expected ',' or ')'");
+        }
+      }
+      return ExprPtr(std::move(e));
+    }
+    // Function call?
+    if (lex_.PeekSymbol("(")) {
+      lex_.Next();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kCall;
+      e->ident = std::move(name);
+      if (!lex_.ConsumeSymbol(")")) {
+        while (true) {
+          if (lex_.PeekIdent("select")) {
+            SGMLQDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
+            auto sub = std::make_shared<Expr>();
+            sub->kind = Expr::Kind::kSelect;
+            sub->select = std::move(select);
+            e->args.push_back(std::move(sub));
+          } else {
+            SGMLQDB_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+            e->args.push_back(std::move(v));
+          }
+          if (lex_.ConsumeSymbol(",")) continue;
+          if (lex_.ConsumeSymbol(")")) break;
+          return Err("expected ',' or ')' in call");
+        }
+      }
+      return ExprPtr(std::move(e));
+    }
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::kIdent;
+    e->ident = std::move(name);
+    return ExprPtr(std::move(e));
+  }
+
+  ExprPtr MakeBinary(Expr::BinOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace sgmlqdb::oql

@@ -1,0 +1,19 @@
+// Parser for the extended O2SQL fragment (paper §4). See ast.h for
+// the grammar sketch and oql.h for the execution entry point.
+
+#ifndef SGMLQDB_OQL_PARSER_H_
+#define SGMLQDB_OQL_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "oql/ast.h"
+
+namespace sgmlqdb::oql {
+
+/// Parses a statement (select-from-where or bare expression).
+Result<Statement> ParseStatement(std::string_view input);
+
+}  // namespace sgmlqdb::oql
+
+#endif  // SGMLQDB_OQL_PARSER_H_

@@ -1,0 +1,502 @@
+#include "oql/translate.h"
+
+#include <map>
+#include <set>
+
+#include "base/strutil.h"
+#include "om/subtype.h"
+
+namespace sgmlqdb::oql {
+
+using calculus::AttrTerm;
+using calculus::DataTerm;
+using calculus::DataTermPtr;
+using calculus::Formula;
+using calculus::FormulaPtr;
+using calculus::PathTerm;
+using calculus::Query;
+using calculus::Sort;
+using calculus::Variable;
+using om::Schema;
+using om::Type;
+using om::TypeKind;
+using om::Value;
+
+namespace {
+
+/// A translated value expression with its inferred static type.
+struct TypedTerm {
+  DataTermPtr term;
+  Type type;  // Any when unknown
+};
+
+class Translator {
+ public:
+  explicit Translator(const Schema& schema) : schema_(schema) {}
+
+  Result<Translated> Run(const Statement& stmt) {
+    Translated out;
+    if (stmt.select != nullptr) {
+      out.is_query = true;
+      SGMLQDB_ASSIGN_OR_RETURN(out.query, TranslateSelect(*stmt.select));
+      return out;
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*stmt.expr));
+    out.term = t.term;
+    return out;
+  }
+
+ private:
+  struct ScopeVar {
+    Sort sort;
+    Type type;
+  };
+
+  // -- Select queries ---------------------------------------------------
+
+  Result<Query> TranslateSelect(const SelectQuery& select) {
+    std::vector<FormulaPtr> conjuncts;
+    for (const FromBinding& b : select.from) {
+      SGMLQDB_RETURN_IF_ERROR(TranslateBinding(b, &conjuncts));
+    }
+    if (select.where != nullptr) {
+      SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr w,
+                               TranslateCondition(*select.where));
+      conjuncts.push_back(std::move(w));
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(TypedTerm result, TranslateValue(*select.select));
+    conjuncts.push_back(
+        Formula::Eq(DataTerm::Var("__r"), std::move(result.term)));
+
+    // Quantify every scope variable; head is the single result.
+    std::vector<Variable> quantified;
+    for (const auto& [name, var] : scope_) {
+      quantified.push_back(Variable{var.sort, name});
+    }
+    Query q;
+    q.head = {calculus::DataVar("__r")};
+    q.body = Formula::Exists(std::move(quantified),
+                             Formula::And(std::move(conjuncts)));
+    return q;
+  }
+
+  Status TranslateBinding(const FromBinding& b,
+                          std::vector<FormulaPtr>* conjuncts) {
+    if (b.kind == FromBinding::Kind::kIn) {
+      SGMLQDB_ASSIGN_OR_RETURN(TypedTerm coll, TranslateValue(*b.expr));
+      Type elem = Type::Any();
+      if (coll.type.kind() == TypeKind::kList ||
+          coll.type.kind() == TypeKind::kSet) {
+        elem = coll.type.element_type();
+      } else if (coll.type.kind() != TypeKind::kAny) {
+        return Status::TypeError("'in' range is not a collection: " +
+                                 coll.type.ToString());
+      }
+      SGMLQDB_RETURN_IF_ERROR(Declare(b.var, Sort::kData, elem));
+      conjuncts->push_back(
+          Formula::In(DataTerm::Var(b.var), std::move(coll.term)));
+      return Status::OK();
+    }
+    // Path binding: base PATH_p.steps...
+    SGMLQDB_ASSIGN_OR_RETURN(TypedTerm base, TranslateValue(*b.expr));
+    SGMLQDB_ASSIGN_OR_RETURN(PathTerm path, TranslatePattern(b.path));
+    conjuncts->push_back(Formula::PathPred(std::move(base.term),
+                                           std::move(path)));
+    return Status::OK();
+  }
+
+  Result<PathTerm> TranslatePattern(const PathPattern& p) {
+    PathTerm out;
+    std::string pvar = p.path_var;
+    if (pvar.empty()) {
+      pvar = "__anon_path_" + std::to_string(next_anon_++);
+    }
+    SGMLQDB_RETURN_IF_ERROR(Declare(pvar, Sort::kPath, Type::Any()));
+    out = out + PathTerm::Var(pvar);
+    if (!p.var_capture.empty()) {
+      SGMLQDB_RETURN_IF_ERROR(
+          Declare(p.var_capture, Sort::kData, Type::Any()));
+      out = out + PathTerm::Capture(p.var_capture);
+    }
+    for (const PatternStep& s : p.steps) {
+      switch (s.kind) {
+        case PatternStep::Kind::kAttr:
+          out = out + PathTerm::Attr(s.name);
+          break;
+        case PatternStep::Kind::kAttrVar:
+          SGMLQDB_RETURN_IF_ERROR(Declare(s.name, Sort::kAttr, Type::Any()));
+          out = out + PathTerm::AttrVariable(s.name);
+          break;
+        case PatternStep::Kind::kIndexConst:
+          out = out + PathTerm::Index(s.index);
+          break;
+        case PatternStep::Kind::kIndexVar:
+          SGMLQDB_RETURN_IF_ERROR(
+              Declare(s.name, Sort::kData, Type::Integer()));
+          out = out + PathTerm::IndexVariable(s.name);
+          break;
+      }
+      if (!s.capture.empty()) {
+        SGMLQDB_RETURN_IF_ERROR(
+            Declare(s.capture, Sort::kData, Type::Any()));
+        out = out + PathTerm::Capture(s.capture);
+      }
+    }
+    return out;
+  }
+
+  Status Declare(const std::string& name, Sort sort, Type type) {
+    auto it = scope_.find(name);
+    if (it != scope_.end()) {
+      if (it->second.sort != sort) {
+        return Status::TypeError("variable '" + name +
+                                 "' used with two different sorts");
+      }
+      return Status::OK();  // repeated use = join
+    }
+    scope_[name] = ScopeVar{sort, std::move(type)};
+    return Status::OK();
+  }
+
+  // -- Value expressions -------------------------------------------------
+
+  Result<TypedTerm> TranslateValue(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIdent: {
+        auto it = scope_.find(e.ident);
+        if (it != scope_.end()) {
+          switch (it->second.sort) {
+            case Sort::kData:
+              return TypedTerm{DataTerm::Var(e.ident), it->second.type};
+            case Sort::kPath:
+              return TypedTerm{
+                  DataTerm::PathAsData(PathTerm::Var(e.ident)),
+                  Type::List(Type::Any())};
+            case Sort::kAttr:
+              return TypedTerm{DataTerm::AttrAsData(AttrTerm::Var(e.ident)),
+                               Type::String()};
+          }
+        }
+        if (const om::NameDef* def = schema_.FindName(e.ident)) {
+          return TypedTerm{DataTerm::Name(e.ident), def->type};
+        }
+        return Status::TypeError("unknown identifier '" + e.ident + "'");
+      }
+      case Expr::Kind::kLiteral: {
+        Type t = Type::Any();
+        switch (e.literal.kind()) {
+          case om::ValueKind::kInteger:
+            t = Type::Integer();
+            break;
+          case om::ValueKind::kFloat:
+            t = Type::Float();
+            break;
+          case om::ValueKind::kBoolean:
+            t = Type::Boolean();
+            break;
+          case om::ValueKind::kString:
+            t = Type::String();
+            break;
+          default:
+            break;
+        }
+        return TypedTerm{DataTerm::Const(e.literal), t};
+      }
+      case Expr::Kind::kAttr: {
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm base, TranslateValue(*e.args[0]));
+        SGMLQDB_ASSIGN_OR_RETURN(Type result,
+                                 ResolveAttr(base.type, e.ident));
+        return TypedTerm{
+            DataTerm::Function("__select_attr",
+                               {base.term,
+                                DataTerm::Const(Value::String(e.ident))}),
+            result};
+      }
+      case Expr::Kind::kIndex: {
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm base, TranslateValue(*e.args[0]));
+        Type elem = Type::Any();
+        Type t = base.type;
+        if (t.kind() == TypeKind::kClass) {
+          Result<Type> eff = schema_.EffectiveType(t.class_name());
+          if (eff.ok()) t = eff.value();
+        }
+        if (t.kind() == TypeKind::kList) elem = t.element_type();
+        return TypedTerm{
+            DataTerm::Function(
+                "__index",
+                {base.term, DataTerm::Const(Value::Integer(e.index))}),
+            elem};
+      }
+      case Expr::Kind::kTupleCons: {
+        std::vector<std::pair<AttrTerm, DataTermPtr>> fields;
+        std::vector<std::pair<std::string, Type>> field_types;
+        for (const auto& [name, sub] : e.fields) {
+          SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*sub));
+          fields.emplace_back(AttrTerm::Name(name), t.term);
+          field_types.emplace_back(name, t.type);
+        }
+        return TypedTerm{DataTerm::TupleCons(std::move(fields)),
+                         Type::Tuple(std::move(field_types))};
+      }
+      case Expr::Kind::kListCons:
+      case Expr::Kind::kSetCons: {
+        std::vector<DataTermPtr> elems;
+        Type elem_type = Type::Any();
+        bool first = true;
+        for (const ExprPtr& sub : e.args) {
+          SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*sub));
+          if (first) {
+            elem_type = t.type;
+            first = false;
+          } else if (!Type::Equals(elem_type, t.type)) {
+            // §4.2: elements need a common supertype.
+            Result<Type> lcs =
+                om::LeastCommonSupertype(elem_type, t.type, schema_);
+            if (!lcs.ok()) return lcs.status();
+            elem_type = lcs.value();
+          }
+          elems.push_back(t.term);
+        }
+        if (e.kind == Expr::Kind::kListCons) {
+          return TypedTerm{DataTerm::ListCons(std::move(elems)),
+                           Type::List(elem_type)};
+        }
+        return TypedTerm{DataTerm::SetCons(std::move(elems)),
+                         Type::Set(elem_type)};
+      }
+      case Expr::Kind::kCall:
+        return TranslateCall(e);
+      case Expr::Kind::kBinary: {
+        if (e.op == Expr::BinOp::kMinus) {
+          SGMLQDB_ASSIGN_OR_RETURN(TypedTerm l, TranslateValue(*e.args[0]));
+          SGMLQDB_ASSIGN_OR_RETURN(TypedTerm r, TranslateValue(*e.args[1]));
+          return TypedTerm{
+              DataTerm::Function("set_difference", {l.term, r.term}),
+              l.type};
+        }
+        return Status::Unsupported(
+            "comparison/boolean operators are conditions, not values");
+      }
+      case Expr::Kind::kPathSet:
+        return TranslatePathSet(e);
+      case Expr::Kind::kSelect: {
+        Translator nested(schema_);
+        Statement s;
+        s.select = e.select;
+        SGMLQDB_ASSIGN_OR_RETURN(Translated t, nested.Run(s));
+        auto q = std::make_shared<Query>(std::move(t.query));
+        return TypedTerm{DataTerm::Subquery(std::move(q)),
+                         Type::Set(Type::Any())};
+      }
+      default:
+        return Status::Unsupported("expression cannot be used as a value");
+    }
+  }
+
+  /// `base PATH_p.steps` in value position: the set of path values
+  /// (plus captures projected away) — used by Q4.
+  Result<TypedTerm> TranslatePathSet(const Expr& e) {
+    Translator nested(schema_);
+    // Share the enclosing scope so the base may reference bound vars.
+    nested.scope_ = scope_;
+    SGMLQDB_ASSIGN_OR_RETURN(TypedTerm base,
+                             nested.TranslateValue(*e.args[0]));
+    SGMLQDB_ASSIGN_OR_RETURN(PathTerm path, nested.TranslatePattern(e.path));
+    std::string pvar = e.path.path_var;
+    if (pvar.empty()) {
+      return Status::TypeError(
+          "a path-set expression needs a named PATH_ variable");
+    }
+    auto q = std::make_shared<Query>();
+    q->head = {calculus::PathVar(pvar)};
+    // Quantify the other pattern variables.
+    std::vector<Variable> quantified;
+    for (const auto& [name, var] : nested.scope_) {
+      if (name == pvar || scope_.count(name) > 0) continue;
+      quantified.push_back(Variable{var.sort, name});
+    }
+    FormulaPtr body = Formula::PathPred(base.term, path);
+    if (!quantified.empty()) {
+      body = Formula::Exists(std::move(quantified), std::move(body));
+    }
+    q->body = std::move(body);
+    return TypedTerm{DataTerm::Subquery(std::move(q)),
+                     Type::Set(Type::Any())};
+  }
+
+  Result<TypedTerm> TranslateCall(const Expr& e) {
+    std::vector<DataTermPtr> args;
+    std::vector<Type> arg_types;
+    for (const ExprPtr& sub : e.args) {
+      SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*sub));
+      args.push_back(t.term);
+      arg_types.push_back(t.type);
+    }
+    const std::string fn = AsciiToLower(e.ident);
+    Type result = Type::Any();
+    if (fn == "count" || fn == "length") {
+      result = Type::Integer();
+    } else if (fn == "text" || fn == "name") {
+      result = Type::String();
+    } else if ((fn == "first" || fn == "last" || fn == "element") &&
+               !arg_types.empty()) {
+      Type t = arg_types[0];
+      if (t.kind() == TypeKind::kList || t.kind() == TypeKind::kSet) {
+        result = t.element_type();
+      }
+    } else if (fn == "set_to_list" && !arg_types.empty() &&
+               arg_types[0].kind() == TypeKind::kSet) {
+      result = Type::List(arg_types[0].element_type());
+    } else if (fn == "positions") {
+      result = Type::List(Type::Integer());
+    }
+    return TypedTerm{DataTerm::Function(fn, std::move(args)), result};
+  }
+
+  /// Static attribute resolution with implicit dereferencing and
+  /// implicit selectors (§4.2): a TypeError when no alternative of a
+  /// union supplies the attribute ("this leads to a type error").
+  Result<Type> ResolveAttr(const Type& type, const std::string& attr) {
+    switch (type.kind()) {
+      case TypeKind::kAny:
+        return Type::Any();  // dynamic — checked at evaluation
+      case TypeKind::kClass: {
+        SGMLQDB_ASSIGN_OR_RETURN(Type effective,
+                                 schema_.EffectiveType(type.class_name()));
+        return ResolveAttr(effective, attr);
+      }
+      case TypeKind::kTuple: {
+        std::optional<Type> f = type.FindField(attr);
+        if (f.has_value()) return *f;
+        return Status::TypeError("type " + type.ToString() +
+                                 " has no attribute '" + attr + "'");
+      }
+      case TypeKind::kUnion: {
+        // Direct marker access.
+        std::optional<Type> direct = type.FindField(attr);
+        if (direct.has_value()) return *direct;
+        // Implicit selectors: search alternatives.
+        std::vector<Type> found;
+        for (size_t i = 0; i < type.size(); ++i) {
+          Type alt = type.FieldType(i);
+          if (alt.kind() == TypeKind::kClass) {
+            Result<Type> eff = schema_.EffectiveType(alt.class_name());
+            if (eff.ok()) alt = eff.value();
+          }
+          if (alt.kind() == TypeKind::kTuple) {
+            std::optional<Type> f = alt.FindField(attr);
+            if (f.has_value()) found.push_back(*f);
+          }
+        }
+        if (found.empty()) {
+          return Status::TypeError(
+              "no alternative of " + type.ToString() +
+              " has attribute '" + attr + "' (implicit selector fails)");
+        }
+        Type merged = found[0];
+        for (size_t i = 1; i < found.size(); ++i) {
+          if (Type::Equals(merged, found[i])) continue;
+          Result<Type> lcs =
+              om::LeastCommonSupertype(merged, found[i], schema_);
+          if (lcs.ok()) {
+            merged = lcs.value();
+          } else {
+            // §5.3: a system-supplied marked union is generated.
+            merged = Type::Union({{"alpha1", merged},
+                                  {"alpha2", found[i]}});
+          }
+        }
+        return merged;
+      }
+      default:
+        return Status::TypeError("type " + type.ToString() +
+                                 " has no attributes");
+    }
+  }
+
+  // -- Conditions ---------------------------------------------------------
+
+  Result<FormulaPtr> TranslateCondition(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kBinary: {
+        switch (e.op) {
+          case Expr::BinOp::kAnd: {
+            SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr l,
+                                     TranslateCondition(*e.args[0]));
+            SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr r,
+                                     TranslateCondition(*e.args[1]));
+            return Formula::And({std::move(l), std::move(r)});
+          }
+          case Expr::BinOp::kOr: {
+            SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr l,
+                                     TranslateCondition(*e.args[0]));
+            SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr r,
+                                     TranslateCondition(*e.args[1]));
+            return Formula::Or({std::move(l), std::move(r)});
+          }
+          default:
+            break;
+        }
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm l, TranslateValue(*e.args[0]));
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm r, TranslateValue(*e.args[1]));
+        switch (e.op) {
+          case Expr::BinOp::kEq:
+            return Formula::Eq(l.term, r.term);
+          case Expr::BinOp::kNe:
+            return Formula::Not(Formula::Eq(l.term, r.term));
+          case Expr::BinOp::kLt:
+            return Formula::Less(l.term, r.term);
+          case Expr::BinOp::kGt:
+            return Formula::Less(r.term, l.term);
+          case Expr::BinOp::kLe:
+            return Formula::Not(Formula::Less(r.term, l.term));
+          case Expr::BinOp::kGe:
+            return Formula::Not(Formula::Less(l.term, r.term));
+          default:
+            return Status::Unsupported("operator in condition position");
+        }
+      }
+      case Expr::Kind::kNot: {
+        SGMLQDB_ASSIGN_OR_RETURN(FormulaPtr inner,
+                                 TranslateCondition(*e.args[0]));
+        return Formula::Not(std::move(inner));
+      }
+      case Expr::Kind::kContains: {
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*e.args[0]));
+        return Formula::Interpreted(
+            "contains",
+            {t.term, DataTerm::Const(Value::String(e.pattern))});
+      }
+      case Expr::Kind::kCall: {
+        if (EqualsIgnoreCase(e.ident, "near")) {
+          std::vector<DataTermPtr> args;
+          for (const ExprPtr& sub : e.args) {
+            SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*sub));
+            args.push_back(t.term);
+          }
+          return Formula::Interpreted("near", std::move(args));
+        }
+        // Boolean-valued function.
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(e));
+        return Formula::Eq(t.term, DataTerm::Const(Value::Boolean(true)));
+      }
+      default: {
+        SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(e));
+        return Formula::Eq(t.term, DataTerm::Const(Value::Boolean(true)));
+      }
+    }
+  }
+
+  const Schema& schema_;
+  std::map<std::string, ScopeVar> scope_;
+  size_t next_anon_ = 0;
+};
+
+}  // namespace
+
+Result<Translated> Translate(const Schema& schema,
+                             const Statement& statement) {
+  return Translator(schema).Run(statement);
+}
+
+}  // namespace sgmlqdb::oql

@@ -1,0 +1,35 @@
+// OQL -> calculus translation (the paper's §5.2 closing remark: every
+// extended-O2SQL query of the form `Doc PATH_p[i].ATT_a(x)...`
+// translates to a calculus expression `{[P,I,A,X,...] | <Doc
+// P[I].A(X)...>}`).
+//
+// Translation performs the paper's light static typing (§4.2/§5.3):
+// variable types are inferred from their range; attribute access on a
+// class implicitly dereferences; access on a marked union goes
+// through *implicit selectors* — and is a static TypeError when no
+// alternative supplies the attribute.
+
+#ifndef SGMLQDB_OQL_TRANSLATE_H_
+#define SGMLQDB_OQL_TRANSLATE_H_
+
+#include "base/status.h"
+#include "calculus/formula.h"
+#include "om/schema.h"
+#include "oql/ast.h"
+
+namespace sgmlqdb::oql {
+
+struct Translated {
+  /// True when the statement is a select-from-where (a calculus
+  /// query); false for a bare expression (a closed data term).
+  bool is_query = false;
+  calculus::Query query;
+  calculus::DataTermPtr term;
+};
+
+Result<Translated> Translate(const om::Schema& schema,
+                             const Statement& statement);
+
+}  // namespace sgmlqdb::oql
+
+#endif  // SGMLQDB_OQL_TRANSLATE_H_

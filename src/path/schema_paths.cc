@@ -1,0 +1,179 @@
+#include "path/schema_paths.h"
+
+#include <set>
+
+namespace sgmlqdb::path {
+
+using om::Schema;
+using om::Type;
+using om::TypeKind;
+
+bool SchemaStep::Matches(const PathStep& step) const {
+  switch (kind_) {
+    case Kind::kAttr:
+      return step.kind() == PathStep::Kind::kAttr && step.attr() == attr_;
+    case Kind::kIndexAny:
+      return step.kind() == PathStep::Kind::kIndex;
+    case Kind::kSetAny:
+      return step.kind() == PathStep::Kind::kSetElem;
+    case Kind::kDeref:
+      return step.kind() == PathStep::Kind::kDeref;
+  }
+  return false;
+}
+
+std::string SchemaStep::ToString() const {
+  switch (kind_) {
+    case Kind::kAttr:
+      return "." + attr_;
+    case Kind::kIndexAny:
+      return "[*]";
+    case Kind::kSetAny:
+      return "{*}";
+    case Kind::kDeref:
+      return "->" /* + "(" + attr_ + ")" kept terse */;
+  }
+  return "?";
+}
+
+bool SchemaPath::Matches(const Path& path) const {
+  if (path.length() != steps.size()) return false;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (!steps[i].Matches(path.step(i))) return false;
+  }
+  return true;
+}
+
+std::string SchemaPath::ToString() const {
+  std::string out;
+  if (steps.empty()) out = "<empty>";
+  for (const SchemaStep& s : steps) out += s.ToString();
+  out += " : " + result_type.ToString();
+  return out;
+}
+
+namespace {
+
+struct SchemaEnumState {
+  const Schema* schema;
+  const SchemaPathOptions* options;
+  std::vector<SchemaPath> out;
+  std::vector<SchemaStep> current;
+  std::set<std::string> derefed_classes;
+
+  void Emit(const Type& t) {
+    if (options->ending_attribute.has_value()) {
+      if (current.empty()) return;
+      const SchemaStep& last = current.back();
+      if (last.kind() != SchemaStep::Kind::kAttr ||
+          last.name() != *options->ending_attribute) {
+        return;
+      }
+    }
+    out.push_back(SchemaPath{current, t});
+  }
+
+  void Walk(const Type& t) {
+    Emit(t);
+    if (options->max_length != 0 && current.size() >= options->max_length) {
+      return;
+    }
+    switch (t.kind()) {
+      case TypeKind::kTuple:
+      case TypeKind::kUnion:
+        // Union alternatives are selected exactly like tuple
+        // attributes (markers), matching the value encoding.
+        for (size_t i = 0; i < t.size(); ++i) {
+          current.push_back(SchemaStep::Attr(t.FieldName(i)));
+          Walk(t.FieldType(i));
+          current.pop_back();
+        }
+        break;
+      case TypeKind::kList:
+        current.push_back(SchemaStep::IndexAny());
+        Walk(t.element_type());
+        current.pop_back();
+        break;
+      case TypeKind::kSet:
+        current.push_back(SchemaStep::SetAny());
+        Walk(t.element_type());
+        current.pop_back();
+        break;
+      case TypeKind::kClass: {
+        const std::string& cls = t.class_name();
+        if (derefed_classes.count(cls) > 0) break;
+        // A value of a class type may be an object of the class *or of
+        // any subclass*; dereference through each possibility (the
+        // subclass may have a wider effective type).
+        for (const std::string& sub : schema->SubclassesOf(cls)) {
+          if (derefed_classes.count(sub) > 0) continue;
+          Result<Type> effective = schema->EffectiveType(sub);
+          if (!effective.ok()) continue;
+          // A subclass with the identical effective type adds nothing.
+          if (sub != cls &&
+              Type::Equals(effective.value(),
+                           schema->EffectiveType(cls).ok()
+                               ? schema->EffectiveType(cls).value()
+                               : Type::Any())) {
+            continue;
+          }
+          derefed_classes.insert(cls);
+          derefed_classes.insert(sub);
+          current.push_back(SchemaStep::Deref(sub));
+          Walk(effective.value());
+          current.pop_back();
+          derefed_classes.erase(sub);
+          if (sub != cls) derefed_classes.erase(cls);
+        }
+        break;
+      }
+      default:
+        break;  // atomic / any: leaf
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<SchemaPath> EnumerateSchemaPaths(const Schema& schema,
+                                             const Type& start,
+                                             const SchemaPathOptions& options) {
+  SchemaEnumState state;
+  state.schema = &schema;
+  state.options = &options;
+  state.Walk(start);
+  return state.out;
+}
+
+Result<om::Type> TypeOfAttributeTargets(const Schema& schema,
+                                        const Type& start,
+                                        const std::string& attr) {
+  SchemaPathOptions options;
+  options.ending_attribute = attr;
+  std::vector<SchemaPath> paths = EnumerateSchemaPaths(schema, start, options);
+  if (paths.empty()) {
+    return Status::TypeError("no path ending with attribute '" + attr +
+                             "' exists in type " + start.ToString());
+  }
+  // Deduplicate result types.
+  std::vector<Type> types;
+  for (const SchemaPath& p : paths) {
+    bool seen = false;
+    for (const Type& t : types) {
+      if (Type::Equals(t, p.result_type)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) types.push_back(p.result_type);
+  }
+  if (types.size() == 1) return types[0];
+  // System-supplied markers alpha1, alpha2, ... (paper §5.3).
+  std::vector<std::pair<std::string, Type>> alts;
+  for (size_t i = 0; i < types.size(); ++i) {
+    alts.emplace_back("alpha" + std::to_string(i + 1), types[i]);
+  }
+  return Type::Union(std::move(alts));
+}
+
+}  // namespace sgmlqdb::path

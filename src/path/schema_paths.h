@@ -1,0 +1,106 @@
+// Schema-level path enumeration (paper §5.4).
+//
+// Under the restricted path semantics (no two dereferences through the
+// same class), the set of *abstract* paths derivable from a type is
+// finite and computable from the schema alone. This is the basis of
+// the algebraization: path/attribute variables in a query are replaced
+// by the (finitely many) schema paths that match, turning the query
+// into a union of path-free queries.
+//
+// A schema path abstracts concrete paths: list indices become [*],
+// set choices become {*}; attribute and dereference steps are exact.
+
+#ifndef SGMLQDB_PATH_SCHEMA_PATHS_H_
+#define SGMLQDB_PATH_SCHEMA_PATHS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "om/schema.h"
+#include "om/type.h"
+#include "path/path.h"
+
+namespace sgmlqdb::path {
+
+/// One abstract step.
+class SchemaStep {
+ public:
+  enum class Kind { kAttr, kIndexAny, kSetAny, kDeref };
+
+  static SchemaStep Attr(std::string name) {
+    SchemaStep s(Kind::kAttr);
+    s.attr_ = std::move(name);
+    return s;
+  }
+  static SchemaStep IndexAny() { return SchemaStep(Kind::kIndexAny); }
+  static SchemaStep SetAny() { return SchemaStep(Kind::kSetAny); }
+  static SchemaStep Deref(std::string class_name) {
+    SchemaStep s(Kind::kDeref);
+    s.attr_ = std::move(class_name);
+    return s;
+  }
+
+  Kind kind() const { return kind_; }
+  /// Attribute name (kAttr) or class name (kDeref).
+  const std::string& name() const { return attr_; }
+
+  friend bool operator==(const SchemaStep& a, const SchemaStep& b) {
+    return a.kind_ == b.kind_ && a.attr_ == b.attr_;
+  }
+
+  /// Whether a concrete step is an instance of this abstract step.
+  bool Matches(const PathStep& step) const;
+
+  /// ".title", "[*]", "{*}", "->".
+  std::string ToString() const;
+
+ private:
+  explicit SchemaStep(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string attr_;
+};
+
+/// An abstract path plus the type it leads to.
+struct SchemaPath {
+  std::vector<SchemaStep> steps;
+  om::Type result_type;
+
+  /// Whether a concrete path instantiates this schema path.
+  bool Matches(const Path& path) const;
+
+  std::string ToString() const;
+};
+
+struct SchemaPathOptions {
+  /// Cap on path length (0 = unlimited; enumeration always terminates
+  /// under the restricted semantics).
+  size_t max_length = 0;
+  /// If set, only paths whose last step is `.attr` with this name are
+  /// returned (plus their result types). Intermediate paths are still
+  /// explored.
+  std::optional<std::string> ending_attribute;
+};
+
+/// All schema paths starting at `start` (including the empty path,
+/// unless ending_attribute filters it out), under restricted-deref
+/// semantics (a class may appear at most once as a kDeref step on any
+/// path).
+std::vector<SchemaPath> EnumerateSchemaPaths(const om::Schema& schema,
+                                             const om::Type& start,
+                                             const SchemaPathOptions& options);
+
+/// The union of result types of all schema paths from `start` ending
+/// with attribute `attr` — the static type the paper assigns to `X` in
+/// formulas like  exists P (<root P . attr (X)>)  (§5.3). Distinct
+/// result types are wrapped into a marked union with system-supplied
+/// markers alpha1, alpha2, ... when there is more than one.
+Result<om::Type> TypeOfAttributeTargets(const om::Schema& schema,
+                                        const om::Type& start,
+                                        const std::string& attr);
+
+}  // namespace sgmlqdb::path
+
+#endif  // SGMLQDB_PATH_SCHEMA_PATHS_H_

@@ -1,0 +1,214 @@
+#include "sgml/automaton.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sgmlqdb::sgml {
+
+namespace {
+
+void Permutations(std::vector<ContentNode>& items, size_t k,
+                  std::vector<ContentNode>* out) {
+  if (k == items.size()) {
+    out->push_back(ContentNode::Seq(items));
+    return;
+  }
+  for (size_t i = k; i < items.size(); ++i) {
+    std::swap(items[k], items[i]);
+    Permutations(items, k + 1, out);
+    std::swap(items[k], items[i]);
+  }
+}
+
+}  // namespace
+
+Result<ContentNode> ExpandAllGroups(const ContentNode& model) {
+  ContentNode out = model;
+  out.children.clear();
+  for (const ContentNode& c : model.children) {
+    SGMLQDB_ASSIGN_OR_RETURN(ContentNode expanded, ExpandAllGroups(c));
+    out.children.push_back(std::move(expanded));
+  }
+  if (out.kind != ContentNode::Kind::kAll) return out;
+  if (out.children.size() > kMaxAllOperands) {
+    return Status::Unsupported(
+        "'&' group with " + std::to_string(out.children.size()) +
+        " operands exceeds the supported maximum of " +
+        std::to_string(kMaxAllOperands));
+  }
+  std::vector<ContentNode> arms;
+  Permutations(out.children, 0, &arms);
+  return ContentNode::Choice(std::move(arms), out.occurrence);
+}
+
+namespace {
+
+/// Result of the Glushkov annotation of a subtree.
+struct Annot {
+  bool nullable = false;
+  std::vector<int> first;
+  std::vector<int> last;
+};
+
+void AddAll(std::vector<int>* dst, const std::vector<int>& src) {
+  for (int p : src) {
+    if (std::find(dst->begin(), dst->end(), p) == dst->end()) {
+      dst->push_back(p);
+    }
+  }
+}
+
+struct Builder {
+  std::vector<std::string> symbols;
+  std::vector<std::vector<int>> follow;
+
+  int NewPosition(std::string symbol) {
+    symbols.push_back(std::move(symbol));
+    follow.emplace_back();
+    return static_cast<int>(symbols.size()) - 1;
+  }
+
+  void Connect(const std::vector<int>& from, const std::vector<int>& to) {
+    for (int p : from) AddAll(&follow[p], to);
+  }
+
+  Annot Visit(const ContentNode& n) {
+    Annot a;
+    switch (n.kind) {
+      case ContentNode::Kind::kEmpty:
+        a.nullable = true;
+        break;
+      case ContentNode::Kind::kPcdata: {
+        int p = NewPosition(std::string(kPcdataSymbol));
+        a.first = {p};
+        a.last = {p};
+        // #PCDATA is inherently repeatable (text arrives in chunks).
+        Connect({p}, {p});
+        a.nullable = true;  // empty text is permitted
+        break;
+      }
+      case ContentNode::Kind::kElement: {
+        int p = NewPosition(n.element_name);
+        a.first = {p};
+        a.last = {p};
+        break;
+      }
+      case ContentNode::Kind::kSeq: {
+        a.nullable = true;
+        bool first_open = true;
+        std::vector<int> pending_last;
+        for (const ContentNode& c : n.children) {
+          Annot ca = Visit(c);
+          Connect(pending_last, ca.first);
+          if (ca.nullable) {
+            AddAll(&pending_last, ca.last);
+          } else {
+            pending_last = ca.last;
+          }
+          if (first_open) AddAll(&a.first, ca.first);
+          if (!ca.nullable) first_open = false;
+          a.nullable = a.nullable && ca.nullable;
+        }
+        a.last = pending_last;
+        break;
+      }
+      case ContentNode::Kind::kChoice: {
+        for (const ContentNode& c : n.children) {
+          Annot ca = Visit(c);
+          AddAll(&a.first, ca.first);
+          AddAll(&a.last, ca.last);
+          a.nullable = a.nullable || ca.nullable;
+        }
+        break;
+      }
+      case ContentNode::Kind::kAll:
+        // Expanded away by ExpandAllGroups; treat defensively as
+        // choice-of-one-permutation (sequence).
+        return Visit(ContentNode::Seq(n.children, n.occurrence));
+    }
+    switch (n.occurrence) {
+      case Occurrence::kOne:
+        break;
+      case Occurrence::kOpt:
+        a.nullable = true;
+        break;
+      case Occurrence::kPlus:
+        Connect(a.last, a.first);
+        break;
+      case Occurrence::kStar:
+        Connect(a.last, a.first);
+        a.nullable = true;
+        break;
+    }
+    return a;
+  }
+};
+
+}  // namespace
+
+Result<ContentAutomaton> ContentAutomaton::Build(const ContentNode& model) {
+  SGMLQDB_ASSIGN_OR_RETURN(ContentNode expanded, ExpandAllGroups(model));
+  ContentAutomaton a;
+  if (expanded.IsEmptyDecl()) {
+    a.declared_empty_ = true;
+    a.nullable_ = true;
+    return a;
+  }
+  Builder b;
+  Annot root = b.Visit(expanded);
+  a.nullable_ = root.nullable;
+  a.symbols_ = std::move(b.symbols);
+  a.follow_ = std::move(b.follow);
+  a.first_ = std::move(root.first);
+  a.last_.assign(a.symbols_.size(), false);
+  for (int p : root.last) a.last_[p] = true;
+  return a;
+}
+
+ContentAutomaton::StateSet ContentAutomaton::Start() const { return {-1}; }
+
+std::optional<ContentAutomaton::StateSet> ContentAutomaton::Advance(
+    const StateSet& state, std::string_view symbol) const {
+  std::set<int> next;
+  for (int s : state) {
+    const std::vector<int>& candidates = (s == -1) ? first_ : follow_[s];
+    for (int p : candidates) {
+      if (symbols_[p] == symbol) next.insert(p);
+    }
+  }
+  if (next.empty()) return std::nullopt;
+  return StateSet(next.begin(), next.end());
+}
+
+bool ContentAutomaton::CanEnd(const StateSet& state) const {
+  for (int s : state) {
+    if (s == -1) {
+      if (nullable_) return true;
+    } else if (last_[s]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ContentAutomaton::Accepts(const std::vector<std::string>& word) const {
+  StateSet state = Start();
+  for (const std::string& sym : word) {
+    std::optional<StateSet> next = Advance(state, sym);
+    if (!next.has_value()) return false;
+    state = std::move(*next);
+  }
+  return CanEnd(state);
+}
+
+std::vector<std::string> ContentAutomaton::ValidNext(
+    const StateSet& state) const {
+  std::set<std::string> out;
+  for (int s : state) {
+    const std::vector<int>& candidates = (s == -1) ? first_ : follow_[s];
+    for (int p : candidates) out.insert(symbols_[p]);
+  }
+  return std::vector<std::string>(out.begin(), out.end());
+}
+
+}  // namespace sgmlqdb::sgml

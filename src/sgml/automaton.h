@@ -1,0 +1,78 @@
+// Glushkov automaton over a content model. Used to
+//  (i)  validate the child sequence of an element,
+//  (ii) infer omitted end tags while parsing ("- O" elements close
+//       automatically when the next token does not fit), and
+//  (iii) report the set of acceptable next symbols in errors.
+//
+// "&" (alternative aggregation) groups are expanded into a choice of
+// the permutations of their operands before construction; groups with
+// more than kMaxAllOperands operands are rejected (factorial growth —
+// the paper never uses more than two).
+
+#ifndef SGMLQDB_SGML_AUTOMATON_H_
+#define SGMLQDB_SGML_AUTOMATON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "sgml/content_model.h"
+
+namespace sgmlqdb::sgml {
+
+/// The pseudo-symbol matched by character data in mixed content.
+inline constexpr std::string_view kPcdataSymbol = "#PCDATA";
+
+/// Maximum operand count of an "&" group (5! = 120 expanded arms).
+inline constexpr size_t kMaxAllOperands = 5;
+
+/// Rewrites every kAll group into a kChoice of kSeq permutations.
+/// Fails if a group exceeds kMaxAllOperands.
+Result<ContentNode> ExpandAllGroups(const ContentNode& model);
+
+/// A (possibly nondeterministic) position automaton; states handed to
+/// callers are *sets* of positions, so simulation is deterministic.
+class ContentAutomaton {
+ public:
+  /// A simulation state: sorted set of active positions. Position -1
+  /// encodes the initial state marker.
+  using StateSet = std::vector<int>;
+
+  static Result<ContentAutomaton> Build(const ContentNode& model);
+
+  StateSet Start() const;
+
+  /// Consumes `symbol` (an element name, or kPcdataSymbol for text).
+  /// Returns nullopt when no transition exists.
+  std::optional<StateSet> Advance(const StateSet& state,
+                                  std::string_view symbol) const;
+
+  /// True if the content may legally end in this state.
+  bool CanEnd(const StateSet& state) const;
+
+  /// True if the whole symbol sequence is a word of the model.
+  bool Accepts(const std::vector<std::string>& symbols) const;
+
+  /// Distinct symbols with a transition from `state` (for errors and
+  /// for omitted-tag inference), sorted.
+  std::vector<std::string> ValidNext(const StateSet& state) const;
+
+  /// True for content models declared EMPTY.
+  bool declared_empty() const { return declared_empty_; }
+
+ private:
+  ContentAutomaton() = default;
+
+  bool declared_empty_ = false;
+  bool nullable_ = false;
+  std::vector<std::string> symbols_;          // per position
+  std::vector<int> first_;                    // positions
+  std::vector<bool> last_;                    // per position
+  std::vector<std::vector<int>> follow_;      // per position
+};
+
+}  // namespace sgmlqdb::sgml
+
+#endif  // SGMLQDB_SGML_AUTOMATON_H_

@@ -1,0 +1,104 @@
+#include "sgml/content_model.h"
+
+namespace sgmlqdb::sgml {
+
+const char* OccurrenceToString(Occurrence o) {
+  switch (o) {
+    case Occurrence::kOne:
+      return "";
+    case Occurrence::kOpt:
+      return "?";
+    case Occurrence::kPlus:
+      return "+";
+    case Occurrence::kStar:
+      return "*";
+  }
+  return "";
+}
+
+ContentNode ContentNode::Element(std::string name, Occurrence occ) {
+  ContentNode n;
+  n.kind = Kind::kElement;
+  n.occurrence = occ;
+  n.element_name = std::move(name);
+  return n;
+}
+
+ContentNode ContentNode::Pcdata() {
+  ContentNode n;
+  n.kind = Kind::kPcdata;
+  return n;
+}
+
+ContentNode ContentNode::Empty() {
+  ContentNode n;
+  n.kind = Kind::kEmpty;
+  return n;
+}
+
+ContentNode ContentNode::Seq(std::vector<ContentNode> children,
+                             Occurrence occ) {
+  ContentNode n;
+  n.kind = Kind::kSeq;
+  n.occurrence = occ;
+  n.children = std::move(children);
+  return n;
+}
+
+ContentNode ContentNode::All(std::vector<ContentNode> children,
+                             Occurrence occ) {
+  ContentNode n;
+  n.kind = Kind::kAll;
+  n.occurrence = occ;
+  n.children = std::move(children);
+  return n;
+}
+
+ContentNode ContentNode::Choice(std::vector<ContentNode> children,
+                                Occurrence occ) {
+  ContentNode n;
+  n.kind = Kind::kChoice;
+  n.occurrence = occ;
+  n.children = std::move(children);
+  return n;
+}
+
+bool ContentNode::AllowsPcdata() const {
+  if (kind == Kind::kPcdata) return true;
+  for (const ContentNode& c : children) {
+    if (c.AllowsPcdata()) return true;
+  }
+  return false;
+}
+
+std::string ContentNode::ToString() const { return ToStringInner(true); }
+
+std::string ContentNode::ToStringInner(bool parenthesize) const {
+  switch (kind) {
+    case Kind::kElement:
+      return element_name + OccurrenceToString(occurrence);
+    case Kind::kPcdata:
+      return "#PCDATA";
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kSeq:
+    case Kind::kAll:
+    case Kind::kChoice: {
+      const char* sep = kind == Kind::kSeq ? ", "
+                        : kind == Kind::kAll ? " & "
+                                             : " | ";
+      std::string out;
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i].ToStringInner(true);
+      }
+      if (parenthesize || occurrence != Occurrence::kOne) {
+        out = "(" + out + ")";
+      }
+      return out + OccurrenceToString(occurrence);
+    }
+  }
+  return "?";
+}
+
+}  // namespace sgmlqdb::sgml

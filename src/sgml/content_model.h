@@ -1,0 +1,69 @@
+// SGML content models (paper §2): regular expressions over element
+// names built from
+//   ","  aggregation (ordered sequence)
+//   "&"  alternative aggregation (all, in any order)
+//   "|"  choice
+// with occurrence indicators "?" (optional), "+" (one or more),
+// "*" (zero or more), plus the leaf forms #PCDATA and EMPTY.
+
+#ifndef SGMLQDB_SGML_CONTENT_MODEL_H_
+#define SGMLQDB_SGML_CONTENT_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sgmlqdb::sgml {
+
+/// Occurrence indicator on a content token or group.
+enum class Occurrence {
+  kOne,   // exactly one (no indicator)
+  kOpt,   // ?
+  kPlus,  // +
+  kStar,  // *
+};
+
+const char* OccurrenceToString(Occurrence o);
+
+/// A node of a content model expression tree.
+struct ContentNode {
+  enum class Kind {
+    kElement,  // a child element name
+    kPcdata,   // #PCDATA
+    kEmpty,    // EMPTY (declared empty element; only valid at the root)
+    kSeq,      // "," group
+    kAll,      // "&" group
+    kChoice,   // "|" group
+  };
+
+  Kind kind = Kind::kEmpty;
+  Occurrence occurrence = Occurrence::kOne;
+  std::string element_name;            // kElement only
+  std::vector<ContentNode> children;   // groups only
+
+  static ContentNode Element(std::string name,
+                             Occurrence occ = Occurrence::kOne);
+  static ContentNode Pcdata();
+  static ContentNode Empty();
+  static ContentNode Seq(std::vector<ContentNode> children,
+                         Occurrence occ = Occurrence::kOne);
+  static ContentNode All(std::vector<ContentNode> children,
+                         Occurrence occ = Occurrence::kOne);
+  static ContentNode Choice(std::vector<ContentNode> children,
+                            Occurrence occ = Occurrence::kOne);
+
+  bool IsEmptyDecl() const { return kind == Kind::kEmpty; }
+  /// True if #PCDATA occurs anywhere in the model (mixed content).
+  bool AllowsPcdata() const;
+
+  /// Round-trippable rendering, e.g. "(title, body+)" or
+  /// "((title, body+) | (title, body*, subsectn+))".
+  std::string ToString() const;
+
+ private:
+  std::string ToStringInner(bool parenthesize) const;
+};
+
+}  // namespace sgmlqdb::sgml
+
+#endif  // SGMLQDB_SGML_CONTENT_MODEL_H_

@@ -1,0 +1,794 @@
+#include "sgml/document.h"
+
+#include <map>
+#include <set>
+
+#include "base/strutil.h"
+#include "sgml/automaton.h"
+
+namespace sgmlqdb::sgml {
+
+DocNode DocNode::Text(std::string data) {
+  DocNode n;
+  n.text = std::move(data);
+  return n;
+}
+
+DocNode DocNode::Element(std::string name) {
+  DocNode n;
+  n.name = std::move(name);
+  return n;
+}
+
+const std::string* DocNode::FindAttribute(std::string_view attr) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == attr) return &v;
+  }
+  return nullptr;
+}
+
+std::string DocNode::InnerText() const {
+  if (is_text()) return text;
+  std::string out;
+  for (const DocNode& c : children) {
+    std::string t = c.InnerText();
+    if (!out.empty() && !t.empty() && !IsAsciiSpace(out.back()) &&
+        !IsAsciiSpace(t.front())) {
+      out += ' ';
+    }
+    out += t;
+  }
+  return out;
+}
+
+size_t DocNode::CountElements() const {
+  size_t n = is_text() ? 0 : 1;
+  for (const DocNode& c : children) n += c.CountElements();
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Instance parsing
+
+namespace {
+
+struct Token {
+  enum class Kind { kStartTag, kEndTag, kText, kEof };
+  Kind kind = Kind::kEof;
+  std::string name;  // tags
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;
+  size_t line = 1;
+};
+
+class Lexer {
+ public:
+  Lexer(const Dtd& dtd, std::string_view text) : dtd_(dtd), text_(text) {}
+
+  Result<Token> Next() {
+    if (pos_ >= text_.size()) {
+      Token t;
+      t.kind = Token::Kind::kEof;
+      t.line = line_;
+      return t;
+    }
+    if (text_[pos_] == '<') {
+      if (Match("<!--")) {
+        size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Err("unterminated comment");
+        }
+        CountLines(pos_, end + 3);
+        pos_ = end + 3;
+        return Next();
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        return LexEndTag();
+      }
+      return LexStartTag();
+    }
+    return LexText();
+  }
+
+ private:
+  bool Match(std::string_view kw) const {
+    return pos_ + kw.size() <= text_.size() &&
+           text_.substr(pos_, kw.size()) == kw;
+  }
+
+  void CountLines(size_t from, size_t to) {
+    for (size_t i = from; i < to && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line_;
+    }
+  }
+
+  Status Err(const std::string& m) const {
+    return Status::ParseError("document line " + std::to_string(line_) +
+                              ": " + m);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && IsAsciiSpace(text_[pos_])) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  Result<std::string> ReadName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsSgmlNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Err("expected a name");
+    return AsciiToLower(text_.substr(start, pos_ - start));
+  }
+
+  Result<Token> LexStartTag() {
+    Token t;
+    t.kind = Token::Kind::kStartTag;
+    t.line = line_;
+    ++pos_;  // '<'
+    SGMLQDB_ASSIGN_OR_RETURN(t.name, ReadName());
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return Err("unterminated start tag");
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      SGMLQDB_ASSIGN_OR_RETURN(std::string attr, ReadName());
+      SkipSpace();
+      std::string value;
+      if (pos_ < text_.size() && text_[pos_] == '=') {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '"' || text_[pos_] == '\'')) {
+          char q = text_[pos_++];
+          size_t start = pos_;
+          while (pos_ < text_.size() && text_[pos_] != q) {
+            if (text_[pos_] == '\n') ++line_;
+            ++pos_;
+          }
+          if (pos_ >= text_.size()) return Err("unterminated attribute value");
+          value.assign(text_.substr(start, pos_ - start));
+          ++pos_;
+        } else {
+          size_t start = pos_;
+          while (pos_ < text_.size() && !IsAsciiSpace(text_[pos_]) &&
+                 text_[pos_] != '>') {
+            ++pos_;
+          }
+          value.assign(text_.substr(start, pos_ - start));
+        }
+      } else {
+        // SGML minimized boolean/enum attribute: `<article final>`;
+        // store the token as its own value.
+        value = attr;
+      }
+      t.attributes.emplace_back(std::move(attr), std::move(value));
+    }
+    return t;
+  }
+
+  Result<Token> LexEndTag() {
+    Token t;
+    t.kind = Token::Kind::kEndTag;
+    t.line = line_;
+    pos_ += 2;  // "</"
+    SGMLQDB_ASSIGN_OR_RETURN(t.name, ReadName());
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '>') {
+      return Err("expected '>' in end tag");
+    }
+    ++pos_;
+    return t;
+  }
+
+  Result<Token> LexText() {
+    Token t;
+    t.kind = Token::Kind::kText;
+    t.line = line_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '<') {
+      char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c == '&') {
+        size_t semi = text_.find(';', pos_ + 1);
+        if (semi != std::string_view::npos && semi - pos_ <= 32) {
+          std::string name(text_.substr(pos_ + 1, semi - pos_ - 1));
+          std::string expansion;
+          if (ExpandEntity(name, &expansion)) {
+            out += expansion;
+            pos_ = semi + 1;
+            continue;
+          }
+        }
+        // Not a recognizable entity: literal '&'.
+      }
+      out += c;
+      ++pos_;
+    }
+    t.text = std::move(out);
+    return t;
+  }
+
+  bool ExpandEntity(const std::string& name, std::string* out) {
+    if (name == "amp") return (*out = "&", true);
+    if (name == "lt") return (*out = "<", true);
+    if (name == "gt") return (*out = ">", true);
+    if (name == "quot") return (*out = "\"", true);
+    if (name == "apos") return (*out = "'", true);
+    const EntityDef* e = dtd_.FindEntity(AsciiToLower(name));
+    if (e == nullptr) return false;
+    *out = e->is_external ? e->system_id : e->replacement;
+    return true;
+  }
+
+  const Dtd& dtd_;
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+/// Per-element automaton cache.
+class AutomatonCache {
+ public:
+  explicit AutomatonCache(const Dtd& dtd) : dtd_(dtd) {}
+
+  Result<const ContentAutomaton*> Get(const std::string& element) {
+    auto it = cache_.find(element);
+    if (it != cache_.end()) return &it->second;
+    const ElementDef* def = dtd_.FindElement(element);
+    if (def == nullptr) {
+      return Status::ParseError("undeclared element '" + element + "'");
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(ContentAutomaton a,
+                             ContentAutomaton::Build(def->content));
+    auto [pos, inserted] = cache_.emplace(element, std::move(a));
+    (void)inserted;
+    return &pos->second;
+  }
+
+ private:
+  const Dtd& dtd_;
+  std::map<std::string, ContentAutomaton> cache_;
+};
+
+class InstanceParser {
+ public:
+  InstanceParser(const Dtd& dtd, std::string_view text)
+      : dtd_(dtd), lexer_(dtd, text), automata_(dtd) {}
+
+  Result<Document> Parse() {
+    while (true) {
+      SGMLQDB_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+      switch (t.kind) {
+        case Token::Kind::kEof: {
+          SGMLQDB_RETURN_IF_ERROR(CloseAllAtEof(t.line));
+          if (!have_root_) {
+            return Status::ParseError("document contains no element");
+          }
+          Document doc;
+          doc.root = std::move(root_);
+          return doc;
+        }
+        case Token::Kind::kText:
+          SGMLQDB_RETURN_IF_ERROR(HandleText(std::move(t)));
+          break;
+        case Token::Kind::kStartTag:
+          SGMLQDB_RETURN_IF_ERROR(HandleStartTag(std::move(t)));
+          break;
+        case Token::Kind::kEndTag:
+          SGMLQDB_RETURN_IF_ERROR(HandleEndTag(std::move(t)));
+          break;
+      }
+    }
+  }
+
+ private:
+  struct OpenElement {
+    DocNode node;
+    const ContentAutomaton* automaton;
+    ContentAutomaton::StateSet state;
+    const ElementDef* def;
+  };
+
+  Status ErrAt(size_t line, const std::string& m) const {
+    return Status::ParseError("document line " + std::to_string(line) + ": " +
+                              m);
+  }
+
+  /// Strips leading whitespace of the first text child and trailing
+  /// whitespace of the last; drops them if they become empty. Text is
+  /// stored raw while the element is open so that runs split by
+  /// comments or entity references concatenate without spurious gaps.
+  static void TrimElementText(DocNode* node) {
+    auto trim = [](DocNode& child, bool front) {
+      if (!child.is_text()) return;
+      std::string_view t = child.text;
+      if (front) {
+        while (!t.empty() && IsAsciiSpace(t.front())) t.remove_prefix(1);
+      } else {
+        while (!t.empty() && IsAsciiSpace(t.back())) t.remove_suffix(1);
+      }
+      child.text.assign(t);
+    };
+    if (!node->children.empty()) {
+      trim(node->children.front(), /*front=*/true);
+      trim(node->children.back(), /*front=*/false);
+      if (node->children.back().is_text() &&
+          node->children.back().text.empty()) {
+        node->children.pop_back();
+      }
+      if (!node->children.empty() && node->children.front().is_text() &&
+          node->children.front().text.empty()) {
+        node->children.erase(node->children.begin());
+      }
+    }
+  }
+
+  /// Pops the innermost open element and attaches it to its parent
+  /// (or makes it the root).
+  void PopElement() {
+    OpenElement top = std::move(stack_.back());
+    stack_.pop_back();
+    TrimElementText(&top.node);
+    if (stack_.empty()) {
+      root_ = std::move(top.node);
+      have_root_ = true;
+    } else {
+      stack_.back().node.children.push_back(std::move(top.node));
+    }
+  }
+
+  /// Tries to close the innermost element by end-tag omission. Returns
+  /// true on success.
+  bool TryImplicitClose() {
+    if (stack_.empty()) return false;
+    OpenElement& top = stack_.back();
+    if (!top.def->end_tag_omissible) return false;
+    if (!top.automaton->CanEnd(top.state)) return false;
+    PopElement();
+    return true;
+  }
+
+  /// Applies attribute defaults from the DTD.
+  static void ApplyDefaults(const ElementDef& def, DocNode* node) {
+    for (const AttributeDef& a : def.attributes) {
+      if (node->FindAttribute(a.name) != nullptr) continue;
+      if (a.default_kind == AttributeDef::DefaultKind::kValue ||
+          a.default_kind == AttributeDef::DefaultKind::kFixed) {
+        node->attributes.emplace_back(a.name, a.default_value);
+      }
+    }
+  }
+
+  /// Opens `name` in the current context (stack top must accept it or
+  /// be empty for the root).
+  Status StartElement(Token t) {
+    const ElementDef* def = dtd_.FindElement(t.name);
+    if (def == nullptr) {
+      return ErrAt(t.line, "undeclared element '" + t.name + "'");
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(const ContentAutomaton* a, automata_.Get(t.name));
+    DocNode node = DocNode::Element(t.name);
+    node.attributes = std::move(t.attributes);
+    // Normalize attribute names to lowercase (lexer already does) and
+    // apply defaults.
+    ApplyDefaults(*def, &node);
+    if (a->declared_empty()) {
+      // EMPTY elements have no content and no end tag.
+      if (stack_.empty()) {
+        root_ = std::move(node);
+        have_root_ = true;
+      } else {
+        stack_.back().node.children.push_back(std::move(node));
+      }
+      return Status::OK();
+    }
+    OpenElement open;
+    open.node = std::move(node);
+    open.automaton = a;
+    open.state = a->Start();
+    open.def = def;
+    stack_.push_back(std::move(open));
+    return Status::OK();
+  }
+
+  /// Finds a chain of start-tag-omissible elements leading from the
+  /// current content state to one that accepts `name`. Returns the
+  /// chain (possibly empty => direct accept), or nullopt.
+  std::optional<std::vector<std::string>> FindOmittedStartChain(
+      const std::string& name) {
+    if (stack_.empty()) return std::nullopt;
+    constexpr size_t kMaxDepth = 4;
+    struct Frame {
+      std::vector<std::string> chain;
+      const ContentAutomaton* automaton;
+      ContentAutomaton::StateSet state;
+    };
+    std::vector<Frame> frontier;
+    frontier.push_back(
+        Frame{{}, stack_.back().automaton, stack_.back().state});
+    for (size_t depth = 0; depth < kMaxDepth; ++depth) {
+      std::vector<Frame> next_frontier;
+      for (const Frame& f : frontier) {
+        for (const std::string& sym : f.automaton->ValidNext(f.state)) {
+          if (sym == kPcdataSymbol) continue;
+          const ElementDef* def = dtd_.FindElement(sym);
+          if (def == nullptr || !def->start_tag_omissible) continue;
+          auto sub = automata_.Get(sym);
+          if (!sub.ok()) continue;
+          if (sub.value()->Advance(sub.value()->Start(), name).has_value()) {
+            std::vector<std::string> chain = f.chain;
+            chain.push_back(sym);
+            return chain;
+          }
+          Frame g;
+          g.chain = f.chain;
+          g.chain.push_back(sym);
+          g.automaton = sub.value();
+          g.state = sub.value()->Start();
+          next_frontier.push_back(std::move(g));
+        }
+      }
+      frontier = std::move(next_frontier);
+      if (frontier.empty()) break;
+    }
+    return std::nullopt;
+  }
+
+  /// Opens a chain of implicitly-started elements.
+  Status OpenChain(const std::vector<std::string>& chain, size_t line) {
+    for (const std::string& sym : chain) {
+      OpenElement& cur = stack_.back();
+      std::optional<ContentAutomaton::StateSet> adv =
+          cur.automaton->Advance(cur.state, sym);
+      if (!adv.has_value()) {
+        return ErrAt(line, "internal: omitted start chain broke");
+      }
+      cur.state = std::move(*adv);
+      Token implicit;
+      implicit.kind = Token::Kind::kStartTag;
+      implicit.name = sym;
+      implicit.line = line;
+      SGMLQDB_RETURN_IF_ERROR(StartElement(std::move(implicit)));
+    }
+    return Status::OK();
+  }
+
+  Status HandleStartTag(Token t) {
+    if (stack_.empty() && !have_root_) {
+      // Root element.
+      return StartElement(std::move(t));
+    }
+    if (stack_.empty()) {
+      return ErrAt(t.line, "content after the root element");
+    }
+    while (true) {
+      OpenElement& top = stack_.back();
+      std::optional<ContentAutomaton::StateSet> next =
+          top.automaton->Advance(top.state, t.name);
+      if (next.has_value()) {
+        top.state = std::move(*next);
+        return StartElement(std::move(t));
+      }
+      // Start-tag omission: open intermediate elements implicitly.
+      std::optional<std::vector<std::string>> chain =
+          FindOmittedStartChain(t.name);
+      if (chain.has_value()) {
+        SGMLQDB_RETURN_IF_ERROR(OpenChain(*chain, t.line));
+        continue;  // retry `t` inside the new context
+      }
+      // End-tag omission: close the current element and retry higher.
+      if (TryImplicitClose()) {
+        if (stack_.empty()) {
+          return ErrAt(t.line, "element '" + t.name +
+                                   "' cannot appear after the root element");
+        }
+        continue;
+      }
+      return ErrAt(t.line,
+                   "element '" + t.name + "' not allowed here inside '" +
+                       top.node.name + "' (expected one of: " +
+                       Join(top.automaton->ValidNext(top.state), ", ") + ")");
+    }
+  }
+
+  Status HandleText(Token t) {
+    if (stack_.empty()) {
+      if (StripWhitespace(t.text).empty()) return Status::OK();
+      return ErrAt(t.line, "character data outside the root element");
+    }
+    bool ws_only = StripWhitespace(t.text).empty();
+    while (true) {
+      OpenElement& top = stack_.back();
+      std::optional<ContentAutomaton::StateSet> next =
+          top.automaton->Advance(top.state, kPcdataSymbol);
+      if (next.has_value()) {
+        if (!ws_only) {
+          top.state = std::move(*next);
+          // Merge with an adjacent text run (split by a comment or an
+          // entity reference); raw text is trimmed at element close.
+          if (!top.node.children.empty() &&
+              top.node.children.back().is_text()) {
+            top.node.children.back().text += t.text;
+          } else {
+            top.node.children.push_back(DocNode::Text(t.text));
+          }
+        }
+        return Status::OK();
+      }
+      if (ws_only) return Status::OK();  // ignorable whitespace
+      // Start-tag omission: some omissible-start element may accept
+      // the character data (e.g. an implicit <caption>).
+      std::optional<std::vector<std::string>> chain =
+          FindOmittedStartChain(std::string(kPcdataSymbol));
+      if (chain.has_value()) {
+        SGMLQDB_RETURN_IF_ERROR(OpenChain(*chain, t.line));
+        continue;
+      }
+      if (TryImplicitClose()) {
+        if (stack_.empty()) {
+          return ErrAt(t.line, "character data after the root element");
+        }
+        continue;
+      }
+      return ErrAt(t.line, "character data not allowed inside '" +
+                               top.node.name + "'");
+    }
+  }
+
+  Status HandleEndTag(Token t) {
+    // End tags of EMPTY elements are redundant (such elements never
+    // open); tolerate and ignore them.
+    const ElementDef* def = dtd_.FindElement(t.name);
+    if (def != nullptr && def->content.IsEmptyDecl()) return Status::OK();
+    // Close omissible elements until the named one is on top.
+    while (!stack_.empty() && stack_.back().node.name != t.name) {
+      if (!TryImplicitClose()) {
+        return ErrAt(t.line, "end tag </" + t.name +
+                                 "> does not match open element '" +
+                                 stack_.back().node.name + "'");
+      }
+    }
+    if (stack_.empty()) {
+      return ErrAt(t.line, "unmatched end tag </" + t.name + ">");
+    }
+    OpenElement& top = stack_.back();
+    if (!top.automaton->CanEnd(top.state)) {
+      return ErrAt(t.line,
+                   "element '" + t.name +
+                       "' ended with incomplete content (expected: " +
+                       Join(top.automaton->ValidNext(top.state), ", ") + ")");
+    }
+    PopElement();
+    return Status::OK();
+  }
+
+  Status CloseAllAtEof(size_t line) {
+    while (!stack_.empty()) {
+      OpenElement& top = stack_.back();
+      if (!top.automaton->CanEnd(top.state)) {
+        return ErrAt(line, "end of input with incomplete element '" +
+                               top.node.name + "'");
+      }
+      PopElement();
+    }
+    return Status::OK();
+  }
+
+  const Dtd& dtd_;
+  Lexer lexer_;
+  AutomatonCache automata_;
+  std::vector<OpenElement> stack_;
+  DocNode root_;
+  bool have_root_ = false;
+};
+
+}  // namespace
+
+Result<Document> ParseDocument(const Dtd& dtd, std::string_view text) {
+  return InstanceParser(dtd, text).Parse();
+}
+
+// ---------------------------------------------------------------------
+// Validation
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Dtd& dtd) : dtd_(dtd), automata_(dtd) {}
+
+  Status Run(const Document& doc) {
+    SGMLQDB_RETURN_IF_ERROR(VisitElement(doc.root));
+    // IDREFs must resolve.
+    for (const std::string& ref : idrefs_) {
+      if (ids_.count(ref) == 0) {
+        return Status::ParseError("IDREF '" + ref +
+                                  "' does not match any ID in the document");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status VisitElement(const DocNode& node) {
+    const ElementDef* def = dtd_.FindElement(node.name);
+    if (def == nullptr) {
+      return Status::ParseError("undeclared element '" + node.name + "'");
+    }
+    // Attributes.
+    for (const auto& [attr, value] : node.attributes) {
+      const AttributeDef* ad = def->FindAttribute(attr);
+      if (ad == nullptr) {
+        return Status::ParseError("undeclared attribute '" + attr +
+                                  "' on element '" + node.name + "'");
+      }
+      switch (ad->type) {
+        case AttributeDef::DeclaredType::kEnumerated: {
+          bool ok = false;
+          for (const std::string& v : ad->enumerated_values) {
+            if (v == value) ok = true;
+          }
+          if (!ok) {
+            return Status::ParseError("attribute '" + attr + "' of '" +
+                                      node.name + "' has value '" + value +
+                                      "' outside its enumeration");
+          }
+          break;
+        }
+        case AttributeDef::DeclaredType::kId:
+          if (!ids_.insert(value).second) {
+            return Status::ParseError("duplicate ID '" + value + "'");
+          }
+          break;
+        case AttributeDef::DeclaredType::kIdref:
+          idrefs_.push_back(value);
+          break;
+        case AttributeDef::DeclaredType::kIdrefs:
+          for (const std::string& r : Split(value, ' ')) {
+            if (!r.empty()) idrefs_.push_back(r);
+          }
+          break;
+        case AttributeDef::DeclaredType::kEntity:
+          if (dtd_.FindEntity(value) == nullptr) {
+            return Status::ParseError("attribute '" + attr +
+                                      "' references undeclared entity '" +
+                                      value + "'");
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    // Required attributes.
+    for (const AttributeDef& a : def->attributes) {
+      if (a.default_kind == AttributeDef::DefaultKind::kRequired &&
+          node.FindAttribute(a.name) == nullptr) {
+        return Status::ParseError("required attribute '" + a.name +
+                                  "' missing on element '" + node.name +
+                                  "'");
+      }
+    }
+    // Content model.
+    SGMLQDB_ASSIGN_OR_RETURN(const ContentAutomaton* a,
+                             automata_.Get(node.name));
+    std::vector<std::string> word;
+    for (const DocNode& c : node.children) {
+      if (c.is_text()) {
+        if (StripWhitespace(c.text).empty() && !def->content.AllowsPcdata()) {
+          continue;
+        }
+        word.emplace_back(kPcdataSymbol);
+      } else {
+        word.push_back(c.name);
+      }
+    }
+    if (a->declared_empty()) {
+      if (!word.empty()) {
+        return Status::ParseError("EMPTY element '" + node.name +
+                                  "' has content");
+      }
+    } else if (!a->Accepts(word)) {
+      return Status::ParseError("content of element '" + node.name +
+                                "' does not match its model " +
+                                def->content.ToString());
+    }
+    for (const DocNode& c : node.children) {
+      if (!c.is_text()) SGMLQDB_RETURN_IF_ERROR(VisitElement(c));
+    }
+    return Status::OK();
+  }
+
+  const Dtd& dtd_;
+  AutomatonCache automata_;
+  std::set<std::string> ids_;
+  std::vector<std::string> idrefs_;
+};
+
+void AppendEscapedText(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void SerializeNode(const DocNode& node, std::string* out, int indent,
+                   bool inline_mode) {
+  std::string pad =
+      inline_mode ? "" : std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (node.is_text()) {
+    out->append(pad);
+    AppendEscapedText(node.text, out);
+    if (!inline_mode) out->push_back('\n');
+    return;
+  }
+  out->append(pad);
+  out->push_back('<');
+  out->append(node.name);
+  for (const auto& [k, v] : node.attributes) {
+    out->push_back(' ');
+    out->append(k);
+    out->append("=\"");
+    out->append(v);
+    out->push_back('"');
+  }
+  out->push_back('>');
+  if (node.children.empty()) {
+    out->append("</");
+    out->append(node.name);
+    out->push_back('>');
+    if (!inline_mode) out->push_back('\n');
+    return;
+  }
+  // Elements with character-data children (PCDATA / mixed content)
+  // serialize inline: added indentation would alter their text.
+  bool has_text_child = false;
+  for (const DocNode& c : node.children) {
+    if (c.is_text()) has_text_child = true;
+  }
+  if (has_text_child || inline_mode) {
+    for (const DocNode& c : node.children) {
+      SerializeNode(c, out, 0, /*inline_mode=*/true);
+    }
+    out->append("</");
+    out->append(node.name);
+    out->push_back('>');
+    if (!inline_mode) out->push_back('\n');
+    return;
+  }
+  out->push_back('\n');
+  for (const DocNode& c : node.children) {
+    SerializeNode(c, out, indent + 1, /*inline_mode=*/false);
+  }
+  out->append(pad);
+  out->append("</");
+  out->append(node.name);
+  out->append(">\n");
+}
+
+}  // namespace
+
+Status ValidateDocument(const Dtd& dtd, const Document& doc) {
+  return Validator(dtd).Run(doc);
+}
+
+std::string SerializeDocument(const Document& doc) {
+  std::string out;
+  SerializeNode(doc.root, &out, 0, /*inline_mode=*/false);
+  return out;
+}
+
+}  // namespace sgmlqdb::sgml

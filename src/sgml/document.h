@@ -1,0 +1,74 @@
+// Parsed SGML document instances: a tree of elements with attributes
+// and character data (paper §2, Figure 2).
+
+#ifndef SGMLQDB_SGML_DOCUMENT_H_
+#define SGMLQDB_SGML_DOCUMENT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "sgml/dtd.h"
+
+namespace sgmlqdb::sgml {
+
+/// A node of the specific logical structure: an element or a text run.
+struct DocNode {
+  /// Element name; empty for text nodes.
+  std::string name;
+  /// Character data (text nodes only), entity references expanded.
+  std::string text;
+  /// Attribute values as written (or defaulted), element nodes only.
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<DocNode> children;
+
+  bool is_text() const { return name.empty(); }
+
+  static DocNode Text(std::string data);
+  static DocNode Element(std::string name);
+
+  const std::string* FindAttribute(std::string_view attr) const;
+
+  /// Concatenated character data of the whole subtree — the paper's
+  /// `text` operator mapping a logical object back to its text (§4.2).
+  std::string InnerText() const;
+
+  /// Number of element nodes in the subtree (this one included if it
+  /// is an element).
+  size_t CountElements() const;
+};
+
+/// A parsed document: the root element plus the DTD it was parsed
+/// against.
+struct Document {
+  DocNode root;
+};
+
+/// Parses a document instance against `dtd`.
+///
+/// Supported syntax: start tags with attributes (`<figure label=fig1>`
+/// or quoted values), end tags, character data, entity references
+/// (`&name;` expanded from the DTD's internal entities), comments, and
+/// *end-tag omission*: when the next token cannot extend the current
+/// element's content and the element's end tag is omissible ("- O"),
+/// the element is closed automatically — this is what makes Figure 2
+/// (`<author> V. Christophides <author> S. Abiteboul ...`) parse.
+/// Start-tag omission is supported for the single-level case: if a
+/// token does not fit the current content model but fits after opening
+/// an element with an omissible start tag that is acceptable here, the
+/// element is opened implicitly.
+Result<Document> ParseDocument(const Dtd& dtd, std::string_view text);
+
+/// Validates an already-built tree against the DTD: content models,
+/// attribute declarations, required attributes, ID uniqueness and
+/// IDREF resolution.
+Status ValidateDocument(const Dtd& dtd, const Document& doc);
+
+/// Serializes a tree back to normalized SGML (all tags explicit).
+std::string SerializeDocument(const Document& doc);
+
+}  // namespace sgmlqdb::sgml
+
+#endif  // SGMLQDB_SGML_DOCUMENT_H_

@@ -1,0 +1,435 @@
+#include "sgml/dtd.h"
+
+#include <set>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::sgml {
+
+const AttributeDef* ElementDef::FindAttribute(std::string_view attr) const {
+  for (const AttributeDef& a : attributes) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+Status Dtd::AddElement(ElementDef def) {
+  if (element_index_.count(def.name) > 0) {
+    return Status::ParseError("duplicate ELEMENT declaration for '" +
+                              def.name + "'");
+  }
+  element_index_[def.name] = elements_.size();
+  elements_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Dtd::AddAttributes(std::string_view element,
+                          std::vector<AttributeDef> attrs) {
+  auto it = element_index_.find(element);
+  if (it == element_index_.end()) {
+    return Status::ParseError("ATTLIST for undeclared element '" +
+                              std::string(element) + "'");
+  }
+  ElementDef& def = elements_[it->second];
+  for (AttributeDef& a : attrs) {
+    if (def.FindAttribute(a.name) != nullptr) {
+      return Status::ParseError("duplicate attribute '" + a.name +
+                                "' on element '" + std::string(element) +
+                                "'");
+    }
+    def.attributes.push_back(std::move(a));
+  }
+  return Status::OK();
+}
+
+Status Dtd::AddEntity(EntityDef def) {
+  if (entity_index_.count(def.name) > 0) {
+    // SGML: first declaration wins; later ones are ignored.
+    return Status::OK();
+  }
+  entity_index_[def.name] = entities_.size();
+  entities_.push_back(std::move(def));
+  return Status::OK();
+}
+
+const ElementDef* Dtd::FindElement(std::string_view name) const {
+  auto it = element_index_.find(name);
+  if (it == element_index_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+const EntityDef* Dtd::FindEntity(std::string_view name) const {
+  auto it = entity_index_.find(name);
+  if (it == entity_index_.end()) return nullptr;
+  return &entities_[it->second];
+}
+
+namespace {
+
+void CollectElementRefs(const ContentNode& n, std::set<std::string>* out) {
+  if (n.kind == ContentNode::Kind::kElement) out->insert(n.element_name);
+  for (const ContentNode& c : n.children) CollectElementRefs(c, out);
+}
+
+}  // namespace
+
+Status Dtd::Validate() const {
+  if (!doctype_.empty() && FindElement(doctype_) == nullptr) {
+    return Status::ParseError("doctype element '" + doctype_ +
+                              "' is not declared");
+  }
+  for (const ElementDef& e : elements_) {
+    std::set<std::string> refs;
+    CollectElementRefs(e.content, &refs);
+    for (const std::string& r : refs) {
+      if (FindElement(r) == nullptr) {
+        return Status::ParseError("element '" + e.name +
+                                  "' references undeclared element '" + r +
+                                  "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// DTD parsing
+
+namespace {
+
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view text) : text_(text) {}
+
+  Result<Dtd> Parse() {
+    Dtd dtd;
+    SkipMisc();
+    // Optional <!DOCTYPE name [ ... ]> wrapper.
+    bool has_doctype_wrapper = false;
+    if (PeekKeyword("<!DOCTYPE")) {
+      pos_ += 9;
+      SkipSpace();
+      SGMLQDB_ASSIGN_OR_RETURN(std::string name, ReadName("doctype name"));
+      dtd.set_doctype(name);
+      SkipSpace();
+      if (!Consume('[')) {
+        return Err("expected '[' after DOCTYPE name");
+      }
+      has_doctype_wrapper = true;
+    }
+    while (true) {
+      SkipMisc();
+      if (has_doctype_wrapper && Peek() == ']') {
+        ++pos_;
+        SkipSpace();
+        Consume('>');  // closing of <!DOCTYPE ... ]>
+        break;
+      }
+      if (AtEnd()) break;
+      if (PeekKeyword("<!ELEMENT")) {
+        pos_ += 9;
+        SGMLQDB_RETURN_IF_ERROR(ParseElement(&dtd));
+      } else if (PeekKeyword("<!ATTLIST")) {
+        pos_ += 9;
+        SGMLQDB_RETURN_IF_ERROR(ParseAttlist(&dtd));
+      } else if (PeekKeyword("<!ENTITY")) {
+        pos_ += 8;
+        SGMLQDB_RETURN_IF_ERROR(ParseEntity(&dtd));
+      } else {
+        return Err("expected a declaration (<!ELEMENT, <!ATTLIST, "
+                   "<!ENTITY)");
+      }
+    }
+    if (dtd.doctype().empty() && !dtd.elements().empty()) {
+      // Bare declaration list: first declared element is the doctype.
+      dtd.set_doctype(dtd.elements()[0].name);
+    }
+    SGMLQDB_RETURN_IF_ERROR(dtd.Validate());
+    return dtd;
+  }
+
+ private:
+  // ---- Character-level helpers --------------------------------------
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return pos_ + kw.size() <= text_.size() &&
+           EqualsIgnoreCase(text_.substr(pos_, kw.size()), kw);
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsAsciiSpace(text_[pos_])) ++pos_;
+  }
+
+  /// Skips whitespace and <!-- comments --> between declarations.
+  void SkipMisc() {
+    while (true) {
+      SkipSpace();
+      if (PeekKeyword("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Status Err(const std::string& message) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError("DTD line " + std::to_string(line) + ": " +
+                              message);
+  }
+
+  Result<std::string> ReadName(const std::string& what) {
+    SkipSpace();
+    size_t start = pos_;
+    while (!AtEnd() && IsSgmlNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Err("expected " + what);
+    }
+    // SGML names are case-insensitive; normalize to lowercase.
+    return AsciiToLower(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ReadQuoted() {
+    SkipSpace();
+    char q = Peek();
+    if (q != '"' && q != '\'') {
+      return Err("expected a quoted literal");
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && text_[pos_] != q) ++pos_;
+    if (AtEnd()) return Err("unterminated literal");
+    std::string out(text_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  // ---- Declarations --------------------------------------------------
+  Status ParseElement(Dtd* dtd) {
+    ElementDef def;
+    SGMLQDB_ASSIGN_OR_RETURN(def.name, ReadName("element name"));
+    SkipSpace();
+    // Optional omission indicators: two of '-' / 'O' / 'o'.
+    if (Peek() == '-' || Peek() == 'O' || Peek() == 'o') {
+      char start_ind = Peek();
+      size_t save = pos_;
+      ++pos_;
+      SkipSpace();
+      char end_ind = Peek();
+      if ((end_ind == '-' || end_ind == 'O' || end_ind == 'o')) {
+        ++pos_;
+        def.start_tag_omissible = (start_ind != '-');
+        def.end_tag_omissible = (end_ind != '-');
+      } else {
+        pos_ = save;  // not omission indicators after all
+      }
+    }
+    SkipSpace();
+    if (PeekKeyword("EMPTY")) {
+      pos_ += 5;
+      def.content = ContentNode::Empty();
+    } else if (PeekKeyword("CDATA")) {
+      pos_ += 5;
+      def.content = ContentNode::Pcdata();
+    } else {
+      SGMLQDB_ASSIGN_OR_RETURN(def.content, ParseModelGroup());
+    }
+    SkipSpace();
+    if (!Consume('>')) return Err("expected '>' closing ELEMENT");
+    return dtd->AddElement(std::move(def));
+  }
+
+  Result<ContentNode> ParseModelGroup() {
+    SkipSpace();
+    if (!Consume('(')) return Err("expected '(' starting a model group");
+    std::vector<ContentNode> items;
+    char connector = 0;
+    while (true) {
+      SGMLQDB_ASSIGN_OR_RETURN(ContentNode item, ParseModelItem());
+      items.push_back(std::move(item));
+      SkipSpace();
+      char c = Peek();
+      if (c == ',' || c == '&' || c == '|') {
+        if (connector != 0 && connector != c) {
+          return Err("mixed connectors in one model group; parenthesize");
+        }
+        connector = c;
+        ++pos_;
+        continue;
+      }
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      return Err("expected ',', '&', '|' or ')' in model group");
+    }
+    Occurrence occ = ParseOccurrence();
+    if (items.size() == 1 && connector == 0) {
+      // (x)? etc: collapse the group, composing occurrences.
+      ContentNode inner = std::move(items[0]);
+      if (occ == Occurrence::kOne) return inner;
+      if (inner.occurrence == Occurrence::kOne) {
+        inner.occurrence = occ;
+        return inner;
+      }
+      return ContentNode::Seq({std::move(inner)}, occ);
+    }
+    switch (connector) {
+      case '&':
+        return ContentNode::All(std::move(items), occ);
+      case '|':
+        return ContentNode::Choice(std::move(items), occ);
+      default:
+        return ContentNode::Seq(std::move(items), occ);
+    }
+  }
+
+  Result<ContentNode> ParseModelItem() {
+    SkipSpace();
+    if (Peek() == '(') return ParseModelGroup();
+    if (PeekKeyword("#PCDATA")) {
+      pos_ += 7;
+      return ContentNode::Pcdata();
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(std::string name, ReadName("content token"));
+    return ContentNode::Element(std::move(name), ParseOccurrence());
+  }
+
+  Occurrence ParseOccurrence() {
+    switch (Peek()) {
+      case '?':
+        ++pos_;
+        return Occurrence::kOpt;
+      case '+':
+        ++pos_;
+        return Occurrence::kPlus;
+      case '*':
+        ++pos_;
+        return Occurrence::kStar;
+      default:
+        return Occurrence::kOne;
+    }
+  }
+
+  Status ParseAttlist(Dtd* dtd) {
+    SGMLQDB_ASSIGN_OR_RETURN(std::string element, ReadName("element name"));
+    std::vector<AttributeDef> attrs;
+    while (true) {
+      SkipSpace();
+      if (Consume('>')) break;
+      AttributeDef attr;
+      SGMLQDB_ASSIGN_OR_RETURN(attr.name, ReadName("attribute name"));
+      SkipSpace();
+      // Declared type.
+      if (Peek() == '(') {
+        ++pos_;
+        attr.type = AttributeDef::DeclaredType::kEnumerated;
+        while (true) {
+          SGMLQDB_ASSIGN_OR_RETURN(std::string v,
+                                   ReadName("enumerated value"));
+          attr.enumerated_values.push_back(std::move(v));
+          SkipSpace();
+          if (Consume('|')) continue;
+          if (Consume(')')) break;
+          return Err("expected '|' or ')' in enumerated attribute type");
+        }
+      } else if (PeekKeyword("CDATA")) {
+        pos_ += 5;
+        attr.type = AttributeDef::DeclaredType::kCdata;
+      } else if (PeekKeyword("IDREFS")) {
+        pos_ += 6;
+        attr.type = AttributeDef::DeclaredType::kIdrefs;
+      } else if (PeekKeyword("IDREF")) {
+        pos_ += 5;
+        attr.type = AttributeDef::DeclaredType::kIdref;
+      } else if (PeekKeyword("ID")) {
+        pos_ += 2;
+        attr.type = AttributeDef::DeclaredType::kId;
+      } else if (PeekKeyword("NMTOKEN")) {
+        pos_ += 7;
+        attr.type = AttributeDef::DeclaredType::kNmtoken;
+      } else if (PeekKeyword("ENTITY")) {
+        pos_ += 6;
+        attr.type = AttributeDef::DeclaredType::kEntity;
+      } else {
+        return Err("unknown attribute type for '" + attr.name + "'");
+      }
+      SkipSpace();
+      // Default.
+      if (PeekKeyword("#REQUIRED")) {
+        pos_ += 9;
+        attr.default_kind = AttributeDef::DefaultKind::kRequired;
+      } else if (PeekKeyword("#IMPLIED")) {
+        pos_ += 8;
+        attr.default_kind = AttributeDef::DefaultKind::kImplied;
+      } else if (PeekKeyword("#FIXED")) {
+        pos_ += 6;
+        attr.default_kind = AttributeDef::DefaultKind::kFixed;
+        SGMLQDB_ASSIGN_OR_RETURN(attr.default_value, ReadQuoted());
+      } else if (Peek() == '"' || Peek() == '\'') {
+        attr.default_kind = AttributeDef::DefaultKind::kValue;
+        SGMLQDB_ASSIGN_OR_RETURN(attr.default_value, ReadQuoted());
+      } else {
+        // Unquoted default value token.
+        attr.default_kind = AttributeDef::DefaultKind::kValue;
+        SGMLQDB_ASSIGN_OR_RETURN(attr.default_value,
+                                 ReadName("default value"));
+      }
+      attrs.push_back(std::move(attr));
+    }
+    return dtd->AddAttributes(element, std::move(attrs));
+  }
+
+  Status ParseEntity(Dtd* dtd) {
+    EntityDef def;
+    SGMLQDB_ASSIGN_OR_RETURN(def.name, ReadName("entity name"));
+    SkipSpace();
+    if (PeekKeyword("SYSTEM")) {
+      pos_ += 6;
+      def.is_external = true;
+      SGMLQDB_ASSIGN_OR_RETURN(def.system_id, ReadQuoted());
+      SkipSpace();
+      if (PeekKeyword("NDATA")) {
+        pos_ += 5;
+        SkipSpace();
+        // Notation name is optional in our dialect (Fig. 1 line 16
+        // omits it).
+        if (IsSgmlNameChar(Peek())) {
+          SGMLQDB_ASSIGN_OR_RETURN(def.notation, ReadName("notation name"));
+        } else {
+          def.notation = "ndata";
+        }
+      }
+    } else {
+      SGMLQDB_ASSIGN_OR_RETURN(def.replacement, ReadQuoted());
+    }
+    SkipSpace();
+    if (!Consume('>')) return Err("expected '>' closing ENTITY");
+    return dtd->AddEntity(std::move(def));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view text) {
+  return DtdParser(text).Parse();
+}
+
+}  // namespace sgmlqdb::sgml

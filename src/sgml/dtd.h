@@ -1,0 +1,106 @@
+// Document Type Definitions (paper §2, Figure 1): element
+// declarations with tag-omission indicators and content models,
+// attribute-list declarations, and entity declarations.
+
+#ifndef SGMLQDB_SGML_DTD_H_
+#define SGMLQDB_SGML_DTD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "sgml/content_model.h"
+
+namespace sgmlqdb::sgml {
+
+/// One attribute in an ATTLIST declaration.
+struct AttributeDef {
+  enum class DeclaredType {
+    kCdata,
+    kId,       // unique identifier (cross-reference target)
+    kIdref,    // reference to an ID
+    kIdrefs,   // space-separated list of IDREFs
+    kNmtoken,
+    kEntity,   // entity name (e.g. external figure data)
+    kEnumerated,
+  };
+  enum class DefaultKind {
+    kRequired,  // #REQUIRED
+    kImplied,   // #IMPLIED
+    kFixed,     // #FIXED "value"
+    kValue,     // literal default
+  };
+
+  std::string name;
+  DeclaredType type = DeclaredType::kCdata;
+  std::vector<std::string> enumerated_values;  // kEnumerated only
+  DefaultKind default_kind = DefaultKind::kImplied;
+  std::string default_value;  // kValue / kFixed only
+};
+
+/// One ELEMENT declaration.
+struct ElementDef {
+  std::string name;
+  /// Tag-omission indicators: '-' = required, 'O' = omissible. The
+  /// paper's "- O" means the end tag may be omitted.
+  bool start_tag_omissible = false;
+  bool end_tag_omissible = false;
+  ContentNode content;
+  std::vector<AttributeDef> attributes;  // merged from ATTLIST
+
+  const AttributeDef* FindAttribute(std::string_view name) const;
+};
+
+/// One ENTITY declaration.
+struct EntityDef {
+  std::string name;
+  /// Internal entity: replacement text. External: empty.
+  std::string replacement;
+  /// External (SYSTEM) entity: the system identifier (file path).
+  std::string system_id;
+  /// NDATA notation name for non-SGML data entities ("" if none).
+  std::string notation;
+  bool is_external = false;
+};
+
+/// A parsed DTD.
+class Dtd {
+ public:
+  /// The document type name (the root element), e.g. "article".
+  const std::string& doctype() const { return doctype_; }
+  void set_doctype(std::string name) { doctype_ = std::move(name); }
+
+  Status AddElement(ElementDef def);
+  /// Attaches ATTLIST attributes to an already-declared element.
+  Status AddAttributes(std::string_view element,
+                       std::vector<AttributeDef> attrs);
+  Status AddEntity(EntityDef def);
+
+  const ElementDef* FindElement(std::string_view name) const;
+  const EntityDef* FindEntity(std::string_view name) const;
+
+  const std::vector<ElementDef>& elements() const { return elements_; }
+  const std::vector<EntityDef>& entities() const { return entities_; }
+
+  /// Checks that every element name referenced in a content model is
+  /// declared, and the doctype element exists.
+  Status Validate() const;
+
+ private:
+  std::string doctype_;
+  std::vector<ElementDef> elements_;
+  std::vector<EntityDef> entities_;
+  std::map<std::string, size_t, std::less<>> element_index_;
+  std::map<std::string, size_t, std::less<>> entity_index_;
+};
+
+/// Parses DTD text of the form
+///   <!DOCTYPE article [ <!ELEMENT ...> <!ATTLIST ...> <!ENTITY ...> ]>
+/// or a bare sequence of declarations (no DOCTYPE wrapper).
+Result<Dtd> ParseDtd(std::string_view text);
+
+}  // namespace sgmlqdb::sgml
+
+#endif  // SGMLQDB_SGML_DTD_H_

@@ -1,0 +1,99 @@
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::sgml {
+
+std::string_view ArticleDtdText() {
+  return R"dtd(<!DOCTYPE article [
+<!ELEMENT article - -  (title, author+, affil, abstract, section+, acknowl)>
+<!ATTLIST article      status (final | draft) draft>
+<!ELEMENT title - O    (#PCDATA)>
+<!ELEMENT author - O   (#PCDATA)>
+<!ELEMENT affil - O    (#PCDATA)>
+<!ELEMENT abstract - O (#PCDATA)>
+<!ELEMENT section - O  ((title, body+) | (title, body*, subsectn+))>
+<!ELEMENT subsectn - O (title, body+)>
+<!ELEMENT body - O     (figure | paragr)>
+<!ELEMENT figure - O   (picture, caption?)>
+<!ATTLIST figure       label ID #IMPLIED>
+<!ELEMENT picture - O  EMPTY>
+<!ATTLIST picture      sizex NMTOKEN "16cm"
+                       sizey NMTOKEN #IMPLIED
+                       file ENTITY #IMPLIED>
+<!ELEMENT caption O O  (#PCDATA)>
+<!ENTITY fig1 SYSTEM "/u/christop/SGML/image1" NDATA >
+<!ELEMENT paragr - O   (#PCDATA)>
+<!ATTLIST paragr       reflabel IDREF #IMPLIED>
+<!ELEMENT acknowl - O  (#PCDATA)>
+]>)dtd";
+}
+
+std::string_view ArticleDocumentText() {
+  return R"doc(<article status="final">
+<title> From Structured Documents to Novel Query Facilities </title>
+<author> V. Christophides
+<author> S. Abiteboul
+<author> S. Cluet
+<author> M. Scholl
+<affil> I.N.R.I.A. </affil>
+<abstract> Structured documents (e.g., SGML) can benefit a lot from database
+support and more specifically from object-oriented database (OODB) management
+systems. This paper describes a natural mapping from SGML documents into OODB's
+and a formal extension of two OODB query languages. </abstract>
+<section>
+<title> Introduction </title>
+<body><paragr> This paper is organized as follows. Section 2 introduces the
+SGML standard. The mapping from SGML to the O2 DBMS is defined in Section 3.
+Section 4 presents the extension of the O2SQL language and Section 5 the
+formal bases for this extension. </paragr>
+</body></section>
+<section>
+<title> SGML preliminaries </title>
+<body><paragr> In this section, we present the main features of SGML. (A
+general presentation is clearly beyond the scope of this paper.) </paragr>
+</body></section>
+<acknowl> We are grateful to O2 Technology, Euroclid and AIS Berger-Levrault
+for their technical support during this project. </acknowl>
+</article>)doc";
+}
+
+std::string_view ArticleDocumentV2Text() {
+  return R"doc(<article status="draft">
+<title> From Structured Documents to Novel Query Facilities </title>
+<author> V. Christophides
+<author> S. Abiteboul
+<author> S. Cluet
+<author> M. Scholl
+<affil> I.N.R.I.A. </affil>
+<abstract> Structured documents (e.g., SGML) can benefit a lot from database
+support and more specifically from object-oriented database (OODB) management
+systems. </abstract>
+<section>
+<title> Introduction and motivation </title>
+<body><paragr> This paper is organized as follows. Section 2 introduces the
+SGML standard. </paragr>
+</body></section>
+<acknowl> We are grateful to O2 Technology. </acknowl>
+</article>)doc";
+}
+
+std::string_view LettersDtdText() {
+  return R"dtd(<!DOCTYPE letter [
+<!ELEMENT letter - -   (preamble, content)>
+<!ELEMENT preamble - O (to & from)>
+<!ELEMENT to - O       (#PCDATA)>
+<!ELEMENT from - O     (#PCDATA)>
+<!ELEMENT content - O  (#PCDATA)>
+]>)dtd";
+}
+
+std::string_view LettersDocumentText() {
+  return R"doc(<letter>
+<preamble>
+<to> Alice, 1 rue du Chat, Paris </to>
+<from> Bob, 2 avenue du Chien, Lyon </from>
+</preamble>
+<content> Dear Alice, greetings from Lyon. </content>
+</letter>)doc";
+}
+
+}  // namespace sgmlqdb::sgml

@@ -1,0 +1,35 @@
+// The paper's running example as in-source goldens: the Figure 1 DTD
+// for documents of type `article` and the Figure 2 document instance.
+// Tests, examples and benchmarks all build on these.
+
+#ifndef SGMLQDB_SGML_GOLDENS_H_
+#define SGMLQDB_SGML_GOLDENS_H_
+
+#include <string_view>
+
+namespace sgmlqdb::sgml {
+
+/// Figure 1: the article DTD (transcribed; the figure's
+/// `<!ELEMENT author - O ...>` line is duplicated in the paper's
+/// table rendering — kept once here; `affil` is declared analogously
+/// to the other #PCDATA elements, as the `article` model requires it).
+std::string_view ArticleDtdText();
+
+/// Figure 2: the SGML document of type article, with the omitted
+/// author/section end tags exactly as printed.
+std::string_view ArticleDocumentText();
+
+/// A smaller second version of the Figure 2 document (one section
+/// dropped, one retitled) used for the Q4 version-diff examples.
+std::string_view ArticleDocumentV2Text();
+
+/// A letters DTD whose preamble uses the "&" connector (paper §4.4):
+///   <!ELEMENT preamble (to & from)>
+std::string_view LettersDtdText();
+
+/// A small letters document with both orders of to/from.
+std::string_view LettersDocumentText();
+
+}  // namespace sgmlqdb::sgml
+
+#endif  // SGMLQDB_SGML_GOLDENS_H_

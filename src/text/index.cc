@@ -1,0 +1,155 @@
+#include "text/index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::text {
+
+void InvertedIndex::Add(UnitId id, std::string_view text) {
+  units_.push_back(id);
+  ++unit_count_;
+  std::vector<std::string> tokens = Tokenize(text);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    postings_[AsciiToLower(tokens[i])].push_back(
+        Posting{id, static_cast<uint32_t>(i)});
+  }
+}
+
+std::vector<UnitId> InvertedIndex::Lookup(std::string_view word) const {
+  std::vector<UnitId> out;
+  auto it = postings_.find(AsciiToLower(word));
+  if (it == postings_.end()) return out;
+  for (const Posting& p : it->second) {
+    if (out.empty() || out.back() != p.unit) out.push_back(p.unit);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<UnitId> Intersect(const std::vector<UnitId>& a,
+                              const std::vector<UnitId>& b) {
+  std::vector<UnitId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<UnitId> InvertedIndex::Candidates(const Pattern& pattern,
+                                              bool* exact) const {
+  *exact = false;
+  std::vector<const WordPattern*> words = pattern.PositiveWords();
+  if (words.empty()) {
+    // Purely negative (or empty): every unit is a candidate.
+    std::vector<UnitId> all = units_;
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  // Conservative candidate set: a unit must contain at least one
+  // token of every positive *plain single word* pattern. Phrase and
+  // regex parts contribute their plain words only; if a positive word
+  // pattern has no plain part at all, it cannot prune (fall back to
+  // the full unit list for that conjunct).
+  //
+  // This is exact when the pattern is a pure AND of plain single
+  // words; the caller is told through `exact`.
+  bool all_plain_single = true;
+  std::vector<UnitId> result;
+  bool first = true;
+  for (const WordPattern* w : words) {
+    std::vector<UnitId> units_for_word;
+    if (w->token_count() == 1 && !Regex::HasMetacharacters(w->text())) {
+      units_for_word = Lookup(w->text());
+      std::sort(units_for_word.begin(), units_for_word.end());
+    } else {
+      all_plain_single = false;
+      // Phrase: intersect the units of its plain parts (conservative).
+      bool any_plain = false;
+      std::vector<UnitId> phrase_units;
+      bool phrase_first = true;
+      for (const std::string& part : Split(w->text(), ' ')) {
+        if (part.empty() || Regex::HasMetacharacters(part)) continue;
+        any_plain = true;
+        std::vector<UnitId> u = Lookup(part);
+        std::sort(u.begin(), u.end());
+        phrase_units = phrase_first ? u : Intersect(phrase_units, u);
+        phrase_first = false;
+      }
+      if (any_plain) {
+        units_for_word = std::move(phrase_units);
+      } else {
+        units_for_word = units_;
+        std::sort(units_for_word.begin(), units_for_word.end());
+      }
+    }
+    result = first ? units_for_word : Intersect(result, units_for_word);
+    first = false;
+  }
+  // The intersection across positive words is only exact when the
+  // pattern is a conjunction; detecting the general case precisely is
+  // not worth it — treat AND-of-plain-words via ToString heuristics.
+  // We report exact=true only when every positive word is plain/single
+  // AND the pattern has no 'or'/'not' connective.
+  std::string s = pattern.ToString();
+  bool has_or = s.find(" or ") != std::string::npos;
+  bool has_not = s.find("not ") != std::string::npos;
+  *exact = all_plain_single && !has_or && !has_not;
+  return result;
+}
+
+std::vector<UnitId> InvertedIndex::NearLookup(std::string_view word1,
+                                              std::string_view word2,
+                                              size_t max_distance) const {
+  std::vector<UnitId> out;
+  auto it1 = postings_.find(AsciiToLower(word1));
+  auto it2 = postings_.find(AsciiToLower(word2));
+  if (it1 == postings_.end() || it2 == postings_.end()) return out;
+  // Postings are grouped by unit; two-pointer sweep over units.
+  const std::vector<Posting>& a = it1->second;
+  const std::vector<Posting>& b = it2->second;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].unit < b[j].unit) {
+      ++i;
+    } else if (b[j].unit < a[i].unit) {
+      ++j;
+    } else {
+      UnitId unit = a[i].unit;
+      bool hit = false;
+      size_t i2 = i;
+      while (i2 < a.size() && a[i2].unit == unit && !hit) {
+        size_t j2 = j;
+        while (j2 < b.size() && b[j2].unit == unit) {
+          uint32_t pa = a[i2].position;
+          uint32_t pb = b[j2].position;
+          uint32_t d = pa > pb ? pa - pb : pb - pa;
+          if (d <= max_distance) {
+            hit = true;
+            break;
+          }
+          ++j2;
+        }
+        ++i2;
+      }
+      if (hit) out.push_back(unit);
+      while (i < a.size() && a[i].unit == unit) ++i;
+      while (j < b.size() && b[j].unit == unit) ++j;
+    }
+  }
+  return out;
+}
+
+size_t InvertedIndex::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, postings] : postings_) {
+    bytes += term.size() + 32 + postings.size() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+}  // namespace sgmlqdb::text

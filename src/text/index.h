@@ -1,0 +1,69 @@
+// A positional inverted index over text units (paper §4.1/§6: the
+// "integration of full text indexing mechanisms"). The query layer
+// indexes every string reachable in the database and uses the index to
+// find candidate units for `contains` patterns instead of scanning.
+
+#ifndef SGMLQDB_TEXT_INDEX_H_
+#define SGMLQDB_TEXT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/pattern.h"
+
+namespace sgmlqdb::text {
+
+/// Identifies an indexed text unit (caller-assigned).
+using UnitId = uint64_t;
+
+class InvertedIndex {
+ public:
+  /// Indexes a unit's text. Ids must be unique and added in
+  /// increasing order (postings lists stay sorted by construction).
+  void Add(UnitId id, std::string_view text);
+
+  size_t unit_count() const { return unit_count_; }
+  size_t term_count() const { return postings_.size(); }
+
+  /// Units whose token list *may* match the pattern: the intersection/
+  /// union structure of the pattern's positive words is evaluated on
+  /// the index (conservative for phrases and regexes, exact for plain
+  /// single words combined with and/or). For purely negative patterns
+  /// this returns all units. Candidates must be confirmed with
+  /// Pattern::Matches on the unit's text unless `*exact` is true.
+  std::vector<UnitId> Candidates(const Pattern& pattern, bool* exact) const;
+
+  /// Units containing (case-insensitively) the given plain word.
+  std::vector<UnitId> Lookup(std::string_view word) const;
+
+  /// Units where `word1` and `word2` occur within `max_distance`
+  /// words (exact, via positions).
+  std::vector<UnitId> NearLookup(std::string_view word1,
+                                 std::string_view word2,
+                                 size_t max_distance) const;
+
+  /// All unit ids in insertion order.
+  const std::vector<UnitId>& units() const { return units_; }
+
+  /// Rough memory footprint of the postings (bytes) — reported by the
+  /// storage experiment.
+  size_t ApproximateBytes() const;
+
+ private:
+  struct Posting {
+    UnitId unit;
+    uint32_t position;
+  };
+
+  // term (lowercased) -> postings sorted by (unit, position).
+  std::map<std::string, std::vector<Posting>, std::less<>> postings_;
+  std::vector<UnitId> units_;
+  size_t unit_count_ = 0;
+};
+
+}  // namespace sgmlqdb::text
+
+#endif  // SGMLQDB_TEXT_INDEX_H_

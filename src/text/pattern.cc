@@ -1,0 +1,337 @@
+#include "text/pattern.h"
+
+#include <cctype>
+
+#include "base/strutil.h"
+
+namespace sgmlqdb::text {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (IsAsciiAlpha(c) || IsAsciiDigit(c)) {
+      cur += c;
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<WordPattern> WordPattern::Make(std::string_view quoted_text) {
+  WordPattern p;
+  p.text_ = std::string(quoted_text);
+  // Split the quoted text on whitespace into phrase parts.
+  std::string cur;
+  std::vector<std::string> raw_parts;
+  for (char c : quoted_text) {
+    if (IsAsciiSpace(c)) {
+      if (!cur.empty()) raw_parts.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) raw_parts.push_back(std::move(cur));
+  if (raw_parts.empty()) {
+    return Status::ParseError("empty word pattern");
+  }
+  for (std::string& rp : raw_parts) {
+    Part part;
+    if (Regex::HasMetacharacters(rp)) {
+      SGMLQDB_ASSIGN_OR_RETURN(Regex re, Regex::Compile(rp));
+      part.regex = std::make_shared<Regex>(std::move(re));
+    } else {
+      part.word = AsciiToLower(rp);
+    }
+    p.parts_.push_back(std::move(part));
+  }
+  return p;
+}
+
+bool WordPattern::MatchesAt(const std::vector<std::string>& tokens,
+                            size_t i) const {
+  if (i + parts_.size() > tokens.size()) return false;
+  for (size_t k = 0; k < parts_.size(); ++k) {
+    const Part& part = parts_[k];
+    const std::string& tok = tokens[i + k];
+    if (part.regex != nullptr) {
+      if (!part.regex->FullMatch(tok)) return false;
+    } else {
+      if (!EqualsIgnoreCase(tok, part.word)) return false;
+    }
+  }
+  return true;
+}
+
+bool WordPattern::Matches(const std::vector<std::string>& tokens) const {
+  if (parts_.empty()) return false;
+  for (size_t i = 0; i + parts_.size() <= tokens.size(); ++i) {
+    if (MatchesAt(tokens, i)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+
+struct Pattern::Node {
+  Kind kind;
+  WordPattern word;                               // kWord
+  std::vector<std::shared_ptr<const Node>> kids;  // kAnd/kOr/kNot
+};
+
+namespace {
+
+class PatternParser {
+ public:
+  explicit PatternParser(std::string_view input) : input_(input) {}
+
+  Result<std::shared_ptr<const Pattern::Node>> Parse();
+
+  Result<std::shared_ptr<const Pattern::Node>> ParseOr();
+  Result<std::shared_ptr<const Pattern::Node>> ParseAnd();
+  Result<std::shared_ptr<const Pattern::Node>> ParseFactor();
+
+  bool done() const { return pos_ >= input_.size(); }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > input_.size()) return false;
+    if (!EqualsIgnoreCase(input_.substr(pos_, kw.size()), kw)) return false;
+    // Keyword must end at a word boundary.
+    size_t end = pos_ + kw.size();
+    if (end < input_.size() && (IsAsciiAlpha(input_[end]))) return false;
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+
+  friend class ::sgmlqdb::text::Pattern;
+};
+
+Result<std::shared_ptr<const Pattern::Node>> PatternParser::Parse() {
+  SGMLQDB_ASSIGN_OR_RETURN(auto node, ParseOr());
+  SkipSpace();
+  if (!done()) {
+    return Status::ParseError("pattern: trailing input at offset " +
+                              std::to_string(pos_) + " in " +
+                              QuoteForError(input_));
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<Pattern> Pattern::Parse(std::string_view input) {
+  PatternParser parser(input);
+  SGMLQDB_ASSIGN_OR_RETURN(auto root, parser.Parse());
+  Pattern p;
+  p.root_ = std::move(root);
+  return p;
+}
+
+namespace {
+
+Result<std::shared_ptr<const Pattern::Node>> MakeWordNode(
+    std::string_view text) {
+  SGMLQDB_ASSIGN_OR_RETURN(WordPattern wp, WordPattern::Make(text));
+  auto node = std::make_shared<Pattern::Node>();
+  node->kind = Pattern::Kind::kWord;
+  node->word = std::move(wp);
+  return std::shared_ptr<const Pattern::Node>(std::move(node));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Pattern::Node>> PatternParser::ParseOr() {
+  SGMLQDB_ASSIGN_OR_RETURN(auto left, ParseAnd());
+  std::vector<std::shared_ptr<const Pattern::Node>> kids = {left};
+  while (ConsumeKeyword("or")) {
+    SGMLQDB_ASSIGN_OR_RETURN(auto right, ParseAnd());
+    kids.push_back(std::move(right));
+  }
+  if (kids.size() == 1) return kids[0];
+  auto node = std::make_shared<Pattern::Node>();
+  node->kind = Pattern::Kind::kOr;
+  node->kids = std::move(kids);
+  return std::shared_ptr<const Pattern::Node>(std::move(node));
+}
+
+Result<std::shared_ptr<const Pattern::Node>> PatternParser::ParseAnd() {
+  SGMLQDB_ASSIGN_OR_RETURN(auto left, ParseFactor());
+  std::vector<std::shared_ptr<const Pattern::Node>> kids = {left};
+  while (ConsumeKeyword("and")) {
+    SGMLQDB_ASSIGN_OR_RETURN(auto right, ParseFactor());
+    kids.push_back(std::move(right));
+  }
+  if (kids.size() == 1) return kids[0];
+  auto node = std::make_shared<Pattern::Node>();
+  node->kind = Pattern::Kind::kAnd;
+  node->kids = std::move(kids);
+  return std::shared_ptr<const Pattern::Node>(std::move(node));
+}
+
+Result<std::shared_ptr<const Pattern::Node>> PatternParser::ParseFactor() {
+  if (ConsumeKeyword("not")) {
+    SGMLQDB_ASSIGN_OR_RETURN(auto inner, ParseFactor());
+    auto node = std::make_shared<Pattern::Node>();
+    node->kind = Pattern::Kind::kNot;
+    node->kids = {std::move(inner)};
+    return std::shared_ptr<const Pattern::Node>(std::move(node));
+  }
+  if (ConsumeChar('(')) {
+    SGMLQDB_ASSIGN_OR_RETURN(auto inner, ParseOr());
+    if (!ConsumeChar(')')) {
+      return Status::ParseError("pattern: missing ')' in " +
+                                QuoteForError(input_));
+    }
+    return inner;
+  }
+  SkipSpace();
+  if (pos_ < input_.size() && (input_[pos_] == '"' || input_[pos_] == '\'')) {
+    char q = input_[pos_++];
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != q) ++pos_;
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("pattern: unterminated quote in " +
+                                QuoteForError(input_));
+    }
+    std::string_view text = input_.substr(start, pos_ - start);
+    ++pos_;
+    return MakeWordNode(text);
+  }
+  return Status::ParseError("pattern: expected a quoted word at offset " +
+                            std::to_string(pos_) + " in " +
+                            QuoteForError(input_));
+}
+
+namespace {
+
+bool EvalNode(const Pattern::Node& node,
+              const std::vector<std::string>& tokens);
+
+}  // namespace
+
+bool Pattern::Matches(std::string_view text) const {
+  return MatchesTokens(Tokenize(text));
+}
+
+bool Pattern::MatchesTokens(const std::vector<std::string>& tokens) const {
+  return root_ != nullptr && EvalNode(*root_, tokens);
+}
+
+namespace {
+
+bool EvalNode(const Pattern::Node& node,
+              const std::vector<std::string>& tokens) {
+  switch (node.kind) {
+    case Pattern::Kind::kWord:
+      return node.word.Matches(tokens);
+    case Pattern::Kind::kAnd:
+      for (const auto& k : node.kids) {
+        if (!EvalNode(*k, tokens)) return false;
+      }
+      return true;
+    case Pattern::Kind::kOr:
+      for (const auto& k : node.kids) {
+        if (EvalNode(*k, tokens)) return true;
+      }
+      return false;
+    case Pattern::Kind::kNot:
+      return !EvalNode(*node.kids[0], tokens);
+  }
+  return false;
+}
+
+void CollectPositive(const Pattern::Node& node, bool positive,
+                     std::vector<const WordPattern*>* out) {
+  switch (node.kind) {
+    case Pattern::Kind::kWord:
+      if (positive) out->push_back(&node.word);
+      break;
+    case Pattern::Kind::kNot:
+      CollectPositive(*node.kids[0], !positive, out);
+      break;
+    default:
+      for (const auto& k : node.kids) CollectPositive(*k, positive, out);
+  }
+}
+
+void NodeToString(const Pattern::Node& node, std::string* out) {
+  switch (node.kind) {
+    case Pattern::Kind::kWord:
+      *out += QuoteForError(node.word.text());
+      break;
+    case Pattern::Kind::kAnd:
+    case Pattern::Kind::kOr: {
+      *out += '(';
+      const char* sep = node.kind == Pattern::Kind::kAnd ? " and " : " or ";
+      for (size_t i = 0; i < node.kids.size(); ++i) {
+        if (i > 0) *out += sep;
+        NodeToString(*node.kids[i], out);
+      }
+      *out += ')';
+      break;
+    }
+    case Pattern::Kind::kNot:
+      *out += "not ";
+      NodeToString(*node.kids[0], out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<const WordPattern*> Pattern::PositiveWords() const {
+  std::vector<const WordPattern*> out;
+  if (root_ != nullptr) CollectPositive(*root_, /*positive=*/true, &out);
+  return out;
+}
+
+bool Pattern::IsPurelyNegative() const { return PositiveWords().empty(); }
+
+std::string Pattern::ToString() const {
+  std::string out;
+  if (root_ != nullptr) NodeToString(*root_, &out);
+  return out;
+}
+
+Result<bool> Near(std::string_view text, std::string_view word1,
+                  std::string_view word2, size_t max_distance) {
+  SGMLQDB_ASSIGN_OR_RETURN(WordPattern p1, WordPattern::Make(word1));
+  SGMLQDB_ASSIGN_OR_RETURN(WordPattern p2, WordPattern::Make(word2));
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<size_t> pos1;
+  std::vector<size_t> pos2;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (p1.MatchesAt(tokens, i)) pos1.push_back(i);
+    if (p2.MatchesAt(tokens, i)) pos2.push_back(i);
+  }
+  for (size_t a : pos1) {
+    for (size_t b : pos2) {
+      size_t d = a > b ? a - b : b - a;
+      if (d <= max_distance) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sgmlqdb::text

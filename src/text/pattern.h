@@ -1,0 +1,95 @@
+// The `contains` pattern language of the paper (§4.1): a boolean
+// combination (and / or / not) of word patterns, where each word
+// pattern is a quoted token — a plain word, a multi-word phrase, or a
+// character-level regular expression like "(t|T)itle".
+//
+// Matching rules:
+//  * a plain word (no regex metacharacters) matches a token
+//    case-insensitively;
+//  * a regex word must fully match some token (case-sensitively);
+//  * a phrase ("complex object") matches consecutive tokens.
+//
+// The companion `near` predicate (§4.1) checks that two words occur
+// within a given number of words of each other.
+
+#ifndef SGMLQDB_TEXT_PATTERN_H_
+#define SGMLQDB_TEXT_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "text/regex.h"
+
+namespace sgmlqdb::text {
+
+/// Splits text into word tokens (maximal runs of letters/digits,
+/// original case preserved).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// One quoted word pattern, pre-compiled.
+class WordPattern {
+ public:
+  static Result<WordPattern> Make(std::string_view quoted_text);
+
+  /// True if the pattern matches starting at token `i`.
+  bool MatchesAt(const std::vector<std::string>& tokens, size_t i) const;
+  /// True if the pattern matches anywhere in the token list.
+  bool Matches(const std::vector<std::string>& tokens) const;
+
+  /// Number of consecutive tokens consumed (1 for single words).
+  size_t token_count() const { return parts_.size(); }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  struct Part {
+    std::string word;         // lowercased plain word, or empty
+    std::shared_ptr<Regex> regex;  // set when the part uses metacharacters
+  };
+
+  std::string text_;
+  std::vector<Part> parts_;
+};
+
+/// A boolean combination of word patterns.
+class Pattern {
+ public:
+  /// Parses e.g.:  "SGML" and "OODBMS"
+  ///               ("a" or "b") and not "c"
+  ///               "complex object"
+  static Result<Pattern> Parse(std::string_view input);
+
+  /// Evaluates against raw text (tokenizing it first).
+  bool Matches(std::string_view text) const;
+  bool MatchesTokens(const std::vector<std::string>& tokens) const;
+
+  /// All positive word patterns (used by the inverted index to find
+  /// candidate documents).
+  std::vector<const WordPattern*> PositiveWords() const;
+
+  /// True if the pattern can only be evaluated by scanning (it is
+  /// purely negative, e.g. `not "x"`).
+  bool IsPurelyNegative() const;
+
+  std::string ToString() const;
+
+  // Implementation detail, public for the parser/evaluator in
+  // pattern.cc; not part of the supported API.
+  enum class Kind { kWord, kAnd, kOr, kNot };
+  struct Node;
+
+ private:
+  std::shared_ptr<const Node> root_;
+};
+
+/// The paper's near predicate: both words occur and some occurrences
+/// are at most `max_distance` words apart.
+Result<bool> Near(std::string_view text, std::string_view word1,
+                  std::string_view word2, size_t max_distance);
+
+}  // namespace sgmlqdb::text
+
+#endif  // SGMLQDB_TEXT_PATTERN_H_

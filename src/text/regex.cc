@@ -1,0 +1,257 @@
+#include "text/regex.h"
+
+#include <cctype>
+
+namespace sgmlqdb::text {
+
+namespace {
+
+char FoldCase(char c, bool ignore_case) {
+  if (!ignore_case) return c;
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool Regex::HasMetacharacters(std::string_view pattern) {
+  for (char c : pattern) {
+    switch (c) {
+      case '(':
+      case ')':
+      case '|':
+      case '*':
+      case '+':
+      case '?':
+      case '.':
+      case '\\':
+        return true;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+/// Thompson construction with patch lists.
+class RegexCompiler {
+ public:
+  RegexCompiler(std::string_view pattern, bool ignore_case)
+      : pattern_(pattern), ignore_case_(ignore_case) {}
+
+  Result<Regex> Compile() {
+    SGMLQDB_ASSIGN_OR_RETURN(Frag frag, ParseAlt());
+    if (pos_ != pattern_.size()) {
+      return Status::ParseError("regex: unexpected ')' at offset " +
+                                std::to_string(pos_) + " in \"" +
+                                std::string(pattern_) + "\"");
+    }
+    int accept = NewState(Regex::State::Kind::kAccept);
+    Patch(frag.out, accept);
+    Regex re;
+    re.pattern_ = std::string(pattern_);
+    re.ignore_case_ = ignore_case_;
+    re.start_ = frag.start;
+    re.program_ =
+        std::make_shared<const std::vector<Regex::State>>(std::move(states_));
+    return re;
+  }
+
+ private:
+  /// A dangling out-pointer: state index + slot (1 or 2).
+  struct Out {
+    int state;
+    int slot;
+  };
+  struct Frag {
+    int start;
+    std::vector<Out> out;
+  };
+
+  int NewState(Regex::State::Kind kind, char ch = 0) {
+    Regex::State s;
+    s.kind = kind;
+    s.ch = ch;
+    states_.push_back(s);
+    return static_cast<int>(states_.size()) - 1;
+  }
+
+  void Patch(const std::vector<Out>& outs, int target) {
+    for (const Out& o : outs) {
+      if (o.slot == 1) {
+        states_[o.state].out1 = target;
+      } else {
+        states_[o.state].out2 = target;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : pattern_[pos_]; }
+
+  Result<Frag> ParseAlt() {
+    SGMLQDB_ASSIGN_OR_RETURN(Frag left, ParseConcat());
+    while (Peek() == '|') {
+      ++pos_;
+      SGMLQDB_ASSIGN_OR_RETURN(Frag right, ParseConcat());
+      int split = NewState(Regex::State::Kind::kSplit);
+      states_[split].out1 = left.start;
+      states_[split].out2 = right.start;
+      Frag merged;
+      merged.start = split;
+      merged.out = left.out;
+      merged.out.insert(merged.out.end(), right.out.begin(), right.out.end());
+      left = std::move(merged);
+    }
+    return left;
+  }
+
+  Result<Frag> ParseConcat() {
+    Frag result;
+    result.start = -1;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      SGMLQDB_ASSIGN_OR_RETURN(Frag next, ParseRep());
+      if (result.start == -1) {
+        result = std::move(next);
+      } else {
+        Patch(result.out, next.start);
+        result.out = std::move(next.out);
+      }
+    }
+    if (result.start == -1) {
+      // Empty concatenation: a split that goes straight out.
+      int s = NewState(Regex::State::Kind::kSplit);
+      result.start = s;
+      result.out = {{s, 1}, {s, 2}};
+    }
+    return result;
+  }
+
+  Result<Frag> ParseRep() {
+    SGMLQDB_ASSIGN_OR_RETURN(Frag atom, ParseAtom());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != '*' && c != '+' && c != '?') break;
+      ++pos_;
+      int split = NewState(Regex::State::Kind::kSplit);
+      states_[split].out1 = atom.start;
+      Frag next;
+      if (c == '*') {
+        Patch(atom.out, split);
+        next.start = split;
+        next.out = {{split, 2}};
+      } else if (c == '+') {
+        Patch(atom.out, split);
+        next.start = atom.start;
+        next.out = {{split, 2}};
+      } else {  // '?'
+        next.start = split;
+        next.out = atom.out;
+        next.out.push_back({split, 2});
+      }
+      atom = std::move(next);
+    }
+    return atom;
+  }
+
+  Result<Frag> ParseAtom() {
+    if (AtEnd()) {
+      return Status::ParseError("regex: unexpected end of pattern");
+    }
+    char c = pattern_[pos_];
+    if (c == '(') {
+      ++pos_;
+      SGMLQDB_ASSIGN_OR_RETURN(Frag inner, ParseAlt());
+      if (Peek() != ')') {
+        return Status::ParseError("regex: missing ')' in \"" +
+                                  std::string(pattern_) + "\"");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '*' || c == '+' || c == '?') {
+      return Status::ParseError("regex: dangling '" + std::string(1, c) +
+                                "' in \"" + std::string(pattern_) + "\"");
+    }
+    if (c == '.') {
+      ++pos_;
+      int s = NewState(Regex::State::Kind::kAny);
+      return Frag{s, {{s, 1}}};
+    }
+    if (c == '\\') {
+      ++pos_;
+      if (AtEnd()) {
+        return Status::ParseError("regex: dangling escape");
+      }
+      c = pattern_[pos_];
+    }
+    ++pos_;
+    int s = NewState(Regex::State::Kind::kChar,
+                     FoldCase(c, ignore_case_));
+    return Frag{s, {{s, 1}}};
+  }
+
+  std::string_view pattern_;
+  bool ignore_case_;
+  size_t pos_ = 0;
+  std::vector<Regex::State> states_;
+};
+
+Result<Regex> Regex::Compile(std::string_view pattern, RegexOptions options) {
+  return RegexCompiler(pattern, options.ignore_case).Compile();
+}
+
+void Regex::AddEpsilonClosure(int state, std::vector<bool>* set) const {
+  if ((*set)[static_cast<size_t>(state)]) return;
+  (*set)[static_cast<size_t>(state)] = true;
+  const State& s = (*program_)[static_cast<size_t>(state)];
+  if (s.kind == State::Kind::kSplit) {
+    if (s.out1 >= 0) AddEpsilonClosure(s.out1, set);
+    if (s.out2 >= 0) AddEpsilonClosure(s.out2, set);
+  }
+}
+
+bool Regex::Run(std::string_view input, bool anchored) const {
+  const std::vector<State>& prog = *program_;
+  std::vector<bool> current(prog.size(), false);
+  AddEpsilonClosure(start_, &current);
+
+  auto has_accept = [&prog](const std::vector<bool>& set) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i] && prog[i].kind == State::Kind::kAccept) return true;
+    }
+    return false;
+  };
+
+  if (!anchored && has_accept(current)) return true;
+  if (anchored && input.empty()) return has_accept(current);
+
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = FoldCase(input[i], ignore_case_);
+    std::vector<bool> next(prog.size(), false);
+    for (size_t s = 0; s < prog.size(); ++s) {
+      if (!current[s]) continue;
+      const State& st = prog[s];
+      if ((st.kind == State::Kind::kChar && st.ch == c) ||
+          st.kind == State::Kind::kAny) {
+        if (st.out1 >= 0) AddEpsilonClosure(st.out1, &next);
+      }
+    }
+    if (!anchored) {
+      // Unanchored: a match may also start at position i + 1.
+      AddEpsilonClosure(start_, &next);
+      if (has_accept(next)) return true;
+    }
+    current = std::move(next);
+  }
+  return anchored && has_accept(current);
+}
+
+bool Regex::FullMatch(std::string_view input) const {
+  return Run(input, /*anchored=*/true);
+}
+
+bool Regex::PartialMatch(std::string_view input) const {
+  return Run(input, /*anchored=*/false);
+}
+
+}  // namespace sgmlqdb::text

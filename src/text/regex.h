@@ -1,0 +1,68 @@
+// A small Thompson-NFA regular expression engine, used for the
+// character-level patterns of the paper's `contains`/`name` predicates
+// (e.g. "(t|T)itle", §5.2). Supported syntax: literal characters,
+// '(' ')' grouping, '|' alternation, '*' '+' '?' repetition, '.' any
+// character, '\' escapes.
+
+#ifndef SGMLQDB_TEXT_REGEX_H_
+#define SGMLQDB_TEXT_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sgmlqdb::text {
+
+struct RegexOptions {
+  /// Case-insensitive matching (ASCII).
+  bool ignore_case = false;
+};
+
+/// A compiled regular expression. Copyable (shared program).
+class Regex {
+ public:
+  static Result<Regex> Compile(std::string_view pattern,
+                               RegexOptions options = {});
+
+  /// True iff the whole input matches.
+  bool FullMatch(std::string_view input) const;
+
+  /// True iff some substring of the input matches.
+  bool PartialMatch(std::string_view input) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// True if `pattern` uses any regex metacharacter — plain words take
+  /// a faster, case-insensitive equality path in the query layer.
+  static bool HasMetacharacters(std::string_view pattern);
+
+ private:
+  struct State {
+    // kChar: match `ch` then goto out1. kAny: match any char.
+    // kSplit: epsilon to out1 and out2. kAccept: done.
+    enum class Kind { kChar, kAny, kSplit, kAccept };
+    Kind kind = Kind::kAccept;
+    char ch = 0;
+    int out1 = -1;
+    int out2 = -1;
+  };
+
+  Regex() = default;
+
+  void AddEpsilonClosure(int state, std::vector<bool>* set) const;
+  bool Run(std::string_view input, bool anchored_start) const;
+
+  std::string pattern_;
+  bool ignore_case_ = false;
+  std::shared_ptr<const std::vector<State>> program_;
+  int start_ = 0;
+
+  friend class RegexCompiler;
+};
+
+}  // namespace sgmlqdb::text
+
+#endif  // SGMLQDB_TEXT_REGEX_H_

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "base/strutil.h"
+
+namespace sgmlqdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status s = Status::TypeError("bad type");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "bad type");
+  EXPECT_EQ(s.ToString(), "TypeError: bad type");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TypeError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConstraintViolation),
+               "ConstraintViolation");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Quarter(int x) {
+  SGMLQDB_ASSIGN_OR_RETURN(int half, Half(x));
+  SGMLQDB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // half=3, second Half fails
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StrutilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+  EXPECT_EQ(Split("a b c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrutilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n\t"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StrutilTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC-1"), "abc-1");
+  EXPECT_TRUE(EqualsIgnoreCase("SGML", "sgml"));
+  EXPECT_FALSE(EqualsIgnoreCase("SGML", "sgm"));
+  EXPECT_TRUE(StartsWith("PATH_p", "PATH_"));
+  EXPECT_FALSE(StartsWith("PAT", "PATH_"));
+  EXPECT_TRUE(EndsWith("file.sgml", ".sgml"));
+  EXPECT_FALSE(EndsWith("x", ".sgml"));
+}
+
+TEST(StrutilTest, CharClasses) {
+  EXPECT_TRUE(IsAsciiAlpha('z'));
+  EXPECT_TRUE(IsAsciiAlpha('A'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_TRUE(IsAsciiDigit('7'));
+  EXPECT_TRUE(IsSgmlNameChar('-'));
+  EXPECT_TRUE(IsSgmlNameChar('.'));
+  EXPECT_FALSE(IsSgmlNameChar(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+}
+
+TEST(StrutilTest, QuoteForError) {
+  EXPECT_EQ(QuoteForError("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(StrutilTest, HashingIsStableAndSpreads) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace sgmlqdb

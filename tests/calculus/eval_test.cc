@@ -1,0 +1,413 @@
+#include "calculus/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/loader.h"
+#include "mapping/schema_compiler.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::calculus {
+namespace {
+
+using om::Value;
+using om::ValueKind;
+
+/// The Figure 2 article loaded into a database, with `my_article`
+/// bound to the article object, plus the v2 document as
+/// `my_old_article`.
+class CalculusTest : public ::testing::Test {
+ protected:
+  CalculusTest()
+      : dtd_(ParseOrDie()), db_(CompileOrDie(dtd_, &extra_names_)) {
+    auto l1 = mapping::LoadDocumentText(dtd_, sgml::ArticleDocumentText(),
+                                        &db_);
+    EXPECT_TRUE(l1.ok()) << l1.status();
+    auto l2 = mapping::LoadDocumentText(dtd_, sgml::ArticleDocumentV2Text(),
+                                        &db_);
+    EXPECT_TRUE(l2.ok()) << l2.status();
+    EXPECT_TRUE(
+        db_.BindName("my_article", Value::Object(l1->root)).ok());
+    EXPECT_TRUE(
+        db_.BindName("my_old_article", Value::Object(l2->root)).ok());
+    for (const auto& [oid, text] : l1->element_texts) {
+      texts_[oid.id()] = text;
+    }
+    for (const auto& [oid, text] : l2->element_texts) {
+      texts_[oid.id()] = text;
+    }
+    ctx_.db = &db_;
+    ctx_.element_texts = &texts_;
+  }
+
+  static sgml::Dtd ParseOrDie() {
+    auto r = sgml::ParseDtd(sgml::ArticleDtdText());
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+
+  static om::Database CompileOrDie(const sgml::Dtd& dtd, int* /*unused*/) {
+    auto schema = mapping::CompileDtdToSchema(dtd);
+    EXPECT_TRUE(schema.ok()) << schema.status();
+    // Add the article-object names used by the paper's examples.
+    EXPECT_TRUE(
+        schema->AddName("my_article", om::Type::Class("Article")).ok());
+    EXPECT_TRUE(
+        schema->AddName("my_old_article", om::Type::Class("Article")).ok());
+    return om::Database(std::move(schema).value());
+  }
+
+  Value Eval(const Query& q) {
+    auto r = EvaluateQuery(ctx_, q);
+    EXPECT_TRUE(r.ok()) << r.status() << " for " << q.ToString();
+    return r.ok() ? std::move(r).value() : Value::Nil();
+  }
+
+  sgml::Dtd dtd_;
+  int extra_names_ = 0;
+  om::Database db_;
+  std::map<uint64_t, std::string> texts_;
+  EvalContext ctx_;
+};
+
+TEST_F(CalculusTest, Q3AllTitlesViaPathVariable) {
+  // Paper Q3: { t | my_article P .title (t) } — all titles reachable
+  // from my_article: the article title + 3 section titles (2 in doc1,
+  // but my_article is only doc1: 1 article title + 2 section titles).
+  Query q;
+  q.head = {DataVar("T")};
+  q.body = Formula::Exists(
+      {PathVar("P")},
+      Formula::PathPred(DataTerm::Name("my_article"),
+                        PathTerm::Var("P") + PathTerm::Attr("title") +
+                            PathTerm::Capture("T")));
+  Value result = Eval(q);
+  ASSERT_EQ(result.kind(), ValueKind::kSet);
+  // Titles are Title objects: 1 (article) + 2 (sections) = 3 distinct.
+  EXPECT_EQ(result.size(), 3u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    Value oid = result.Element(i);
+    ASSERT_EQ(oid.kind(), ValueKind::kObject);
+    EXPECT_EQ(*db_.ClassOf(oid.AsObject()), "Title");
+  }
+}
+
+TEST_F(CalculusTest, WhichPathsLeadToTitles) {
+  // { P | <my_article P .title> } — the paths themselves are returned.
+  Query q;
+  q.head = {PathVar("P")};
+  q.body = Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") + PathTerm::Attr("title"));
+  Value result = Eval(q);
+  ASSERT_EQ(result.kind(), ValueKind::kSet);
+  EXPECT_EQ(result.size(), 3u);
+  // Every returned value decodes to a concrete path.
+  for (size_t i = 0; i < result.size(); ++i) {
+    auto p = path::Path::FromValue(result.Element(i));
+    ASSERT_TRUE(p.ok()) << result.Element(i);
+  }
+}
+
+TEST_F(CalculusTest, Q4StructuralDiffOfVersions) {
+  // Paper Q4: paths in my_article that are not paths of
+  // my_old_article: { P | <my_article P> and not <my_old_article P> }.
+  Query q;
+  q.head = {PathVar("P")};
+  q.body = Formula::And(
+      {Formula::PathPred(DataTerm::Name("my_article"), PathTerm::Var("P")),
+       Formula::Not(Formula::PathPred(DataTerm::Name("my_old_article"),
+                                      PathTerm::Var("P")))});
+  Value result = Eval(q);
+  ASSERT_EQ(result.kind(), ValueKind::kSet);
+  // The new version has a second section: at minimum the paths into
+  // ->sections[1] are new.
+  EXPECT_GT(result.size(), 0u);
+  bool found_second_section = false;
+  for (size_t i = 0; i < result.size(); ++i) {
+    auto p = path::Path::FromValue(result.Element(i));
+    ASSERT_TRUE(p.ok());
+    if (p->ToString().find(".sections[1]") != std::string::npos) {
+      found_second_section = true;
+    }
+  }
+  EXPECT_TRUE(found_second_section);
+}
+
+TEST_F(CalculusTest, Q5AttributeVariablesAndContains) {
+  // Paper Q5: { A | exists P, X (<my_article P .A (X)> and
+  //                               X contains "final") }.
+  Query q;
+  q.head = {AttrVar("A")};
+  q.body = Formula::Exists(
+      {PathVar("P"), DataVar("X")},
+      Formula::And(
+          {Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") +
+                                 PathTerm::AttrVariable("A") +
+                                 PathTerm::Capture("X")),
+           Formula::Interpreted(
+               "contains",
+               {DataTerm::Var("X"),
+                DataTerm::Const(Value::String("\"final\""))})}));
+  Value result = Eval(q);
+  ASSERT_EQ(result.kind(), ValueKind::kSet);
+  // The `status` attribute holds "final" in my_article.
+  bool found_status = false;
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result.Element(i) == Value::String("status")) found_status = true;
+  }
+  EXPECT_TRUE(found_status) << result;
+}
+
+TEST_F(CalculusTest, InWhichAttributeCanAWordBeFound) {
+  // §5.2: { A | exists P (<root P .A (X)> and X = "...") } shape with
+  // a known string: the affiliation.
+  Query q;
+  q.head = {AttrVar("A")};
+  q.body = Formula::Exists(
+      {PathVar("P"), DataVar("X")},
+      Formula::And(
+          {Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") +
+                                 PathTerm::AttrVariable("A") +
+                                 PathTerm::Capture("X")),
+           Formula::Eq(DataTerm::Var("X"),
+                       DataTerm::Const(Value::String("I.N.R.I.A.")))}));
+  Value result = Eval(q);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.Element(0), Value::String("content"));
+}
+
+TEST_F(CalculusTest, ContainsOnObjectsUsesTextOperator) {
+  // Q2-flavored: sections whose text contains "SGML" (via text()).
+  Query q;
+  q.head = {DataVar("S")};
+  q.body = Formula::Exists(
+      {PathVar("P"), DataVar("__i")},
+      Formula::And(
+          {Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") + PathTerm::Attr("sections") +
+                                 PathTerm::IndexVariable("__i") +
+                                 PathTerm::Capture("S")),
+           Formula::Interpreted(
+               "contains", {DataTerm::Var("S"),
+                            DataTerm::Const(Value::String("\"SGML\""))})}));
+  Value result = Eval(q);
+  // Both Fig. 2 sections mention SGML ("...introduces the SGML
+  // standard" and "SGML preliminaries").
+  ASSERT_EQ(result.size(), 2u);
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(*db_.ClassOf(result.Element(i).AsObject()), "Section");
+  }
+}
+
+TEST_F(CalculusTest, LengthInterpretedFunctionRestrictsPaths) {
+  // §5.2: { X | exists P (<root P (X) .title> and length(P) < 3) }.
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::Exists(
+      {PathVar("P")},
+      Formula::And(
+          {Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") + PathTerm::Capture("X") +
+                                 PathTerm::Attr("title")),
+           Formula::Less(
+               DataTerm::Function("length",
+                                  {DataTerm::PathAsData(PathTerm::Var("P"))}),
+               DataTerm::Const(Value::Integer(3)))}));
+  Value result = Eval(q);
+  // Paths of length < 3 reaching a value with attribute .title:
+  // the article value itself is reached by P = -> (length 1).
+  ASSERT_GE(result.size(), 1u);
+}
+
+TEST_F(CalculusTest, PositionComparisonLettersQuery) {
+  // §5.3 (†): letters where `to` precedes `from` in the preamble,
+  // using the tuple-as-heterogeneous-list view. We model it over the
+  // loaded letters database.
+  auto letters_dtd = sgml::ParseDtd(sgml::LettersDtdText());
+  ASSERT_TRUE(letters_dtd.ok());
+  auto schema = mapping::CompileDtdToSchema(letters_dtd.value());
+  ASSERT_TRUE(schema.ok());
+  om::Database db(std::move(schema).value());
+  ASSERT_TRUE(
+      mapping::LoadDocumentText(letters_dtd.value(),
+                                sgml::LettersDocumentText(), &db)
+          .ok());
+  ASSERT_TRUE(mapping::LoadDocumentText(letters_dtd.value(),
+                                        R"(<letter><preamble>
+      <from>X</from><to>Y</to></preamble><content>c</content></letter>)",
+                                        &db)
+                  .ok());
+  EvalContext ctx;
+  ctx.db = &db;
+
+  // { L | exists I, A, Y, J, K: <Letters[I](L)> ∧
+  //        <Letters[I] -> .preamble -> .A (Y) [J] .to> ∧
+  //        <Letters[I] -> .preamble -> .A [K] .from> ∧ J < K }
+  // Because tuples are heterogeneous lists, [J] indexes into the
+  // preamble tuple's fields.
+  //
+  // Simplification using the union marker directly: letters whose
+  // preamble chose permutation a1 = (to, from).
+  Query q;
+  q.head = {DataVar("L")};
+  q.body = Formula::Exists(
+      {DataVar("I")},
+      Formula::PathPred(
+          DataTerm::Name("Letters"),
+          PathTerm::IndexVariable("I") + PathTerm::Capture("L") +
+              PathTerm::Deref() + PathTerm::Attr("preamble") +
+              PathTerm::Deref() + PathTerm::Attr("a1")));
+  auto r = EvaluateQuery(ctx, q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);  // only the first letter has to-before-from
+}
+
+TEST_F(CalculusTest, SetToListAndSubqueryNesting) {
+  // Nested query used as a term: X = set_to_list({T | ...}).
+  auto inner = std::make_shared<Query>();
+  inner->head = {DataVar("T")};
+  inner->body = Formula::Exists(
+      {PathVar("P")},
+      Formula::PathPred(DataTerm::Name("my_article"),
+                        PathTerm::Var("P") + PathTerm::Attr("title") +
+                            PathTerm::Capture("T")));
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::Eq(
+      DataTerm::Var("X"),
+      DataTerm::Function("set_to_list", {DataTerm::Subquery(inner)}));
+  Value result = Eval(q);
+  ASSERT_EQ(result.size(), 1u);
+  Value list = result.Element(0);
+  ASSERT_EQ(list.kind(), ValueKind::kList);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST_F(CalculusTest, NearPredicate) {
+  Query q;
+  q.head = {DataVar("S")};
+  q.body = Formula::Exists(
+      {PathVar("P"), DataVar("I")},
+      Formula::And(
+          {Formula::PathPred(DataTerm::Name("my_article"),
+                             PathTerm::Var("P") + PathTerm::Attr("sections") +
+                                 PathTerm::IndexVariable("I") +
+                                 PathTerm::Capture("S")),
+           Formula::Interpreted(
+               "near",
+               {DataTerm::Var("S"),
+                DataTerm::Const(Value::String("SGML")),
+                DataTerm::Const(Value::String("features")),
+                DataTerm::Const(Value::Integer(6))})}));
+  Value result = Eval(q);
+  EXPECT_EQ(result.size(), 1u);  // "the main features of SGML"
+}
+
+TEST_F(CalculusTest, RangeRestrictionRejectsUnboundVariables) {
+  // { X | not (X = 1) } is unsafe.
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::Not(
+      Formula::Eq(DataTerm::Var("X"), DataTerm::Const(Value::Integer(1))));
+  auto r = EvaluateQuery(ctx_, q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  EXPECT_FALSE(CheckRangeRestricted(q).ok());
+
+  // { X | X = 1 } is safe.
+  Query ok;
+  ok.head = {DataVar("X")};
+  ok.body = Formula::Eq(DataTerm::Var("X"),
+                        DataTerm::Const(Value::Integer(1)));
+  EXPECT_TRUE(CheckRangeRestricted(ok).ok());
+  EXPECT_EQ(Eval(ok).size(), 1u);
+}
+
+TEST_F(CalculusTest, HeadMustMatchFreeVariables) {
+  Query q;
+  q.head = {DataVar("X"), DataVar("Ghost")};
+  q.body = Formula::Eq(DataTerm::Var("X"),
+                       DataTerm::Const(Value::Integer(1)));
+  EXPECT_FALSE(EvaluateQuery(ctx_, q).ok());
+
+  Query q2;
+  q2.head = {};
+  q2.body = Formula::Eq(DataTerm::Var("X"),
+                        DataTerm::Const(Value::Integer(1)));
+  EXPECT_FALSE(EvaluateQuery(ctx_, q2).ok());
+}
+
+TEST_F(CalculusTest, MembershipGeneratesFromRootList) {
+  // { X | X in Articles } — both loaded articles.
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::In(DataTerm::Var("X"), DataTerm::Name("Articles"));
+  Value result = Eval(q);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST_F(CalculusTest, DisjunctionUnionsBindings) {
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::Or(
+      {Formula::Eq(DataTerm::Var("X"), DataTerm::Const(Value::Integer(1))),
+       Formula::Eq(DataTerm::Var("X"), DataTerm::Const(Value::Integer(2)))});
+  Value result = Eval(q);
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST_F(CalculusTest, SoftFailureMakesAtomFalse) {
+  // §5.3: X.review where X has no review — the atom is false, not an
+  // error. Here: articles whose (nonexistent) attribute equals 1.
+  Query q;
+  q.head = {DataVar("X")};
+  q.body = Formula::And(
+      {Formula::In(DataTerm::Var("X"), DataTerm::Name("Articles")),
+       Formula::Eq(
+           DataTerm::PathApply(DataTerm::Var("X"),
+                               PathTerm::Deref() + PathTerm::Attr("review")),
+           DataTerm::Const(Value::Integer(1)))});
+  Value result = Eval(q);
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST_F(CalculusTest, GuardedUniversalQuantification) {
+  // All articles have a title: forall X (not (X in Articles) or
+  // <X -> .title>). Evaluated as a closed boolean via an outer query.
+  Query q;
+  q.head = {DataVar("B")};
+  q.body = Formula::And(
+      {Formula::Eq(DataTerm::Var("B"), DataTerm::Const(Value::Boolean(true))),
+       Formula::ForAll(
+           {DataVar("X")},
+           Formula::Or({Formula::Not(Formula::In(DataTerm::Var("X"),
+                                                 DataTerm::Name("Articles"))),
+                        Formula::PathPred(DataTerm::Var("X"),
+                                          PathTerm::Deref() +
+                                              PathTerm::Attr("title"))}))});
+  Value result = Eval(q);
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST_F(CalculusTest, EvaluateClosedTermNavigates) {
+  auto term = DataTerm::PathApply(
+      DataTerm::Name("my_article"),
+      PathTerm::Deref() + PathTerm::Attr("status"));
+  auto r = EvaluateClosedTerm(ctx_, *term);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), Value::String("final"));
+}
+
+TEST_F(CalculusTest, PathSliceViaFunctions) {
+  // length of a concrete path value.
+  path::Path p({path::PathStep::Attr("sections"), path::PathStep::Index(0)});
+  auto term = DataTerm::Function(
+      "length", {DataTerm::Const(p.ToValue())});
+  auto r = EvaluateClosedTerm(ctx_, *term);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Value::Integer(2));
+}
+
+}  // namespace
+}  // namespace sgmlqdb::calculus

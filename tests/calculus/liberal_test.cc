@@ -1,0 +1,113 @@
+// The liberal path semantics (§5.2) at the query level: "in hypertext
+// applications, navigation is crucial and the liberal semantics should
+// be used". A chain of Person objects is navigable end-to-end under
+// the liberal semantics but only one hop deep under the restricted
+// one.
+
+#include <gtest/gtest.h>
+
+#include "calculus/eval.h"
+
+namespace sgmlqdb::calculus {
+namespace {
+
+using om::Database;
+using om::ObjectId;
+using om::Schema;
+using om::Type;
+using om::Value;
+
+class LiberalSemanticsTest : public ::testing::Test {
+ protected:
+  LiberalSemanticsTest() : db_(MakeSchema()) {
+    // alice -> bob -> carol (friend chain, no cycle).
+    std::vector<ObjectId> people;
+    const char* names[] = {"alice", "bob", "carol"};
+    for (const char* n : names) {
+      (void)n;
+      people.push_back(db_.NewObject("Person", Value::Nil()).value());
+    }
+    for (size_t i = 0; i < people.size(); ++i) {
+      Value next = i + 1 < people.size() ? Value::Object(people[i + 1])
+                                         : Value::Nil();
+      EXPECT_TRUE(
+          db_.SetObjectValue(people[i],
+                             Value::Tuple({{"name", Value::String(
+                                                names[i])},
+                                           {"friend", next}}))
+              .ok());
+    }
+    EXPECT_TRUE(db_.BindName("Alice", Value::Object(people[0])).ok());
+  }
+
+  static Schema MakeSchema() {
+    Schema s;
+    EXPECT_TRUE(s.AddClass({"Person",
+                            Type::Tuple({{"name", Type::String()},
+                                         {"friend", Type::Class("Person")}}),
+                            {},
+                            {},
+                            {}})
+                    .ok());
+    EXPECT_TRUE(s.AddName("Alice", Type::Class("Person")).ok());
+    return s;
+  }
+
+  Value Names(path::PathSemantics semantics) {
+    EvalContext ctx;
+    ctx.db = &db_;
+    ctx.semantics = semantics;
+    Query q;
+    q.head = {DataVar("N")};
+    q.body = Formula::Exists(
+        {PathVar("P")},
+        Formula::PathPred(DataTerm::Name("Alice"),
+                          PathTerm::Var("P") + PathTerm::Attr("name") +
+                              PathTerm::Capture("N")));
+    auto r = EvaluateQuery(ctx, q);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? std::move(r).value() : Value::Nil();
+  }
+
+  Database db_;
+};
+
+TEST_F(LiberalSemanticsTest, RestrictedStopsAtOneDereference) {
+  Value names = Names(path::PathSemantics::kRestricted);
+  // Only Alice's own name: ->.friend-> would dereference Person twice.
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names.Element(0), Value::String("alice"));
+}
+
+TEST_F(LiberalSemanticsTest, LiberalReachesTheWholeChain) {
+  Value names = Names(path::PathSemantics::kLiberal);
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST_F(LiberalSemanticsTest, RestrictedStillComposesWithExplicitDerefs) {
+  // §5.2: "queries going more in depth in the search can still be
+  // specified using paths of the form P -> P'": two path variables,
+  // each restricted, compose to reach bob.
+  EvalContext ctx;
+  ctx.db = &db_;
+  ctx.semantics = path::PathSemantics::kRestricted;
+  Query q;
+  q.head = {DataVar("N")};
+  q.body = Formula::Exists(
+      {PathVar("P"), PathVar("Q")},
+      Formula::PathPred(DataTerm::Name("Alice"),
+                        PathTerm::Var("P") + PathTerm::Attr("friend") +
+                            PathTerm::Var("Q") + PathTerm::Attr("name") +
+                            PathTerm::Capture("N")));
+  auto r = EvaluateQuery(ctx, q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // P = ->, then Q = -> from the friend object: reaches bob's name.
+  bool has_bob = false;
+  for (size_t i = 0; i < r->size(); ++i) {
+    if (r->Element(i) == Value::String("bob")) has_bob = true;
+  }
+  EXPECT_TRUE(has_bob) << r.value();
+}
+
+}  // namespace
+}  // namespace sgmlqdb::calculus

@@ -1,0 +1,86 @@
+#include "core/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/goldens.h"
+
+namespace sgmlqdb {
+namespace {
+
+using om::Value;
+
+TEST(DocumentStoreTest, LifecycleGuards) {
+  DocumentStore store;
+  EXPECT_FALSE(store.has_dtd());
+  // Queries / loads before a DTD fail cleanly.
+  EXPECT_FALSE(store.Query("select a from a in Articles").ok());
+  EXPECT_FALSE(store.LoadDocument("<article>").ok());
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  EXPECT_TRUE(store.has_dtd());
+  // A second DTD is rejected.
+  EXPECT_FALSE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+}
+
+TEST(DocumentStoreTest, LoadBindAndQuery) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(sgml::ArticleDocumentText(), "my_article");
+  ASSERT_TRUE(root.ok()) << root.status();
+  // Named root resolves.
+  auto bound = store.db().LookupName("my_article");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound.value(), Value::Object(root.value()));
+  // Unnamed load still lands in Articles.
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentV2Text()).ok());
+  auto r = store.Query("select a from a in Articles");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(DocumentStoreTest, RejectsInvalidDocument) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto r = store.LoadDocument("<article><title>only a title</title>");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DocumentStoreTest, TextOfAndIndexArePopulated) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(sgml::ArticleDocumentText());
+  ASSERT_TRUE(root.ok());
+  auto text = store.TextOf(root.value());
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Structured Documents"), std::string::npos);
+  EXPECT_GT(store.text_index().unit_count(), 10u);
+  EXPECT_FALSE(store.text_index().Lookup("sgml").empty());
+  EXPECT_FALSE(store.TextOf(om::ObjectId(999999)).ok());
+}
+
+TEST(DocumentStoreTest, ExportRoundTrip) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(sgml::ArticleDocumentText());
+  ASSERT_TRUE(root.ok());
+  auto sgml_text = store.ExportSgml(root.value());
+  ASSERT_TRUE(sgml_text.ok()) << sgml_text.status();
+  DocumentStore store2;
+  ASSERT_TRUE(store2.LoadDtd(sgml::ArticleDtdText()).ok());
+  EXPECT_TRUE(store2.LoadDocument(*sgml_text).ok());
+  EXPECT_EQ(store.db().object_count(), store2.db().object_count());
+}
+
+TEST(DocumentStoreTest, BothEnginesAnswerQueries) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  for (oql::Engine engine : {oql::Engine::kNaive, oql::Engine::kAlgebraic}) {
+    auto r = store.Query("select t from d .. title(t)", engine);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace sgmlqdb

@@ -1,0 +1,99 @@
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/document_store.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::corpus {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(8);
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(RngTest, BelowAndDoubleRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(GeneratorTest, ArticleIsDeterministic) {
+  ArticleParams p;
+  p.seed = 123;
+  EXPECT_EQ(GenerateArticle(p), GenerateArticle(p));
+  p.seed = 124;
+  EXPECT_NE(GenerateArticle(ArticleParams{}), GenerateArticle(p));
+}
+
+TEST(GeneratorTest, GeneratedArticlesParseValidateAndLoad) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ArticleParams p;
+  p.sections = 5;
+  p.subsection_prob = 0.5;
+  p.figure_prob = 0.3;
+  for (const std::string& article : GenerateCorpus(10, p)) {
+    auto r = store.LoadDocument(article);
+    ASSERT_TRUE(r.ok()) << r.status() << "\n" << article;
+  }
+  auto articles = store.db().LookupName("Articles");
+  ASSERT_TRUE(articles.ok());
+  EXPECT_EQ(articles->size(), 10u);
+}
+
+TEST(GeneratorTest, CorpusArticlesDiffer) {
+  auto corpus = GenerateCorpus(5, ArticleParams{});
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_NE(corpus[i], corpus[j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, VocabularySkewFavorsHead) {
+  Rng rng(99);
+  size_t head_hits = 0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    std::string s = RandomSentence(rng, 1);
+    s.pop_back();  // trailing '.'
+    const auto& vocab = Vocabulary();
+    for (size_t k = 0; k < 10; ++k) {
+      if (s == vocab[k]) {
+        ++head_hits;
+        break;
+      }
+    }
+  }
+  // The ten most frequent words should take well over a third of the
+  // samples under the cubic skew.
+  EXPECT_GT(head_hits, kSamples / 3);
+}
+
+TEST(GeneratorTest, QueriesFindDomainTerms) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ArticleParams p;
+  p.words_per_paragraph = 60;
+  for (const std::string& article : GenerateCorpus(20, p)) {
+    ASSERT_TRUE(store.LoadDocument(article).ok());
+  }
+  // "SGML" is in the vocabulary: some article must contain it.
+  auto r = store.Query(
+      "select a from a in Articles where a contains (\"SGML\")");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->size(), 0u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::corpus

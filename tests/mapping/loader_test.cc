@@ -1,0 +1,258 @@
+#include "mapping/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/exporter.h"
+#include "mapping/schema_compiler.h"
+#include "om/typecheck.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::mapping {
+namespace {
+
+using om::Database;
+using om::ObjectId;
+using om::Value;
+using om::ValueKind;
+
+struct Fixture {
+  sgml::Dtd dtd;
+  Database db;
+
+  explicit Fixture(std::string_view dtd_text)
+      : dtd(ParseOrDie(dtd_text)), db(CompileOrDie(dtd)) {}
+
+  static sgml::Dtd ParseOrDie(std::string_view text) {
+    auto r = sgml::ParseDtd(text);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+  static om::Schema CompileOrDie(const sgml::Dtd& dtd) {
+    auto r = CompileDtdToSchema(dtd);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+
+  LoadedDocument Load(std::string_view text) {
+    auto r = LoadDocumentText(dtd, text, &db);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return std::move(r).value();
+  }
+};
+
+TEST(LoaderTest, Figure2LoadsAndTypechecks) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(sgml::ArticleDocumentText());
+  // Whole-database conformance: every object against its class type,
+  // every Fig. 3 constraint, the Articles root binding.
+  EXPECT_TRUE(om::CheckDatabase(f.db).ok()) << om::CheckDatabase(f.db);
+
+  // Root object is an Article with the expected shape.
+  ASSERT_NE(f.db.ClassOf(loaded.root), nullptr);
+  EXPECT_EQ(*f.db.ClassOf(loaded.root), "Article");
+  auto v = f.db.Deref(loaded.root);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->FindField("status"), Value::String("final"));
+  ASSERT_TRUE(v->FindField("authors").has_value());
+  EXPECT_EQ(v->FindField("authors")->size(), 4u);
+  EXPECT_EQ(v->FindField("sections")->size(), 2u);
+
+  // Articles root contains the new article.
+  auto root = f.db.LookupName("Articles");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->size(), 1u);
+  EXPECT_EQ(root->Element(0), Value::Object(loaded.root));
+}
+
+TEST(LoaderTest, Figure2SectionsChooseUnionAlternativeA1) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(sgml::ArticleDocumentText());
+  auto v = f.db.Deref(loaded.root);
+  ASSERT_TRUE(v.ok());
+  Value sections = *v->FindField("sections");
+  ASSERT_EQ(sections.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    auto sv = f.db.Deref(sections.Element(i).AsObject());
+    ASSERT_TRUE(sv.ok());
+    // (title, body+) without subsections -> marker a1.
+    ASSERT_TRUE(sv->IsMarkedUnionValue()) << sv.value();
+    EXPECT_EQ(sv->FieldName(0), "a1");
+    Value arm = sv->FieldValue(0);
+    EXPECT_TRUE(arm.FindField("title").has_value());
+    EXPECT_TRUE(arm.FindField("bodies").has_value());
+    EXPECT_EQ(arm.FindField("bodies")->size(), 1u);
+  }
+}
+
+TEST(LoaderTest, ElementTextsFeedTextOperator) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(sgml::ArticleDocumentText());
+  // One entry per element object, document order, root first.
+  ASSERT_FALSE(loaded.element_texts.empty());
+  EXPECT_EQ(loaded.element_texts[0].first, loaded.root);
+  // The abstract's text is indexed.
+  bool found = false;
+  for (const auto& [oid, text] : loaded.element_texts) {
+    if (*f.db.ClassOf(oid) == "Abstract") {
+      EXPECT_NE(text.find("Structured documents"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LoaderTest, SubsectionsTakeAlternativeA2) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(R"(<article>
+<title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+<section><title>S</title>
+  <subsectn><title>SS1</title><body><paragr>P1</paragr></body></subsectn>
+  <subsectn><title>SS2</title><body><paragr>P2</paragr></body></subsectn>
+</section>
+<acknowl>x</acknowl></article>)");
+  EXPECT_TRUE(om::CheckDatabase(f.db).ok()) << om::CheckDatabase(f.db);
+  auto v = f.db.Deref(loaded.root);
+  Value section0 = v->FindField("sections")->Element(0);
+  auto sv = f.db.Deref(section0.AsObject());
+  ASSERT_TRUE(sv.ok());
+  ASSERT_TRUE(sv->IsMarkedUnionValue());
+  EXPECT_EQ(sv->FieldName(0), "a2");
+  Value arm = sv->FieldValue(0);
+  EXPECT_EQ(arm.FindField("bodies")->size(), 0u);  // body* with none
+  EXPECT_EQ(arm.FindField("subsectns")->size(), 2u);
+}
+
+TEST(LoaderTest, IdrefResolvesToObjectAndBackReference) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(R"(<article>
+<title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+<section><title>S</title>
+  <body><figure label="f1"><picture><caption>C</caption></figure></body>
+  <body><paragr reflabel="f1">see the figure</paragr></body>
+</section>
+<acknowl>x</acknowl></article>)");
+  EXPECT_TRUE(om::CheckDatabase(f.db).ok()) << om::CheckDatabase(f.db);
+
+  // Find the Figure and the Paragr.
+  ObjectId figure_oid;
+  ObjectId paragr_oid;
+  for (ObjectId oid : f.db.Extent("Figure")) figure_oid = oid;
+  for (ObjectId oid : f.db.Extent("Paragr")) paragr_oid = oid;
+  ASSERT_TRUE(figure_oid.valid());
+  ASSERT_TRUE(paragr_oid.valid());
+
+  auto pv = f.db.Deref(paragr_oid);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(*pv->FindField("reflabel"), Value::Object(figure_oid));
+
+  auto fv = f.db.Deref(figure_oid);
+  ASSERT_TRUE(fv.ok());
+  Value label = *fv->FindField("label");
+  ASSERT_EQ(label.kind(), ValueKind::kList);
+  ASSERT_EQ(label.size(), 1u);
+  EXPECT_EQ(label.Element(0), Value::Object(paragr_oid));
+  (void)loaded;
+}
+
+TEST(LoaderTest, DanglingIdrefFails) {
+  Fixture f(sgml::ArticleDtdText());
+  sgml::Document doc;
+  // Bypass validation (which would catch this) to exercise the
+  // loader's own check.
+  auto parsed = sgml::ParseDocument(f.dtd, R"(<body>
+    <paragr reflabel="ghost">text</paragr></body>)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto r = LoadDocument(f.dtd, parsed.value(), &f.db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  (void)doc;
+}
+
+TEST(LoaderTest, EntityAttributeResolvedToSystemId) {
+  Fixture f(sgml::ArticleDtdText());
+  f.Load(R"(<article>
+<title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+<section><title>S</title>
+  <body><figure><picture file="fig1"></figure></body>
+</section>
+<acknowl>x</acknowl></article>)");
+  ASSERT_EQ(f.db.Extent("Picture").size(), 1u);
+  auto pv = f.db.Deref(f.db.Extent("Picture")[0]);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(*pv->FindField("file"),
+            Value::String("/u/christop/SGML/image1"));
+  EXPECT_EQ(*pv->FindField("sizex"), Value::String("16cm"));
+}
+
+TEST(LoaderTest, LettersAmpersandBothOrders) {
+  Fixture f(sgml::LettersDtdText());
+  LoadedDocument l1 = f.Load(sgml::LettersDocumentText());
+  EXPECT_TRUE(om::CheckDatabase(f.db).ok()) << om::CheckDatabase(f.db);
+  // to-before-from order picks permutation a1 (to, from).
+  auto lv = f.db.Deref(l1.root);
+  ASSERT_TRUE(lv.ok());
+  auto preamble = f.db.Deref(lv->FindField("preamble")->AsObject());
+  ASSERT_TRUE(preamble.ok());
+  ASSERT_TRUE(preamble->IsMarkedUnionValue());
+  EXPECT_EQ(preamble->FieldName(0), "a1");
+  EXPECT_EQ(preamble->FieldValue(0).FieldName(0), "to");
+
+  // Reversed order picks a2 (from, to).
+  LoadedDocument l2 = f.Load(R"(<letter><preamble>
+    <from>B</from><to>A</to></preamble>
+    <content>hi</content></letter>)");
+  auto lv2 = f.db.Deref(l2.root);
+  auto p2 = f.db.Deref(lv2->FindField("preamble")->AsObject());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->FieldName(0), "a2");
+  EXPECT_EQ(p2->FieldValue(0).FieldName(0), "from");
+}
+
+TEST(LoaderTest, MultipleDocumentsAccumulateInRoot) {
+  Fixture f(sgml::ArticleDtdText());
+  f.Load(sgml::ArticleDocumentText());
+  f.Load(sgml::ArticleDocumentV2Text());
+  auto root = f.db.LookupName("Articles");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->size(), 2u);
+  EXPECT_TRUE(om::CheckDatabase(f.db).ok());
+}
+
+TEST(ExporterTest, Figure2RoundTripsThroughTheDatabase) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(sgml::ArticleDocumentText());
+  auto sgml_text = ExportDocumentText(f.db, f.dtd, loaded.root);
+  ASSERT_TRUE(sgml_text.ok()) << sgml_text.status();
+  // The exported text reparses and reloads to an equivalent instance.
+  Fixture f2(sgml::ArticleDtdText());
+  LoadedDocument reloaded = f2.Load(*sgml_text);
+  auto v1 = f.db.Deref(loaded.root);
+  auto v2 = f2.db.Deref(reloaded.root);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1->FindField("status"), *v2->FindField("status"));
+  EXPECT_EQ(v1->FindField("authors")->size(),
+            v2->FindField("authors")->size());
+  EXPECT_EQ(f.db.object_count(), f2.db.object_count());
+}
+
+TEST(ExporterTest, IdrefGetsSyntheticIds) {
+  Fixture f(sgml::ArticleDtdText());
+  LoadedDocument loaded = f.Load(R"(<article>
+<title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+<section><title>S</title>
+  <body><figure label="orig"><picture><caption>C</caption></figure></body>
+  <body><paragr reflabel="orig">see</paragr></body>
+</section>
+<acknowl>x</acknowl></article>)");
+  auto text = ExportDocumentText(f.db, f.dtd, loaded.root);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("label=\"id1\""), std::string::npos) << *text;
+  EXPECT_NE(text->find("reflabel=\"id1\""), std::string::npos) << *text;
+  // And the export revalidates.
+  auto doc = sgml::ParseDocument(f.dtd, *text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(sgml::ValidateDocument(f.dtd, doc.value()).ok());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::mapping

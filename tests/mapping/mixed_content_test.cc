@@ -1,0 +1,143 @@
+// End-to-end coverage of mixed content and IDREFS — DTD features
+// outside the paper's running example but inside SGML's core.
+
+#include <gtest/gtest.h>
+
+#include "core/document_store.h"
+#include "om/typecheck.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::mapping {
+namespace {
+
+using om::Value;
+using om::ValueKind;
+
+constexpr const char* kMixedDtd = R"(<!DOCTYPE report [
+<!ELEMENT report - - (para+)>
+<!ELEMENT para - - (#PCDATA | emph | cite)*>
+<!ELEMENT emph - - (#PCDATA)>
+<!ELEMENT cite - - (#PCDATA)>
+<!ATTLIST cite  refs IDREFS #IMPLIED
+                key ID #IMPLIED>
+]>)";
+
+TEST(MixedContentTest, LoadsInterleavedTextAndElements) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(kMixedDtd).ok());
+  auto root = store.LoadDocument(
+      "<report><para>before <emph>strong</emph> middle "
+      "<cite key=\"c1\">Knuth</cite> after</para></report>");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_TRUE(om::CheckDatabase(store.db()).ok())
+      << om::CheckDatabase(store.db());
+
+  // The para object holds an items list of marked-union values:
+  // pcdata / emph / cite alternatives, in document order.
+  auto paras = store.db().Extent("Para");
+  ASSERT_EQ(paras.size(), 1u);
+  auto pv = store.db().Deref(paras[0]);
+  ASSERT_TRUE(pv.ok());
+  Value items = *pv->FindField("items");
+  ASSERT_EQ(items.kind(), ValueKind::kList);
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items.Element(0).FieldName(0), "pcdata");
+  EXPECT_EQ(items.Element(1).FieldName(0), "emph");
+  EXPECT_EQ(items.Element(2).FieldName(0), "pcdata");
+  EXPECT_EQ(items.Element(3).FieldName(0), "cite");
+  EXPECT_EQ(items.Element(4).FieldName(0), "pcdata");
+}
+
+TEST(MixedContentTest, TextOperatorAndQueriesWork) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(kMixedDtd).ok());
+  auto root = store.LoadDocument(
+      "<report><para>alpha <emph>beta</emph> gamma</para>"
+      "<para>plain only</para></report>",
+      "rep");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(store.TextOf(root.value()).value(),
+            "alpha beta gamma plain only");
+  // Paths reach into mixed items; emph objects are queryable.
+  auto r = store.Query("select e from rep PATH_p.emph(e)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+  auto r2 = store.Query(
+      "select p from rep PATH_x.paras[i](p) where text(p) contains "
+      "(\"beta\")");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->size(), 1u);
+}
+
+TEST(MixedContentTest, ExportRoundTripsMixedContent) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(kMixedDtd).ok());
+  auto root = store.LoadDocument(
+      "<report><para>x <emph>y</emph> z</para></report>");
+  ASSERT_TRUE(root.ok());
+  auto sgml = store.ExportSgml(root.value());
+  ASSERT_TRUE(sgml.ok()) << sgml.status();
+  DocumentStore store2;
+  ASSERT_TRUE(store2.LoadDtd(kMixedDtd).ok());
+  auto root2 = store2.LoadDocument(*sgml);
+  ASSERT_TRUE(root2.ok()) << root2.status() << "\n" << *sgml;
+  EXPECT_EQ(store.TextOf(root.value()).value(),
+            store2.TextOf(root2.value()).value());
+}
+
+TEST(MixedContentTest, IdrefsResolveToObjectLists) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(kMixedDtd).ok());
+  auto root = store.LoadDocument(R"(<report>
+<para><cite key="a">First</cite> and <cite key="b">Second</cite></para>
+<para><cite refs="a b">Both</cite></para>
+</report>)");
+  ASSERT_TRUE(root.ok()) << root.status();
+  // The citing object's refs list holds both referenced objects.
+  bool found = false;
+  for (om::ObjectId oid : store.db().Extent("Cite")) {
+    auto v = store.db().Deref(oid);
+    ASSERT_TRUE(v.ok());
+    Value refs = *v->FindField("refs");
+    if (refs.kind() == ValueKind::kList && refs.size() == 2) {
+      found = true;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        EXPECT_EQ(refs.Element(i).kind(), ValueKind::kObject);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LiberalSemanticsOptionTest, FacadeHonorsSemanticsOption) {
+  // Cross-references make document graphs cyclic: a figure's label
+  // lists its referrers, whose reflabel points back. The liberal
+  // semantics navigates through; the restricted one stops earlier.
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store
+                  .LoadDocument(R"(<article>
+<title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+<section><title>S</title>
+  <body><figure label="f1"><picture><caption>C</caption></figure></body>
+  <body><paragr reflabel="f1">see figure</paragr></body>
+</section>
+<acknowl>x</acknowl></article>)",
+                                "doc")
+                  .ok());
+  DocumentStore::QueryOptions restricted;
+  DocumentStore::QueryOptions liberal;
+  liberal.semantics = path::PathSemantics::kLiberal;
+  const char* q = "select PATH_p from doc PATH_p.caption(c)";
+  auto r1 = store.Query(q, restricted);
+  auto r2 = store.Query(q, liberal);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  // Liberal finds at least the restricted paths (typically more, via
+  // the paragr -> figure reference).
+  EXPECT_GE(r2->size(), r1->size());
+  EXPECT_GE(r1->size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::mapping

@@ -1,0 +1,235 @@
+#include "mapping/schema_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/strutil.h"
+#include "mapping/names.h"
+#include "om/subtype.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::mapping {
+namespace {
+
+using om::Constraint;
+using om::Schema;
+using om::Type;
+
+Schema CompileArticle() {
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  auto schema = CompileDtdToSchema(dtd.value());
+  EXPECT_TRUE(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+TEST(NamesTest, Conventions) {
+  EXPECT_EQ(ClassNameFor("article"), "Article");
+  EXPECT_EQ(ClassNameFor("subsectn"), "Subsectn");
+  EXPECT_EQ(PluralFieldNameFor("author"), "authors");
+  EXPECT_EQ(PluralFieldNameFor("body"), "bodies");
+  EXPECT_EQ(PluralFieldNameFor("section"), "sections");
+  EXPECT_EQ(PluralFieldNameFor("subsectn"), "subsectns");
+  EXPECT_EQ(SystemMarker(2), "a2");
+  EXPECT_EQ(RootNameFor("article"), "Articles");
+}
+
+TEST(SchemaCompilerTest, Figure3ArticleClass) {
+  Schema s = CompileArticle();
+  const om::ClassDef* article = s.FindClass("Article");
+  ASSERT_NE(article, nullptr);
+  // Fig. 3: tuple (title, authors, affil, abstract, sections, acknowl,
+  // status).
+  Type expected = Type::Tuple({
+      {"title", Type::Class("Title")},
+      {"authors", Type::List(Type::Class("Author"))},
+      {"affil", Type::Class("Affil")},
+      {"abstract", Type::Class("Abstract")},
+      {"sections", Type::List(Type::Class("Section"))},
+      {"acknowl", Type::Class("Acknowl")},
+      {"status", Type::String()},
+  });
+  EXPECT_EQ(article->type, expected) << article->type;
+  // status is private.
+  EXPECT_EQ(article->private_attributes,
+            std::vector<std::string>{"status"});
+}
+
+TEST(SchemaCompilerTest, Figure3ArticleConstraints) {
+  Schema s = CompileArticle();
+  const om::ClassDef* article = s.FindClass("Article");
+  ASSERT_NE(article, nullptr);
+  // Fig. 3 constraints: title != nil, authors != list(), abstract !=
+  // nil, sections != list(), status in set("final","draft") — plus the
+  // analogous affil/acknowl not-nil from their occurrence indicators.
+  std::vector<std::string> rendered;
+  for (const Constraint& c : article->constraints) {
+    rendered.push_back(c.ToString());
+  }
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(), "title != nil"),
+            rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(),
+                      "authors != list()"),
+            rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(), "abstract != nil"),
+            rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(),
+                      "sections != list()"),
+            rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(),
+                      "status in set(\"final\", \"draft\")"),
+            rendered.end())
+      << "got: " << Join(rendered, "; ");
+}
+
+TEST(SchemaCompilerTest, Figure3TextClasses) {
+  Schema s = CompileArticle();
+  for (const char* name : {"Title", "Author", "Affil", "Abstract",
+                           "Caption", "Paragr", "Acknowl"}) {
+    const om::ClassDef* c = s.FindClass(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->parents, std::vector<std::string>{"Text"}) << name;
+  }
+  // Paragr additionally carries the private reflabel reference.
+  const om::ClassDef* paragr = s.FindClass("Paragr");
+  ASSERT_TRUE(paragr->type.FindField("reflabel").has_value());
+  EXPECT_EQ(*paragr->type.FindField("reflabel"), Type::Any());
+  EXPECT_EQ(paragr->private_attributes,
+            std::vector<std::string>{"reflabel"});
+}
+
+TEST(SchemaCompilerTest, Figure3SectionUnion) {
+  Schema s = CompileArticle();
+  const om::ClassDef* section = s.FindClass("Section");
+  ASSERT_NE(section, nullptr);
+  Type expected = Type::Union({
+      {"a1", Type::Tuple({{"title", Type::Class("Title")},
+                          {"bodies", Type::List(Type::Class("Body"))}})},
+      {"a2",
+       Type::Tuple({{"title", Type::Class("Title")},
+                    {"bodies", Type::List(Type::Class("Body"))},
+                    {"subsectns", Type::List(Type::Class("Subsectn"))}})},
+  });
+  EXPECT_EQ(section->type, expected) << section->type;
+  // Alternative-scoped constraints (Fig. 3).
+  std::vector<std::string> rendered;
+  for (const Constraint& c : section->constraints) {
+    rendered.push_back(c.ToString());
+  }
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(),
+                      "a1.bodies != list()"),
+            rendered.end())
+      << Join(rendered, "; ");
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(),
+                      "a2.subsectns != list()"),
+            rendered.end());
+}
+
+TEST(SchemaCompilerTest, Figure3BodyUnionWithElementMarkers) {
+  Schema s = CompileArticle();
+  const om::ClassDef* body = s.FindClass("Body");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->type, Type::Union({{"figure", Type::Class("Figure")},
+                                     {"paragr", Type::Class("Paragr")}}));
+}
+
+TEST(SchemaCompilerTest, Figure3FigureAndPicture) {
+  Schema s = CompileArticle();
+  const om::ClassDef* figure = s.FindClass("Figure");
+  ASSERT_NE(figure, nullptr);
+  // tuple(picture, caption, label) — caption nilable ("?"), label is
+  // the ID back-reference list.
+  EXPECT_EQ(figure->type,
+            Type::Tuple({{"picture", Type::Class("Picture")},
+                         {"caption", Type::Class("Caption")},
+                         {"label", Type::List(Type::Any())}}));
+  const om::ClassDef* picture = s.FindClass("Picture");
+  ASSERT_NE(picture, nullptr);
+  EXPECT_EQ(picture->parents, std::vector<std::string>{"Bitmap"});
+  ASSERT_TRUE(picture->type.FindField("file").has_value());
+  ASSERT_TRUE(picture->type.FindField("sizex").has_value());
+}
+
+TEST(SchemaCompilerTest, PersistenceRootArticles) {
+  Schema s = CompileArticle();
+  const om::NameDef* root = s.FindName("Articles");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->type, Type::List(Type::Class("Article")));
+}
+
+TEST(SchemaCompilerTest, CompiledSchemaIsWellFormed) {
+  Schema s = CompileArticle();
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+  // Title <= Text structurally.
+  EXPECT_TRUE(om::IsSubtype(Type::Class("Title"), Type::Class("Text"), s));
+}
+
+TEST(SchemaCompilerTest, AmpersandBecomesUnionOfPermutations) {
+  auto dtd = sgml::ParseDtd(sgml::LettersDtdText());
+  ASSERT_TRUE(dtd.ok());
+  auto schema = CompileDtdToSchema(dtd.value());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const om::ClassDef* preamble = schema.value().FindClass("Preamble");
+  ASSERT_NE(preamble, nullptr);
+  // (to & from) -> (a1: [to, from] + a2: [from, to]) — the §5.3
+  // Letters type shape.
+  ASSERT_TRUE(preamble->type.is_union());
+  EXPECT_EQ(preamble->type.size(), 2u);
+  Type arm1 = preamble->type.FieldType(0);
+  Type arm2 = preamble->type.FieldType(1);
+  ASSERT_TRUE(arm1.is_tuple());
+  ASSERT_TRUE(arm2.is_tuple());
+  EXPECT_EQ(arm1.FieldName(0), "to");
+  EXPECT_EQ(arm1.FieldName(1), "from");
+  EXPECT_EQ(arm2.FieldName(0), "from");
+  EXPECT_EQ(arm2.FieldName(1), "to");
+}
+
+TEST(SchemaCompilerTest, MixedContentMapsToItemList) {
+  auto dtd = sgml::ParseDtd(R"(<!DOCTYPE para [
+    <!ELEMENT para - - (#PCDATA | emph)*>
+    <!ELEMENT emph - - (#PCDATA)>
+  ]>)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  auto schema = CompileDtdToSchema(dtd.value());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const om::ClassDef* para = schema.value().FindClass("Para");
+  ASSERT_NE(para, nullptr);
+  std::optional<Type> items = para->type.FindField("items");
+  ASSERT_TRUE(items.has_value());
+  ASSERT_EQ(items->kind(), om::TypeKind::kList);
+  ASSERT_TRUE(items->element_type().is_union());
+  EXPECT_TRUE(items->element_type().FindField("pcdata").has_value());
+  EXPECT_TRUE(items->element_type().FindField("emph").has_value());
+}
+
+TEST(SchemaCompilerTest, RepeatedWholeModelWrapsInItems) {
+  auto dtd = sgml::ParseDtd(R"(<!DOCTYPE list [
+    <!ELEMENT list - - (item)+>
+    <!ELEMENT item - - (#PCDATA)>
+  ]>)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  auto schema = CompileDtdToSchema(dtd.value());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const om::ClassDef* list = schema.value().FindClass("List");
+  ASSERT_NE(list, nullptr);
+  // (item)+ parses as item+ -> tuple(items: [Item]).
+  ASSERT_TRUE(list->type.is_tuple());
+  EXPECT_TRUE(list->type.FindField("items").has_value());
+}
+
+TEST(SchemaCompilerTest, DuplicateComponentRejected) {
+  auto dtd = sgml::ParseDtd(R"(<!DOCTYPE d [
+    <!ELEMENT d - - (x, y, x)>
+    <!ELEMENT x - - (#PCDATA)>
+    <!ELEMENT y - - (#PCDATA)>
+  ]>)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  auto schema = CompileDtdToSchema(dtd.value());
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::mapping

@@ -1,0 +1,112 @@
+#include "om/database.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::om {
+namespace {
+
+Schema SimpleSchema() {
+  Schema s;
+  Type text = Type::Tuple({{"content", Type::String()}});
+  EXPECT_TRUE(s.AddClass({"Text", text, {}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Title", text, {"Text"}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddName("Docs", Type::List(Type::Class("Text"))).ok());
+  return s;
+}
+
+TEST(DatabaseTest, NewObjectAndDeref) {
+  Database db(SimpleSchema());
+  auto oid = db.NewObject("Text",
+                          Value::Tuple({{"content", Value::String("hi")}}));
+  ASSERT_TRUE(oid.ok()) << oid.status();
+  auto v = db.Deref(oid.value());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->FindField("content"), Value::String("hi"));
+  ASSERT_NE(db.ClassOf(oid.value()), nullptr);
+  EXPECT_EQ(*db.ClassOf(oid.value()), "Text");
+}
+
+TEST(DatabaseTest, NewObjectUnknownClassFails) {
+  Database db(SimpleSchema());
+  auto r = db.NewObject("Ghost", Value::Nil());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DerefUnknownOidFails) {
+  Database db(SimpleSchema());
+  EXPECT_FALSE(db.Deref(ObjectId(999)).ok());
+  EXPECT_EQ(db.ClassOf(ObjectId(999)), nullptr);
+}
+
+TEST(DatabaseTest, OidsAreFreshAndDistinct) {
+  Database db(SimpleSchema());
+  auto a = db.NewObject("Text", Value::Nil());
+  auto b = db.NewObject("Text", Value::Nil());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(db.object_count(), 2u);
+}
+
+TEST(DatabaseTest, ExtentIncludesSubclasses) {
+  // pi(c) is inherited from pi_d (paper §5.1 oid assignment).
+  Database db(SimpleSchema());
+  auto t = db.NewObject("Text", Value::Nil());
+  auto ti = db.NewObject("Title", Value::Nil());
+  ASSERT_TRUE(t.ok() && ti.ok());
+  EXPECT_EQ(db.Extent("Text").size(), 2u);
+  EXPECT_EQ(db.Extent("Title").size(), 1u);
+  EXPECT_EQ(db.Extent("Title")[0], ti.value());
+}
+
+TEST(DatabaseTest, SetObjectValue) {
+  Database db(SimpleSchema());
+  auto oid = db.NewObject("Text", Value::Nil());
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(db.SetObjectValue(oid.value(),
+                                Value::Tuple({{"content",
+                                               Value::String("x")}}))
+                  .ok());
+  EXPECT_EQ(*db.Deref(oid.value())->FindField("content"),
+            Value::String("x"));
+  EXPECT_FALSE(db.SetObjectValue(ObjectId(12345), Value::Nil()).ok());
+}
+
+TEST(DatabaseTest, NameBindingRoundTrip) {
+  Database db(SimpleSchema());
+  EXPECT_FALSE(db.LookupName("Docs").ok());  // not bound yet
+  ASSERT_TRUE(db.BindName("Docs", Value::List({})).ok());
+  auto v = db.LookupName("Docs");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), Value::List({}));
+  EXPECT_EQ(db.BoundNames(), std::vector<std::string>{"Docs"});
+  // Rebinding replaces but keeps one entry.
+  ASSERT_TRUE(db.BindName("Docs", Value::List({Value::Nil()})).ok());
+  EXPECT_EQ(db.BoundNames().size(), 1u);
+}
+
+TEST(DatabaseTest, BindUnknownNameFails) {
+  Database db(SimpleSchema());
+  EXPECT_FALSE(db.BindName("Nope", Value::Nil()).ok());
+}
+
+TEST(DatabaseTest, ApproximateBytesGrowsWithContent) {
+  Database db(SimpleSchema());
+  size_t empty = db.ApproximateBytes();
+  ASSERT_TRUE(db.NewObject("Text", Value::Tuple({{"content",
+                                                  Value::String(
+                                                      std::string(1000,
+                                                                  'x'))}}))
+                  .ok());
+  EXPECT_GT(db.ApproximateBytes(), empty + 1000);
+}
+
+TEST(ApproximateValueBytesTest, CountsNestedStructure) {
+  size_t flat = ApproximateValueBytes(Value::String("abcd"));
+  size_t nested = ApproximateValueBytes(
+      Value::List({Value::String("abcd"), Value::String("abcd")}));
+  EXPECT_GT(nested, 2 * flat - 64);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

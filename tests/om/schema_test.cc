@@ -1,0 +1,144 @@
+#include "om/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::om {
+namespace {
+
+TEST(SchemaTest, AddAndFindClass) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"Text", Type::Tuple({{"content", Type::String()}}),
+                          {}, {}, {}})
+                  .ok());
+  ASSERT_NE(s.FindClass("Text"), nullptr);
+  EXPECT_EQ(s.FindClass("Text")->name, "Text");
+  EXPECT_EQ(s.FindClass("Nope"), nullptr);
+}
+
+TEST(SchemaTest, DuplicateClassRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"C", Type::Integer(), {}, {}, {}}).ok());
+  Status st = s.AddClass({"C", Type::String(), {}, {}, {}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddName("Articles", Type::List(Type::Any())).ok());
+  EXPECT_FALSE(s.AddName("Articles", Type::Integer()).ok());
+}
+
+TEST(SchemaTest, SubclassReflexiveTransitive) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"A", Type::Tuple({}), {}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"B", Type::Tuple({}), {"A"}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"C", Type::Tuple({}), {"B"}, {}, {}}).ok());
+  EXPECT_TRUE(s.IsSubclassOf("A", "A"));
+  EXPECT_TRUE(s.IsSubclassOf("B", "A"));
+  EXPECT_TRUE(s.IsSubclassOf("C", "A"));
+  EXPECT_FALSE(s.IsSubclassOf("A", "C"));
+  EXPECT_FALSE(s.IsSubclassOf("Unknown", "A"));
+  EXPECT_FALSE(s.IsSubclassOf("Unknown", "Unknown"));
+}
+
+TEST(SchemaTest, SubclassesOfListsAllDescendants) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"A", Type::Tuple({}), {}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"B", Type::Tuple({}), {"A"}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"C", Type::Tuple({}), {"A"}, {}, {}}).ok());
+  auto subs = s.SubclassesOf("A");
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+TEST(SchemaTest, EffectiveTypeMergesInheritedAttributes) {
+  Schema s;
+  ASSERT_TRUE(
+      s.AddClass({"Text", Type::Tuple({{"content", Type::String()}}), {},
+                  {}, {}})
+          .ok());
+  ASSERT_TRUE(s.AddClass({"Paragr",
+                          Type::Tuple({{"reflabel", Type::Any()}}),
+                          {"Text"},
+                          {},
+                          {}})
+                  .ok());
+  auto t = s.EffectiveType("Paragr");
+  ASSERT_TRUE(t.ok()) << t.status();
+  // Parent attribute first, own after.
+  EXPECT_EQ(t.value(), Type::Tuple({{"content", Type::String()},
+                                    {"reflabel", Type::Any()}}));
+}
+
+TEST(SchemaTest, ValidateDetectsUnknownParent) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"B", Type::Tuple({}), {"Ghost"}, {}, {}}).ok());
+  Status st = s.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateDetectsCycle) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass({"A", Type::Tuple({}), {"B"}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"B", Type::Tuple({}), {"A"}, {}, {}}).ok());
+  Status st = s.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ValidateChecksWellFormedness) {
+  // sigma(sub) must be a subtype of sigma(super).
+  Schema s;
+  ASSERT_TRUE(
+      s.AddClass({"Text", Type::Tuple({{"content", Type::String()}}), {},
+                  {}, {}})
+          .ok());
+  // Bad subclass: integer type cannot be a subtype of a tuple type.
+  ASSERT_TRUE(s.AddClass({"Bad", Type::Integer(), {"Text"}, {}, {}}).ok());
+  Status st = s.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, ValidateAcceptsFigure3Shape) {
+  Schema s;
+  Type text = Type::Tuple({{"content", Type::String()}});
+  ASSERT_TRUE(s.AddClass({"Text", text, {}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass({"Title", text, {"Text"}, {}, {}}).ok());
+  ASSERT_TRUE(s.AddClass(
+                   {"Section",
+                    Type::Union(
+                        {{"a1", Type::Tuple({{"title", Type::Class("Title")}})},
+                         {"a2", Type::Tuple({{"title", Type::Class("Title")}})}}),
+                    {},
+                    {},
+                    {}})
+                  .ok());
+  ASSERT_TRUE(
+      s.AddName("Articles", Type::List(Type::Class("Section"))).ok());
+  EXPECT_TRUE(s.Validate().ok()) << s.Validate();
+}
+
+TEST(SchemaTest, ValidateDetectsUnknownClassInRootType) {
+  Schema s;
+  ASSERT_TRUE(s.AddName("Stuff", Type::List(Type::Class("Ghost"))).ok());
+  Status st = s.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(ConstraintTest, ToStringShapes) {
+  Constraint c1{Constraint::Kind::kAttrNotNil, "", "title", {}};
+  EXPECT_EQ(c1.ToString(), "title != nil");
+  Constraint c2{Constraint::Kind::kAttrNonEmptyList, "a1", "bodies", {}};
+  EXPECT_EQ(c2.ToString(), "a1.bodies != list()");
+  Constraint c3{Constraint::Kind::kAttrInSet,
+                "",
+                "status",
+                {Value::String("final"), Value::String("draft")}};
+  EXPECT_EQ(c3.ToString(), "status in set(\"final\", \"draft\")");
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

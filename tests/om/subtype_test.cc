@@ -1,0 +1,230 @@
+#include "om/subtype.h"
+
+#include <gtest/gtest.h>
+
+#include "om/schema.h"
+
+namespace sgmlqdb::om {
+namespace {
+
+/// Schema with Text <- Title, Text <- Caption, Bitmap <- Picture.
+Schema TextSchema() {
+  Schema s;
+  Type text_type = Type::Tuple({{"content", Type::String()}});
+  EXPECT_TRUE(s.AddClass({"Text", text_type, {}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Title", text_type, {"Text"}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Caption", text_type, {"Text"}, {}, {}}).ok());
+  Type bitmap_type = Type::Tuple({{"file", Type::String()}});
+  EXPECT_TRUE(s.AddClass({"Bitmap", bitmap_type, {}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Picture", bitmap_type, {"Bitmap"}, {}, {}}).ok());
+  return s;
+}
+
+TEST(SubtypeTest, Reflexive) {
+  Schema s = TextSchema();
+  EXPECT_TRUE(IsSubtype(Type::Integer(), Type::Integer(), s));
+  EXPECT_TRUE(IsSubtype(Type::Class("Title"), Type::Class("Title"), s));
+  Type u = Type::Union({{"a", Type::Integer()}});
+  EXPECT_TRUE(IsSubtype(u, u, s));
+}
+
+TEST(SubtypeTest, ClassInheritance) {
+  Schema s = TextSchema();
+  EXPECT_TRUE(IsSubtype(Type::Class("Title"), Type::Class("Text"), s));
+  EXPECT_FALSE(IsSubtype(Type::Class("Text"), Type::Class("Title"), s));
+  EXPECT_FALSE(IsSubtype(Type::Class("Title"), Type::Class("Bitmap"), s));
+}
+
+TEST(SubtypeTest, AnyIsTopOfClassHierarchyOnly) {
+  Schema s = TextSchema();
+  EXPECT_TRUE(IsSubtype(Type::Class("Title"), Type::Any(), s));
+  EXPECT_TRUE(IsSubtype(Type::Any(), Type::Any(), s));
+  EXPECT_FALSE(IsSubtype(Type::Integer(), Type::Any(), s));
+  EXPECT_FALSE(IsSubtype(Type::Tuple({{"a", Type::Integer()}}),
+                         Type::Any(), s));
+}
+
+TEST(SubtypeTest, CollectionCovariance) {
+  Schema s = TextSchema();
+  EXPECT_TRUE(IsSubtype(Type::List(Type::Class("Title")),
+                        Type::List(Type::Class("Text")), s));
+  EXPECT_TRUE(IsSubtype(Type::Set(Type::Class("Title")),
+                        Type::Set(Type::Class("Text")), s));
+  EXPECT_FALSE(IsSubtype(Type::List(Type::Class("Text")),
+                         Type::List(Type::Class("Title")), s));
+  EXPECT_FALSE(IsSubtype(Type::List(Type::Integer()),
+                         Type::Set(Type::Integer()), s));
+}
+
+TEST(SubtypeTest, TupleWidthSubtyping) {
+  Schema s = TextSchema();
+  Type wide = Type::Tuple({{"a", Type::Integer()},
+                           {"b", Type::String()},
+                           {"c", Type::Float()}});
+  Type narrow = Type::Tuple({{"b", Type::String()}});
+  EXPECT_TRUE(IsSubtype(wide, narrow, s));
+  EXPECT_FALSE(IsSubtype(narrow, wide, s));
+}
+
+TEST(SubtypeTest, TupleDepthSubtyping) {
+  Schema s = TextSchema();
+  Type sub = Type::Tuple({{"t", Type::Class("Title")}});
+  Type super = Type::Tuple({{"t", Type::Class("Text")}});
+  EXPECT_TRUE(IsSubtype(sub, super, s));
+  EXPECT_FALSE(IsSubtype(super, sub, s));
+}
+
+TEST(SubtypeTest, PaperChainTupleLeqSingletonLeqUnion) {
+  // §5.1: [a1:t1,...,an:tn] <= [ai:ti] <= (a1:t1 + ... + an:tn).
+  Schema s = TextSchema();
+  Type full = Type::Tuple({{"a1", Type::Integer()}, {"a2", Type::String()}});
+  Type single1 = Type::Tuple({{"a1", Type::Integer()}});
+  Type single2 = Type::Tuple({{"a2", Type::String()}});
+  Type u = Type::Union({{"a1", Type::Integer()}, {"a2", Type::String()}});
+  EXPECT_TRUE(IsSubtype(full, single1, s));
+  EXPECT_TRUE(IsSubtype(full, single2, s));
+  EXPECT_TRUE(IsSubtype(single1, u, s));
+  EXPECT_TRUE(IsSubtype(single2, u, s));
+  EXPECT_TRUE(IsSubtype(full, u, s));  // transitivity, direct
+  EXPECT_FALSE(IsSubtype(u, full, s));
+  EXPECT_FALSE(IsSubtype(Type::Tuple({{"zz", Type::Integer()}}), u, s));
+}
+
+TEST(SubtypeTest, UnionWidthSubtyping) {
+  Schema s = TextSchema();
+  Type small = Type::Union({{"a", Type::Integer()}});
+  Type big = Type::Union({{"a", Type::Integer()}, {"b", Type::String()}});
+  EXPECT_TRUE(IsSubtype(small, big, s));
+  EXPECT_FALSE(IsSubtype(big, small, s));
+}
+
+TEST(SubtypeTest, TupleAsHeterogeneousList) {
+  // §5.1 rule (HL): [a1:t1,...,an:tn] <= [(a1:t1+...+an:tn)].
+  Schema s = TextSchema();
+  Type t = Type::Tuple({{"from", Type::String()}, {"to", Type::String()}});
+  Type hl = Type::List(
+      Type::Union({{"from", Type::String()}, {"to", Type::String()}}));
+  EXPECT_TRUE(IsSubtype(t, hl, s));
+  // Missing alternative: not a subtype.
+  Type hl_missing = Type::List(Type::Union({{"from", Type::String()}}));
+  EXPECT_FALSE(IsSubtype(t, hl_missing, s));
+  // Wrong field type: not a subtype.
+  Type hl_wrong = Type::List(
+      Type::Union({{"from", Type::Integer()}, {"to", Type::String()}}));
+  EXPECT_FALSE(IsSubtype(t, hl_wrong, s));
+}
+
+TEST(SubtypeTest, NoUnionNonUnionMixing) {
+  Schema s = TextSchema();
+  Type u = Type::Union({{"a", Type::Integer()}, {"b", Type::String()}});
+  EXPECT_FALSE(IsSubtype(Type::Integer(), u, s));
+  EXPECT_FALSE(IsSubtype(u, Type::Integer(), s));
+  EXPECT_FALSE(IsSubtype(u, Type::Tuple({{"a", Type::Integer()}}), s));
+}
+
+// ---------------------------------------------------------------------
+// Least common supertype (§4.2)
+
+TEST(LcsTest, IdenticalTypes) {
+  Schema s = TextSchema();
+  auto r = LeastCommonSupertype(Type::Integer(), Type::Integer(), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Type::Integer());
+}
+
+TEST(LcsTest, SubtypePairPicksSuper) {
+  Schema s = TextSchema();
+  auto r = LeastCommonSupertype(Type::Class("Title"), Type::Class("Text"), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Type::Class("Text"));
+}
+
+TEST(LcsTest, SiblingClassesJoinAtParent) {
+  Schema s = TextSchema();
+  auto r =
+      LeastCommonSupertype(Type::Class("Title"), Type::Class("Caption"), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Type::Class("Text"));
+}
+
+TEST(LcsTest, UnrelatedClassesJoinAtAny) {
+  Schema s = TextSchema();
+  auto r =
+      LeastCommonSupertype(Type::Class("Title"), Type::Class("Picture"), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Type::Any());
+}
+
+TEST(LcsTest, Rule1UnionVsNonUnionFails) {
+  // §4.2 rule 1: set of integers vs set of (a:int + b:char)'s cannot
+  // intersect.
+  Schema s = TextSchema();
+  Type u = Type::Union({{"a", Type::Integer()}, {"b", Type::String()}});
+  auto r = LeastCommonSupertype(Type::Integer(), u, s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(LcsTest, Rule2UnionMerge) {
+  // §4.2 rule 2 example: (a:int + b:char) join (b:char + c:string)
+  // = (a:int + b:char + c:string).
+  Schema s = TextSchema();
+  Type u1 = Type::Union({{"a", Type::Integer()}, {"b", Type::String()}});
+  Type u2 = Type::Union({{"b", Type::String()}, {"c", Type::Float()}});
+  auto r = LeastCommonSupertype(u1, u2, s);
+  ASSERT_TRUE(r.ok()) << r.status();
+  Type expected = Type::Union({{"a", Type::Integer()},
+                               {"b", Type::String()},
+                               {"c", Type::Float()}});
+  EXPECT_EQ(r.value(), expected);
+}
+
+TEST(LcsTest, Rule2MarkerConflictFails) {
+  Schema s = TextSchema();
+  Type u1 = Type::Union({{"a", Type::Integer()}});
+  Type u2 = Type::Union({{"a", Type::String()}});
+  auto r = LeastCommonSupertype(u1, u2, s);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LcsTest, Rule2MarkerJoinableDomains) {
+  // Same marker with joinable domains (Title/Caption -> Text).
+  Schema s = TextSchema();
+  Type u1 = Type::Union({{"a", Type::Class("Title")}});
+  Type u2 = Type::Union({{"a", Type::Class("Caption")}});
+  auto r = LeastCommonSupertype(u1, u2, s);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), Type::Union({{"a", Type::Class("Text")}}));
+}
+
+TEST(LcsTest, TuplesJoinOnSharedAttributes) {
+  Schema s = TextSchema();
+  Type t1 = Type::Tuple({{"a", Type::Integer()}, {"b", Type::String()}});
+  Type t2 = Type::Tuple({{"b", Type::String()}, {"c", Type::Float()}});
+  auto r = LeastCommonSupertype(t1, t2, s);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), Type::Tuple({{"b", Type::String()}}));
+}
+
+TEST(LcsTest, DisjointTuplesFail) {
+  Schema s = TextSchema();
+  Type t1 = Type::Tuple({{"a", Type::Integer()}});
+  Type t2 = Type::Tuple({{"b", Type::String()}});
+  EXPECT_FALSE(LeastCommonSupertype(t1, t2, s).ok());
+}
+
+TEST(LcsTest, ListsJoinCovariantly) {
+  Schema s = TextSchema();
+  auto r = LeastCommonSupertype(Type::List(Type::Class("Title")),
+                                Type::List(Type::Class("Caption")), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Type::List(Type::Class("Text")));
+}
+
+TEST(LcsTest, AtomicMismatchFails) {
+  Schema s = TextSchema();
+  EXPECT_FALSE(LeastCommonSupertype(Type::Integer(), Type::String(), s).ok());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

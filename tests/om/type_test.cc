@@ -1,0 +1,75 @@
+#include "om/type.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::om {
+namespace {
+
+TEST(TypeTest, DefaultIsAny) {
+  Type t;
+  EXPECT_EQ(t.kind(), TypeKind::kAny);
+  EXPECT_EQ(t, Type::Any());
+}
+
+TEST(TypeTest, AtomicEquality) {
+  EXPECT_EQ(Type::Integer(), Type::Integer());
+  EXPECT_NE(Type::Integer(), Type::Float());
+  EXPECT_NE(Type::String(), Type::Any());
+}
+
+TEST(TypeTest, ClassType) {
+  Type t = Type::Class("Article");
+  EXPECT_EQ(t.kind(), TypeKind::kClass);
+  EXPECT_EQ(t.class_name(), "Article");
+  EXPECT_EQ(t, Type::Class("Article"));
+  EXPECT_NE(t, Type::Class("Section"));
+}
+
+TEST(TypeTest, ConstructorsCompose) {
+  Type t = Type::List(Type::Set(Type::Class("Author")));
+  EXPECT_EQ(t.kind(), TypeKind::kList);
+  EXPECT_EQ(t.element_type().kind(), TypeKind::kSet);
+  EXPECT_EQ(t.element_type().element_type(), Type::Class("Author"));
+}
+
+TEST(TypeTest, TupleFieldOrderSignificantForEquality) {
+  Type ab = Type::Tuple({{"a", Type::Integer()}, {"b", Type::String()}});
+  Type ba = Type::Tuple({{"b", Type::String()}, {"a", Type::Integer()}});
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab.size(), 2u);
+  EXPECT_EQ(ab.FieldName(0), "a");
+  EXPECT_EQ(ab.FieldType(1), Type::String());
+}
+
+TEST(TypeTest, UnionAccessors) {
+  Type u = Type::Union({{"a1", Type::Integer()}, {"a2", Type::String()}});
+  EXPECT_TRUE(u.is_union());
+  EXPECT_EQ(u.size(), 2u);
+  ASSERT_TRUE(u.FindField("a2").has_value());
+  EXPECT_EQ(*u.FindField("a2"), Type::String());
+  EXPECT_FALSE(u.FindField("a3").has_value());
+}
+
+TEST(TypeTest, ToStringPaperStyle) {
+  EXPECT_EQ(Type::Integer().ToString(), "integer");
+  EXPECT_EQ(Type::Class("Body").ToString(), "Body");
+  EXPECT_EQ(Type::List(Type::Class("Author")).ToString(), "[Author]");
+  EXPECT_EQ(Type::Set(Type::Integer()).ToString(), "{integer}");
+  EXPECT_EQ(
+      Type::Tuple({{"a", Type::Integer()}, {"b", Type::String()}}).ToString(),
+      "[a: integer, b: string]");
+  EXPECT_EQ(
+      Type::Union({{"a1", Type::Integer()}, {"a2", Type::String()}})
+          .ToString(),
+      "(a1: integer + a2: string)");
+}
+
+TEST(TypeTest, HashConsistentWithEquality) {
+  Type a = Type::Tuple({{"x", Type::List(Type::Integer())}});
+  Type b = Type::Tuple({{"x", Type::List(Type::Integer())}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

@@ -1,0 +1,227 @@
+#include "om/typecheck.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::om {
+namespace {
+
+Schema ArticleishSchema() {
+  Schema s;
+  Type text = Type::Tuple({{"content", Type::String()}});
+  EXPECT_TRUE(s.AddClass({"Text", text, {}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Title", text, {"Text"}, {}, {}}).ok());
+  Constraint not_nil{Constraint::Kind::kAttrNotNil, "", "title", {}};
+  Constraint status_range{
+      Constraint::Kind::kAttrInSet,
+      "",
+      "status",
+      {Value::String("final"), Value::String("draft")}};
+  Constraint nonempty{Constraint::Kind::kAttrNonEmptyList, "", "authors", {}};
+  EXPECT_TRUE(
+      s.AddClass({"Article",
+                  Type::Tuple({{"title", Type::Class("Title")},
+                               {"authors", Type::List(Type::String())},
+                               {"status", Type::String()}}),
+                  {},
+                  {not_nil, status_range, nonempty},
+                  {"status"}})
+          .ok());
+  EXPECT_TRUE(s.AddName("Articles", Type::List(Type::Class("Article"))).ok());
+  return s;
+}
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  TypecheckTest() : db_(ArticleishSchema()) {}
+
+  ObjectId MakeTitle(const std::string& text) {
+    auto oid = db_.NewObject(
+        "Title", Value::Tuple({{"content", Value::String(text)}}));
+    EXPECT_TRUE(oid.ok());
+    return oid.value();
+  }
+
+  Database db_;
+};
+
+TEST_F(TypecheckTest, AtomicValues) {
+  EXPECT_TRUE(CheckValue(db_, Value::Integer(1), Type::Integer()).ok());
+  EXPECT_FALSE(CheckValue(db_, Value::Integer(1), Type::String()).ok());
+  EXPECT_TRUE(CheckValue(db_, Value::Float(1.5), Type::Float()).ok());
+  EXPECT_TRUE(CheckValue(db_, Value::Boolean(false), Type::Boolean()).ok());
+  EXPECT_TRUE(CheckValue(db_, Value::String("x"), Type::String()).ok());
+}
+
+TEST_F(TypecheckTest, NilInhabitsEveryType) {
+  // dom(c) = pi(c) + {nil}; and nil — "the undefined value" — is
+  // accepted everywhere (optional #IMPLIED attributes store nil).
+  // Presence is enforced by the != nil constraints, not the types.
+  EXPECT_TRUE(CheckValue(db_, Value::Nil(), Type::Class("Title")).ok());
+  EXPECT_TRUE(CheckValue(db_, Value::Nil(), Type::Integer()).ok());
+  EXPECT_TRUE(CheckValue(db_, Value::Nil(), Type::List(Type::Any())).ok());
+}
+
+TEST_F(TypecheckTest, OidClassMembership) {
+  ObjectId title = MakeTitle("Intro");
+  EXPECT_TRUE(
+      CheckValue(db_, Value::Object(title), Type::Class("Title")).ok());
+  // Subclass objects inhabit superclass types.
+  EXPECT_TRUE(
+      CheckValue(db_, Value::Object(title), Type::Class("Text")).ok());
+  EXPECT_FALSE(
+      CheckValue(db_, Value::Object(title), Type::Class("Article")).ok());
+  // Dangling oid fails.
+  EXPECT_FALSE(
+      CheckValue(db_, Value::Object(ObjectId(999)), Type::Class("Title"))
+          .ok());
+}
+
+TEST_F(TypecheckTest, AnyAcceptsObjects) {
+  ObjectId title = MakeTitle("T");
+  EXPECT_TRUE(CheckValue(db_, Value::Object(title), Type::Any()).ok());
+  EXPECT_FALSE(CheckValue(db_, Value::Integer(3), Type::Any()).ok());
+}
+
+TEST_F(TypecheckTest, ListElementwise) {
+  Type t = Type::List(Type::Integer());
+  EXPECT_TRUE(CheckValue(db_, Value::List({}), t).ok());
+  EXPECT_TRUE(
+      CheckValue(db_, Value::List({Value::Integer(1), Value::Integer(2)}), t)
+          .ok());
+  EXPECT_FALSE(
+      CheckValue(db_, Value::List({Value::Integer(1), Value::String("x")}), t)
+          .ok());
+  EXPECT_FALSE(CheckValue(db_, Value::Set({Value::Integer(1)}), t).ok());
+}
+
+TEST_F(TypecheckTest, TupleOrderedPrefixWithExtras) {
+  Type t = Type::Tuple({{"a", Type::Integer()}, {"b", Type::String()}});
+  EXPECT_TRUE(CheckValue(db_,
+                         Value::Tuple({{"a", Value::Integer(1)},
+                                       {"b", Value::String("x")}}),
+                         t)
+                  .ok());
+  // Extra attributes after the declared ones are allowed (§5.1 dom).
+  EXPECT_TRUE(CheckValue(db_,
+                         Value::Tuple({{"a", Value::Integer(1)},
+                                       {"b", Value::String("x")},
+                                       {"c", Value::Float(0.5)}}),
+                         t)
+                  .ok());
+  // Wrong order fails (ordered tuples).
+  EXPECT_FALSE(CheckValue(db_,
+                          Value::Tuple({{"b", Value::String("x")},
+                                        {"a", Value::Integer(1)}}),
+                          t)
+                   .ok());
+  // Missing attribute fails.
+  EXPECT_FALSE(
+      CheckValue(db_, Value::Tuple({{"a", Value::Integer(1)}}), t).ok());
+}
+
+TEST_F(TypecheckTest, UnionValueMustMarkAnAlternative) {
+  Type u = Type::Union({{"a1", Type::Integer()}, {"a2", Type::String()}});
+  EXPECT_TRUE(
+      CheckValue(db_, Value::Tuple({{"a1", Value::Integer(3)}}), u).ok());
+  EXPECT_TRUE(
+      CheckValue(db_, Value::Tuple({{"a2", Value::String("s")}}), u).ok());
+  // Wrong alternative type.
+  EXPECT_FALSE(
+      CheckValue(db_, Value::Tuple({{"a1", Value::String("s")}}), u).ok());
+  // Unknown marker.
+  EXPECT_FALSE(
+      CheckValue(db_, Value::Tuple({{"zz", Value::Integer(1)}}), u).ok());
+  // Not a one-field tuple.
+  EXPECT_FALSE(CheckValue(db_, Value::Integer(1), u).ok());
+}
+
+TEST_F(TypecheckTest, ConstraintNotNil) {
+  ObjectId title = MakeTitle("T");
+  auto good = db_.NewObject(
+      "Article", Value::Tuple({{"title", Value::Object(title)},
+                               {"authors", Value::List({Value::String("A")})},
+                               {"status", Value::String("final")}}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(CheckConstraints(db_, good.value()).ok());
+
+  auto bad = db_.NewObject(
+      "Article", Value::Tuple({{"title", Value::Nil()},
+                               {"authors", Value::List({Value::String("A")})},
+                               {"status", Value::String("final")}}));
+  ASSERT_TRUE(bad.ok());
+  Status st = CheckConstraints(db_, bad.value());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(TypecheckTest, ConstraintNonEmptyList) {
+  ObjectId title = MakeTitle("T");
+  auto bad = db_.NewObject(
+      "Article", Value::Tuple({{"title", Value::Object(title)},
+                               {"authors", Value::List({})},
+                               {"status", Value::String("draft")}}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(CheckConstraints(db_, bad.value()).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(TypecheckTest, ConstraintEnumeratedRange) {
+  ObjectId title = MakeTitle("T");
+  auto bad = db_.NewObject(
+      "Article", Value::Tuple({{"title", Value::Object(title)},
+                               {"authors", Value::List({Value::String("A")})},
+                               {"status", Value::String("published")}}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(CheckConstraints(db_, bad.value()).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(TypecheckTest, UnionAlternativeConstraintOnlyWhenChosen) {
+  Schema s;
+  Constraint c{Constraint::Kind::kAttrNonEmptyList, "a2", "subsectns", {}};
+  EXPECT_TRUE(
+      s.AddClass(
+           {"Section",
+            Type::Union(
+                {{"a1", Type::Tuple({{"bodies", Type::List(Type::String())}})},
+                 {"a2",
+                  Type::Tuple(
+                      {{"subsectns", Type::List(Type::String())}})}}),
+            {},
+            {c},
+            {}})
+          .ok());
+  Database db(std::move(s));
+  // a1 alternative: constraint on a2 is vacuous.
+  auto s1 = db.NewObject(
+      "Section",
+      Value::Tuple({{"a1", Value::Tuple({{"bodies", Value::List({})}})}}));
+  ASSERT_TRUE(s1.ok());
+  EXPECT_TRUE(CheckConstraints(db, s1.value()).ok());
+  // a2 alternative with empty subsectns: violation.
+  auto s2 = db.NewObject(
+      "Section",
+      Value::Tuple({{"a2", Value::Tuple({{"subsectns", Value::List({})}})}}));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(CheckConstraints(db, s2.value()).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(TypecheckTest, CheckDatabaseWholeInstance) {
+  ObjectId title = MakeTitle("T");
+  auto a = db_.NewObject(
+      "Article", Value::Tuple({{"title", Value::Object(title)},
+                               {"authors", Value::List({Value::String("A")})},
+                               {"status", Value::String("final")}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(
+      db_.BindName("Articles", Value::List({Value::Object(a.value())})).ok());
+  EXPECT_TRUE(CheckDatabase(db_).ok()) << CheckDatabase(db_);
+
+  // Corrupt the root binding: list of ints where Articles expected.
+  ASSERT_TRUE(db_.BindName("Articles", Value::List({Value::Integer(1)})).ok());
+  EXPECT_FALSE(CheckDatabase(db_).ok());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

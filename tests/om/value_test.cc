@@ -1,0 +1,155 @@
+#include "om/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::om {
+namespace {
+
+TEST(ValueTest, DefaultIsNil) {
+  Value v;
+  EXPECT_EQ(v.kind(), ValueKind::kNil);
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v, Value::Nil());
+}
+
+TEST(ValueTest, AtomicAccessors) {
+  EXPECT_EQ(Value::Integer(42).AsInteger(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_TRUE(Value::Boolean(true).AsBoolean());
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Object(ObjectId(7)).AsObject(), ObjectId(7));
+}
+
+TEST(ValueTest, AtomicEquality) {
+  EXPECT_EQ(Value::Integer(1), Value::Integer(1));
+  EXPECT_NE(Value::Integer(1), Value::Integer(2));
+  EXPECT_NE(Value::Integer(1), Value::String("1"));
+  EXPECT_NE(Value::Integer(1), Value::Nil());
+  EXPECT_EQ(Value::String(""), Value::String(""));
+}
+
+TEST(ValueTest, TupleIsOrdered) {
+  // Paper §5.1: permuting tuple fields yields a *different* value.
+  Value ab = Value::Tuple({{"a", Value::Integer(5)}, {"b", Value::Integer(6)}});
+  Value ba = Value::Tuple({{"b", Value::Integer(6)}, {"a", Value::Integer(5)}});
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab, Value::Tuple({{"a", Value::Integer(5)},
+                              {"b", Value::Integer(6)}}));
+}
+
+TEST(ValueTest, TupleFieldAccess) {
+  Value t = Value::Tuple({{"title", Value::String("Intro")},
+                          {"n", Value::Integer(3)}});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.FieldName(0), "title");
+  EXPECT_EQ(t.FieldName(1), "n");
+  EXPECT_EQ(t.FieldValue(1), Value::Integer(3));
+  ASSERT_TRUE(t.FindField("title").has_value());
+  EXPECT_EQ(*t.FindField("title"), Value::String("Intro"));
+  EXPECT_FALSE(t.FindField("missing").has_value());
+  ASSERT_TRUE(t.FieldIndex("n").has_value());
+  EXPECT_EQ(*t.FieldIndex("n"), 1u);
+}
+
+TEST(ValueTest, ListPreservesOrderAndDuplicates) {
+  Value l = Value::List({Value::Integer(2), Value::Integer(1),
+                         Value::Integer(2)});
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.Element(0), Value::Integer(2));
+  EXPECT_EQ(l.Element(1), Value::Integer(1));
+  EXPECT_EQ(l.Element(2), Value::Integer(2));
+  EXPECT_NE(l, Value::List({Value::Integer(1), Value::Integer(2),
+                            Value::Integer(2)}));
+}
+
+TEST(ValueTest, SetCanonicalizes) {
+  Value s1 = Value::Set({Value::Integer(2), Value::Integer(1),
+                         Value::Integer(2)});
+  Value s2 = Value::Set({Value::Integer(1), Value::Integer(2)});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 2u);
+}
+
+TEST(ValueTest, SetAndListDiffer) {
+  EXPECT_NE(Value::Set({Value::Integer(1)}),
+            Value::List({Value::Integer(1)}));
+}
+
+TEST(ValueTest, NestedEquality) {
+  auto make = [] {
+    return Value::Tuple(
+        {{"sections",
+          Value::List({Value::Tuple({{"title", Value::String("A")}})})}});
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(ValueTest, HeterogeneousListView) {
+  // §4.4: [A:5, B:6] viewed as [[A:5], [B:6]].
+  Value t = Value::Tuple({{"A", Value::Integer(5)}, {"B", Value::Integer(6)}});
+  Value hl = t.AsHeterogeneousList();
+  ASSERT_EQ(hl.kind(), ValueKind::kList);
+  ASSERT_EQ(hl.size(), 2u);
+  EXPECT_EQ(hl.Element(0), Value::Tuple({{"A", Value::Integer(5)}}));
+  EXPECT_EQ(hl.Element(1), Value::Tuple({{"B", Value::Integer(6)}}));
+}
+
+TEST(ValueTest, MarkedUnionValuePredicate) {
+  EXPECT_TRUE(Value::Tuple({{"a1", Value::Integer(1)}}).IsMarkedUnionValue());
+  EXPECT_FALSE(Value::Tuple({{"a", Value::Integer(1)},
+                             {"b", Value::Integer(2)}})
+                   .IsMarkedUnionValue());
+  EXPECT_FALSE(Value::Integer(1).IsMarkedUnionValue());
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // Distinct kinds order by kind; same kind by content.
+  std::vector<Value> vals = {
+      Value::Nil(),
+      Value::Integer(-1),
+      Value::Integer(3),
+      Value::String("a"),
+      Value::String("b"),
+      Value::List({Value::Integer(1)}),
+  };
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      int c = Value::Compare(vals[i], vals[j]);
+      if (i == j) { EXPECT_EQ(c, 0) << i; }
+      if (i < j) { EXPECT_LT(c, 0) << i << "," << j; }
+      if (i > j) { EXPECT_GT(c, 0) << i << "," << j; }
+    }
+  }
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Value a = Value::Tuple({{"x", Value::List({Value::String("q")})}});
+  Value b = Value::Tuple({{"x", Value::List({Value::String("q")})}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Sets hash identically regardless of construction order.
+  Value s1 = Value::Set({Value::Integer(1), Value::Integer(2)});
+  Value s2 = Value::Set({Value::Integer(2), Value::Integer(1)});
+  EXPECT_EQ(s1.Hash(), s2.Hash());
+}
+
+TEST(ValueTest, ToStringShapes) {
+  EXPECT_EQ(Value::Nil().ToString(), "nil");
+  EXPECT_EQ(Value::Integer(5).ToString(), "5");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Object(ObjectId(3)).ToString(), "oid<3>");
+  EXPECT_EQ(Value::Tuple({{"a", Value::Integer(1)}}).ToString(),
+            "tuple(a: 1)");
+  EXPECT_EQ(Value::List({Value::Integer(1), Value::Integer(2)}).ToString(),
+            "list(1, 2)");
+  EXPECT_EQ(Value::Set({Value::Integer(2), Value::Integer(1)}).ToString(),
+            "set(1, 2)");
+}
+
+TEST(ValueTest, StringEscapingInToString) {
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::String("a\nb").ToString(), "\"a\\nb\"");
+}
+
+}  // namespace
+}  // namespace sgmlqdb::om

@@ -1,0 +1,133 @@
+// Translation-layer tests: the paper's §5.2 remark that every extended
+// O2SQL query maps to a calculus expression, plus the static typing of
+// §4.2/§5.3.
+
+#include "oql/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/eval.h"
+#include "mapping/schema_compiler.h"
+#include "oql/parser.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::oql {
+namespace {
+
+om::Schema ArticleSchema() {
+  auto dtd = sgml::ParseDtd(sgml::ArticleDtdText());
+  EXPECT_TRUE(dtd.ok());
+  auto schema = mapping::CompileDtdToSchema(dtd.value());
+  EXPECT_TRUE(schema.ok());
+  EXPECT_TRUE(
+      schema->AddName("my_article", om::Type::Class("Article")).ok());
+  return std::move(schema).value();
+}
+
+Result<Translated> T(std::string_view q) {
+  auto stmt = ParseStatement(q);
+  if (!stmt.ok()) return stmt.status();
+  return Translate(ArticleSchema(), stmt.value());
+}
+
+TEST(TranslateTest, SelectBecomesRangeRestrictedQuery) {
+  auto t = T("select a from a in Articles");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_TRUE(t->is_query);
+  EXPECT_TRUE(calculus::CheckRangeRestricted(t->query).ok());
+  // Head is the synthetic result variable.
+  ASSERT_EQ(t->query.head.size(), 1u);
+  EXPECT_EQ(t->query.head[0].name, "__r");
+}
+
+TEST(TranslateTest, PathBindingBecomesPathPredicate) {
+  auto t = T("select t from my_article PATH_p.title(t)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::string s = t->query.ToString();
+  EXPECT_NE(s.find("<my_article"), std::string::npos) << s;
+  EXPECT_NE(s.find("PATH_p"), std::string::npos) << s;
+  EXPECT_NE(s.find(".title"), std::string::npos) << s;
+}
+
+TEST(TranslateTest, DotDotMakesAnonymousPathVariable) {
+  auto t = T("select t from my_article .. title(t)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_NE(t->query.ToString().find("__anon_path_"), std::string::npos);
+}
+
+TEST(TranslateTest, ImplicitSelectorTypeChecks) {
+  // s.subsectns only exists in the a2 alternative — accepted.
+  EXPECT_TRUE(
+      T("select ss from a in Articles, s in a.sections, ss in s.subsectns")
+          .ok());
+  // s.bodies exists in both alternatives — accepted.
+  EXPECT_TRUE(
+      T("select b from a in Articles, s in a.sections, b in s.bodies").ok());
+  // No alternative has `chapters` — static type error (§4.2).
+  auto bad = T("select c from a in Articles, s in a.sections, "
+               "c in s.chapters");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TranslateTest, ClassAttributeAccessImplicitlyDereferences) {
+  // a.title where a: Article (class type) — deref is implicit.
+  auto t = T("select a.title from a in Articles");
+  ASSERT_TRUE(t.ok()) << t.status();
+}
+
+TEST(TranslateTest, UnknownRootFails) {
+  auto t = T("select x from x in Nonexistent");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TranslateTest, VariableSortConflictFails) {
+  // `t` used both as data capture and... reuse as a second capture is
+  // a join (allowed); a PATH_ name in data-capture position conflicts.
+  auto t = T("select PATH_p from my_article PATH_p.title(PATH_p)");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TranslateTest, BareExpressionTranslatesToTerm) {
+  auto t = T("my_article PATH_p - my_article PATH_p");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_FALSE(t->is_query);
+  ASSERT_NE(t->term, nullptr);
+  EXPECT_EQ(t->term->function_name(), "set_difference");
+}
+
+TEST(TranslateTest, CollectionConstructorsTypecheckElements) {
+  // Homogeneous list ok.
+  EXPECT_TRUE(T("select x from x in list(1, 2, 3)").ok());
+  // Mixed atomic types have no common supertype (§4.2 rule).
+  auto bad = T("select x from x in list(1, \"two\")");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TranslateTest, ComparisonOperatorsBecomeAtoms) {
+  auto t = T("select a from a in Articles "
+             "where count(a.authors) >= 2 and count(a.sections) != 1");
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::string s = t->query.ToString();
+  EXPECT_NE(s.find("¬"), std::string::npos) << s;  // != and >= use Not
+}
+
+TEST(TranslateTest, WholeModelRepeatedElementContent) {
+  // A DTD whose root content is (item)+ maps through the `items`
+  // wrapper; item texts are reachable by path queries.
+  auto dtd = sgml::ParseDtd(R"(<!DOCTYPE list [
+    <!ELEMENT list - - (item+)>
+    <!ELEMENT item - O (#PCDATA)>
+  ]>)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  auto schema = mapping::CompileDtdToSchema(dtd.value());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto stmt = ParseStatement("select x from l in Lists, x in l.items");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(Translate(schema.value(), stmt.value()).ok());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::oql

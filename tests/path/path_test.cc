@@ -1,0 +1,290 @@
+#include "path/path.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::path {
+namespace {
+
+using om::Database;
+using om::ObjectId;
+using om::Schema;
+using om::Type;
+using om::Value;
+
+TEST(PathStepTest, FactoriesAndEquality) {
+  EXPECT_EQ(PathStep::Attr("title"), PathStep::Attr("title"));
+  EXPECT_NE(PathStep::Attr("title"), PathStep::Attr("body"));
+  EXPECT_EQ(PathStep::Index(3), PathStep::Index(3));
+  EXPECT_NE(PathStep::Index(3), PathStep::Index(4));
+  EXPECT_EQ(PathStep::Deref(), PathStep::Deref());
+  EXPECT_NE(PathStep::Attr("x"), PathStep::Deref());
+  EXPECT_EQ(PathStep::SetElem(Value::Integer(1)),
+            PathStep::SetElem(Value::Integer(1)));
+}
+
+TEST(PathTest, ToStringPaperNotation) {
+  // Paper §4.3: .sections[0].subsectns[0]
+  Path p({PathStep::Attr("sections"), PathStep::Index(0),
+          PathStep::Attr("subsectns"), PathStep::Index(0)});
+  EXPECT_EQ(p.ToString(), ".sections[0].subsectns[0]");
+  EXPECT_EQ(Path().ToString(), "<empty>");
+  Path d({PathStep::Deref(), PathStep::Attr("name")});
+  EXPECT_EQ(d.ToString(), "->.name");
+}
+
+TEST(PathTest, LengthMatchesPaperExample) {
+  // Paper: P = .sections[0].subsectns[0] has length(P) = 4.
+  Path p({PathStep::Attr("sections"), PathStep::Index(0),
+          PathStep::Attr("subsectns"), PathStep::Index(0)});
+  EXPECT_EQ(p.length(), 4u);
+}
+
+TEST(PathTest, SliceMatchesPaperExample) {
+  // Paper: P[0:1] = .sections[0].
+  Path p({PathStep::Attr("sections"), PathStep::Index(0),
+          PathStep::Attr("subsectns"), PathStep::Index(0)});
+  Path expected({PathStep::Attr("sections"), PathStep::Index(0)});
+  EXPECT_EQ(p.Slice(0, 1), expected);
+  // Clamping.
+  EXPECT_EQ(p.Slice(0, 99), p);
+  EXPECT_EQ(p.Slice(10, 12), Path());
+  EXPECT_EQ(p.Slice(2, 1), Path());
+}
+
+TEST(PathTest, AppendConcat) {
+  Path p = Path().Append(PathStep::Attr("a")).Append(PathStep::Index(1));
+  EXPECT_EQ(p.length(), 2u);
+  Path q = p.Concat(Path({PathStep::Deref()}));
+  EXPECT_EQ(q.ToString(), ".a[1]->");
+}
+
+TEST(PathTest, PrefixSuffix) {
+  Path p({PathStep::Attr("a"), PathStep::Index(0), PathStep::Attr("title")});
+  EXPECT_TRUE(p.EndsWith(Path({PathStep::Attr("title")})));
+  EXPECT_TRUE(p.EndsWith(Path()));
+  EXPECT_FALSE(p.EndsWith(Path({PathStep::Attr("a")})));
+  EXPECT_TRUE(p.StartsWith(Path({PathStep::Attr("a")})));
+  EXPECT_FALSE(p.StartsWith(Path({PathStep::Index(0)})));
+}
+
+TEST(PathTest, ValueRoundTrip) {
+  Path p({PathStep::Attr("sections"), PathStep::Index(2), PathStep::Deref(),
+          PathStep::SetElem(Value::String("x"))});
+  Value v = p.ToValue();
+  EXPECT_EQ(v.kind(), om::ValueKind::kList);
+  EXPECT_EQ(v.size(), 4u);
+  auto back = Path::FromValue(v);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value(), p);
+}
+
+TEST(PathTest, FromValueRejectsMalformed) {
+  EXPECT_FALSE(Path::FromValue(Value::Integer(1)).ok());
+  EXPECT_FALSE(Path::FromValue(Value::List({Value::Integer(1)})).ok());
+  EXPECT_FALSE(
+      Path::FromValue(
+          Value::List({Value::Tuple({{"bogus", Value::Integer(1)}})}))
+          .ok());
+}
+
+// ---------------------------------------------------------------------
+// ApplyPath / EnumeratePaths over a small article-like database.
+
+class PathDbTest : public ::testing::Test {
+ protected:
+  PathDbTest() : db_(MakeSchema()) {
+    // article = tuple(title: oid(Title), sections: list(tuple(title: s)))
+    auto title = db_.NewObject(
+        "Title", Value::Tuple({{"content", Value::String("Main")}}));
+    title_oid_ = title.value();
+    article_ = Value::Tuple(
+        {{"title", Value::Object(title_oid_)},
+         {"sections",
+          Value::List({Value::Tuple({{"title", Value::String("S1")}}),
+                       Value::Tuple({{"title", Value::String("S2")}})})}});
+    EXPECT_TRUE(db_.BindName("my_article", article_).ok());
+  }
+
+  static Schema MakeSchema() {
+    Schema s;
+    Type text = Type::Tuple({{"content", Type::String()}});
+    EXPECT_TRUE(s.AddClass({"Text", text, {}, {}, {}}).ok());
+    EXPECT_TRUE(s.AddClass({"Title", text, {"Text"}, {}, {}}).ok());
+    EXPECT_TRUE(
+        s.AddName("my_article",
+                  Type::Tuple({{"title", Type::Class("Title")},
+                               {"sections",
+                                Type::List(Type::Tuple(
+                                    {{"title", Type::String()}}))}}))
+            .ok());
+    return s;
+  }
+
+  Database db_;
+  ObjectId title_oid_;
+  Value article_;
+};
+
+TEST_F(PathDbTest, ApplyAttrIndex) {
+  Path p({PathStep::Attr("sections"), PathStep::Index(1),
+          PathStep::Attr("title")});
+  auto r = ApplyPath(db_, article_, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), Value::String("S2"));
+}
+
+TEST_F(PathDbTest, ApplyDeref) {
+  Path p({PathStep::Attr("title"), PathStep::Deref(),
+          PathStep::Attr("content")});
+  auto r = ApplyPath(db_, article_, p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), Value::String("Main"));
+}
+
+TEST_F(PathDbTest, ApplyErrors) {
+  EXPECT_FALSE(ApplyPath(db_, article_, Path({PathStep::Attr("nope")})).ok());
+  EXPECT_FALSE(
+      ApplyPath(db_, article_,
+                Path({PathStep::Attr("sections"), PathStep::Index(9)}))
+          .ok());
+  EXPECT_FALSE(ApplyPath(db_, article_, Path({PathStep::Deref()})).ok());
+  EXPECT_FALSE(ApplyPath(db_, article_, Path({PathStep::Index(0)})).ok());
+}
+
+TEST_F(PathDbTest, ApplySetElem) {
+  Value s = Value::Set({Value::Integer(1), Value::Integer(2)});
+  auto ok = ApplyPath(db_, s, Path({PathStep::SetElem(Value::Integer(2))}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), Value::Integer(2));
+  EXPECT_FALSE(
+      ApplyPath(db_, s, Path({PathStep::SetElem(Value::Integer(9))})).ok());
+}
+
+TEST_F(PathDbTest, EnumerateIncludesEmptyPathAndAllTitles) {
+  EnumerateOptions opts;
+  auto pairs = AllPathsWithValues(db_, article_, opts);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(pairs[0].first, Path());  // empty path first (DFS preorder)
+  EXPECT_EQ(pairs[0].second, article_);
+
+  // Every (path, value) pair must be consistent with ApplyPath.
+  for (const auto& [p, v] : pairs) {
+    auto applied = ApplyPath(db_, article_, p);
+    ASSERT_TRUE(applied.ok()) << p;
+    EXPECT_EQ(applied.value(), v) << p;
+  }
+
+  // Q3-style: all paths ending in .title — the article title (an
+  // object), plus both section titles, plus nothing else.
+  Path title_suffix({PathStep::Attr("title")});
+  std::vector<Value> titles;
+  for (const auto& [p, v] : pairs) {
+    if (p.EndsWith(title_suffix)) titles.push_back(v);
+  }
+  ASSERT_EQ(titles.size(), 3u);
+}
+
+TEST_F(PathDbTest, EnumerateRespectsMaxPathsAndEarlyStop) {
+  EnumerateOptions opts;
+  opts.max_paths = 3;
+  size_t n = EnumeratePaths(db_, article_, opts,
+                            [](const Path&, const Value&) { return true; });
+  EXPECT_EQ(n, 3u);
+
+  size_t seen = 0;
+  EnumeratePaths(db_, article_, EnumerateOptions{},
+                 [&](const Path&, const Value&) { return ++seen < 2; });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST_F(PathDbTest, EnumerateRespectsMaxLength) {
+  EnumerateOptions opts;
+  opts.max_length = 1;
+  auto paths = AllPaths(db_, article_, opts);
+  for (const Path& p : paths) EXPECT_LE(p.length(), 1u);
+}
+
+// Cyclic data: two Person objects married to each other.
+class CyclicDbTest : public ::testing::Test {
+ protected:
+  CyclicDbTest() : db_(MakeSchema()) {
+    auto alice = db_.NewObject("Person", Value::Nil());
+    auto bob = db_.NewObject("Person", Value::Nil());
+    alice_ = alice.value();
+    bob_ = bob.value();
+    EXPECT_TRUE(db_.SetObjectValue(
+                       alice_, Value::Tuple({{"name", Value::String("Alice")},
+                                             {"spouse", Value::Object(bob_)}}))
+                    .ok());
+    EXPECT_TRUE(db_.SetObjectValue(
+                       bob_, Value::Tuple({{"name", Value::String("Bob")},
+                                           {"spouse",
+                                            Value::Object(alice_)}}))
+                    .ok());
+  }
+
+  static Schema MakeSchema() {
+    Schema s;
+    EXPECT_TRUE(s.AddClass({"Person",
+                            Type::Tuple({{"name", Type::String()},
+                                         {"spouse", Type::Class("Person")}}),
+                            {},
+                            {},
+                            {}})
+                    .ok());
+    EXPECT_TRUE(s.AddName("Alice", Type::Class("Person")).ok());
+    return s;
+  }
+
+  Database db_;
+  ObjectId alice_;
+  ObjectId bob_;
+};
+
+TEST_F(CyclicDbTest, RestrictedSemanticsStopsAtOneDerefPerClass) {
+  // Paper §5.2: with the restricted semantics, ->spouse-> is NOT
+  // followed because it would dereference class Person twice. From
+  // oid(alice): <empty>, ->, ->.name, ->.spouse. The spouse oid's
+  // deref is blocked.
+  EnumerateOptions opts;
+  opts.semantics = PathSemantics::kRestricted;
+  auto paths = AllPaths(db_, Value::Object(alice_), opts);
+  ASSERT_EQ(paths.size(), 4u);
+  for (const Path& p : paths) {
+    size_t derefs = 0;
+    for (const PathStep& s : p.steps()) {
+      if (s.kind() == PathStep::Kind::kDeref) ++derefs;
+    }
+    EXPECT_LE(derefs, 1u) << p;
+  }
+}
+
+TEST_F(CyclicDbTest, LiberalSemanticsFollowsUntilObjectRepeats) {
+  // Liberal: ->.spouse->.name IS reachable (different objects), but the
+  // path must terminate when it would revisit alice.
+  EnumerateOptions opts;
+  opts.semantics = PathSemantics::kLiberal;
+  auto paths = AllPaths(db_, Value::Object(alice_), opts);
+  Path bob_name({PathStep::Deref(), PathStep::Attr("spouse"),
+                 PathStep::Deref(), PathStep::Attr("name")});
+  bool found = false;
+  for (const Path& p : paths) {
+    if (p == bob_name) found = true;
+    // No path may be longer than the full 2-person cycle allows.
+    EXPECT_LE(p.length(), 6u) << p;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(paths.size(), 4u);  // strictly more than restricted
+}
+
+TEST_F(CyclicDbTest, LiberalTerminatesOnCycles) {
+  EnumerateOptions opts;
+  opts.semantics = PathSemantics::kLiberal;
+  size_t n = EnumeratePaths(db_, Value::Object(alice_), opts,
+                            [](const Path&, const Value&) { return true; });
+  EXPECT_GT(n, 0u);
+  EXPECT_LT(n, 100u);  // finite despite the data cycle
+}
+
+}  // namespace
+}  // namespace sgmlqdb::path

@@ -1,0 +1,168 @@
+#include "path/schema_paths.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::path {
+namespace {
+
+using om::Schema;
+using om::Type;
+
+Schema ArticleSchema() {
+  Schema s;
+  Type text = Type::Tuple({{"content", Type::String()}});
+  EXPECT_TRUE(s.AddClass({"Text", text, {}, {}, {}}).ok());
+  EXPECT_TRUE(s.AddClass({"Title", text, {"Text"}, {}, {}}).ok());
+  // Section: union of (title, bodies) and (title, bodies, subsectns).
+  Type subsectn = Type::Tuple({{"title", Type::Class("Title")},
+                               {"bodies", Type::List(Type::String())}});
+  EXPECT_TRUE(s.AddClass({"Subsectn", subsectn, {}, {}, {}}).ok());
+  Type section = Type::Union(
+      {{"a1", Type::Tuple({{"title", Type::Class("Title")},
+                           {"bodies", Type::List(Type::String())}})},
+       {"a2", Type::Tuple({{"title", Type::Class("Title")},
+                           {"bodies", Type::List(Type::String())},
+                           {"subsectns",
+                            Type::List(Type::Class("Subsectn"))}})}});
+  EXPECT_TRUE(s.AddClass({"Section", section, {}, {}, {}}).ok());
+  EXPECT_TRUE(
+      s.AddClass({"Article",
+                  Type::Tuple({{"title", Type::Class("Title")},
+                               {"sections",
+                                Type::List(Type::Class("Section"))}}),
+                  {},
+                  {},
+                  {}})
+          .ok());
+  EXPECT_TRUE(s.AddName("my_article", Type::Class("Article")).ok());
+  return s;
+}
+
+TEST(SchemaStepTest, MatchesConcreteSteps) {
+  EXPECT_TRUE(SchemaStep::Attr("title").Matches(PathStep::Attr("title")));
+  EXPECT_FALSE(SchemaStep::Attr("title").Matches(PathStep::Attr("body")));
+  EXPECT_TRUE(SchemaStep::IndexAny().Matches(PathStep::Index(7)));
+  EXPECT_FALSE(SchemaStep::IndexAny().Matches(PathStep::Attr("x")));
+  EXPECT_TRUE(SchemaStep::SetAny().Matches(
+      PathStep::SetElem(om::Value::Integer(1))));
+  EXPECT_TRUE(SchemaStep::Deref("Title").Matches(PathStep::Deref()));
+}
+
+TEST(SchemaPathsTest, EnumerationIsFiniteAndTyped) {
+  Schema s = ArticleSchema();
+  auto paths = EnumerateSchemaPaths(s, Type::Class("Article"),
+                                    SchemaPathOptions{});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_LT(paths.size(), 200u);  // finite under restricted semantics
+  // The empty path has the start type.
+  EXPECT_TRUE(paths[0].steps.empty());
+  EXPECT_EQ(paths[0].result_type, Type::Class("Article"));
+}
+
+TEST(SchemaPathsTest, FindsAllTitlePaths) {
+  // Q3: all paths ending in .title from an Article: the article's own,
+  // the section alternatives' (a1/a2), and the subsection's.
+  Schema s = ArticleSchema();
+  SchemaPathOptions opts;
+  opts.ending_attribute = "title";
+  auto paths = EnumerateSchemaPaths(s, Type::Class("Article"), opts);
+  ASSERT_GE(paths.size(), 4u);
+  for (const SchemaPath& p : paths) {
+    EXPECT_EQ(p.result_type, Type::Class("Title")) << p.ToString();
+    EXPECT_EQ(p.steps.back().name(), "title");
+  }
+}
+
+TEST(SchemaPathsTest, UnionMarkersAppearAsAttrSteps) {
+  Schema s = ArticleSchema();
+  SchemaPathOptions opts;
+  opts.ending_attribute = "subsectns";
+  auto paths = EnumerateSchemaPaths(s, Type::Class("Article"), opts);
+  ASSERT_EQ(paths.size(), 1u);
+  // ->.sections[*]->.a2.subsectns
+  std::string str = paths[0].ToString();
+  EXPECT_NE(str.find(".a2"), std::string::npos) << str;
+  EXPECT_NE(str.find(".sections"), std::string::npos) << str;
+}
+
+TEST(SchemaPathsTest, SchemaPathMatchesConcretePath) {
+  Schema s = ArticleSchema();
+  SchemaPathOptions opts;
+  opts.ending_attribute = "subsectns";
+  auto paths = EnumerateSchemaPaths(s, Type::Class("Article"), opts);
+  ASSERT_EQ(paths.size(), 1u);
+  Path concrete({PathStep::Deref(), PathStep::Attr("sections"),
+                 PathStep::Index(3), PathStep::Deref(), PathStep::Attr("a2"),
+                 PathStep::Attr("subsectns")});
+  EXPECT_TRUE(paths[0].Matches(concrete));
+  Path wrong({PathStep::Deref(), PathStep::Attr("sections"),
+              PathStep::Index(3), PathStep::Deref(), PathStep::Attr("a1"),
+              PathStep::Attr("subsectns")});
+  EXPECT_FALSE(paths[0].Matches(wrong));
+  EXPECT_FALSE(paths[0].Matches(Path()));
+}
+
+TEST(SchemaPathsTest, RecursiveSchemaTerminates) {
+  // Person.spouse: Person — restricted semantics must not loop.
+  Schema s;
+  EXPECT_TRUE(s.AddClass({"Person",
+                          Type::Tuple({{"name", Type::String()},
+                                       {"spouse", Type::Class("Person")}}),
+                          {},
+                          {},
+                          {}})
+                  .ok());
+  auto paths =
+      EnumerateSchemaPaths(s, Type::Class("Person"), SchemaPathOptions{});
+  // <empty>, ->, ->.name, ->.spouse and nothing deeper.
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(SchemaPathsTest, MaxLengthCap) {
+  Schema s = ArticleSchema();
+  SchemaPathOptions opts;
+  opts.max_length = 2;
+  auto paths = EnumerateSchemaPaths(s, Type::Class("Article"), opts);
+  for (const SchemaPath& p : paths) EXPECT_LE(p.steps.size(), 2u);
+}
+
+TEST(TypeOfAttributeTargetsTest, SingleType) {
+  Schema s = ArticleSchema();
+  auto t = TypeOfAttributeTargets(s, Type::Class("Article"), "title");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t.value(), Type::Class("Title"));
+}
+
+TEST(TypeOfAttributeTargetsTest, MultipleTypesBecomeSystemUnion) {
+  // Attribute "bodies" appears with one type; add a schema where an
+  // attribute has two distinct types to force the alpha-union (§5.3).
+  Schema s;
+  EXPECT_TRUE(s.AddClass({"A",
+                          Type::Tuple({{"x", Type::Integer()}}),
+                          {},
+                          {},
+                          {}})
+                  .ok());
+  EXPECT_TRUE(s.AddClass({"B",
+                          Type::Tuple({{"x", Type::String()}}),
+                          {},
+                          {},
+                          {}})
+                  .ok());
+  Type root = Type::Tuple({{"a", Type::Class("A")}, {"b", Type::Class("B")}});
+  auto t = TypeOfAttributeTargets(s, root, "x");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_TRUE(t.value().is_union());
+  EXPECT_EQ(t.value().size(), 2u);
+  EXPECT_EQ(t.value().FieldName(0), "alpha1");
+}
+
+TEST(TypeOfAttributeTargetsTest, MissingAttributeIsTypeError) {
+  Schema s = ArticleSchema();
+  auto t = TypeOfAttributeTargets(s, Type::Class("Article"), "nonexistent");
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::path

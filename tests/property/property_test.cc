@@ -1,0 +1,221 @@
+// Parameterized property tests: invariants checked across a sweep of
+// generated corpora (seeds/shapes), tying all modules together.
+
+#include <gtest/gtest.h>
+
+#include "algebra/compile.h"
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "om/subtype.h"
+#include "om/typecheck.h"
+#include "oql/parser.h"
+#include "oql/translate.h"
+#include "path/path.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb {
+namespace {
+
+struct CorpusCase {
+  uint64_t seed;
+  size_t sections;
+  double subsection_prob;
+  double figure_prob;
+};
+
+class CorpusProperty : public ::testing::TestWithParam<CorpusCase> {
+ protected:
+  std::string Generate() const {
+    corpus::ArticleParams p;
+    p.seed = GetParam().seed;
+    p.sections = GetParam().sections;
+    p.subsection_prob = GetParam().subsection_prob;
+    p.figure_prob = GetParam().figure_prob;
+    return corpus::GenerateArticle(p);
+  }
+};
+
+TEST_P(CorpusProperty, LoadedInstanceTypechecksAndSatisfiesConstraints) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(Generate());
+  ASSERT_TRUE(root.ok()) << root.status();
+  // Whole-database conformance (dom(tau) membership + Fig. 3
+  // constraints for every object).
+  EXPECT_TRUE(om::CheckDatabase(store.db()).ok())
+      << om::CheckDatabase(store.db());
+}
+
+TEST_P(CorpusProperty, ExportReloadPreservesStructureAndText) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(Generate());
+  ASSERT_TRUE(root.ok()) << root.status();
+  auto exported = store.ExportSgml(root.value());
+  ASSERT_TRUE(exported.ok()) << exported.status();
+
+  DocumentStore store2;
+  ASSERT_TRUE(store2.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root2 = store2.LoadDocument(*exported);
+  ASSERT_TRUE(root2.ok()) << root2.status() << "\n" << *exported;
+  EXPECT_EQ(store.db().object_count(), store2.db().object_count());
+  EXPECT_EQ(store.TextOf(root.value()).value(),
+            store2.TextOf(root2.value()).value());
+}
+
+TEST_P(CorpusProperty, EveryEnumeratedPathAppliesBack) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(Generate());
+  ASSERT_TRUE(root.ok());
+  om::Value start = om::Value::Object(root.value());
+  size_t checked = 0;
+  path::EnumeratePaths(
+      store.db(), start, path::EnumerateOptions{},
+      [&](const path::Path& p, const om::Value& v) {
+        auto applied = path::ApplyPath(store.db(), start, p);
+        EXPECT_TRUE(applied.ok()) << p;
+        if (applied.ok()) {
+          EXPECT_EQ(applied.value(), v) << p;
+        }
+        // Value round-trip of the path itself.
+        auto decoded = path::Path::FromValue(p.ToValue());
+        EXPECT_TRUE(decoded.ok());
+        if (decoded.ok()) {
+          EXPECT_EQ(decoded.value(), p);
+        }
+        ++checked;
+        return true;
+      });
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_P(CorpusProperty, RestrictedPathsAreSubsetOfLiberal) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  auto root = store.LoadDocument(Generate());
+  ASSERT_TRUE(root.ok());
+  om::Value start = om::Value::Object(root.value());
+  path::EnumerateOptions restricted;
+  restricted.semantics = path::PathSemantics::kRestricted;
+  path::EnumerateOptions liberal;
+  liberal.semantics = path::PathSemantics::kLiberal;
+  auto r = path::AllPaths(store.db(), start, restricted);
+  auto l = path::AllPaths(store.db(), start, liberal);
+  EXPECT_LE(r.size(), l.size());
+  std::set<std::string> liberal_set;
+  for (const path::Path& p : l) liberal_set.insert(p.ToString());
+  for (const path::Path& p : r) {
+    EXPECT_TRUE(liberal_set.count(p.ToString()) > 0) << p;
+  }
+}
+
+TEST_P(CorpusProperty, NaiveAndAlgebraicEnginesAgree) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(Generate(), "doc").ok());
+  const char* kQueries[] = {
+      "select t from doc .. title(t)",
+      "select PATH_p from doc PATH_p.caption(c)",
+      "select name(ATT_a) from doc PATH_p.ATT_a(v) "
+      "where v contains (\"the\")",
+      "select s from a in Articles, s in a.sections",
+      "select a from a in Articles where count(a.authors) > 1",
+      "select i from doc PATH_p.sections[i]",
+  };
+  for (const char* q : kQueries) {
+    auto naive = store.Query(q, oql::Engine::kNaive);
+    auto algebraic = store.Query(q, oql::Engine::kAlgebraic);
+    ASSERT_TRUE(naive.ok()) << naive.status() << " for " << q;
+    ASSERT_TRUE(algebraic.ok()) << algebraic.status() << " for " << q;
+    EXPECT_EQ(naive.value(), algebraic.value()) << q;
+  }
+}
+
+TEST_P(CorpusProperty, Q4SelfDiffIsEmpty) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(Generate(), "doc").ok());
+  auto r = store.Query("doc PATH_p - doc PATH_q");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorpusProperty,
+    ::testing::Values(
+        CorpusCase{1, 2, 0.0, 0.0},    // flat, no subsections/figures
+        CorpusCase{2, 3, 1.0, 0.0},    // every section has subsections
+        CorpusCase{3, 4, 0.5, 1.0},    // all bodies are figures
+        CorpusCase{4, 1, 0.3, 0.3},    // tiny
+        CorpusCase{5, 10, 0.4, 0.2},   // large
+        CorpusCase{99, 6, 0.7, 0.5}),  // mixed
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_s" +
+             std::to_string(info.param.sections);
+    });
+
+// ---------------------------------------------------------------------
+// Subtype lattice properties over generated types.
+
+class SubtypeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubtypeProperty, LcsIsUpperBound) {
+  corpus::Rng rng(GetParam());
+  om::Schema schema;
+  // Random flat tuple types over a tiny attribute alphabet.
+  auto random_tuple = [&rng]() {
+    std::vector<std::pair<std::string, om::Type>> fields;
+    const char* names[] = {"a", "b", "c", "d"};
+    for (const char* n : names) {
+      if (rng.Chance(0.6)) {
+        fields.emplace_back(
+            n, rng.Chance(0.5) ? om::Type::Integer() : om::Type::String());
+      }
+    }
+    if (fields.empty()) fields.emplace_back("z", om::Type::Integer());
+    return om::Type::Tuple(std::move(fields));
+  };
+  for (int i = 0; i < 50; ++i) {
+    om::Type t1 = random_tuple();
+    om::Type t2 = random_tuple();
+    auto lcs = om::LeastCommonSupertype(t1, t2, schema);
+    if (!lcs.ok()) continue;  // no shared attribute
+    EXPECT_TRUE(om::IsSubtype(t1, lcs.value(), schema))
+        << t1 << " </= " << lcs.value();
+    EXPECT_TRUE(om::IsSubtype(t2, lcs.value(), schema))
+        << t2 << " </= " << lcs.value();
+  }
+}
+
+TEST_P(SubtypeProperty, SubtypeIsReflexiveAndTransitiveOnChains) {
+  corpus::Rng rng(GetParam());
+  om::Schema schema;
+  // Build a chain by progressively dropping attributes.
+  std::vector<std::pair<std::string, om::Type>> fields = {
+      {"a", om::Type::Integer()},
+      {"b", om::Type::String()},
+      {"c", om::Type::Float()},
+      {"d", om::Type::Boolean()}};
+  std::vector<om::Type> chain;
+  while (!fields.empty()) {
+    chain.push_back(om::Type::Tuple(fields));
+    fields.pop_back();
+  }
+  for (const om::Type& t : chain) {
+    EXPECT_TRUE(om::IsSubtype(t, t, schema));
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    for (size_t j = i; j < chain.size(); ++j) {
+      EXPECT_TRUE(om::IsSubtype(chain[i], chain[j], schema))
+          << chain[i] << " </= " << chain[j];
+    }
+  }
+  (void)rng;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtypeProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sgmlqdb

@@ -1,0 +1,178 @@
+#include "sgml/automaton.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::sgml {
+namespace {
+
+ContentAutomaton Build(const ContentNode& model) {
+  auto r = ContentAutomaton::Build(model);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+std::vector<std::string> W(std::initializer_list<const char*> syms) {
+  std::vector<std::string> out;
+  for (const char* s : syms) out.emplace_back(s);
+  return out;
+}
+
+TEST(AutomatonTest, SimpleSequence) {
+  // (title, body+)
+  ContentAutomaton a = Build(ContentNode::Seq(
+      {ContentNode::Element("title"),
+       ContentNode::Element("body", Occurrence::kPlus)}));
+  EXPECT_TRUE(a.Accepts(W({"title", "body"})));
+  EXPECT_TRUE(a.Accepts(W({"title", "body", "body", "body"})));
+  EXPECT_FALSE(a.Accepts(W({"title"})));
+  EXPECT_FALSE(a.Accepts(W({"body"})));
+  EXPECT_FALSE(a.Accepts(W({"title", "body", "title"})));
+  EXPECT_FALSE(a.Accepts(W({})));
+}
+
+TEST(AutomatonTest, ArticleModel) {
+  // Figure 1 line 2: (title, author+, affil, abstract, section+, acknowl)
+  ContentAutomaton a = Build(ContentNode::Seq(
+      {ContentNode::Element("title"),
+       ContentNode::Element("author", Occurrence::kPlus),
+       ContentNode::Element("affil"), ContentNode::Element("abstract"),
+       ContentNode::Element("section", Occurrence::kPlus),
+       ContentNode::Element("acknowl")}));
+  EXPECT_TRUE(a.Accepts(W({"title", "author", "author", "affil", "abstract",
+                           "section", "section", "acknowl"})));
+  EXPECT_FALSE(a.Accepts(W({"title", "affil", "abstract", "section",
+                            "acknowl"})));  // no author
+}
+
+TEST(AutomatonTest, SectionChoiceModel) {
+  // ((title, body+) | (title, body*, subsectn+)) — note this is
+  // nondeterministic at `title`; set-simulation must handle it.
+  ContentAutomaton a = Build(ContentNode::Choice(
+      {ContentNode::Seq({ContentNode::Element("title"),
+                         ContentNode::Element("body", Occurrence::kPlus)}),
+       ContentNode::Seq(
+           {ContentNode::Element("title"),
+            ContentNode::Element("body", Occurrence::kStar),
+            ContentNode::Element("subsectn", Occurrence::kPlus)})}));
+  EXPECT_TRUE(a.Accepts(W({"title", "body"})));
+  EXPECT_TRUE(a.Accepts(W({"title", "subsectn"})));
+  EXPECT_TRUE(a.Accepts(W({"title", "body", "subsectn", "subsectn"})));
+  EXPECT_FALSE(a.Accepts(W({"title"})));
+  EXPECT_FALSE(a.Accepts(W({"subsectn"})));
+  EXPECT_FALSE(a.Accepts(W({"title", "subsectn", "body"})));
+}
+
+TEST(AutomatonTest, OptionalAndStar) {
+  // (picture, caption?)
+  ContentAutomaton a = Build(
+      ContentNode::Seq({ContentNode::Element("picture"),
+                        ContentNode::Element("caption", Occurrence::kOpt)}));
+  EXPECT_TRUE(a.Accepts(W({"picture"})));
+  EXPECT_TRUE(a.Accepts(W({"picture", "caption"})));
+  EXPECT_FALSE(a.Accepts(W({"picture", "caption", "caption"})));
+  EXPECT_FALSE(a.Accepts(W({"caption"})));
+
+  ContentAutomaton b =
+      Build(ContentNode::Element("x", Occurrence::kStar));
+  EXPECT_TRUE(b.Accepts(W({})));
+  EXPECT_TRUE(b.Accepts(W({"x", "x", "x"})));
+}
+
+TEST(AutomatonTest, GroupOccurrence) {
+  // (a, b)+
+  ContentAutomaton a = Build(ContentNode::Seq(
+      {ContentNode::Element("a"), ContentNode::Element("b")},
+      Occurrence::kPlus));
+  EXPECT_TRUE(a.Accepts(W({"a", "b"})));
+  EXPECT_TRUE(a.Accepts(W({"a", "b", "a", "b"})));
+  EXPECT_FALSE(a.Accepts(W({"a", "b", "a"})));
+  EXPECT_FALSE(a.Accepts(W({})));
+}
+
+TEST(AutomatonTest, PcdataModel) {
+  ContentAutomaton a = Build(ContentNode::Pcdata());
+  EXPECT_TRUE(a.Accepts(W({})));  // empty text allowed
+  EXPECT_TRUE(a.Accepts(W({"#PCDATA"})));
+  EXPECT_TRUE(a.Accepts(W({"#PCDATA", "#PCDATA"})));  // chunked text
+  EXPECT_FALSE(a.Accepts(W({"title"})));
+}
+
+TEST(AutomatonTest, MixedContent) {
+  // (#PCDATA | em)*
+  ContentAutomaton a = Build(ContentNode::Choice(
+      {ContentNode::Pcdata(), ContentNode::Element("em")},
+      Occurrence::kStar));
+  EXPECT_TRUE(a.Accepts(W({})));
+  EXPECT_TRUE(a.Accepts(W({"#PCDATA", "em", "#PCDATA", "em", "em"})));
+}
+
+TEST(AutomatonTest, EmptyDeclaration) {
+  ContentAutomaton a = Build(ContentNode::Empty());
+  EXPECT_TRUE(a.declared_empty());
+  EXPECT_TRUE(a.Accepts(W({})));
+  EXPECT_FALSE(a.Accepts(W({"anything"})));
+}
+
+TEST(AutomatonTest, AllConnectorAcceptsPermutations) {
+  // (to & from) — paper §4.4.
+  ContentAutomaton a = Build(ContentNode::All(
+      {ContentNode::Element("to"), ContentNode::Element("from")}));
+  EXPECT_TRUE(a.Accepts(W({"to", "from"})));
+  EXPECT_TRUE(a.Accepts(W({"from", "to"})));
+  EXPECT_FALSE(a.Accepts(W({"to"})));
+  EXPECT_FALSE(a.Accepts(W({"to", "to"})));
+  EXPECT_FALSE(a.Accepts(W({"to", "from", "to"})));
+}
+
+TEST(AutomatonTest, AllConnectorThreeOperands) {
+  ContentAutomaton a = Build(ContentNode::All({ContentNode::Element("a"),
+                                               ContentNode::Element("b"),
+                                               ContentNode::Element("c")}));
+  EXPECT_TRUE(a.Accepts(W({"b", "c", "a"})));
+  EXPECT_TRUE(a.Accepts(W({"c", "a", "b"})));
+  EXPECT_FALSE(a.Accepts(W({"a", "b"})));
+  EXPECT_FALSE(a.Accepts(W({"a", "b", "c", "a"})));
+}
+
+TEST(AutomatonTest, AllGroupTooLargeRejected) {
+  std::vector<ContentNode> many;
+  for (int i = 0; i < 6; ++i) {
+    many.push_back(ContentNode::Element("e" + std::to_string(i)));
+  }
+  auto r = ContentAutomaton::Build(ContentNode::All(std::move(many)));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(AutomatonTest, ValidNextReportsAlternatives) {
+  ContentAutomaton a = Build(ContentNode::Choice(
+      {ContentNode::Element("figure"), ContentNode::Element("paragr")}));
+  auto next = a.ValidNext(a.Start());
+  EXPECT_EQ(next, (std::vector<std::string>{"figure", "paragr"}));
+  auto mid = a.Advance(a.Start(), "figure");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_TRUE(a.ValidNext(*mid).empty());
+  EXPECT_TRUE(a.CanEnd(*mid));
+}
+
+TEST(AutomatonTest, AdvanceFailsOnForeignSymbol) {
+  ContentAutomaton a = Build(ContentNode::Element("x"));
+  EXPECT_FALSE(a.Advance(a.Start(), "y").has_value());
+}
+
+TEST(ExpandAllGroupsTest, NestedAllInsideSeq) {
+  // (a, (b & c)) — expansion happens below the top level too.
+  ContentNode model = ContentNode::Seq(
+      {ContentNode::Element("a"),
+       ContentNode::All(
+           {ContentNode::Element("b"), ContentNode::Element("c")})});
+  auto expanded = ExpandAllGroups(model);
+  ASSERT_TRUE(expanded.ok());
+  ContentAutomaton a = Build(model);
+  EXPECT_TRUE(a.Accepts(W({"a", "b", "c"})));
+  EXPECT_TRUE(a.Accepts(W({"a", "c", "b"})));
+  EXPECT_FALSE(a.Accepts(W({"b", "c", "a"})));
+}
+
+}  // namespace
+}  // namespace sgmlqdb::sgml

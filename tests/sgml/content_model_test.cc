@@ -1,0 +1,55 @@
+#include "sgml/content_model.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::sgml {
+namespace {
+
+TEST(ContentModelTest, ToStringLeafForms) {
+  EXPECT_EQ(ContentNode::Pcdata().ToString(), "#PCDATA");
+  EXPECT_EQ(ContentNode::Empty().ToString(), "EMPTY");
+  EXPECT_EQ(ContentNode::Element("title").ToString(), "title");
+  EXPECT_EQ(ContentNode::Element("author", Occurrence::kPlus).ToString(),
+            "author+");
+  EXPECT_EQ(ContentNode::Element("caption", Occurrence::kOpt).ToString(),
+            "caption?");
+  EXPECT_EQ(ContentNode::Element("body", Occurrence::kStar).ToString(),
+            "body*");
+}
+
+TEST(ContentModelTest, ToStringGroups) {
+  ContentNode seq = ContentNode::Seq(
+      {ContentNode::Element("title"),
+       ContentNode::Element("body", Occurrence::kPlus)});
+  EXPECT_EQ(seq.ToString(), "(title, body+)");
+  ContentNode choice = ContentNode::Choice(
+      {ContentNode::Element("figure"), ContentNode::Element("paragr")});
+  EXPECT_EQ(choice.ToString(), "(figure | paragr)");
+  ContentNode all = ContentNode::All(
+      {ContentNode::Element("to"), ContentNode::Element("from")});
+  EXPECT_EQ(all.ToString(), "(to & from)");
+}
+
+TEST(ContentModelTest, ToStringNestedSectionModel) {
+  // Figure 1 line 8.
+  ContentNode section = ContentNode::Choice(
+      {ContentNode::Seq({ContentNode::Element("title"),
+                         ContentNode::Element("body", Occurrence::kPlus)}),
+       ContentNode::Seq(
+           {ContentNode::Element("title"),
+            ContentNode::Element("body", Occurrence::kStar),
+            ContentNode::Element("subsectn", Occurrence::kPlus)})});
+  EXPECT_EQ(section.ToString(),
+            "((title, body+) | (title, body*, subsectn+))");
+}
+
+TEST(ContentModelTest, AllowsPcdata) {
+  EXPECT_TRUE(ContentNode::Pcdata().AllowsPcdata());
+  EXPECT_FALSE(ContentNode::Element("x").AllowsPcdata());
+  ContentNode mixed = ContentNode::Choice(
+      {ContentNode::Pcdata(), ContentNode::Element("em")}, Occurrence::kStar);
+  EXPECT_TRUE(mixed.AllowsPcdata());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::sgml

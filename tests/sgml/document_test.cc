@@ -1,0 +1,244 @@
+#include "sgml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::sgml {
+namespace {
+
+Dtd ArticleDtd() {
+  auto r = ParseDtd(ArticleDtdText());
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+/// Children of `node` that are elements named `name`.
+std::vector<const DocNode*> ChildElements(const DocNode& node,
+                                          std::string_view name) {
+  std::vector<const DocNode*> out;
+  for (const DocNode& c : node.children) {
+    if (!c.is_text() && c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+TEST(DocumentParserTest, ParsesFigure2WithOmittedEndTags) {
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, ArticleDocumentText());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DocNode& root = r.value().root;
+  EXPECT_EQ(root.name, "article");
+
+  // The four <author> elements were never explicitly closed.
+  EXPECT_EQ(ChildElements(root, "author").size(), 4u);
+  EXPECT_EQ(ChildElements(root, "section").size(), 2u);
+  EXPECT_EQ(ChildElements(root, "title").size(), 1u);
+  ASSERT_EQ(ChildElements(root, "abstract").size(), 1u);
+
+  const DocNode* author0 = ChildElements(root, "author")[0];
+  EXPECT_EQ(author0->InnerText(), "V. Christophides");
+
+  // status attribute as written.
+  ASSERT_NE(root.FindAttribute("status"), nullptr);
+  EXPECT_EQ(*root.FindAttribute("status"), "final");
+
+  // Sections contain title + bodies with paragr.
+  const DocNode* s1 = ChildElements(root, "section")[0];
+  ASSERT_EQ(ChildElements(*s1, "title").size(), 1u);
+  EXPECT_EQ(ChildElements(*s1, "title")[0]->InnerText(), "Introduction");
+  ASSERT_EQ(ChildElements(*s1, "body").size(), 1u);
+  const DocNode* body = ChildElements(*s1, "body")[0];
+  ASSERT_EQ(ChildElements(*body, "paragr").size(), 1u);
+}
+
+TEST(DocumentParserTest, Figure2Validates) {
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, ArticleDocumentText());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(ValidateDocument(dtd, r.value()).ok())
+      << ValidateDocument(dtd, r.value());
+}
+
+TEST(DocumentParserTest, AttributeDefaultsApplied) {
+  // <article> without status gets the DTD default "draft".
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, R"(<article>
+    <title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+    <section><title>S</title><body><paragr>P</paragr></body></section>
+    <acknowl>Thanks</acknowl></article>)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_NE(r.value().root.FindAttribute("status"), nullptr);
+  EXPECT_EQ(*r.value().root.FindAttribute("status"), "draft");
+}
+
+TEST(DocumentParserTest, EmptyElementAndEntityAttribute) {
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, R"(<article status=final>
+    <title>T</title><author>A<affil>F</affil><abstract>Ab</abstract>
+    <section><title>S</title>
+      <body><figure label="f1"><picture file="fig1"><caption>A picture
+      </caption></figure></body>
+    </section>
+    <acknowl>Thanks</acknowl></article>)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(ValidateDocument(dtd, r.value()).ok())
+      << ValidateDocument(dtd, r.value());
+  // Unquoted attribute value.
+  EXPECT_EQ(*r.value().root.FindAttribute("status"), "final");
+  // picture got its sizex default.
+  const DocNode& sec = *ChildElements(r.value().root, "section")[0];
+  const DocNode& body = *ChildElements(sec, "body")[0];
+  const DocNode& fig = *ChildElements(body, "figure")[0];
+  const DocNode& pic = *ChildElements(fig, "picture")[0];
+  ASSERT_NE(pic.FindAttribute("sizex"), nullptr);
+  EXPECT_EQ(*pic.FindAttribute("sizex"), "16cm");
+  EXPECT_TRUE(pic.children.empty());
+}
+
+TEST(DocumentParserTest, EntityExpansionInText) {
+  auto dtd = ParseDtd(R"(<!DOCTYPE d [
+    <!ELEMENT d - - (#PCDATA)>
+    <!ENTITY inst "I.N.R.I.A.">
+  ]>)");
+  ASSERT_TRUE(dtd.ok());
+  auto r = ParseDocument(dtd.value(), "<d>at &inst; and &amp; more</d>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().root.InnerText(), "at I.N.R.I.A. and & more");
+}
+
+TEST(DocumentParserTest, UnknownEntityKeptLiteral) {
+  auto dtd = ParseDtd("<!ELEMENT d - - (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto r = ParseDocument(dtd.value(), "<d>AT&T; wins</d>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().root.InnerText(), "AT&T; wins");
+}
+
+TEST(DocumentParserTest, StartTagOmission) {
+  // caption is "O O": its start tag may be omitted. (figure, body and
+  // section close implicitly around it.)
+  auto dtd = ParseDtd(R"(<!DOCTYPE fig [
+    <!ELEMENT fig - - (picture, caption?)>
+    <!ELEMENT picture - O EMPTY>
+    <!ELEMENT caption O O (#PCDATA)>
+  ]>)");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  auto r = ParseDocument(dtd.value(), "<fig><picture>Implicit caption</fig>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const DocNode& root = r.value().root;
+  ASSERT_EQ(ChildElements(root, "caption").size(), 1u);
+  EXPECT_EQ(ChildElements(root, "caption")[0]->InnerText(),
+            "Implicit caption");
+}
+
+TEST(DocumentParserTest, RejectsInvalidContent) {
+  Dtd dtd = ArticleDtd();
+  // Missing mandatory <affil>: affil is not omissible at start, and
+  // abstract cannot follow author directly.
+  auto r = ParseDocument(dtd, R"(<article><title>T</title><author>A
+    <abstract>Ab</abstract>
+    <section><title>S</title><body><paragr>P</paragr></body></section>
+    <acknowl>x</acknowl></article>)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DocumentParserTest, RejectsUndeclaredElement) {
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, "<bogus>hi</bogus>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DocumentParserTest, RejectsMismatchedEndTag) {
+  Dtd dtd = ArticleDtd();
+  auto r = ParseDocument(dtd, "<article><title>T</article>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DocumentParserTest, RejectsTextAfterRoot) {
+  auto dtd = ParseDtd("<!ELEMENT d - - (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_FALSE(ParseDocument(dtd.value(), "<d>x</d> trailing").ok());
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(ParseDocument(dtd.value(), "<d>x</d>\n  ").ok());
+}
+
+TEST(DocumentParserTest, CommentsInContentIgnored) {
+  auto dtd = ParseDtd("<!ELEMENT d - - (#PCDATA)>");
+  ASSERT_TRUE(dtd.ok());
+  auto r = ParseDocument(dtd.value(), "<d>be<!-- hidden -->fore</d>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().root.InnerText(), "before");
+}
+
+TEST(ValidateDocumentTest, IdUniquenessAndIdrefResolution) {
+  Dtd dtd = ArticleDtd();
+  // Build a tree by hand: two figures with the same label.
+  Document doc;
+  doc.root = DocNode::Element("figure");
+  doc.root.attributes.emplace_back("label", "f1");
+  DocNode pic = DocNode::Element("picture");
+  doc.root.children.push_back(pic);
+  EXPECT_TRUE(ValidateDocument(dtd, doc).ok());
+
+  // A paragr with an unresolved reflabel inside a body.
+  Document doc2;
+  doc2.root = DocNode::Element("body");
+  DocNode paragr = DocNode::Element("paragr");
+  paragr.attributes.emplace_back("reflabel", "ghost");
+  paragr.children.push_back(DocNode::Text("see figure"));
+  doc2.root.children.push_back(paragr);
+  Status st = ValidateDocument(dtd, doc2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ghost"), std::string::npos);
+}
+
+TEST(ValidateDocumentTest, RejectsUndeclaredAttribute) {
+  Dtd dtd = ArticleDtd();
+  Document doc;
+  doc.root = DocNode::Element("title");
+  doc.root.attributes.emplace_back("bogus", "1");
+  doc.root.children.push_back(DocNode::Text("T"));
+  EXPECT_FALSE(ValidateDocument(dtd, doc).ok());
+}
+
+TEST(ValidateDocumentTest, RejectsEnumerationViolation) {
+  Dtd dtd = ArticleDtd();
+  Document doc;
+  doc.root = DocNode::Element("article");
+  doc.root.attributes.emplace_back("status", "published");
+  Status st = ValidateDocument(dtd, doc);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(SerializeDocumentTest, RoundTripsFigure2) {
+  Dtd dtd = ArticleDtd();
+  auto doc = ParseDocument(dtd, ArticleDocumentText());
+  ASSERT_TRUE(doc.ok());
+  std::string sgml = SerializeDocument(doc.value());
+  // Reparse the normalized output; the tree must be identical in
+  // structure and text.
+  auto doc2 = ParseDocument(dtd, sgml);
+  ASSERT_TRUE(doc2.ok()) << doc2.status() << "\n" << sgml;
+  EXPECT_EQ(doc.value().root.CountElements(),
+            doc2.value().root.CountElements());
+  EXPECT_EQ(doc.value().root.InnerText(), doc2.value().root.InnerText());
+}
+
+TEST(DocNodeTest, InnerTextJoinsWithSpaces) {
+  DocNode n = DocNode::Element("x");
+  n.children.push_back(DocNode::Text("a"));
+  n.children.push_back(DocNode::Text("b"));
+  EXPECT_EQ(n.InnerText(), "a b");
+}
+
+TEST(DocNodeTest, CountElements) {
+  DocNode n = DocNode::Element("x");
+  n.children.push_back(DocNode::Text("t"));
+  n.children.push_back(DocNode::Element("y"));
+  EXPECT_EQ(n.CountElements(), 2u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::sgml

@@ -1,0 +1,170 @@
+#include "sgml/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::sgml {
+namespace {
+
+TEST(DtdParserTest, ParsesFigure1Dtd) {
+  auto r = ParseDtd(ArticleDtdText());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Dtd& dtd = r.value();
+  EXPECT_EQ(dtd.doctype(), "article");
+  EXPECT_EQ(dtd.elements().size(), 13u);
+
+  const ElementDef* article = dtd.FindElement("article");
+  ASSERT_NE(article, nullptr);
+  EXPECT_FALSE(article->start_tag_omissible);
+  EXPECT_FALSE(article->end_tag_omissible);
+  EXPECT_EQ(article->content.ToString(),
+            "(title, author+, affil, abstract, section+, acknowl)");
+
+  const ElementDef* author = dtd.FindElement("author");
+  ASSERT_NE(author, nullptr);
+  EXPECT_FALSE(author->start_tag_omissible);
+  EXPECT_TRUE(author->end_tag_omissible);
+  EXPECT_EQ(author->content.ToString(), "#PCDATA");
+
+  const ElementDef* section = dtd.FindElement("section");
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->content.ToString(),
+            "((title, body+) | (title, body*, subsectn+))");
+
+  const ElementDef* caption = dtd.FindElement("caption");
+  ASSERT_NE(caption, nullptr);
+  EXPECT_TRUE(caption->start_tag_omissible);
+  EXPECT_TRUE(caption->end_tag_omissible);
+
+  const ElementDef* picture = dtd.FindElement("picture");
+  ASSERT_NE(picture, nullptr);
+  EXPECT_TRUE(picture->content.IsEmptyDecl());
+}
+
+TEST(DtdParserTest, Figure1Attributes) {
+  auto r = ParseDtd(ArticleDtdText());
+  ASSERT_TRUE(r.ok());
+  const Dtd& dtd = r.value();
+
+  const ElementDef* article = dtd.FindElement("article");
+  const AttributeDef* status = article->FindAttribute("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->type, AttributeDef::DeclaredType::kEnumerated);
+  EXPECT_EQ(status->enumerated_values,
+            (std::vector<std::string>{"final", "draft"}));
+  EXPECT_EQ(status->default_kind, AttributeDef::DefaultKind::kValue);
+  EXPECT_EQ(status->default_value, "draft");
+
+  const ElementDef* figure = dtd.FindElement("figure");
+  const AttributeDef* label = figure->FindAttribute("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->type, AttributeDef::DeclaredType::kId);
+  EXPECT_EQ(label->default_kind, AttributeDef::DefaultKind::kImplied);
+
+  const ElementDef* picture = dtd.FindElement("picture");
+  ASSERT_EQ(picture->attributes.size(), 3u);
+  const AttributeDef* sizex = picture->FindAttribute("sizex");
+  ASSERT_NE(sizex, nullptr);
+  EXPECT_EQ(sizex->type, AttributeDef::DeclaredType::kNmtoken);
+  EXPECT_EQ(sizex->default_value, "16cm");
+  const AttributeDef* file = picture->FindAttribute("file");
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->type, AttributeDef::DeclaredType::kEntity);
+
+  const ElementDef* paragr = dtd.FindElement("paragr");
+  const AttributeDef* reflabel = paragr->FindAttribute("reflabel");
+  ASSERT_NE(reflabel, nullptr);
+  EXPECT_EQ(reflabel->type, AttributeDef::DeclaredType::kIdref);
+}
+
+TEST(DtdParserTest, Figure1Entity) {
+  auto r = ParseDtd(ArticleDtdText());
+  ASSERT_TRUE(r.ok());
+  const EntityDef* fig1 = r.value().FindEntity("fig1");
+  ASSERT_NE(fig1, nullptr);
+  EXPECT_TRUE(fig1->is_external);
+  EXPECT_EQ(fig1->system_id, "/u/christop/SGML/image1");
+  EXPECT_FALSE(fig1->notation.empty());
+}
+
+TEST(DtdParserTest, BareDeclarationListWithoutDoctype) {
+  auto r = ParseDtd("<!ELEMENT note - - (#PCDATA)>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().doctype(), "note");
+}
+
+TEST(DtdParserTest, InternalEntity) {
+  auto r = ParseDtd(R"(<!DOCTYPE d [
+    <!ELEMENT d - - (#PCDATA)>
+    <!ENTITY inria "Institut National de Recherche">
+  ]>)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const EntityDef* e = r.value().FindEntity("inria");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->is_external);
+  EXPECT_EQ(e->replacement, "Institut National de Recherche");
+}
+
+TEST(DtdParserTest, AllConnector) {
+  auto r = ParseDtd(LettersDtdText());
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ElementDef* preamble = r.value().FindElement("preamble");
+  ASSERT_NE(preamble, nullptr);
+  EXPECT_EQ(preamble->content.kind, ContentNode::Kind::kAll);
+  EXPECT_EQ(preamble->content.ToString(), "(to & from)");
+}
+
+TEST(DtdParserTest, NamesAreCaseInsensitive) {
+  auto r = ParseDtd("<!ELEMENT Note - - (#PCDATA)> <!ATTLIST NOTE x CDATA "
+                    "#IMPLIED>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const ElementDef* note = r.value().FindElement("note");
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(note->FindAttribute("x"), nullptr);
+}
+
+TEST(DtdParserTest, CommentsAreSkipped) {
+  auto r = ParseDtd(R"(<!DOCTYPE d [
+    <!-- the root -->
+    <!ELEMENT d - - (#PCDATA)>
+  ]>)");
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(DtdParserTest, ErrorOnDuplicateElement) {
+  auto r = ParseDtd(
+      "<!ELEMENT a - - (#PCDATA)> <!ELEMENT a - - (#PCDATA)>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DtdParserTest, ErrorOnAttlistForUnknownElement) {
+  auto r = ParseDtd("<!ELEMENT a - - (#PCDATA)> <!ATTLIST b x CDATA #IMPLIED>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DtdParserTest, ErrorOnUndeclaredContentReference) {
+  auto r = ParseDtd("<!ELEMENT a - - (ghost)>");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(DtdParserTest, ErrorOnMixedConnectors) {
+  auto r = ParseDtd("<!ELEMENT a - - (b, c | d)> <!ELEMENT b - - (#PCDATA)>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DtdParserTest, ErrorOnGarbage) {
+  EXPECT_FALSE(ParseDtd("<!WHAT is this>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a - - (b c)>").ok());
+}
+
+TEST(DtdParserTest, LineNumbersInErrors) {
+  auto r = ParseDtd("<!ELEMENT a - - (#PCDATA)>\n<!BOGUS>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status();
+}
+
+}  // namespace
+}  // namespace sgmlqdb::sgml

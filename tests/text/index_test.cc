@@ -1,0 +1,99 @@
+#include "text/index.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::text {
+namespace {
+
+Pattern P(std::string_view s) {
+  auto r = Pattern::Parse(s);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    index_.Add(1, "Mapping SGML documents into an OODBMS");
+    index_.Add(2, "The SGML standard and its grammar");
+    index_.Add(3, "Query languages for object oriented databases");
+    index_.Add(4, "SGML and OODBMS integration with complex object models");
+  }
+
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, LookupPlainWord) {
+  EXPECT_EQ(index_.Lookup("sgml"), (std::vector<UnitId>{1, 2, 4}));
+  EXPECT_EQ(index_.Lookup("SGML"), (std::vector<UnitId>{1, 2, 4}));
+  EXPECT_EQ(index_.Lookup("oodbms"), (std::vector<UnitId>{1, 4}));
+  EXPECT_TRUE(index_.Lookup("missing").empty());
+}
+
+TEST_F(IndexTest, CandidatesForConjunction) {
+  bool exact = false;
+  auto c = index_.Candidates(P(R"("SGML" and "OODBMS")"), &exact);
+  EXPECT_EQ(c, (std::vector<UnitId>{1, 4}));
+  EXPECT_TRUE(exact);  // plain single words, AND only
+}
+
+TEST_F(IndexTest, CandidatesForDisjunctionAreConservative) {
+  bool exact = true;
+  auto c = index_.Candidates(P(R"("SGML" or "query")"), &exact);
+  EXPECT_FALSE(exact);
+  // Conservative: the intersection across positive words may over- or
+  // under-constrain ORs; all true matches must still verify.
+  Pattern p = P(R"("SGML" or "query")");
+  std::vector<std::string_view> texts = {
+      "", "Mapping SGML documents into an OODBMS",
+      "The SGML standard and its grammar",
+      "Query languages for object oriented databases",
+      "SGML and OODBMS integration with complex object models"};
+  (void)texts;
+}
+
+TEST_F(IndexTest, CandidatesForNegativePatternIsEverything) {
+  bool exact = true;
+  auto c = index_.Candidates(P(R"(not "sgml")"), &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST_F(IndexTest, PhraseCandidatesUsePlainParts) {
+  bool exact = true;
+  auto c = index_.Candidates(P(R"("complex object")"), &exact);
+  EXPECT_FALSE(exact);  // phrase needs verification
+  EXPECT_EQ(c, (std::vector<UnitId>{4}));
+  // Verify the survivor.
+  EXPECT_TRUE(P(R"("complex object")")
+                  .Matches("SGML and OODBMS integration with complex "
+                           "object models"));
+}
+
+TEST_F(IndexTest, NearLookup) {
+  // unit 4: "SGML and OODBMS ..." — distance 2.
+  EXPECT_EQ(index_.NearLookup("sgml", "oodbms", 2),
+            (std::vector<UnitId>{4}));
+  // unit 1: "... SGML documents into an OODBMS" — distance 4.
+  EXPECT_EQ(index_.NearLookup("sgml", "oodbms", 4),
+            (std::vector<UnitId>{1, 4}));
+  EXPECT_TRUE(index_.NearLookup("sgml", "missing", 10).empty());
+}
+
+TEST_F(IndexTest, Stats) {
+  EXPECT_EQ(index_.unit_count(), 4u);
+  EXPECT_GT(index_.term_count(), 10u);
+  EXPECT_GT(index_.ApproximateBytes(), 0u);
+}
+
+TEST(IndexEdgeTest, EmptyIndex) {
+  InvertedIndex idx;
+  bool exact = false;
+  EXPECT_TRUE(idx.Lookup("x").empty());
+  auto r = Pattern::Parse(R"("x")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(idx.Candidates(r.value(), &exact).empty());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::text

@@ -1,0 +1,119 @@
+#include "text/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::text {
+namespace {
+
+Pattern P(std::string_view s) {
+  auto r = Pattern::Parse(s);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(TokenizeTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Structured documents (e.g., SGML) rock!"),
+            (std::vector<std::string>{"Structured", "documents", "e", "g",
+                                      "SGML", "rock"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,;  ").empty());
+  EXPECT_EQ(Tokenize("O2SQL"), (std::vector<std::string>{"O2SQL"}));
+}
+
+TEST(PatternTest, Q1PaperPattern) {
+  // Q1: s.title contains ("SGML" and "OODBMS").
+  Pattern p = P(R"(("SGML" and "OODBMS"))");
+  EXPECT_TRUE(p.Matches("Mapping SGML into an OODBMS"));
+  EXPECT_FALSE(p.Matches("Mapping SGML into a file system"));
+  EXPECT_FALSE(p.Matches("about OODBMS only"));
+}
+
+TEST(PatternTest, SingleWordCaseInsensitive) {
+  Pattern p = P(R"("sgml")");
+  EXPECT_TRUE(p.Matches("The SGML standard"));
+  EXPECT_TRUE(p.Matches("sgml"));
+  EXPECT_FALSE(p.Matches("XML standard"));
+  // Word-boundary: must match a whole token.
+  EXPECT_FALSE(p.Matches("SGMLQDB"));
+}
+
+TEST(PatternTest, PhraseMatchesConsecutiveTokens) {
+  // Q2: contains the sentence "complex object".
+  Pattern p = P(R"("complex object")");
+  EXPECT_TRUE(p.Matches("algebras for complex object models"));
+  EXPECT_TRUE(p.Matches("a Complex Object here"));  // case-insensitive
+  EXPECT_FALSE(p.Matches("complex value and object identity"));
+}
+
+TEST(PatternTest, OrAndNot) {
+  Pattern p = P(R"(("cat" or "dog") and not "fish")");
+  EXPECT_TRUE(p.Matches("a cat sat"));
+  EXPECT_TRUE(p.Matches("a dog ran"));
+  EXPECT_FALSE(p.Matches("a cat and a fish"));
+  EXPECT_FALSE(p.Matches("a bird"));
+}
+
+TEST(PatternTest, RegexWordPattern) {
+  Pattern p = P(R"("(t|T)itle")");
+  EXPECT_TRUE(p.Matches("the title says"));
+  EXPECT_TRUE(p.Matches("The Title says"));
+  EXPECT_FALSE(p.Matches("the TITLE says"));  // regex is case-sensitive
+  EXPECT_FALSE(p.Matches("subtitle"));        // full-token match
+}
+
+TEST(PatternTest, SingleQuotes) {
+  Pattern p = P("'final'");
+  EXPECT_TRUE(p.Matches("status is final"));
+}
+
+TEST(PatternTest, ParseErrors) {
+  EXPECT_FALSE(Pattern::Parse("").ok());
+  EXPECT_FALSE(Pattern::Parse(R"("a" and)").ok());
+  EXPECT_FALSE(Pattern::Parse(R"(("a")").ok());
+  EXPECT_FALSE(Pattern::Parse(R"("unterminated)").ok());
+  EXPECT_FALSE(Pattern::Parse(R"("a" "b")").ok());  // missing connective
+  EXPECT_FALSE(Pattern::Parse(R"("")").ok());       // empty word
+}
+
+TEST(PatternTest, KeywordsNeedWordBoundaries) {
+  // "order" must not be lexed as the keyword "or".
+  auto r = Pattern::Parse(R"("a" order "b")");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PatternTest, PositiveWordsAndNegativity) {
+  Pattern p = P(R"(("a" and not "b") or "c")");
+  auto words = p.PositiveWords();
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0]->text(), "a");
+  EXPECT_EQ(words[1]->text(), "c");
+  EXPECT_FALSE(p.IsPurelyNegative());
+  EXPECT_TRUE(P(R"(not "x")").IsPurelyNegative());
+  // Double negation makes the word positive again.
+  EXPECT_FALSE(P(R"(not (not "x"))").IsPurelyNegative());
+}
+
+TEST(PatternTest, ToStringRoundRobin) {
+  Pattern p = P(R"("a" and "b" or "c")");
+  // and binds tighter than or.
+  EXPECT_EQ(p.ToString(), R"((("a" and "b") or "c"))");
+}
+
+TEST(NearTest, PaperSemantics) {
+  auto r = Near("the quick brown fox jumps", "quick", "jumps", 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  r = Near("the quick brown fox jumps", "quick", "jumps", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+  r = Near("no such words", "quick", "jumps", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+  // Symmetric.
+  r = Near("jumps then quick", "quick", "jumps", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::text

@@ -1,0 +1,117 @@
+#include "text/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace sgmlqdb::text {
+namespace {
+
+Regex Rx(std::string_view p, RegexOptions o = {}) {
+  auto r = Regex::Compile(p, o);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(RegexTest, LiteralFullMatch) {
+  Regex re = Rx("title");
+  EXPECT_TRUE(re.FullMatch("title"));
+  EXPECT_FALSE(re.FullMatch("Title"));
+  EXPECT_FALSE(re.FullMatch("titles"));
+  EXPECT_FALSE(re.FullMatch("tit"));
+  EXPECT_FALSE(re.FullMatch(""));
+}
+
+TEST(RegexTest, PaperTitleExample) {
+  // §5.2: name(A) contains "(t|T)itle".
+  Regex re = Rx("(t|T)itle");
+  EXPECT_TRUE(re.FullMatch("title"));
+  EXPECT_TRUE(re.FullMatch("Title"));
+  EXPECT_FALSE(re.FullMatch("TITLE"));
+  EXPECT_FALSE(re.FullMatch("subtitle"));
+  EXPECT_TRUE(re.PartialMatch("subtitle"));
+}
+
+TEST(RegexTest, Alternation) {
+  Regex re = Rx("cat|dog|bird");
+  EXPECT_TRUE(re.FullMatch("cat"));
+  EXPECT_TRUE(re.FullMatch("dog"));
+  EXPECT_TRUE(re.FullMatch("bird"));
+  EXPECT_FALSE(re.FullMatch("catdog"));
+}
+
+TEST(RegexTest, KleeneStar) {
+  Regex re = Rx("ab*c");
+  EXPECT_TRUE(re.FullMatch("ac"));
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("abbbbc"));
+  EXPECT_FALSE(re.FullMatch("abb"));
+}
+
+TEST(RegexTest, PlusAndOptional) {
+  EXPECT_TRUE(Rx("ab+").FullMatch("abb"));
+  EXPECT_FALSE(Rx("ab+").FullMatch("a"));
+  EXPECT_TRUE(Rx("ab?").FullMatch("a"));
+  EXPECT_TRUE(Rx("ab?").FullMatch("ab"));
+  EXPECT_FALSE(Rx("ab?").FullMatch("abb"));
+}
+
+TEST(RegexTest, Dot) {
+  Regex re = Rx("a.c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("axc"));
+  EXPECT_FALSE(re.FullMatch("ac"));
+}
+
+TEST(RegexTest, NestedGroupsWithRepetition) {
+  Regex re = Rx("(ab|cd)*e");
+  EXPECT_TRUE(re.FullMatch("e"));
+  EXPECT_TRUE(re.FullMatch("abe"));
+  EXPECT_TRUE(re.FullMatch("abcdabe"));
+  EXPECT_FALSE(re.FullMatch("abce"));
+}
+
+TEST(RegexTest, EscapedMetacharacters) {
+  Regex re = Rx("a\\*b");
+  EXPECT_TRUE(re.FullMatch("a*b"));
+  EXPECT_FALSE(re.FullMatch("ab"));
+  EXPECT_TRUE(Rx("a\\.b").FullMatch("a.b"));
+  EXPECT_FALSE(Rx("a\\.b").FullMatch("axb"));
+}
+
+TEST(RegexTest, EmptyAlternativeBranch) {
+  Regex re = Rx("a(b|)c");
+  EXPECT_TRUE(re.FullMatch("abc"));
+  EXPECT_TRUE(re.FullMatch("ac"));
+}
+
+TEST(RegexTest, IgnoreCase) {
+  Regex re = Rx("Title", {.ignore_case = true});
+  EXPECT_TRUE(re.FullMatch("title"));
+  EXPECT_TRUE(re.FullMatch("TITLE"));
+  EXPECT_TRUE(re.FullMatch("tItLe"));
+}
+
+TEST(RegexTest, PartialMatchSemantics) {
+  Regex re = Rx("SGML");
+  EXPECT_TRUE(re.PartialMatch("the SGML standard"));
+  EXPECT_FALSE(re.PartialMatch("the XML standard"));
+  // Empty-matching pattern partial-matches everything.
+  EXPECT_TRUE(Rx("x*").PartialMatch("abc"));
+}
+
+TEST(RegexTest, CompileErrors) {
+  EXPECT_FALSE(Regex::Compile("(ab").ok());
+  EXPECT_FALSE(Regex::Compile("ab)").ok());
+  EXPECT_FALSE(Regex::Compile("*ab").ok());
+  EXPECT_FALSE(Regex::Compile("a\\").ok());
+}
+
+TEST(RegexTest, HasMetacharacters) {
+  EXPECT_FALSE(Regex::HasMetacharacters("SGML"));
+  EXPECT_FALSE(Regex::HasMetacharacters("complex object"));
+  EXPECT_TRUE(Regex::HasMetacharacters("(t|T)itle"));
+  EXPECT_TRUE(Regex::HasMetacharacters("a*"));
+  EXPECT_TRUE(Regex::HasMetacharacters("a.b"));
+}
+
+}  // namespace
+}  // namespace sgmlqdb::text
