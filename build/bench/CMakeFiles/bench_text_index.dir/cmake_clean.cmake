@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_index.dir/bench_text_index.cc.o"
+  "CMakeFiles/bench_text_index.dir/bench_text_index.cc.o.d"
+  "bench_text_index"
+  "bench_text_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

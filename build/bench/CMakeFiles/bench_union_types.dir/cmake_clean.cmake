@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_union_types.dir/bench_union_types.cc.o"
+  "CMakeFiles/bench_union_types.dir/bench_union_types.cc.o.d"
+  "bench_union_types"
+  "bench_union_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_union_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

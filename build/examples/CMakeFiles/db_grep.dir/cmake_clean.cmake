@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_grep.dir/db_grep.cpp.o"
+  "CMakeFiles/db_grep.dir/db_grep.cpp.o.d"
+  "db_grep"
+  "db_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

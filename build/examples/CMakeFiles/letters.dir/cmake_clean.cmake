@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/letters.dir/letters.cpp.o"
+  "CMakeFiles/letters.dir/letters.cpp.o.d"
+  "letters"
+  "letters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/letters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

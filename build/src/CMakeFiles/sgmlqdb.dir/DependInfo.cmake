@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/compile.cc" "src/CMakeFiles/sgmlqdb.dir/algebra/compile.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/algebra/compile.cc.o.d"
+  "/root/repo/src/algebra/ops.cc" "src/CMakeFiles/sgmlqdb.dir/algebra/ops.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/algebra/ops.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/sgmlqdb.dir/base/status.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strutil.cc" "src/CMakeFiles/sgmlqdb.dir/base/strutil.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/base/strutil.cc.o.d"
+  "/root/repo/src/calculus/eval.cc" "src/CMakeFiles/sgmlqdb.dir/calculus/eval.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/calculus/eval.cc.o.d"
+  "/root/repo/src/calculus/formula.cc" "src/CMakeFiles/sgmlqdb.dir/calculus/formula.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/calculus/formula.cc.o.d"
+  "/root/repo/src/calculus/terms.cc" "src/CMakeFiles/sgmlqdb.dir/calculus/terms.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/calculus/terms.cc.o.d"
+  "/root/repo/src/core/document_store.cc" "src/CMakeFiles/sgmlqdb.dir/core/document_store.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/core/document_store.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/sgmlqdb.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/mapping/exporter.cc" "src/CMakeFiles/sgmlqdb.dir/mapping/exporter.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/mapping/exporter.cc.o.d"
+  "/root/repo/src/mapping/loader.cc" "src/CMakeFiles/sgmlqdb.dir/mapping/loader.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/mapping/loader.cc.o.d"
+  "/root/repo/src/mapping/names.cc" "src/CMakeFiles/sgmlqdb.dir/mapping/names.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/mapping/names.cc.o.d"
+  "/root/repo/src/mapping/schema_compiler.cc" "src/CMakeFiles/sgmlqdb.dir/mapping/schema_compiler.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/mapping/schema_compiler.cc.o.d"
+  "/root/repo/src/om/database.cc" "src/CMakeFiles/sgmlqdb.dir/om/database.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/database.cc.o.d"
+  "/root/repo/src/om/schema.cc" "src/CMakeFiles/sgmlqdb.dir/om/schema.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/schema.cc.o.d"
+  "/root/repo/src/om/subtype.cc" "src/CMakeFiles/sgmlqdb.dir/om/subtype.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/subtype.cc.o.d"
+  "/root/repo/src/om/type.cc" "src/CMakeFiles/sgmlqdb.dir/om/type.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/type.cc.o.d"
+  "/root/repo/src/om/typecheck.cc" "src/CMakeFiles/sgmlqdb.dir/om/typecheck.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/typecheck.cc.o.d"
+  "/root/repo/src/om/value.cc" "src/CMakeFiles/sgmlqdb.dir/om/value.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/om/value.cc.o.d"
+  "/root/repo/src/oql/oql.cc" "src/CMakeFiles/sgmlqdb.dir/oql/oql.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/oql/oql.cc.o.d"
+  "/root/repo/src/oql/parser.cc" "src/CMakeFiles/sgmlqdb.dir/oql/parser.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/oql/parser.cc.o.d"
+  "/root/repo/src/oql/translate.cc" "src/CMakeFiles/sgmlqdb.dir/oql/translate.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/oql/translate.cc.o.d"
+  "/root/repo/src/path/path.cc" "src/CMakeFiles/sgmlqdb.dir/path/path.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/path/path.cc.o.d"
+  "/root/repo/src/path/schema_paths.cc" "src/CMakeFiles/sgmlqdb.dir/path/schema_paths.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/path/schema_paths.cc.o.d"
+  "/root/repo/src/sgml/automaton.cc" "src/CMakeFiles/sgmlqdb.dir/sgml/automaton.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/sgml/automaton.cc.o.d"
+  "/root/repo/src/sgml/content_model.cc" "src/CMakeFiles/sgmlqdb.dir/sgml/content_model.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/sgml/content_model.cc.o.d"
+  "/root/repo/src/sgml/document.cc" "src/CMakeFiles/sgmlqdb.dir/sgml/document.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/sgml/document.cc.o.d"
+  "/root/repo/src/sgml/dtd.cc" "src/CMakeFiles/sgmlqdb.dir/sgml/dtd.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/sgml/dtd.cc.o.d"
+  "/root/repo/src/sgml/goldens.cc" "src/CMakeFiles/sgmlqdb.dir/sgml/goldens.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/sgml/goldens.cc.o.d"
+  "/root/repo/src/text/index.cc" "src/CMakeFiles/sgmlqdb.dir/text/index.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/text/index.cc.o.d"
+  "/root/repo/src/text/pattern.cc" "src/CMakeFiles/sgmlqdb.dir/text/pattern.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/text/pattern.cc.o.d"
+  "/root/repo/src/text/regex.cc" "src/CMakeFiles/sgmlqdb.dir/text/regex.cc.o" "gcc" "src/CMakeFiles/sgmlqdb.dir/text/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

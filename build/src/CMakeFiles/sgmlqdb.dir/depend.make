@@ -1,0 +1,2 @@
+# Empty dependencies file for sgmlqdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_test.dir/mapping/loader_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/loader_test.cc.o.d"
+  "CMakeFiles/mapping_test.dir/mapping/mixed_content_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/mixed_content_test.cc.o.d"
+  "CMakeFiles/mapping_test.dir/mapping/schema_compiler_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/schema_compiler_test.cc.o.d"
+  "mapping_test"
+  "mapping_test.pdb"
+  "mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/om/database_test.cc" "tests/CMakeFiles/om_test.dir/om/database_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/database_test.cc.o.d"
+  "/root/repo/tests/om/schema_test.cc" "tests/CMakeFiles/om_test.dir/om/schema_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/schema_test.cc.o.d"
+  "/root/repo/tests/om/subtype_test.cc" "tests/CMakeFiles/om_test.dir/om/subtype_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/subtype_test.cc.o.d"
+  "/root/repo/tests/om/type_test.cc" "tests/CMakeFiles/om_test.dir/om/type_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/type_test.cc.o.d"
+  "/root/repo/tests/om/typecheck_test.cc" "tests/CMakeFiles/om_test.dir/om/typecheck_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/typecheck_test.cc.o.d"
+  "/root/repo/tests/om/value_test.cc" "tests/CMakeFiles/om_test.dir/om/value_test.cc.o" "gcc" "tests/CMakeFiles/om_test.dir/om/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgmlqdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/om_test.dir/om/database_test.cc.o"
+  "CMakeFiles/om_test.dir/om/database_test.cc.o.d"
+  "CMakeFiles/om_test.dir/om/schema_test.cc.o"
+  "CMakeFiles/om_test.dir/om/schema_test.cc.o.d"
+  "CMakeFiles/om_test.dir/om/subtype_test.cc.o"
+  "CMakeFiles/om_test.dir/om/subtype_test.cc.o.d"
+  "CMakeFiles/om_test.dir/om/type_test.cc.o"
+  "CMakeFiles/om_test.dir/om/type_test.cc.o.d"
+  "CMakeFiles/om_test.dir/om/typecheck_test.cc.o"
+  "CMakeFiles/om_test.dir/om/typecheck_test.cc.o.d"
+  "CMakeFiles/om_test.dir/om/value_test.cc.o"
+  "CMakeFiles/om_test.dir/om/value_test.cc.o.d"
+  "om_test"
+  "om_test.pdb"
+  "om_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/om_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sgml/automaton_test.cc" "tests/CMakeFiles/sgml_test.dir/sgml/automaton_test.cc.o" "gcc" "tests/CMakeFiles/sgml_test.dir/sgml/automaton_test.cc.o.d"
+  "/root/repo/tests/sgml/content_model_test.cc" "tests/CMakeFiles/sgml_test.dir/sgml/content_model_test.cc.o" "gcc" "tests/CMakeFiles/sgml_test.dir/sgml/content_model_test.cc.o.d"
+  "/root/repo/tests/sgml/document_test.cc" "tests/CMakeFiles/sgml_test.dir/sgml/document_test.cc.o" "gcc" "tests/CMakeFiles/sgml_test.dir/sgml/document_test.cc.o.d"
+  "/root/repo/tests/sgml/dtd_test.cc" "tests/CMakeFiles/sgml_test.dir/sgml/dtd_test.cc.o" "gcc" "tests/CMakeFiles/sgml_test.dir/sgml/dtd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgmlqdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgml_test.dir/sgml/automaton_test.cc.o"
+  "CMakeFiles/sgml_test.dir/sgml/automaton_test.cc.o.d"
+  "CMakeFiles/sgml_test.dir/sgml/content_model_test.cc.o"
+  "CMakeFiles/sgml_test.dir/sgml/content_model_test.cc.o.d"
+  "CMakeFiles/sgml_test.dir/sgml/document_test.cc.o"
+  "CMakeFiles/sgml_test.dir/sgml/document_test.cc.o.d"
+  "CMakeFiles/sgml_test.dir/sgml/dtd_test.cc.o"
+  "CMakeFiles/sgml_test.dir/sgml/dtd_test.cc.o.d"
+  "sgml_test"
+  "sgml_test.pdb"
+  "sgml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
