@@ -1,7 +1,8 @@
 // E2 — the paper's example queries Q1..Q6 over synthetic corpora of
 // increasing size (reference engine). Regenerates the "the language
 // answers the paper's queries" evidence; latency scaling is the
-// measured series.
+// measured series. Query texts live in bench_util.h (PaperQueryMix),
+// shared with the service throughput benchmark.
 
 #include <benchmark/benchmark.h>
 
@@ -28,45 +29,35 @@ void RunQuery(benchmark::State& state, const std::string& query) {
 }
 
 void BM_Q1_TitleAndFirstAuthor(benchmark::State& state) {
-  RunQuery(state,
-           "select tuple (t: a.title, f_author: first(a.authors)) "
-           "from a in Articles, s in a.sections "
-           "where s.title contains (\"SGML\" or \"query\")");
+  RunQuery(state, PaperQueryText("Q1_TitleAndFirstAuthor"));
 }
 BENCHMARK(BM_Q1_TitleAndFirstAuthor)->Arg(10)->Arg(50)->Arg(200);
 
 void BM_Q2_SubsectionsContaining(benchmark::State& state) {
-  RunQuery(state,
-           "select text(ss) from a in Articles, s in a.sections, "
-           "ss in s.subsectns where ss contains (\"complex\" and \"object\")");
+  RunQuery(state, PaperQueryText("Q2_SubsectionsContaining"));
 }
 BENCHMARK(BM_Q2_SubsectionsContaining)->Arg(10)->Arg(50)->Arg(200);
 
 void BM_Q3_AllTitlesOfOneDocument(benchmark::State& state) {
-  RunQuery(state, "select t from doc0 .. title(t)");
+  RunQuery(state, PaperQueryText("Q3_AllTitlesOfOneDocument"));
 }
 BENCHMARK(BM_Q3_AllTitlesOfOneDocument)->Arg(10)->Arg(50)->Arg(200);
 
 void BM_Q4_StructuralDiff(benchmark::State& state) {
   // doc0 against itself exercises the full double enumeration.
-  RunQuery(state, "doc0 PATH_p - doc0 PATH_q");
+  RunQuery(state, PaperQueryText("Q4_StructuralDiff"));
 }
 BENCHMARK(BM_Q4_StructuralDiff)->Arg(10)->Arg(50);
 
 void BM_Q5_AttributeGrep(benchmark::State& state) {
-  RunQuery(state,
-           "select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
-           "where val contains (\"final\")");
+  RunQuery(state, PaperQueryText("Q5_AttributeGrep"));
 }
 BENCHMARK(BM_Q5_AttributeGrep)->Arg(10)->Arg(50)->Arg(200);
 
 void BM_Q6_PositionComparison(benchmark::State& state) {
   // Position query over the article tuple itself: articles where the
   // abstract precedes the first section in the tuple ordering.
-  RunQuery(state,
-           "select a from a in Articles, "
-           "i in positions(a, \"abstract\"), "
-           "j in positions(a, \"sections\") where i < j");
+  RunQuery(state, PaperQueryText("Q6_PositionComparison"));
 }
 BENCHMARK(BM_Q6_PositionComparison)->Arg(10)->Arg(50)->Arg(200);
 

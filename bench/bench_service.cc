@@ -1,0 +1,155 @@
+// E10 — concurrent query service throughput (service/query_service.h).
+//
+// Two measured series:
+//  * BM_ServiceQps_Threads: aggregate QPS of the Q1..Q6 mix as the
+//    worker count grows 1 -> 8 (real threads; the interesting shape is
+//    scaling on multi-core hosts — on a single-core container the
+//    series is flat, which is itself the honest result).
+//  * BM_HotVsColdCache: repeated-query latency through the service
+//    with a warm plan cache vs a cold one (cache capacity 1 and
+//    alternating keys force a miss every time), for both engines —
+//    what the compiled-plan cache is for.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+using service::QueryService;
+
+/// One service per (articles, threads), memoized like CorpusStore.
+QueryService& ServiceFor(size_t articles, size_t threads,
+                         size_t max_queue_depth = 1 << 20) {
+  static auto& cache =
+      *new std::map<std::pair<size_t, size_t>,
+                    std::unique_ptr<QueryService>>();
+  auto key = std::make_pair(articles, threads);
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  QueryService::Options options;
+  options.num_threads = threads;
+  options.max_queue_depth = max_queue_depth;
+  auto service = std::make_unique<QueryService>(
+      MutableCorpusStore(articles, /*sections=*/4), options);
+  QueryService& ref = *service;
+  cache[key] = std::move(service);
+  return ref;
+}
+
+/// Aggregate QPS of the whole Q1..Q6 mix, `repeats` rounds per
+/// iteration, fanned out through the pool.
+void BM_ServiceQps_Threads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t articles = 20;
+  QueryService& service = ServiceFor(articles, threads);
+  // Warm the plan cache so the series measures execution concurrency,
+  // not first-compile cost.
+  for (const NamedQuery& q : PaperQueryMix()) {
+    auto r = service.ExecuteSync(q.text);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  const int repeats = 4;
+  size_t queries = 0;
+  for (auto _ : state) {
+    std::vector<std::future<Result<om::Value>>> futures;
+    futures.reserve(repeats * PaperQueryMix().size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (const NamedQuery& q : PaperQueryMix()) {
+        futures.push_back(service.Execute(q.text));
+      }
+    }
+    for (auto& f : futures) {
+      if (!f.get().ok()) {
+        state.SkipWithError("query failed");
+        return;
+      }
+    }
+    queries += futures.size();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceQps_Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Repeated-query latency with a warm cache (hits every time).
+void BM_HotCache(benchmark::State& state, oql::Engine engine) {
+  DocumentStore& store = MutableCorpusStore(20, 4);
+  QueryService::Options options;
+  options.num_threads = 1;
+  QueryService service(store, options);
+  QueryService::QueryOptions qo;
+  qo.engine = engine;
+  const std::string q = PaperQueryText("Q3_AllTitlesOfOneDocument");
+  (void)service.ExecuteSync(q, qo);  // warm-up: populate the cache
+  for (auto _ : state) {
+    auto r = service.ExecuteSync(q, qo);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(service.plan_cache().hits());
+}
+
+/// The same query with every execution forced to re-prepare: capacity-1
+/// cache thrashed by alternating a second key in between.
+void BM_ColdCache(benchmark::State& state, oql::Engine engine) {
+  DocumentStore& store = MutableCorpusStore(20, 4);
+  QueryService::Options options;
+  options.num_threads = 1;
+  options.plan_cache_capacity = 1;
+  QueryService service(store, options);
+  QueryService::QueryOptions qo;
+  qo.engine = engine;
+  const std::string q = PaperQueryText("Q3_AllTitlesOfOneDocument");
+  const std::string evictor = PaperQueryText("Q6_PositionComparison");
+  for (auto _ : state) {
+    auto r = service.ExecuteSync(q, qo);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    (void)service.ExecuteSync(evictor, qo);  // evicts q's plan
+    state.ResumeTiming();
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(service.plan_cache().hits());
+}
+
+void BM_HotCache_Naive(benchmark::State& state) {
+  BM_HotCache(state, oql::Engine::kNaive);
+}
+void BM_ColdCache_Naive(benchmark::State& state) {
+  BM_ColdCache(state, oql::Engine::kNaive);
+}
+void BM_HotCache_Algebraic(benchmark::State& state) {
+  BM_HotCache(state, oql::Engine::kAlgebraic);
+}
+void BM_ColdCache_Algebraic(benchmark::State& state) {
+  BM_ColdCache(state, oql::Engine::kAlgebraic);
+}
+BENCHMARK(BM_HotCache_Naive);
+BENCHMARK(BM_ColdCache_Naive);
+BENCHMARK(BM_HotCache_Algebraic);
+BENCHMARK(BM_ColdCache_Algebraic);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+BENCHMARK_MAIN();

@@ -5,9 +5,12 @@
 #ifndef SGMLQDB_BENCH_BENCH_UTIL_H_
 #define SGMLQDB_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/document_store.h"
 #include "corpus/generator.h"
@@ -15,8 +18,49 @@
 
 namespace sgmlqdb::bench {
 
-/// A corpus-backed store, memoized by (articles, sections).
-inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
+/// The paper's example queries Q1..Q6 in our concrete syntax, shared
+/// by bench_queries (per-query latency, E2) and bench_service (mixed
+/// workload throughput, E10). The first corpus document is bound to
+/// "doc0" for the single-document queries.
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
+
+inline const std::vector<NamedQuery>& PaperQueryMix() {
+  static const std::vector<NamedQuery>& mix = *new std::vector<NamedQuery>{
+      {"Q1_TitleAndFirstAuthor",
+       "select tuple (t: a.title, f_author: first(a.authors)) "
+       "from a in Articles, s in a.sections "
+       "where s.title contains (\"SGML\" or \"query\")"},
+      {"Q2_SubsectionsContaining",
+       "select text(ss) from a in Articles, s in a.sections, "
+       "ss in s.subsectns where ss contains (\"complex\" and \"object\")"},
+      {"Q3_AllTitlesOfOneDocument", "select t from doc0 .. title(t)"},
+      {"Q4_StructuralDiff", "doc0 PATH_p - doc0 PATH_q"},
+      {"Q5_AttributeGrep",
+       "select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
+       "where val contains (\"final\")"},
+      {"Q6_PositionComparison",
+       "select a from a in Articles, "
+       "i in positions(a, \"abstract\"), "
+       "j in positions(a, \"sections\") where i < j"},
+  };
+  return mix;
+}
+
+inline const char* PaperQueryText(const char* name) {
+  for (const NamedQuery& q : PaperQueryMix()) {
+    if (std::string_view(q.name) == name) return q.text;
+  }
+  std::abort();
+}
+
+/// A corpus-backed store, memoized by (articles, sections). Mutable so
+/// the service benchmark can hand it to a QueryService (which freezes
+/// it — corpora are fully loaded by construction, so the memoized
+/// store stays valid for every later case).
+inline DocumentStore& MutableCorpusStore(size_t articles, size_t sections) {
   static auto& cache =
       *new std::map<std::pair<size_t, size_t>,
                     std::unique_ptr<DocumentStore>>();
@@ -40,9 +84,13 @@ inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
     }
     first = false;
   }
-  const DocumentStore& ref = *store;
+  DocumentStore& ref = *store;
   cache[key] = std::move(store);
   return ref;
+}
+
+inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
+  return MutableCorpusStore(articles, sections);
 }
 
 /// The raw SGML texts of a memoized corpus (for parse/storage

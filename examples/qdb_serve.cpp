@@ -1,0 +1,101 @@
+// qdb_serve: the serving story end to end. Loads a generated corpus
+// into a DocumentStore, freezes it behind a QueryService, fires a
+// mixed Q1..Q6-style workload at it from the pool, and prints the
+// per-query stats report (latency histogram summary, cache hit rates,
+// rows, union branch counts).
+//
+//   ./build/examples/qdb_serve [articles] [threads] [rounds]
+//   (defaults: 20 articles, 4 threads, 50 rounds of the 6-query mix)
+
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+
+int main(int argc, char** argv) {
+  using sgmlqdb::Result;
+  const size_t articles = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const size_t threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  const size_t rounds = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 50;
+
+  // -- Load phase (single-threaded, mutating) -------------------------
+  sgmlqdb::DocumentStore store;
+  if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  sgmlqdb::corpus::ArticleParams params;
+  params.sections = 4;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  bool first = true;
+  for (const std::string& article :
+       sgmlqdb::corpus::GenerateCorpus(articles, params)) {
+    if (auto r = store.LoadDocument(article, first ? "doc0" : ""); !r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    first = false;
+  }
+  std::cout << "loaded " << articles << " articles ("
+            << store.db().object_count() << " objects)\n";
+
+  // -- Serve phase (store frozen, concurrent) -------------------------
+  sgmlqdb::service::QueryService::Options options;
+  options.num_threads = threads;
+  options.max_queue_depth = 1024;
+  sgmlqdb::service::QueryService service(store, options);
+  std::cout << "serving on " << service.num_threads()
+            << " threads (store frozen: " << std::boolalpha
+            << store.frozen() << ")\n";
+
+  const std::vector<std::pair<std::string, sgmlqdb::oql::Engine>> mix = {
+      {"select tuple (t: a.title, f_author: first(a.authors)) "
+       "from a in Articles, s in a.sections "
+       "where s.title contains (\"SGML\" or \"query\")",
+       sgmlqdb::oql::Engine::kNaive},
+      {"select text(ss) from a in Articles, s in a.sections, "
+       "ss in s.subsectns where ss contains (\"complex\" and \"object\")",
+       sgmlqdb::oql::Engine::kNaive},
+      {"select t from doc0 .. title(t)", sgmlqdb::oql::Engine::kAlgebraic},
+      {"doc0 PATH_p - doc0 PATH_q", sgmlqdb::oql::Engine::kNaive},
+      {"select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
+       "where val contains (\"final\")",
+       sgmlqdb::oql::Engine::kAlgebraic},
+      {"select a from a in Articles, i in positions(a, \"abstract\"), "
+       "j in positions(a, \"sections\") where i < j",
+       sgmlqdb::oql::Engine::kNaive},
+  };
+
+  std::vector<std::future<Result<sgmlqdb::om::Value>>> inflight;
+  inflight.reserve(rounds * mix.size());
+  for (size_t round = 0; round < rounds; ++round) {
+    for (const auto& [text, engine] : mix) {
+      sgmlqdb::service::QueryService::QueryOptions qo;
+      qo.engine = engine;
+      inflight.push_back(service.Execute(text, qo));
+    }
+  }
+  size_t ok = 0, rejected = 0, failed = 0;
+  for (auto& f : inflight) {
+    Result<sgmlqdb::om::Value> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else if (r.status().code() == sgmlqdb::StatusCode::kUnavailable) {
+      ++rejected;
+    } else {
+      std::cerr << "query failed: " << r.status() << "\n";
+      ++failed;
+    }
+  }
+  service.Shutdown();
+  std::cout << ok << " ok, " << rejected << " rejected (admission), "
+            << failed << " failed\n\n";
+  std::cout << service.stats().Report();
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the service
+# layer re-built and re-run under ThreadSanitizer (the thread pool,
+# plan cache and query service are the only concurrent code; TSan
+# race-checks them against the frozen-store read path).
+#
+#   bash scripts/tier1.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" --target service_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService'

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotFound,          // missing class, attribute, name, oid...
   kConstraintViolation,
   kUnsupported,       // feature intentionally out of scope
+  kUnavailable,       // transient overload; retry later (admission control)
   kInternal,          // invariant broken inside the library
 };
 
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Unsupported(std::string m) {
     return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

@@ -9,6 +9,10 @@
 namespace sgmlqdb {
 
 Status DocumentStore::LoadDtd(std::string_view dtd_text) {
+  if (frozen()) {
+    return Status::Unavailable("store is frozen: LoadDtd is not allowed "
+                               "after serving starts");
+  }
   if (dtd_.has_value()) {
     return Status::InvalidArgument("a DTD is already loaded");
   }
@@ -22,6 +26,10 @@ Status DocumentStore::LoadDtd(std::string_view dtd_text) {
 
 Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
                                                  std::string_view name) {
+  if (frozen()) {
+    return Status::Unavailable("store is frozen: LoadDocument is not "
+                               "allowed after serving starts");
+  }
   if (!dtd_.has_value()) {
     return Status::InvalidArgument("load a DTD first");
   }
@@ -55,8 +63,21 @@ Result<om::Value> DocumentStore::Query(std::string_view statement,
   return Query(statement, options);
 }
 
+Status DocumentStore::ValidateOptions(const QueryOptions& options) {
+  if (options.engine == oql::Engine::kAlgebraic &&
+      options.semantics == path::PathSemantics::kLiberal) {
+    return Status::InvalidArgument(
+        "liberal path semantics is only supported by the naive engine: "
+        "the algebraic expansion (paper §5.4) requires the restricted "
+        "semantics' schema-bounded path sets; use Engine::kNaive or "
+        "PathSemantics::kRestricted");
+  }
+  return Status::OK();
+}
+
 Result<om::Value> DocumentStore::Query(std::string_view statement,
                                        const QueryOptions& options) const {
+  SGMLQDB_RETURN_IF_ERROR(ValidateOptions(options));
   if (db_ == nullptr) {
     return Status::InvalidArgument("load a DTD first");
   }

@@ -14,6 +14,7 @@
 #ifndef SGMLQDB_CORE_DOCUMENT_STORE_H_
 #define SGMLQDB_CORE_DOCUMENT_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,16 +51,29 @@ class DocumentStore {
     oql::Engine engine = oql::Engine::kNaive;
     /// Path-variable interpretation (§5.2). The liberal semantics is
     /// what the paper prescribes for hypertext navigation; it is only
-    /// honored by the naive engine (the algebraic expansion is defined
-    /// for the restricted semantics).
+    /// defined for the naive engine (the algebraic expansion needs the
+    /// restricted semantics), and Query rejects the combination with
+    /// the algebraic engine as InvalidArgument.
     path::PathSemantics semantics = path::PathSemantics::kRestricted;
   };
+
+  /// Validates an engine/semantics combination: the liberal semantics
+  /// is only defined for the naive engine (the §5.4 expansion needs
+  /// the restricted semantics' finite, schema-derivable path sets).
+  static Status ValidateOptions(const QueryOptions& options);
 
   /// Executes an extended-O2SQL statement (paper §4).
   Result<om::Value> Query(std::string_view oql,
                           oql::Engine engine = oql::Engine::kNaive) const;
   Result<om::Value> Query(std::string_view oql,
                           const QueryOptions& options) const;
+
+  /// Marks the store immutable: after Freeze(), LoadDtd/LoadDocument
+  /// fail with Unavailable. This is the handshake the concurrent
+  /// QueryService performs before serving — a frozen store is safe for
+  /// unsynchronized concurrent reads. Idempotent; cannot be undone.
+  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   /// Serializes a loaded document back to SGML (inverse mapping).
   Result<std::string> ExportSgml(om::ObjectId root) const;
@@ -82,6 +96,7 @@ class DocumentStore {
 
  private:
   std::optional<sgml::Dtd> dtd_;
+  std::atomic<bool> frozen_{false};
   std::unique_ptr<om::Database> db_;
   std::map<uint64_t, std::string> element_texts_;
   text::InvertedIndex text_index_;

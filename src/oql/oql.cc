@@ -1,29 +1,58 @@
 #include "oql/oql.h"
 
-#include "algebra/compile.h"
+#include <utility>
+
 #include "oql/parser.h"
 #include "oql/translate.h"
 
 namespace sgmlqdb::oql {
 
-Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,
-                             const om::Schema& schema,
-                             std::string_view statement,
-                             const OqlOptions& options) {
+Result<PreparedStatement> Prepare(const om::Schema& schema,
+                                  std::string_view statement,
+                                  const OqlOptions& options) {
   SGMLQDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   SGMLQDB_ASSIGN_OR_RETURN(Translated t, Translate(schema, stmt));
-  if (!t.is_query) {
-    return calculus::EvaluateClosedTerm(ctx, *t.term);
+  PreparedStatement prepared;
+  prepared.engine = options.engine;
+  prepared.is_query = t.is_query;
+  prepared.query = std::move(t.query);
+  prepared.term = std::move(t.term);
+  if (prepared.is_query && options.engine == Engine::kAlgebraic) {
+    Result<algebra::CompiledQuery> compiled =
+        algebra::CompileQuery(schema, prepared.query);
+    if (compiled.ok()) {
+      prepared.compiled = std::move(compiled).value();
+    } else if (compiled.status().code() != StatusCode::kUnsupported) {
+      return compiled.status();
+    }
+    // Unsupported shapes keep `compiled` empty and execute on the
+    // reference evaluator.
   }
-  if (options.engine == Engine::kAlgebraic) {
-    Result<om::Value> r =
-        algebra::EvaluateAlgebraic(ctx, schema, t.query);
+  return prepared;
+}
+
+Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
+                                  const PreparedStatement& prepared) {
+  if (!prepared.is_query) {
+    return calculus::EvaluateClosedTerm(ctx, *prepared.term);
+  }
+  if (prepared.compiled.has_value()) {
+    Result<om::Value> r = algebra::ExecuteCompiled(ctx, *prepared.compiled);
     if (r.ok() || r.status().code() != StatusCode::kUnsupported) {
       return r;
     }
     // Fall back to the reference evaluator for unsupported shapes.
   }
-  return calculus::EvaluateQuery(ctx, t.query);
+  return calculus::EvaluateQuery(ctx, prepared.query);
+}
+
+Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,
+                             const om::Schema& schema,
+                             std::string_view statement,
+                             const OqlOptions& options) {
+  SGMLQDB_ASSIGN_OR_RETURN(PreparedStatement prepared,
+                           Prepare(schema, statement, options));
+  return ExecutePrepared(ctx, prepared);
 }
 
 }  // namespace sgmlqdb::oql

@@ -1,12 +1,21 @@
 // Public entry point for the extended O2SQL language (paper §4):
 // parse, typecheck/translate to the calculus, evaluate with either the
 // naive reference evaluator or the §5.4 algebraic engine.
+//
+// The pipeline is split into a *prepare* step (parse -> typecheck ->
+// translate -> optionally compile to the algebra) producing a reusable
+// PreparedStatement, and an *execute* step that only touches data.
+// Preparation depends on the schema alone, so a PreparedStatement can
+// be cached and shared across threads (it is immutable after Prepare);
+// the service layer's plan cache is built on exactly this split.
 
 #ifndef SGMLQDB_OQL_OQL_H_
 #define SGMLQDB_OQL_OQL_H_
 
+#include <optional>
 #include <string_view>
 
+#include "algebra/compile.h"
 #include "base/status.h"
 #include "calculus/eval.h"
 #include "om/schema.h"
@@ -23,8 +32,44 @@ struct OqlOptions {
   Engine engine = Engine::kNaive;
 };
 
-/// Executes an OQL statement. Select queries return a set (of values,
-/// or of head tuples); bare expressions return their value.
+/// The cacheable artifact of the parse -> calculus -> algebra front
+/// half of the pipeline. Immutable once built; safe to share across
+/// threads executing concurrently.
+struct PreparedStatement {
+  Engine engine = Engine::kNaive;
+  /// True for select-from-where statements (calculus queries); false
+  /// for bare expressions (closed data terms).
+  bool is_query = false;
+  /// The translated calculus query (the naive engine's input, and the
+  /// algebraic engine's fallback for non-compilable shapes).
+  calculus::Query query;
+  /// The closed term of a bare expression (is_query == false).
+  calculus::DataTermPtr term;
+  /// The §5.4 plan, present iff engine == kAlgebraic and the query is
+  /// inside the compilable fragment.
+  std::optional<algebra::CompiledQuery> compiled;
+
+  /// Union branches of the algebraic expansion (0 when not compiled).
+  size_t branch_count() const {
+    return compiled.has_value() ? compiled->branch_count : 0;
+  }
+};
+
+/// Runs the data-independent front half: parse, typecheck, translate,
+/// and — for the algebraic engine — compile. A query outside the
+/// compilable fragment prepares with `compiled` empty (execution falls
+/// back to the reference evaluator, as before).
+Result<PreparedStatement> Prepare(const om::Schema& schema,
+                                  std::string_view statement,
+                                  const OqlOptions& options = {});
+
+/// Runs a prepared statement against the data in `ctx`.
+Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
+                                  const PreparedStatement& prepared);
+
+/// Executes an OQL statement (Prepare + ExecutePrepared). Select
+/// queries return a set (of values, or of head tuples); bare
+/// expressions return their value.
 Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,
                              const om::Schema& schema,
                              std::string_view statement,

@@ -1,0 +1,79 @@
+// An LRU cache of prepared statements, keyed by (query text, engine,
+// path semantics). Preparation (parse -> typecheck -> translate ->
+// §5.4 compile) depends only on the schema, which is immutable once
+// the store is frozen, so entries never go stale; repeated queries
+// skip straight to execution. Entries are shared_ptr<const ...>: a hit
+// can be executed while another thread evicts it.
+//
+// Naive-engine entries cache the translated calculus query (no plan);
+// algebraic entries additionally carry the compiled union-of-plans.
+
+#ifndef SGMLQDB_SERVICE_PLAN_CACHE_H_
+#define SGMLQDB_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "oql/oql.h"
+#include "path/path.h"
+
+namespace sgmlqdb::service {
+
+struct PlanKey {
+  std::string text;
+  oql::Engine engine = oql::Engine::kNaive;
+  path::PathSemantics semantics = path::PathSemantics::kRestricted;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    return std::tie(a.text, a.engine, a.semantics) <
+           std::tie(b.text, b.engine, b.semantics);
+  }
+};
+
+class PlanCache {
+ public:
+  /// `capacity` = max resident entries (>= 1).
+  explicit PlanCache(size_t capacity);
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached statement, or nullptr on miss. A hit moves the entry
+  /// to most-recently-used.
+  std::shared_ptr<const oql::PreparedStatement> Get(const PlanKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// one when full.
+  void Put(const PlanKey& key,
+           std::shared_ptr<const oql::PreparedStatement> prepared);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::shared_ptr<const oql::PreparedStatement> prepared;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::map<PlanKey, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace sgmlqdb::service
+
+#endif  // SGMLQDB_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,132 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace sgmlqdb::service {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::future<Result<om::Value>> ReadyFuture(Status status) {
+  std::promise<Result<om::Value>> promise;
+  promise.set_value(Result<om::Value>(std::move(status)));
+  return promise.get_future();
+}
+
+size_t RowsOf(const Result<om::Value>& r) {
+  if (!r.ok()) return 0;
+  om::ValueKind kind = r->kind();
+  if (kind == om::ValueKind::kSet || kind == om::ValueKind::kList) {
+    return r->size();
+  }
+  return 1;  // a bare expression's scalar/tuple result
+}
+
+}  // namespace
+
+QueryService::QueryService(DocumentStore& store)
+    : QueryService(store, Options{}) {}
+
+QueryService::QueryService(DocumentStore& store, const Options& options)
+    : store_(store),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity),
+      pool_(ResolveThreads(options.num_threads)) {
+  store.Freeze();
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  serving_.store(false);
+  pool_.Shutdown();
+}
+
+std::future<Result<om::Value>> QueryService::Execute(
+    std::string oql, const QueryOptions& options) {
+  if (!serving_.load()) {
+    return ReadyFuture(Status::Unavailable("query service is shut down"));
+  }
+  Status valid = DocumentStore::ValidateOptions(options);
+  if (!valid.ok()) return ReadyFuture(std::move(valid));
+  // Admission control: reserve a slot or fail fast. The CAS loop keeps
+  // the count exact under concurrent admission.
+  size_t depth = inflight_.load();
+  do {
+    if (depth >= options_.max_queue_depth) {
+      stats_.RecordRejected();
+      return ReadyFuture(Status::Unavailable(
+          "query service overloaded: " + std::to_string(depth) +
+          " statements in flight (max_queue_depth=" +
+          std::to_string(options_.max_queue_depth) + "); retry later"));
+    }
+  } while (!inflight_.compare_exchange_weak(depth, depth + 1));
+  return pool_.Submit(
+      [this, oql = std::move(oql), options]() -> Result<om::Value> {
+        Result<om::Value> r = RunOne(oql, options);
+        inflight_.fetch_sub(1);
+        return r;
+      });
+}
+
+Result<om::Value> QueryService::ExecuteSync(std::string oql,
+                                            const QueryOptions& options) {
+  return Execute(std::move(oql), options).get();
+}
+
+std::vector<Result<om::Value>> QueryService::ExecuteBatch(
+    const std::vector<std::string>& oqls, const QueryOptions& options) {
+  std::vector<std::future<Result<om::Value>>> futures;
+  futures.reserve(oqls.size());
+  for (const std::string& oql : oqls) {
+    futures.push_back(Execute(oql, options));
+  }
+  std::vector<Result<om::Value>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) {
+    results.push_back(f.get());
+  }
+  return results;
+}
+
+Result<om::Value> QueryService::RunOne(const std::string& oql,
+                                       const QueryOptions& options) {
+  if (!store_.has_dtd()) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  PlanKey key{oql, options.engine, options.semantics};
+  std::shared_ptr<const oql::PreparedStatement> prepared =
+      plan_cache_.Get(key);
+  const bool cache_hit = prepared != nullptr;
+  Result<om::Value> result = [&]() -> Result<om::Value> {
+    if (!cache_hit) {
+      oql::OqlOptions oql_options;
+      oql_options.engine = options.engine;
+      Result<oql::PreparedStatement> p =
+          oql::Prepare(store_.schema(), oql, oql_options);
+      if (!p.ok()) return p.status();
+      prepared = std::make_shared<const oql::PreparedStatement>(
+          std::move(p).value());
+      plan_cache_.Put(key, prepared);
+    }
+    calculus::EvalContext ctx = store_.eval_context();
+    ctx.semantics = options.semantics;
+    return oql::ExecutePrepared(ctx, *prepared);
+  }();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  stats_.RecordExecution(oql, static_cast<uint64_t>(micros.count()),
+                         result.ok(), cache_hit, RowsOf(result),
+                         prepared == nullptr ? 0 : prepared->branch_count());
+  return result;
+}
+
+}  // namespace sgmlqdb::service

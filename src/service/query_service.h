@@ -1,0 +1,105 @@
+// QueryService: the concurrent front door over a frozen DocumentStore.
+//
+// The store is loaded single-threaded (the paper's load pipeline is
+// mutating), then handed to a QueryService which Freeze()s it — from
+// that point the store is immutable and unsynchronized concurrent
+// reads are safe. The service adds what a serving deployment needs on
+// top of DocumentStore::Query:
+//   * a fixed thread pool executing statements concurrently,
+//   * an LRU compiled-plan cache so repeated queries skip the
+//     parse -> typecheck -> translate -> §5.4-compile front half,
+//   * admission control — beyond `max_queue_depth` in-flight queries,
+//     Execute fails fast with Status::Unavailable instead of queueing
+//     unboundedly,
+//   * per-query latency/row/cache statistics (stats().Report()).
+//
+// Usage:
+//
+//   sgmlqdb::DocumentStore store;            // load DTD + documents...
+//   sgmlqdb::service::QueryService svc(store, {.num_threads = 8});
+//   auto f = svc.Execute("select t from doc0 .. title(t)");
+//   Result<om::Value> rows = f.get();
+
+#ifndef SGMLQDB_SERVICE_QUERY_SERVICE_H_
+#define SGMLQDB_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/document_store.h"
+#include "service/plan_cache.h"
+#include "service/stats.h"
+#include "service/thread_pool.h"
+
+namespace sgmlqdb::service {
+
+class QueryService {
+ public:
+  struct Options {
+    /// Worker threads (0 = one per hardware thread).
+    size_t num_threads = 0;
+    /// Resident prepared statements.
+    size_t plan_cache_capacity = 128;
+    /// In-flight (queued + executing) limit; above it Execute returns
+    /// Status::Unavailable.
+    size_t max_queue_depth = 256;
+  };
+
+  using QueryOptions = DocumentStore::QueryOptions;
+
+  /// Freezes `store` (no LoadDocument afterwards) and starts serving.
+  explicit QueryService(DocumentStore& store);
+  QueryService(DocumentStore& store, const Options& options);
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+  ~QueryService();  // Shutdown()
+
+  /// Submits one statement; the future resolves to its result. Fails
+  /// fast (a ready future) with Unavailable when the service is shut
+  /// down, over `max_queue_depth`, or the options are invalid
+  /// (InvalidArgument — e.g. liberal semantics + algebraic engine).
+  std::future<Result<om::Value>> Execute(std::string oql,
+                                         const QueryOptions& options = {});
+
+  /// Execute + wait.
+  Result<om::Value> ExecuteSync(std::string oql,
+                                const QueryOptions& options = {});
+
+  /// Submits a batch and waits for all; results are positional.
+  /// Statements over the admission limit fail with Unavailable (the
+  /// batch is admitted statement-by-statement, not atomically).
+  std::vector<Result<om::Value>> ExecuteBatch(
+      const std::vector<std::string>& oqls,
+      const QueryOptions& options = {});
+
+  /// Graceful shutdown: stops admission, drains in-flight queries,
+  /// joins workers. Idempotent.
+  void Shutdown();
+
+  const DocumentStore& store() const { return store_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const ServiceStats& stats() const { return stats_; }
+  size_t num_threads() const { return pool_.size(); }
+  size_t inflight() const { return inflight_.load(); }
+
+ private:
+  /// The worker-side path: cache lookup / prepare, execute, record.
+  Result<om::Value> RunOne(const std::string& oql,
+                           const QueryOptions& options);
+
+  const DocumentStore& store_;
+  const Options options_;
+  PlanCache plan_cache_;
+  ServiceStats stats_;
+  std::atomic<bool> serving_{true};
+  std::atomic<size_t> inflight_{0};
+  ThreadPool pool_;  // last member: workers die before the rest
+};
+
+}  // namespace sgmlqdb::service
+
+#endif  // SGMLQDB_SERVICE_QUERY_SERVICE_H_

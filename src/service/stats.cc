@@ -1,0 +1,143 @@
+#include "service/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sgmlqdb::service {
+
+namespace {
+
+size_t BucketFor(uint64_t micros) {
+  size_t b = 0;
+  while ((uint64_t{2} << b) <= micros &&
+         b + 1 < LatencyHistogram::kBuckets) {
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  ++buckets_[BucketFor(micros)];
+  ++count_;
+  total_micros_ += micros;
+  min_micros_ = std::min(min_micros_, micros);
+  max_micros_ = std::max(max_micros_, micros);
+}
+
+uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank >= count_) rank = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return uint64_t{2} << i;
+  }
+  return max_micros_;
+}
+
+void ServiceStats::RecordExecution(std::string_view query,
+                                   uint64_t latency_micros, bool ok,
+                                   bool cache_hit, size_t rows,
+                                   size_t branch_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_query_.find(query);
+  if (it == per_query_.end()) {
+    it = per_query_.emplace(std::string(query), QueryStats{}).first;
+  }
+  QueryStats& qs = it->second;
+  qs.latency.Record(latency_micros);
+  ++qs.executions;
+  if (!ok) ++qs.errors;
+  if (cache_hit) {
+    ++qs.cache_hits;
+  } else {
+    ++qs.cache_misses;
+  }
+  qs.rows_returned += rows;
+  qs.branch_count = branch_count;
+}
+
+void ServiceStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+uint64_t ServiceStats::total_executions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.executions;
+  return n;
+}
+
+uint64_t ServiceStats::total_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.errors;
+  return n;
+}
+
+uint64_t ServiceStats::total_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+uint64_t ServiceStats::total_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.cache_hits;
+  return n;
+}
+
+uint64_t ServiceStats::total_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.cache_misses;
+  return n;
+}
+
+QueryStats ServiceStats::Snapshot(std::string_view query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_query_.find(query);
+  if (it == per_query_.end()) return QueryStats{};
+  return it->second;
+}
+
+std::string ServiceStats::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t execs = 0, errors = 0, hits = 0, misses = 0;
+  for (const auto& [_, qs] : per_query_) {
+    execs += qs.executions;
+    errors += qs.errors;
+    hits += qs.cache_hits;
+    misses += qs.cache_misses;
+  }
+  std::ostringstream out;
+  out << "=== query service stats ===\n";
+  out << "executions: " << execs << "  errors: " << errors
+      << "  rejected: " << rejected_ << "\n";
+  out << "plan cache: " << hits << " hits / " << misses << " misses";
+  if (hits + misses > 0) {
+    out << " (" << (100 * hits / (hits + misses)) << "% hit rate)";
+  }
+  out << "\n";
+  for (const auto& [text, qs] : per_query_) {
+    const LatencyHistogram& h = qs.latency;
+    uint64_t mean = h.count() == 0 ? 0 : h.total_micros() / h.count();
+    out << "--- " << text << "\n";
+    out << "    n=" << qs.executions << " err=" << qs.errors
+        << " hit=" << qs.cache_hits << "/" << (qs.cache_hits + qs.cache_misses)
+        << " rows=" << qs.rows_returned
+        << " branches=" << qs.branch_count << "\n";
+    out << "    latency us: min=" << h.min_micros() << " mean=" << mean
+        << " p50<=" << h.QuantileUpperBound(0.5)
+        << " p99<=" << h.QuantileUpperBound(0.99)
+        << " max=" << h.max_micros() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sgmlqdb::service

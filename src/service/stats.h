@@ -1,0 +1,86 @@
+// Per-query execution statistics for the service layer: latency
+// histograms (log2-microsecond buckets), cache hit/miss counts, rows
+// returned, and the §5.4 union branch_count, aggregated per query
+// text and dumpable as a text report. All methods are thread-safe.
+
+#ifndef SGMLQDB_SERVICE_STATS_H_
+#define SGMLQDB_SERVICE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sgmlqdb::service {
+
+/// A fixed-bucket log2 latency histogram: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds (bucket 0 is [0, 2)); the last bucket
+/// is open-ended.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 24;  // up to ~8.4 s
+
+  void Record(uint64_t micros);
+  uint64_t count() const { return count_; }
+  uint64_t total_micros() const { return total_micros_; }
+  uint64_t min_micros() const { return count_ == 0 ? 0 : min_micros_; }
+  uint64_t max_micros() const { return max_micros_; }
+  /// Upper bound (µs) of the bucket containing quantile q in [0,1].
+  uint64_t QuantileUpperBound(double q) const;
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_micros_ = 0;
+  uint64_t min_micros_ = ~uint64_t{0};
+  uint64_t max_micros_ = 0;
+};
+
+/// One query text's aggregate.
+struct QueryStats {
+  LatencyHistogram latency;
+  uint64_t executions = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t rows_returned = 0;
+  /// branch_count of the compiled plan (0 for naive / bare terms).
+  uint64_t branch_count = 0;
+};
+
+class ServiceStats {
+ public:
+  /// Records one finished execution of `query`.
+  void RecordExecution(std::string_view query, uint64_t latency_micros,
+                       bool ok, bool cache_hit, size_t rows,
+                       size_t branch_count);
+
+  /// Records one admission-control rejection.
+  void RecordRejected();
+
+  uint64_t total_executions() const;
+  uint64_t total_errors() const;
+  uint64_t total_rejected() const;
+  uint64_t total_cache_hits() const;
+  uint64_t total_cache_misses() const;
+
+  /// Snapshot of one query's stats (zeros if never seen).
+  QueryStats Snapshot(std::string_view query) const;
+
+  /// A human-readable report: global counters, then one block per
+  /// query with count / error / hit-rate / rows / branches and
+  /// min / mean / p50 / p99 / max latency.
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, QueryStats, std::less<>> per_query_;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sgmlqdb::service
+
+#endif  // SGMLQDB_SERVICE_STATS_H_

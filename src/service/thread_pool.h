@@ -1,0 +1,69 @@
+// A small fixed thread pool (no work stealing: one shared FIFO queue,
+// which is all the query service needs — tasks are coarse, a whole
+// query each). Submit() returns a std::future for the task's result;
+// Shutdown() is graceful: it stops admission, drains every task
+// already queued, and joins the workers, so no accepted future is ever
+// abandoned.
+
+#ifndef SGMLQDB_SERVICE_THREAD_POOL_H_
+#define SGMLQDB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sgmlqdb::service {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();  // Shutdown()
+
+  /// Schedules `fn` and returns a future for its result. If the pool
+  /// is already shut down the task runs inline on the caller's thread
+  /// (the future is still valid) — callers that care gate on their own
+  /// serving flag before submitting.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> Submit(F&& fn) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!Enqueue([task] { (*task)(); })) (*task)();
+    return future;
+  }
+
+  /// Graceful shutdown: no new tasks, queued tasks all run, workers
+  /// join. Idempotent; called by the destructor.
+  void Shutdown();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Tasks accepted but not yet finished (queued + running).
+  size_t pending() const;
+
+ private:
+  /// Queues a task; false once shutdown has begun.
+  bool Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sgmlqdb::service
+
+#endif  // SGMLQDB_SERVICE_THREAD_POOL_H_

@@ -82,5 +82,60 @@ TEST(DocumentStoreTest, BothEnginesAnswerQueries) {
   }
 }
 
+TEST(DocumentStoreTest, LiberalSemanticsRejectedByAlgebraicEngine) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  DocumentStore::QueryOptions options;
+  options.engine = oql::Engine::kAlgebraic;
+  options.semantics = path::PathSemantics::kLiberal;
+  auto r = store.Query("select t from d .. title(t)", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("liberal"), std::string::npos)
+      << "error should name the offending combination: " << r.status();
+  // The same statement passes with either half of the combination.
+  options.engine = oql::Engine::kNaive;
+  EXPECT_TRUE(store.Query("select t from d .. title(t)", options).ok());
+  options.engine = oql::Engine::kAlgebraic;
+  options.semantics = path::PathSemantics::kRestricted;
+  EXPECT_TRUE(store.Query("select t from d .. title(t)", options).ok());
+}
+
+TEST(DocumentStoreTest, EngineOverloadRoutesThroughOptions) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  // The (oql, engine) overload and an equivalent QueryOptions call
+  // agree (they share one implementation).
+  auto via_engine = store.Query("select t from d .. title(t)",
+                                oql::Engine::kAlgebraic);
+  DocumentStore::QueryOptions options;
+  options.engine = oql::Engine::kAlgebraic;
+  auto via_options = store.Query("select t from d .. title(t)", options);
+  ASSERT_TRUE(via_engine.ok());
+  ASSERT_TRUE(via_options.ok());
+  EXPECT_EQ(*via_engine, *via_options);
+}
+
+TEST(DocumentStoreTest, FreezeForbidsLoads) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  EXPECT_FALSE(store.frozen());
+  store.Freeze();
+  EXPECT_TRUE(store.frozen());
+  auto r = store.LoadDocument(sgml::ArticleDocumentV2Text());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // Queries still work on the frozen store.
+  EXPECT_TRUE(store.Query("select t from d .. title(t)").ok());
+  // And a fresh store cannot load a DTD after freezing either.
+  DocumentStore empty;
+  empty.Freeze();
+  EXPECT_EQ(empty.LoadDtd(sgml::ArticleDtdText()).code(),
+            StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace sgmlqdb

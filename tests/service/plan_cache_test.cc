@@ -1,0 +1,85 @@
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace sgmlqdb::service {
+namespace {
+
+std::shared_ptr<const oql::PreparedStatement> Stmt() {
+  return std::make_shared<const oql::PreparedStatement>();
+}
+
+PlanKey Key(const std::string& text,
+            oql::Engine engine = oql::Engine::kNaive) {
+  PlanKey key;
+  key.text = text;
+  key.engine = engine;
+  return key;
+}
+
+TEST(PlanCacheTest, HitAfterPut) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.Get(Key("q1")), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  auto stmt = Stmt();
+  cache.Put(Key("q1"), stmt);
+  EXPECT_EQ(cache.Get(Key("q1")), stmt);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheTest, KeyIncludesEngineAndSemantics) {
+  PlanCache cache(8);
+  cache.Put(Key("q", oql::Engine::kNaive), Stmt());
+  EXPECT_EQ(cache.Get(Key("q", oql::Engine::kAlgebraic)), nullptr);
+  PlanKey liberal = Key("q", oql::Engine::kNaive);
+  liberal.semantics = path::PathSemantics::kLiberal;
+  EXPECT_EQ(cache.Get(liberal), nullptr);
+  EXPECT_NE(cache.Get(Key("q", oql::Engine::kNaive)), nullptr);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  cache.Put(Key("a"), Stmt());
+  cache.Put(Key("b"), Stmt());
+  ASSERT_NE(cache.Get(Key("a")), nullptr);  // "a" is now MRU
+  cache.Put(Key("c"), Stmt());              // evicts "b"
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get(Key("b")), nullptr);
+  EXPECT_NE(cache.Get(Key("a")), nullptr);
+  EXPECT_NE(cache.Get(Key("c")), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, PutRefreshesExistingKey) {
+  PlanCache cache(2);
+  cache.Put(Key("a"), Stmt());
+  auto replacement = Stmt();
+  cache.Put(Key("a"), replacement);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(Key("a")), replacement);
+}
+
+TEST(PlanCacheTest, ConcurrentMixedUse) {
+  PlanCache cache(8);  // smaller than the key space: eviction churn
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string text = "q" + std::to_string((t + i) % 16);
+        if (cache.Get(Key(text)) == nullptr) {
+          cache.Put(Key(text), Stmt());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 500u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::service

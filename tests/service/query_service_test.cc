@@ -1,0 +1,205 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::service {
+namespace {
+
+using QueryOptions = QueryService::QueryOptions;
+
+/// The workload: a mix of shapes (navigation, contains, paths, diff).
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string>& queries =
+      *new std::vector<std::string>{
+          "select t from d .. title(t)",
+          "select a from a in Articles",
+          "select text(s) from a in Articles, s in a.sections "
+          "where s contains (\"SGML\")",
+          "select name(ATT_a) from d PATH_p.ATT_a(val)",
+          "d PATH_p - d PATH_q",
+      };
+  return queries;
+}
+
+std::unique_ptr<DocumentStore> MakeStore() {
+  auto store = std::make_unique<DocumentStore>();
+  EXPECT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+  EXPECT_TRUE(store->LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  EXPECT_TRUE(store->LoadDocument(sgml::ArticleDocumentV2Text()).ok());
+  return store;
+}
+
+TEST(QueryServiceTest, ConstructionFreezesStore) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  EXPECT_TRUE(store->frozen());
+  auto r = store->LoadDocument(sgml::ArticleDocumentText());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServiceTest, ConcurrentResultsMatchSerial) {
+  auto store = MakeStore();
+  // Serial baseline, computed before freezing semantics matter.
+  std::map<std::string, om::Value> expected;
+  for (const std::string& q : Workload()) {
+    for (oql::Engine engine :
+         {oql::Engine::kNaive, oql::Engine::kAlgebraic}) {
+      auto r = store->Query(q, engine);
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+      auto key = q + (engine == oql::Engine::kNaive ? "#n" : "#a");
+      expected.emplace(key, *r);
+    }
+  }
+  QueryService::Options options;
+  options.num_threads = 4;
+  QueryService service(*store, options);
+  constexpr int kRepeats = 8;
+  std::vector<std::pair<std::string, std::future<Result<om::Value>>>>
+      inflight;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (const std::string& q : Workload()) {
+      for (oql::Engine engine :
+           {oql::Engine::kNaive, oql::Engine::kAlgebraic}) {
+        QueryOptions qo;
+        qo.engine = engine;
+        auto key = q + (engine == oql::Engine::kNaive ? "#n" : "#a");
+        inflight.emplace_back(key, service.Execute(q, qo));
+      }
+    }
+  }
+  for (auto& [key, future] : inflight) {
+    Result<om::Value> r = future.get();
+    ASSERT_TRUE(r.ok()) << key << ": " << r.status();
+    EXPECT_EQ(*r, expected.at(key)) << key;
+  }
+  EXPECT_EQ(service.stats().total_executions(), inflight.size());
+  EXPECT_EQ(service.stats().total_errors(), 0u);
+}
+
+TEST(QueryServiceTest, CacheHitsAfterWarmup) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 2;
+  QueryService service(*store, options);
+  const std::string q = "select t from d .. title(t)";
+  QueryOptions algebraic;
+  algebraic.engine = oql::Engine::kAlgebraic;
+  ASSERT_TRUE(service.ExecuteSync(q, algebraic).ok());  // cold: miss
+  EXPECT_EQ(service.plan_cache().misses(), 1u);
+  EXPECT_EQ(service.plan_cache().hits(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.ExecuteSync(q, algebraic).ok());  // warm
+  }
+  EXPECT_EQ(service.plan_cache().hits(), 5u);
+  EXPECT_EQ(service.plan_cache().misses(), 1u);
+  QueryStats qs = service.stats().Snapshot(q);
+  EXPECT_EQ(qs.executions, 6u);
+  EXPECT_EQ(qs.cache_hits, 5u);
+  EXPECT_EQ(qs.cache_misses, 1u);
+  EXPECT_GT(qs.branch_count, 0u);  // the §5.4 expansion was cached
+  EXPECT_EQ(qs.rows_returned, 6u * 3u);  // 3 titles per execution
+}
+
+TEST(QueryServiceTest, AdmissionControlRejectsWhenSaturated) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 0;  // admit nothing: every call fails fast
+  QueryService service(*store, options);
+  auto r = service.ExecuteSync("select a from a in Articles");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().total_rejected(), 1u);
+  EXPECT_EQ(service.stats().total_executions(), 0u);
+}
+
+TEST(QueryServiceTest, BoundedQueueUnderBurst) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 2;
+  options.max_queue_depth = 4;
+  QueryService service(*store, options);
+  std::vector<std::future<Result<om::Value>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(service.Execute("d PATH_p - d PATH_q"));
+  }
+  size_t ok = 0, unavailable = 0;
+  for (auto& f : futures) {
+    Result<om::Value> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status().code(), StatusCode::kUnavailable) << r.status();
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(ok + unavailable, 64u);
+  EXPECT_GE(ok, 1u);  // at least the queries that fit the queue ran
+  EXPECT_EQ(service.stats().total_rejected(), unavailable);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsInflightQueries) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 2;
+  QueryService service(*store, options);
+  std::vector<std::future<Result<om::Value>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(service.Execute("d PATH_p - d PATH_q"));
+  }
+  service.Shutdown();  // graceful: accepted queries still finish
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  auto after = service.ExecuteSync("select a from a in Articles");
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.inflight(), 0u);
+}
+
+TEST(QueryServiceTest, RejectsLiberalSemanticsWithAlgebraicEngine) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  QueryOptions bad;
+  bad.engine = oql::Engine::kAlgebraic;
+  bad.semantics = path::PathSemantics::kLiberal;
+  auto r = service.ExecuteSync("select t from d .. title(t)", bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, ExecuteBatchIsPositional) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  std::vector<std::string> batch = {
+      "select t from d .. title(t)",
+      "this is not OQL ((",
+      "select a from a in Articles",
+  };
+  std::vector<Result<om::Value>> results = service.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[2]->size(), 2u);
+}
+
+TEST(QueryServiceTest, StatsReportMentionsQueries) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  ASSERT_TRUE(service.ExecuteSync("select a from a in Articles").ok());
+  std::string report = service.stats().Report();
+  EXPECT_NE(report.find("select a from a in Articles"), std::string::npos);
+  EXPECT_NE(report.find("executions: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::service

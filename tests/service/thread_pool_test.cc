@@ -1,0 +1,76 @@
+#include "service/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace sgmlqdb::service {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    pool.Shutdown();  // graceful: every accepted task still runs
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  auto f = pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  // Destructor shuts down a third time.
+}
+
+TEST(ThreadPoolTest, PendingDrainsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }));
+  }
+  for (auto& f : futures) f.get();
+  pool.Shutdown();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::service
