@@ -11,12 +11,13 @@
 namespace sgmlqdb::bench {
 namespace {
 
-void RunQuery(benchmark::State& state, const std::string& query) {
+void RunQuery(benchmark::State& state, const std::string& query,
+              const DocumentStore::QueryOptions& options = {}) {
   const DocumentStore& store =
       CorpusStore(static_cast<size_t>(state.range(0)), /*sections=*/4);
   size_t rows = 0;
   for (auto _ : state) {
-    auto r = store.Query(query);
+    auto r = store.Query(query, options);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
@@ -27,6 +28,7 @@ void RunQuery(benchmark::State& state, const std::string& query) {
   state.counters["rows"] = static_cast<double>(rows);
   state.counters["articles"] = static_cast<double>(state.range(0));
 }
+
 
 void BM_Q1_TitleAndFirstAuthor(benchmark::State& state) {
   RunQuery(state, PaperQueryText("Q1_TitleAndFirstAuthor"));
@@ -61,7 +63,92 @@ void BM_Q6_PositionComparison(benchmark::State& state) {
 }
 BENCHMARK(BM_Q6_PositionComparison)->Arg(10)->Arg(50)->Arg(200);
 
+// E11 — the text-heavy queries on the algebraic engine, optimizer off
+// vs on (index pushdown + filter pushdown + branch pruning). The
+// statement is prepared once outside the timing loop — the serving
+// regime, where the plan cache amortizes the front half — so the
+// series isolates what the rewrites do to execution.
+
+void RunPrepared(benchmark::State& state, const std::string& query,
+                 bool optimize) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), /*sections=*/4);
+  oql::OqlOptions opts;
+  opts.engine = oql::Engine::kAlgebraic;
+  opts.optimize = optimize;
+  auto prepared = oql::Prepare(store.schema(), query, opts);
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
+    return;
+  }
+  calculus::EvalContext ctx = store.eval_context();
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = oql::ExecutePrepared(ctx, *prepared);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows = r->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["articles"] = static_cast<double>(state.range(0));
+}
+
+void BM_Q1_Algebraic_NoOpt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q1_TitleAndFirstAuthor"), false);
+}
+BENCHMARK(BM_Q1_Algebraic_NoOpt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q1_Algebraic_Opt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q1_TitleAndFirstAuthor"), true);
+}
+BENCHMARK(BM_Q1_Algebraic_Opt)->Arg(10)->Arg(50)->Arg(200);
+
+// Q1-style contains with a document-selective pattern: the same plan
+// shape as Q1 (Articles -> sections -> title contains), but the word
+// appears in only ~1 in 8 documents' titles, so the document
+// prefilter's pruning is visible. Q1's own pattern matches a quarter
+// of the corpus, which caps its best possible speedup near 4x.
+constexpr char kQ1SelectiveContains[] =
+    "select tuple (t: a.title, f_author: first(a.authors)) "
+    "from a in Articles, s in a.sections "
+    "where s.title contains (\"recursion\")";
+
+void BM_Q1Selective_Algebraic_NoOpt(benchmark::State& state) {
+  RunPrepared(state, kQ1SelectiveContains, false);
+}
+BENCHMARK(BM_Q1Selective_Algebraic_NoOpt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q1Selective_Algebraic_Opt(benchmark::State& state) {
+  RunPrepared(state, kQ1SelectiveContains, true);
+}
+BENCHMARK(BM_Q1Selective_Algebraic_Opt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q2_Algebraic_NoOpt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q2_SubsectionsContaining"), false);
+}
+BENCHMARK(BM_Q2_Algebraic_NoOpt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q2_Algebraic_Opt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q2_SubsectionsContaining"), true);
+}
+BENCHMARK(BM_Q2_Algebraic_Opt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q5_Algebraic_NoOpt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q5_AttributeGrep"), false);
+}
+BENCHMARK(BM_Q5_Algebraic_NoOpt)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_Q5_Algebraic_Opt(benchmark::State& state) {
+  RunPrepared(state, PaperQueryText("Q5_AttributeGrep"), true);
+}
+BENCHMARK(BM_Q5_Algebraic_Opt)->Arg(10)->Arg(50)->Arg(200);
+
 }  // namespace
 }  // namespace sgmlqdb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sgmlqdb::bench::RunBenchmarks(argc, argv);
+}

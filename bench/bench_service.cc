@@ -152,4 +152,6 @@ BENCHMARK(BM_ColdCache_Algebraic);
 }  // namespace
 }  // namespace sgmlqdb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sgmlqdb::bench::RunBenchmarks(argc, argv);
+}

@@ -5,6 +5,8 @@
 #ifndef SGMLQDB_BENCH_BENCH_UTIL_H_
 #define SGMLQDB_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -17,6 +19,40 @@
 #include "sgml/goldens.h"
 
 namespace sgmlqdb::bench {
+
+/// Benchmark main with a `--json <file>` (or `--json=<file>`)
+/// shorthand that expands to google-benchmark's
+/// --benchmark_out=<file> --benchmark_out_format=json, so
+/// scripts/bench.sh can emit machine-readable BENCH_*.json without
+/// hardcoding the library's flag spelling.
+inline int RunBenchmarks(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" +
+                     std::string(arg.substr(sizeof("--json=") - 1)));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  ::benchmark::Initialize(&argc2, argv2.data());
+  if (::benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
 
 /// The paper's example queries Q1..Q6 in our concrete syntax, shared
 /// by bench_queries (per-query latency, E2) and bench_service (mixed

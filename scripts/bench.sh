@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds the Release benches and writes the E-series
+# results as machine-readable JSON (google-benchmark's JSON reporter,
+# via bench_util.h's --json shorthand):
+#
+#   BENCH_queries.json — E2 per-query latency and E11 optimizer
+#                        on/off series (bench_queries)
+#   BENCH_service.json — E10 service throughput / plan-cache series
+#                        (bench_service)
+#
+#   bash scripts/bench.sh [jobs] [extra benchmark args...]
+#
+# Extra args are passed to both binaries, e.g.
+#   bash scripts/bench.sh 8 --benchmark_min_time=0.5
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+shift || true
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$jobs" --target bench_queries bench_service
+
+./build/bench/bench_queries --json BENCH_queries.json "$@"
+./build/bench/bench_service --json BENCH_service.json "$@"
+
+echo "Wrote BENCH_queries.json and BENCH_service.json"

@@ -15,5 +15,5 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target service_test
-ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService'
+cmake --build build-tsan -j "$jobs" --target service_test algebra_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion'

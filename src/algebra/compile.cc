@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "algebra/static_types.h"
 #include "path/schema_paths.h"
 
 namespace sgmlqdb::algebra {
@@ -93,10 +94,11 @@ class Compiler {
     for (const Variable& v : query.head) head_cols.push_back(v.name);
     std::vector<PlanPtr> projected;
     projected.reserve(branches.size());
+    CompiledQuery out;
     for (Branch& b : branches) {
       projected.push_back(Project(b.plan, head_cols));
+      out.branch_types.push_back(std::move(b.types));
     }
-    CompiledQuery out;
     out.branch_count = branches.size();
     out.plan = Distinct(UnionAll(std::move(projected)));
     out.head = query.head;
@@ -600,14 +602,8 @@ class Compiler {
   }
 
   Type StaticTypeOfTerm(const DataTerm& term, const Branch& b) {
-    if (term.kind() == DataTerm::Kind::kName) {
-      const om::NameDef* def = schema_.FindName(term.root_name());
-      if (def != nullptr) return def->type;
-    }
-    if (term.kind() == DataTerm::Kind::kVariable) {
-      auto it = b.types.find(term.var_name());
-      if (it != b.types.end()) return it->second;
-    }
+    StaticTerm st = AnalyzeTerm(term, b.types, schema_);
+    if (!st.never && st.type.has_value()) return *st.type;
     return Type::Any();
   }
 
@@ -637,9 +633,11 @@ Result<CompiledQuery> CompileQuery(const Schema& schema, const Query& query) {
 }
 
 Result<om::Value> ExecuteCompiled(const calculus::EvalContext& ctx,
-                                  const CompiledQuery& compiled) {
+                                  const CompiledQuery& compiled,
+                                  BranchExecutor* branch_executor) {
   ExecContext ec;
   ec.calculus = &ctx;
+  ec.branch_executor = branch_executor;
   std::vector<Row> rows;
   SGMLQDB_RETURN_IF_ERROR(compiled.plan->Execute(ec, &rows));
   std::vector<Value> elems;

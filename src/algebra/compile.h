@@ -30,6 +30,7 @@
 #include "calculus/eval.h"
 #include "calculus/formula.h"
 #include "om/schema.h"
+#include "om/type.h"
 
 namespace sgmlqdb::algebra {
 
@@ -40,6 +41,10 @@ struct CompiledQuery {
   std::map<std::string, calculus::Sort> sorts;
   /// Number of union branches the expansion produced (E3 reports it).
   size_t branch_count = 0;
+  /// Per-branch static column types from the schema expansion, aligned
+  /// with the UnionAll's branch order. The optimizer's pruning and
+  /// index pushdown consult these; empty for pre-optimizer plans.
+  std::vector<std::map<std::string, om::Type>> branch_types;
 };
 
 /// Compiles a calculus query against a schema. Fails with Unsupported
@@ -49,9 +54,12 @@ Result<CompiledQuery> CompileQuery(const om::Schema& schema,
                                    const calculus::Query& query);
 
 /// Runs a compiled query; result has the same shape as
-/// calculus::EvaluateQuery (set of values / head tuples).
+/// calculus::EvaluateQuery (set of values / head tuples). A non-null
+/// `branch_executor` lets the top-level UnionAll run its branches in
+/// parallel (the result is identical and deterministically ordered).
 Result<om::Value> ExecuteCompiled(const calculus::EvalContext& ctx,
-                                  const CompiledQuery& compiled);
+                                  const CompiledQuery& compiled,
+                                  BranchExecutor* branch_executor = nullptr);
 
 /// Compile + execute.
 Result<om::Value> EvaluateAlgebraic(const calculus::EvalContext& ctx,

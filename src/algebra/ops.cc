@@ -2,29 +2,72 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <set>
+#include <unordered_set>
+
+#include "text/index.h"
+#include "text/query_cache.h"
 
 namespace sgmlqdb::algebra {
 
+using calculus::DataTerm;
 using calculus::Sort;
 using om::Value;
 using om::ValueKind;
 using path::Path;
 using path::PathStep;
 
+Result<std::shared_ptr<const std::vector<Row>>> Memo::GetOrCompute(
+    const Node& node, const ExecContext& ctx) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[&node];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  // The entry lock is held across the compute so a concurrent reader
+  // of the same prefix blocks instead of recomputing. Plans are DAGs,
+  // so nested GetOrCompute calls only ever take locks of descendant
+  // entries — no cycles, no deadlock.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->done) {
+    auto rows = std::make_shared<std::vector<Row>>();
+    entry->status = node.Execute(ctx, rows.get());
+    entry->rows = std::move(rows);
+    entry->done = true;
+  }
+  if (!entry->status.ok()) return entry->status;
+  return entry->rows;
+}
+
+size_t Memo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 Status Node::ExecuteShared(const ExecContext& ctx,
                            std::vector<Row>* out) const {
-  auto it = ctx.memo.find(this);
-  if (it == ctx.memo.end()) {
-    auto rows = std::make_shared<std::vector<Row>>();
-    SGMLQDB_RETURN_IF_ERROR(Execute(ctx, rows.get()));
-    it = ctx.memo.emplace(this, std::move(rows)).first;
-  }
-  out->insert(out->end(), it->second->begin(), it->second->end());
+  SGMLQDB_ASSIGN_OR_RETURN(auto rows, ExecuteSharedRows(ctx));
+  out->reserve(out->size() + rows->size());
+  out->insert(out->end(), rows->begin(), rows->end());
   return Status::OK();
 }
 
+Result<std::shared_ptr<const std::vector<Row>>> Node::ExecuteSharedRows(
+    const ExecContext& ctx) const {
+  return ctx.memo->GetOrCompute(*this, ctx);
+}
+
 namespace {
+
+/// Runs `child`, memoizing when it is a shared union-branch prefix.
+Status ExecuteChild(const PlanPtr& child, const ExecContext& ctx,
+                    std::vector<Row>* out) {
+  if (child.use_count() > 1) return child->ExecuteShared(ctx, out);
+  return child->Execute(ctx, out);
+}
 
 /// Appends a step to a path column (stored as a path value).
 Result<Value> AppendToPathCol(const Value& current, PathStep step) {
@@ -40,6 +83,11 @@ Status ExtendPath(Row* row, const std::string& path_col, PathStep step) {
   SGMLQDB_ASSIGN_OR_RETURN(Value next, AppendToPathCol(current, step));
   (*row)[path_col] = std::move(next);
   return Status::OK();
+}
+
+/// Adds `col` to `out` unless empty.
+void AddCol(std::vector<std::string>* out, const std::string& col) {
+  if (!col.empty()) out->push_back(col);
 }
 
 class RootScanNode : public Node {
@@ -59,6 +107,18 @@ class RootScanNode : public Node {
     return "RootScan " + root_ + " -> " + col_;
   }
 
+  NodeKind kind() const override { return NodeKind::kRootScan; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr>) const override {
+    return std::make_shared<RootScanNode>(root_, col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {col_};
+  }
+
+  const std::string* root_name() const override { return &root_; }
+
  private:
   std::string root_;
   std::string col_;
@@ -71,6 +131,10 @@ class UnitNode : public Node {
     return Status::OK();
   }
   std::string Describe() const override { return "Unit"; }
+  NodeKind kind() const override { return NodeKind::kUnit; }
+  PlanPtr WithChildren(std::vector<PlanPtr>) const override {
+    return std::make_shared<UnitNode>();
+  }
 };
 
 /// Shared base for per-row transforms.
@@ -79,12 +143,20 @@ class UnaryNode : public Node {
   explicit UnaryNode(PlanPtr input) { children_ = {std::move(input)}; }
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
-    std::vector<Row> in;
     if (children_[0].use_count() > 1) {
-      SGMLQDB_RETURN_IF_ERROR(children_[0]->ExecuteShared(ctx, &in));
-    } else {
-      SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+      // Shared prefix: iterate the memoized rows in place — no
+      // per-parent copy of the cached vector.
+      SGMLQDB_ASSIGN_OR_RETURN(auto rows,
+                               children_[0]->ExecuteSharedRows(ctx));
+      out->reserve(out->size() + rows->size());
+      for (const Row& row : *rows) {
+        SGMLQDB_RETURN_IF_ERROR(Transform(ctx, row, out));
+      }
+      return Status::OK();
     }
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    out->reserve(out->size() + in.size());
     for (Row& row : in) {
       SGMLQDB_RETURN_IF_ERROR(Transform(ctx, std::move(row), out));
     }
@@ -124,6 +196,25 @@ class AttrStepNode : public UnaryNode {
     return "AttrStep " + col_ + " ." + attr_ + " -> " + out_;
   }
 
+  NodeKind kind() const override { return NodeKind::kAttrStep; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<AttrStepNode>(std::move(children[0]), col_,
+                                          attr_, out_, path_col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    std::vector<std::string> out = {out_};
+    AddCol(&out, path_col_);
+    return out;
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = col_;
+    *out = out_;
+    return true;
+  }
+
  private:
   std::string col_, attr_, out_, path_col_;
 };
@@ -155,6 +246,25 @@ class DerefStepNode : public UnaryNode {
     return "DerefStep " + col_ + " -> " + out_;
   }
 
+  NodeKind kind() const override { return NodeKind::kDerefStep; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<DerefStepNode>(std::move(children[0]), col_,
+                                           out_, path_col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    std::vector<std::string> out = {out_};
+    AddCol(&out, path_col_);
+    return out;
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = col_;
+    *out = out_;
+    return true;
+  }
+
  private:
   std::string col_, out_, path_col_;
 };
@@ -184,6 +294,13 @@ class ClassFilterNode : public UnaryNode {
     return "ClassFilter " + col_ + " : " + class_;
   }
 
+  NodeKind kind() const override { return NodeKind::kClassFilter; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<ClassFilterNode>(std::move(children[0]), col_,
+                                             class_);
+  }
+
  private:
   std::string col_, class_;
 };
@@ -207,6 +324,7 @@ class UnnestListNode : public UnaryNode {
                      ? it->second.AsHeterogeneousList()
                      : it->second;
     if (list.kind() != ValueKind::kList) return Status::OK();
+    out->reserve(out->size() + list.size());
     for (size_t i = 0; i < list.size(); ++i) {
       Row r = row;
       r[out_] = list.Element(i);
@@ -222,6 +340,26 @@ class UnnestListNode : public UnaryNode {
 
   std::string Describe() const override {
     return "UnnestList " + col_ + " -> " + out_;
+  }
+
+  NodeKind kind() const override { return NodeKind::kUnnestList; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<UnnestListNode>(std::move(children[0]), col_,
+                                            out_, pos_col_, path_col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    std::vector<std::string> out = {out_};
+    AddCol(&out, pos_col_);
+    AddCol(&out, path_col_);
+    return out;
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = col_;
+    *out = out_;
+    return true;
   }
 
  private:
@@ -261,6 +399,25 @@ class IndexStepNode : public UnaryNode {
            out_;
   }
 
+  NodeKind kind() const override { return NodeKind::kIndexStep; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<IndexStepNode>(std::move(children[0]), col_,
+                                           index_, out_, path_col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    std::vector<std::string> out = {out_};
+    AddCol(&out, path_col_);
+    return out;
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = col_;
+    *out = out_;
+    return true;
+  }
+
  private:
   std::string col_;
   int64_t index_;
@@ -283,6 +440,7 @@ class UnnestSetNode : public UnaryNode {
       return Status::OK();
     }
     Value set = it->second;
+    out->reserve(out->size() + set.size());
     for (size_t i = 0; i < set.size(); ++i) {
       Row r = row;
       r[out_] = set.Element(i);
@@ -295,6 +453,25 @@ class UnnestSetNode : public UnaryNode {
 
   std::string Describe() const override {
     return "UnnestSet " + col_ + " -> " + out_;
+  }
+
+  NodeKind kind() const override { return NodeKind::kUnnestSet; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<UnnestSetNode>(std::move(children[0]), col_,
+                                           out_, path_col_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    std::vector<std::string> out = {out_};
+    AddCol(&out, path_col_);
+    return out;
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = col_;
+    *out = out_;
+    return true;
   }
 
  private:
@@ -317,6 +494,17 @@ class ConstColNode : public UnaryNode {
 
   std::string Describe() const override {
     return "ConstCol " + out_ + " = " + value_.ToString();
+  }
+
+  NodeKind kind() const override { return NodeKind::kConstCol; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<ConstColNode>(std::move(children[0]), out_,
+                                          value_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {out_};
   }
 
  private:
@@ -346,6 +534,23 @@ class BindOrCheckNode : public UnaryNode {
 
   std::string Describe() const override {
     return "BindOrCheck " + src_ + " -> " + dst_;
+  }
+
+  NodeKind kind() const override { return NodeKind::kBindOrCheck; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<BindOrCheckNode>(std::move(children[0]), src_,
+                                             dst_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {dst_};
+  }
+
+  bool NavColumns(std::string* in, std::string* out) const override {
+    *in = src_;
+    *out = dst_;
+    return true;
   }
 
  private:
@@ -382,11 +587,42 @@ class ComputeNode : public UnaryNode {
     return "Compute " + out_ + " = " + term_->ToString();
   }
 
+  NodeKind kind() const override { return NodeKind::kCompute; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<ComputeNode>(std::move(children[0]), out_,
+                                         term_, sorts_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {out_};
+  }
+
+  const DataTerm* compute_term() const override { return term_.get(); }
+
  private:
   std::string out_;
   calculus::DataTermPtr term_;
   std::map<std::string, Sort> sorts_;
 };
+
+/// Column names a formula's predicate reads (all three sorts live in
+/// row columns).
+std::vector<std::string> FormulaColumns(const calculus::Formula& f) {
+  std::vector<std::string> out;
+  for (const calculus::Variable& v : f.FreeVariables()) {
+    out.push_back(v.name);
+  }
+  return out;
+}
+
+std::vector<std::string> TermColumns(const DataTerm& term) {
+  std::set<calculus::Variable> vars;
+  calculus::CollectVariables(term, &vars);
+  std::vector<std::string> out;
+  for (const calculus::Variable& v : vars) out.push_back(v.name);
+  return out;
+}
 
 class FilterNode : public UnaryNode {
  public:
@@ -409,9 +645,483 @@ class FilterNode : public UnaryNode {
     return "Filter " + formula_->ToString();
   }
 
+  NodeKind kind() const override { return NodeKind::kFilter; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<FilterNode>(std::move(children[0]), formula_,
+                                        sorts_);
+  }
+
+  std::vector<std::string> RequiredColumns() const override {
+    return FormulaColumns(*formula_);
+  }
+
+  const calculus::Formula* filter_formula() const override {
+    return formula_.get();
+  }
+  const std::map<std::string, Sort>* filter_sorts() const override {
+    return &sorts_;
+  }
+
  private:
   calculus::FormulaPtr formula_;
   std::map<std::string, Sort> sorts_;
+};
+
+// ---------------------------------------------------------------------
+// Index-assisted text predicates.
+
+/// True when `term` is a shape the index joins can evaluate without
+/// building a calculus environment: a data variable, a constant, or
+/// `__select_attr` / `text` chains over such.
+bool FastEvalSupported(const DataTerm& term,
+                       const std::map<std::string, Sort>& sorts) {
+  switch (term.kind()) {
+    case DataTerm::Kind::kVariable: {
+      auto it = sorts.find(term.var_name());
+      return it == sorts.end() || it->second == Sort::kData;
+    }
+    case DataTerm::Kind::kConstant:
+      return true;
+    case DataTerm::Kind::kFunction: {
+      const std::string& fn = term.function_name();
+      if (fn == "__select_attr") {
+        return term.children().size() == 2 &&
+               term.children()[1]->kind() == DataTerm::Kind::kConstant &&
+               term.children()[1]->constant().kind() == ValueKind::kString &&
+               FastEvalSupported(*term.children()[0], sorts);
+      }
+      if (fn == "text") {
+        return term.children().size() == 1 &&
+               FastEvalSupported(*term.children()[0], sorts);
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Evaluates a FastEvalSupported term against a row, mirroring the
+/// calculus evaluator exactly (soft failures included).
+Result<Value> FastEval(const DataTerm& term, const calculus::EvalContext& cc,
+                       const Row& row) {
+  switch (term.kind()) {
+    case DataTerm::Kind::kVariable: {
+      auto it = row.find(term.var_name());
+      if (it == row.end()) {
+        return Status::Internal("unbound data variable " + term.var_name());
+      }
+      return it->second;
+    }
+    case DataTerm::Kind::kConstant:
+      return term.constant();
+    default: {
+      SGMLQDB_ASSIGN_OR_RETURN(Value base,
+                               FastEval(*term.children()[0], cc, row));
+      if (term.function_name() == "__select_attr") {
+        return calculus::SelectAttrValue(
+            cc, base, term.children()[1]->constant().AsString());
+      }
+      return calculus::TextOfValue(cc, base);
+    }
+  }
+}
+
+class IndexSemiJoinNode : public UnaryNode {
+ public:
+  IndexSemiJoinNode(PlanPtr input, calculus::DataTermPtr term,
+                    std::string pattern_text, text::Pattern pattern,
+                    std::map<std::string, Sort> sorts, bool object_only)
+      : UnaryNode(std::move(input)),
+        term_(std::move(term)),
+        pattern_text_(std::move(pattern_text)),
+        pattern_(std::move(pattern)),
+        sorts_(std::move(sorts)),
+        object_only_(object_only),
+        fast_eval_(FastEvalSupported(*term_, sorts_)) {}
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    const calculus::EvalContext& cc = *ctx.calculus;
+    // Resolve the pattern + candidate set once per execution (the
+    // whole point: the naive filter re-parses per row).
+    const text::Pattern* pattern = &pattern_;
+    std::shared_ptr<const text::TextQueryCache::ContainsEntry> entry;
+    std::shared_ptr<const std::unordered_set<text::UnitId>> local;
+    const std::unordered_set<text::UnitId>* candidates = nullptr;
+    bool exact = false;
+    if (cc.text_cache != nullptr) {
+      SGMLQDB_ASSIGN_OR_RETURN(
+          entry, cc.text_cache->Contains(cc.text_index, pattern_text_));
+      pattern = &entry->pattern;
+      candidates = entry->candidates.get();
+      exact = entry->exact;
+    } else if (cc.text_index != nullptr) {
+      bool ex = false;
+      std::vector<text::UnitId> units =
+          cc.text_index->Candidates(pattern_, &ex);
+      local = std::make_shared<const std::unordered_set<text::UnitId>>(
+          units.begin(), units.end());
+      candidates = local.get();
+      exact = ex;
+    }
+    if (object_only_ && candidates != nullptr && candidates->empty()) {
+      // Every row's text value is an indexed element and none can
+      // match: skip the input subplan entirely.
+      return Status::OK();
+    }
+    if (children_[0].use_count() > 1) {
+      SGMLQDB_ASSIGN_OR_RETURN(auto rows,
+                               children_[0]->ExecuteSharedRows(ctx));
+      for (const Row& row : *rows) {
+        SGMLQDB_ASSIGN_OR_RETURN(
+            bool keep, KeepRow(cc, row, *pattern, candidates, exact));
+        if (keep) out->push_back(row);
+      }
+      return Status::OK();
+    }
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    for (Row& row : in) {
+      SGMLQDB_ASSIGN_OR_RETURN(
+          bool keep, KeepRow(cc, row, *pattern, candidates, exact));
+      if (keep) out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
+    return Status::Internal("IndexSemiJoin executes whole inputs");
+  }
+
+  std::string Describe() const override {
+    return "IndexSemiJoin " + term_->ToString() + " contains \"" +
+           pattern_text_ + "\"" + (object_only_ ? " [object]" : "");
+  }
+
+  NodeKind kind() const override { return NodeKind::kIndexSemiJoin; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<IndexSemiJoinNode>(std::move(children[0]), term_,
+                                               pattern_text_, pattern_,
+                                               sorts_, object_only_);
+  }
+
+  std::vector<std::string> RequiredColumns() const override {
+    return TermColumns(*term_);
+  }
+
+  const std::string* index_contains_pattern() const override {
+    return object_only_ ? &pattern_text_ : nullptr;
+  }
+
+  const calculus::DataTerm* index_term() const override {
+    return term_.get();
+  }
+
+ private:
+  Result<bool> KeepRow(const calculus::EvalContext& cc, const Row& row,
+                       const text::Pattern& pattern,
+                       const std::unordered_set<text::UnitId>* candidates,
+                       bool exact) const {
+    Result<Value> v =
+        fast_eval_
+            ? FastEval(*term_, cc, row)
+            : calculus::EvaluateClosedTermInEnv(cc, *term_,
+                                                RowToEnv(row, sorts_));
+    if (!v.ok()) {
+      if (v.status().code() == StatusCode::kNotFound ||
+          v.status().code() == StatusCode::kTypeError) {
+        return false;  // soft failure: the atom is false (§5.3)
+      }
+      return v.status();
+    }
+    if (v->kind() == ValueKind::kObject && candidates != nullptr) {
+      if (candidates->count(v->AsObject().id()) == 0) return false;
+      if (exact) return true;
+    }
+    Result<Value> text = calculus::TextOfValue(cc, *v);
+    if (!text.ok()) {
+      if (text.status().code() == StatusCode::kNotFound ||
+          text.status().code() == StatusCode::kTypeError) {
+        return false;
+      }
+      return text.status();
+    }
+    return pattern.Matches(text->AsString());
+  }
+
+  calculus::DataTermPtr term_;
+  std::string pattern_text_;
+  text::Pattern pattern_;
+  std::map<std::string, Sort> sorts_;
+  bool object_only_;
+  bool fast_eval_;
+};
+
+class IndexNearJoinNode : public UnaryNode {
+ public:
+  IndexNearJoinNode(PlanPtr input, calculus::DataTermPtr term,
+                    std::string word1, std::string word2,
+                    size_t max_distance, std::map<std::string, Sort> sorts,
+                    bool object_only)
+      : UnaryNode(std::move(input)),
+        term_(std::move(term)),
+        word1_(std::move(word1)),
+        word2_(std::move(word2)),
+        max_distance_(max_distance),
+        sorts_(std::move(sorts)),
+        object_only_(object_only),
+        fast_eval_(FastEvalSupported(*term_, sorts_)),
+        plain_words_(text::IsPlainSingleWord(word1_) &&
+                     text::IsPlainSingleWord(word2_)) {}
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    const calculus::EvalContext& cc = *ctx.calculus;
+    // For plain words the positional index answers objects exactly.
+    std::shared_ptr<const std::unordered_set<text::UnitId>> units;
+    if (plain_words_ && cc.text_index != nullptr) {
+      if (cc.text_cache != nullptr) {
+        units = cc.text_cache->NearUnits(*cc.text_index, word1_, word2_,
+                                         max_distance_);
+      } else {
+        std::vector<text::UnitId> u =
+            cc.text_index->NearLookup(word1_, word2_, max_distance_);
+        units = std::make_shared<const std::unordered_set<text::UnitId>>(
+            u.begin(), u.end());
+      }
+    }
+    if (object_only_ && units != nullptr && units->empty()) {
+      return Status::OK();
+    }
+    if (children_[0].use_count() > 1) {
+      SGMLQDB_ASSIGN_OR_RETURN(auto rows,
+                               children_[0]->ExecuteSharedRows(ctx));
+      for (const Row& row : *rows) {
+        SGMLQDB_ASSIGN_OR_RETURN(bool keep, KeepRow(cc, row, units.get()));
+        if (keep) out->push_back(row);
+      }
+      return Status::OK();
+    }
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    for (Row& row : in) {
+      SGMLQDB_ASSIGN_OR_RETURN(bool keep, KeepRow(cc, row, units.get()));
+      if (keep) out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
+    return Status::Internal("IndexNearJoin executes whole inputs");
+  }
+
+  std::string Describe() const override {
+    return "IndexNearJoin " + term_->ToString() + " near(\"" + word1_ +
+           "\", \"" + word2_ + "\", " + std::to_string(max_distance_) + ")" +
+           (object_only_ ? " [object]" : "");
+  }
+
+  NodeKind kind() const override { return NodeKind::kIndexNearJoin; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<IndexNearJoinNode>(std::move(children[0]), term_,
+                                               word1_, word2_, max_distance_,
+                                               sorts_, object_only_);
+  }
+
+  std::vector<std::string> RequiredColumns() const override {
+    return TermColumns(*term_);
+  }
+
+  bool index_near_words(std::string* w1, std::string* w2,
+                        size_t* k) const override {
+    if (!object_only_ || !plain_words_) return false;
+    *w1 = word1_;
+    *w2 = word2_;
+    *k = max_distance_;
+    return true;
+  }
+
+  const calculus::DataTerm* index_term() const override {
+    return term_.get();
+  }
+
+ private:
+  Result<bool> KeepRow(const calculus::EvalContext& cc, const Row& row,
+                       const std::unordered_set<text::UnitId>* units) const {
+    Result<Value> v =
+        fast_eval_
+            ? FastEval(*term_, cc, row)
+            : calculus::EvaluateClosedTermInEnv(cc, *term_,
+                                                RowToEnv(row, sorts_));
+    if (!v.ok()) {
+      if (v.status().code() == StatusCode::kNotFound ||
+          v.status().code() == StatusCode::kTypeError) {
+        return false;
+      }
+      return v.status();
+    }
+    if (v->kind() == ValueKind::kObject && units != nullptr) {
+      return units->count(v->AsObject().id()) > 0;
+    }
+    Result<Value> text = calculus::TextOfValue(cc, *v);
+    if (!text.ok()) {
+      if (text.status().code() == StatusCode::kNotFound ||
+          text.status().code() == StatusCode::kTypeError) {
+        return false;
+      }
+      return text.status();
+    }
+    return text::Near(text->AsString(), word1_, word2_, max_distance_);
+  }
+
+  calculus::DataTermPtr term_;
+  std::string word1_, word2_;
+  size_t max_distance_;
+  std::map<std::string, Sort> sorts_;
+  bool object_only_;
+  bool fast_eval_;
+  bool plain_words_;
+};
+
+/// Document-level index prefilter (see ops.h). Keeps rows whose
+/// `doc_col` object was loaded in a document containing at least one
+/// candidate unit; conservative pass-through for rows whose column is
+/// missing / not an object / not a loaded unit, and for contexts
+/// without an index or unit->doc map.
+class IndexDocFilterNode : public UnaryNode {
+ public:
+  IndexDocFilterNode(PlanPtr input, std::string doc_col,
+                     std::string pattern_text,
+                     std::optional<text::Pattern> pattern,
+                     std::string word1, std::string word2,
+                     size_t max_distance, std::string term_class)
+      : UnaryNode(std::move(input)),
+        doc_col_(std::move(doc_col)),
+        pattern_text_(std::move(pattern_text)),
+        pattern_(std::move(pattern)),
+        word1_(std::move(word1)),
+        word2_(std::move(word2)),
+        max_distance_(max_distance),
+        term_class_(std::move(term_class)) {}
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    const calculus::EvalContext& cc = *ctx.calculus;
+    std::shared_ptr<const std::unordered_set<uint64_t>> docs;
+    if (cc.unit_docs != nullptr && cc.text_index != nullptr) {
+      if (cc.text_cache != nullptr) {
+        std::string key;
+        if (pattern_.has_value()) {
+          key = "c:" + term_class_ + ":" + pattern_text_;
+        } else {
+          key = "n:" + term_class_ + ":" + word1_ + "," + word2_ + "," +
+                std::to_string(max_distance_);
+        }
+        docs = cc.text_cache->Docs(key, [&] { return BuildDocs(cc); });
+      } else {
+        docs = std::make_shared<const std::unordered_set<uint64_t>>(
+            BuildDocs(cc));
+      }
+    }
+    if (children_[0].use_count() > 1) {
+      SGMLQDB_ASSIGN_OR_RETURN(auto rows,
+                               children_[0]->ExecuteSharedRows(ctx));
+      for (const Row& row : *rows) {
+        if (docs == nullptr || KeepRow(cc, row, *docs)) out->push_back(row);
+      }
+      return Status::OK();
+    }
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    for (Row& row : in) {
+      if (docs == nullptr || KeepRow(cc, row, *docs)) {
+        out->push_back(std::move(row));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
+    return Status::Internal("IndexDocFilter executes whole inputs");
+  }
+
+  std::string Describe() const override {
+    std::string cls =
+        term_class_.empty() ? std::string() : " [" + term_class_ + "]";
+    if (pattern_.has_value()) {
+      return "IndexDocFilter " + doc_col_ + " ~ contains \"" +
+             pattern_text_ + "\"" + cls;
+    }
+    return "IndexDocFilter " + doc_col_ + " ~ near(\"" + word1_ + "\", \"" +
+           word2_ + "\", " + std::to_string(max_distance_) + ")" + cls;
+  }
+
+  NodeKind kind() const override { return NodeKind::kIndexDocFilter; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<IndexDocFilterNode>(
+        std::move(children[0]), doc_col_, pattern_text_, pattern_, word1_,
+        word2_, max_distance_, term_class_);
+  }
+
+  std::vector<std::string> RequiredColumns() const override {
+    return {doc_col_};
+  }
+
+ private:
+  /// The document-id set for this predicate: candidate units from the
+  /// index, class-restricted when the downstream join's term is
+  /// statically classed (only such units can be the term's value),
+  /// mapped to their loading documents. Runs once per (predicate,
+  /// class, store snapshot) thanks to TextQueryCache::Docs.
+  std::unordered_set<uint64_t> BuildDocs(
+      const calculus::EvalContext& cc) const {
+    std::vector<text::UnitId> units;
+    if (pattern_.has_value()) {
+      bool exact = false;
+      units = cc.text_index->Candidates(*pattern_, &exact);
+    } else {
+      units = cc.text_index->NearLookup(word1_, word2_, max_distance_);
+    }
+    std::unordered_set<uint64_t> docs;
+    for (text::UnitId u : units) AddDoc(cc, u, &docs);
+    return docs;
+  }
+
+  void AddDoc(const calculus::EvalContext& cc, text::UnitId unit,
+              std::unordered_set<uint64_t>* docs) const {
+    if (!term_class_.empty() && cc.db != nullptr) {
+      const std::string* cls = cc.db->ClassOf(om::ObjectId(unit));
+      if (cls == nullptr ||
+          !cc.db->schema().IsSubclassOf(*cls, term_class_)) {
+        return;
+      }
+    }
+    auto it = cc.unit_docs->find(unit);
+    if (it != cc.unit_docs->end()) docs->insert(it->second);
+  }
+
+  bool KeepRow(const calculus::EvalContext& cc, const Row& row,
+               const std::unordered_set<uint64_t>& docs) const {
+    auto it = row.find(doc_col_);
+    if (it == row.end() || it->second.kind() != ValueKind::kObject) {
+      return true;
+    }
+    auto doc = cc.unit_docs->find(it->second.AsObject().id());
+    if (doc == cc.unit_docs->end()) return true;
+    return docs.count(doc->second) > 0;
+  }
+
+  std::string doc_col_;
+  // Contains form when pattern_ is set; near form otherwise.
+  std::string pattern_text_;
+  std::optional<text::Pattern> pattern_;
+  std::string word1_, word2_;
+  size_t max_distance_;
+  // Non-empty: only candidate units of this class (or a subclass)
+  // contribute documents.
+  std::string term_class_;
 };
 
 class UnionAllNode : public Node {
@@ -421,14 +1131,48 @@ class UnionAllNode : public Node {
   }
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    if (ctx.branch_executor != nullptr && children_.size() > 1) {
+      return ExecuteParallel(ctx, out);
+    }
     for (const PlanPtr& c : children_) {
-      SGMLQDB_RETURN_IF_ERROR(c->Execute(ctx, out));
+      SGMLQDB_RETURN_IF_ERROR(ExecuteChild(c, ctx, out));
     }
     return Status::OK();
   }
 
   std::string Describe() const override {
     return "UnionAll (" + std::to_string(children_.size()) + " branches)";
+  }
+
+  NodeKind kind() const override { return NodeKind::kUnionAll; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<UnionAllNode>(std::move(children));
+  }
+
+ private:
+  Status ExecuteParallel(const ExecContext& ctx, std::vector<Row>* out) const {
+    // One fan-out level: branches share the memo (thread-safe) but do
+    // not re-fan nested unions.
+    ExecContext branch_ctx = ctx;
+    branch_ctx.branch_executor = nullptr;
+    std::vector<std::vector<Row>> parts(children_.size());
+    std::vector<Status> statuses(children_.size(), Status::OK());
+    ctx.branch_executor->Run(children_.size(), [&](size_t i) {
+      statuses[i] = ExecuteChild(children_[i], branch_ctx, &parts[i]);
+    });
+    // Deterministic: errors and rows are taken in branch order,
+    // exactly as the serial loop would produce them.
+    for (const Status& s : statuses) {
+      SGMLQDB_RETURN_IF_ERROR(s);
+    }
+    size_t total = 0;
+    for (const std::vector<Row>& p : parts) total += p.size();
+    out->reserve(out->size() + total);
+    for (std::vector<Row>& p : parts) {
+      for (Row& row : p) out->push_back(std::move(row));
+    }
+    return Status::OK();
   }
 };
 
@@ -452,8 +1196,8 @@ class AntiSemiJoinNode : public Node {
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
     std::vector<Row> left, right;
-    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &left));
-    SGMLQDB_RETURN_IF_ERROR(children_[1]->Execute(ctx, &right));
+    SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[0], ctx, &left));
+    SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[1], ctx, &right));
     std::set<Value> keys;
     for (const Row& r : right) {
       keys.insert(RowKey(ProjectRow(r, cols_)));
@@ -475,6 +1219,13 @@ class AntiSemiJoinNode : public Node {
     return out + ")";
   }
 
+  NodeKind kind() const override { return NodeKind::kAntiSemiJoin; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<AntiSemiJoinNode>(std::move(children[0]),
+                                              std::move(children[1]), cols_);
+  }
+
  private:
   static Value RowKey(const Row& row) {
     std::vector<std::pair<std::string, Value>> fields;
@@ -493,8 +1244,9 @@ class CrossProductNode : public Node {
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
     std::vector<Row> left, right;
-    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &left));
-    SGMLQDB_RETURN_IF_ERROR(children_[1]->Execute(ctx, &right));
+    SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[0], ctx, &left));
+    SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[1], ctx, &right));
+    out->reserve(out->size() + left.size() * right.size());
     for (const Row& l : left) {
       for (const Row& r : right) {
         Row merged = l;
@@ -506,6 +1258,13 @@ class CrossProductNode : public Node {
   }
 
   std::string Describe() const override { return "CrossProduct"; }
+
+  NodeKind kind() const override { return NodeKind::kCrossProduct; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<CrossProductNode>(std::move(children[0]),
+                                              std::move(children[1]));
+  }
 };
 
 class ProjectNode : public UnaryNode {
@@ -528,6 +1287,12 @@ class ProjectNode : public UnaryNode {
     return out + ")";
   }
 
+  NodeKind kind() const override { return NodeKind::kProject; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<ProjectNode>(std::move(children[0]), cols_);
+  }
+
  private:
   std::vector<std::string> cols_;
 };
@@ -538,7 +1303,7 @@ class DistinctNode : public Node {
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
     std::vector<Row> in;
-    SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
+    SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[0], ctx, &in));
     std::set<Value> seen;
     for (Row& row : in) {
       std::vector<std::pair<std::string, Value>> fields;
@@ -552,6 +1317,12 @@ class DistinctNode : public Node {
   }
 
   std::string Describe() const override { return "Distinct"; }
+
+  NodeKind kind() const override { return NodeKind::kDistinct; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<DistinctNode>(std::move(children[0]));
+  }
 };
 
 }  // namespace
@@ -654,6 +1425,39 @@ PlanPtr Filter(PlanPtr input, calculus::FormulaPtr formula,
                const std::map<std::string, calculus::Sort>& sorts) {
   return std::make_shared<FilterNode>(std::move(input), std::move(formula),
                                       sorts);
+}
+PlanPtr IndexSemiJoin(PlanPtr input, calculus::DataTermPtr term,
+                      std::string pattern_text, text::Pattern pattern,
+                      const std::map<std::string, calculus::Sort>& sorts,
+                      bool object_only) {
+  return std::make_shared<IndexSemiJoinNode>(
+      std::move(input), std::move(term), std::move(pattern_text),
+      std::move(pattern), sorts, object_only);
+}
+PlanPtr IndexNearJoin(PlanPtr input, calculus::DataTermPtr term,
+                      std::string word1, std::string word2,
+                      size_t max_distance,
+                      const std::map<std::string, calculus::Sort>& sorts,
+                      bool object_only) {
+  return std::make_shared<IndexNearJoinNode>(
+      std::move(input), std::move(term), std::move(word1), std::move(word2),
+      max_distance, sorts, object_only);
+}
+PlanPtr IndexDocFilterContains(PlanPtr input, std::string doc_col,
+                               std::string pattern_text,
+                               text::Pattern pattern,
+                               std::string term_class) {
+  return std::make_shared<IndexDocFilterNode>(
+      std::move(input), std::move(doc_col), std::move(pattern_text),
+      std::move(pattern), "", "", 0, std::move(term_class));
+}
+PlanPtr IndexDocFilterNear(PlanPtr input, std::string doc_col,
+                           std::string word1, std::string word2,
+                           size_t max_distance, std::string term_class) {
+  return std::make_shared<IndexDocFilterNode>(
+      std::move(input), std::move(doc_col), "", std::nullopt,
+      std::move(word1), std::move(word2), max_distance,
+      std::move(term_class));
 }
 PlanPtr UnionAll(std::vector<PlanPtr> inputs) {
   return std::make_shared<UnionAllNode>(std::move(inputs));

@@ -1,0 +1,66 @@
+// Algebraic plan optimizer (between CompileQuery and execution).
+//
+// The §5.4 expansion produces Distinct(UnionAll(branch...)) where each
+// branch is a navigation chain with trailing Filter nodes. Three
+// rewrites make that union index- and parallelism-friendly:
+//
+//  1. Text-index pushdown — a Filter wrapping a `contains`/`near` atom
+//     with a constant pattern becomes an IndexSemiJoin/IndexNearJoin,
+//     which resolves the pattern once and consults the inverted
+//     index's candidate set before (or instead of) matching text.
+//  2. Filter pushdown — predicate nodes sink below every navigation
+//     step that does not introduce a column they read, so rows are
+//     discarded before fan-out (UnnestList) instead of after.
+//  3. Branch pruning — a branch whose static column types prove a
+//     text predicate can never hold (e.g. `contains` on an integer
+//     attribute, or an attribute the schema path cannot reach) is
+//     dropped from the union before any data is touched, as are the
+//     compiler's dead-alternative placeholders.
+//  4. Document prefilter — for an object-only IndexSemiJoin/
+//     IndexNearJoin whose term traces back (through navigation steps
+//     only) to a document anchor column, an IndexDocFilter is spliced
+//     just above the anchor's introducer: whole documents containing
+//     no candidate unit are skipped before the navigation between
+//     anchor and predicate ever runs. Sound because navigation
+//     (attribute steps, unnests, IDREF deref) never leaves a
+//     document, and candidate sets are supersets of matching units.
+//
+// The optimizer only reorders/replaces filters against the same rows,
+// so optimized and unoptimized plans produce identical results (the
+// optimize_test parity matrix enforces this).
+
+#ifndef SGMLQDB_ALGEBRA_OPTIMIZE_H_
+#define SGMLQDB_ALGEBRA_OPTIMIZE_H_
+
+#include "algebra/compile.h"
+#include "om/schema.h"
+
+namespace sgmlqdb::algebra {
+
+struct OptimizeOptions {
+  bool text_index_pushdown = true;
+  bool filter_pushdown = true;
+  bool prune_branches = true;
+};
+
+struct OptimizeStats {
+  /// Union branches before / dropped by pruning.
+  size_t branches_before = 0;
+  size_t branches_pruned = 0;
+  /// Filters converted to IndexSemiJoin / IndexNearJoin.
+  size_t index_pushdowns = 0;
+  /// Predicates that sank below at least one navigation step.
+  size_t filters_pushed = 0;
+  /// IndexDocFilter nodes spliced above document anchors.
+  size_t doc_filters = 0;
+};
+
+/// Rewrites `compiled` in place. A plan whose shape the optimizer does
+/// not recognize is left untouched (never an error).
+Status OptimizePlan(const om::Schema& schema, CompiledQuery* compiled,
+                    const OptimizeOptions& options = {},
+                    OptimizeStats* stats = nullptr);
+
+}  // namespace sgmlqdb::algebra
+
+#endif  // SGMLQDB_ALGEBRA_OPTIMIZE_H_

@@ -1,0 +1,145 @@
+#include "algebra/static_types.h"
+
+#include <utility>
+
+namespace sgmlqdb::algebra {
+
+using calculus::DataTerm;
+using om::Type;
+using om::TypeKind;
+using om::ValueKind;
+
+std::optional<Type> ResolveClass(const Type& t, const om::Schema& schema) {
+  if (t.kind() != TypeKind::kClass) return t;
+  Result<Type> eff = schema.EffectiveType(t.class_name());
+  if (!eff.ok()) return std::nullopt;
+  return std::move(eff).value();
+}
+
+StaticTerm StaticAttrStep(const Type& in, const std::string& attr,
+                          const om::Schema& schema) {
+  std::optional<Type> resolved = ResolveClass(in, schema);
+  if (!resolved.has_value()) return StaticTerm::Unknown();
+  const Type& t = *resolved;
+  switch (t.kind()) {
+    case TypeKind::kAny:
+      return StaticTerm::Unknown();
+    case TypeKind::kTuple: {
+      std::optional<Type> f = t.FindField(attr);
+      if (f.has_value()) return StaticTerm::Of(std::move(*f));
+      if (t.size() == 1) {
+        // The value is a 1-field tuple, so the runtime implicit
+        // selector applies: deref the inner value and look there.
+        std::optional<Type> inner = ResolveClass(t.FieldType(0), schema);
+        if (!inner.has_value() || inner->kind() == TypeKind::kAny) {
+          return StaticTerm::Unknown();
+        }
+        if (inner->is_tuple()) {
+          std::optional<Type> f2 = inner->FindField(attr);
+          if (f2.has_value()) return StaticTerm::Of(std::move(*f2));
+        }
+        return StaticTerm::Never();
+      }
+      return StaticTerm::Never();
+    }
+    case TypeKind::kUnion: {
+      // Runtime values are marked-union tuples [ai: vi]. The step
+      // succeeds for rows whose marker is `attr`, or whose inner
+      // value reaches `attr` through the implicit selector.
+      bool feasible = false;
+      bool agree = true;
+      std::optional<Type> single;
+      for (size_t i = 0; i < t.size(); ++i) {
+        std::optional<Type> hit;
+        if (t.FieldName(i) == attr) {
+          hit = t.FieldType(i);
+        } else {
+          StaticTerm through =
+              StaticAttrStep(Type::Tuple({{t.FieldName(i), t.FieldType(i)}}),
+                             attr, schema);
+          if (through.never) continue;
+          if (!through.type.has_value()) {
+            feasible = true;
+            agree = false;
+            continue;
+          }
+          hit = through.type;
+        }
+        feasible = true;
+        if (!single.has_value()) {
+          single = std::move(hit);
+        } else if (!(*single == *hit)) {
+          agree = false;
+        }
+      }
+      if (!feasible) return StaticTerm::Never();
+      // All feasible alternatives yield the same type — that IS the
+      // step's type, however many alternatives there are.
+      if (agree && single.has_value()) {
+        return StaticTerm::Of(std::move(*single));
+      }
+      return StaticTerm::Unknown();
+    }
+    default:
+      // Atomic / list / set values: SelectAttr type-errors (soft) on
+      // every row.
+      return StaticTerm::Never();
+  }
+}
+
+StaticTerm AnalyzeTerm(const DataTerm& term,
+                       const std::map<std::string, Type>& types,
+                       const om::Schema& schema) {
+  switch (term.kind()) {
+    case DataTerm::Kind::kVariable: {
+      auto it = types.find(term.var_name());
+      if (it == types.end()) return StaticTerm::Unknown();
+      return StaticTerm::Of(it->second);
+    }
+    case DataTerm::Kind::kName: {
+      const om::NameDef* def = schema.FindName(term.root_name());
+      if (def == nullptr) return StaticTerm::Unknown();
+      return StaticTerm::Of(def->type);
+    }
+    case DataTerm::Kind::kConstant:
+      switch (term.constant().kind()) {
+        case ValueKind::kString:
+          return StaticTerm::Of(Type::String());
+        case ValueKind::kInteger:
+          return StaticTerm::Of(Type::Integer());
+        case ValueKind::kFloat:
+          return StaticTerm::Of(Type::Float());
+        case ValueKind::kBoolean:
+          return StaticTerm::Of(Type::Boolean());
+        default:
+          return StaticTerm::Unknown();
+      }
+    case DataTerm::Kind::kFunction: {
+      const std::string& fn = term.function_name();
+      if (fn == "__select_attr" && term.children().size() == 2 &&
+          term.children()[1]->kind() == DataTerm::Kind::kConstant &&
+          term.children()[1]->constant().kind() == ValueKind::kString) {
+        StaticTerm base = AnalyzeTerm(*term.children()[0], types, schema);
+        if (base.never) return StaticTerm::Never();
+        if (!base.type.has_value()) return StaticTerm::Unknown();
+        return StaticAttrStep(*base.type,
+                              term.children()[1]->constant().AsString(),
+                              schema);
+      }
+      if (fn == "text" && term.children().size() == 1) {
+        StaticTerm base = AnalyzeTerm(*term.children()[0], types, schema);
+        if (base.never) return StaticTerm::Never();
+        if (base.type.has_value() && base.type->is_atomic() &&
+            base.type->kind() != TypeKind::kString) {
+          return StaticTerm::Never();  // text(number) type-errors per row
+        }
+        return StaticTerm::Of(Type::String());
+      }
+      return StaticTerm::Unknown();
+    }
+    default:
+      return StaticTerm::Unknown();
+  }
+}
+
+}  // namespace sgmlqdb::algebra

@@ -1,0 +1,56 @@
+// Best-effort static typing of calculus data terms against a map of
+// known column/variable types and the schema. Shared by the compiler
+// (element types for generator bindings) and the optimizer (text-atom
+// feasibility, object-only index joins, document anchors). The
+// analysis mirrors the runtime evaluator's SelectAttrValue — in
+// particular the one-level marked-union implicit selector — so
+// "never" really means the atom soft-fails on every row.
+
+#ifndef SGMLQDB_ALGEBRA_STATIC_TYPES_H_
+#define SGMLQDB_ALGEBRA_STATIC_TYPES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "calculus/terms.h"
+#include "om/schema.h"
+#include "om/type.h"
+
+namespace sgmlqdb::algebra {
+
+/// Outcome of statically evaluating a term: `never` means the term
+/// provably soft-fails (or yields a text-free atomic value) on every
+/// row, so a contains/near atom over it is always false. `type` is
+/// the term's type when derivable; unknown types are always feasible.
+struct StaticTerm {
+  bool never = false;
+  std::optional<om::Type> type;
+
+  static StaticTerm Never() { return StaticTerm{true, std::nullopt}; }
+  static StaticTerm Unknown() { return StaticTerm{false, std::nullopt}; }
+  static StaticTerm Of(om::Type t) {
+    return StaticTerm{false, std::move(t)};
+  }
+};
+
+/// Follows a class reference to its structural type; unknown on
+/// failure.
+std::optional<om::Type> ResolveClass(const om::Type& t,
+                                     const om::Schema& schema);
+
+/// Mirrors calculus SelectAttrValue on types: deref a class, find the
+/// field, then the one-level marked-union implicit selector.
+StaticTerm StaticAttrStep(const om::Type& in, const std::string& attr,
+                          const om::Schema& schema);
+
+/// Types a term given `types` for its variables. Handles variables,
+/// constants, persistence roots, and `__select_attr` / `text` chains;
+/// everything else is Unknown.
+StaticTerm AnalyzeTerm(const calculus::DataTerm& term,
+                       const std::map<std::string, om::Type>& types,
+                       const om::Schema& schema);
+
+}  // namespace sgmlqdb::algebra
+
+#endif  // SGMLQDB_ALGEBRA_STATIC_TYPES_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "text/pattern.h"
+#include "text/query_cache.h"
 
 namespace sgmlqdb::calculus {
 
@@ -298,64 +299,12 @@ class Evaluator {
   /// Implements `v.attr` with implicit dereferencing and implicit
   /// selectors (see __select_attr above).
   Result<Value> SelectAttr(Value v, const std::string& attr) {
-    if (v.kind() == ValueKind::kObject) {
-      SGMLQDB_ASSIGN_OR_RETURN(v, ctx_.db->Deref(v.AsObject()));
-    }
-    if (v.kind() != ValueKind::kTuple) {
-      return Status::TypeError("cannot select ." + attr + " on " +
-                               v.ToString());
-    }
-    std::optional<Value> direct = v.FindField(attr);
-    if (direct.has_value()) return *direct;
-    // Implicit selector: a marked-union value [ai: inner].
-    if (v.IsMarkedUnionValue()) {
-      Value inner = v.FieldValue(0);
-      if (inner.kind() == ValueKind::kObject) {
-        SGMLQDB_ASSIGN_OR_RETURN(inner, ctx_.db->Deref(inner.AsObject()));
-      }
-      if (inner.kind() == ValueKind::kTuple) {
-        std::optional<Value> f = inner.FindField(attr);
-        if (f.has_value()) return *f;
-      }
-    }
-    return Status::NotFound("no attribute '" + attr + "' reachable in " +
-                            v.ToString());
+    return SelectAttrValue(ctx_, v, attr);
   }
 
   /// The text() inverse mapping (§4.2): strings are themselves;
   /// objects map to their element's inner text.
-  Result<Value> TextOf(const Value& v) {
-    if (v.kind() == ValueKind::kString) return v;
-    if (v.kind() == ValueKind::kObject) {
-      if (ctx_.element_texts == nullptr) {
-        return Status::InvalidArgument(
-            "text() needs the element-text side table (load documents "
-            "through the mapping layer)");
-      }
-      auto it = ctx_.element_texts->find(v.AsObject().id());
-      if (it == ctx_.element_texts->end()) {
-        return Status::NotFound("no text recorded for oid " +
-                                std::to_string(v.AsObject().id()));
-      }
-      return Value::String(it->second);
-    }
-    // Complex value: concatenate the text of its parts (e.g. the
-    // marked-union wrapper around a Body).
-    if (v.kind() == ValueKind::kTuple || v.kind() == ValueKind::kList ||
-        v.kind() == ValueKind::kSet) {
-      std::string out;
-      for (size_t i = 0; i < v.size(); ++i) {
-        Value part = v.kind() == ValueKind::kTuple ? v.FieldValue(i)
-                                                   : v.Element(i);
-        Result<Value> t = TextOf(part);
-        if (!t.ok()) continue;
-        if (!out.empty()) out += ' ';
-        out += t.value().AsString();
-      }
-      return Value::String(out);
-    }
-    return Status::TypeError("text() expects a string or an object");
-  }
+  Result<Value> TextOf(const Value& v) { return TextOfValue(ctx_, v); }
 
   Result<Path> ResolveClosedPath(const PathTerm& term, const Env& env) {
     Path out;
@@ -950,6 +899,27 @@ class Evaluator {
         return Status::TypeError(
             "contains expects (text, pattern-string)");
       }
+      if (ctx_.text_cache != nullptr) {
+        // Memoized path: parse the pattern once per query (not per
+        // row) and, for objects, probe the inverted-index candidate
+        // set before touching the text.
+        SGMLQDB_ASSIGN_OR_RETURN(
+            auto entry,
+            ctx_.text_cache->Contains(ctx_.text_index, args[1].AsString()));
+        if (args[0].kind() == ValueKind::kObject &&
+            entry->candidates != nullptr) {
+          bool member =
+              entry->candidates->count(args[0].AsObject().id()) > 0;
+          if (!member) return false;
+          if (entry->exact) return true;
+        }
+        Result<Value> text = TextOf(args[0]);
+        if (!text.ok()) {
+          if (IsSoftFailure(text.status())) return false;
+          return text.status();
+        }
+        return entry->pattern.Matches(text.value().AsString());
+      }
       Result<Value> text = TextOf(args[0]);
       if (!text.ok()) {
         if (IsSoftFailure(text.status())) return false;
@@ -964,6 +934,17 @@ class Evaluator {
           args[2].kind() != ValueKind::kString ||
           args[3].kind() != ValueKind::kInteger) {
         return Status::TypeError("near expects (text, word, word, k)");
+      }
+      if (ctx_.text_cache != nullptr && ctx_.text_index != nullptr &&
+          args[0].kind() == ValueKind::kObject &&
+          text::IsPlainSingleWord(args[1].AsString()) &&
+          text::IsPlainSingleWord(args[2].AsString())) {
+        // Plain words on an indexed element: the positional index
+        // answers exactly (same tokenization, case-insensitive).
+        auto units = ctx_.text_cache->NearUnits(
+            *ctx_.text_index, args[1].AsString(), args[2].AsString(),
+            static_cast<size_t>(args[3].AsInteger()));
+        return units->count(args[0].AsObject().id()) > 0;
       }
       Result<Value> text = TextOf(args[0]);
       if (!text.ok()) {
@@ -1104,6 +1085,66 @@ Result<om::Value> EvaluateClosedTermInEnv(const EvalContext& ctx,
                                           const Env& env) {
   Evaluator ev(ctx);
   return ev.EvalTerm(term, env);
+}
+
+Result<om::Value> SelectAttrValue(const EvalContext& ctx, const om::Value& in,
+                                  const std::string& attr) {
+  Value v = in;
+  if (v.kind() == ValueKind::kObject) {
+    SGMLQDB_ASSIGN_OR_RETURN(v, ctx.db->Deref(v.AsObject()));
+  }
+  if (v.kind() != ValueKind::kTuple) {
+    return Status::TypeError("cannot select ." + attr + " on " +
+                             v.ToString());
+  }
+  std::optional<Value> direct = v.FindField(attr);
+  if (direct.has_value()) return *direct;
+  // Implicit selector: a marked-union value [ai: inner].
+  if (v.IsMarkedUnionValue()) {
+    Value inner = v.FieldValue(0);
+    if (inner.kind() == ValueKind::kObject) {
+      SGMLQDB_ASSIGN_OR_RETURN(inner, ctx.db->Deref(inner.AsObject()));
+    }
+    if (inner.kind() == ValueKind::kTuple) {
+      std::optional<Value> f = inner.FindField(attr);
+      if (f.has_value()) return *f;
+    }
+  }
+  return Status::NotFound("no attribute '" + attr + "' reachable in " +
+                          v.ToString());
+}
+
+Result<om::Value> TextOfValue(const EvalContext& ctx, const om::Value& v) {
+  if (v.kind() == ValueKind::kString) return v;
+  if (v.kind() == ValueKind::kObject) {
+    if (ctx.element_texts == nullptr) {
+      return Status::InvalidArgument(
+          "text() needs the element-text side table (load documents "
+          "through the mapping layer)");
+    }
+    auto it = ctx.element_texts->find(v.AsObject().id());
+    if (it == ctx.element_texts->end()) {
+      return Status::NotFound("no text recorded for oid " +
+                              std::to_string(v.AsObject().id()));
+    }
+    return Value::String(it->second);
+  }
+  // Complex value: concatenate the text of its parts (e.g. the
+  // marked-union wrapper around a Body).
+  if (v.kind() == ValueKind::kTuple || v.kind() == ValueKind::kList ||
+      v.kind() == ValueKind::kSet) {
+    std::string out;
+    for (size_t i = 0; i < v.size(); ++i) {
+      Value part =
+          v.kind() == ValueKind::kTuple ? v.FieldValue(i) : v.Element(i);
+      Result<Value> t = TextOfValue(ctx, part);
+      if (!t.ok()) continue;
+      if (!out.empty()) out += ' ';
+      out += t.value().AsString();
+    }
+    return Value::String(out);
+  }
+  return Status::TypeError("text() expects a string or an object");
 }
 
 Result<bool> CheckFormulaInEnv(const EvalContext& ctx, const Formula& f,

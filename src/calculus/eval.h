@@ -26,6 +26,11 @@
 #include "om/database.h"
 #include "path/path.h"
 
+namespace sgmlqdb::text {
+class InvertedIndex;
+class TextQueryCache;
+}  // namespace sgmlqdb::text
+
 namespace sgmlqdb::calculus {
 
 struct EvalContext {
@@ -34,6 +39,21 @@ struct EvalContext {
   /// `text()` interpreted function and `contains` on objects. May be
   /// null (then text(oid) is an error).
   const std::map<uint64_t, std::string>* element_texts = nullptr;
+  /// Positional inverted index over the same units as element_texts
+  /// (unit id == element oid id). Optional; when set together with
+  /// `text_cache`, `contains`/`near` on objects probe index candidate
+  /// sets instead of scanning the text per row.
+  const text::InvertedIndex* text_index = nullptr;
+  /// Memoized compiled patterns + candidate sets (thread-safe, shared
+  /// across concurrent queries). Optional; null disables memoization
+  /// and index probing.
+  text::TextQueryCache* text_cache = nullptr;
+  /// unit id (== element oid id) -> oid id of the document root that
+  /// element was loaded under. IDREFs resolve within one document, so
+  /// navigation from a root stays inside its document — which lets the
+  /// algebra's IndexDocFilter discard whole documents whose units are
+  /// all outside a candidate set. Optional.
+  const std::map<uint64_t, uint64_t>* unit_docs = nullptr;
   /// Path-variable interpretation (§5.2).
   path::PathSemantics semantics = path::PathSemantics::kRestricted;
 };
@@ -72,6 +92,19 @@ Result<om::Value> EvaluateClosedTermInEnv(const EvalContext& ctx,
 /// `env` (used by the algebra's Filter operator).
 Result<bool> CheckFormulaInEnv(const EvalContext& ctx, const Formula& f,
                                const Env& env);
+
+/// `v.attr` with the paper's implicit dereferencing and implicit
+/// marked-union selectors (§4.2). Soft-fails with NotFound/TypeError
+/// when the attribute is unreachable. Used by the algebra's
+/// index-assisted operators to evaluate navigation terms without
+/// building a full environment.
+Result<om::Value> SelectAttrValue(const EvalContext& ctx, const om::Value& v,
+                                  const std::string& attr);
+
+/// The text() inverse mapping (§4.2): strings are themselves, objects
+/// map to their element's inner text, complex values concatenate the
+/// text of their parts.
+Result<om::Value> TextOfValue(const EvalContext& ctx, const om::Value& v);
 
 }  // namespace sgmlqdb::calculus
 

@@ -47,12 +47,15 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
   SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db_, loaded.root));
   for (const auto& [oid, text] : loaded.element_texts) {
     element_texts_[oid.id()] = text;
+    unit_docs_[oid.id()] = loaded.root.id();
     text_index_.Add(oid.id(), text);
   }
   if (!name.empty()) {
     SGMLQDB_RETURN_IF_ERROR(
         db_->BindName(name, om::Value::Object(loaded.root)));
   }
+  // Cached candidate sets are snapshots of the index; start fresh.
+  text_cache_ = std::make_shared<text::TextQueryCache>();
   return loaded.root;
 }
 
@@ -85,6 +88,7 @@ Result<om::Value> DocumentStore::Query(std::string_view statement,
   ctx.semantics = options.semantics;
   oql::OqlOptions oql_options;
   oql_options.engine = options.engine;
+  oql_options.optimize = options.optimize;
   return oql::ExecuteOql(ctx, db_->schema(), statement, oql_options);
 }
 
@@ -108,6 +112,9 @@ calculus::EvalContext DocumentStore::eval_context() const {
   calculus::EvalContext ctx;
   ctx.db = db_.get();
   ctx.element_texts = &element_texts_;
+  ctx.text_index = &text_index_;
+  ctx.text_cache = text_cache_.get();
+  ctx.unit_docs = &unit_docs_;
   return ctx;
 }
 

@@ -27,6 +27,7 @@
 #include "sgml/document.h"
 #include "sgml/dtd.h"
 #include "text/index.h"
+#include "text/query_cache.h"
 
 namespace sgmlqdb {
 
@@ -55,6 +56,9 @@ class DocumentStore {
     /// restricted semantics), and Query rejects the combination with
     /// the algebraic engine as InvalidArgument.
     path::PathSemantics semantics = path::PathSemantics::kRestricted;
+    /// Run the algebraic plan optimizer (index pushdown, filter
+    /// pushdown, branch pruning). No effect on the naive engine.
+    bool optimize = true;
   };
 
   /// Validates an engine/semantics combination: the liberal semantics
@@ -99,7 +103,16 @@ class DocumentStore {
   std::atomic<bool> frozen_{false};
   std::unique_ptr<om::Database> db_;
   std::map<uint64_t, std::string> element_texts_;
+  /// unit id -> oid id of the document root it was loaded under (see
+  /// calculus::EvalContext::unit_docs).
+  std::map<uint64_t, uint64_t> unit_docs_;
   text::InvertedIndex text_index_;
+  /// Pattern/candidate cache over text_index_. LoadDocument replaces
+  /// it with a fresh cache (cached candidate sets are snapshots of the
+  /// index); an eval_context() must not outlive a subsequent load.
+  /// Thread-safe for frozen-store concurrent serving.
+  std::shared_ptr<text::TextQueryCache> text_cache_ =
+      std::make_shared<text::TextQueryCache>();
 };
 
 }  // namespace sgmlqdb

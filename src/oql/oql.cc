@@ -22,6 +22,12 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
         algebra::CompileQuery(schema, prepared.query);
     if (compiled.ok()) {
       prepared.compiled = std::move(compiled).value();
+      if (options.optimize) {
+        algebra::OptimizeStats stats;
+        SGMLQDB_RETURN_IF_ERROR(algebra::OptimizePlan(
+            schema, &*prepared.compiled, algebra::OptimizeOptions{}, &stats));
+        prepared.optimize_stats = stats;
+      }
     } else if (compiled.status().code() != StatusCode::kUnsupported) {
       return compiled.status();
     }
@@ -32,18 +38,25 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
 }
 
 Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
-                                  const PreparedStatement& prepared) {
+                                  const PreparedStatement& prepared,
+                                  algebra::BranchExecutor* branch_executor) {
   if (!prepared.is_query) {
     return calculus::EvaluateClosedTerm(ctx, *prepared.term);
   }
   if (prepared.compiled.has_value()) {
-    Result<om::Value> r = algebra::ExecuteCompiled(ctx, *prepared.compiled);
+    Result<om::Value> r =
+        algebra::ExecuteCompiled(ctx, *prepared.compiled, branch_executor);
     if (r.ok() || r.status().code() != StatusCode::kUnsupported) {
       return r;
     }
     // Fall back to the reference evaluator for unsupported shapes.
   }
   return calculus::EvaluateQuery(ctx, prepared.query);
+}
+
+Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
+                                  const PreparedStatement& prepared) {
+  return ExecutePrepared(ctx, prepared, nullptr);
 }
 
 Result<om::Value> ExecuteOql(const calculus::EvalContext& ctx,

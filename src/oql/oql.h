@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "algebra/compile.h"
+#include "algebra/optimize.h"
 #include "base/status.h"
 #include "calculus/eval.h"
 #include "om/schema.h"
@@ -30,6 +31,10 @@ enum class Engine {
 
 struct OqlOptions {
   Engine engine = Engine::kNaive;
+  /// Run the algebraic optimizer (text-index pushdown, filter
+  /// pushdown, branch pruning) over the compiled plan. No effect on
+  /// the naive engine.
+  bool optimize = true;
 };
 
 /// The cacheable artifact of the parse -> calculus -> algebra front
@@ -48,6 +53,8 @@ struct PreparedStatement {
   /// The §5.4 plan, present iff engine == kAlgebraic and the query is
   /// inside the compilable fragment.
   std::optional<algebra::CompiledQuery> compiled;
+  /// What the optimizer did to `compiled` (absent when not run).
+  std::optional<algebra::OptimizeStats> optimize_stats;
 
   /// Union branches of the algebraic expansion (0 when not compiled).
   size_t branch_count() const {
@@ -63,7 +70,12 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
                                   std::string_view statement,
                                   const OqlOptions& options = {});
 
-/// Runs a prepared statement against the data in `ctx`.
+/// Runs a prepared statement against the data in `ctx`. A non-null
+/// `branch_executor` lets an algebraic plan run its union branches in
+/// parallel (results are identical and deterministically ordered).
+Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
+                                  const PreparedStatement& prepared,
+                                  algebra::BranchExecutor* branch_executor);
 Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
                                   const PreparedStatement& prepared);
 

@@ -1,0 +1,42 @@
+// PoolBranchExecutor: fans a parallel UnionAll's branches onto a
+// dedicated ThreadPool. Branch 0 runs on the calling thread (the
+// caller would only block on the futures anyway), branches 1..n-1 on
+// the pool. The pool is separate from the service's query pool:
+// branch tasks never queue behind whole queries, so a full query pool
+// cannot deadlock branch fan-out. ThreadPool::Submit runs inline
+// after shutdown, so Run() always completes.
+
+#ifndef SGMLQDB_SERVICE_BRANCH_EXECUTOR_H_
+#define SGMLQDB_SERVICE_BRANCH_EXECUTOR_H_
+
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "service/thread_pool.h"
+
+namespace sgmlqdb::service {
+
+class PoolBranchExecutor : public algebra::BranchExecutor {
+ public:
+  explicit PoolBranchExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  void Run(size_t n, const std::function<void(size_t)>& fn) override {
+    if (n == 0) return;
+    std::vector<std::future<void>> done;
+    done.reserve(n - 1);
+    for (size_t i = 1; i < n; ++i) {
+      done.push_back(pool_->Submit([&fn, i] { fn(i); }));
+    }
+    fn(0);
+    for (std::future<void>& f : done) f.get();
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace sgmlqdb::service
+
+#endif  // SGMLQDB_SERVICE_BRANCH_EXECUTOR_H_

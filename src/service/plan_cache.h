@@ -29,10 +29,12 @@ struct PlanKey {
   std::string text;
   oql::Engine engine = oql::Engine::kNaive;
   path::PathSemantics semantics = path::PathSemantics::kRestricted;
+  /// Optimized and unoptimized plans are distinct cache entries.
+  bool optimize = true;
 
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
-    return std::tie(a.text, a.engine, a.semantics) <
-           std::tie(b.text, b.engine, b.semantics);
+    return std::tie(a.text, a.engine, a.semantics, a.optimize) <
+           std::tie(b.text, b.engine, b.semantics, b.optimize);
   }
 };
 

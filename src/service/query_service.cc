@@ -38,6 +38,7 @@ QueryService::QueryService(DocumentStore& store, const Options& options)
     : store_(store),
       options_(options),
       plan_cache_(options.plan_cache_capacity),
+      branch_pool_(ResolveThreads(options.branch_threads)),
       pool_(ResolveThreads(options.num_threads)) {
   store.Freeze();
 }
@@ -46,7 +47,9 @@ QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() {
   serving_.store(false);
+  // Queries first (they fan out onto the branch pool), branches after.
   pool_.Shutdown();
+  branch_pool_.Shutdown();
 }
 
 std::future<Result<om::Value>> QueryService::Execute(
@@ -102,7 +105,7 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
     return Status::InvalidArgument("load a DTD first");
   }
   const auto start = std::chrono::steady_clock::now();
-  PlanKey key{oql, options.engine, options.semantics};
+  PlanKey key{oql, options.engine, options.semantics, options.optimize};
   std::shared_ptr<const oql::PreparedStatement> prepared =
       plan_cache_.Get(key);
   const bool cache_hit = prepared != nullptr;
@@ -110,6 +113,7 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
     if (!cache_hit) {
       oql::OqlOptions oql_options;
       oql_options.engine = options.engine;
+      oql_options.optimize = options.optimize;
       Result<oql::PreparedStatement> p =
           oql::Prepare(store_.schema(), oql, oql_options);
       if (!p.ok()) return p.status();
@@ -119,7 +123,8 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
     }
     calculus::EvalContext ctx = store_.eval_context();
     ctx.semantics = options.semantics;
-    return oql::ExecutePrepared(ctx, *prepared);
+    return oql::ExecutePrepared(
+        ctx, *prepared, options_.parallel_union ? &branch_exec_ : nullptr);
   }();
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);

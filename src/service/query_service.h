@@ -31,6 +31,7 @@
 
 #include "base/status.h"
 #include "core/document_store.h"
+#include "service/branch_executor.h"
 #include "service/plan_cache.h"
 #include "service/stats.h"
 #include "service/thread_pool.h"
@@ -47,6 +48,14 @@ class QueryService {
     /// In-flight (queued + executing) limit; above it Execute returns
     /// Status::Unavailable.
     size_t max_queue_depth = 256;
+    /// Threads of the union-branch pool (0 = one per hardware
+    /// thread). Separate from the query pool so branch fan-out never
+    /// queues behind whole queries.
+    size_t branch_threads = 0;
+    /// Fan a multi-branch algebraic UnionAll onto the branch pool.
+    /// Results are identical to serial execution (deterministic branch
+    /// order); turn off to pin each query to one thread.
+    bool parallel_union = true;
   };
 
   using QueryOptions = DocumentStore::QueryOptions;
@@ -97,6 +106,10 @@ class QueryService {
   ServiceStats stats_;
   std::atomic<bool> serving_{true};
   std::atomic<size_t> inflight_{0};
+  /// Union-branch pool, declared before pool_: query workers (which
+  /// fan out onto it) die first on destruction.
+  ThreadPool branch_pool_;
+  PoolBranchExecutor branch_exec_{&branch_pool_};
   ThreadPool pool_;  // last member: workers die before the rest
 };
 

@@ -37,68 +37,101 @@ std::vector<UnitId> Intersect(const std::vector<UnitId>& a,
   return out;
 }
 
+std::vector<UnitId> Union(const std::vector<UnitId>& a,
+                          const std::vector<UnitId>& b) {
+  std::vector<UnitId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<UnitId> Difference(const std::vector<UnitId>& a,
+                               const std::vector<UnitId>& b) {
+  std::vector<UnitId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// A candidate set plus whether it is known to be the exact match set
+/// (rather than a superset needing Pattern::Matches confirmation).
+struct CandSet {
+  std::vector<UnitId> units;  // sorted
+  bool exact;
+};
+
+/// Evaluates the pattern tree on the index. `all` is the full sorted
+/// unit list (the top element of the candidate lattice, and the base
+/// of `not` complements).
+CandSet WalkNode(const InvertedIndex& index, const Pattern::Node& node,
+                 const std::vector<UnitId>& all) {
+  switch (node.kind) {
+    case Pattern::Kind::kWord: {
+      const WordPattern& w = node.word;
+      if (w.token_count() == 1 && w.plain_word(0) != nullptr) {
+        // Plain single word: the postings list *is* the match set
+        // (both sides tokenize and compare case-insensitively).
+        return CandSet{index.Lookup(*w.plain_word(0)), /*exact=*/true};
+      }
+      // Phrase: a match needs every plain part somewhere in the unit
+      // (adjacency is not checked — conservative). Regex parts cannot
+      // prune; a pattern with no plain part returns all units.
+      bool any_plain = false;
+      std::vector<UnitId> units;
+      for (size_t i = 0; i < w.token_count(); ++i) {
+        const std::string* word = w.plain_word(i);
+        if (word == nullptr) continue;
+        std::vector<UnitId> u = index.Lookup(*word);
+        units = any_plain ? Intersect(units, u) : std::move(u);
+        any_plain = true;
+      }
+      return CandSet{any_plain ? std::move(units) : all, /*exact=*/false};
+    }
+    case Pattern::Kind::kAnd: {
+      CandSet out = WalkNode(index, *node.kids[0], all);
+      for (size_t i = 1; i < node.kids.size(); ++i) {
+        CandSet k = WalkNode(index, *node.kids[i], all);
+        out.units = Intersect(out.units, k.units);
+        out.exact = out.exact && k.exact;
+      }
+      return out;
+    }
+    case Pattern::Kind::kOr: {
+      CandSet out = WalkNode(index, *node.kids[0], all);
+      for (size_t i = 1; i < node.kids.size(); ++i) {
+        CandSet k = WalkNode(index, *node.kids[i], all);
+        out.units = Union(out.units, k.units);
+        out.exact = out.exact && k.exact;
+      }
+      return out;
+    }
+    case Pattern::Kind::kNot: {
+      CandSet k = WalkNode(index, *node.kids[0], all);
+      if (k.exact) {
+        // Exact complement: units not matching the subpattern.
+        return CandSet{Difference(all, k.units), /*exact=*/true};
+      }
+      // The subpattern over-approximates, so its complement may drop
+      // true matches — the only sound candidate set is all units.
+      return CandSet{all, /*exact=*/false};
+    }
+  }
+  return CandSet{all, /*exact=*/false};
+}
+
 }  // namespace
 
 std::vector<UnitId> InvertedIndex::Candidates(const Pattern& pattern,
                                               bool* exact) const {
-  *exact = false;
-  std::vector<const WordPattern*> words = pattern.PositiveWords();
-  if (words.empty()) {
-    // Purely negative (or empty): every unit is a candidate.
-    std::vector<UnitId> all = units_;
-    std::sort(all.begin(), all.end());
-    return all;
+  // `units_` is sorted by the Add contract (increasing ids), as are
+  // the per-term postings Lookup draws from.
+  if (pattern.root() == nullptr) {
+    *exact = false;
+    return units_;
   }
-  // Conservative candidate set: a unit must contain at least one
-  // token of every positive *plain single word* pattern. Phrase and
-  // regex parts contribute their plain words only; if a positive word
-  // pattern has no plain part at all, it cannot prune (fall back to
-  // the full unit list for that conjunct).
-  //
-  // This is exact when the pattern is a pure AND of plain single
-  // words; the caller is told through `exact`.
-  bool all_plain_single = true;
-  std::vector<UnitId> result;
-  bool first = true;
-  for (const WordPattern* w : words) {
-    std::vector<UnitId> units_for_word;
-    if (w->token_count() == 1 && !Regex::HasMetacharacters(w->text())) {
-      units_for_word = Lookup(w->text());
-      std::sort(units_for_word.begin(), units_for_word.end());
-    } else {
-      all_plain_single = false;
-      // Phrase: intersect the units of its plain parts (conservative).
-      bool any_plain = false;
-      std::vector<UnitId> phrase_units;
-      bool phrase_first = true;
-      for (const std::string& part : Split(w->text(), ' ')) {
-        if (part.empty() || Regex::HasMetacharacters(part)) continue;
-        any_plain = true;
-        std::vector<UnitId> u = Lookup(part);
-        std::sort(u.begin(), u.end());
-        phrase_units = phrase_first ? u : Intersect(phrase_units, u);
-        phrase_first = false;
-      }
-      if (any_plain) {
-        units_for_word = std::move(phrase_units);
-      } else {
-        units_for_word = units_;
-        std::sort(units_for_word.begin(), units_for_word.end());
-      }
-    }
-    result = first ? units_for_word : Intersect(result, units_for_word);
-    first = false;
-  }
-  // The intersection across positive words is only exact when the
-  // pattern is a conjunction; detecting the general case precisely is
-  // not worth it — treat AND-of-plain-words via ToString heuristics.
-  // We report exact=true only when every positive word is plain/single
-  // AND the pattern has no 'or'/'not' connective.
-  std::string s = pattern.ToString();
-  bool has_or = s.find(" or ") != std::string::npos;
-  bool has_not = s.find("not ") != std::string::npos;
-  *exact = all_plain_single && !has_or && !has_not;
-  return result;
+  CandSet out = WalkNode(*this, *pattern.root(), units_);
+  *exact = out.exact;
+  return std::move(out.units);
 }
 
 std::vector<UnitId> InvertedIndex::NearLookup(std::string_view word1,

@@ -28,11 +28,16 @@ class InvertedIndex {
   size_t unit_count() const { return unit_count_; }
   size_t term_count() const { return postings_.size(); }
 
-  /// Units whose token list *may* match the pattern: the intersection/
-  /// union structure of the pattern's positive words is evaluated on
-  /// the index (conservative for phrases and regexes, exact for plain
-  /// single words combined with and/or). For purely negative patterns
-  /// this returns all units. Candidates must be confirmed with
+  /// Units whose token list *may* match the pattern. The pattern's
+  /// and/or/not structure is evaluated directly on the index
+  /// (intersection / union / complement of postings), so the result is
+  /// always a superset of the true matches. `*exact` is set when the
+  /// result is known to be the exact match set: plain single words
+  /// combined with and/or, and `not` of an exact subpattern (the
+  /// complement against all units). Phrases and regexes are
+  /// conservative — phrases contribute the intersection of their plain
+  /// parts, regexes cannot prune. Purely negative and empty patterns
+  /// return all units (inexact). Candidates must be confirmed with
   /// Pattern::Matches on the unit's text unless `*exact` is true.
   std::vector<UnitId> Candidates(const Pattern& pattern, bool* exact) const;
 

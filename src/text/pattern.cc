@@ -76,12 +76,6 @@ bool WordPattern::Matches(const std::vector<std::string>& tokens) const {
 
 // ---------------------------------------------------------------------
 
-struct Pattern::Node {
-  Kind kind;
-  WordPattern word;                               // kWord
-  std::vector<std::shared_ptr<const Node>> kids;  // kAnd/kOr/kNot
-};
-
 namespace {
 
 class PatternParser {

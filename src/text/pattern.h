@@ -42,6 +42,12 @@ class WordPattern {
   /// Number of consecutive tokens consumed (1 for single words).
   size_t token_count() const { return parts_.size(); }
 
+  /// The lowercased plain word of part `i`, or nullptr when that part
+  /// is a regex (used by the inverted index for candidate lookups).
+  const std::string* plain_word(size_t i) const {
+    return parts_[i].regex == nullptr ? &parts_[i].word : nullptr;
+  }
+
   const std::string& text() const { return text_; }
 
  private:
@@ -77,9 +83,18 @@ class Pattern {
   std::string ToString() const;
 
   // Implementation detail, public for the parser/evaluator in
-  // pattern.cc; not part of the supported API.
+  // pattern.cc and the inverted index's structural candidate walk;
+  // not part of the supported API.
   enum class Kind { kWord, kAnd, kOr, kNot };
-  struct Node;
+  struct Node {
+    Kind kind;
+    WordPattern word;                               // kWord
+    std::vector<std::shared_ptr<const Node>> kids;  // kAnd/kOr/kNot
+  };
+
+  /// The parsed syntax tree (null only for a default-constructed
+  /// Pattern, which Parse never returns).
+  const std::shared_ptr<const Node>& root() const { return root_; }
 
  private:
   std::shared_ptr<const Node> root_;

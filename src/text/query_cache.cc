@@ -1,0 +1,88 @@
+#include "text/query_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/strutil.h"
+#include "text/regex.h"
+
+namespace sgmlqdb::text {
+
+bool IsPlainSingleWord(std::string_view word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (IsAsciiSpace(c)) return false;
+  }
+  return !Regex::HasMetacharacters(word);
+}
+
+Result<std::shared_ptr<const TextQueryCache::ContainsEntry>>
+TextQueryCache::Contains(const InvertedIndex* index,
+                         std::string_view pattern_text) {
+  std::string key = (index != nullptr ? "i:" : "s:");
+  key += pattern_text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = contains_.find(key);
+    if (it != contains_.end()) return it->second;
+  }
+  // Build outside the lock — parsing and the candidate walk can be
+  // slow, and concurrent builders of the same key just race benignly
+  // (first insert wins).
+  SGMLQDB_ASSIGN_OR_RETURN(Pattern pattern, Pattern::Parse(pattern_text));
+  auto entry = std::make_shared<ContainsEntry>();
+  entry->pattern = std::move(pattern);
+  if (index != nullptr) {
+    bool exact = false;
+    std::vector<UnitId> units = index->Candidates(entry->pattern, &exact);
+    entry->candidates = std::make_shared<const std::unordered_set<UnitId>>(
+        units.begin(), units.end());
+    entry->exact = exact;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = contains_.emplace(std::move(key), std::move(entry));
+  return it->second;
+}
+
+std::shared_ptr<const std::unordered_set<UnitId>> TextQueryCache::NearUnits(
+    const InvertedIndex& index, std::string_view word1,
+    std::string_view word2, size_t max_distance) {
+  std::string key;
+  key += word1;
+  key += '\x1f';
+  key += word2;
+  key += '\x1f';
+  key += std::to_string(max_distance);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = near_.find(key);
+    if (it != near_.end()) return it->second;
+  }
+  std::vector<UnitId> units = index.NearLookup(word1, word2, max_distance);
+  auto set = std::make_shared<const std::unordered_set<UnitId>>(units.begin(),
+                                                                units.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = near_.emplace(std::move(key), std::move(set));
+  return it->second;
+}
+
+std::shared_ptr<const std::unordered_set<uint64_t>> TextQueryCache::Docs(
+    std::string_view key,
+    const std::function<std::unordered_set<uint64_t>()>& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(key);
+    if (it != docs_.end()) return it->second;
+  }
+  auto set = std::make_shared<const std::unordered_set<uint64_t>>(compute());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = docs_.emplace(std::string(key), std::move(set));
+  return it->second;
+}
+
+size_t TextQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contains_.size() + near_.size() + docs_.size();
+}
+
+}  // namespace sgmlqdb::text

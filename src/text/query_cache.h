@@ -1,0 +1,88 @@
+// TextQueryCache: memoized text-predicate state for a frozen corpus.
+//
+// Every `contains`/`near` atom reaching the evaluators carries its
+// pattern as a constant string, and the naive evaluation re-parses it
+// and re-consults the index per *row*. The cache turns that into a
+// once-per-(pattern, store) cost: a Contains entry holds the compiled
+// Pattern plus the InvertedIndex candidate set (as a hash set for O(1)
+// membership probes), and NearUnits holds the exact positional-index
+// answer for a near predicate over plain words.
+//
+// Thread-safe. Entries are immutable and handed out as
+// shared_ptr<const ...>, so concurrent query threads share them
+// without copying. The cache must be discarded when the index grows
+// (DocumentStore recreates it after each LoadDocument).
+
+#ifndef SGMLQDB_TEXT_QUERY_CACHE_H_
+#define SGMLQDB_TEXT_QUERY_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "base/status.h"
+#include "text/index.h"
+#include "text/pattern.h"
+
+namespace sgmlqdb::text {
+
+/// True for a word that NearLookup answers exactly: non-empty, a
+/// single token, and no regex metacharacters.
+bool IsPlainSingleWord(std::string_view word);
+
+class TextQueryCache {
+ public:
+  struct ContainsEntry {
+    Pattern pattern;
+    /// Candidate unit set, or null when the entry was built without an
+    /// index (then every unit must be confirmed with `pattern`). When
+    /// set, a unit absent from the set cannot match.
+    std::shared_ptr<const std::unordered_set<UnitId>> candidates;
+    /// True when `candidates` is the exact match set — membership
+    /// alone decides, no Pattern::Matches confirmation needed.
+    bool exact = false;
+  };
+
+  /// The compiled pattern + candidate set for `pattern_text`.
+  /// `index` may be null (no candidate pruning, pattern only). Parse
+  /// errors are returned, not cached.
+  Result<std::shared_ptr<const ContainsEntry>> Contains(
+      const InvertedIndex* index, std::string_view pattern_text);
+
+  /// The exact unit set where `word1` and `word2` occur within
+  /// `max_distance` words. Only valid when both words are
+  /// IsPlainSingleWord (the caller must check).
+  std::shared_ptr<const std::unordered_set<UnitId>> NearUnits(
+      const InvertedIndex& index, std::string_view word1,
+      std::string_view word2, size_t max_distance);
+
+  /// Memoized document-id set for a document prefilter, computed by
+  /// `compute` on first use of `key`. Callers key by predicate +
+  /// class restriction; the cache's per-load lifetime keeps entries
+  /// consistent with the index snapshot.
+  std::shared_ptr<const std::unordered_set<uint64_t>> Docs(
+      std::string_view key,
+      const std::function<std::unordered_set<uint64_t>()>& compute);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Keyed by "i:" / "s:" (with / without index) + pattern text.
+  std::map<std::string, std::shared_ptr<const ContainsEntry>, std::less<>>
+      contains_;
+  std::map<std::string, std::shared_ptr<const std::unordered_set<UnitId>>,
+           std::less<>>
+      near_;
+  std::map<std::string,
+           std::shared_ptr<const std::unordered_set<uint64_t>>, std::less<>>
+      docs_;
+};
+
+}  // namespace sgmlqdb::text
+
+#endif  // SGMLQDB_TEXT_QUERY_CACHE_H_

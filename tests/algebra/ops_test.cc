@@ -189,7 +189,7 @@ TEST_F(OpsTest, SharedPrefixMemoization) {
   auto right = UnnestList(shared, "ss", "s2");
   auto rows = Run(UnionAll({left, right}));
   EXPECT_EQ(rows.size(), 4u);
-  EXPECT_GE(ctx_.memo.size(), 1u);
+  EXPECT_GE(ctx_.memo->size(), 1u);
 }
 
 }  // namespace

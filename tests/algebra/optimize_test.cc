@@ -1,0 +1,324 @@
+// Optimizer correctness: the parity matrix (engines × optimizer
+// on/off must agree, with a no-index evaluation as ground truth),
+// plan-shape assertions for the three rewrites, and parallel
+// UnionAll determinism (run under TSan by scripts/tier1.sh).
+
+#include "algebra/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/compile.h"
+#include "algebra/ops.h"
+#include "calculus/formula.h"
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "oql/oql.h"
+#include "service/branch_executor.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::algebra {
+namespace {
+
+using om::Value;
+
+// The paper's queries (bench_util.h's mix) plus extra text-heavy
+// shapes: a near() filter and an attribute-sweep contains whose union
+// has statically infeasible branches.
+const char* kParityQueries[] = {
+    "select tuple (t: a.title, f_author: first(a.authors)) "
+    "from a in Articles, s in a.sections "
+    "where s.title contains (\"SGML\" or \"query\")",
+    "select text(ss) from a in Articles, s in a.sections, "
+    "ss in s.subsectns where ss contains (\"complex\" and \"object\")",
+    "select t from doc0 .. title(t)",
+    "doc0 PATH_p - doc0 PATH_q",
+    "select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
+    "where val contains (\"final\")",
+    "select a from a in Articles, "
+    "i in positions(a, \"abstract\"), "
+    "j in positions(a, \"sections\") where i < j",
+    "select s from a in Articles, s in a.sections "
+    "where near(s, \"the\", \"of\", 6)",
+    "select s from a in Articles, s in a.sections "
+    "where s contains (not \"zzzunindexed\")",
+    "select val from doc0 PATH_p.ATT_a(val) "
+    "where val.title contains (\"the\")",
+    "select tuple (t: a.title, f_author: first(a.authors)) "
+    "from a in Articles, s in a.sections "
+    "where s.title contains (\"recursion\")",
+};
+
+DocumentStore& SharedStore() {
+  static DocumentStore* store = [] {
+    auto* s = new DocumentStore();
+    if (!s->LoadDtd(sgml::ArticleDtdText()).ok()) std::abort();
+    corpus::ArticleParams params;
+    params.sections = 4;
+    params.subsection_prob = 0.4;
+    params.figure_prob = 0.2;
+    bool first = true;
+    for (const std::string& article : corpus::GenerateCorpus(6, params)) {
+      if (!s->LoadDocument(article, first ? "doc0" : "").ok()) std::abort();
+      first = false;
+    }
+    return s;
+  }();
+  return *store;
+}
+
+TEST(OptimizeParity, EnginesAndOptimizerAgree) {
+  DocumentStore& store = SharedStore();
+  // Ground truth: the reference evaluator with no inverted index and
+  // no pattern cache in the context — pure text matching.
+  calculus::EvalContext plain = store.eval_context();
+  plain.text_index = nullptr;
+  plain.text_cache = nullptr;
+  for (const char* q : kParityQueries) {
+    oql::OqlOptions naive_opts;
+    auto ground = oql::ExecuteOql(plain, store.schema(), q, naive_opts);
+    ASSERT_TRUE(ground.ok()) << ground.status() << " for " << q;
+    for (oql::Engine engine : {oql::Engine::kNaive, oql::Engine::kAlgebraic}) {
+      for (bool optimize : {false, true}) {
+        DocumentStore::QueryOptions o;
+        o.engine = engine;
+        o.optimize = optimize;
+        auto r = store.Query(q, o);
+        ASSERT_TRUE(r.ok()) << r.status() << " for " << q;
+        EXPECT_EQ(r.value(), ground.value())
+            << q << " engine=" << static_cast<int>(engine)
+            << " optimize=" << optimize;
+      }
+    }
+  }
+}
+
+TEST(OptimizeParity, PropertyCorpusSweep) {
+  struct Shape {
+    uint64_t seed;
+    size_t sections;
+    double subsection_prob;
+  };
+  for (const Shape& shape :
+       {Shape{7, 2, 0.0}, Shape{8, 5, 1.0}, Shape{9, 3, 0.5}}) {
+    DocumentStore store;
+    ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+    corpus::ArticleParams params;
+    params.seed = shape.seed;
+    params.sections = shape.sections;
+    params.subsection_prob = shape.subsection_prob;
+    ASSERT_TRUE(store.LoadDocument(corpus::GenerateArticle(params), "doc0")
+                    .ok());
+    for (const char* q : kParityQueries) {
+      auto naive = store.Query(q, oql::Engine::kNaive);
+      ASSERT_TRUE(naive.ok()) << naive.status() << " for " << q;
+      DocumentStore::QueryOptions o;
+      o.engine = oql::Engine::kAlgebraic;
+      for (bool optimize : {false, true}) {
+        o.optimize = optimize;
+        auto r = store.Query(q, o);
+        ASSERT_TRUE(r.ok()) << r.status() << " for " << q;
+        EXPECT_EQ(r.value(), naive.value())
+            << q << " seed=" << shape.seed << " optimize=" << optimize;
+      }
+    }
+  }
+}
+
+oql::PreparedStatement PrepareAlgebraic(const std::string& q, bool optimize) {
+  oql::OqlOptions opts;
+  opts.engine = oql::Engine::kAlgebraic;
+  opts.optimize = optimize;
+  auto p = oql::Prepare(SharedStore().schema(), q, opts);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return std::move(p).value();
+}
+
+TEST(OptimizeShape, ContainsFilterBecomesIndexSemiJoin) {
+  const std::string q =
+      "select s from a in Articles, s in a.sections "
+      "where s.title contains (\"SGML\" or \"query\")";
+  oql::PreparedStatement off = PrepareAlgebraic(q, false);
+  ASSERT_TRUE(off.compiled.has_value());
+  EXPECT_EQ(PlanToString(off.compiled->plan).find("IndexSemiJoin"),
+            std::string::npos);
+  EXPECT_FALSE(off.optimize_stats.has_value());
+
+  oql::PreparedStatement on = PrepareAlgebraic(q, true);
+  ASSERT_TRUE(on.compiled.has_value());
+  std::string plan = PlanToString(on.compiled->plan);
+  EXPECT_NE(plan.find("IndexSemiJoin"), std::string::npos) << plan;
+  ASSERT_TRUE(on.optimize_stats.has_value());
+  EXPECT_GE(on.optimize_stats->index_pushdowns, 1u);
+}
+
+TEST(OptimizeShape, DocFilterSplicedBelowIndexJoinWithTermClass) {
+  // Q1's shape: the contains sits two navigation steps above the
+  // article anchor, so the optimizer also splices a document-level
+  // prefilter right above the Articles unnest, class-restricted to
+  // the term's static class (Title) so body-text candidates cannot
+  // keep a document alive.
+  const std::string q =
+      "select tuple (t: a.title, f_author: first(a.authors)) "
+      "from a in Articles, s in a.sections "
+      "where s.title contains (\"SGML\" or \"query\")";
+  oql::PreparedStatement on = PrepareAlgebraic(q, true);
+  ASSERT_TRUE(on.compiled.has_value());
+  std::string plan = PlanToString(on.compiled->plan);
+  size_t join = plan.find("IndexSemiJoin");
+  size_t filter = plan.find("IndexDocFilter a ~ contains");
+  ASSERT_NE(join, std::string::npos) << plan;
+  ASSERT_NE(filter, std::string::npos) << plan;
+  // Root-first printing: the doc filter is in the join's subtree.
+  EXPECT_LT(join, filter) << plan;
+  EXPECT_NE(plan.find("[Title]"), std::string::npos) << plan;
+  ASSERT_TRUE(on.optimize_stats.has_value());
+  EXPECT_GE(on.optimize_stats->doc_filters, 1u);
+
+  oql::PreparedStatement off = PrepareAlgebraic(q, false);
+  ASSERT_TRUE(off.compiled.has_value());
+  EXPECT_EQ(PlanToString(off.compiled->plan).find("IndexDocFilter"),
+            std::string::npos);
+}
+
+TEST(OptimizeShape, NearFilterBecomesIndexNearJoin) {
+  const std::string q =
+      "select s from a in Articles, s in a.sections "
+      "where near(s, \"the\", \"of\", 6)";
+  oql::PreparedStatement on = PrepareAlgebraic(q, true);
+  ASSERT_TRUE(on.compiled.has_value());
+  std::string plan = PlanToString(on.compiled->plan);
+  EXPECT_NE(plan.find("IndexNearJoin"), std::string::npos) << plan;
+  ASSERT_TRUE(on.optimize_stats.has_value());
+  EXPECT_GE(on.optimize_stats->index_pushdowns, 1u);
+}
+
+TEST(OptimizeShape, InfeasibleBranchesArePruned) {
+  // ATT_a sweeps every attribute; `val.title` is statically dead on
+  // branches whose captured value is a string or a list (SelectAttr
+  // soft-fails on every row), so those union branches disappear.
+  const std::string q =
+      "select val from doc0 PATH_p.ATT_a(val) "
+      "where val.title contains (\"the\")";
+  oql::PreparedStatement off = PrepareAlgebraic(q, false);
+  oql::PreparedStatement on = PrepareAlgebraic(q, true);
+  ASSERT_TRUE(off.compiled.has_value());
+  ASSERT_TRUE(on.compiled.has_value());
+  ASSERT_TRUE(on.optimize_stats.has_value());
+  EXPECT_GE(on.optimize_stats->branches_pruned, 1u);
+  EXPECT_LT(on.compiled->branch_count, off.compiled->branch_count);
+}
+
+TEST(OptimizeShape, CheapPredicateSinksBelowNavigation) {
+  // Handcrafted branch: the filter reads only the RootScan's column,
+  // so it must sink below both navigation steps.
+  auto formula = calculus::Formula::Less(
+      calculus::DataTerm::Var("d"),
+      calculus::DataTerm::Const(Value::Integer(5)));
+  std::map<std::string, calculus::Sort> sorts = {
+      {"d", calculus::Sort::kData}};
+  PlanPtr chain = Filter(
+      UnnestList(AttrStep(RootScan("Doc", "d"), "d", "sections", "ss"), "ss",
+                 "s"),
+      formula, sorts);
+  CompiledQuery compiled;
+  compiled.plan = Distinct(UnionAll({Project(chain, {"d"})}));
+  compiled.branch_count = 1;
+  compiled.branch_types.push_back({});
+
+  om::Schema schema;
+  OptimizeStats stats;
+  ASSERT_TRUE(OptimizePlan(schema, &compiled, {}, &stats).ok());
+  EXPECT_EQ(stats.filters_pushed, 1u);
+  std::string plan = PlanToString(compiled.plan);
+  // The filter now sits below UnnestList/AttrStep, on top of RootScan.
+  size_t unnest = plan.find("UnnestList");
+  size_t attr = plan.find("AttrStep");
+  size_t filter = plan.find("Filter");
+  size_t scan = plan.find("RootScan");
+  ASSERT_NE(unnest, std::string::npos) << plan;
+  ASSERT_NE(filter, std::string::npos) << plan;
+  EXPECT_LT(unnest, filter) << plan;
+  EXPECT_LT(attr, filter) << plan;
+  EXPECT_LT(filter, scan) << plan;
+}
+
+TEST(OptimizeShape, UnrecognizedPlanPassesThrough) {
+  CompiledQuery compiled;
+  compiled.plan = RootScan("Doc", "d");
+  compiled.branch_count = 0;
+  om::Schema schema;
+  OptimizeStats stats;
+  ASSERT_TRUE(OptimizePlan(schema, &compiled, {}, &stats).ok());
+  EXPECT_EQ(compiled.plan->kind(), NodeKind::kRootScan);
+  EXPECT_EQ(stats.index_pushdowns, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Parallel union execution.
+
+TEST(ParallelUnionTest, PoolExecutorMatchesSerialExecution) {
+  DocumentStore& store = SharedStore();
+  const std::string q =
+      "select tuple (t: a.title, f_author: first(a.authors)) "
+      "from a in Articles, s in a.sections "
+      "where s.title contains (\"SGML\" or \"query\")";
+  oql::PreparedStatement prepared = PrepareAlgebraic(q, true);
+  ASSERT_TRUE(prepared.compiled.has_value());
+  calculus::EvalContext ctx = store.eval_context();
+  auto serial = ExecuteCompiled(ctx, *prepared.compiled);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  service::ThreadPool pool(4);
+  service::PoolBranchExecutor executor(&pool);
+  for (int i = 0; i < 8; ++i) {
+    auto parallel = ExecuteCompiled(ctx, *prepared.compiled, &executor);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel.value(), serial.value());
+  }
+}
+
+TEST(ParallelUnionTest, QueryServiceParallelResultsAreDeterministic) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  corpus::ArticleParams params;
+  params.sections = 3;
+  params.subsection_prob = 0.5;
+  bool first = true;
+  for (const std::string& article : corpus::GenerateCorpus(3, params)) {
+    ASSERT_TRUE(store.LoadDocument(article, first ? "doc0" : "").ok());
+    first = false;
+  }
+  std::vector<std::string> queries;
+  for (const char* q : kParityQueries) queries.push_back(q);
+  DocumentStore::QueryOptions algebraic;
+  algebraic.engine = oql::Engine::kAlgebraic;
+  std::vector<Value> expected;
+  for (const std::string& q : queries) {
+    auto r = store.Query(q, algebraic);
+    ASSERT_TRUE(r.ok()) << r.status() << " for " << q;
+    expected.push_back(r.value());
+  }
+
+  service::QueryService::Options options;
+  options.num_threads = 4;
+  options.branch_threads = 4;
+  options.parallel_union = true;
+  service::QueryService service(store, options);
+  for (int round = 0; round < 3; ++round) {
+    auto results = service.ExecuteBatch(queries, algebraic);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << results[i].status() << " for " << queries[i];
+      EXPECT_EQ(results[i].value(), expected[i]) << queries[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgmlqdb::algebra

@@ -37,26 +37,39 @@ TEST_F(IndexTest, CandidatesForConjunction) {
   EXPECT_TRUE(exact);  // plain single words, AND only
 }
 
-TEST_F(IndexTest, CandidatesForDisjunctionAreConservative) {
-  bool exact = true;
+TEST_F(IndexTest, CandidatesForDisjunctionUnionPostings) {
+  bool exact = false;
+  // A disjunction of plain single words is the union of their
+  // postings — and it is exact (regression: this used to intersect
+  // all positive words, dropping every OR-only match).
   auto c = index_.Candidates(P(R"("SGML" or "query")"), &exact);
+  EXPECT_EQ(c, (std::vector<UnitId>{1, 2, 3, 4}));
+  EXPECT_TRUE(exact);
+  // An OR with an inexact arm stays a superset and loses exactness.
+  auto c2 = index_.Candidates(P(R"("oodbms" or "complex object")"), &exact);
+  EXPECT_EQ(c2, (std::vector<UnitId>{1, 4}));
   EXPECT_FALSE(exact);
-  // Conservative: the intersection across positive words may over- or
-  // under-constrain ORs; all true matches must still verify.
-  Pattern p = P(R"("SGML" or "query")");
-  std::vector<std::string_view> texts = {
-      "", "Mapping SGML documents into an OODBMS",
-      "The SGML standard and its grammar",
-      "Query languages for object oriented databases",
-      "SGML and OODBMS integration with complex object models"};
-  (void)texts;
 }
 
-TEST_F(IndexTest, CandidatesForNegativePatternIsEverything) {
-  bool exact = true;
+TEST_F(IndexTest, CandidatesForNegativePatternComplement) {
+  // `not w` for a plain indexed word is the exact complement of the
+  // word's postings.
+  bool exact = false;
   auto c = index_.Candidates(P(R"(not "sgml")"), &exact);
+  EXPECT_EQ(c, (std::vector<UnitId>{3}));
+  EXPECT_TRUE(exact);
+  // Negating an inexact subpattern must widen to all units.
+  auto c2 = index_.Candidates(P(R"(not "complex object")"), &exact);
+  EXPECT_EQ(c2.size(), 4u);
   EXPECT_FALSE(exact);
-  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST_F(IndexTest, CandidatesMixedAndOrNot) {
+  bool exact = false;
+  // (sgml and not oodbms) — units with sgml minus units with oodbms.
+  auto c = index_.Candidates(P(R"("sgml" and not "oodbms")"), &exact);
+  EXPECT_EQ(c, (std::vector<UnitId>{2}));
+  EXPECT_TRUE(exact);
 }
 
 TEST_F(IndexTest, PhraseCandidatesUsePlainParts) {
@@ -78,6 +91,25 @@ TEST_F(IndexTest, NearLookup) {
   EXPECT_EQ(index_.NearLookup("sgml", "oodbms", 4),
             (std::vector<UnitId>{1, 4}));
   EXPECT_TRUE(index_.NearLookup("sgml", "missing", 10).empty());
+}
+
+TEST_F(IndexTest, NearLookupBoundaries) {
+  // Identical words at max_distance 0: the word co-occurs with itself
+  // at distance 0, so every containing unit matches — the same answer
+  // text::Near gives (parity matters: IndexNearJoin swaps one for the
+  // other).
+  EXPECT_EQ(index_.NearLookup("sgml", "sgml", 0),
+            (std::vector<UnitId>{1, 2, 4}));
+  // Adjacent words at max_distance 0 must NOT match (and the unsigned
+  // position difference must not wrap around when word1 follows
+  // word2): "standard" is right after "sgml" in unit 2.
+  EXPECT_TRUE(index_.NearLookup("sgml", "standard", 0).empty());
+  EXPECT_TRUE(index_.NearLookup("standard", "sgml", 0).empty());
+  // ...and at max_distance 1 both argument orders match.
+  EXPECT_EQ(index_.NearLookup("sgml", "standard", 1),
+            (std::vector<UnitId>{2}));
+  EXPECT_EQ(index_.NearLookup("standard", "sgml", 1),
+            (std::vector<UnitId>{2}));
 }
 
 TEST_F(IndexTest, Stats) {
