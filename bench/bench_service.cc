@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <string>
 #include <vector>
@@ -131,6 +133,86 @@ void BM_ColdCache(benchmark::State& state, oql::Engine engine) {
   state.counters["cache_hits"] =
       static_cast<double>(service.plan_cache().hits());
 }
+
+/// E12 — tail latency with per-query deadlines on vs off.
+///
+/// The Q1..Q6 mix is oversubscribed onto 2 workers (48 statements per
+/// round), so queue wait dominates the tail. Arg(0) is timeout_ms:
+/// 0 = no deadlines (every statement runs to completion, unbounded
+/// p99), 50 = statements past their admission-to-completion budget
+/// fail fast with kDeadlineExceeded instead of occupying a worker.
+/// Counters report the client-observed p50/p99 and the deadline-miss
+/// rate; misses are an expected outcome here, not an error.
+void BM_DeadlineMix(benchmark::State& state) {
+  const uint64_t timeout_ms = static_cast<uint64_t>(state.range(0));
+  DocumentStore& store = MutableCorpusStore(20, 4);
+  QueryService::Options options;
+  options.num_threads = 2;
+  options.max_queue_depth = 1 << 20;
+  QueryService service(store, options);
+  // Warm the plan cache deadline-free: the series measures execution
+  // + queueing, not first-compile cost.
+  for (const NamedQuery& q : PaperQueryMix()) {
+    auto r = service.ExecuteSync(q.text);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  QueryService::QueryOptions qo;
+  qo.timeout_ms = timeout_ms;
+  const int repeats = 32;  // 192 statements / 2 workers: deep queues
+  std::vector<uint64_t> latencies_us;
+  uint64_t misses = 0, completed = 0;
+  for (auto _ : state) {
+    struct InFlight {
+      std::chrono::steady_clock::time_point submitted;
+      std::future<Result<om::Value>> result;
+    };
+    std::vector<InFlight> inflight;
+    inflight.reserve(repeats * PaperQueryMix().size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (const NamedQuery& q : PaperQueryMix()) {
+        inflight.push_back({std::chrono::steady_clock::now(),
+                            service.Execute(q.text, qo)});
+      }
+    }
+    for (InFlight& in : inflight) {
+      Result<om::Value> r = in.result.get();
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - in.submitted);
+      latencies_us.push_back(static_cast<uint64_t>(us.count()));
+      if (r.ok()) {
+        ++completed;
+      } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+        ++misses;
+      } else {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto quantile = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    size_t rank = static_cast<size_t>(q * (latencies_us.size() - 1));
+    return static_cast<double>(latencies_us[rank]);
+  };
+  state.counters["timeout_ms"] = static_cast<double>(timeout_ms);
+  state.counters["p50_us"] = quantile(0.5);
+  state.counters["p99_us"] = quantile(0.99);
+  state.counters["completed"] = static_cast<double>(completed);
+  state.counters["deadline_missed"] = static_cast<double>(misses);
+  state.counters["miss_rate"] =
+      latencies_us.empty()
+          ? 0.0
+          : static_cast<double>(misses) /
+                static_cast<double>(latencies_us.size());
+}
+BENCHMARK(BM_DeadlineMix)
+    ->Arg(0)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_HotCache_Naive(benchmark::State& state) {
   BM_HotCache(state, oql::Engine::kNaive);

@@ -6,6 +6,7 @@
 #   BENCH_queries.json — E2 per-query latency and E11 optimizer
 #                        on/off series (bench_queries)
 #   BENCH_service.json — E10 service throughput / plan-cache series
+#                        + E12 deadline tail-latency series
 #                        (bench_service)
 #
 #   bash scripts/bench.sh [jobs] [extra benchmark args...]

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + test suite, then the service
 # layer re-built and re-run under ThreadSanitizer (the thread pool,
-# plan cache and query service are the only concurrent code; TSan
-# race-checks them against the frozen-store read path).
+# plan cache, exec guards and query service are the only concurrent
+# code; TSan race-checks them against the frozen-store read path),
+# then the robustness/fault-injection suites re-run under
+# AddressSanitizer+UBSan (injected faults exercise the error and
+# degraded paths, where leaks and lifetime bugs like to hide).
 #
 #   bash scripts/tier1.sh [jobs]
 
@@ -17,3 +20,7 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" --target service_test algebra_test
 ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion'
+
+cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
+cmake --build build-asan -j "$jobs" --target base_test service_test sgml_test property_test
+ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz'

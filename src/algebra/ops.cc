@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "base/exec_guard.h"
 #include "text/index.h"
 #include "text/query_cache.h"
 
@@ -67,6 +68,22 @@ Status ExecuteChild(const PlanPtr& child, const ExecContext& ctx,
                     std::vector<Row>* out) {
   if (child.use_count() > 1) return child->ExecuteShared(ctx, out);
   return child->Execute(ctx, out);
+}
+
+/// Cooperative limit probe at operator iteration boundaries. The same
+/// guard is shared by every branch of a parallel union (via the shared
+/// EvalContext), so one tripped branch stops its siblings.
+Status GuardProbe(const ExecContext& ctx) {
+  ExecGuard* guard = ctx.calculus->guard;
+  if (guard == nullptr) return Status::OK();
+  return guard->Probe();
+}
+
+/// Charges `n` materialized rows against the statement's row budget.
+Status GuardCountRows(const ExecContext& ctx, size_t n) {
+  ExecGuard* guard = ctx.calculus->guard;
+  if (guard == nullptr) return Status::OK();
+  return guard->CountRows(n);
 }
 
 /// Appends a step to a path column (stored as a path value).
@@ -143,6 +160,7 @@ class UnaryNode : public Node {
   explicit UnaryNode(PlanPtr input) { children_ = {std::move(input)}; }
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    const size_t before = out->size();
     if (children_[0].use_count() > 1) {
       // Shared prefix: iterate the memoized rows in place — no
       // per-parent copy of the cached vector.
@@ -150,17 +168,19 @@ class UnaryNode : public Node {
                                children_[0]->ExecuteSharedRows(ctx));
       out->reserve(out->size() + rows->size());
       for (const Row& row : *rows) {
+        SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
         SGMLQDB_RETURN_IF_ERROR(Transform(ctx, row, out));
       }
-      return Status::OK();
+      return GuardCountRows(ctx, out->size() - before);
     }
     std::vector<Row> in;
     SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
     out->reserve(out->size() + in.size());
     for (Row& row : in) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       SGMLQDB_RETURN_IF_ERROR(Transform(ctx, std::move(row), out));
     }
-    return Status::OK();
+    return GuardCountRows(ctx, out->size() - before);
   }
 
   virtual Status Transform(const ExecContext& ctx, Row row,
@@ -770,24 +790,27 @@ class IndexSemiJoinNode : public UnaryNode {
       // match: skip the input subplan entirely.
       return Status::OK();
     }
+    const size_t before = out->size();
     if (children_[0].use_count() > 1) {
       SGMLQDB_ASSIGN_OR_RETURN(auto rows,
                                children_[0]->ExecuteSharedRows(ctx));
       for (const Row& row : *rows) {
+        SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
         SGMLQDB_ASSIGN_OR_RETURN(
             bool keep, KeepRow(cc, row, *pattern, candidates, exact));
         if (keep) out->push_back(row);
       }
-      return Status::OK();
+      return GuardCountRows(ctx, out->size() - before);
     }
     std::vector<Row> in;
     SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
     for (Row& row : in) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       SGMLQDB_ASSIGN_OR_RETURN(
           bool keep, KeepRow(cc, row, *pattern, candidates, exact));
       if (keep) out->push_back(std::move(row));
     }
-    return Status::OK();
+    return GuardCountRows(ctx, out->size() - before);
   }
 
   Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
@@ -894,22 +917,25 @@ class IndexNearJoinNode : public UnaryNode {
     if (object_only_ && units != nullptr && units->empty()) {
       return Status::OK();
     }
+    const size_t before = out->size();
     if (children_[0].use_count() > 1) {
       SGMLQDB_ASSIGN_OR_RETURN(auto rows,
                                children_[0]->ExecuteSharedRows(ctx));
       for (const Row& row : *rows) {
+        SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
         SGMLQDB_ASSIGN_OR_RETURN(bool keep, KeepRow(cc, row, units.get()));
         if (keep) out->push_back(row);
       }
-      return Status::OK();
+      return GuardCountRows(ctx, out->size() - before);
     }
     std::vector<Row> in;
     SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
     for (Row& row : in) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       SGMLQDB_ASSIGN_OR_RETURN(bool keep, KeepRow(cc, row, units.get()));
       if (keep) out->push_back(std::move(row));
     }
-    return Status::OK();
+    return GuardCountRows(ctx, out->size() - before);
   }
 
   Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
@@ -1024,22 +1050,25 @@ class IndexDocFilterNode : public UnaryNode {
             BuildDocs(cc));
       }
     }
+    const size_t before = out->size();
     if (children_[0].use_count() > 1) {
       SGMLQDB_ASSIGN_OR_RETURN(auto rows,
                                children_[0]->ExecuteSharedRows(ctx));
       for (const Row& row : *rows) {
+        SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
         if (docs == nullptr || KeepRow(cc, row, *docs)) out->push_back(row);
       }
-      return Status::OK();
+      return GuardCountRows(ctx, out->size() - before);
     }
     std::vector<Row> in;
     SGMLQDB_RETURN_IF_ERROR(children_[0]->Execute(ctx, &in));
     for (Row& row : in) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       if (docs == nullptr || KeepRow(cc, row, *docs)) {
         out->push_back(std::move(row));
       }
     }
-    return Status::OK();
+    return GuardCountRows(ctx, out->size() - before);
   }
 
   Status Transform(const ExecContext&, Row, std::vector<Row>*) const override {
@@ -1200,14 +1229,17 @@ class AntiSemiJoinNode : public Node {
     SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[1], ctx, &right));
     std::set<Value> keys;
     for (const Row& r : right) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       keys.insert(RowKey(ProjectRow(r, cols_)));
     }
+    const size_t before = out->size();
     for (Row& r : left) {
+      SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
       if (keys.count(RowKey(ProjectRow(r, cols_))) == 0) {
         out->push_back(std::move(r));
       }
     }
-    return Status::OK();
+    return GuardCountRows(ctx, out->size() - before);
   }
 
   std::string Describe() const override {
@@ -1247,14 +1279,17 @@ class CrossProductNode : public Node {
     SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[0], ctx, &left));
     SGMLQDB_RETURN_IF_ERROR(ExecuteChild(children_[1], ctx, &right));
     out->reserve(out->size() + left.size() * right.size());
+    // The classic runaway shape (a bad plan's nested loop): probe and
+    // charge the row budget per produced row, not per input row.
     for (const Row& l : left) {
       for (const Row& r : right) {
+        SGMLQDB_RETURN_IF_ERROR(GuardProbe(ctx));
         Row merged = l;
         for (const auto& [k, v] : r) merged[k] = v;
         out->push_back(std::move(merged));
       }
     }
-    return Status::OK();
+    return GuardCountRows(ctx, left.size() * right.size());
   }
 
   std::string Describe() const override { return "CrossProduct"; }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebra/static_types.h"
+#include "base/fault_injection.h"
 #include "calculus/formula.h"
 #include "calculus/terms.h"
 #include "om/type.h"
@@ -483,6 +484,9 @@ PlanPtr InsertDocFilters(const om::Schema& schema,
 
 Status OptimizePlan(const om::Schema& schema, CompiledQuery* compiled,
                     const OptimizeOptions& options, OptimizeStats* stats) {
+  // Fault site: an optimizer failure here must degrade (the caller
+  // keeps the unoptimized plan), never fail the query.
+  SGMLQDB_FAULT_POINT("optimizer.pushdown");
   OptimizeStats local;
   local.branches_before = compiled->branch_count;
   if (stats != nullptr) *stats = local;

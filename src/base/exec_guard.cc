@@ -1,0 +1,85 @@
+#include "base/exec_guard.h"
+
+namespace sgmlqdb {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ExecGuard::ExecGuard(const Limits& limits)
+    : max_rows_(limits.max_rows),
+      max_steps_(limits.max_steps),
+      deadline_ns_(limits.timeout_ms == 0
+                       ? 0
+                       : NowNs() + static_cast<int64_t>(limits.timeout_ms) *
+                                       1'000'000) {}
+
+void ExecGuard::Trip(StatusCode code, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tripped_code_.load(std::memory_order_relaxed) != 0) return;
+  message_ = message;
+  // Release-publish after the message is in place, so a racing
+  // status() on another thread (which takes mu_) sees both.
+  tripped_code_.store(static_cast<uint32_t>(code), std::memory_order_release);
+}
+
+Status ExecGuard::status() const {
+  uint32_t code = tripped_code_.load(std::memory_order_acquire);
+  if (code == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status(static_cast<StatusCode>(code), message_);
+}
+
+Status ExecGuard::CheckDeadlineNow() {
+  if (deadline_ns_ != 0 && NowNs() >= deadline_ns_) {
+    TripDeadline();
+    return status();
+  }
+  return Status::OK();
+}
+
+Status ExecGuard::Probe() {
+  if (tripped_code_.load(std::memory_order_relaxed) != 0) return status();
+  uint64_t step = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (max_steps_ != 0 && step > max_steps_) {
+    Trip(StatusCode::kResourceExhausted,
+         "step budget exceeded (max_steps=" + std::to_string(max_steps_) +
+             ")");
+    return status();
+  }
+  if (step % kCheckStride == 0) return CheckDeadlineNow();
+  return Status::OK();
+}
+
+Status ExecGuard::Check() {
+  if (tripped_code_.load(std::memory_order_relaxed) != 0) return status();
+  return CheckDeadlineNow();
+}
+
+Status ExecGuard::CountRows(uint64_t n) {
+  if (n == 0) return status();
+  uint64_t total = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (max_rows_ != 0 && total > max_rows_) {
+    Trip(StatusCode::kResourceExhausted,
+         "row budget exceeded: " + std::to_string(total) +
+             " rows materialized (max_rows=" + std::to_string(max_rows_) +
+             ")");
+  }
+  return status();
+}
+
+void ExecGuard::Cancel(std::string reason) {
+  Trip(StatusCode::kCancelled, reason);
+}
+
+void ExecGuard::TripDeadline() {
+  Trip(StatusCode::kDeadlineExceeded, "query deadline exceeded");
+}
+
+}  // namespace sgmlqdb

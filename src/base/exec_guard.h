@@ -1,0 +1,111 @@
+// ExecGuard: a shared, cooperative execution limiter for one query.
+//
+// One guard is created per statement (by DocumentStore::Query or the
+// service layer) and shared by every thread evaluating that statement
+// — including parallel union branches, which observe the *same* guard,
+// so tripping it (deadline, Cancel(), budget) stops all siblings.
+//
+// The evaluators do not preempt anything; they *probe* the guard at
+// operator iteration boundaries (per row, per path enumerated). The
+// probe is designed for inner loops:
+//   * the fast path is one relaxed atomic load of the tripped code
+//     (so a watchdog or Cancel() is observed within one iteration),
+//   * the steady-clock deadline is only read every kCheckStride
+//     probes (CheckEvery-style amortization — reading the clock per
+//     row would dominate cheap operators).
+//
+// Once tripped the guard is sticky: the first trip wins, later trips
+// are ignored, and every subsequent probe returns the same Status
+// (kDeadlineExceeded, kCancelled or kResourceExhausted).
+
+#ifndef SGMLQDB_BASE_EXEC_GUARD_H_
+#define SGMLQDB_BASE_EXEC_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+
+namespace sgmlqdb {
+
+class ExecGuard {
+ public:
+  /// Budgets are 0 = unlimited.
+  struct Limits {
+    /// Wall-clock budget from construction; 0 = no deadline.
+    uint64_t timeout_ms = 0;
+    /// Rows materialized across all operators of the statement (an
+    /// allocation budget: every materialized row is an allocation).
+    uint64_t max_rows = 0;
+    /// Guard probes (~operator iterations); a pure work budget that
+    /// also bounds row-free loops such as path enumeration.
+    uint64_t max_steps = 0;
+  };
+
+  ExecGuard() : ExecGuard(Limits{}) {}
+  explicit ExecGuard(const Limits& limits);
+  ExecGuard(const ExecGuard&) = delete;
+  ExecGuard& operator=(const ExecGuard&) = delete;
+
+  /// The inner-loop probe: relaxed load on the fast path, clock read
+  /// every kCheckStride calls. OK until the guard trips.
+  Status Probe();
+
+  /// Immediate full check (cancellation + deadline), no amortization.
+  /// Cheap enough for per-operator (not per-row) boundaries.
+  Status Check();
+
+  /// Counts `n` materialized rows against the row budget; trips with
+  /// kResourceExhausted when the budget is exceeded.
+  Status CountRows(uint64_t n);
+
+  /// Trips the guard with kCancelled. Idempotent; a no-op if already
+  /// tripped. Safe from any thread (this is what Cancel(query_id) and
+  /// shutdown-with-cancel call).
+  void Cancel(std::string reason = "query cancelled");
+
+  /// Trips the guard with kDeadlineExceeded (the watchdog's path; the
+  /// guard also trips itself when a probe sees the deadline pass).
+  void TripDeadline();
+
+  bool tripped() const {
+    return tripped_code_.load(std::memory_order_relaxed) != 0;
+  }
+  /// OK, or the sticky Status the guard tripped with.
+  Status status() const;
+
+  bool has_deadline() const { return deadline_ns_ != 0; }
+  /// Steady-clock deadline (nanoseconds since the steady epoch);
+  /// 0 when no deadline. The watchdog sorts guards by this.
+  int64_t deadline_ns() const { return deadline_ns_; }
+  uint64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+
+  /// Probes between deadline clock reads. Public for tests.
+  static constexpr uint64_t kCheckStride = 256;
+
+ private:
+  /// First trip wins; publishes the sticky status.
+  void Trip(StatusCode code, const std::string& message);
+  Status CheckDeadlineNow();
+
+  const uint64_t max_rows_;
+  const uint64_t max_steps_;
+  /// 0 = none; otherwise steady_clock nanoseconds.
+  const int64_t deadline_ns_;
+
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> rows_{0};
+  /// 0 = not tripped; otherwise the StatusCode (published with
+  /// release after message_ is written).
+  std::atomic<uint32_t> tripped_code_{0};
+  mutable std::mutex mu_;  // guards message_ on the (rare) trip path
+  std::string message_;
+};
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_BASE_EXEC_GUARD_H_

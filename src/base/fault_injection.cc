@@ -1,0 +1,93 @@
+#include "base/fault_injection.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace sgmlqdb::fault {
+
+namespace internal {
+std::atomic<uint64_t> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct ArmedFault {
+  FaultSpec spec;
+  uint64_t traversals = 0;
+  uint64_t fires = 0;
+};
+
+std::mutex& RegistryMu() {
+  static auto& mu = *new std::mutex();
+  return mu;
+}
+
+std::map<std::string, ArmedFault, std::less<>>& Registry() {
+  static auto& registry = *new std::map<std::string, ArmedFault, std::less<>>();
+  return registry;
+}
+
+}  // namespace
+
+void Arm(std::string_view point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto& registry = Registry();
+  auto it = registry.find(point);
+  if (it == registry.end()) {
+    registry.emplace(std::string(point), ArmedFault{std::move(spec)});
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = ArmedFault{std::move(spec)};
+  }
+}
+
+void Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto& registry = Registry();
+  auto it = registry.find(point);
+  if (it == registry.end()) return;
+  registry.erase(it);
+  internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  internal::g_armed_count.fetch_sub(Registry().size(),
+                                    std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t FireCount(std::string_view point) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+Status Inject(const char* point) {
+  Status injected = Status::OK();
+  uint64_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMu());
+    auto it = Registry().find(std::string_view(point));
+    if (it == Registry().end()) return Status::OK();
+    ArmedFault& fault = it->second;
+    ++fault.traversals;
+    if (fault.traversals <= fault.spec.skip) return Status::OK();
+    if (fault.spec.max_fires != 0 && fault.fires >= fault.spec.max_fires) {
+      return Status::OK();
+    }
+    ++fault.fires;
+    injected = fault.spec.status;
+    delay_ms = fault.spec.delay_ms;
+  }
+  // Sleep outside the registry lock so delayed points do not serialize
+  // unrelated fault points (or re-arming) behind them.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return injected;
+}
+
+}  // namespace sgmlqdb::fault

@@ -1,0 +1,99 @@
+// Fault injection: named fault points compiled into the library
+// unconditionally, with near-zero cost while disarmed.
+//
+// Production code marks interesting failure sites with
+//
+//   SGMLQDB_FAULT_POINT("index.candidates");
+//
+// which is a single relaxed atomic load (a global armed-count) when no
+// fault is armed. Tests arm a point with a FaultSpec to make that site
+// return an injected Status, sleep (injecting latency to make slow
+// queries deterministic), or both — proving the timeout, cancellation
+// and degradation paths without needing pathological inputs.
+//
+// Points in this codebase:
+//   optimizer.pushdown — algebra::OptimizePlan entry (plan rewrite)
+//   index.candidates   — TextQueryCache::Contains (index probe)
+//   pool.submit        — QueryService::Execute, before enqueueing
+//   eval.nav           — calculus path navigation (per path matched)
+//
+// The registry is process-global and thread-safe; tests should use
+// ScopedFault (or DisarmAll in TearDown) so points never leak between
+// tests.
+
+#ifndef SGMLQDB_BASE_FAULT_INJECTION_H_
+#define SGMLQDB_BASE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace sgmlqdb::fault {
+
+struct FaultSpec {
+  /// Returned by the fault point when it fires. OK makes the point a
+  /// pure delay (it sleeps but does not fail).
+  Status status = Status::Internal("injected fault");
+  /// Sleep this long on every fire (latency injection).
+  uint64_t delay_ms = 0;
+  /// Let the first `skip` traversals pass before firing.
+  uint64_t skip = 0;
+  /// Fire at most this many times (0 = unlimited); afterwards the
+  /// point passes again (stays armed for HitCount accounting).
+  uint64_t max_fires = 0;
+};
+
+/// Arms `point` (replacing any previous spec and resetting counters).
+void Arm(std::string_view point, FaultSpec spec);
+
+/// Disarms `point`; a no-op if not armed.
+void Disarm(std::string_view point);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// Times `point` fired (returned an error or slept) since last armed.
+uint64_t FireCount(std::string_view point);
+
+/// Slow path behind SGMLQDB_FAULT_POINT; call through the macro.
+Status Inject(const char* point);
+
+namespace internal {
+extern std::atomic<uint64_t> g_armed_count;
+}  // namespace internal
+
+/// True when any point is armed — the disarmed fast path.
+inline bool AnyArmed() {
+  return internal::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// RAII arming for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view point, FaultSpec spec) : point_(point) {
+    Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace sgmlqdb::fault
+
+// Marks a fault site in a function returning Status or Result<T>:
+// returns the injected error when the (armed) point fires.
+#define SGMLQDB_FAULT_POINT(name)                                      \
+  do {                                                                 \
+    if (::sgmlqdb::fault::AnyArmed()) {                                \
+      ::sgmlqdb::Status _fault_status = ::sgmlqdb::fault::Inject(name); \
+      if (!_fault_status.ok()) return _fault_status;                   \
+    }                                                                  \
+  } while (0)
+
+#endif  // SGMLQDB_BASE_FAULT_INJECTION_H_

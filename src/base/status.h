@@ -27,6 +27,9 @@ enum class StatusCode {
   kUnsupported,       // feature intentionally out of scope
   kUnavailable,       // transient overload; retry later (admission control)
   kInternal,          // invariant broken inside the library
+  kDeadlineExceeded,  // per-query deadline elapsed mid-evaluation
+  kCancelled,         // cooperative cancellation (Cancel(), shutdown)
+  kResourceExhausted, // a row/step budget was exceeded
 };
 
 /// Returns the canonical spelling of a status code, e.g. "TypeError".
@@ -66,6 +69,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

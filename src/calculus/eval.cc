@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "base/exec_guard.h"
+#include "base/fault_injection.h"
 #include "text/pattern.h"
 #include "text/query_cache.h"
 
@@ -42,6 +44,13 @@ bool IsSoftFailure(const Status& s) {
 class Evaluator {
  public:
   explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
+
+  /// Cooperative limit probe for the evaluation loops; amortized, so
+  /// cheap enough per navigation step / per generated binding.
+  Status ProbeGuard() {
+    if (ctx_.guard == nullptr) return Status::OK();
+    return ctx_.guard->Probe();
+  }
 
   // ---- Terms ----------------------------------------------------------
 
@@ -372,6 +381,8 @@ class Evaluator {
   Status MatchComponents(const std::vector<PathComponent>& cs, size_t idx,
                          const Value& current, const Env& env,
                          const MatchEmit& emit, bool generate) {
+    SGMLQDB_FAULT_POINT("eval.nav");
+    SGMLQDB_RETURN_IF_ERROR(ProbeGuard());
     if (idx == cs.size()) return emit(env, current);
     const PathComponent& c = cs[idx];
     switch (c.kind) {
@@ -617,6 +628,7 @@ class Evaluator {
 
   /// Streams every satisfying extension of `env`.
   Status EvalFormula(const Formula& f, const Env& env, const EmitFn& emit) {
+    SGMLQDB_RETURN_IF_ERROR(ProbeGuard());
     std::set<Variable> bound = BoundVars(env);
     std::set<Variable> free = f.FreeVariables();
     if (AllBound(free, bound) && f.kind() != Formula::Kind::kAnd &&
@@ -650,6 +662,7 @@ class Evaluator {
         }
         const std::string& var = f.terms()[0]->var_name();
         for (size_t i = 0; i < coll.value().size(); ++i) {
+          SGMLQDB_RETURN_IF_ERROR(ProbeGuard());
           Env env2 = env;
           env2.data[var] = coll.value().Element(i);
           SGMLQDB_RETURN_IF_ERROR(emit(env2));
@@ -1050,6 +1063,9 @@ Result<om::Value> EvaluateQuery(const EvalContext& ctx, const Query& query) {
   std::vector<Value> rows;
   SGMLQDB_RETURN_IF_ERROR(
       ev.EvalFormula(*query.body, Env{}, [&](const Env& env) -> Status {
+        if (ctx.guard != nullptr) {
+          SGMLQDB_RETURN_IF_ERROR(ctx.guard->CountRows(1));
+        }
         SGMLQDB_ASSIGN_OR_RETURN(Value row,
                                  Evaluator::HeadTuple(query.head, env));
         rows.push_back(std::move(row));

@@ -26,6 +26,10 @@
 #include "om/database.h"
 #include "path/path.h"
 
+namespace sgmlqdb {
+class ExecGuard;
+}  // namespace sgmlqdb
+
 namespace sgmlqdb::text {
 class InvertedIndex;
 class TextQueryCache;
@@ -56,6 +60,11 @@ struct EvalContext {
   const std::map<uint64_t, uint64_t>* unit_docs = nullptr;
   /// Path-variable interpretation (§5.2).
   path::PathSemantics semantics = path::PathSemantics::kRestricted;
+  /// Cooperative execution limiter (deadline / cancellation / budgets),
+  /// probed at iteration boundaries by both engines. Shared by every
+  /// thread evaluating the statement — parallel union branches observe
+  /// the same guard, so tripping it stops all of them. Optional.
+  ExecGuard* guard = nullptr;
 };
 
 /// A variable environment.

@@ -86,6 +86,14 @@ Result<om::Value> DocumentStore::Query(std::string_view statement,
   }
   calculus::EvalContext ctx = eval_context();
   ctx.semantics = options.semantics;
+  // Single-statement use gets the same cooperative limits as the
+  // service layer; the guard lives for this call only.
+  std::optional<ExecGuard> guard;
+  if (options.HasLimits()) {
+    guard.emplace(ExecGuard::Limits{options.timeout_ms, options.max_rows,
+                                    options.max_steps});
+    ctx.guard = &*guard;
+  }
   oql::OqlOptions oql_options;
   oql_options.engine = options.engine;
   oql_options.optimize = options.optimize;

@@ -21,6 +21,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/exec_guard.h"
 #include "base/status.h"
 #include "om/database.h"
 #include "oql/oql.h"
@@ -59,6 +60,21 @@ class DocumentStore {
     /// Run the algebraic plan optimizer (index pushdown, filter
     /// pushdown, branch pruning). No effect on the naive engine.
     bool optimize = true;
+    /// Wall-clock budget for the execution; past it the statement
+    /// stops cooperatively with kDeadlineExceeded. 0 = no deadline.
+    /// Execution-only: does not key the service's plan cache.
+    uint64_t timeout_ms = 0;
+    /// Materialized-row budget across all operators; exceeded =>
+    /// kResourceExhausted. 0 = unlimited.
+    uint64_t max_rows = 0;
+    /// Evaluation-step budget (guard probes ~ operator iterations);
+    /// bounds row-free loops such as path enumeration. 0 = unlimited.
+    uint64_t max_steps = 0;
+
+    /// True when any deadline/budget is set (a guard is needed).
+    bool HasLimits() const {
+      return timeout_ms != 0 || max_rows != 0 || max_steps != 0;
+    }
   };
 
   /// Validates an engine/semantics combination: the liberal semantics

@@ -1,5 +1,6 @@
 #include "oql/oql.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "oql/parser.h"
@@ -24,9 +25,27 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
       prepared.compiled = std::move(compiled).value();
       if (options.optimize) {
         algebra::OptimizeStats stats;
-        SGMLQDB_RETURN_IF_ERROR(algebra::OptimizePlan(
-            schema, &*prepared.compiled, algebra::OptimizeOptions{}, &stats));
-        prepared.optimize_stats = stats;
+        Status opt = algebra::OptimizePlan(
+            schema, &*prepared.compiled, algebra::OptimizeOptions{}, &stats);
+        if (opt.ok()) {
+          prepared.optimize_stats = stats;
+        } else {
+          // Graceful degradation: a failed optimizer pass may have
+          // left a partial rewrite — recompile and keep the clean
+          // unoptimized plan. The statement stays executable.
+          std::fprintf(stderr,
+                       "[sgmlqdb] optimizer pass failed (%s); executing "
+                       "unoptimized plan\n",
+                       opt.ToString().c_str());
+          Result<algebra::CompiledQuery> fresh =
+              algebra::CompileQuery(schema, prepared.query);
+          if (fresh.ok()) {
+            prepared.compiled = std::move(fresh).value();
+          } else {
+            prepared.compiled.reset();  // naive fallback still works
+          }
+          prepared.degraded_optimizer = true;
+        }
       }
     } else if (compiled.status().code() != StatusCode::kUnsupported) {
       return compiled.status();

@@ -55,6 +55,10 @@ struct PreparedStatement {
   std::optional<algebra::CompiledQuery> compiled;
   /// What the optimizer did to `compiled` (absent when not run).
   std::optional<algebra::OptimizeStats> optimize_stats;
+  /// True when the optimizer pass failed and the statement carries the
+  /// unoptimized plan instead (graceful degradation — the query still
+  /// runs, the service layer counts the event).
+  bool degraded_optimizer = false;
 
   /// Union branches of the algebraic expansion (0 when not compiled).
   size_t branch_count() const {

@@ -1,8 +1,11 @@
 #include "service/query_service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
+
+#include "base/fault_injection.h"
 
 namespace sgmlqdb::service {
 
@@ -29,6 +32,12 @@ size_t RowsOf(const Result<om::Value>& r) {
   return 1;  // a bare expression's scalar/tuple result
 }
 
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 QueryService::QueryService(DocumentStore& store)
@@ -38,6 +47,7 @@ QueryService::QueryService(DocumentStore& store, const Options& options)
     : store_(store),
       options_(options),
       plan_cache_(options.plan_cache_capacity),
+      watchdog_([this] { WatchdogLoop(); }),
       branch_pool_(ResolveThreads(options.branch_threads)),
       pool_(ResolveThreads(options.num_threads)) {
   store.Freeze();
@@ -50,33 +60,129 @@ void QueryService::Shutdown() {
   // Queries first (they fan out onto the branch pool), branches after.
   pool_.Shutdown();
   branch_pool_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void QueryService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(active_mu_);
+  while (!watchdog_stop_) {
+    // Trip every overdue guard; find the next earliest deadline.
+    const int64_t now_ns = SteadyNowNs();
+    int64_t next_ns = 0;
+    for (const auto& [id, guard] : active_) {
+      if (!guard->has_deadline() || guard->tripped()) continue;
+      if (guard->deadline_ns() <= now_ns) {
+        guard->TripDeadline();
+      } else if (next_ns == 0 || guard->deadline_ns() < next_ns) {
+        next_ns = guard->deadline_ns();
+      }
+    }
+    if (next_ns == 0) {
+      watchdog_cv_.wait(lock);
+    } else {
+      watchdog_cv_.wait_until(
+          lock, std::chrono::steady_clock::time_point(
+                    std::chrono::nanoseconds(next_ns)));
+    }
+  }
+}
+
+size_t QueryService::active_queries() const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  return active_.size();
+}
+
+Status QueryService::Cancel(uint64_t query_id) {
+  std::shared_ptr<ExecGuard> guard;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    auto it = active_.find(query_id);
+    if (it == active_.end()) {
+      return Status::NotFound("query " + std::to_string(query_id) +
+                              " is not in flight");
+    }
+    guard = it->second;
+  }
+  guard->Cancel("cancelled via QueryService::Cancel");
+  return Status::OK();
+}
+
+size_t QueryService::CancelAll() {
+  std::vector<std::shared_ptr<ExecGuard>> guards;
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    guards.reserve(active_.size());
+    for (const auto& [id, guard] : active_) guards.push_back(guard);
+  }
+  size_t n = 0;
+  for (const auto& guard : guards) {
+    if (!guard->tripped()) ++n;
+    guard->Cancel("cancelled via QueryService::CancelAll");
+  }
+  return n;
 }
 
 std::future<Result<om::Value>> QueryService::Execute(
     std::string oql, const QueryOptions& options) {
+  return Submit(std::move(oql), options).result;
+}
+
+QueryService::Ticket QueryService::Submit(std::string oql,
+                                          const QueryOptions& options) {
   if (!serving_.load()) {
-    return ReadyFuture(Status::Unavailable("query service is shut down"));
+    return {0, ReadyFuture(Status::Unavailable("query service is shut down"))};
   }
   Status valid = DocumentStore::ValidateOptions(options);
-  if (!valid.ok()) return ReadyFuture(std::move(valid));
+  if (!valid.ok()) return {0, ReadyFuture(std::move(valid))};
+  // Fault site: a failed enqueue surfaces as a fast rejection, before
+  // any admission slot is taken.
+  if (fault::AnyArmed()) {
+    Status injected = fault::Inject("pool.submit");
+    if (!injected.ok()) {
+      stats_.RecordRejected();
+      return {0, ReadyFuture(std::move(injected))};
+    }
+  }
   // Admission control: reserve a slot or fail fast. The CAS loop keeps
   // the count exact under concurrent admission.
   size_t depth = inflight_.load();
   do {
     if (depth >= options_.max_queue_depth) {
       stats_.RecordRejected();
-      return ReadyFuture(Status::Unavailable(
-          "query service overloaded: " + std::to_string(depth) +
-          " statements in flight (max_queue_depth=" +
-          std::to_string(options_.max_queue_depth) + "); retry later"));
+      return {0, ReadyFuture(Status::Unavailable(
+                     "query service overloaded: " + std::to_string(depth) +
+                     " statements in flight (max_queue_depth=" +
+                     std::to_string(options_.max_queue_depth) +
+                     "); retry later"))};
     }
   } while (!inflight_.compare_exchange_weak(depth, depth + 1));
-  return pool_.Submit(
-      [this, oql = std::move(oql), options]() -> Result<om::Value> {
-        Result<om::Value> r = RunOne(oql, options);
+  // Every admitted query gets a guard (even without limits: Cancel
+  // needs one). The deadline clock starts at admission, so time spent
+  // queued counts against timeout_ms.
+  const uint64_t id = next_query_id_.fetch_add(1);
+  auto guard = std::make_shared<ExecGuard>(ExecGuard::Limits{
+      options.timeout_ms, options.max_rows, options.max_steps});
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_.emplace(id, guard);
+  }
+  if (guard->has_deadline()) watchdog_cv_.notify_all();
+  auto future = pool_.Submit(
+      [this, oql = std::move(oql), options, id, guard]() -> Result<om::Value> {
+        Result<om::Value> r = RunOne(oql, options, guard.get());
+        {
+          std::lock_guard<std::mutex> lock(active_mu_);
+          active_.erase(id);
+        }
         inflight_.fetch_sub(1);
         return r;
       });
+  return {id, std::move(future)};
 }
 
 Result<om::Value> QueryService::ExecuteSync(std::string oql,
@@ -100,16 +206,23 @@ std::vector<Result<om::Value>> QueryService::ExecuteBatch(
 }
 
 Result<om::Value> QueryService::RunOne(const std::string& oql,
-                                       const QueryOptions& options) {
+                                       const QueryOptions& options,
+                                       ExecGuard* guard) {
   if (!store_.has_dtd()) {
     return Status::InvalidArgument("load a DTD first");
   }
   const auto start = std::chrono::steady_clock::now();
-  PlanKey key{oql, options.engine, options.semantics, options.optimize};
-  std::shared_ptr<const oql::PreparedStatement> prepared =
-      plan_cache_.Get(key);
-  const bool cache_hit = prepared != nullptr;
+  bool cache_hit = false;
+  bool degraded = false;
+  std::shared_ptr<const oql::PreparedStatement> prepared;
   Result<om::Value> result = [&]() -> Result<om::Value> {
+    // A statement cancelled (or already overdue) while queued returns
+    // without preparing anything — this is how CancelAll +
+    // Shutdown drains a deep queue quickly.
+    SGMLQDB_RETURN_IF_ERROR(guard->Check());
+    PlanKey key{oql, options.engine, options.semantics, options.optimize};
+    prepared = plan_cache_.Get(key);
+    cache_hit = prepared != nullptr;
     if (!cache_hit) {
       oql::OqlOptions oql_options;
       oql_options.engine = options.engine;
@@ -123,14 +236,44 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
     }
     calculus::EvalContext ctx = store_.eval_context();
     ctx.semantics = options.semantics;
-    return oql::ExecutePrepared(
+    ctx.guard = guard;
+    Result<om::Value> r = oql::ExecutePrepared(
         ctx, *prepared, options_.parallel_union ? &branch_exec_ : nullptr);
+    if (!r.ok() && r.status().code() == StatusCode::kInternal) {
+      // Runtime degradation: an internal failure (e.g. a broken index
+      // probe) re-executes once on the reference evaluator with the
+      // index and pattern cache stripped — the slow but dependency-free
+      // path. Deadlines/cancellation still apply via the same guard.
+      std::fprintf(stderr,
+                   "[sgmlqdb] execution failed (%s); retrying on the "
+                   "unindexed path\n",
+                   r.status().ToString().c_str());
+      calculus::EvalContext fallback = store_.eval_context();
+      fallback.semantics = options.semantics;
+      fallback.guard = guard;
+      fallback.text_index = nullptr;
+      fallback.text_cache = nullptr;
+      degraded = true;
+      if (prepared->is_query) {
+        return calculus::EvaluateQuery(fallback, prepared->query);
+      }
+      return calculus::EvaluateClosedTerm(fallback, *prepared->term);
+    }
+    return r;
   }();
+  // Deadline semantics are end-to-end: a result computed past the
+  // deadline (e.g. the last probe predated it) still fails.
+  if (result.ok() && guard != nullptr && !guard->Check().ok()) {
+    result = guard->status();
+  }
+  if (prepared != nullptr && prepared->degraded_optimizer) degraded = true;
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   stats_.RecordExecution(oql, static_cast<uint64_t>(micros.count()),
-                         result.ok(), cache_hit, RowsOf(result),
-                         prepared == nullptr ? 0 : prepared->branch_count());
+                         result.ok() ? Status::OK() : result.status(),
+                         cache_hit, RowsOf(result),
+                         prepared == nullptr ? 0 : prepared->branch_count(),
+                         degraded);
   return result;
 }
 

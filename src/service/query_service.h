@@ -24,11 +24,17 @@
 #define SGMLQDB_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "base/exec_guard.h"
 #include "base/status.h"
 #include "core/document_store.h"
 #include "service/branch_executor.h"
@@ -60,6 +66,14 @@ class QueryService {
 
   using QueryOptions = DocumentStore::QueryOptions;
 
+  /// A submitted statement: its query id (for Cancel) plus the future
+  /// resolving to its result. id == 0 means the statement was rejected
+  /// before admission (the future is ready with the rejection Status).
+  struct Ticket {
+    uint64_t id = 0;
+    std::future<Result<om::Value>> result;
+  };
+
   /// Freezes `store` (no LoadDocument afterwards) and starts serving.
   explicit QueryService(DocumentStore& store);
   QueryService(DocumentStore& store, const Options& options);
@@ -73,6 +87,20 @@ class QueryService {
   /// (InvalidArgument — e.g. liberal semantics + algebraic engine).
   std::future<Result<om::Value>> Execute(std::string oql,
                                          const QueryOptions& options = {});
+
+  /// Execute, but also returns the query id so the caller can Cancel
+  /// the statement while it is queued or running.
+  Ticket Submit(std::string oql, const QueryOptions& options = {});
+
+  /// Trips the guard of an in-flight (queued or running) query: its
+  /// evaluation stops cooperatively at the next probe and its future
+  /// resolves to kCancelled, freeing the worker. NotFound once the
+  /// query has finished (or never existed).
+  Status Cancel(uint64_t query_id);
+
+  /// Cancels every in-flight query (e.g. before Shutdown for a fast
+  /// drain). Returns how many guards were tripped.
+  size_t CancelAll();
 
   /// Execute + wait.
   Result<om::Value> ExecuteSync(std::string oql,
@@ -94,11 +122,21 @@ class QueryService {
   const ServiceStats& stats() const { return stats_; }
   size_t num_threads() const { return pool_.size(); }
   size_t inflight() const { return inflight_.load(); }
+  /// Queries currently registered (queued or running).
+  size_t active_queries() const;
 
  private:
   /// The worker-side path: cache lookup / prepare, execute, record.
+  /// On a runtime kInternal failure (e.g. a broken index probe) the
+  /// statement re-executes once on the unindexed reference path and
+  /// the degradation is counted instead of surfaced.
   Result<om::Value> RunOne(const std::string& oql,
-                           const QueryOptions& options);
+                           const QueryOptions& options, ExecGuard* guard);
+
+  /// Trips guards whose steady-clock deadline has passed (belt and
+  /// braces on top of the guards' own amortized deadline checks: a
+  /// tripped flag is observed by the cheap per-iteration probe).
+  void WatchdogLoop();
 
   const DocumentStore& store_;
   const Options options_;
@@ -106,6 +144,14 @@ class QueryService {
   ServiceStats stats_;
   std::atomic<bool> serving_{true};
   std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> next_query_id_{1};
+  /// In-flight registry: query id -> its shared guard. Owned jointly
+  /// with the worker closure so Cancel stays safe after completion.
+  mutable std::mutex active_mu_;
+  std::condition_variable watchdog_cv_;
+  std::map<uint64_t, std::shared_ptr<ExecGuard>> active_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
   /// Union-branch pool, declared before pool_: query workers (which
   /// fan out onto it) die first on destruction.
   ThreadPool branch_pool_;

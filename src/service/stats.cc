@@ -40,9 +40,10 @@ uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
 }
 
 void ServiceStats::RecordExecution(std::string_view query,
-                                   uint64_t latency_micros, bool ok,
-                                   bool cache_hit, size_t rows,
-                                   size_t branch_count) {
+                                   uint64_t latency_micros,
+                                   const Status& status, bool cache_hit,
+                                   size_t rows, size_t branch_count,
+                                   bool degraded) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = per_query_.find(query);
   if (it == per_query_.end()) {
@@ -51,7 +52,23 @@ void ServiceStats::RecordExecution(std::string_view query,
   QueryStats& qs = it->second;
   qs.latency.Record(latency_micros);
   ++qs.executions;
-  if (!ok) ++qs.errors;
+  if (!status.ok()) {
+    ++qs.errors;
+    switch (status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++qs.deadline_exceeded;
+        break;
+      case StatusCode::kCancelled:
+        ++qs.cancelled;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++qs.resource_exhausted;
+        break;
+      default:
+        break;
+    }
+  }
+  if (degraded) ++qs.degraded;
   if (cache_hit) {
     ++qs.cache_hits;
   } else {
@@ -99,6 +116,34 @@ uint64_t ServiceStats::total_cache_misses() const {
   return n;
 }
 
+uint64_t ServiceStats::total_deadline_exceeded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.deadline_exceeded;
+  return n;
+}
+
+uint64_t ServiceStats::total_cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.cancelled;
+  return n;
+}
+
+uint64_t ServiceStats::total_resource_exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.resource_exhausted;
+  return n;
+}
+
+uint64_t ServiceStats::total_degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [_, qs] : per_query_) n += qs.degraded;
+  return n;
+}
+
 QueryStats ServiceStats::Snapshot(std::string_view query) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = per_query_.find(query);
@@ -109,16 +154,23 @@ QueryStats ServiceStats::Snapshot(std::string_view query) const {
 std::string ServiceStats::Report() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t execs = 0, errors = 0, hits = 0, misses = 0;
+  uint64_t deadlines = 0, cancels = 0, exhausted = 0, degraded = 0;
   for (const auto& [_, qs] : per_query_) {
     execs += qs.executions;
     errors += qs.errors;
     hits += qs.cache_hits;
     misses += qs.cache_misses;
+    deadlines += qs.deadline_exceeded;
+    cancels += qs.cancelled;
+    exhausted += qs.resource_exhausted;
+    degraded += qs.degraded;
   }
   std::ostringstream out;
   out << "=== query service stats ===\n";
   out << "executions: " << execs << "  errors: " << errors
       << "  rejected: " << rejected_ << "\n";
+  out << "taxonomy: deadline=" << deadlines << " cancelled=" << cancels
+      << " exhausted=" << exhausted << " degraded=" << degraded << "\n";
   out << "plan cache: " << hits << " hits / " << misses << " misses";
   if (hits + misses > 0) {
     out << " (" << (100 * hits / (hits + misses)) << "% hit rate)";

@@ -13,6 +13,8 @@
 #include <string>
 #include <string_view>
 
+#include "base/status.h"
+
 namespace sgmlqdb::service {
 
 /// A fixed-bucket log2 latency histogram: bucket i counts samples in
@@ -49,14 +51,24 @@ struct QueryStats {
   uint64_t rows_returned = 0;
   /// branch_count of the compiled plan (0 for naive / bare terms).
   uint64_t branch_count = 0;
+  // Robustness taxonomy (subsets of `errors`, except degraded).
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t resource_exhausted = 0;
+  /// Executions that completed on a degraded path (failed optimizer
+  /// pass or failed index probe -> unindexed fallback). These are
+  /// *successful* executions, counted separately from errors.
+  uint64_t degraded = 0;
 };
 
 class ServiceStats {
  public:
-  /// Records one finished execution of `query`.
+  /// Records one finished execution of `query`. The Status feeds the
+  /// error taxonomy (deadline / cancelled / resource-exhausted);
+  /// `degraded` marks a result produced by a fallback path.
   void RecordExecution(std::string_view query, uint64_t latency_micros,
-                       bool ok, bool cache_hit, size_t rows,
-                       size_t branch_count);
+                       const Status& status, bool cache_hit, size_t rows,
+                       size_t branch_count, bool degraded);
 
   /// Records one admission-control rejection.
   void RecordRejected();
@@ -66,6 +78,10 @@ class ServiceStats {
   uint64_t total_rejected() const;
   uint64_t total_cache_hits() const;
   uint64_t total_cache_misses() const;
+  uint64_t total_deadline_exceeded() const;
+  uint64_t total_cancelled() const;
+  uint64_t total_resource_exhausted() const;
+  uint64_t total_degraded() const;
 
   /// Snapshot of one query's stats (zeros if never seen).
   QueryStats Snapshot(std::string_view query) const;

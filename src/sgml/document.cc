@@ -255,8 +255,9 @@ class AutomatonCache {
 
 class InstanceParser {
  public:
-  InstanceParser(const Dtd& dtd, std::string_view text)
-      : dtd_(dtd), lexer_(dtd, text), automata_(dtd) {}
+  InstanceParser(const Dtd& dtd, std::string_view text,
+                 const ParseLimits& limits)
+      : dtd_(dtd), lexer_(dtd, text), automata_(dtd), limits_(limits) {}
 
   Result<Document> Parse() {
     while (true) {
@@ -384,6 +385,11 @@ class InstanceParser {
         stack_.back().node.children.push_back(std::move(node));
       }
       return Status::OK();
+    }
+    if (stack_.size() >= limits_.max_depth) {
+      return ErrAt(t.line, "element nesting exceeds the maximum depth of " +
+                               std::to_string(limits_.max_depth) +
+                               " (opening '" + t.name + "')");
     }
     OpenElement open;
     open.node = std::move(node);
@@ -580,6 +586,7 @@ class InstanceParser {
   const Dtd& dtd_;
   Lexer lexer_;
   AutomatonCache automata_;
+  ParseLimits limits_;
   std::vector<OpenElement> stack_;
   DocNode root_;
   bool have_root_ = false;
@@ -588,7 +595,12 @@ class InstanceParser {
 }  // namespace
 
 Result<Document> ParseDocument(const Dtd& dtd, std::string_view text) {
-  return InstanceParser(dtd, text).Parse();
+  return InstanceParser(dtd, text, ParseLimits{}).Parse();
+}
+
+Result<Document> ParseDocument(const Dtd& dtd, std::string_view text,
+                               const ParseLimits& limits) {
+  return InstanceParser(dtd, text, limits).Parse();
 }
 
 // ---------------------------------------------------------------------

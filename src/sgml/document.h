@@ -46,6 +46,17 @@ struct Document {
   DocNode root;
 };
 
+/// Parser resource limits (robustness against adversarial input).
+struct ParseLimits {
+  /// Maximum open-element nesting depth. The instance parser itself is
+  /// iterative, but validation, InnerText and serialization recurse
+  /// over the tree, so unbounded depth risks stack exhaustion
+  /// downstream; past this limit parsing fails with ParseError.
+  /// 512 comfortably covers real documents while keeping the
+  /// recursive passes well inside default stack sizes.
+  size_t max_depth = 512;
+};
+
 /// Parses a document instance against `dtd`.
 ///
 /// Supported syntax: start tags with attributes (`<figure label=fig1>`
@@ -60,6 +71,8 @@ struct Document {
 /// an element with an omissible start tag that is acceptable here, the
 /// element is opened implicitly.
 Result<Document> ParseDocument(const Dtd& dtd, std::string_view text);
+Result<Document> ParseDocument(const Dtd& dtd, std::string_view text,
+                               const ParseLimits& limits);
 
 /// Validates an already-built tree against the DTD: content models,
 /// attribute declarations, required attributes, ID uniqueness and

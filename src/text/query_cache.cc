@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/fault_injection.h"
 #include "base/strutil.h"
 #include "text/regex.h"
 
@@ -19,6 +20,9 @@ bool IsPlainSingleWord(std::string_view word) {
 Result<std::shared_ptr<const TextQueryCache::ContainsEntry>>
 TextQueryCache::Contains(const InvertedIndex* index,
                          std::string_view pattern_text) {
+  // Fault site: a failing candidate probe must make the service fall
+  // back to the unindexed scan path, not fail the query.
+  SGMLQDB_FAULT_POINT("index.candidates");
   std::string key = (index != nullptr ? "i:" : "s:");
   key += pattern_text;
   {

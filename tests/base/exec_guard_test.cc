@@ -1,0 +1,250 @@
+#include "base/exec_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "base/status.h"
+
+namespace sgmlqdb {
+namespace {
+
+TEST(ExecGuardTest, UnlimitedGuardNeverTrips) {
+  ExecGuard guard;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(guard.Probe().ok());
+  }
+  EXPECT_TRUE(guard.CountRows(1 << 20).ok());
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_FALSE(guard.tripped());
+  EXPECT_TRUE(guard.status().ok());
+}
+
+TEST(ExecGuardTest, CancelTripsAndIsSticky) {
+  ExecGuard guard;
+  guard.Cancel("caller gave up");
+  EXPECT_TRUE(guard.tripped());
+  Status s = guard.Probe();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.message(), "caller gave up");
+  // The first trip wins: a later deadline trip must not overwrite it.
+  guard.TripDeadline();
+  EXPECT_EQ(guard.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(guard.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecGuardTest, RowBudgetTripsWithResourceExhausted) {
+  ExecGuard guard(ExecGuard::Limits{.max_rows = 10});
+  EXPECT_TRUE(guard.CountRows(10).ok());  // exactly at the budget: fine
+  Status s = guard.CountRows(1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(guard.rows(), 11u);
+  // Every probe now reports the same sticky status.
+  EXPECT_EQ(guard.Probe().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecGuardTest, StepBudgetTripsWithResourceExhausted) {
+  ExecGuard guard(ExecGuard::Limits{.max_steps = 100});
+  Status s = Status::OK();
+  int probes = 0;
+  while (s.ok() && probes < 1000) {
+    s = guard.Probe();
+    ++probes;
+  }
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(probes, 101);  // the 101st probe exceeds max_steps=100
+}
+
+TEST(ExecGuardTest, DeadlineObservedByCheck) {
+  ExecGuard guard(ExecGuard::Limits{.timeout_ms = 1});
+  EXPECT_TRUE(guard.has_deadline());
+  EXPECT_GT(guard.deadline_ns(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status s = guard.Check();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecGuardTest, DeadlineObservedByAmortizedProbe) {
+  ExecGuard guard(ExecGuard::Limits{.timeout_ms = 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is only read every kCheckStride probes, so the trip may
+  // take up to one stride — but no longer.
+  Status s = Status::OK();
+  uint64_t probes = 0;
+  while (s.ok() && probes <= ExecGuard::kCheckStride) {
+    s = guard.Probe();
+    ++probes;
+  }
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecGuardTest, WatchdogStyleTripIsSeenByNextProbe) {
+  // TripDeadline from another thread (the watchdog's move) must be
+  // picked up by the very next probe — no stride wait.
+  ExecGuard guard(ExecGuard::Limits{.timeout_ms = 60'000});
+  ASSERT_TRUE(guard.Probe().ok());
+  std::thread watchdog([&guard] { guard.TripDeadline(); });
+  watchdog.join();
+  EXPECT_EQ(guard.Probe().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecGuardTest, ConcurrentProbesAndCancelAreSafe) {
+  ExecGuard guard;
+  std::atomic<int> cancelled_seen{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 50'000; ++i) {
+        Status s = guard.Probe();
+        if (!s.ok()) {
+          EXPECT_EQ(s.code(), StatusCode::kCancelled);
+          cancelled_seen.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  guard.Cancel();
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(guard.tripped());
+}
+
+TEST(ExecGuardTest, ConcurrentTripsAgreeOnOneStatus) {
+  // Racing Cancel vs TripDeadline: exactly one wins, and every reader
+  // sees that one status with its matching message.
+  for (int round = 0; round < 50; ++round) {
+    ExecGuard guard(ExecGuard::Limits{.timeout_ms = 60'000});
+    std::thread a([&] { guard.Cancel(); });
+    std::thread b([&] { guard.TripDeadline(); });
+    a.join();
+    b.join();
+    Status s = guard.status();
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.code() == StatusCode::kCancelled ||
+                s.code() == StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(guard.Check().code(), s.code());
+  }
+}
+
+TEST(StatusTest, GuardCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("stop").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("oom").code(),
+            StatusCode::kResourceExhausted);
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+Status GuardedFunction() {
+  SGMLQDB_FAULT_POINT("test.point");
+  return Status::OK();
+}
+
+TEST_F(FaultInjectionTest, DisarmedPointIsTransparent) {
+  EXPECT_FALSE(fault::AnyArmed());
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_EQ(fault::FireCount("test.point"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmedPointReturnsInjectedStatus) {
+  fault::FaultSpec spec;
+  spec.status = Status::Internal("boom");
+  fault::Arm("test.point", spec);
+  EXPECT_TRUE(fault::AnyArmed());
+  Status s = GuardedFunction();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(fault::FireCount("test.point"), 1u);
+  fault::Disarm("test.point");
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_FALSE(fault::AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, OtherPointsAreUnaffected) {
+  fault::Arm("some.other.point", fault::FaultSpec{});
+  EXPECT_TRUE(fault::AnyArmed());
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_EQ(fault::FireCount("some.other.point"), 0u);
+}
+
+TEST_F(FaultInjectionTest, SkipLetsEarlyTraversalsPass) {
+  fault::FaultSpec spec;
+  spec.skip = 2;
+  fault::Arm("test.point", spec);
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_FALSE(GuardedFunction().ok());  // third traversal fires
+  EXPECT_EQ(fault::FireCount("test.point"), 1u);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresBoundsTheBlastRadius) {
+  fault::FaultSpec spec;
+  spec.max_fires = 2;
+  fault::Arm("test.point", spec);
+  EXPECT_FALSE(GuardedFunction().ok());
+  EXPECT_FALSE(GuardedFunction().ok());
+  EXPECT_TRUE(GuardedFunction().ok());  // budget spent: passes again
+  EXPECT_EQ(fault::FireCount("test.point"), 2u);
+}
+
+TEST_F(FaultInjectionTest, DelayOnlySpecSleepsButSucceeds) {
+  fault::FaultSpec spec;
+  spec.status = Status::OK();
+  spec.delay_ms = 20;
+  fault::Arm("test.point", spec);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedFunction().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+  EXPECT_EQ(fault::FireCount("test.point"), 1u);
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    fault::ScopedFault f("test.point", fault::FaultSpec{});
+    EXPECT_FALSE(GuardedFunction().ok());
+  }
+  EXPECT_TRUE(GuardedFunction().ok());
+  EXPECT_FALSE(fault::AnyArmed());
+}
+
+TEST_F(FaultInjectionTest, ConcurrentTraversalsCountEveryFire) {
+  fault::FaultSpec spec;
+  spec.max_fires = 100;
+  fault::Arm("test.point", spec);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!GuardedFunction().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 100);
+  EXPECT_EQ(fault::FireCount("test.point"), 100u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb

@@ -1,0 +1,285 @@
+// Robustness suites: deadlines, cancellation, budgets, shutdown under
+// load, and graceful degradation under injected faults. Runs under
+// TSan via scripts/tier1.sh (fixture names contain "QueryService").
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::service {
+namespace {
+
+using QueryOptions = QueryService::QueryOptions;
+
+std::unique_ptr<DocumentStore> MakeStore() {
+  auto store = std::make_unique<DocumentStore>();
+  EXPECT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+  EXPECT_TRUE(store->LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+  EXPECT_TRUE(store->LoadDocument(sgml::ArticleDocumentV2Text()).ok());
+  return store;
+}
+
+/// Navigation-heavy statement: every `..` step probes "eval.nav", so a
+/// latency fault there makes it deterministically slow.
+const char kNavQuery[] = "select t from d .. title(t)";
+/// Pure set iteration: never navigates, so it stays fast while
+/// "eval.nav" is armed.
+const char kScanQuery[] = "select a from a in Articles";
+const char kContainsQuery[] =
+    "select text(s) from a in Articles, s in a.sections "
+    "where s contains (\"SGML\")";
+
+class QueryServiceRobustnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_F(QueryServiceRobustnessTest, DeadlineTripsSlowQueryOthersComplete) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 2;
+  QueryService service(*store, options);
+  // Every navigation sleeps 25ms: kNavQuery now takes far longer than
+  // its 50ms budget, while kScanQuery (no navigation) is unaffected.
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 25;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  QueryOptions deadline;
+  deadline.timeout_ms = 50;
+  const auto start = std::chrono::steady_clock::now();
+  auto slow = service.Execute(kNavQuery, deadline);
+  auto fast = service.Execute(kScanQuery);
+  Result<om::Value> r = slow.get();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status();
+  // Cooperative, not instant — but within a small multiple of the
+  // deadline (one armed nav step ~25ms past the watchdog trip).
+  EXPECT_LT(elapsed.count(), 500);
+  EXPECT_TRUE(fast.get().ok());
+  EXPECT_EQ(service.stats().total_deadline_exceeded(), 1u);
+}
+
+TEST_F(QueryServiceRobustnessTest, DeadlineCoversQueueWait) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 1;
+  QueryService service(*store, options);
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 30;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  // The first statement hogs the only worker; the second's 30ms budget
+  // expires while it waits in the queue, so it fails without ever
+  // evaluating (admission-to-completion semantics).
+  auto hog = service.Execute(kNavQuery);
+  QueryOptions deadline;
+  deadline.timeout_ms = 30;
+  Result<om::Value> queued = service.ExecuteSync(kScanQuery, deadline);
+  ASSERT_FALSE(queued.ok());
+  EXPECT_EQ(queued.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(hog.get().ok());
+}
+
+TEST_F(QueryServiceRobustnessTest, CancelReclaimsTheWorker) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 1;  // one worker: reclamation is observable
+  QueryService service(*store, options);
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 100;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  QueryService::Ticket ticket = service.Submit(kNavQuery);
+  ASSERT_NE(ticket.id, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(service.Cancel(ticket.id).ok());
+  Result<om::Value> r = ticket.result.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+  // The worker is free again: an un-cancelled statement completes.
+  EXPECT_TRUE(service.ExecuteSync(kScanQuery).ok());
+  EXPECT_EQ(service.active_queries(), 0u);
+  EXPECT_EQ(service.stats().total_cancelled(), 1u);
+  // Cancelling a finished (or unknown) id reports NotFound.
+  EXPECT_EQ(service.Cancel(ticket.id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.Cancel(999999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryServiceRobustnessTest, CancelUnderLoadDrainsDeterministically) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 64;
+  QueryService service(*store, options);
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 50;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(service.Submit(kNavQuery));
+    ASSERT_NE(tickets.back().id, 0u);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  size_t cancelled = service.CancelAll();
+  EXPECT_GE(cancelled, 15u);  // the running one may already have won
+  // Every future resolves (no leaks): queued statements drain without
+  // evaluating, each either Cancelled or (at most the one that was
+  // already executing) complete.
+  size_t ok = 0, killed = 0;
+  for (auto& t : tickets) {
+    Result<om::Value> r = t.result.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+      ++killed;
+    }
+  }
+  EXPECT_EQ(ok + killed, 16u);
+  EXPECT_GE(killed, 15u);
+  EXPECT_EQ(service.inflight(), 0u);
+  EXPECT_EQ(service.active_queries(), 0u);
+}
+
+TEST_F(QueryServiceRobustnessTest, ShutdownWhileInFlightResolvesAll) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 2;
+  QueryService service(*store, options);
+  std::vector<QueryService::Ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(service.Submit(kNavQuery));
+  }
+  service.CancelAll();
+  service.Shutdown();
+  for (auto& t : tickets) {
+    ASSERT_NE(t.id, 0u);
+    Result<om::Value> r = t.result.get();  // must not hang or leak
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+    }
+  }
+  // Post-shutdown submission fails fast with Unavailable, id 0.
+  QueryService::Ticket late = service.Submit(kScanQuery);
+  EXPECT_EQ(late.id, 0u);
+  Result<om::Value> r = late.result.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(QueryServiceRobustnessTest, RowBudgetTripsResourceExhausted) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  QueryOptions tight;
+  tight.max_rows = 1;
+  Result<om::Value> r = service.ExecuteSync(kScanQuery, tight);  // 2 rows
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted) << r.status();
+  EXPECT_EQ(service.stats().total_resource_exhausted(), 1u);
+  // A budget that fits passes.
+  QueryOptions roomy;
+  roomy.max_rows = 100;
+  EXPECT_TRUE(service.ExecuteSync(kScanQuery, roomy).ok());
+}
+
+TEST_F(QueryServiceRobustnessTest, StepBudgetTripsResourceExhausted) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  QueryOptions tight;
+  tight.max_steps = 3;
+  Result<om::Value> r = service.ExecuteSync(kNavQuery, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted) << r.status();
+}
+
+TEST_F(QueryServiceRobustnessTest, SubmitFaultRejectsBeforeAdmission) {
+  auto store = MakeStore();
+  QueryService service(*store);
+  {
+    fault::ScopedFault f("pool.submit",
+                         fault::FaultSpec{Status::Unavailable("enqueue failed")});
+    QueryService::Ticket t = service.Submit(kScanQuery);
+    EXPECT_EQ(t.id, 0u);
+    Result<om::Value> r = t.result.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(r.status().message(), "enqueue failed");
+    EXPECT_EQ(service.inflight(), 0u);  // no admission slot leaked
+  }
+  EXPECT_EQ(service.stats().total_rejected(), 1u);
+  EXPECT_TRUE(service.ExecuteSync(kScanQuery).ok());
+}
+
+TEST_F(QueryServiceRobustnessTest, OptimizerFaultDegradesWithParity) {
+  auto store = MakeStore();
+  // Baselines on the healthy path, both engines, before freezing.
+  QueryOptions algebraic;
+  algebraic.engine = oql::Engine::kAlgebraic;
+  std::vector<std::string> queries = {kNavQuery, kScanQuery, kContainsQuery};
+  std::vector<om::Value> expected;
+  for (const std::string& q : queries) {
+    auto r = store->Query(q, algebraic);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    expected.push_back(*r);
+  }
+  QueryService service(*store);
+  fault::ScopedFault f("optimizer.pushdown", fault::FaultSpec{});
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<om::Value> r = service.ExecuteSync(queries[i], algebraic);
+    ASSERT_TRUE(r.ok()) << queries[i] << ": " << r.status();
+    EXPECT_EQ(*r, expected[i]) << queries[i];
+  }
+  // Every prepare fell back to the unoptimized plan and was counted.
+  EXPECT_EQ(service.stats().total_degraded(), queries.size());
+  EXPECT_GE(fault::FireCount("optimizer.pushdown"), queries.size());
+  EXPECT_EQ(service.stats().total_errors(), 0u);
+}
+
+TEST_F(QueryServiceRobustnessTest, IndexFaultDegradesWithParity) {
+  auto store = MakeStore();
+  auto baseline = store->Query(kContainsQuery, QueryOptions{});
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  QueryService service(*store);
+  // A broken index probe surfaces as kInternal; the service re-runs
+  // the statement on the unindexed reference path, which never touches
+  // "index.candidates".
+  fault::ScopedFault f("index.candidates", fault::FaultSpec{});
+  Result<om::Value> r = service.ExecuteSync(kContainsQuery);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, *baseline);
+  EXPECT_GE(fault::FireCount("index.candidates"), 1u);
+  EXPECT_EQ(service.stats().total_degraded(), 1u);
+  EXPECT_EQ(service.stats().total_errors(), 0u);
+}
+
+TEST_F(QueryServiceRobustnessTest, CancelledStatsAppearInReport) {
+  auto store = MakeStore();
+  QueryService::Options options;
+  options.num_threads = 1;
+  QueryService service(*store, options);
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 100;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  QueryService::Ticket t = service.Submit(kNavQuery);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(service.Cancel(t.id).ok());
+  ASSERT_FALSE(t.result.get().ok());
+  std::string report = service.stats().Report();
+  EXPECT_NE(report.find("cancelled=1"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace sgmlqdb::service

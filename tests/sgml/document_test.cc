@@ -240,5 +240,59 @@ TEST(DocNodeTest, CountElements) {
   EXPECT_EQ(n.CountElements(), 2u);
 }
 
+Dtd RecursiveDtd() {
+  auto r = ParseDtd("<!ELEMENT nest - - (nest?)>");
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+std::string NestedDocument(size_t depth) {
+  std::string text;
+  text.reserve(depth * 14);
+  for (size_t i = 0; i < depth; ++i) text += "<nest>";
+  for (size_t i = 0; i < depth; ++i) text += "</nest>";
+  return text;
+}
+
+TEST(DocumentParserTest, DepthWithinLimitParses) {
+  Dtd dtd = RecursiveDtd();
+  auto r = ParseDocument(dtd, NestedDocument(400));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().root.CountElements(), 400u);
+}
+
+TEST(DocumentParserTest, DepthAtLimitBoundary) {
+  Dtd dtd = RecursiveDtd();
+  ParseLimits limits;
+  limits.max_depth = 10;
+  EXPECT_TRUE(ParseDocument(dtd, NestedDocument(10), limits).ok());
+  auto r = ParseDocument(dtd, NestedDocument(11), limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos)
+      << r.status();
+}
+
+TEST(DocumentParserTest, HundredThousandDeepDocumentIsRejected) {
+  // Regression: adversarial nesting must fail with ParseError instead
+  // of building a tree whose recursive passes (validation, InnerText,
+  // serialization) would blow the stack.
+  Dtd dtd = RecursiveDtd();
+  auto r = ParseDocument(dtd, NestedDocument(100'000));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos)
+      << r.status();
+}
+
+TEST(DocumentParserTest, RaisedLimitAllowsDeeperDocuments) {
+  Dtd dtd = RecursiveDtd();
+  ParseLimits limits;
+  limits.max_depth = 2000;
+  auto r = ParseDocument(dtd, NestedDocument(1500), limits);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().root.CountElements(), 1500u);
+}
+
 }  // namespace
 }  // namespace sgmlqdb::sgml
