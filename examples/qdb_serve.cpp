@@ -4,13 +4,20 @@
 // per-query stats report (latency histogram summary, cache hit rates,
 // rows, union branch counts).
 //
-//   ./build/examples/qdb_serve [articles] [threads] [rounds]
+// With --ingest[=N] a writer thread additionally loads N extra
+// articles (default 10) live during the query mix — one publish per
+// document, readers never blocked — and the report gains the ingest
+// side: before/after document counts, publish latency, snapshot pins
+// and stale-cache drops.
+//
+//   ./build/examples/qdb_serve [articles] [threads] [rounds] [--ingest[=N]]
 //   (defaults: 20 articles, 4 threads, 50 rounds of the 6-query mix)
 
 #include <cstdlib>
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/generator.h"
@@ -19,9 +26,25 @@
 
 int main(int argc, char** argv) {
   using sgmlqdb::Result;
-  const size_t articles = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
-  const size_t threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
-  const size_t rounds = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 50;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  size_t ingest_docs = 0;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--ingest") {
+      ingest_docs = 10;
+      it = args.erase(it);
+    } else if (it->rfind("--ingest=", 0) == 0) {
+      ingest_docs = std::strtoul(it->c_str() + 9, nullptr, 10);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const size_t articles =
+      args.size() > 0 ? std::strtoul(args[0].c_str(), nullptr, 10) : 20;
+  const size_t threads =
+      args.size() > 1 ? std::strtoul(args[1].c_str(), nullptr, 10) : 4;
+  const size_t rounds =
+      args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 10) : 50;
 
   // -- Load phase (single-threaded, mutating) -------------------------
   sgmlqdb::DocumentStore store;
@@ -72,6 +95,33 @@ int main(int argc, char** argv) {
        sgmlqdb::oql::Engine::kNaive},
   };
 
+  // With --ingest, a single writer loads extra articles live while
+  // the mix runs: one document per publish, queries in flight keep
+  // their pinned snapshot and are never blocked.
+  const size_t docs_before = service.store().document_count();
+  std::thread writer;
+  size_t ingested = 0, ingest_failed = 0;
+  if (ingest_docs > 0) {
+    std::cout << "ingesting " << ingest_docs
+              << " extra articles live during the mix (docs before: "
+              << docs_before << ")\n";
+    writer = std::thread([&] {
+      sgmlqdb::corpus::ArticleParams live_params;
+      live_params.seed = 4242;  // disjoint from the base corpus
+      for (const std::string& article :
+           sgmlqdb::corpus::GenerateCorpus(ingest_docs, live_params)) {
+        auto epoch = service.Ingest(
+            {sgmlqdb::service::QueryService::IngestOp::Load(article)});
+        if (epoch.ok()) {
+          ++ingested;
+        } else {
+          std::cerr << "ingest failed: " << epoch.status() << "\n";
+          ++ingest_failed;
+        }
+      }
+    });
+  }
+
   std::vector<std::future<Result<sgmlqdb::om::Value>>> inflight;
   inflight.reserve(rounds * mix.size());
   for (size_t round = 0; round < rounds; ++round) {
@@ -93,9 +143,16 @@ int main(int argc, char** argv) {
       ++failed;
     }
   }
+  if (writer.joinable()) writer.join();
+  if (ingest_docs > 0) {
+    std::cout << "ingested " << ingested << " articles ("
+              << ingest_failed << " failed); docs: " << docs_before
+              << " -> " << service.store().document_count() << "\n";
+    std::cout << service.IngestReport();
+  }
   service.Shutdown();
   std::cout << ok << " ok, " << rejected << " rejected (admission), "
             << failed << " failed\n\n";
   std::cout << service.stats().Report();
-  return failed == 0 ? 0 : 1;
+  return failed == 0 && ingest_failed == 0 ? 0 : 1;
 }

@@ -8,10 +8,17 @@
 #   BENCH_service.json — E10 service throughput / plan-cache series
 #                        + E12 deadline tail-latency series
 #                        (bench_service)
+#   BENCH_ingest.json  — E13 live-ingestion series: publish throughput
+#                        and reader p99 during ingest vs. frozen
+#                        (bench_ingest)
+#
+# Every emitted file is validated as parseable JSON (a crashed or
+# interrupted bench run leaves a truncated file; better to fail here
+# than to feed it to an analysis notebook).
 #
 #   bash scripts/bench.sh [jobs] [extra benchmark args...]
 #
-# Extra args are passed to both binaries, e.g.
+# Extra args are passed to all binaries, e.g.
 #   bash scripts/bench.sh 8 --benchmark_min_time=0.5
 
 set -euo pipefail
@@ -20,9 +27,25 @@ jobs="${1:-$(nproc)}"
 shift || true
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_queries bench_service
+cmake --build build -j "$jobs" --target bench_queries bench_service bench_ingest
 
 ./build/bench/bench_queries --json BENCH_queries.json "$@"
 ./build/bench/bench_service --json BENCH_service.json "$@"
+./build/bench/bench_ingest --json BENCH_ingest.json "$@"
 
-echo "Wrote BENCH_queries.json and BENCH_service.json"
+status=0
+for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json; do
+  if [[ ! -s "$f" ]]; then
+    echo "ERROR: $f is missing or empty" >&2
+    status=1
+  elif ! python3 -m json.tool "$f" > /dev/null; then
+    echo "ERROR: $f is not valid JSON (truncated run?)" >&2
+    status=1
+  fi
+done
+if [[ "$status" -ne 0 ]]; then
+  echo "benchmark output validation FAILED" >&2
+  exit "$status"
+fi
+
+echo "Wrote BENCH_queries.json, BENCH_service.json and BENCH_ingest.json (all valid JSON)"

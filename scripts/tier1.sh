@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test suite, then the service
-# layer re-built and re-run under ThreadSanitizer (the thread pool,
-# plan cache, exec guards and query service are the only concurrent
-# code; TSan race-checks them against the frozen-store read path),
-# then the robustness/fault-injection suites re-run under
+# Tier-1 verification: the full build + test suite, then the
+# concurrent code re-built and re-run under ThreadSanitizer (the
+# thread pool, plan cache, exec guards, query service, and the
+# live-ingestion path: pinned snapshot readers racing single-writer
+# publishes), then the robustness/fault-injection suites re-run under
 # AddressSanitizer+UBSan (injected faults exercise the error and
 # degraded paths, where leaks and lifetime bugs like to hide).
 #
@@ -18,8 +18,8 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target service_test algebra_test
-ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion'
+cmake --build build-tsan -j "$jobs" --target service_test algebra_test ingest_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation'
 
 cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs" --target base_test service_test sgml_test property_test

@@ -772,7 +772,8 @@ class IndexSemiJoinNode : public UnaryNode {
     bool exact = false;
     if (cc.text_cache != nullptr) {
       SGMLQDB_ASSIGN_OR_RETURN(
-          entry, cc.text_cache->Contains(cc.text_index, pattern_text_));
+          entry, cc.text_cache->Contains(cc.text_index, pattern_text_,
+                                         cc.text_epoch));
       pattern = &entry->pattern;
       candidates = entry->candidates.get();
       exact = entry->exact;
@@ -906,7 +907,7 @@ class IndexNearJoinNode : public UnaryNode {
     if (plain_words_ && cc.text_index != nullptr) {
       if (cc.text_cache != nullptr) {
         units = cc.text_cache->NearUnits(*cc.text_index, word1_, word2_,
-                                         max_distance_);
+                                         max_distance_, cc.text_epoch);
       } else {
         std::vector<text::UnitId> u =
             cc.text_index->NearLookup(word1_, word2_, max_distance_);
@@ -1044,7 +1045,8 @@ class IndexDocFilterNode : public UnaryNode {
           key = "n:" + term_class_ + ":" + word1_ + "," + word2_ + "," +
                 std::to_string(max_distance_);
         }
-        docs = cc.text_cache->Docs(key, [&] { return BuildDocs(cc); });
+        docs = cc.text_cache->Docs(key, [&] { return BuildDocs(cc); },
+                                   cc.text_epoch);
       } else {
         docs = std::make_shared<const std::unordered_set<uint64_t>>(
             BuildDocs(cc));

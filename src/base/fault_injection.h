@@ -16,6 +16,8 @@
 //   index.candidates   — TextQueryCache::Contains (index probe)
 //   pool.submit        — QueryService::Execute, before enqueueing
 //   eval.nav           — calculus path navigation (per path matched)
+//   ingest.apply       — IngestSession document apply (load/remove)
+//   ingest.publish     — DocumentStore::PublishIngest, before the swap
 //
 // The registry is process-global and thread-safe; tests should use
 // ScopedFault (or DisarmAll in TearDown) so points never leak between

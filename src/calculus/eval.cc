@@ -918,7 +918,8 @@ class Evaluator {
         // set before touching the text.
         SGMLQDB_ASSIGN_OR_RETURN(
             auto entry,
-            ctx_.text_cache->Contains(ctx_.text_index, args[1].AsString()));
+            ctx_.text_cache->Contains(ctx_.text_index, args[1].AsString(),
+                                      ctx_.text_epoch));
         if (args[0].kind() == ValueKind::kObject &&
             entry->candidates != nullptr) {
           bool member =
@@ -956,7 +957,7 @@ class Evaluator {
         // answers exactly (same tokenization, case-insensitive).
         auto units = ctx_.text_cache->NearUnits(
             *ctx_.text_index, args[1].AsString(), args[2].AsString(),
-            static_cast<size_t>(args[3].AsInteger()));
+            static_cast<size_t>(args[3].AsInteger()), ctx_.text_epoch);
         return units->count(args[0].AsObject().id()) > 0;
       }
       Result<Value> text = TextOf(args[0]);

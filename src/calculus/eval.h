@@ -52,6 +52,16 @@ struct EvalContext {
   /// across concurrent queries). Optional; null disables memoization
   /// and index probing.
   text::TextQueryCache* text_cache = nullptr;
+  /// Store version the context was built from; keys every text_cache
+  /// probe, so one cache serves many epochs without a pinned
+  /// statement ever observing another version's candidate sets.
+  uint64_t text_epoch = 0;
+  /// Keeps the snapshot behind the raw pointers above alive for the
+  /// statement's whole execution, including parallel union branches
+  /// (each branch copies the context, and with it this pin). Set by
+  /// snapshot-aware callers (ingest::ContextFor); null for contexts
+  /// over a store the caller owns.
+  std::shared_ptr<const void> snapshot_pin;
   /// unit id (== element oid id) -> oid id of the document root that
   /// element was loaded under. IDREFs resolve within one document, so
   /// navigation from a root stays inside its document — which lets the

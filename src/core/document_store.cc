@@ -1,5 +1,8 @@
 #include "core/document_store.h"
 
+#include <chrono>
+
+#include "base/fault_injection.h"
 #include "mapping/exporter.h"
 #include "mapping/loader.h"
 #include "mapping/names.h"
@@ -7,6 +10,14 @@
 #include "om/typecheck.h"
 
 namespace sgmlqdb {
+
+std::shared_ptr<const ingest::StoreSnapshot> DocumentStore::state() const {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (state_ != nullptr) return state_;
+  }
+  return snapshots_.Current();
+}
 
 Status DocumentStore::LoadDtd(std::string_view dtd_text) {
   if (frozen()) {
@@ -20,7 +31,8 @@ Status DocumentStore::LoadDtd(std::string_view dtd_text) {
   SGMLQDB_ASSIGN_OR_RETURN(om::Schema schema,
                            mapping::CompileDtdToSchema(dtd));
   dtd_ = std::move(dtd);
-  db_ = std::make_unique<om::Database>(std::move(schema));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_ = ingest::StoreSnapshot::Initial(std::move(schema));
   return Status::OK();
 }
 
@@ -28,35 +40,104 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
                                                  std::string_view name) {
   if (frozen()) {
     return Status::Unavailable("store is frozen: LoadDocument is not "
-                               "allowed after serving starts");
+                               "allowed after serving starts; use "
+                               "BeginIngest/PublishIngest");
   }
   if (!dtd_.has_value()) {
     return Status::InvalidArgument("load a DTD first");
   }
+  ingest::StoreSnapshot* ws = state_.get();
+  om::Database* db = ws->db.get();
   // Declare the per-document persistence name so its binding
   // typechecks against the doctype's class.
-  if (!name.empty() && db_->schema().FindName(name) == nullptr) {
-    SGMLQDB_RETURN_IF_ERROR(db_->DeclareName(
+  if (!name.empty() && db->schema().FindName(name) == nullptr) {
+    SGMLQDB_RETURN_IF_ERROR(db->DeclareName(
         std::string(name),
         om::Type::Class(mapping::ClassNameFor(dtd_->doctype()))));
   }
   SGMLQDB_ASSIGN_OR_RETURN(
       mapping::LoadedDocument loaded,
-      mapping::LoadDocumentText(*dtd_, sgml_text, db_.get()));
+      mapping::LoadDocumentText(*dtd_, sgml_text, db));
   // Conformance check: types + Figure 3 constraints.
-  SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db_, loaded.root));
+  SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db, loaded.root));
   for (const auto& [oid, text] : loaded.element_texts) {
-    element_texts_[oid.id()] = text;
-    unit_docs_[oid.id()] = loaded.root.id();
-    text_index_.Add(oid.id(), text);
+    (*ws->element_texts)[oid.id()] = text;
+    (*ws->unit_docs)[oid.id()] = loaded.root.id();
+    ws->index->Add(oid.id(), text);
   }
   if (!name.empty()) {
     SGMLQDB_RETURN_IF_ERROR(
-        db_->BindName(name, om::Value::Object(loaded.root)));
+        db->BindName(name, om::Value::Object(loaded.root)));
   }
-  // Cached candidate sets are snapshots of the index; start fresh.
-  text_cache_ = std::make_shared<text::TextQueryCache>();
+  ++ws->doc_count;
+  // Advancing the epoch retires cached candidate sets (they are
+  // snapshots of the index) without discarding the cache itself.
+  ws->epoch = snapshots_.AdvanceEpoch();
+  ws->cache->SetLiveEpochFloor(ws->epoch);
   return loaded.root;
+}
+
+void DocumentStore::Freeze() {
+  if (frozen_.exchange(true, std::memory_order_acq_rel)) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (state_ == nullptr) {
+    // Frozen before LoadDtd: nothing to publish; the store is inert.
+    return;
+  }
+  // The degenerate single-epoch case: the load workspace becomes the
+  // first served version. The store drops its own reference — from
+  // here on only the manager and pinned statements hold snapshots, so
+  // the min-live-epoch accounting sees exactly the reader pins.
+  snapshots_.Publish(std::move(state_));
+  state_ = nullptr;
+}
+
+Result<std::unique_ptr<ingest::IngestSession>> DocumentStore::BeginIngest() {
+  if (!dtd_.has_value()) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  if (!frozen()) {
+    return Status::InvalidArgument(
+        "store is not frozen: use LoadDocument while loading, "
+        "BeginIngest only after Freeze()");
+  }
+  bool expected = false;
+  if (!ingest_active_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    return Status::Unavailable("another ingest session is active "
+                               "(single-writer ingestion)");
+  }
+  return std::make_unique<ingest::IngestSession>(
+      *dtd_, snapshots_.Current(),
+      [this] { ingest_active_.store(false, std::memory_order_release); });
+}
+
+Result<uint64_t> DocumentStore::PublishIngest(
+    std::unique_ptr<ingest::IngestSession> session) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null ingest session");
+  }
+  SGMLQDB_FAULT_POINT("ingest.publish");
+  std::shared_ptr<ingest::StoreSnapshot> next = session->Consume();
+  if (next == nullptr) {
+    return Status::InvalidArgument("ingest session already published");
+  }
+  return snapshots_.Publish(std::move(next));
+}
+
+std::shared_ptr<const ingest::StoreSnapshot> DocumentStore::snapshot() const {
+  return state();
+}
+
+size_t DocumentStore::document_count() const {
+  auto snap = state();
+  return snap == nullptr ? 0 : snap->doc_count;
+}
+
+text::TextQueryCache::CacheStats DocumentStore::text_cache_stats() const {
+  auto snap = state();
+  if (snap == nullptr || snap->cache == nullptr) return {};
+  return snap->cache->stats();
 }
 
 Result<om::Value> DocumentStore::Query(std::string_view statement,
@@ -81,10 +162,12 @@ Status DocumentStore::ValidateOptions(const QueryOptions& options) {
 Result<om::Value> DocumentStore::Query(std::string_view statement,
                                        const QueryOptions& options) const {
   SGMLQDB_RETURN_IF_ERROR(ValidateOptions(options));
-  if (db_ == nullptr) {
+  std::shared_ptr<const ingest::StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument("load a DTD first");
   }
-  calculus::EvalContext ctx = eval_context();
+  const om::Schema& schema = snap->db->schema();
+  calculus::EvalContext ctx = ingest::ContextFor(snap);
   ctx.semantics = options.semantics;
   // Single-statement use gets the same cooperative limits as the
   // service layer; the guard lives for this call only.
@@ -97,19 +180,24 @@ Result<om::Value> DocumentStore::Query(std::string_view statement,
   oql::OqlOptions oql_options;
   oql_options.engine = options.engine;
   oql_options.optimize = options.optimize;
-  return oql::ExecuteOql(ctx, db_->schema(), statement, oql_options);
+  return oql::ExecuteOql(ctx, schema, statement, oql_options);
 }
 
 Result<std::string> DocumentStore::ExportSgml(om::ObjectId root) const {
   if (!dtd_.has_value()) {
     return Status::InvalidArgument("load a DTD first");
   }
-  return mapping::ExportDocumentText(*db_, *dtd_, root);
+  auto snap = snapshot();
+  return mapping::ExportDocumentText(*snap->db, *dtd_, root);
 }
 
 Result<std::string> DocumentStore::TextOf(om::ObjectId oid) const {
-  auto it = element_texts_.find(oid.id());
-  if (it == element_texts_.end()) {
+  auto snap = snapshot();
+  if (snap == nullptr) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  auto it = snap->element_texts->find(oid.id());
+  if (it == snap->element_texts->end()) {
     return Status::NotFound("no text recorded for oid " +
                             std::to_string(oid.id()));
   }
@@ -117,13 +205,7 @@ Result<std::string> DocumentStore::TextOf(om::ObjectId oid) const {
 }
 
 calculus::EvalContext DocumentStore::eval_context() const {
-  calculus::EvalContext ctx;
-  ctx.db = db_.get();
-  ctx.element_texts = &element_texts_;
-  ctx.text_index = &text_index_;
-  ctx.text_cache = text_cache_.get();
-  ctx.unit_docs = &unit_docs_;
-  return ctx;
+  return ingest::ContextFor(snapshot());
 }
 
 }  // namespace sgmlqdb

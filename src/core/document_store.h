@@ -10,6 +10,17 @@
 //   store.LoadDocument(sgml_text, "my_article");  // Figure 2
 //   auto rows = store.Query(
 //       "select t from my_article .. title(t)");  // Q3
+//
+// Versioning: the store's data lives in ingest::StoreSnapshot
+// versions. Before Freeze() there is a single mutable version and the
+// classic single-threaded load loop above works unchanged (each load
+// advances the epoch so the text-query cache never serves stale
+// candidate sets). Freeze() publishes that version — the degenerate
+// single-epoch case — and from then on mutation happens through
+// BeginIngest()/PublishIngest(): a single writer builds the next
+// version copy-on-write while concurrent readers keep serving pinned
+// snapshots, and a publish atomically swaps versions with no
+// stop-the-world.
 
 #ifndef SGMLQDB_CORE_DOCUMENT_STORE_H_
 #define SGMLQDB_CORE_DOCUMENT_STORE_H_
@@ -17,12 +28,15 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "base/exec_guard.h"
 #include "base/status.h"
+#include "ingest/ingest_session.h"
+#include "ingest/snapshot.h"
 #include "om/database.h"
 #include "oql/oql.h"
 #include "sgml/document.h"
@@ -45,7 +59,8 @@ class DocumentStore {
   /// Parses, validates and loads a document; appends it to the
   /// doctype's persistence root (e.g. `Articles`). When `name` is
   /// non-empty, additionally binds the root object to that
-  /// persistence name (e.g. "my_article").
+  /// persistence name (e.g. "my_article"). Pre-freeze only; after
+  /// Freeze() use BeginIngest()/PublishIngest().
   Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
                                     std::string_view name = "");
 
@@ -82,18 +97,49 @@ class DocumentStore {
   /// the restricted semantics' finite, schema-derivable path sets).
   static Status ValidateOptions(const QueryOptions& options);
 
-  /// Executes an extended-O2SQL statement (paper §4).
+  /// Executes an extended-O2SQL statement (paper §4) against the
+  /// current version.
   Result<om::Value> Query(std::string_view oql,
                           oql::Engine engine = oql::Engine::kNaive) const;
   Result<om::Value> Query(std::string_view oql,
                           const QueryOptions& options) const;
 
-  /// Marks the store immutable: after Freeze(), LoadDtd/LoadDocument
-  /// fail with Unavailable. This is the handshake the concurrent
-  /// QueryService performs before serving — a frozen store is safe for
-  /// unsynchronized concurrent reads. Idempotent; cannot be undone.
-  void Freeze() { frozen_.store(true, std::memory_order_release); }
+  /// Publishes the loaded state as the first served version: after
+  /// Freeze(), LoadDtd/LoadDocument fail with Unavailable and all
+  /// mutation goes through ingest sessions. This is the handshake the
+  /// concurrent QueryService performs before serving. Idempotent;
+  /// cannot be undone.
+  void Freeze();
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  // -- Live ingestion (post-freeze) --------------------------------------
+
+  /// Opens the single-writer ingest session over the current version.
+  /// Fails with Unavailable while another session is open, and with
+  /// InvalidArgument before Freeze() (use LoadDocument while loading).
+  /// The session must not outlive the store.
+  Result<std::unique_ptr<ingest::IngestSession>> BeginIngest();
+
+  /// Atomically publishes a session's workspace as the next version.
+  /// In-flight statements keep their pinned snapshot; statements
+  /// starting afterwards see the new epoch. Returns the new epoch.
+  Result<uint64_t> PublishIngest(std::unique_ptr<ingest::IngestSession> session);
+
+  /// The current version, pinned: hold the returned pointer for the
+  /// duration of one statement and every structure it references
+  /// stays valid across publishes. (ingest::ContextFor builds an
+  /// EvalContext that carries the pin.)
+  std::shared_ptr<const ingest::StoreSnapshot> snapshot() const;
+
+  /// Current version number (advances per pre-freeze load and per
+  /// publish).
+  uint64_t epoch() const { return snapshots_.current_epoch(); }
+  /// Documents in the current version.
+  size_t document_count() const;
+  ingest::SnapshotManager::Stats snapshot_stats() const {
+    return snapshots_.stats();
+  }
+  text::TextQueryCache::CacheStats text_cache_stats() const;
 
   /// Serializes a loaded document back to SGML (inverse mapping).
   Result<std::string> ExportSgml(om::ObjectId root) const;
@@ -102,33 +148,37 @@ class DocumentStore {
   Result<std::string> TextOf(om::ObjectId oid) const;
 
   // -- Introspection -----------------------------------------------------
+  // The reference-returning accessors read the *current* version and
+  // are meant for single-threaded use (loading, tests, examples);
+  // concurrent readers must go through snapshot(), which pins.
   bool has_dtd() const { return dtd_.has_value(); }
   const sgml::Dtd& dtd() const { return *dtd_; }
-  const om::Database& db() const { return *db_; }
-  const om::Schema& schema() const { return db_->schema(); }
-  const text::InvertedIndex& text_index() const { return text_index_; }
+  const om::Database& db() const { return *state()->db; }
+  const om::Schema& schema() const { return state()->db->schema(); }
+  const text::InvertedIndex& text_index() const { return *state()->index; }
   const std::map<uint64_t, std::string>& element_texts() const {
-    return element_texts_;
+    return *state()->element_texts;
   }
-  /// The calculus evaluation context over this store (valid while the
-  /// store lives).
+  /// The calculus evaluation context over the current version (valid
+  /// while the store lives and no newer version is published; pinned
+  /// contexts come from ingest::ContextFor(snapshot())).
   calculus::EvalContext eval_context() const;
 
  private:
+  /// The current version: the loading workspace pre-freeze, the
+  /// manager's published snapshot afterwards.
+  std::shared_ptr<const ingest::StoreSnapshot> state() const;
+
   std::optional<sgml::Dtd> dtd_;
   std::atomic<bool> frozen_{false};
-  std::unique_ptr<om::Database> db_;
-  std::map<uint64_t, std::string> element_texts_;
-  /// unit id -> oid id of the document root it was loaded under (see
-  /// calculus::EvalContext::unit_docs).
-  std::map<uint64_t, uint64_t> unit_docs_;
-  text::InvertedIndex text_index_;
-  /// Pattern/candidate cache over text_index_. LoadDocument replaces
-  /// it with a fresh cache (cached candidate sets are snapshots of the
-  /// index); an eval_context() must not outlive a subsequent load.
-  /// Thread-safe for frozen-store concurrent serving.
-  std::shared_ptr<text::TextQueryCache> text_cache_ =
-      std::make_shared<text::TextQueryCache>();
+  std::atomic<bool> ingest_active_{false};
+  ingest::SnapshotManager snapshots_;
+  /// Pre-freeze loading workspace; null once Freeze() publishes it.
+  /// The store must not hold a reference of its own afterwards — the
+  /// manager's min-live-epoch accounting (and thus cache invalidation)
+  /// counts only *reader* pins.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<ingest::StoreSnapshot> state_;
 };
 
 }  // namespace sgmlqdb

@@ -1,0 +1,161 @@
+#include "ingest/ingest_session.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "mapping/loader.h"
+#include "mapping/names.h"
+#include "om/typecheck.h"
+
+namespace sgmlqdb::ingest {
+
+using om::ObjectId;
+using om::Value;
+
+IngestSession::IngestSession(const sgml::Dtd& dtd,
+                             std::shared_ptr<const StoreSnapshot> base,
+                             std::function<void()> release)
+    : dtd_(dtd), base_epoch_(base->epoch), release_(std::move(release)) {
+  // Clone the published version into the private workspace. The
+  // database clone shares every Value rep; the index clone shares
+  // every untouched postings list; the two maps are copied outright
+  // (node-per-unit, no text re-tokenization).
+  work_ = std::make_shared<StoreSnapshot>();
+  work_->db = std::shared_ptr<om::Database>(base->db->Clone());
+  work_->element_texts =
+      std::make_shared<std::map<uint64_t, std::string>>(*base->element_texts);
+  work_->unit_docs =
+      std::make_shared<std::map<uint64_t, uint64_t>>(*base->unit_docs);
+  work_->index = std::make_shared<text::InvertedIndex>(*base->index);
+  work_->cache = base->cache;  // shared, epoch-keyed
+  work_->doc_count = base->doc_count;
+}
+
+IngestSession::~IngestSession() {
+  if (release_ != nullptr) {
+    release_();
+    release_ = nullptr;
+  }
+}
+
+std::shared_ptr<StoreSnapshot> IngestSession::Consume() {
+  std::shared_ptr<StoreSnapshot> out = std::move(work_);
+  work_ = nullptr;
+  if (release_ != nullptr) {
+    release_();
+    release_ = nullptr;
+  }
+  return out;
+}
+
+Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
+                                             std::string_view name) {
+  if (work_ == nullptr) {
+    return Status::InvalidArgument("ingest session already published");
+  }
+  // Fault site: an apply failure must leave the published store
+  // untouched (the workspace is private, so nothing to undo).
+  SGMLQDB_FAULT_POINT("ingest.apply");
+  om::Database* db = work_->db.get();
+  if (!name.empty() && db->schema().FindName(name) == nullptr) {
+    SGMLQDB_RETURN_IF_ERROR(db->DeclareName(
+        std::string(name),
+        om::Type::Class(mapping::ClassNameFor(dtd_.doctype()))));
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(mapping::LoadedDocument loaded,
+                           mapping::LoadDocumentText(dtd_, sgml_text, db));
+  SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db, loaded.root));
+  for (const auto& [oid, text] : loaded.element_texts) {
+    (*work_->element_texts)[oid.id()] = text;
+    (*work_->unit_docs)[oid.id()] = loaded.root.id();
+    work_->index->Add(oid.id(), text);
+    ++stats_.units_added;
+  }
+  if (!name.empty()) {
+    SGMLQDB_RETURN_IF_ERROR(db->BindName(name, Value::Object(loaded.root)));
+  }
+  ++work_->doc_count;
+  ++stats_.docs_loaded;
+  return loaded.root;
+}
+
+Status IngestSession::RemoveDocumentRoot(ObjectId root) {
+  if (work_ == nullptr) {
+    return Status::InvalidArgument("ingest session already published");
+  }
+  SGMLQDB_FAULT_POINT("ingest.apply");
+  om::Database* db = work_->db.get();
+  // Every element object of the document is a unit mapped to the
+  // root's oid (including the root itself).
+  std::vector<uint64_t> units;
+  for (const auto& [unit, doc] : *work_->unit_docs) {
+    if (doc == root.id()) units.push_back(unit);
+  }
+  if (units.empty()) {
+    return Status::NotFound("oid " + std::to_string(root.id()) +
+                            " is not a loaded document root");
+  }
+  for (uint64_t unit : units) {
+    auto text_it = work_->element_texts->find(unit);
+    if (text_it != work_->element_texts->end()) {
+      work_->index->Remove(unit, text_it->second);
+      work_->element_texts->erase(text_it);
+    }
+    work_->unit_docs->erase(unit);
+    SGMLQDB_RETURN_IF_ERROR(db->RemoveObject(ObjectId(unit)));
+    ++stats_.units_removed;
+  }
+  // Drop the root from the doctype's persistence list (`Articles`).
+  const std::string root_name = mapping::RootNameFor(dtd_.doctype());
+  Result<Value> list = db->LookupName(root_name);
+  if (list.ok() && list.value().kind() == om::ValueKind::kList) {
+    std::vector<Value> kept;
+    for (size_t i = 0; i < list.value().size(); ++i) {
+      Value v = list.value().Element(i);
+      if (v.kind() == om::ValueKind::kObject && v.AsObject() == root) continue;
+      kept.push_back(std::move(v));
+    }
+    SGMLQDB_RETURN_IF_ERROR(
+        db->BindName(root_name, Value::List(std::move(kept))));
+  }
+  // Unbind any per-document persistence name pointing at the root.
+  for (const std::string& bound : db->BoundNames()) {
+    if (bound == root_name) continue;
+    Result<Value> v = db->LookupName(bound);
+    if (v.ok() && v.value().kind() == om::ValueKind::kObject &&
+        v.value().AsObject() == root) {
+      SGMLQDB_RETURN_IF_ERROR(db->UnbindName(bound));
+    }
+  }
+  --work_->doc_count;
+  ++stats_.docs_removed;
+  return Status::OK();
+}
+
+Status IngestSession::RemoveDocument(std::string_view name) {
+  if (work_ == nullptr) {
+    return Status::InvalidArgument("ingest session already published");
+  }
+  Result<Value> bound = work_->db->LookupName(name);
+  if (!bound.ok() || bound.value().kind() != om::ValueKind::kObject) {
+    return Status::NotFound("'" + std::string(name) +
+                            "' does not name a loaded document");
+  }
+  return RemoveDocumentRoot(bound.value().AsObject());
+}
+
+Result<ObjectId> IngestSession::ReplaceDocument(std::string_view name,
+                                                std::string_view sgml_text) {
+  SGMLQDB_RETURN_IF_ERROR(RemoveDocument(name));
+  Result<ObjectId> root = LoadDocument(sgml_text, name);
+  if (root.ok()) {
+    // The remove/load pair is one logical replace.
+    --stats_.docs_removed;
+    --stats_.docs_loaded;
+    ++stats_.docs_replaced;
+  }
+  return root;
+}
+
+}  // namespace sgmlqdb::ingest

@@ -1,0 +1,99 @@
+// IngestSession: the single-writer side of live ingestion.
+//
+// A session clones the published snapshot into a private workspace
+// (copy-on-write where it counts: Values share their immutable reps,
+// and the inverted index shares postings per term until a term is
+// touched) and applies LoadDocument / ReplaceDocument /
+// RemoveDocument to the clone. Readers never see the workspace; the
+// paper's whole load pipeline (parse, validate, map, conformance
+// check) runs unchanged against the cloned database. Publishing is
+// DocumentStore::PublishIngest, which hands the finished workspace to
+// the SnapshotManager for the atomic epoch swap.
+//
+// Index maintenance is incremental: loading a document Add()s its
+// units to the cloned index, removing a document Remove()s exactly
+// its units (re-tokenizing only the removed texts) — no full rebuild,
+// ever. The index's maintenance_stats() prove it.
+
+#ifndef SGMLQDB_INGEST_INGEST_SESSION_H_
+#define SGMLQDB_INGEST_INGEST_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "ingest/snapshot.h"
+#include "sgml/dtd.h"
+
+namespace sgmlqdb {
+class DocumentStore;
+}  // namespace sgmlqdb
+
+namespace sgmlqdb::ingest {
+
+class IngestSession {
+ public:
+  struct Stats {
+    size_t docs_loaded = 0;
+    size_t docs_replaced = 0;
+    size_t docs_removed = 0;
+    uint64_t units_added = 0;
+    uint64_t units_removed = 0;
+  };
+
+  /// Opens a session over `base` (the snapshot the workspace is
+  /// cloned from). `release` fires exactly once — at publish or on
+  /// destruction — and is how DocumentStore clears its single-writer
+  /// latch. Use DocumentStore::BeginIngest rather than constructing
+  /// directly.
+  IngestSession(const sgml::Dtd& dtd,
+                std::shared_ptr<const StoreSnapshot> base,
+                std::function<void()> release);
+  IngestSession(const IngestSession&) = delete;
+  IngestSession& operator=(const IngestSession&) = delete;
+  ~IngestSession();
+
+  /// Parses, validates and loads a document into the workspace —
+  /// the same pipeline as the pre-freeze DocumentStore::LoadDocument,
+  /// against the cloned database. `name` optionally binds the root.
+  Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
+                                    std::string_view name = "");
+
+  /// Removes the named document and loads `sgml_text` under the same
+  /// name. The replacement gets fresh oids (oids are never reused).
+  Result<om::ObjectId> ReplaceDocument(std::string_view name,
+                                       std::string_view sgml_text);
+
+  /// Removes the document bound to `name`: all its element objects,
+  /// texts, index postings, its entry in the doctype's persistence
+  /// root list, and the name binding itself.
+  Status RemoveDocument(std::string_view name);
+
+  /// Same, addressing the document by its root object (for unnamed
+  /// documents).
+  Status RemoveDocumentRoot(om::ObjectId root);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t base_epoch() const { return base_epoch_; }
+  /// Documents the workspace currently holds.
+  size_t doc_count() const { return work_ == nullptr ? 0 : work_->doc_count; }
+
+ private:
+  friend class sgmlqdb::DocumentStore;
+
+  /// Hands the workspace over for publishing (the session becomes
+  /// inert) and fires the release hook.
+  std::shared_ptr<StoreSnapshot> Consume();
+
+  const sgml::Dtd& dtd_;
+  uint64_t base_epoch_ = 0;
+  std::shared_ptr<StoreSnapshot> work_;  // null once consumed
+  std::function<void()> release_;
+  Stats stats_;
+};
+
+}  // namespace sgmlqdb::ingest
+
+#endif  // SGMLQDB_INGEST_INGEST_SESSION_H_

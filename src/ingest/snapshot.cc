@@ -1,0 +1,101 @@
+#include "ingest/snapshot.h"
+
+#include <chrono>
+#include <utility>
+
+namespace sgmlqdb::ingest {
+
+std::shared_ptr<StoreSnapshot> StoreSnapshot::Initial(om::Schema schema) {
+  auto snap = std::make_shared<StoreSnapshot>();
+  snap->db = std::make_shared<om::Database>(std::move(schema));
+  snap->element_texts = std::make_shared<std::map<uint64_t, std::string>>();
+  snap->unit_docs = std::make_shared<std::map<uint64_t, uint64_t>>();
+  snap->index = std::make_shared<text::InvertedIndex>();
+  snap->cache = std::make_shared<text::TextQueryCache>();
+  return snap;
+}
+
+calculus::EvalContext ContextFor(std::shared_ptr<const StoreSnapshot> snap) {
+  calculus::EvalContext ctx;
+  ctx.db = snap->db.get();
+  ctx.element_texts = snap->element_texts.get();
+  ctx.text_index = snap->index.get();
+  ctx.text_cache = snap->cache.get();
+  ctx.unit_docs = snap->unit_docs.get();
+  ctx.text_epoch = snap->epoch;
+  ctx.snapshot_pin = std::move(snap);
+  return ctx;
+}
+
+std::shared_ptr<const StoreSnapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void SnapshotManager::PruneDeadLocked() {
+  size_t keep = 0;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (!history_[i].expired()) history_[keep++] = history_[i];
+  }
+  history_.resize(keep);
+}
+
+uint64_t SnapshotManager::Publish(std::shared_ptr<StoreSnapshot> next) {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<text::TextQueryCache> cache = next->cache;
+  uint64_t min_live = 0;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = ++epoch_;
+    next->epoch = epoch;
+    current_ = std::move(next);
+    history_.emplace_back(current_);
+    PruneDeadLocked();
+    // The oldest epoch still reachable by a reader: pinned statements
+    // keep their snapshot's weak entry alive; everything older only
+    // has retired cache entries left, which can go.
+    min_live = epoch;
+    for (const auto& weak : history_) {
+      if (auto live = weak.lock()) {
+        min_live = live->epoch;
+        break;  // history is oldest-first
+      }
+    }
+    ++publishes_;
+    last_publish_micros_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  if (cache != nullptr) cache->SetLiveEpochFloor(min_live);
+  return epoch;
+}
+
+uint64_t SnapshotManager::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++epoch_;
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+SnapshotManager::Stats SnapshotManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.publishes = publishes_;
+  s.last_publish_micros = last_publish_micros_;
+  s.min_live_epoch = epoch_;
+  for (const auto& weak : history_) {
+    if (auto live = weak.lock()) {
+      ++s.live_snapshots;
+      if (s.live_snapshots == 1) s.min_live_epoch = live->epoch;
+    }
+  }
+  s.current_refcount = current_ == nullptr ? 0 : current_.use_count();
+  return s;
+}
+
+}  // namespace sgmlqdb::ingest

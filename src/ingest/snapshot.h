@@ -1,0 +1,120 @@
+// Versioned store snapshots: the read side of the live-ingestion
+// subsystem.
+//
+// A StoreSnapshot is one immutable version ("epoch") of everything a
+// query touches — the object database, the element-text map, the
+// unit->document map, and the inverted index. Readers pin the current
+// snapshot with a shared_ptr for the duration of one statement
+// (including its parallel union branches) and therefore observe one
+// consistent version no matter how many publishes happen mid-flight;
+// writers build the next snapshot off to the side (IngestSession) and
+// the SnapshotManager swaps it in atomically. Nothing ever blocks:
+// the old snapshot stays alive until its last pinned statement
+// finishes, then frees itself (epoch-based reclamation via
+// shared_ptr refcounts).
+//
+// The TextQueryCache is deliberately *shared* across snapshots and
+// keyed by epoch (see text/query_cache.h); at publish the manager
+// raises the cache's epoch floor to the oldest still-pinned epoch so
+// retired entries are dropped lazily. The service's compiled-plan
+// cache is version-independent and untouched by publishes.
+
+#ifndef SGMLQDB_INGEST_SNAPSHOT_H_
+#define SGMLQDB_INGEST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "calculus/eval.h"
+#include "om/database.h"
+#include "text/index.h"
+#include "text/query_cache.h"
+
+namespace sgmlqdb::ingest {
+
+/// One immutable store version. The shared_ptr members are mutated
+/// only before the snapshot is published (single-threaded load, or a
+/// single-writer IngestSession building the next version); once a
+/// SnapshotManager has published it, everything here is frozen and
+/// safe for unsynchronized concurrent reads.
+struct StoreSnapshot {
+  /// Version number: 0 while loading, assigned by Publish.
+  uint64_t epoch = 0;
+  std::shared_ptr<om::Database> db;
+  /// oid -> element inner text (the text() inverse mapping + index
+  /// removal source).
+  std::shared_ptr<std::map<uint64_t, std::string>> element_texts;
+  /// unit id -> document-root oid it was loaded under.
+  std::shared_ptr<std::map<uint64_t, uint64_t>> unit_docs;
+  std::shared_ptr<text::InvertedIndex> index;
+  /// Epoch-keyed text-predicate cache, shared across snapshots.
+  std::shared_ptr<text::TextQueryCache> cache;
+  /// Documents in this version (roots loaded and not removed).
+  size_t doc_count = 0;
+
+  /// An empty version 0 over a fresh schema.
+  static std::shared_ptr<StoreSnapshot> Initial(om::Schema schema);
+};
+
+/// An evaluation context over `snap`, pinning it: the context (and
+/// every copy handed to a union branch) keeps the snapshot alive, so
+/// a publish mid-statement can never free the structures under it.
+calculus::EvalContext ContextFor(std::shared_ptr<const StoreSnapshot> snap);
+
+class SnapshotManager {
+ public:
+  struct Stats {
+    uint64_t publishes = 0;
+    uint64_t last_publish_micros = 0;
+    /// Epochs whose snapshot is still referenced somewhere (pinned by
+    /// a statement or by the manager as current).
+    size_t live_snapshots = 0;
+    /// Oldest such epoch (== current epoch when nothing old is
+    /// pinned).
+    uint64_t min_live_epoch = 0;
+    /// shared_ptr refcount of the current snapshot (1 == only the
+    /// manager).
+    long current_refcount = 0;
+  };
+
+  /// The published snapshot, or null before the first Publish. The
+  /// returned pointer is the caller's pin: hold it for the duration
+  /// of one statement.
+  std::shared_ptr<const StoreSnapshot> Current() const;
+
+  /// Publishes `next` as the new current version, assigning it the
+  /// next epoch (monotone, starting from `epoch_floor`). Raises the
+  /// shared cache's epoch floor to the oldest epoch still pinned by a
+  /// reader. Returns the assigned epoch. Thread-safe against
+  /// concurrent Current() calls; callers serialize publishes (single
+  /// writer).
+  uint64_t Publish(std::shared_ptr<StoreSnapshot> next);
+
+  /// Reserves the next epoch without publishing a snapshot — the
+  /// pre-freeze load path mutates its workspace in place and only
+  /// needs fresh cache keys per mutation.
+  uint64_t AdvanceEpoch();
+
+  uint64_t current_epoch() const;
+  Stats stats() const;
+
+ private:
+  void PruneDeadLocked();
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  uint64_t publishes_ = 0;
+  uint64_t last_publish_micros_ = 0;
+  std::shared_ptr<const StoreSnapshot> current_;
+  /// Published versions, oldest first; expired entries pruned at each
+  /// publish (and on stats()).
+  std::vector<std::weak_ptr<const StoreSnapshot>> history_;
+};
+
+}  // namespace sgmlqdb::ingest
+
+#endif  // SGMLQDB_INGEST_SNAPSHOT_H_

@@ -2,6 +2,15 @@
 
 namespace sgmlqdb::om {
 
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>(schema_);
+  copy->next_oid_ = next_oid_;
+  copy->objects_ = objects_;
+  copy->roots_ = roots_;
+  copy->root_order_ = root_order_;
+  return copy;
+}
+
 Result<ObjectId> Database::NewObject(std::string_view class_name, Value v) {
   if (schema_.FindClass(class_name) == nullptr) {
     return Status::NotFound("cannot create object of unknown class '" +
@@ -10,6 +19,16 @@ Result<ObjectId> Database::NewObject(std::string_view class_name, Value v) {
   ObjectId oid(next_oid_++);
   objects_[oid.id()] = ObjectSlot{std::string(class_name), std::move(v)};
   return oid;
+}
+
+Status Database::RemoveObject(ObjectId oid) {
+  auto it = objects_.find(oid.id());
+  if (it == objects_.end()) {
+    return Status::NotFound("cannot remove unknown oid " +
+                            std::to_string(oid.id()));
+  }
+  objects_.erase(it);
+  return Status::OK();
 }
 
 Status Database::SetObjectValue(ObjectId oid, Value v) {
@@ -55,6 +74,22 @@ Status Database::BindName(std::string_view name, Value v) {
                                                 std::move(v));
   (void)it;
   if (inserted) root_order_.emplace_back(name);
+  return Status::OK();
+}
+
+Status Database::UnbindName(std::string_view name) {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::NotFound("persistence root '" + std::string(name) +
+                            "' is not bound");
+  }
+  roots_.erase(it);
+  for (auto oit = root_order_.begin(); oit != root_order_.end(); ++oit) {
+    if (*oit == name) {
+      root_order_.erase(oit);
+      break;
+    }
+  }
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,9 +44,22 @@ class Database {
     return schema_.AddName(std::move(name), std::move(type));
   }
 
+  /// A deep copy of this database for copy-on-write ingestion: the
+  /// writer mutates the clone while readers keep the original. Cheap
+  /// relative to object count — Values share their immutable reps, so
+  /// only the slot map and root bindings are copied, not the value
+  /// trees. Oid numbering continues from this database's counter.
+  std::unique_ptr<Database> Clone() const;
+
   /// Creates a new object of `class_name` with value `v` (not type
   /// checked here; see typecheck.h). Returns its fresh oid.
   Result<ObjectId> NewObject(std::string_view class_name, Value v);
+
+  /// Deletes an object: it leaves its class extent and Deref fails.
+  /// Values elsewhere that still reference the oid dangle (navigation
+  /// soft-fails) — document removal deletes whole documents, whose
+  /// references are intra-document, so no live value dangles.
+  Status RemoveObject(ObjectId oid);
 
   /// Replaces the value of an existing object.
   Status SetObjectValue(ObjectId oid, Value v);
@@ -61,6 +75,11 @@ class Database {
 
   /// Binds a persistence root; the name must exist in the schema.
   Status BindName(std::string_view name, Value v);
+
+  /// Drops a root's binding (the declared name stays in the schema, so
+  /// cached plans still compile; LookupName fails until rebound).
+  /// NotFound when the name is not bound.
+  Status UnbindName(std::string_view name);
 
   /// gamma(name). Fails if the root is unbound / unknown.
   Result<Value> LookupName(std::string_view name) const;

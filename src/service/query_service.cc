@@ -211,6 +211,11 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
   if (!store_.has_dtd()) {
     return Status::InvalidArgument("load a DTD first");
   }
+  // Pin the current version for the whole statement: every publish
+  // after this line is invisible to it, and the snapshot (plus its
+  // parallel union branches, which copy the pinning context) keeps
+  // the structures alive.
+  std::shared_ptr<const ingest::StoreSnapshot> snap = store_.snapshot();
   const auto start = std::chrono::steady_clock::now();
   bool cache_hit = false;
   bool degraded = false;
@@ -224,17 +229,20 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
     prepared = plan_cache_.Get(key);
     cache_hit = prepared != nullptr;
     if (!cache_hit) {
+      // Prepare depends on the schema only (fixed at LoadDtd), never
+      // on document contents — which is why the plan cache is
+      // version-independent and survives publishes.
       oql::OqlOptions oql_options;
       oql_options.engine = options.engine;
       oql_options.optimize = options.optimize;
       Result<oql::PreparedStatement> p =
-          oql::Prepare(store_.schema(), oql, oql_options);
+          oql::Prepare(snap->db->schema(), oql, oql_options);
       if (!p.ok()) return p.status();
       prepared = std::make_shared<const oql::PreparedStatement>(
           std::move(p).value());
       plan_cache_.Put(key, prepared);
     }
-    calculus::EvalContext ctx = store_.eval_context();
+    calculus::EvalContext ctx = ingest::ContextFor(snap);
     ctx.semantics = options.semantics;
     ctx.guard = guard;
     Result<om::Value> r = oql::ExecutePrepared(
@@ -243,12 +251,13 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
       // Runtime degradation: an internal failure (e.g. a broken index
       // probe) re-executes once on the reference evaluator with the
       // index and pattern cache stripped — the slow but dependency-free
-      // path. Deadlines/cancellation still apply via the same guard.
+      // path, over the same pinned snapshot. Deadlines/cancellation
+      // still apply via the same guard.
       std::fprintf(stderr,
                    "[sgmlqdb] execution failed (%s); retrying on the "
                    "unindexed path\n",
                    r.status().ToString().c_str());
-      calculus::EvalContext fallback = store_.eval_context();
+      calculus::EvalContext fallback = ingest::ContextFor(snap);
       fallback.semantics = options.semantics;
       fallback.guard = guard;
       fallback.text_index = nullptr;
@@ -275,6 +284,99 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
                          prepared == nullptr ? 0 : prepared->branch_count(),
                          degraded);
   return result;
+}
+
+Result<std::unique_ptr<ingest::IngestSession>> QueryService::BeginIngest() {
+  if (!serving_.load()) {
+    return Status::Unavailable("query service is shut down");
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(std::unique_ptr<ingest::IngestSession> session,
+                           store_.BeginIngest());
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ingest_begin_ = std::chrono::steady_clock::now();
+  }
+  return session;
+}
+
+Result<uint64_t> QueryService::Publish(
+    std::unique_ptr<ingest::IngestSession> session) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("null ingest session");
+  }
+  const ingest::IngestSession::Stats applied = session->stats();
+  const auto publish_start = std::chrono::steady_clock::now();
+  SGMLQDB_ASSIGN_OR_RETURN(uint64_t epoch,
+                           store_.PublishIngest(std::move(session)));
+  const auto publish_end = std::chrono::steady_clock::now();
+  IngestRecord record;
+  record.epoch = epoch;
+  record.docs_loaded = applied.docs_loaded;
+  record.docs_replaced = applied.docs_replaced;
+  record.docs_removed = applied.docs_removed;
+  record.units_added = applied.units_added;
+  record.units_removed = applied.units_removed;
+  record.publish_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(publish_end -
+                                                            publish_start)
+          .count());
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    if (ingest_begin_ != std::chrono::steady_clock::time_point{}) {
+      record.apply_micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              publish_start - ingest_begin_)
+              .count());
+      ingest_begin_ = {};
+    }
+  }
+  stats_.RecordIngest(record);
+  return epoch;
+}
+
+Result<uint64_t> QueryService::Ingest(const std::vector<IngestOp>& ops) {
+  SGMLQDB_ASSIGN_OR_RETURN(std::unique_ptr<ingest::IngestSession> session,
+                           BeginIngest());
+  for (const IngestOp& op : ops) {
+    switch (op.kind) {
+      case IngestOp::Kind::kLoad: {
+        Result<om::ObjectId> root = session->LoadDocument(op.sgml, op.name);
+        if (!root.ok()) return root.status();
+        break;
+      }
+      case IngestOp::Kind::kReplace: {
+        Result<om::ObjectId> root = session->ReplaceDocument(op.name, op.sgml);
+        if (!root.ok()) return root.status();
+        break;
+      }
+      case IngestOp::Kind::kRemove:
+        SGMLQDB_RETURN_IF_ERROR(session->RemoveDocument(op.name));
+        break;
+    }
+  }
+  return Publish(std::move(session));
+}
+
+std::string QueryService::IngestReport() const {
+  const ingest::SnapshotManager::Stats snaps = store_.snapshot_stats();
+  const text::TextQueryCache::CacheStats cache = store_.text_cache_stats();
+  std::string out = "=== ingest stats ===\n";
+  out += "epoch: " + std::to_string(store_.epoch()) +
+         "  documents: " + std::to_string(store_.document_count()) + "\n";
+  out += "publishes: " + std::to_string(snaps.publishes) +
+         "  last publish: " + std::to_string(snaps.last_publish_micros) +
+         "us\n";
+  out += "snapshots live: " + std::to_string(snaps.live_snapshots) +
+         "  min live epoch: " + std::to_string(snaps.min_live_epoch) +
+         "  current refcount: " + std::to_string(snaps.current_refcount) +
+         "\n";
+  out += "text cache: " + std::to_string(cache.hits) + " hits / " +
+         std::to_string(cache.misses) + " misses, " +
+         std::to_string(cache.stale_drops) + " stale entries dropped\n";
+  uint64_t docs = stats_.total_docs_ingested();
+  out += "ingested: " + std::to_string(docs) + " docs over " +
+         std::to_string(stats_.total_publishes()) + " service publishes\n";
+  return out;
 }
 
 }  // namespace sgmlqdb::service

@@ -2,9 +2,13 @@
 //
 // The store is loaded single-threaded (the paper's load pipeline is
 // mutating), then handed to a QueryService which Freeze()s it — from
-// that point the store is immutable and unsynchronized concurrent
-// reads are safe. The service adds what a serving deployment needs on
-// top of DocumentStore::Query:
+// that point readers serve immutable published snapshots and
+// unsynchronized concurrent reads are safe. Mutation continues
+// through the live-ingestion path: Ingest() (or BeginIngest/Publish)
+// builds the next version off to the side and publishes it
+// atomically; statements in flight keep the snapshot they pinned at
+// start. The service adds what a serving deployment needs on top of
+// DocumentStore::Query:
 //   * a fixed thread pool executing statements concurrently,
 //   * an LRU compiled-plan cache so repeated queries skip the
 //     parse -> typecheck -> translate -> §5.4-compile front half,
@@ -24,6 +28,7 @@
 #define SGMLQDB_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <map>
@@ -65,6 +70,27 @@ class QueryService {
   };
 
   using QueryOptions = DocumentStore::QueryOptions;
+
+  /// One document mutation in an Ingest() batch.
+  struct IngestOp {
+    enum class Kind { kLoad, kReplace, kRemove };
+    Kind kind = Kind::kLoad;
+    /// Persistence name: optional for kLoad, required for
+    /// kReplace/kRemove.
+    std::string name;
+    /// Document text (unused for kRemove).
+    std::string sgml;
+
+    static IngestOp Load(std::string sgml, std::string name = "") {
+      return {Kind::kLoad, std::move(name), std::move(sgml)};
+    }
+    static IngestOp Replace(std::string name, std::string sgml) {
+      return {Kind::kReplace, std::move(name), std::move(sgml)};
+    }
+    static IngestOp Remove(std::string name) {
+      return {Kind::kRemove, std::move(name), ""};
+    }
+  };
 
   /// A submitted statement: its query id (for Cancel) plus the future
   /// resolving to its result. id == 0 means the statement was rejected
@@ -117,6 +143,26 @@ class QueryService {
   /// joins workers. Idempotent.
   void Shutdown();
 
+  // -- Live ingestion ----------------------------------------------------
+
+  /// Applies a batch of document mutations as one atomic publish:
+  /// opens the single-writer session, applies every op in order, and
+  /// publishes the new version. Readers never block; a failed op
+  /// discards the whole batch (the published store is untouched).
+  /// Returns the new epoch and records per-epoch ingest stats.
+  Result<uint64_t> Ingest(const std::vector<IngestOp>& ops);
+
+  /// Granular control: open the single-writer session directly (fails
+  /// with Unavailable while another writer is active)...
+  Result<std::unique_ptr<ingest::IngestSession>> BeginIngest();
+
+  /// ...and publish it. Records per-epoch ingest stats.
+  Result<uint64_t> Publish(std::unique_ptr<ingest::IngestSession> session);
+
+  /// Ingest-side observability: per-epoch ingest records, publish
+  /// latency, live snapshot refcounts, and text-cache stale drops.
+  std::string IngestReport() const;
+
   const DocumentStore& store() const { return store_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
   const ServiceStats& stats() const { return stats_; }
@@ -138,8 +184,12 @@ class QueryService {
   /// tripped flag is observed by the cheap per-iteration probe).
   void WatchdogLoop();
 
-  const DocumentStore& store_;
+  DocumentStore& store_;
   const Options options_;
+  /// Steady-clock start of the open ingest session (apply-time
+  /// measurement for the per-epoch record). Guarded by ingest_mu_.
+  mutable std::mutex ingest_mu_;
+  std::chrono::steady_clock::time_point ingest_begin_{};
   PlanCache plan_cache_;
   ServiceStats stats_;
   std::atomic<bool> serving_{true};

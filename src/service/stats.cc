@@ -83,6 +83,28 @@ void ServiceStats::RecordRejected() {
   ++rejected_;
 }
 
+void ServiceStats::RecordIngest(const IngestRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingests_.push_back(record);
+}
+
+uint64_t ServiceStats::total_publishes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingests_.size();
+}
+
+uint64_t ServiceStats::total_docs_ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const IngestRecord& r : ingests_) n += r.docs_touched();
+  return n;
+}
+
+std::vector<IngestRecord> ServiceStats::IngestHistory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingests_;
+}
+
 uint64_t ServiceStats::total_executions() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t n = 0;
@@ -176,6 +198,25 @@ std::string ServiceStats::Report() const {
     out << " (" << (100 * hits / (hits + misses)) << "% hit rate)";
   }
   out << "\n";
+  if (!ingests_.empty()) {
+    uint64_t docs = 0, apply_us = 0;
+    for (const IngestRecord& r : ingests_) {
+      docs += r.docs_touched();
+      apply_us += r.apply_micros;
+    }
+    out << "ingest: " << ingests_.size() << " publishes, " << docs
+        << " docs";
+    if (apply_us > 0) {
+      out << " (" << (docs * 1000000 / apply_us) << " docs/s apply)";
+    }
+    out << "\n";
+    for (const IngestRecord& r : ingests_) {
+      out << "    epoch " << r.epoch << ": +" << r.docs_loaded << " ~"
+          << r.docs_replaced << " -" << r.docs_removed << " docs, +"
+          << r.units_added << "/-" << r.units_removed << " units, apply="
+          << r.apply_micros << "us publish=" << r.publish_micros << "us\n";
+    }
+  }
   for (const auto& [text, qs] : per_query_) {
     const LatencyHistogram& h = qs.latency;
     uint64_t mean = h.count() == 0 ? 0 : h.total_micros() / h.count();

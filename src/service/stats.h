@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/status.h"
 
@@ -61,6 +62,23 @@ struct QueryStats {
   uint64_t degraded = 0;
 };
 
+/// One published ingest epoch: what the writer applied and how long
+/// the apply (workspace build) and publish (snapshot swap) took.
+struct IngestRecord {
+  uint64_t epoch = 0;
+  uint64_t docs_loaded = 0;
+  uint64_t docs_replaced = 0;
+  uint64_t docs_removed = 0;
+  uint64_t units_added = 0;
+  uint64_t units_removed = 0;
+  uint64_t apply_micros = 0;
+  uint64_t publish_micros = 0;
+
+  uint64_t docs_touched() const {
+    return docs_loaded + docs_replaced + docs_removed;
+  }
+};
+
 class ServiceStats {
  public:
   /// Records one finished execution of `query`. The Status feeds the
@@ -73,6 +91,9 @@ class ServiceStats {
   /// Records one admission-control rejection.
   void RecordRejected();
 
+  /// Records one published ingest epoch.
+  void RecordIngest(const IngestRecord& record);
+
   uint64_t total_executions() const;
   uint64_t total_errors() const;
   uint64_t total_rejected() const;
@@ -82,6 +103,11 @@ class ServiceStats {
   uint64_t total_cancelled() const;
   uint64_t total_resource_exhausted() const;
   uint64_t total_degraded() const;
+  uint64_t total_publishes() const;
+  uint64_t total_docs_ingested() const;
+
+  /// Every recorded ingest epoch, oldest first.
+  std::vector<IngestRecord> IngestHistory() const;
 
   /// Snapshot of one query's stats (zeros if never seen).
   QueryStats Snapshot(std::string_view query) const;
@@ -94,6 +120,7 @@ class ServiceStats {
  private:
   mutable std::mutex mu_;
   std::map<std::string, QueryStats, std::less<>> per_query_;
+  std::vector<IngestRecord> ingests_;
   uint64_t rejected_ = 0;
 };
 

@@ -7,13 +7,56 @@
 
 namespace sgmlqdb::text {
 
+InvertedIndex::PostingsList& InvertedIndex::MutablePostings(
+    const std::string& term) {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) {
+    it = postings_.emplace(term, std::make_shared<PostingsList>()).first;
+  } else if (it->second.use_count() > 1) {
+    // Shared with another snapshot: materialize a private copy before
+    // mutating (the sharing copies never observe the change).
+    it->second = std::make_shared<PostingsList>(*it->second);
+    ++stats_.term_copies;
+  }
+  // The const in the map type protects sharers; this index owns the
+  // vector uniquely here.
+  return const_cast<PostingsList&>(*it->second);
+}
+
 void InvertedIndex::Add(UnitId id, std::string_view text) {
   units_.push_back(id);
   ++unit_count_;
+  ++stats_.units_added;
   std::vector<std::string> tokens = Tokenize(text);
   for (size_t i = 0; i < tokens.size(); ++i) {
-    postings_[AsciiToLower(tokens[i])].push_back(
-        Posting{id, static_cast<uint32_t>(i)});
+    MutablePostings(AsciiToLower(tokens[i]))
+        .push_back(Posting{id, static_cast<uint32_t>(i)});
+    ++stats_.postings_added;
+  }
+}
+
+void InvertedIndex::Remove(UnitId id, std::string_view text) {
+  auto uit = std::lower_bound(units_.begin(), units_.end(), id);
+  if (uit == units_.end() || *uit != id) return;  // not indexed
+  units_.erase(uit);
+  --unit_count_;
+  ++stats_.units_removed;
+  // Only the removed unit's own terms are touched — distinct terms
+  // once each, regardless of how often they repeat in the text.
+  std::set<std::string> terms;
+  for (const std::string& token : Tokenize(text)) {
+    terms.insert(AsciiToLower(token));
+  }
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    PostingsList& list = MutablePostings(term);
+    size_t before = list.size();
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [id](const Posting& p) { return p.unit == id; }),
+               list.end());
+    stats_.postings_removed += before - list.size();
+    if (list.empty()) postings_.erase(term);
   }
 }
 
@@ -21,7 +64,7 @@ std::vector<UnitId> InvertedIndex::Lookup(std::string_view word) const {
   std::vector<UnitId> out;
   auto it = postings_.find(AsciiToLower(word));
   if (it == postings_.end()) return out;
-  for (const Posting& p : it->second) {
+  for (const Posting& p : *it->second) {
     if (out.empty() || out.back() != p.unit) out.push_back(p.unit);
   }
   return out;
@@ -123,8 +166,8 @@ CandSet WalkNode(const InvertedIndex& index, const Pattern::Node& node,
 
 std::vector<UnitId> InvertedIndex::Candidates(const Pattern& pattern,
                                               bool* exact) const {
-  // `units_` is sorted by the Add contract (increasing ids), as are
-  // the per-term postings Lookup draws from.
+  // `units_` is sorted by the Add contract (increasing ids, removals
+  // preserve order), as are the per-term postings Lookup draws from.
   if (pattern.root() == nullptr) {
     *exact = false;
     return units_;
@@ -142,8 +185,8 @@ std::vector<UnitId> InvertedIndex::NearLookup(std::string_view word1,
   auto it2 = postings_.find(AsciiToLower(word2));
   if (it1 == postings_.end() || it2 == postings_.end()) return out;
   // Postings are grouped by unit; two-pointer sweep over units.
-  const std::vector<Posting>& a = it1->second;
-  const std::vector<Posting>& b = it2->second;
+  const std::vector<Posting>& a = *it1->second;
+  const std::vector<Posting>& b = *it2->second;
   size_t i = 0;
   size_t j = 0;
   while (i < a.size() && j < b.size()) {
@@ -180,7 +223,7 @@ std::vector<UnitId> InvertedIndex::NearLookup(std::string_view word1,
 size_t InvertedIndex::ApproximateBytes() const {
   size_t bytes = 0;
   for (const auto& [term, postings] : postings_) {
-    bytes += term.size() + 32 + postings.size() * sizeof(Posting);
+    bytes += term.size() + 32 + postings->size() * sizeof(Posting);
   }
   return bytes;
 }

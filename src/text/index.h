@@ -2,12 +2,22 @@
 // "integration of full text indexing mechanisms"). The query layer
 // indexes every string reachable in the database and uses the index to
 // find candidate units for `contains` patterns instead of scanning.
+//
+// The postings are stored behind shared_ptrs, so copying an index is
+// cheap (term map nodes only — the postings vectors are shared) and
+// mutation is copy-on-write per term. This is what makes the ingest
+// subsystem's incremental maintenance possible: an IngestSession
+// clones the published index in O(#terms), applies per-document
+// posting adds/removes, and publishes the clone — the unchanged terms
+// keep sharing their postings with every earlier snapshot and no text
+// is ever re-tokenized.
 
 #ifndef SGMLQDB_TEXT_INDEX_H_
 #define SGMLQDB_TEXT_INDEX_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,11 +29,48 @@ namespace sgmlqdb::text {
 /// Identifies an indexed text unit (caller-assigned).
 using UnitId = uint64_t;
 
+/// Cumulative maintenance counters. Copied along with the index, so a
+/// snapshot lineage carries its history: the delta across a publish
+/// shows exactly how much work the publish did (the snapshot-isolation
+/// suite asserts "1 document ingested => units of that document
+/// tokenized, nothing else").
+struct IndexMaintenanceStats {
+  /// Units tokenized+added over the index lineage's lifetime (each
+  /// Add call). A full rebuild would re-count every unit; incremental
+  /// maintenance grows this by exactly the new units.
+  uint64_t units_added = 0;
+  /// Units removed (each Remove call).
+  uint64_t units_removed = 0;
+  /// Postings appended by Add.
+  uint64_t postings_added = 0;
+  /// Postings dropped by Remove.
+  uint64_t postings_removed = 0;
+  /// Copy-on-write term-vector copies (shared postings materialized
+  /// before mutation).
+  uint64_t term_copies = 0;
+};
+
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+  /// Copies share the postings vectors (O(#terms) map nodes); the
+  /// copy diverges term-by-term on mutation (copy-on-write).
+  InvertedIndex(const InvertedIndex&) = default;
+  InvertedIndex& operator=(const InvertedIndex&) = default;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
   /// Indexes a unit's text. Ids must be unique and added in
   /// increasing order (postings lists stay sorted by construction).
+  /// Removed ids may not be re-added.
   void Add(UnitId id, std::string_view text);
+
+  /// Removes a unit previously Add-ed with exactly this text (the
+  /// tokenization must reproduce the indexed terms — callers keep the
+  /// original text, e.g. DocumentStore's element_texts). Touches only
+  /// the removed unit's terms; cost is proportional to the removed
+  /// document, not the corpus.
+  void Remove(UnitId id, std::string_view text);
 
   size_t unit_count() const { return unit_count_; }
   size_t term_count() const { return postings_.size(); }
@@ -50,8 +97,11 @@ class InvertedIndex {
                                  std::string_view word2,
                                  size_t max_distance) const;
 
-  /// All unit ids in insertion order.
+  /// All live unit ids, ascending.
   const std::vector<UnitId>& units() const { return units_; }
+
+  /// Lifetime maintenance counters (carried across copies).
+  const IndexMaintenanceStats& maintenance_stats() const { return stats_; }
 
   /// Rough memory footprint of the postings (bytes) — reported by the
   /// storage experiment.
@@ -63,10 +113,19 @@ class InvertedIndex {
     uint32_t position;
   };
 
-  // term (lowercased) -> postings sorted by (unit, position).
-  std::map<std::string, std::vector<Posting>, std::less<>> postings_;
-  std::vector<UnitId> units_;
+  using PostingsList = std::vector<Posting>;
+
+  /// The term's postings vector, uniquely owned by this index (copies
+  /// a shared vector first — the copy-on-write step).
+  PostingsList& MutablePostings(const std::string& term);
+
+  // term (lowercased) -> postings sorted by (unit, position), shared
+  // across index copies until one of them mutates the term.
+  std::map<std::string, std::shared_ptr<const PostingsList>, std::less<>>
+      postings_;
+  std::vector<UnitId> units_;  // sorted ascending (Add contract)
   size_t unit_count_ = 0;
+  IndexMaintenanceStats stats_;
 };
 
 }  // namespace sgmlqdb::text

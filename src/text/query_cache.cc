@@ -17,18 +17,50 @@ bool IsPlainSingleWord(std::string_view word) {
   return !Regex::HasMetacharacters(word);
 }
 
+void TextQueryCache::SetLiveEpochFloor(uint64_t epoch) {
+  uint64_t cur = floor_.load(std::memory_order_relaxed);
+  while (cur < epoch &&
+         !floor_.compare_exchange_weak(cur, epoch, std::memory_order_release)) {
+  }
+}
+
+template <typename M>
+void TextQueryCache::SweepMapLocked(M* map) {
+  // Keys sort by epoch first, so stale entries form a prefix.
+  auto it = map->begin();
+  while (it != map->end() && it->first.first < swept_floor_) {
+    it = map->erase(it);
+    ++stats_.stale_drops;
+  }
+}
+
+void TextQueryCache::SweepStaleLocked() {
+  const uint64_t floor = floor_.load(std::memory_order_acquire);
+  if (floor == swept_floor_) return;
+  swept_floor_ = floor;
+  SweepMapLocked(&contains_);
+  SweepMapLocked(&near_);
+  SweepMapLocked(&docs_);
+}
+
 Result<std::shared_ptr<const TextQueryCache::ContainsEntry>>
 TextQueryCache::Contains(const InvertedIndex* index,
-                         std::string_view pattern_text) {
+                         std::string_view pattern_text, uint64_t epoch) {
   // Fault site: a failing candidate probe must make the service fall
   // back to the unindexed scan path, not fail the query.
   SGMLQDB_FAULT_POINT("index.candidates");
-  std::string key = (index != nullptr ? "i:" : "s:");
-  key += pattern_text;
+  std::string text = (index != nullptr ? "i:" : "s:");
+  text += pattern_text;
+  Key key{epoch, std::move(text)};
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SweepStaleLocked();
     auto it = contains_.find(key);
-    if (it != contains_.end()) return it->second;
+    if (it != contains_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
   }
   // Build outside the lock — parsing and the candidate walk can be
   // slow, and concurrent builders of the same key just race benignly
@@ -50,17 +82,23 @@ TextQueryCache::Contains(const InvertedIndex* index,
 
 std::shared_ptr<const std::unordered_set<UnitId>> TextQueryCache::NearUnits(
     const InvertedIndex& index, std::string_view word1,
-    std::string_view word2, size_t max_distance) {
-  std::string key;
-  key += word1;
-  key += '\x1f';
-  key += word2;
-  key += '\x1f';
-  key += std::to_string(max_distance);
+    std::string_view word2, size_t max_distance, uint64_t epoch) {
+  std::string text;
+  text += word1;
+  text += '\x1f';
+  text += word2;
+  text += '\x1f';
+  text += std::to_string(max_distance);
+  Key key{epoch, std::move(text)};
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SweepStaleLocked();
     auto it = near_.find(key);
-    if (it != near_.end()) return it->second;
+    if (it != near_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
   }
   std::vector<UnitId> units = index.NearLookup(word1, word2, max_distance);
   auto set = std::make_shared<const std::unordered_set<UnitId>>(units.begin(),
@@ -72,16 +110,28 @@ std::shared_ptr<const std::unordered_set<UnitId>> TextQueryCache::NearUnits(
 
 std::shared_ptr<const std::unordered_set<uint64_t>> TextQueryCache::Docs(
     std::string_view key,
-    const std::function<std::unordered_set<uint64_t>()>& compute) {
+    const std::function<std::unordered_set<uint64_t>()>& compute,
+    uint64_t epoch) {
+  Key full_key{epoch, std::string(key)};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = docs_.find(key);
-    if (it != docs_.end()) return it->second;
+    SweepStaleLocked();
+    auto it = docs_.find(full_key);
+    if (it != docs_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
   }
   auto set = std::make_shared<const std::unordered_set<uint64_t>>(compute());
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = docs_.emplace(std::string(key), std::move(set));
+  auto [it, inserted] = docs_.emplace(std::move(full_key), std::move(set));
   return it->second;
+}
+
+TextQueryCache::CacheStats TextQueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 size_t TextQueryCache::size() const {

@@ -1,21 +1,32 @@
-// TextQueryCache: memoized text-predicate state for a frozen corpus.
+// TextQueryCache: memoized text-predicate state, keyed by store epoch.
 //
 // Every `contains`/`near` atom reaching the evaluators carries its
 // pattern as a constant string, and the naive evaluation re-parses it
 // and re-consults the index per *row*. The cache turns that into a
-// once-per-(pattern, store) cost: a Contains entry holds the compiled
+// once-per-(pattern, epoch) cost: a Contains entry holds the compiled
 // Pattern plus the InvertedIndex candidate set (as a hash set for O(1)
 // membership probes), and NearUnits holds the exact positional-index
 // answer for a near predicate over plain words.
 //
+// Epoch keying is what lets one cache live across store versions
+// (live ingestion): candidate and doc sets are snapshots of one
+// index version, so every entry is keyed by the epoch it was computed
+// in. A statement pinned to epoch N keeps hitting N's entries even
+// while a publish moves the store to N+1 (snapshot isolation); once
+// the epoch floor advances past N (no snapshot pins it any more),
+// N's entries are dropped lazily — on the next cache access — and
+// counted in stats().stale_drops. The compiled-plan cache, by
+// contrast, is version-independent and never invalidated.
+//
 // Thread-safe. Entries are immutable and handed out as
 // shared_ptr<const ...>, so concurrent query threads share them
-// without copying. The cache must be discarded when the index grows
-// (DocumentStore recreates it after each LoadDocument).
+// without copying.
 
 #ifndef SGMLQDB_TEXT_QUERY_CACHE_H_
 #define SGMLQDB_TEXT_QUERY_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -23,6 +34,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 
 #include "base/status.h"
 #include "text/index.h"
@@ -47,40 +59,67 @@ class TextQueryCache {
     bool exact = false;
   };
 
-  /// The compiled pattern + candidate set for `pattern_text`.
-  /// `index` may be null (no candidate pruning, pattern only). Parse
-  /// errors are returned, not cached.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Entries of retired epochs dropped by the lazy sweep.
+    uint64_t stale_drops = 0;
+  };
+
+  /// The compiled pattern + candidate set for `pattern_text` at
+  /// `epoch` (the caller's pinned store version). `index` may be null
+  /// (no candidate pruning, pattern only). Parse errors are returned,
+  /// not cached.
   Result<std::shared_ptr<const ContainsEntry>> Contains(
-      const InvertedIndex* index, std::string_view pattern_text);
+      const InvertedIndex* index, std::string_view pattern_text,
+      uint64_t epoch = 0);
 
   /// The exact unit set where `word1` and `word2` occur within
-  /// `max_distance` words. Only valid when both words are
+  /// `max_distance` words, at `epoch`. Only valid when both words are
   /// IsPlainSingleWord (the caller must check).
   std::shared_ptr<const std::unordered_set<UnitId>> NearUnits(
       const InvertedIndex& index, std::string_view word1,
-      std::string_view word2, size_t max_distance);
+      std::string_view word2, size_t max_distance, uint64_t epoch = 0);
 
   /// Memoized document-id set for a document prefilter, computed by
-  /// `compute` on first use of `key`. Callers key by predicate +
-  /// class restriction; the cache's per-load lifetime keeps entries
-  /// consistent with the index snapshot.
+  /// `compute` on first use of (`key`, `epoch`). Callers key by
+  /// predicate + class restriction; the epoch keeps entries consistent
+  /// with the caller's index snapshot.
   std::shared_ptr<const std::unordered_set<uint64_t>> Docs(
       std::string_view key,
-      const std::function<std::unordered_set<uint64_t>()>& compute);
+      const std::function<std::unordered_set<uint64_t>()>& compute,
+      uint64_t epoch = 0);
 
+  /// Raises the epoch floor: entries of epochs below `epoch` can no
+  /// longer be read (no live snapshot pins them) and are dropped at
+  /// the next cache access. Called by the snapshot manager at publish
+  /// with the oldest still-pinned epoch; monotone (lower values are
+  /// ignored).
+  void SetLiveEpochFloor(uint64_t epoch);
+  uint64_t live_epoch_floor() const {
+    return floor_.load(std::memory_order_acquire);
+  }
+
+  CacheStats stats() const;
   size_t size() const;
 
  private:
+  /// (epoch, discriminated key text).
+  using Key = std::pair<uint64_t, std::string>;
+
+  /// Drops entries below the floor (requires mu_ held).
+  void SweepStaleLocked();
+  template <typename M>
+  void SweepMapLocked(M* map);
+
+  std::atomic<uint64_t> floor_{0};
   mutable std::mutex mu_;
-  // Keyed by "i:" / "s:" (with / without index) + pattern text.
-  std::map<std::string, std::shared_ptr<const ContainsEntry>, std::less<>>
-      contains_;
-  std::map<std::string, std::shared_ptr<const std::unordered_set<UnitId>>,
-           std::less<>>
-      near_;
-  std::map<std::string,
-           std::shared_ptr<const std::unordered_set<uint64_t>>, std::less<>>
-      docs_;
+  uint64_t swept_floor_ = 0;  // floor the last sweep ran at
+  CacheStats stats_;
+  // Key text discriminated by "i:" / "s:" (with / without index).
+  std::map<Key, std::shared_ptr<const ContainsEntry>> contains_;
+  std::map<Key, std::shared_ptr<const std::unordered_set<UnitId>>> near_;
+  std::map<Key, std::shared_ptr<const std::unordered_set<uint64_t>>> docs_;
 };
 
 }  // namespace sgmlqdb::text

@@ -1,0 +1,135 @@
+// SGML export across ingest epochs: the inverse mapping
+// (mapping/exporter) serializes exactly the latest published version
+// — replaced documents export their replacement, removed documents no
+// longer export, and an exported corpus re-imports into an equivalent
+// store.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/document_store.h"
+#include "om/value.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb {
+namespace {
+
+void FillFrozenStore(DocumentStore& store) {
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "doc0").ok());
+  store.Freeze();
+}
+
+om::ObjectId NamedRoot(const DocumentStore& store, std::string_view name) {
+  auto bound = store.db().LookupName(name);
+  EXPECT_TRUE(bound.ok()) << bound.status();
+  return bound.ok() ? bound->AsObject() : om::ObjectId(0);
+}
+
+TEST(ExportRoundTripTest, ReplacedDocumentExportsReplacementOnly) {
+  DocumentStore store;
+  FillFrozenStore(store);
+  const om::ObjectId old_root = NamedRoot(store, "doc0");
+
+  auto session = store.BeginIngest();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(
+      (*session)->ReplaceDocument("doc0", sgml::ArticleDocumentV2Text()).ok());
+  ASSERT_TRUE(store.PublishIngest(std::move(*session)).ok());
+
+  // The replacement exports V2's content: the retitled section and the
+  // draft status, not V1's second section.
+  auto exported = store.ExportSgml(NamedRoot(store, "doc0"));
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  EXPECT_NE(exported->find("Introduction and motivation"), std::string::npos);
+  EXPECT_NE(exported->find("draft"), std::string::npos);
+  EXPECT_EQ(exported->find("SGML preliminaries"), std::string::npos);
+
+  // The replaced version's root is gone from the published epoch.
+  EXPECT_FALSE(store.ExportSgml(old_root).ok());
+
+  // Round-trip: the export re-imports into a store equivalent to a
+  // direct V2 load.
+  DocumentStore reimported;
+  ASSERT_TRUE(reimported.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(reimported.LoadDocument(*exported, "doc0").ok());
+  DocumentStore direct;
+  ASSERT_TRUE(direct.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(direct.LoadDocument(sgml::ArticleDocumentV2Text(), "doc0").ok());
+  EXPECT_EQ(reimported.db().object_count(), direct.db().object_count());
+  for (const char* q : {"select t from doc0 .. title(t)",
+                        "select text(s) from s in doc0.sections"}) {
+    auto a = reimported.Query(q);
+    auto b = direct.Query(q);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->ToString(), b->ToString()) << q;
+  }
+}
+
+TEST(ExportRoundTripTest, RemovedDocumentNoLongerExports) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "doc0").ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentV2Text(), "doc1").ok());
+  store.Freeze();
+  const om::ObjectId root0 = NamedRoot(store, "doc0");
+  const om::ObjectId root1 = NamedRoot(store, "doc1");
+  ASSERT_TRUE(store.ExportSgml(root0).ok());
+
+  auto session = store.BeginIngest();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RemoveDocument("doc0").ok());
+  ASSERT_TRUE(store.PublishIngest(std::move(*session)).ok());
+
+  // The removed root does not export from the latest epoch; the
+  // surviving document still does.
+  EXPECT_FALSE(store.ExportSgml(root0).ok());
+  auto kept = store.ExportSgml(root1);
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_NE(kept->find("Introduction and motivation"), std::string::npos);
+}
+
+TEST(ExportRoundTripTest, ExportedCorpusReflectsLatestEpochOnly) {
+  DocumentStore store;
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "a").ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "b").ok());
+  store.Freeze();
+
+  auto session = store.BeginIngest();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RemoveDocument("a").ok());
+  ASSERT_TRUE((*session)->ReplaceDocument("b", sgml::ArticleDocumentV2Text())
+                  .ok());
+  ASSERT_TRUE(
+      (*session)->LoadDocument(sgml::ArticleDocumentText(), "c").ok());
+  ASSERT_TRUE(store.PublishIngest(std::move(*session)).ok());
+
+  // Export every root in Articles and re-import the lot: the new
+  // corpus is b' (V2) + c (V1), nothing of the removed a.
+  auto roots = store.Query("select a from a in Articles");
+  ASSERT_TRUE(roots.ok()) << roots.status();
+  ASSERT_EQ(roots->size(), 2u);
+  DocumentStore reimported;
+  ASSERT_TRUE(reimported.LoadDtd(sgml::ArticleDtdText()).ok());
+  size_t v1_docs = 0, v2_docs = 0;
+  for (size_t i = 0; i < roots->size(); ++i) {
+    auto exported = store.ExportSgml(roots->Element(i).AsObject());
+    ASSERT_TRUE(exported.ok()) << exported.status();
+    ASSERT_TRUE(reimported.LoadDocument(*exported).ok());
+    if (exported->find("SGML preliminaries") != std::string::npos) ++v1_docs;
+    if (exported->find("Introduction and motivation") != std::string::npos) {
+      ++v2_docs;
+    }
+  }
+  EXPECT_EQ(v1_docs, 1u);  // c
+  EXPECT_EQ(v2_docs, 1u);  // b's replacement
+  auto count = reimported.Query("select a from a in Articles");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->size(), 2u);
+}
+
+}  // namespace
+}  // namespace sgmlqdb

@@ -1,0 +1,242 @@
+// The concurrency contract of live ingestion, exercised under TSan
+// (scripts/tier1.sh re-runs this suite in the thread-sanitized
+// build): statements that pinned a snapshot before a publish return
+// byte-identical results to the pre-ingest frozen store while
+// documents load concurrently; statements starting after a publish
+// see the new documents; and no execution ever observes a torn
+// in-between state.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "ingest/snapshot.h"
+#include "oql/oql.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb {
+namespace {
+
+constexpr size_t kBaseArticles = 12;
+constexpr size_t kIngestRounds = 5;
+
+void FillFrozenStore(DocumentStore& store, size_t articles) {
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  ASSERT_TRUE(store.LoadDocument(sgml::ArticleDocumentText(), "doc0").ok());
+  for (const std::string& article :
+       corpus::GenerateCorpus(articles, corpus::ArticleParams{})) {
+    ASSERT_TRUE(store.LoadDocument(article).ok());
+  }
+  store.Freeze();
+}
+
+std::vector<std::string> ExtraArticles(size_t n) {
+  corpus::ArticleParams params;
+  params.seed = 777;  // disjoint from the base corpus
+  return corpus::GenerateCorpus(n, params);
+}
+
+/// The reader workload: index-friendly and navigation queries whose
+/// results change when documents are added.
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string> queries = {
+      "select a from a in Articles",
+      "select a from a in Articles where a.title contains (\"Documents\")",
+      "select t from doc0 .. title(t)",
+      "select s.title from a in Articles, s in a.sections "
+      "where s.title contains (\"SGML\" or \"object\")",
+  };
+  return queries;
+}
+
+Result<om::Value> RunPinned(std::shared_ptr<const ingest::StoreSnapshot> snap,
+                            const std::string& statement,
+                            oql::Engine engine) {
+  calculus::EvalContext ctx = ingest::ContextFor(snap);
+  oql::OqlOptions options;
+  options.engine = engine;
+  return oql::ExecuteOql(ctx, snap->db->schema(), statement, options);
+}
+
+TEST(SnapshotIsolationTest, PinnedStatementsMatchFrozenBaselineDuringIngest) {
+  DocumentStore store;
+  FillFrozenStore(store, kBaseArticles);
+
+  // Byte-identical baselines at the frozen epoch.
+  std::vector<std::string> baselines;
+  for (const std::string& q : Workload()) {
+    auto r = store.Query(q, oql::Engine::kAlgebraic);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    baselines.push_back(r->ToString());
+  }
+
+  // Pin the frozen snapshot the way an in-flight statement would.
+  std::shared_ptr<const ingest::StoreSnapshot> pinned = store.snapshot();
+  const uint64_t frozen_epoch = pinned->epoch;
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> published{0};
+  std::thread writer([&] {
+    for (const std::string& article : ExtraArticles(kIngestRounds)) {
+      auto session = store.BeginIngest();
+      ASSERT_TRUE(session.ok()) << session.status();
+      ASSERT_TRUE((*session)->LoadDocument(article).ok());
+      auto epoch = store.PublishIngest(std::move(*session));
+      ASSERT_TRUE(epoch.ok()) << epoch.status();
+      published.fetch_add(1);
+    }
+    writer_done.store(true);
+  });
+
+  // Pinned readers race the writer; every result must equal the
+  // frozen baseline, byte for byte, no matter how many publishes
+  // happen mid-loop.
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> pinned_runs{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const oql::Engine engine =
+          t % 2 == 0 ? oql::Engine::kAlgebraic : oql::Engine::kNaive;
+      do {
+        for (size_t i = 0; i < Workload().size(); ++i) {
+          auto r = RunPinned(pinned, Workload()[i], engine);
+          if (!r.ok() || r->ToString() != baselines[i]) {
+            mismatches.fetch_add(1);
+          }
+          pinned_runs.fetch_add(1);
+        }
+      } while (!writer_done.load());
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  writer.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(pinned_runs.load(), 0u);
+  EXPECT_EQ(published.load(), kIngestRounds);
+
+  // A statement starting now pins the newest epoch and sees every
+  // ingested document.
+  auto fresh = store.Query("select a from a in Articles");
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_EQ(fresh->size(), 1 + kBaseArticles + kIngestRounds);
+  EXPECT_GT(store.epoch(), frozen_epoch);
+
+  // The old epoch was still pinned across the publishes, so its
+  // snapshot stayed live the whole time.
+  EXPECT_EQ(store.snapshot_stats().min_live_epoch, frozen_epoch);
+  pinned.reset();
+}
+
+TEST(SnapshotIsolationTest, ServiceStatementsNeverObserveTornState) {
+  DocumentStore store;
+  FillFrozenStore(store, kBaseArticles);
+  service::QueryService::Options options;
+  options.num_threads = 4;
+  options.max_queue_depth = 4096;
+  service::QueryService service(store, options);
+
+  const size_t base_count = 1 + kBaseArticles;
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const std::string& article : ExtraArticles(kIngestRounds)) {
+      auto epoch = service.Ingest(
+          {service::QueryService::IngestOp::Load(article)});
+      ASSERT_TRUE(epoch.ok()) << epoch.status();
+    }
+    writer_done.store(true);
+  });
+
+  // Counting statements race the publishes: every result must be one
+  // of the published document counts (base..base+rounds) — a torn
+  // read (index and database from different versions) would show up
+  // as a failure or an out-of-range count.
+  size_t out_of_range = 0;
+  size_t failures = 0;
+  size_t runs = 0;
+  do {
+    std::vector<std::future<Result<om::Value>>> inflight;
+    for (size_t i = 0; i < 16; ++i) {
+      inflight.push_back(service.Execute("select a from a in Articles"));
+    }
+    for (auto& f : inflight) {
+      Result<om::Value> r = f.get();
+      ++runs;
+      if (!r.ok()) {
+        ++failures;
+      } else if (r->size() < base_count ||
+                 r->size() > base_count + kIngestRounds) {
+        ++out_of_range;
+      }
+    }
+  } while (!writer_done.load());
+  writer.join();
+
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(out_of_range, 0u);
+  EXPECT_GT(runs, 0u);
+
+  // Post-ingest statements see the final corpus.
+  auto final_count = service.ExecuteSync("select a from a in Articles");
+  ASSERT_TRUE(final_count.ok()) << final_count.status();
+  EXPECT_EQ(final_count->size(), base_count + kIngestRounds);
+
+  // Per-epoch ingest stats were recorded, and the plan cache survived
+  // every publish (the counting statement compiled once).
+  EXPECT_EQ(service.stats().total_publishes(), kIngestRounds);
+  EXPECT_EQ(service.stats().total_docs_ingested(), kIngestRounds);
+  const service::QueryStats qs =
+      service.stats().Snapshot("select a from a in Articles");
+  // First executions may race each other into a few misses, but a
+  // version-dependent cache would miss once per publish.
+  EXPECT_LE(qs.cache_misses, options.num_threads);
+  EXPECT_GT(qs.cache_hits, 0u);
+  const std::string report = service.IngestReport();
+  EXPECT_NE(report.find("over 5 service publishes"), std::string::npos)
+      << report;
+  service.Shutdown();
+}
+
+TEST(SnapshotIsolationTest, ConcurrentWritersSerializeOnTheLatch) {
+  DocumentStore store;
+  FillFrozenStore(store, 2);
+  std::vector<std::string> articles = ExtraArticles(8);
+  std::atomic<size_t> published{0};
+  std::atomic<size_t> busy{0};
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = t; i < articles.size(); i += 4) {
+        // Retry until this writer wins the single-writer latch.
+        for (;;) {
+          auto session = store.BeginIngest();
+          if (!session.ok()) {
+            ASSERT_EQ(session.status().code(), StatusCode::kUnavailable);
+            busy.fetch_add(1);
+            std::this_thread::yield();
+            continue;
+          }
+          ASSERT_TRUE((*session)->LoadDocument(articles[i]).ok());
+          ASSERT_TRUE(store.PublishIngest(std::move(*session)).ok());
+          published.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(published.load(), articles.size());
+  auto r = store.Query("select a from a in Articles");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 3 + articles.size());
+}
+
+}  // namespace
+}  // namespace sgmlqdb
