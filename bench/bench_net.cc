@@ -1,0 +1,301 @@
+// bench_net (E14): the network load generator. Opens N connections
+// to a running qdb_server and replays the paper's Q1..Q6 mix
+// (corpus/workload.h) over one of the wire protocols, recording
+// per-request latency into a log2 histogram and printing a JSON
+// summary. scripts/loadgen orchestrates several of these processes
+// against one server (HTTP vs binary, with and without a paced
+// concurrent ingest stream) and merges the results into BENCH_net.json.
+//
+//   ./build/bench/bench_net --port=P [flags]
+//     --addr=A          server address (default 127.0.0.1)
+//     --port=P          target port (required)
+//     --mode=M          http | binary | binary-prepared | ingest
+//                       (default http; ingest requires the HTTP port)
+//     --connections=N   client threads, one connection each (default 4)
+//     --duration-s=S    wall-clock run time (default 5)
+//     --rate=R          ingest mode: target ops/sec pacing (default 20)
+//     --timeout-ms=T    per-request timeout carried in each request
+//     --json=FILE       write the JSON summary to FILE (also printed)
+//
+// Unlike the in-process bench_* binaries this is not a
+// google-benchmark harness: latency here includes the wire, so the
+// numbers are end-to-end SLO measurements, not microbenchmarks.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "corpus/workload.h"
+#include "net/client.h"
+#include "net/wire_format.h"
+#include "service/stats.h"
+
+namespace {
+
+using sgmlqdb::Result;
+using sgmlqdb::StatusCode;
+using sgmlqdb::corpus::PaperQueryMix;
+using sgmlqdb::net::BinaryClient;
+using sgmlqdb::net::HttpClient;
+using sgmlqdb::net::QueryRequest;
+using sgmlqdb::net::ReplyBody;
+using sgmlqdb::service::LatencyHistogram;
+
+struct Config {
+  std::string addr = "127.0.0.1";
+  uint16_t port = 0;
+  std::string mode = "http";
+  size_t connections = 4;
+  uint64_t duration_s = 5;
+  double rate = 20.0;
+  uint64_t timeout_ms = 0;
+  std::string json_path;
+};
+
+/// Shared tally; Record is mutex-guarded (requests are milliseconds
+/// apart, the lock is noise).
+struct Tally {
+  std::mutex mu;
+  LatencyHistogram latency;
+  uint64_t ok = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+
+  void Record(uint64_t micros, bool is_ok, bool is_busy) {
+    std::lock_guard<std::mutex> lock(mu);
+    latency.Record(micros);
+    if (is_ok) {
+      ++ok;
+    } else if (is_busy) {
+      ++busy;
+    } else {
+      ++errors;
+    }
+  }
+};
+
+QueryRequest MakeRequest(const sgmlqdb::corpus::WorkloadQuery& q,
+                         uint64_t timeout_ms) {
+  QueryRequest req;
+  req.query = q.text;
+  req.options.engine = q.engine;
+  req.options.timeout_ms = timeout_ms;
+  return req;
+}
+
+void RunHttpQueries(const Config& cfg, std::atomic<bool>& stop, Tally& tally) {
+  HttpClient client;
+  if (!client.Connect(cfg.addr, cfg.port).ok()) return;
+  const auto& mix = PaperQueryMix();
+  size_t i = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::string body =
+        FormatQueryRequestJson(MakeRequest(mix[i % mix.size()],
+                                           cfg.timeout_ms));
+    ++i;
+    const auto start = std::chrono::steady_clock::now();
+    Result<HttpClient::Response> resp = client.Post("/query", body);
+    const uint64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!resp.ok()) {
+      tally.Record(micros, false, false);
+      return;  // connection-level failure: stop this worker
+    }
+    tally.Record(micros, resp->status == 200, resp->status == 503);
+  }
+}
+
+void RunBinaryQueries(const Config& cfg, bool prepared,
+                      std::atomic<bool>& stop, Tally& tally) {
+  BinaryClient client;
+  if (!client.Connect(cfg.addr, cfg.port).ok()) return;
+  const auto& mix = PaperQueryMix();
+  if (prepared) {
+    // Prepare-once: statement ids 1..6, then execute-many.
+    for (size_t i = 0; i < mix.size(); ++i) {
+      Result<ReplyBody> r = client.Prepare(
+          static_cast<uint32_t>(i + 1), MakeRequest(mix[i], cfg.timeout_ms));
+      if (!r.ok() || r->code != StatusCode::kOk) return;
+    }
+  }
+  size_t i = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const size_t slot = i % mix.size();
+    ++i;
+    const auto start = std::chrono::steady_clock::now();
+    Result<ReplyBody> reply =
+        prepared
+            ? client.Execute(static_cast<uint32_t>(slot + 1),
+                             static_cast<uint32_t>(cfg.timeout_ms))
+            : client.Query(MakeRequest(mix[slot], cfg.timeout_ms));
+    const uint64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!reply.ok()) {
+      tally.Record(micros, false, false);
+      return;
+    }
+    tally.Record(micros, reply->code == StatusCode::kOk,
+                 reply->code == StatusCode::kUnavailable);
+  }
+}
+
+void RunIngest(const Config& cfg, std::atomic<bool>& stop, Tally& tally) {
+  HttpClient client;
+  if (!client.Connect(cfg.addr, cfg.port).ok()) return;
+  // Enough distinct articles that a long run never reloads one text.
+  const std::vector<std::string> articles =
+      sgmlqdb::corpus::LiveIngestArticles(256);
+  const auto period = std::chrono::duration<double>(1.0 / cfg.rate);
+  auto next = std::chrono::steady_clock::now();
+  size_t i = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    sgmlqdb::net::IngestRequest req;
+    req.ops.push_back(sgmlqdb::service::QueryService::IngestOp::Load(
+        articles[i % articles.size()]));
+    ++i;
+    const auto start = std::chrono::steady_clock::now();
+    Result<HttpClient::Response> resp =
+        client.Post("/ingest", FormatIngestRequestJson(req));
+    const uint64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!resp.ok()) {
+      tally.Record(micros, false, false);
+      return;
+    }
+    tally.Record(micros, resp->status == 200, resp->status == 503);
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        period);
+    std::this_thread::sleep_until(next);
+  }
+}
+
+std::string SummaryJson(const Config& cfg, const Tally& tally,
+                        double elapsed_s) {
+  const LatencyHistogram& h = tally.latency;
+  std::string out = "{";
+  out += "\"mode\":\"" + cfg.mode + "\"";
+  out += ",\"connections\":" + std::to_string(cfg.connections);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", elapsed_s);
+  out += ",\"elapsed_s\":" + std::string(buf);
+  out += ",\"requests\":" + std::to_string(h.count());
+  out += ",\"ok\":" + std::to_string(tally.ok);
+  out += ",\"busy\":" + std::to_string(tally.busy);
+  out += ",\"errors\":" + std::to_string(tally.errors);
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                elapsed_s > 0 ? static_cast<double>(h.count()) / elapsed_s
+                              : 0.0);
+  out += ",\"throughput_rps\":" + std::string(buf);
+  out += ",\"mean_micros\":" +
+         std::to_string(h.count() ? h.total_micros() / h.count() : 0);
+  out += ",\"min_micros\":" + std::to_string(h.min_micros());
+  out += ",\"max_micros\":" + std::to_string(h.max_micros());
+  out += ",\"p50_micros\":" + std::to_string(h.QuantileUpperBound(0.5));
+  out += ",\"p99_micros\":" + std::to_string(h.QuantileUpperBound(0.99));
+  out += ",\"buckets\":[";
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i) out += ",";
+    out += std::to_string(h.buckets()[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](std::string_view name) {
+      return std::string(arg.substr(name.size()));
+    };
+    if (arg.rfind("--addr=", 0) == 0) {
+      cfg.addr = value("--addr=");
+    } else if (arg.rfind("--port=", 0) == 0) {
+      cfg.port = static_cast<uint16_t>(std::atoi(value("--port=").c_str()));
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      cfg.mode = value("--mode=");
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      cfg.connections = std::strtoul(value("--connections=").c_str(),
+                                     nullptr, 10);
+    } else if (arg.rfind("--duration-s=", 0) == 0) {
+      cfg.duration_s = std::strtoull(value("--duration-s=").c_str(),
+                                     nullptr, 10);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      cfg.rate = std::atof(value("--rate=").c_str());
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      cfg.timeout_ms = std::strtoull(value("--timeout-ms=").c_str(),
+                                     nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cfg.json_path = value("--json=");
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (cfg.port == 0) {
+    std::cerr << "--port is required\n";
+    return 2;
+  }
+  const bool known = cfg.mode == "http" || cfg.mode == "binary" ||
+                     cfg.mode == "binary-prepared" || cfg.mode == "ingest";
+  if (!known) {
+    std::cerr << "unknown --mode=" << cfg.mode << "\n";
+    return 2;
+  }
+  if (cfg.mode == "ingest") cfg.connections = 1;  // single writer stream
+
+  Tally tally;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < cfg.connections; ++i) {
+    workers.emplace_back([&] {
+      if (cfg.mode == "http") {
+        RunHttpQueries(cfg, stop, tally);
+      } else if (cfg.mode == "binary") {
+        RunBinaryQueries(cfg, false, stop, tally);
+      } else if (cfg.mode == "binary-prepared") {
+        RunBinaryQueries(cfg, true, stop, tally);
+      } else {
+        RunIngest(cfg, stop, tally);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(cfg.duration_s));
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::string json = SummaryJson(cfg, tally, elapsed_s);
+  std::cout << json << "\n";
+  if (!cfg.json_path.empty()) {
+    std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "cannot write " << cfg.json_path << "\n";
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  // A run where nothing succeeded is a harness failure.
+  return tally.ok > 0 ? 0 : 1;
+}

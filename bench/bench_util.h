@@ -16,6 +16,7 @@
 
 #include "core/document_store.h"
 #include "corpus/generator.h"
+#include "corpus/workload.h"
 #include "sgml/goldens.h"
 
 namespace sgmlqdb::bench {
@@ -56,40 +57,17 @@ inline int RunBenchmarks(int argc, char** argv) {
 
 /// The paper's example queries Q1..Q6 in our concrete syntax, shared
 /// by bench_queries (per-query latency, E2) and bench_service (mixed
-/// workload throughput, E10). The first corpus document is bound to
-/// "doc0" for the single-document queries.
-struct NamedQuery {
-  const char* name;
-  const char* text;
-};
+/// workload throughput, E10). The single definition lives in
+/// corpus/workload.h so every front end (benches, qdb_serve,
+/// qdb_server, bench_net) replays the identical statements.
+using NamedQuery = corpus::WorkloadQuery;
 
 inline const std::vector<NamedQuery>& PaperQueryMix() {
-  static const std::vector<NamedQuery>& mix = *new std::vector<NamedQuery>{
-      {"Q1_TitleAndFirstAuthor",
-       "select tuple (t: a.title, f_author: first(a.authors)) "
-       "from a in Articles, s in a.sections "
-       "where s.title contains (\"SGML\" or \"query\")"},
-      {"Q2_SubsectionsContaining",
-       "select text(ss) from a in Articles, s in a.sections, "
-       "ss in s.subsectns where ss contains (\"complex\" and \"object\")"},
-      {"Q3_AllTitlesOfOneDocument", "select t from doc0 .. title(t)"},
-      {"Q4_StructuralDiff", "doc0 PATH_p - doc0 PATH_q"},
-      {"Q5_AttributeGrep",
-       "select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
-       "where val contains (\"final\")"},
-      {"Q6_PositionComparison",
-       "select a from a in Articles, "
-       "i in positions(a, \"abstract\"), "
-       "j in positions(a, \"sections\") where i < j"},
-  };
-  return mix;
+  return corpus::PaperQueryMix();
 }
 
 inline const char* PaperQueryText(const char* name) {
-  for (const NamedQuery& q : PaperQueryMix()) {
-    if (std::string_view(q.name) == name) return q.text;
-  }
-  std::abort();
+  return corpus::PaperQuery(name).text;
 }
 
 /// A corpus-backed store, memoized by (articles, sections). Mutable so

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "corpus/generator.h"
+#include "corpus/workload.h"
 #include "service/query_service.h"
 #include "sgml/goldens.h"
 
@@ -77,23 +78,8 @@ int main(int argc, char** argv) {
             << " threads (store frozen: " << std::boolalpha
             << store.frozen() << ")\n";
 
-  const std::vector<std::pair<std::string, sgmlqdb::oql::Engine>> mix = {
-      {"select tuple (t: a.title, f_author: first(a.authors)) "
-       "from a in Articles, s in a.sections "
-       "where s.title contains (\"SGML\" or \"query\")",
-       sgmlqdb::oql::Engine::kNaive},
-      {"select text(ss) from a in Articles, s in a.sections, "
-       "ss in s.subsectns where ss contains (\"complex\" and \"object\")",
-       sgmlqdb::oql::Engine::kNaive},
-      {"select t from doc0 .. title(t)", sgmlqdb::oql::Engine::kAlgebraic},
-      {"doc0 PATH_p - doc0 PATH_q", sgmlqdb::oql::Engine::kNaive},
-      {"select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
-       "where val contains (\"final\")",
-       sgmlqdb::oql::Engine::kAlgebraic},
-      {"select a from a in Articles, i in positions(a, \"abstract\"), "
-       "j in positions(a, \"sections\") where i < j",
-       sgmlqdb::oql::Engine::kNaive},
-  };
+  const std::vector<sgmlqdb::corpus::WorkloadQuery>& mix =
+      sgmlqdb::corpus::PaperQueryMix();
 
   // With --ingest, a single writer loads extra articles live while
   // the mix runs: one document per publish, queries in flight keep
@@ -106,10 +92,8 @@ int main(int argc, char** argv) {
               << " extra articles live during the mix (docs before: "
               << docs_before << ")\n";
     writer = std::thread([&] {
-      sgmlqdb::corpus::ArticleParams live_params;
-      live_params.seed = 4242;  // disjoint from the base corpus
       for (const std::string& article :
-           sgmlqdb::corpus::GenerateCorpus(ingest_docs, live_params)) {
+           sgmlqdb::corpus::LiveIngestArticles(ingest_docs)) {
         auto epoch = service.Ingest(
             {sgmlqdb::service::QueryService::IngestOp::Load(article)});
         if (epoch.ok()) {
@@ -125,10 +109,10 @@ int main(int argc, char** argv) {
   std::vector<std::future<Result<sgmlqdb::om::Value>>> inflight;
   inflight.reserve(rounds * mix.size());
   for (size_t round = 0; round < rounds; ++round) {
-    for (const auto& [text, engine] : mix) {
+    for (const auto& q : mix) {
       sgmlqdb::service::QueryService::QueryOptions qo;
-      qo.engine = engine;
-      inflight.push_back(service.Execute(text, qo));
+      qo.engine = q.engine;
+      inflight.push_back(service.Execute(q.text, qo));
     }
   }
   size_t ok = 0, rejected = 0, failed = 0;

@@ -1,0 +1,133 @@
+// qdb_server: the standalone network daemon. Loads a generated
+// corpus, freezes it behind a QueryService and serves it from real
+// sockets through net::Server — HTTP/1.1+JSON on one port, the
+// length-prefixed binary protocol on another. This is the process the
+// end-to-end load harness (scripts/loadgen + bench/bench_net) drives.
+//
+//   ./build/examples/qdb_server [flags]
+//     --articles=N     corpus size (default 20)
+//     --threads=N      query worker threads (default 4)
+//     --queue-depth=N  admission-control limit (default 256)
+//     --http-port=P    HTTP port (default 0 = ephemeral)
+//     --bin-port=P     binary port (default 0 = ephemeral)
+//     --duration-s=S   exit after S seconds (default 0 = until SIGINT)
+//
+// Prints one machine-parseable line per front end once bound:
+//   serving http on 127.0.0.1:PORT
+//   serving binary on 127.0.0.1:PORT
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "net/server.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+uint64_t FlagValue(std::string_view arg, std::string_view name) {
+  return std::strtoull(arg.substr(name.size()).data(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t articles = 20;
+  size_t threads = 4;
+  size_t queue_depth = 256;
+  uint16_t http_port = 0;
+  uint16_t bin_port = 0;
+  uint64_t duration_s = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--articles=", 0) == 0) {
+      articles = FlagValue(arg, "--articles=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = FlagValue(arg, "--threads=");
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      queue_depth = FlagValue(arg, "--queue-depth=");
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      http_port = static_cast<uint16_t>(FlagValue(arg, "--http-port="));
+    } else if (arg.rfind("--bin-port=", 0) == 0) {
+      bin_port = static_cast<uint16_t>(FlagValue(arg, "--bin-port="));
+    } else if (arg.rfind("--duration-s=", 0) == 0) {
+      duration_s = FlagValue(arg, "--duration-s=");
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // -- Load phase (single-threaded, mutating) -------------------------
+  sgmlqdb::DocumentStore store;
+  if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  sgmlqdb::corpus::ArticleParams params;
+  params.sections = 4;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  bool first = true;
+  for (const std::string& article :
+       sgmlqdb::corpus::GenerateCorpus(articles, params)) {
+    if (auto r = store.LoadDocument(article, first ? "doc0" : ""); !r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    first = false;
+  }
+
+  // -- Serve phase ----------------------------------------------------
+  sgmlqdb::service::QueryService::Options options;
+  options.num_threads = threads;
+  options.max_queue_depth = queue_depth;
+  sgmlqdb::service::QueryService service(store, options);
+
+  sgmlqdb::net::ServerOptions server_options;
+  server_options.http_port = http_port;
+  server_options.binary_port = bin_port;
+  sgmlqdb::net::Server server(service, server_options);
+  if (auto st = server.Start(); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "loaded " << articles << " articles ("
+            << store.db().object_count() << " objects), "
+            << service.num_threads() << " worker threads\n";
+  std::cout << "serving http on " << server_options.bind_addr << ":"
+            << server.http_port() << "\n";
+  std::cout << "serving binary on " << server_options.bind_addr << ":"
+            << server.binary_port() << "\n";
+  std::cout.flush();
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  while (!g_stop &&
+         (duration_s == 0 || std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  const auto snap = server.stats().Get();
+  std::cout << "shutting down: " << snap.accepted << " connections, "
+            << snap.http_requests << " http requests, "
+            << snap.binary_requests << " binary requests, "
+            << snap.busy_rejections << " busy rejections, "
+            << snap.malformed << " malformed\n";
+  service.Shutdown();
+  return 0;
+}

@@ -11,14 +11,21 @@
 #   BENCH_ingest.json  — E13 live-ingestion series: publish throughput
 #                        and reader p99 during ingest vs. frozen
 #                        (bench_ingest)
+#   BENCH_net.json     — E14 end-to-end network serving: Q1..Q6 p50/p99
+#                        over HTTP and the binary protocol at two
+#                        concurrency levels, with and without live
+#                        ingest (scripts/loadgen driving qdb_server +
+#                        bench_net over real sockets)
 #
 # Every emitted file is validated as parseable JSON (a crashed or
 # interrupted bench run leaves a truncated file; better to fail here
-# than to feed it to an analysis notebook).
+# than to feed it to an analysis notebook), and stamped with the
+# CMake build type actually used — numbers from a Debug or sanitizer
+# build are not comparable and the stamp makes that auditable.
 #
 #   bash scripts/bench.sh [jobs] [extra benchmark args...]
 #
-# Extra args are passed to all binaries, e.g.
+# Extra args are passed to the google-benchmark binaries, e.g.
 #   bash scripts/bench.sh 8 --benchmark_min_time=0.5
 
 set -euo pipefail
@@ -27,25 +34,79 @@ jobs="${1:-$(nproc)}"
 shift || true
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" --target bench_queries bench_service bench_ingest
+cmake --build build -j "$jobs" \
+  --target bench_queries bench_service bench_ingest bench_net qdb_server
+
+# The build type the cache actually resolved to (a pre-existing build/
+# configured differently wins over the -D above on some generators).
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' build/CMakeCache.txt)"
+build_type="${build_type:-unspecified}"
+if [[ "$build_type" != "Release" ]]; then
+  echo "" >&2
+  echo "##################################################################" >&2
+  echo "## WARNING: build type is '$build_type', not Release.            " >&2
+  echo "## These numbers are NOT comparable to Release runs.             " >&2
+  echo "## Delete build/ (or reconfigure with -DCMAKE_BUILD_TYPE=Release)" >&2
+  echo "## before publishing any BENCH_*.json produced by this run.      " >&2
+  echo "##################################################################" >&2
+  echo "" >&2
+fi
 
 ./build/bench/bench_queries --json BENCH_queries.json "$@"
 ./build/bench/bench_service --json BENCH_service.json "$@"
 ./build/bench/bench_ingest --json BENCH_ingest.json "$@"
+python3 scripts/loadgen --build-dir build --out BENCH_net.json
 
 status=0
-for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json; do
+for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json \
+         BENCH_net.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: $f is missing or empty" >&2
     status=1
-  elif ! python3 -m json.tool "$f" > /dev/null; then
+  elif ! python3 - "$f" "$build_type" <<'EOF'
+# Validate as JSON and stamp the real build type into the file.
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    data = json.load(f)
+data["cmake_build_type"] = build_type
+with open(path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+EOF
+  then
     echo "ERROR: $f is not valid JSON (truncated run?)" >&2
     status=1
   fi
 done
+
+# BENCH_net.json additionally carries the E14 acceptance shape:
+# p50/p99 for >= 2 concurrency levels, each with and without ingest.
+if [[ "$status" -eq 0 ]] && ! python3 - <<'EOF'
+import json, sys
+with open("BENCH_net.json") as f:
+    data = json.load(f)
+cells = data.get("cells", [])
+for cell in cells:
+    for key in ("p50_micros", "p99_micros", "protocol", "connections",
+                "concurrent_ingest"):
+        if key not in cell:
+            sys.exit(f"BENCH_net.json cell missing {key}: {cell}")
+conn_levels = {c["connections"] for c in cells}
+if len(conn_levels) < 2:
+    sys.exit(f"BENCH_net.json needs >= 2 concurrency levels, got {conn_levels}")
+ingest_modes = {c["concurrent_ingest"] for c in cells}
+if ingest_modes != {True, False}:
+    sys.exit("BENCH_net.json needs cells both with and without ingest")
+EOF
+then
+  echo "ERROR: BENCH_net.json failed E14 shape validation" >&2
+  status=1
+fi
+
 if [[ "$status" -ne 0 ]]; then
   echo "benchmark output validation FAILED" >&2
   exit "$status"
 fi
 
-echo "Wrote BENCH_queries.json, BENCH_service.json and BENCH_ingest.json (all valid JSON)"
+echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json and BENCH_net.json (all valid JSON, build type: $build_type)"

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + test suite, then the
 # concurrent code re-built and re-run under ThreadSanitizer (the
-# thread pool, plan cache, exec guards, query service, and the
+# thread pool, plan cache, exec guards, query service, the
 # live-ingestion path: pinned snapshot readers racing single-writer
-# publishes), then the robustness/fault-injection suites re-run under
-# AddressSanitizer+UBSan (injected faults exercise the error and
-# degraded paths, where leaks and lifetime bugs like to hide).
+# publishes, and the network server: epoll loop vs. worker-pool
+# completions vs. ingest thread), then the robustness/fault-injection
+# and malformed-network-input suites re-run under
+# AddressSanitizer+UBSan (injected faults and garbage bytes exercise
+# the error and degraded paths, where leaks and lifetime bugs like to
+# hide).
 #
 #   bash scripts/tier1.sh [jobs]
 
@@ -18,9 +21,9 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target service_test algebra_test ingest_test
-ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation'
+cmake --build build-tsan -j "$jobs" --target service_test algebra_test ingest_test net_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation|ServerTest'
 
 cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
-cmake --build build-asan -j "$jobs" --target base_test service_test sgml_test property_test
-ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz'
+cmake --build build-asan -j "$jobs" --target base_test service_test sgml_test property_test net_test
+ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz|ServerTest|HttpParser|FrameParser|JsonParse'

@@ -1,0 +1,52 @@
+#include "corpus/workload.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "corpus/generator.h"
+
+namespace sgmlqdb::corpus {
+
+const std::vector<WorkloadQuery>& PaperQueryMix() {
+  static const std::vector<WorkloadQuery>& mix = *new std::vector<
+      WorkloadQuery>{
+      {"Q1_TitleAndFirstAuthor",
+       "select tuple (t: a.title, f_author: first(a.authors)) "
+       "from a in Articles, s in a.sections "
+       "where s.title contains (\"SGML\" or \"query\")",
+       oql::Engine::kNaive},
+      {"Q2_SubsectionsContaining",
+       "select text(ss) from a in Articles, s in a.sections, "
+       "ss in s.subsectns where ss contains (\"complex\" and \"object\")",
+       oql::Engine::kNaive},
+      {"Q3_AllTitlesOfOneDocument", "select t from doc0 .. title(t)",
+       oql::Engine::kAlgebraic},
+      {"Q4_StructuralDiff", "doc0 PATH_p - doc0 PATH_q",
+       oql::Engine::kNaive},
+      {"Q5_AttributeGrep",
+       "select name(ATT_a) from doc0 PATH_p.ATT_a(val) "
+       "where val contains (\"final\")",
+       oql::Engine::kAlgebraic},
+      {"Q6_PositionComparison",
+       "select a from a in Articles, "
+       "i in positions(a, \"abstract\"), "
+       "j in positions(a, \"sections\") where i < j",
+       oql::Engine::kNaive},
+  };
+  return mix;
+}
+
+const WorkloadQuery& PaperQuery(const char* name) {
+  for (const WorkloadQuery& q : PaperQueryMix()) {
+    if (std::string_view(q.name) == name) return q;
+  }
+  std::abort();
+}
+
+std::vector<std::string> LiveIngestArticles(size_t n, uint64_t seed) {
+  ArticleParams params;
+  params.seed = seed;
+  return GenerateCorpus(n, params);
+}
+
+}  // namespace sgmlqdb::corpus

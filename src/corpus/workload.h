@@ -1,0 +1,42 @@
+// The canonical serving workload: the paper's Q1..Q6 example queries
+// in our concrete syntax, each with the engine the serving drivers
+// run it on, plus the live-ingest document stream. This is the single
+// definition replayed by every front end — the in-process benches
+// (bench_queries, bench_service via bench_util.h), the qdb_serve and
+// qdb_server drivers, and the network load harness (bench_net) — so
+// latency numbers across layers measure the same statements.
+
+#ifndef SGMLQDB_CORPUS_WORKLOAD_H_
+#define SGMLQDB_CORPUS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oql/oql.h"
+
+namespace sgmlqdb::corpus {
+
+struct WorkloadQuery {
+  const char* name;  // e.g. "Q3_AllTitlesOfOneDocument"
+  const char* text;
+  /// The engine the serving mix runs this query on (queries outside
+  /// the algebraic fragment stay on the naive reference engine).
+  oql::Engine engine;
+};
+
+/// Q1..Q6, document order. The first corpus document is expected to
+/// be bound to "doc0" for the single-document queries.
+const std::vector<WorkloadQuery>& PaperQueryMix();
+
+/// Aborts on unknown name (a typo in a bench is a bug, not an error).
+const WorkloadQuery& PaperQuery(const char* name);
+
+/// `n` extra articles for live-ingest runs, generated from a seed
+/// disjoint from the base corpus so ingested text never collides with
+/// loaded documents.
+std::vector<std::string> LiveIngestArticles(size_t n, uint64_t seed = 4242);
+
+}  // namespace sgmlqdb::corpus
+
+#endif  // SGMLQDB_CORPUS_WORKLOAD_H_

@@ -1,0 +1,248 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+
+namespace sgmlqdb::net {
+
+namespace {
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view HttpClient::Response::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (IEquals(k, name)) return v;
+  }
+  return {};
+}
+
+Status HttpClient::Connect(const std::string& addr, uint16_t port,
+                           int io_timeout_ms) {
+  SGMLQDB_ASSIGN_OR_RETURN(sock_, ConnectTcp(addr, port, io_timeout_ms));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(std::string_view bytes) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  return SendAll(sock_.get(), bytes);
+}
+
+std::string HttpClient::RecvSome() {
+  std::string out;
+  char buf[8192];
+  while (true) {
+    ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+    if (out.size() > (1 << 20)) break;
+  }
+  return out;
+}
+
+Result<HttpClient::Response> HttpClient::Get(const std::string& target) {
+  SGMLQDB_RETURN_IF_ERROR(
+      SendRaw("GET " + target + " HTTP/1.1\r\nHost: qdb\r\n\r\n"));
+  return ReadResponse();
+}
+
+Result<HttpClient::Response> HttpClient::Post(const std::string& target,
+                                              std::string_view body,
+                                              std::string_view content_type) {
+  std::string req = "POST " + target + " HTTP/1.1\r\nHost: qdb\r\n";
+  req += "Content-Type: " + std::string(content_type) + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  req.append(body.data(), body.size());
+  SGMLQDB_RETURN_IF_ERROR(SendRaw(req));
+  return ReadResponse();
+}
+
+Result<HttpClient::Response> HttpClient::ReadResponse() {
+  // Read until the header section, then until Content-Length is
+  // satisfied (the server always sends Content-Length).
+  auto read_more = [&]() -> Status {
+    char buf[16384];
+    ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+    return Status::OK();
+  };
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    SGMLQDB_RETURN_IF_ERROR(read_more());
+  }
+  Response resp;
+  std::string_view head(buffer_.data(), header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.rfind("HTTP/1.", 0) != 0) {
+    return Status::ParseError("malformed status line: " +
+                              std::string(status_line));
+  }
+  resp.status = (status_line[9] - '0') * 100 + (status_line[10] - '0') * 10 +
+                (status_line[11] - '0');
+  std::string_view headers_block =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  size_t content_length = 0;
+  while (!headers_block.empty()) {
+    size_t eol = headers_block.find("\r\n");
+    std::string_view line = eol == std::string_view::npos
+                                ? headers_block
+                                : headers_block.substr(0, eol);
+    headers_block = eol == std::string_view::npos
+                        ? std::string_view{}
+                        : headers_block.substr(eol + 2);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    if (IEquals(name, "Content-Length")) {
+      content_length = 0;
+      for (char ch : value) {
+        if (ch < '0' || ch > '9') break;
+        content_length = content_length * 10 + static_cast<size_t>(ch - '0');
+      }
+    }
+    resp.headers.emplace_back(std::string(name), std::string(value));
+  }
+  const size_t body_start = header_end + 4;
+  while (buffer_.size() < body_start + content_length) {
+    SGMLQDB_RETURN_IF_ERROR(read_more());
+  }
+  resp.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+  return resp;
+}
+
+Status BinaryClient::Connect(const std::string& addr, uint16_t port,
+                             int io_timeout_ms) {
+  SGMLQDB_ASSIGN_OR_RETURN(sock_, ConnectTcp(addr, port, io_timeout_ms));
+  parser_ = FrameParser();
+  return Status::OK();
+}
+
+Status BinaryClient::SendRaw(std::string_view bytes) {
+  if (!sock_.valid()) return Status::Unavailable("not connected");
+  return SendAll(sock_.get(), bytes);
+}
+
+Status BinaryClient::SendFrame(Opcode opcode, uint32_t req_id,
+                               std::string_view body) {
+  return SendRaw(EncodeFrame(opcode, req_id, body));
+}
+
+Result<BinaryClient::Reply> BinaryClient::ReadReply() {
+  while (true) {
+    Frame frame;
+    FrameParser::Outcome oc = parser_.Next(&frame);
+    if (oc == FrameParser::Outcome::kFrame) {
+      if (frame.opcode != static_cast<uint8_t>(Opcode::kReply)) {
+        return Status::ParseError("unexpected opcode " +
+                                  std::to_string(frame.opcode) +
+                                  " from server");
+      }
+      Reply reply;
+      reply.req_id = frame.req_id;
+      SGMLQDB_ASSIGN_OR_RETURN(reply.body, DecodeReplyBody(frame.body));
+      return reply;
+    }
+    if (oc == FrameParser::Outcome::kError) {
+      return Status::ParseError("reply stream: " + parser_.error());
+    }
+    char buf[16384];
+    ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    parser_.Append(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<ReplyBody> BinaryClient::RoundTrip(Opcode opcode, std::string body) {
+  const uint32_t req_id = next_req_id_++;
+  SGMLQDB_RETURN_IF_ERROR(SendFrame(opcode, req_id, body));
+  SGMLQDB_ASSIGN_OR_RETURN(Reply reply, ReadReply());
+  if (reply.req_id != req_id) {
+    return Status::Internal("reply id " + std::to_string(reply.req_id) +
+                            " does not match request id " +
+                            std::to_string(req_id));
+  }
+  return std::move(reply.body);
+}
+
+Result<ReplyBody> BinaryClient::Query(const QueryRequest& req) {
+  return RoundTrip(Opcode::kQuery, EncodeQueryBody(req));
+}
+
+Result<ReplyBody> BinaryClient::Prepare(uint32_t stmt_id,
+                                        const QueryRequest& req) {
+  return RoundTrip(Opcode::kPrepare, EncodePrepareBody(stmt_id, req));
+}
+
+Result<ReplyBody> BinaryClient::Execute(uint32_t stmt_id,
+                                        uint32_t timeout_ms) {
+  return RoundTrip(Opcode::kExecute,
+                   EncodeExecuteBody(stmt_id, timeout_ms));
+}
+
+Result<ReplyBody> BinaryClient::Ping() {
+  return RoundTrip(Opcode::kPing, "");
+}
+
+Status BinaryClient::SendQuery(uint32_t req_id, const QueryRequest& req) {
+  return SendFrame(Opcode::kQuery, req_id, EncodeQueryBody(req));
+}
+
+Status BinaryClient::SendExecute(uint32_t req_id, uint32_t stmt_id,
+                                 uint32_t timeout_ms) {
+  return SendFrame(Opcode::kExecute, req_id,
+                   EncodeExecuteBody(stmt_id, timeout_ms));
+}
+
+}  // namespace sgmlqdb::net

@@ -1,0 +1,96 @@
+// Blocking clients for both front ends, shared by the end-to-end
+// tests and the load harness (bench/bench_net) — they speak exactly
+// the wire_format.h encodings the server parses, so the in-process,
+// HTTP and binary benches replay identical workloads.
+
+#ifndef SGMLQDB_NET_CLIENT_H_
+#define SGMLQDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire_format.h"
+
+namespace sgmlqdb::net {
+
+/// A minimal HTTP/1.1 keep-alive client over one connection.
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    std::string_view Header(std::string_view name) const;
+  };
+
+  Status Connect(const std::string& addr, uint16_t port,
+                 int io_timeout_ms = 10000);
+  void Close() { sock_.Close(); }
+  bool connected() const { return sock_.valid(); }
+  int fd() const { return sock_.get(); }
+
+  Result<Response> Get(const std::string& target);
+  Result<Response> Post(const std::string& target, std::string_view body,
+                        std::string_view content_type = "application/json");
+
+  /// Sends raw bytes (malformed-input tests).
+  Status SendRaw(std::string_view bytes);
+  /// Reads whatever the server answers until it closes or the read
+  /// times out; best-effort (malformed-input tests).
+  std::string RecvSome();
+
+ private:
+  Result<Response> ReadResponse();
+
+  Fd sock_;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+/// A binary-protocol client; supports both synchronous calls and
+/// explicit pipelining (SendQuery/ReadReply).
+class BinaryClient {
+ public:
+  struct Reply {
+    uint32_t req_id = 0;
+    ReplyBody body;
+  };
+
+  Status Connect(const std::string& addr, uint16_t port,
+                 int io_timeout_ms = 10000);
+  void Close() { sock_.Close(); }
+  bool connected() const { return sock_.valid(); }
+  int fd() const { return sock_.get(); }
+
+  // Synchronous round trips.
+  Result<ReplyBody> Query(const QueryRequest& req);
+  Result<ReplyBody> Prepare(uint32_t stmt_id, const QueryRequest& req);
+  Result<ReplyBody> Execute(uint32_t stmt_id, uint32_t timeout_ms = 0);
+  Result<ReplyBody> Ping();
+
+  // Pipelining: send any number of requests, then match replies by id.
+  Status SendQuery(uint32_t req_id, const QueryRequest& req);
+  Status SendExecute(uint32_t req_id, uint32_t stmt_id,
+                     uint32_t timeout_ms = 0);
+  Result<Reply> ReadReply();
+
+  /// Raw bytes (garbage-frame tests).
+  Status SendRaw(std::string_view bytes);
+
+ private:
+  Result<ReplyBody> RoundTrip(Opcode opcode, std::string body);
+  Status SendFrame(Opcode opcode, uint32_t req_id, std::string_view body);
+
+  Fd sock_;
+  FrameParser parser_;
+  uint32_t next_req_id_ = 1;
+};
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_CLIENT_H_

@@ -1,0 +1,121 @@
+#include "net/event_loop.h"
+
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace sgmlqdb::net {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status EventLoop::Init() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(ADD wakeup)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::make_shared<Callback>(std::move(cb));
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Del(int fd) {
+  handlers_.erase(fd);
+  if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Stop() {
+  stop_.store(true);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load()) {
+    int n = ::epoll_wait(epfd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable (epfd closed?)
+    }
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Fresh lookup: an earlier callback in this batch may have
+      // Del()ed this fd. The shared_ptr copy keeps the closure alive
+      // even if the callback Del()s itself mid-call.
+      auto it = handlers_.find(events[i].data.fd);
+      if (it == handlers_.end()) continue;
+      std::shared_ptr<Callback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+    RunPosted();
+  }
+  RunPosted();
+}
+
+}  // namespace sgmlqdb::net

@@ -1,0 +1,69 @@
+// A single-threaded epoll event loop (the accept/IO thread of the
+// server). Fds are registered with a callback receiving the ready
+// event mask; other threads hand work to the loop with Post(), which
+// wakes it through an eventfd — this is how query-pool completion
+// callbacks re-enter connection state, which is only ever touched on
+// the loop thread (no per-connection locks).
+//
+// Dispatch is re-entrancy-safe: a callback may Del() (and close) its
+// own fd or any other fd; handlers are looked up fresh per event and
+// kept alive by a shared_ptr for the duration of the call.
+
+#ifndef SGMLQDB_NET_EVENT_LOOP_H_
+#define SGMLQDB_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sgmlqdb::net {
+
+class EventLoop {
+ public:
+  /// Receives the epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using Callback = std::function<void(uint32_t)>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
+
+  /// Creates the epoll instance and wakeup eventfd.
+  Status Init();
+
+  /// Registers `fd` for `events`; EPOLLRDHUP is always added so a
+  /// half-closed peer wakes the handler even while reads are paused.
+  Status Add(int fd, uint32_t events, Callback cb);
+  Status Mod(int fd, uint32_t events);
+  Status Del(int fd);
+
+  /// Queues `fn` to run on the loop thread and wakes the loop.
+  /// Thread-safe; safe after Stop() (the task is simply never run).
+  void Post(std::function<void()> fn);
+
+  /// Dispatches events until Stop(). Call from exactly one thread.
+  void Run();
+
+  /// Thread-safe; wakes a blocked Run() and makes it return.
+  void Stop();
+
+ private:
+  void RunPosted();
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+  std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
+};
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_EVENT_LOOP_H_

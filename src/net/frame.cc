@@ -1,0 +1,92 @@
+#include "net/frame.h"
+
+#include <utility>
+
+namespace sgmlqdb::net {
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint16_t ReadU16(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t ReadU32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | u[i];
+  return v;
+}
+
+std::string EncodeFrame(Opcode opcode, uint32_t req_id,
+                        std::string_view body) {
+  std::string out;
+  out.reserve(4 + kFrameHeaderBytes + body.size());
+  AppendU32(&out, static_cast<uint32_t>(kFrameHeaderBytes + body.size()));
+  out.push_back(static_cast<char>(opcode));
+  AppendU32(&out, req_id);
+  out.append(body.data(), body.size());
+  return out;
+}
+
+void FrameParser::Append(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+FrameParser::Outcome FrameParser::Fail(std::string message) {
+  poisoned_ = true;
+  error_ = std::move(message);
+  return Outcome::kError;
+}
+
+FrameParser::Outcome FrameParser::Next(Frame* out) {
+  if (poisoned_) return Outcome::kError;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Outcome::kNeedMore;
+  const uint32_t len = ReadU32(buffer_.data() + consumed_);
+  if (len < kFrameHeaderBytes) {
+    return Fail("frame payload of " + std::to_string(len) +
+                " bytes is shorter than the " +
+                std::to_string(kFrameHeaderBytes) + "-byte header");
+  }
+  if (len > max_frame_bytes_) {
+    return Fail("frame payload of " + std::to_string(len) +
+                " bytes exceeds limit of " +
+                std::to_string(max_frame_bytes_));
+  }
+  if (available < 4 + static_cast<size_t>(len)) return Outcome::kNeedMore;
+  const char* p = buffer_.data() + consumed_ + 4;
+  out->opcode = static_cast<uint8_t>(p[0]);
+  out->req_id = ReadU32(p + 1);
+  out->body.assign(p + kFrameHeaderBytes, len - kFrameHeaderBytes);
+  consumed_ += 4 + len;
+  if (consumed_ >= buffer_.size() || consumed_ > 65536) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return Outcome::kFrame;
+}
+
+}  // namespace sgmlqdb::net

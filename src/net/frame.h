@@ -1,0 +1,92 @@
+// The compact length-prefixed binary protocol for high-QPS clients.
+//
+// Every frame is
+//
+//   u32  payload length (little-endian, counts opcode + req_id + body)
+//   u8   opcode
+//   u32  request id (echoed verbatim in the reply, so clients may
+//        pipeline requests and match replies out of order)
+//   ...  body (opcode-specific, see wire_format.h)
+//
+// Client -> server opcodes:
+//   1 kQuery    one-shot OQL statement
+//   2 kPrepare  register a statement id -> text binding on this
+//               connection (prepare-once)
+//   3 kExecute  execute a prepared statement id (execute-many; the
+//               compiled plan comes from the service's PlanCache)
+//   4 kPing     liveness probe
+// Server -> client:
+//   0x81 kReply u8 status code (base/status.h StatusCode), rest: body
+//
+// A frame longer than `max_frame_bytes` or shorter than the 5-byte
+// payload header is a protocol error: the parser poisons itself and
+// the connection answers one error reply and closes (a corrupt length
+// prefix cannot be resynchronized).
+
+#ifndef SGMLQDB_NET_FRAME_H_
+#define SGMLQDB_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sgmlqdb::net {
+
+enum class Opcode : uint8_t {
+  kQuery = 1,
+  kPrepare = 2,
+  kExecute = 3,
+  kPing = 4,
+  kReply = 0x81,
+};
+
+struct Frame {
+  uint8_t opcode = 0;
+  uint32_t req_id = 0;
+  std::string body;
+};
+
+/// Minimum payload: opcode byte + request id.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+class FrameParser {
+ public:
+  enum class Outcome { kNeedMore, kFrame, kError };
+
+  explicit FrameParser(size_t max_frame_bytes = 16 * 1024 * 1024)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(std::string_view data);
+
+  /// Extracts the next complete frame. After kError the parser is
+  /// poisoned (see error()); the stream cannot continue.
+  Outcome Next(Frame* out);
+
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Outcome Fail(std::string message);
+
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+/// Encodes one frame (prepends the length prefix).
+std::string EncodeFrame(Opcode opcode, uint32_t req_id,
+                        std::string_view body);
+
+// Little-endian integer append/read helpers shared with wire_format.
+void AppendU16(std::string* out, uint16_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+uint16_t ReadU16(const char* p);
+uint32_t ReadU32(const char* p);
+uint64_t ReadU64(const char* p);
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_FRAME_H_

@@ -1,0 +1,235 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sgmlqdb::net {
+
+namespace {
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 tchar.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (IEquals(k, name)) return v;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::Path() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+void HttpRequestParser::Append(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+void HttpRequestParser::Compact() {
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 65536)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Fail(int status,
+                                                   std::string message) {
+  poisoned_ = true;
+  http_status_ = status;
+  error_ = std::move(message);
+  return Outcome::kError;
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Next(HttpRequest* out) {
+  if (poisoned_) return Outcome::kError;
+  std::string_view rest(buffer_);
+  rest.remove_prefix(consumed_);
+  // RFC 7230 allows (and robust servers skip) blank lines between
+  // pipelined requests.
+  size_t skip = 0;
+  while (skip < rest.size() && (rest[skip] == '\r' || rest[skip] == '\n')) {
+    ++skip;
+  }
+  rest.remove_prefix(skip);
+  size_t header_end = rest.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (rest.size() > limits_.max_header_bytes) {
+      return Fail(431, "request header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Outcome::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail(431, "request header section exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+  std::string_view head = rest.substr(0, header_end);
+  // Request line.
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1) {
+    return Fail(400, "malformed request line");
+  }
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  for (char c : req.method) {
+    if (!IsTokenChar(c)) return Fail(400, "malformed method token");
+  }
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    req.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req.version_minor = 0;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    return Fail(505, "unsupported HTTP version: " + std::string(version));
+  } else {
+    return Fail(400, "malformed request line version");
+  }
+  // Header fields.
+  std::string_view headers_block =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!headers_block.empty()) {
+    size_t eol = headers_block.find("\r\n");
+    std::string_view line = eol == std::string_view::npos
+                                ? headers_block
+                                : headers_block.substr(0, eol);
+    headers_block = eol == std::string_view::npos
+                        ? std::string_view{}
+                        : headers_block.substr(eol + 2);
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return Fail(400, "obsolete header line folding");
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header field");
+    }
+    std::string_view name = line.substr(0, colon);
+    for (char c : name) {
+      if (!IsTokenChar(c)) return Fail(400, "malformed header field name");
+    }
+    req.headers.emplace_back(std::string(name),
+                             std::string(Trim(line.substr(colon + 1))));
+  }
+  // Body framing.
+  if (!req.Header("Transfer-Encoding").empty()) {
+    return Fail(501, "chunked request bodies are not supported");
+  }
+  size_t content_length = 0;
+  std::string_view cl = req.Header("Content-Length");
+  if (!cl.empty()) {
+    if (cl.find_first_not_of("0123456789") != std::string_view::npos ||
+        cl.size() > 12) {
+      return Fail(400, "malformed Content-Length");
+    }
+    content_length = 0;
+    for (char c : cl) content_length = content_length * 10 + (c - '0');
+    if (content_length > limits_.max_body_bytes) {
+      return Fail(413, "request body of " + std::string(cl) +
+                           " bytes exceeds limit of " +
+                           std::to_string(limits_.max_body_bytes));
+    }
+  }
+  size_t body_start = header_end + 4;
+  if (rest.size() < body_start + content_length) return Outcome::kNeedMore;
+  req.body = std::string(rest.substr(body_start, content_length));
+  // Persistence.
+  std::string_view conn = req.Header("Connection");
+  if (req.version_minor == 0) {
+    req.keep_alive = IEquals(conn, "keep-alive");
+  } else {
+    req.keep_alive = !IEquals(conn, "close");
+  }
+  consumed_ += skip + body_start + content_length;
+  Compact();
+  *out = std::move(req);
+  return Outcome::kRequest;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 499:
+      return "Client Closed Request";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Error";
+  }
+}
+
+std::string FormatHttpResponse(int status, std::string_view reason,
+                               std::string_view content_type,
+                               std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " ";
+  out.append(reason.data(), reason.size());
+  out += "\r\nContent-Type: ";
+  out.append(content_type.data(), content_type.size());
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  if (!keep_alive) out += "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out.append(body.data(), body.size());
+  return out;
+}
+
+}  // namespace sgmlqdb::net

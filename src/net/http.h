@@ -1,0 +1,93 @@
+// Incremental HTTP/1.1 request parsing and response formatting for
+// the serving layer. The parser is a push-style state machine: feed it
+// whatever bytes arrived, pull zero or more complete requests out.
+// Hard limits (header bytes, body bytes) make oversized or runaway
+// requests a clean protocol error instead of unbounded buffering —
+// the error carries the HTTP status the server should answer with
+// before closing.
+//
+// Deliberately out of scope (answered with 501): chunked request
+// bodies, multipart. Responses always carry Content-Length.
+
+#ifndef SGMLQDB_NET_HTTP_H_
+#define SGMLQDB_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sgmlqdb::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase as sent: GET, POST, ...
+  std::string target;   // request target, e.g. /query or /stats?f=json
+  int version_minor = 1;  // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection persistence after this request (HTTP/1.1 default
+  /// keep-alive, honoring Connection: close / keep-alive).
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  std::string_view Header(std::string_view name) const;
+  /// `target` with any ?query suffix removed.
+  std::string_view Path() const;
+};
+
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_body_bytes = 16 * 1024 * 1024;
+  };
+
+  enum class Outcome {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // *out filled with the next request
+    kError,     // protocol violation; see http_status()/error()
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(const Limits& limits) : limits_(limits) {}
+
+  /// Appends newly received bytes.
+  void Append(std::string_view data);
+
+  /// Extracts the next complete request, if any. After kError the
+  /// parser is poisoned: the connection must answer http_status() and
+  /// close (resynchronizing an HTTP/1.x byte stream after a framing
+  /// error is guesswork).
+  Outcome Next(HttpRequest* out);
+
+  /// HTTP status for the error (400, 413, 431, 501, 505).
+  int http_status() const { return http_status_; }
+  const std::string& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Outcome Fail(int status, std::string message);
+  void Compact();
+
+  Limits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+  int http_status_ = 0;
+  std::string error_;
+};
+
+/// Formats a full response with Content-Length (and `Connection:
+/// close` when `keep_alive` is false).
+std::string FormatHttpResponse(int status, std::string_view reason,
+                               std::string_view content_type,
+                               std::string_view body, bool keep_alive);
+
+/// The canonical reason phrase for the status codes this server emits
+/// ("OK", "Bad Request", ...); "Error" for unknown codes.
+std::string_view HttpReasonPhrase(int status);
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_HTTP_H_

@@ -1,0 +1,446 @@
+#include "net/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgmlqdb::net {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Integer(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.integer_ = i;
+  v.is_integer_ = true;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    SGMLQDB_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) {
+    return Status::ParseError("JSON: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > max_depth_) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        SGMLQDB_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Err("invalid literal");
+    pos_ += lit.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Consume('}')) {
+      *out = JsonValue::Object(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      SGMLQDB_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      SGMLQDB_RETURN_IF_ERROR(Expect(':'));
+      JsonValue value;
+      SGMLQDB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      SGMLQDB_RETURN_IF_ERROR(Expect('}'));
+      break;
+    }
+    *out = JsonValue::Object(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) {
+      *out = JsonValue::Array(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      SGMLQDB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      items.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      SGMLQDB_RETURN_IF_ERROR(Expect(']'));
+      break;
+    }
+    *out = JsonValue::Array(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SGMLQDB_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Err("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Err("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return Err("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          SGMLQDB_RETURN_IF_ERROR(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Err("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            SGMLQDB_RETURN_IF_ERROR(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) return Err("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    bool integral = true;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Err("invalid number");
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. an error).
+    const bool leading_zero = text_[pos_] == '0';
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (leading_zero && pos_ - start > (text_[start] == '-' ? 2u : 1u)) {
+      return Err("leading zero in number");
+    }
+    if (Consume('.')) {
+      integral = false;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::Integer(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+    }
+    *out = JsonValue::Number(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t max_depth_;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonValue::Serialize() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber: {
+      if (is_integer_) return std::to_string(integer_);
+      if (std::isfinite(number_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        return buf;
+      }
+      return "null";  // JSON has no Inf/NaN
+    }
+    case Kind::kString:
+      return JsonQuote(string_);
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += items_[i].Serialize();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += JsonQuote(members_[i].first);
+        out.push_back(':');
+        out += members_[i].second.Serialize();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+}  // namespace sgmlqdb::net

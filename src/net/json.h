@@ -1,0 +1,76 @@
+// A minimal JSON value, parser, and writer for the HTTP front end.
+// Strict RFC 8259 subset: UTF-8 in, \uXXXX escapes decoded (surrogate
+// pairs included), numbers as double with an exact-integer flag, a
+// nesting-depth cap so adversarial bodies cannot blow the stack.
+
+#ifndef SGMLQDB_NET_JSON_H_
+#define SGMLQDB_NET_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sgmlqdb::net {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document; trailing non-whitespace is an
+  /// error (a truncated or concatenated body should not half-succeed).
+  static Result<JsonValue> Parse(std::string_view text,
+                                 size_t max_depth = 64);
+
+  JsonValue() = default;  // null
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Integer(int64_t i);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  /// True when the number was written without fraction/exponent and
+  /// fits int64 (so ids and counts round-trip exactly).
+  bool is_integer() const { return kind_ == Kind::kNumber && is_integer_; }
+  int64_t AsInteger() const { return integer_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Serializes back to compact JSON (tests, stats endpoint).
+  std::string Serialize() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  int64_t integer_ = 0;
+  bool is_integer_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Returns `s` as a quoted JSON string literal (escapes ", \, control
+/// characters).
+std::string JsonQuote(std::string_view s);
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_JSON_H_

@@ -1,0 +1,223 @@
+// The network serving layer: one epoll thread accepting and
+// multiplexing connections over two front ends —
+//
+//   * an HTTP/1.1+JSON port:  POST /query, POST /ingest, GET /stats,
+//     GET /healthz (keep-alive, incremental request parsing),
+//   * a binary port speaking the frame.h length-prefixed protocol
+//     (pipelined query / prepare-once / execute-many).
+//
+// Statement execution never happens on the IO thread: requests are
+// handed to the QueryService's worker pool (SubmitAsync) and the
+// completion is posted back to the event loop, which owns all
+// connection state (single-threaded, no per-connection locks).
+// Ingest batches run on a dedicated writer thread (publishes are
+// single-writer anyway) so an SGML parse never stalls the IO loop.
+//
+// Robustness wiring:
+//   * Backpressure — admission-control rejections (Status::
+//     kUnavailable) answer 503 / a BUSY reply instead of queueing,
+//     and a connection with too many in-flight statements or too much
+//     unsent output has EPOLLIN disarmed until it drains: a slow or
+//     flooding client throttles itself, never the server's memory.
+//   * Cancellation — closing a connection cancels its in-flight
+//     statements through QueryService::Cancel -> ExecGuard, and a
+//     per-request timeout_ms rides the existing deadline watchdog.
+//   * Malformed input — oversized / unparseable requests and garbage
+//     frames answer one structured error and close; the parsers are
+//     bounded, so no input can buffer unboundedly.
+
+#ifndef SGMLQDB_NET_SERVER_H_
+#define SGMLQDB_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/http.h"
+#include "net/socket.h"
+#include "net/wire_format.h"
+#include "service/query_service.h"
+
+namespace sgmlqdb::net {
+
+struct ServerOptions {
+  /// Numeric IPv4 bind address.
+  std::string bind_addr = "127.0.0.1";
+  /// 0 = ephemeral (read back with http_port()/binary_port()).
+  uint16_t http_port = 0;
+  uint16_t binary_port = 0;
+  /// Accepted connections beyond this are closed immediately.
+  size_t max_connections = 1024;
+  /// Per-connection pipelined-statement cap (binary protocol); above
+  /// it the connection's reads pause until replies drain.
+  size_t max_inflight_per_conn = 64;
+  /// Unsent output above this pauses reads (a client that stops
+  /// reading its responses stops being read from).
+  size_t max_output_buffer_bytes = 4 * 1024 * 1024;
+  /// HTTP body / header limits (http.h) and binary frame limit.
+  size_t max_body_bytes = 16 * 1024 * 1024;
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_frame_bytes = 16 * 1024 * 1024;
+  /// Prepared statements per binary connection.
+  size_t max_prepared_per_conn = 256;
+  /// Applied when a request carries no timeout of its own (0 = none).
+  uint64_t default_timeout_ms = 0;
+};
+
+/// Counters owned by the IO layer (the query-side taxonomy lives in
+/// ServiceStats). Snapshot() is safe from any thread.
+class ServerStats {
+ public:
+  struct Snapshot {
+    uint64_t accepted = 0;
+    uint64_t over_capacity = 0;
+    uint64_t active = 0;
+    uint64_t http_requests = 0;
+    uint64_t binary_requests = 0;
+    uint64_t malformed = 0;
+    uint64_t busy_rejections = 0;
+    uint64_t cancelled_on_disconnect = 0;
+    uint64_t read_pauses = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+  Snapshot Get() const;
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> over_capacity{0};
+  std::atomic<uint64_t> active{0};
+  std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> binary_requests{0};
+  std::atomic<uint64_t> malformed{0};
+  std::atomic<uint64_t> busy_rejections{0};
+  std::atomic<uint64_t> cancelled_on_disconnect{0};
+  std::atomic<uint64_t> read_pauses{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+};
+
+class Server {
+ public:
+  Server(service::QueryService& service, const ServerOptions& options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();  // Stop()
+
+  /// Binds both ports and starts the IO and ingest threads.
+  Status Start();
+
+  /// Graceful stop: closes every connection (cancelling its in-flight
+  /// statements), joins the IO and ingest threads. Idempotent.
+  void Stop();
+
+  uint16_t http_port() const { return http_port_; }
+  uint16_t binary_port() const { return binary_port_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// The GET /stats payload (also handy for tests).
+  std::string StatsJson() const;
+
+ private:
+  enum class Proto { kHttp, kBinary };
+
+  /// How to format the response of an in-flight statement.
+  struct ResponseCtx {
+    Proto proto = Proto::kHttp;
+    uint32_t req_id = 0;      // binary: echoed request id
+    bool keep_alive = true;   // http: persistence after this response
+    std::chrono::steady_clock::time_point start{};
+  };
+
+  struct Connection {
+    uint64_t id = 0;
+    Fd sock;
+    Proto proto = Proto::kHttp;
+    HttpRequestParser http_parser;
+    FrameParser frame_parser;
+    std::string out;
+    size_t out_off = 0;
+    uint32_t events = 0;      // currently armed epoll mask
+    bool close_after_flush = false;
+    bool http_busy = false;   // one HTTP request in flight at a time
+    size_t inflight = 0;      // dispatched, unanswered statements
+    /// Service query ids to cancel if this connection dies.
+    std::unordered_set<uint64_t> inflight_queries;
+    std::map<uint32_t, QueryRequest> prepared;
+
+    Connection(uint64_t id, Fd sock, Proto proto, ServerOptions const& opt);
+    size_t out_pending() const { return out.size() - out_off; }
+  };
+
+  struct IngestJob {
+    uint64_t conn_id = 0;
+    ResponseCtx ctx;
+    IngestRequest req;
+  };
+
+  // All private methods below run on the loop thread unless noted.
+  void OnAccept(int listen_fd, Proto proto);
+  void OnConnEvent(uint64_t conn_id, uint32_t events);
+  void HandleReadable(Connection& c);
+  void ProcessHttp(Connection& c);
+  void ProcessBinary(Connection& c);
+  /// Returns false when the connection was destroyed.
+  bool DispatchHttp(Connection& c, HttpRequest req);
+  bool HandleBinaryFrame(Connection& c, const Frame& frame);
+  void SubmitQuery(Connection& c, QueryRequest req, ResponseCtx ctx);
+  void OnQueryDone(uint64_t conn_id, uint64_t query_id, ResponseCtx ctx,
+                   Result<om::Value> result);
+  void OnIngestDone(uint64_t conn_id, ResponseCtx ctx,
+                    Result<uint64_t> epoch);
+  bool QueueHttpResponse(Connection& c, int status,
+                         std::string_view content_type,
+                         std::string_view body, bool keep_alive);
+  bool QueueOutput(Connection& c, std::string_view bytes);
+  bool FlushOutput(Connection& c);
+  void UpdateInterest(Connection& c);
+  void DestroyConnection(uint64_t conn_id);
+  void CloseAll();
+  void IngestLoop();  // runs on ingest_thread_
+
+  service::QueryService& service_;
+  const ServerOptions options_;
+  EventLoop loop_;
+  Fd http_listen_;
+  Fd binary_listen_;
+  uint16_t http_port_ = 0;
+  uint16_t binary_port_ = 0;
+  ServerStats stats_;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  /// Completions handed to the query pool but not yet re-posted to the
+  /// loop; Stop() waits for this to reach zero before returning, so no
+  /// worker ever touches a dead Server.
+  std::atomic<uint64_t> pending_callbacks_{0};
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+
+  std::thread ingest_thread_;
+  std::mutex ingest_mu_;
+  std::condition_variable ingest_cv_;
+  std::deque<IngestJob> ingest_queue_;
+  bool ingest_stop_ = false;
+};
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_SERVER_H_

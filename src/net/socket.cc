@@ -1,0 +1,103 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sgmlqdb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& addr, uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + addr);
+  }
+  return sa;
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<Fd> ListenTcp(const std::string& addr, uint16_t port, int backlog) {
+  SGMLQDB_ASSIGN_OR_RETURN(sockaddr_in sa, MakeAddr(addr, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return Errno("bind " + addr + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(sa.sin_port));
+}
+
+Result<Fd> ConnectTcp(const std::string& addr, uint16_t port,
+                      int io_timeout_ms) {
+  SGMLQDB_ASSIGN_OR_RETURN(sockaddr_in sa, MakeAddr(addr, port));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return Status::Unavailable("connect " + addr + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  timeval tv{};
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
+  (void)SetNoDelay(fd.get());
+  return fd;
+}
+
+}  // namespace sgmlqdb::net

@@ -1,0 +1,71 @@
+// Thin POSIX TCP helpers for the serving layer: an RAII fd, listen /
+// connect constructors, and non-blocking mode. IPv4 numeric addresses
+// only (the server binds loopback by default; name resolution is a
+// deployment concern, not a library one).
+
+#ifndef SGMLQDB_NET_SOCKET_H_
+#define SGMLQDB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+
+namespace sgmlqdb::net {
+
+/// An owned file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ~Fd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Transfers ownership out (the Fd stops closing it).
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a non-blocking listening socket bound to `addr:port`
+/// (numeric IPv4; port 0 picks an ephemeral port — read it back with
+/// LocalPort). SO_REUSEADDR is set.
+Result<Fd> ListenTcp(const std::string& addr, uint16_t port,
+                     int backlog = 128);
+
+/// The port a bound socket actually listens on (for port 0 binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to `addr:port` (numeric IPv4) with send/receive
+/// timeouts, for test and load-generator clients.
+Result<Fd> ConnectTcp(const std::string& addr, uint16_t port,
+                      int io_timeout_ms = 10000);
+
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle (both the server's accepted sockets and the
+/// request/response clients are latency-sensitive).
+Status SetNoDelay(int fd);
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_SOCKET_H_

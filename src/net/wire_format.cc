@@ -1,0 +1,362 @@
+#include "net/wire_format.h"
+
+#include <utility>
+
+#include "net/json.h"
+
+namespace sgmlqdb::net {
+
+namespace {
+
+using service::QueryService;
+
+const char* EngineName(oql::Engine e) {
+  return e == oql::Engine::kAlgebraic ? "algebraic" : "naive";
+}
+
+const char* SemanticsName(path::PathSemantics s) {
+  return s == path::PathSemantics::kLiberal ? "liberal" : "restricted";
+}
+
+Status ParseEngine(std::string_view name, oql::Engine* out) {
+  if (name == "naive") {
+    *out = oql::Engine::kNaive;
+  } else if (name == "algebraic") {
+    *out = oql::Engine::kAlgebraic;
+  } else {
+    return Status::InvalidArgument("unknown engine: " + std::string(name) +
+                                   " (want \"naive\" or \"algebraic\")");
+  }
+  return Status::OK();
+}
+
+Status ParseSemantics(std::string_view name, path::PathSemantics* out) {
+  if (name == "restricted") {
+    *out = path::PathSemantics::kRestricted;
+  } else if (name == "liberal") {
+    *out = path::PathSemantics::kLiberal;
+  } else {
+    return Status::InvalidArgument(
+        "unknown semantics: " + std::string(name) +
+        " (want \"restricted\" or \"liberal\")");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> GetCount(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return uint64_t{0};
+  if (!v->is_integer() || v->AsInteger() < 0) {
+    return Status::InvalidArgument("\"" + std::string(key) +
+                                   "\" must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v->AsInteger());
+}
+
+}  // namespace
+
+// -- HTTP+JSON ---------------------------------------------------------
+
+std::string FormatQueryRequestJson(const QueryRequest& req) {
+  const auto& o = req.options;
+  std::string out = "{\"query\":" + JsonQuote(req.query);
+  out += ",\"engine\":\"" + std::string(EngineName(o.engine)) + "\"";
+  out += ",\"semantics\":\"" + std::string(SemanticsName(o.semantics)) + "\"";
+  if (!o.optimize) out += ",\"optimize\":false";
+  if (o.timeout_ms != 0) {
+    out += ",\"timeout_ms\":" + std::to_string(o.timeout_ms);
+  }
+  if (o.max_rows != 0) out += ",\"max_rows\":" + std::to_string(o.max_rows);
+  if (o.max_steps != 0) {
+    out += ",\"max_steps\":" + std::to_string(o.max_steps);
+  }
+  out += "}";
+  return out;
+}
+
+Result<QueryRequest> ParseQueryRequestJson(std::string_view body) {
+  SGMLQDB_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(body));
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("query request body must be an object");
+  }
+  const JsonValue* query = doc.Find("query");
+  if (query == nullptr || query->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(
+        "query request needs a string \"query\" member");
+  }
+  QueryRequest req;
+  req.query = query->AsString();
+  if (const JsonValue* e = doc.Find("engine"); e != nullptr) {
+    if (e->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("\"engine\" must be a string");
+    }
+    SGMLQDB_RETURN_IF_ERROR(ParseEngine(e->AsString(), &req.options.engine));
+  }
+  if (const JsonValue* s = doc.Find("semantics"); s != nullptr) {
+    if (s->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("\"semantics\" must be a string");
+    }
+    SGMLQDB_RETURN_IF_ERROR(
+        ParseSemantics(s->AsString(), &req.options.semantics));
+  }
+  if (const JsonValue* o = doc.Find("optimize"); o != nullptr) {
+    if (o->kind() != JsonValue::Kind::kBool) {
+      return Status::InvalidArgument("\"optimize\" must be a boolean");
+    }
+    req.options.optimize = o->AsBool();
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(req.options.timeout_ms,
+                           GetCount(doc, "timeout_ms"));
+  SGMLQDB_ASSIGN_OR_RETURN(req.options.max_rows, GetCount(doc, "max_rows"));
+  SGMLQDB_ASSIGN_OR_RETURN(req.options.max_steps, GetCount(doc, "max_steps"));
+  return req;
+}
+
+std::string FormatIngestRequestJson(const IngestRequest& req) {
+  using Kind = QueryService::IngestOp::Kind;
+  std::string out = "{\"ops\":[";
+  bool first = true;
+  for (const auto& op : req.ops) {
+    if (!first) out.push_back(',');
+    first = false;
+    const char* kind = op.kind == Kind::kLoad      ? "load"
+                       : op.kind == Kind::kReplace ? "replace"
+                                                   : "remove";
+    out += "{\"op\":\"" + std::string(kind) + "\"";
+    if (!op.name.empty()) out += ",\"name\":" + JsonQuote(op.name);
+    if (op.kind != Kind::kRemove) out += ",\"sgml\":" + JsonQuote(op.sgml);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Result<IngestRequest> ParseIngestRequestJson(std::string_view body) {
+  using Kind = QueryService::IngestOp::Kind;
+  SGMLQDB_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(body));
+  if (doc.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("ingest request body must be an object");
+  }
+  const JsonValue* ops = doc.Find("ops");
+  if (ops == nullptr || ops->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "ingest request needs an array \"ops\" member");
+  }
+  IngestRequest req;
+  req.ops.reserve(ops->items().size());
+  for (const JsonValue& item : ops->items()) {
+    if (item.kind() != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("each ingest op must be an object");
+    }
+    const JsonValue* op = item.Find("op");
+    if (op == nullptr || op->kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument(
+          "each ingest op needs a string \"op\" member");
+    }
+    QueryService::IngestOp out;
+    const std::string& kind = op->AsString();
+    if (kind == "load") {
+      out.kind = Kind::kLoad;
+    } else if (kind == "replace") {
+      out.kind = Kind::kReplace;
+    } else if (kind == "remove") {
+      out.kind = Kind::kRemove;
+    } else {
+      return Status::InvalidArgument(
+          "unknown ingest op: " + kind +
+          " (want \"load\", \"replace\" or \"remove\")");
+    }
+    if (const JsonValue* name = item.Find("name"); name != nullptr) {
+      if (name->kind() != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("ingest op \"name\" must be a string");
+      }
+      out.name = name->AsString();
+    }
+    if (const JsonValue* sgml = item.Find("sgml"); sgml != nullptr) {
+      if (sgml->kind() != JsonValue::Kind::kString) {
+        return Status::InvalidArgument("ingest op \"sgml\" must be a string");
+      }
+      out.sgml = sgml->AsString();
+    }
+    if (out.kind != Kind::kLoad && out.name.empty()) {
+      return Status::InvalidArgument("replace/remove ops need a \"name\"");
+    }
+    if (out.kind != Kind::kRemove && out.sgml.empty()) {
+      return Status::InvalidArgument("load/replace ops need \"sgml\" text");
+    }
+    req.ops.push_back(std::move(out));
+  }
+  if (req.ops.empty()) {
+    return Status::InvalidArgument("ingest request has no ops");
+  }
+  return req;
+}
+
+std::string FormatQueryResultJson(size_t rows, uint64_t micros,
+                                  std::string_view result_text) {
+  return "{\"ok\":true,\"rows\":" + std::to_string(rows) +
+         ",\"micros\":" + std::to_string(micros) +
+         ",\"result\":" + JsonQuote(result_text) + "}";
+}
+
+std::string FormatErrorJson(const Status& status) {
+  return std::string("{\"ok\":false,\"code\":\"") +
+         StatusCodeToString(status.code()) +
+         "\",\"error\":" + JsonQuote(status.message()) + "}";
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kNotFound:
+    case StatusCode::kConstraintViolation:
+      return 400;
+    case StatusCode::kUnsupported:
+      return 501;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+// -- Binary ------------------------------------------------------------
+
+namespace {
+
+void AppendQueryOptions(std::string* out,
+                        const QueryService::QueryOptions& o) {
+  out->push_back(
+      static_cast<char>(o.engine == oql::Engine::kAlgebraic ? 1 : 0));
+  out->push_back(static_cast<char>(
+      o.semantics == path::PathSemantics::kLiberal ? 1 : 0));
+  out->push_back(static_cast<char>(o.optimize ? 1 : 0));
+  out->push_back(0);  // reserved
+}
+
+Status ReadQueryOptions(const char* p, QueryService::QueryOptions* o) {
+  if (static_cast<unsigned char>(p[0]) > 1 ||
+      static_cast<unsigned char>(p[1]) > 1 ||
+      static_cast<unsigned char>(p[2]) > 1 || p[3] != 0) {
+    return Status::InvalidArgument("malformed query option bytes");
+  }
+  o->engine = p[0] == 1 ? oql::Engine::kAlgebraic : oql::Engine::kNaive;
+  o->semantics = p[1] == 1 ? path::PathSemantics::kLiberal
+                           : path::PathSemantics::kRestricted;
+  o->optimize = p[2] == 1;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeQueryBody(const QueryRequest& req) {
+  std::string out;
+  out.reserve(16 + req.query.size());
+  AppendQueryOptions(&out, req.options);
+  AppendU32(&out, static_cast<uint32_t>(req.options.timeout_ms));
+  AppendU32(&out, static_cast<uint32_t>(req.options.max_rows));
+  AppendU32(&out, static_cast<uint32_t>(req.options.max_steps));
+  out += req.query;
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryBody(std::string_view body) {
+  if (body.size() < 16) {
+    return Status::InvalidArgument("query frame body shorter than 16 bytes");
+  }
+  QueryRequest req;
+  SGMLQDB_RETURN_IF_ERROR(ReadQueryOptions(body.data(), &req.options));
+  req.options.timeout_ms = ReadU32(body.data() + 4);
+  req.options.max_rows = ReadU32(body.data() + 8);
+  req.options.max_steps = ReadU32(body.data() + 12);
+  req.query = std::string(body.substr(16));
+  if (req.query.empty()) {
+    return Status::InvalidArgument("query frame has empty statement text");
+  }
+  return req;
+}
+
+std::string EncodePrepareBody(uint32_t stmt_id, const QueryRequest& req) {
+  std::string out;
+  out.reserve(8 + req.query.size());
+  AppendU32(&out, stmt_id);
+  AppendQueryOptions(&out, req.options);
+  out += req.query;
+  return out;
+}
+
+Result<PrepareBody> DecodePrepareBody(std::string_view body) {
+  if (body.size() < 8) {
+    return Status::InvalidArgument(
+        "prepare frame body shorter than 8 bytes");
+  }
+  PrepareBody out;
+  out.stmt_id = ReadU32(body.data());
+  SGMLQDB_RETURN_IF_ERROR(ReadQueryOptions(body.data() + 4, &out.req.options));
+  out.req.query = std::string(body.substr(8));
+  if (out.req.query.empty()) {
+    return Status::InvalidArgument("prepare frame has empty statement text");
+  }
+  return out;
+}
+
+std::string EncodeExecuteBody(uint32_t stmt_id, uint32_t timeout_ms) {
+  std::string out;
+  AppendU32(&out, stmt_id);
+  AppendU32(&out, timeout_ms);
+  return out;
+}
+
+Result<ExecuteBody> DecodeExecuteBody(std::string_view body) {
+  if (body.size() != 8) {
+    return Status::InvalidArgument("execute frame body must be 8 bytes");
+  }
+  ExecuteBody out;
+  out.stmt_id = ReadU32(body.data());
+  out.timeout_ms = ReadU32(body.data() + 4);
+  return out;
+}
+
+std::string EncodeReplyBody(const Status& status, size_t rows,
+                            std::string_view result_text) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  if (status.ok()) {
+    AppendU32(&out, static_cast<uint32_t>(rows));
+    out.append(result_text.data(), result_text.size());
+  } else {
+    out += status.message();
+  }
+  return out;
+}
+
+Result<ReplyBody> DecodeReplyBody(std::string_view body) {
+  if (body.empty()) {
+    return Status::InvalidArgument("empty reply frame body");
+  }
+  ReplyBody out;
+  out.code = static_cast<StatusCode>(static_cast<unsigned char>(body[0]));
+  if (out.code == StatusCode::kOk) {
+    if (body.size() < 5) {
+      return Status::InvalidArgument("truncated OK reply frame");
+    }
+    out.rows = ReadU32(body.data() + 1);
+    out.text = std::string(body.substr(5));
+  } else {
+    out.text = std::string(body.substr(1));
+  }
+  return out;
+}
+
+}  // namespace sgmlqdb::net

@@ -1,0 +1,99 @@
+// The shared request/response formatting layer: one definition of
+// what a query or ingest request looks like on the wire, used by the
+// server (parsing), the clients in net/client.h, the load harness
+// (bench/bench_net) and the in-process drivers — so every front end
+// replays byte-identical workloads.
+//
+// HTTP+JSON bodies:
+//   POST /query   {"query": "...", "engine": "naive"|"algebraic",
+//                  "semantics": "restricted"|"liberal",
+//                  "optimize": true, "timeout_ms": 0,
+//                  "max_rows": 0, "max_steps": 0}
+//   POST /ingest  {"ops": [{"op": "load"|"replace"|"remove",
+//                           "name": "...", "sgml": "..."}]}
+//
+// Binary bodies (after the frame.h opcode + req_id header; integers
+// little-endian):
+//   kQuery    u8 engine, u8 semantics, u8 optimize, u8 reserved,
+//             u32 timeout_ms, u32 max_rows, u32 max_steps, rest = OQL
+//   kPrepare  u32 stmt_id, u8 engine, u8 semantics, u8 optimize,
+//             u8 reserved, rest = OQL
+//   kExecute  u32 stmt_id, u32 timeout_ms
+//   kPing     (empty)
+//   kReply    u8 status code; on success rest = u32 rows, result
+//             text; on error rest = message
+
+#ifndef SGMLQDB_NET_WIRE_FORMAT_H_
+#define SGMLQDB_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "net/frame.h"
+#include "service/query_service.h"
+
+namespace sgmlqdb::net {
+
+/// One query request, front-end independent.
+struct QueryRequest {
+  std::string query;
+  service::QueryService::QueryOptions options;
+};
+
+/// One ingest request (a batch published atomically).
+struct IngestRequest {
+  std::vector<service::QueryService::IngestOp> ops;
+};
+
+// -- HTTP+JSON ---------------------------------------------------------
+
+std::string FormatQueryRequestJson(const QueryRequest& req);
+Result<QueryRequest> ParseQueryRequestJson(std::string_view body);
+
+std::string FormatIngestRequestJson(const IngestRequest& req);
+Result<IngestRequest> ParseIngestRequestJson(std::string_view body);
+
+/// {"ok":true,"rows":N,"micros":M,"result":"..."}
+std::string FormatQueryResultJson(size_t rows, uint64_t micros,
+                                  std::string_view result_text);
+/// {"ok":false,"code":"DeadlineExceeded","error":"..."}
+std::string FormatErrorJson(const Status& status);
+
+/// Maps a Status code onto the HTTP response status the server
+/// answers with (Unavailable -> 503, DeadlineExceeded -> 504, ...).
+int HttpStatusFor(StatusCode code);
+
+// -- Binary ------------------------------------------------------------
+
+std::string EncodeQueryBody(const QueryRequest& req);
+Result<QueryRequest> DecodeQueryBody(std::string_view body);
+
+std::string EncodePrepareBody(uint32_t stmt_id, const QueryRequest& req);
+struct PrepareBody {
+  uint32_t stmt_id = 0;
+  QueryRequest req;  // query text + engine/semantics/optimize
+};
+Result<PrepareBody> DecodePrepareBody(std::string_view body);
+
+std::string EncodeExecuteBody(uint32_t stmt_id, uint32_t timeout_ms);
+struct ExecuteBody {
+  uint32_t stmt_id = 0;
+  uint32_t timeout_ms = 0;
+};
+Result<ExecuteBody> DecodeExecuteBody(std::string_view body);
+
+std::string EncodeReplyBody(const Status& status, size_t rows,
+                            std::string_view result_text);
+struct ReplyBody {
+  StatusCode code = StatusCode::kOk;
+  uint32_t rows = 0;
+  std::string text;  // result text on OK, error message otherwise
+};
+Result<ReplyBody> DecodeReplyBody(std::string_view body);
+
+}  // namespace sgmlqdb::net
+
+#endif  // SGMLQDB_NET_WIRE_FORMAT_H_

@@ -17,12 +17,6 @@ size_t ResolveThreads(size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-std::future<Result<om::Value>> ReadyFuture(Status status) {
-  std::promise<Result<om::Value>> promise;
-  promise.set_value(Result<om::Value>(std::move(status)));
-  return promise.get_future();
-}
-
 size_t RowsOf(const Result<om::Value>& r) {
   if (!r.ok()) return 0;
   om::ValueKind kind = r->kind();
@@ -134,18 +128,37 @@ std::future<Result<om::Value>> QueryService::Execute(
 
 QueryService::Ticket QueryService::Submit(std::string oql,
                                           const QueryOptions& options) {
+  auto promise = std::make_shared<std::promise<Result<om::Value>>>();
+  std::future<Result<om::Value>> future = promise->get_future();
+  uint64_t id = SubmitAsync(
+      std::move(oql), options,
+      [promise](uint64_t, Result<om::Value> r) {
+        promise->set_value(std::move(r));
+      });
+  return {id, std::move(future)};
+}
+
+uint64_t QueryService::SubmitAsync(std::string oql,
+                                   const QueryOptions& options,
+                                   Completion done) {
   if (!serving_.load()) {
-    return {0, ReadyFuture(Status::Unavailable("query service is shut down"))};
+    done(0, Result<om::Value>(
+                Status::Unavailable("query service is shut down")));
+    return 0;
   }
   Status valid = DocumentStore::ValidateOptions(options);
-  if (!valid.ok()) return {0, ReadyFuture(std::move(valid))};
+  if (!valid.ok()) {
+    done(0, Result<om::Value>(std::move(valid)));
+    return 0;
+  }
   // Fault site: a failed enqueue surfaces as a fast rejection, before
   // any admission slot is taken.
   if (fault::AnyArmed()) {
     Status injected = fault::Inject("pool.submit");
     if (!injected.ok()) {
       stats_.RecordRejected();
-      return {0, ReadyFuture(std::move(injected))};
+      done(0, Result<om::Value>(std::move(injected)));
+      return 0;
     }
   }
   // Admission control: reserve a slot or fail fast. The CAS loop keeps
@@ -154,11 +167,12 @@ QueryService::Ticket QueryService::Submit(std::string oql,
   do {
     if (depth >= options_.max_queue_depth) {
       stats_.RecordRejected();
-      return {0, ReadyFuture(Status::Unavailable(
-                     "query service overloaded: " + std::to_string(depth) +
-                     " statements in flight (max_queue_depth=" +
-                     std::to_string(options_.max_queue_depth) +
-                     "); retry later"))};
+      done(0, Result<om::Value>(Status::Unavailable(
+                  "query service overloaded: " + std::to_string(depth) +
+                  " statements in flight (max_queue_depth=" +
+                  std::to_string(options_.max_queue_depth) +
+                  "); retry later")));
+      return 0;
     }
   } while (!inflight_.compare_exchange_weak(depth, depth + 1));
   // Every admitted query gets a guard (even without limits: Cancel
@@ -172,17 +186,17 @@ QueryService::Ticket QueryService::Submit(std::string oql,
     active_.emplace(id, guard);
   }
   if (guard->has_deadline()) watchdog_cv_.notify_all();
-  auto future = pool_.Submit(
-      [this, oql = std::move(oql), options, id, guard]() -> Result<om::Value> {
-        Result<om::Value> r = RunOne(oql, options, guard.get());
-        {
-          std::lock_guard<std::mutex> lock(active_mu_);
-          active_.erase(id);
-        }
-        inflight_.fetch_sub(1);
-        return r;
-      });
-  return {id, std::move(future)};
+  pool_.Submit([this, oql = std::move(oql), options, id, guard,
+                done = std::move(done)]() {
+    Result<om::Value> r = RunOne(oql, options, guard.get());
+    {
+      std::lock_guard<std::mutex> lock(active_mu_);
+      active_.erase(id);
+    }
+    inflight_.fetch_sub(1);
+    done(id, std::move(r));
+  });
+  return id;
 }
 
 Result<om::Value> QueryService::ExecuteSync(std::string oql,

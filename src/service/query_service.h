@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -117,6 +118,19 @@ class QueryService {
   /// Execute, but also returns the query id so the caller can Cancel
   /// the statement while it is queued or running.
   Ticket Submit(std::string oql, const QueryOptions& options = {});
+
+  /// Completion handed to SubmitAsync: receives the query id (0 when
+  /// the statement was rejected before admission) and the result.
+  using Completion = std::function<void(uint64_t, Result<om::Value>)>;
+
+  /// Callback-style submission for event-driven callers (the network
+  /// server): `done` is invoked exactly once — from the worker thread
+  /// on completion, or inline from the calling thread when the
+  /// statement is rejected before admission (shutdown, invalid
+  /// options, admission control). Returns the query id for Cancel,
+  /// 0 on rejection.
+  uint64_t SubmitAsync(std::string oql, const QueryOptions& options,
+                       Completion done);
 
   /// Trips the guard of an in-flight (queued or running) query: its
   /// evaluation stops cooperatively at the next probe and its future

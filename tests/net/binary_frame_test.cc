@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/frame.h"
+#include "net/wire_format.h"
+
+namespace sgmlqdb::net {
+namespace {
+
+TEST(FrameParserTest, RoundTripsOneFrame) {
+  FrameParser p;
+  p.Append(EncodeFrame(Opcode::kQuery, 7, "body bytes"));
+  Frame f;
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(f.opcode, static_cast<uint8_t>(Opcode::kQuery));
+  EXPECT_EQ(f.req_id, 7u);
+  EXPECT_EQ(f.body, "body bytes");
+  EXPECT_EQ(p.Next(&f), FrameParser::Outcome::kNeedMore);
+}
+
+TEST(FrameParserTest, ByteAtATime) {
+  const std::string wire = EncodeFrame(Opcode::kPing, 42, "");
+  FrameParser p;
+  Frame f;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    p.Append(wire.substr(i, 1));
+    ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kNeedMore) << i;
+  }
+  p.Append(wire.substr(wire.size() - 1));
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(f.req_id, 42u);
+}
+
+TEST(FrameParserTest, PipelinedFrames) {
+  FrameParser p;
+  p.Append(EncodeFrame(Opcode::kQuery, 1, "a") +
+           EncodeFrame(Opcode::kExecute, 2, "bb") +
+           EncodeFrame(Opcode::kPing, 3, ""));
+  Frame f;
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(f.req_id, 1u);
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(f.req_id, 2u);
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kFrame);
+  EXPECT_EQ(f.req_id, 3u);
+}
+
+TEST(FrameParserTest, UndersizedLengthIsPoisoned) {
+  FrameParser p;
+  std::string wire;
+  AppendU32(&wire, 2);  // below the 5-byte opcode+req_id minimum
+  wire += "xx";
+  p.Append(wire);
+  Frame f;
+  ASSERT_EQ(p.Next(&f), FrameParser::Outcome::kError);
+  // Poisoned: even a valid frame afterwards stays an error.
+  p.Append(EncodeFrame(Opcode::kPing, 1, ""));
+  EXPECT_EQ(p.Next(&f), FrameParser::Outcome::kError);
+}
+
+TEST(FrameParserTest, OversizedLengthIsRejectedEagerly) {
+  FrameParser p(/*max_frame_bytes=*/1024);
+  std::string wire;
+  AppendU32(&wire, 100 * 1024 * 1024);
+  p.Append(wire);  // only the length prefix — rejected without a body
+  Frame f;
+  EXPECT_EQ(p.Next(&f), FrameParser::Outcome::kError);
+}
+
+TEST(WireFormatTest, QueryBodyRoundTrips) {
+  QueryRequest req;
+  req.query = "select t from doc0 .. title(t)";
+  req.options.engine = oql::Engine::kAlgebraic;
+  req.options.timeout_ms = 250;
+  req.options.max_rows = 10;
+  Result<QueryRequest> back = DecodeQueryBody(EncodeQueryBody(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->query, req.query);
+  EXPECT_EQ(back->options.engine, oql::Engine::kAlgebraic);
+  EXPECT_EQ(back->options.timeout_ms, 250u);
+  EXPECT_EQ(back->options.max_rows, 10u);
+}
+
+TEST(WireFormatTest, PrepareExecuteBodiesRoundTrip) {
+  QueryRequest req;
+  req.query = "select a from a in Articles";
+  Result<PrepareBody> prep =
+      DecodePrepareBody(EncodePrepareBody(9, req));
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep->stmt_id, 9u);
+  EXPECT_EQ(prep->req.query, req.query);
+
+  Result<ExecuteBody> exec =
+      DecodeExecuteBody(EncodeExecuteBody(9, 500));
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->stmt_id, 9u);
+  EXPECT_EQ(exec->timeout_ms, 500u);
+}
+
+TEST(WireFormatTest, TruncatedBodiesAreErrors) {
+  EXPECT_FALSE(DecodeQueryBody("").ok());
+  EXPECT_FALSE(DecodeQueryBody("shrt").ok());
+  EXPECT_FALSE(DecodePrepareBody("abc").ok());
+  EXPECT_FALSE(DecodeExecuteBody("1234567").ok());   // needs exactly 8
+  EXPECT_FALSE(DecodeExecuteBody("123456789").ok());
+  EXPECT_FALSE(DecodeReplyBody("").ok());
+}
+
+TEST(WireFormatTest, ReplyBodyRoundTripsBothArms) {
+  Result<ReplyBody> ok =
+      DecodeReplyBody(EncodeReplyBody(Status::OK(), 3, "rows here"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->code, StatusCode::kOk);
+  EXPECT_EQ(ok->rows, 3u);
+  EXPECT_EQ(ok->text, "rows here");
+
+  Result<ReplyBody> err = DecodeReplyBody(
+      EncodeReplyBody(Status::Unavailable("overloaded"), 0, ""));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, StatusCode::kUnavailable);
+  EXPECT_EQ(err->text, "overloaded");
+}
+
+TEST(WireFormatTest, QueryRequestJsonRoundTrips) {
+  QueryRequest req;
+  req.query = "select \"quoted\" from doc0";
+  req.options.engine = oql::Engine::kAlgebraic;
+  req.options.optimize = false;
+  req.options.timeout_ms = 100;
+  Result<QueryRequest> back =
+      ParseQueryRequestJson(FormatQueryRequestJson(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->query, req.query);
+  EXPECT_EQ(back->options.engine, oql::Engine::kAlgebraic);
+  EXPECT_FALSE(back->options.optimize);
+  EXPECT_EQ(back->options.timeout_ms, 100u);
+}
+
+TEST(WireFormatTest, QueryRequestJsonRejectsBadInput) {
+  EXPECT_FALSE(ParseQueryRequestJson("not json").ok());
+  EXPECT_FALSE(ParseQueryRequestJson("{}").ok());  // missing query
+  EXPECT_FALSE(ParseQueryRequestJson(R"({"query": 42})").ok());
+  EXPECT_FALSE(
+      ParseQueryRequestJson(R"({"query":"x","engine":"warp"})").ok());
+  EXPECT_FALSE(
+      ParseQueryRequestJson(R"({"query":"x","timeout_ms":-5})").ok());
+}
+
+TEST(WireFormatTest, IngestRequestJsonRoundTrips) {
+  IngestRequest req;
+  req.ops.push_back(service::QueryService::IngestOp::Load("<doc/>", "d1"));
+  req.ops.push_back(service::QueryService::IngestOp::Remove("d2"));
+  Result<IngestRequest> back =
+      ParseIngestRequestJson(FormatIngestRequestJson(req));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->ops.size(), 2u);
+  EXPECT_EQ(back->ops[0].sgml, "<doc/>");
+  EXPECT_EQ(back->ops[0].name, "d1");
+  EXPECT_EQ(back->ops[1].kind,
+            service::QueryService::IngestOp::Kind::kRemove);
+}
+
+TEST(WireFormatTest, IngestRequestJsonRejectsBadInput) {
+  EXPECT_FALSE(ParseIngestRequestJson(R"({"ops":[]})").ok());
+  EXPECT_FALSE(
+      ParseIngestRequestJson(R"({"ops":[{"op":"evaporate"}]})").ok());
+  // replace/remove require a name.
+  EXPECT_FALSE(
+      ParseIngestRequestJson(R"({"ops":[{"op":"remove"}]})").ok());
+}
+
+TEST(WireFormatTest, HttpStatusMapping) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kParseError), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInternal), 500);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::net

@@ -1,0 +1,160 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sgmlqdb::net {
+namespace {
+
+HttpRequestParser::Outcome Feed(HttpRequestParser& p, std::string_view bytes,
+                                HttpRequest* out) {
+  p.Append(bytes);
+  return p.Next(out);
+}
+
+TEST(HttpParserTest, SimpleGet) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(req.Header("host"), "x");  // case-insensitive
+  EXPECT_EQ(p.Next(&req), HttpRequestParser::Outcome::kNeedMore);
+}
+
+TEST(HttpParserTest, PostBodyArrivesInFragments) {
+  HttpRequestParser p;
+  HttpRequest req;
+  const std::string msg =
+      "POST /query HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  // One byte at a time: every prefix is kNeedMore until the last.
+  for (size_t i = 0; i + 1 < msg.size(); ++i) {
+    ASSERT_EQ(Feed(p, msg.substr(i, 1), &req),
+              HttpRequestParser::Outcome::kNeedMore)
+        << "at byte " << i;
+  }
+  ASSERT_EQ(Feed(p, msg.substr(msg.size() - 1), &req),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.body, "hello world");
+}
+
+TEST(HttpParserTest, PipelinedRequests) {
+  HttpRequestParser p;
+  HttpRequest req;
+  p.Append(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(p.Next(&req), HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/a");
+  ASSERT_EQ(p.Next(&req), HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/b");
+  EXPECT_EQ(req.body, "ok");
+  ASSERT_EQ(p.Next(&req), HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.target, "/c");
+  EXPECT_FALSE(req.keep_alive);
+  EXPECT_EQ(p.Next(&req), HttpRequestParser::Outcome::kNeedMore);
+}
+
+TEST(HttpParserTest, PathStripsQuery) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p, "GET /stats?format=json HTTP/1.1\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_EQ(req.Path(), "/stats");
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p, "NOT A REQUEST\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 400);
+  // Poisoned: more bytes never produce a request.
+  ASSERT_EQ(Feed(p, "GET / HTTP/1.1\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kError);
+}
+
+TEST(HttpParserTest, BadContentLengthIs400) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(
+      Feed(p, "POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n", &req),
+      HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 400);
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpRequestParser p;
+  HttpRequest req;
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big += std::string(64 * 1024, 'a');
+  ASSERT_EQ(Feed(p, big, &req), HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413BeforeBuffering) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 1024;
+  HttpRequestParser p(limits);
+  HttpRequest req;
+  // The declared length alone trips the limit — no body bytes needed.
+  ASSERT_EQ(Feed(p, "POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+                 &req),
+            HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 413);
+}
+
+TEST(HttpParserTest, ChunkedIs501) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p,
+                 "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                 &req),
+            HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 501);
+}
+
+TEST(HttpParserTest, Http2PrefaceIs505) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p, "GET / HTTP/2.0\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kError);
+  EXPECT_EQ(p.http_status(), 505);
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpRequestParser p;
+  HttpRequest req;
+  ASSERT_EQ(Feed(p, "GET / HTTP/1.0\r\n\r\n", &req),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_FALSE(req.keep_alive);
+  HttpRequestParser p2;
+  ASSERT_EQ(Feed(p2, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                 &req),
+            HttpRequestParser::Outcome::kRequest);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpFormatTest, ResponseShape) {
+  const std::string resp =
+      FormatHttpResponse(200, "OK", "application/json", "{}", true);
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 6), "\r\n\r\n{}");
+  const std::string closing =
+      FormatHttpResponse(400, "Bad Request", "text/plain", "no", false);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpFormatTest, ReasonPhrases) {
+  EXPECT_EQ(HttpReasonPhrase(200), "OK");
+  EXPECT_EQ(HttpReasonPhrase(503), "Service Unavailable");
+  EXPECT_EQ(HttpReasonPhrase(77), "Error");
+}
+
+}  // namespace
+}  // namespace sgmlqdb::net

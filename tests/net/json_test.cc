@@ -1,0 +1,88 @@
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sgmlqdb::net {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  Result<JsonValue> n = JsonValue::Parse("42");
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n->is_integer());
+  EXPECT_EQ(n->AsInteger(), 42);
+  Result<JsonValue> d = JsonValue::Parse("-2.5e2");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->is_integer());
+  EXPECT_DOUBLE_EQ(d->AsNumber(), -250.0);
+}
+
+TEST(JsonParseTest, StringsAndEscapes) {
+  Result<JsonValue> s = JsonValue::Parse(R"("a\"b\\c\n\t")");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->AsString(), "a\"b\\c\n\t");
+  // \uXXXX including a surrogate pair (U+1F600).
+  Result<JsonValue> u = JsonValue::Parse(R"("\u0041\uD83D\uDE00")");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->AsString(), "A\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, ObjectsAndArrays) {
+  Result<JsonValue> v =
+      JsonValue::Parse(R"({"a":[1,2,3],"b":{"c":"x"},"d":null})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_NE(v->Find("a"), nullptr);
+  EXPECT_EQ(v->Find("a")->items().size(), 3u);
+  ASSERT_NE(v->Find("b"), nullptr);
+  EXPECT_EQ(v->Find("b")->Find("c")->AsString(), "x");
+  EXPECT_TRUE(v->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  const char* bad[] = {
+      "",         "{",          "[1,2",        "{\"a\":}",
+      "tru",      "01",         "1.",          "\"unterminated",
+      "{\"a\" 1}", "[1,]",      "nan",         "\"bad \\q escape\"",
+      "\"\\uD800\"",            // unpaired surrogate
+      "\x01",                   // control character
+      "1 2",                    // trailing garbage
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+}
+
+TEST(JsonParseTest, DepthCapStopsRecursion) {
+  std::string deep(2000, '[');
+  deep += std::string(2000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // Under the cap parses fine.
+  std::string ok(10, '[');
+  ok += "1";
+  ok += std::string(10, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonSerializeTest, RoundTrips) {
+  const std::string text =
+      R"({"a":[1,2.5,"x\"y"],"b":true,"c":null,"n":-7})";
+  Result<JsonValue> v = JsonValue::Parse(text);
+  ASSERT_TRUE(v.ok());
+  Result<JsonValue> again = JsonValue::Parse(v->Serialize());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Serialize(), v->Serialize());
+}
+
+TEST(JsonQuoteTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonQuote("tab\there"), "\"tab\\there\"");
+}
+
+}  // namespace
+}  // namespace sgmlqdb::net

@@ -1,0 +1,442 @@
+// End-to-end tests of the network serving layer over real sockets:
+// both protocols round-trip, malformed input answers a structured
+// error and closes (never crashes — this file also runs under
+// ASan/UBSan and TSan via scripts/tier1.sh), admission-control
+// saturation surfaces as 503/BUSY, and closing a connection cancels
+// its in-flight statement.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "base/fault_injection.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::net {
+namespace {
+
+using service::QueryService;
+
+const char kScanQuery[] = "select a from a in Articles";
+const char kNavQuery[] = "select t from d .. title(t)";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<DocumentStore>();
+    ASSERT_TRUE(store_->LoadDtd(sgml::ArticleDtdText()).ok());
+    ASSERT_TRUE(
+        store_->LoadDocument(sgml::ArticleDocumentText(), "d").ok());
+    ASSERT_TRUE(store_->LoadDocument(sgml::ArticleDocumentV2Text()).ok());
+    QueryService::Options options;
+    options.num_threads = 2;
+    service_ = std::make_unique<QueryService>(*store_, options);
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    fault::DisarmAll();
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    server_ = std::make_unique<Server>(*service_, options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->http_port(), 0);
+    ASSERT_NE(server_->binary_port(), 0);
+  }
+
+  HttpClient Http() {
+    HttpClient c;
+    EXPECT_TRUE(c.Connect("127.0.0.1", server_->http_port()).ok());
+    return c;
+  }
+
+  BinaryClient Binary() {
+    BinaryClient c;
+    EXPECT_TRUE(c.Connect("127.0.0.1", server_->binary_port()).ok());
+    return c;
+  }
+
+  static QueryRequest Req(const char* text) {
+    QueryRequest req;
+    req.query = text;
+    return req;
+  }
+
+  std::unique_ptr<DocumentStore> store_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+// -- HTTP front end ----------------------------------------------------
+
+TEST_F(ServerTest, HealthzAndStats) {
+  StartServer();
+  HttpClient c = Http();
+  Result<HttpClient::Response> health = c.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  Result<HttpClient::Response> stats = c.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  Result<JsonValue> parsed = JsonValue::Parse(stats->body);
+  ASSERT_TRUE(parsed.ok()) << stats->body;
+  ASSERT_NE(parsed->Find("server"), nullptr);
+  ASSERT_NE(parsed->Find("service"), nullptr);
+  ASSERT_NE(parsed->Find("store"), nullptr);
+  EXPECT_GE(parsed->Find("store")->Find("documents")->AsInteger(), 2);
+}
+
+TEST_F(ServerTest, HttpQueryRoundTripAndKeepAlive) {
+  StartServer();
+  HttpClient c = Http();
+  // Several requests over one connection: keep-alive works.
+  for (int i = 0; i < 3; ++i) {
+    Result<HttpClient::Response> resp =
+        c.Post("/query", FormatQueryRequestJson(Req(kScanQuery)));
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_EQ(resp->status, 200) << resp->body;
+    Result<JsonValue> body = JsonValue::Parse(resp->body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_TRUE(body->Find("ok")->AsBool());
+    EXPECT_GE(body->Find("rows")->AsInteger(), 1);
+  }
+  EXPECT_EQ(server_->stats().Get().http_requests, 3u);
+  EXPECT_EQ(server_->stats().Get().accepted, 1u);
+}
+
+TEST_F(ServerTest, HttpIngestGrowsTheStore) {
+  StartServer();
+  HttpClient c = Http();
+  const int64_t docs_before = [&] {
+    Result<HttpClient::Response> stats = c.Get("/stats");
+    return JsonValue::Parse(stats->body)
+        ->Find("store")
+        ->Find("documents")
+        ->AsInteger();
+  }();
+  IngestRequest ingest;
+  ingest.ops.push_back(QueryService::IngestOp::Load(
+      std::string(sgml::ArticleDocumentText())));
+  Result<HttpClient::Response> resp =
+      c.Post("/ingest", FormatIngestRequestJson(ingest));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200) << resp->body;
+  Result<JsonValue> body = JsonValue::Parse(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE(body->Find("ok")->AsBool());
+  EXPECT_GT(body->Find("epoch")->AsInteger(), 0);
+  Result<HttpClient::Response> stats = c.Get("/stats");
+  EXPECT_EQ(JsonValue::Parse(stats->body)
+                ->Find("store")
+                ->Find("documents")
+                ->AsInteger(),
+            docs_before + 1);
+}
+
+TEST_F(ServerTest, HttpQueryErrorsMapToStatusCodes) {
+  StartServer();
+  HttpClient c = Http();
+  // A parse error in the statement itself: 400 with a structured body.
+  Result<HttpClient::Response> bad_oql =
+      c.Post("/query", FormatQueryRequestJson(Req("select select ((")));
+  ASSERT_TRUE(bad_oql.ok());
+  EXPECT_EQ(bad_oql->status, 400);
+  Result<JsonValue> body = JsonValue::Parse(bad_oql->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(body->Find("ok")->AsBool());
+  EXPECT_FALSE(body->Find("code")->AsString().empty());
+
+  EXPECT_EQ(c.Get("/nowhere")->status, 404);
+  EXPECT_EQ(c.Post("/healthz", "x", "text/plain")->status, 405);
+}
+
+// -- Malformed HTTP input (satellite: edge-case tests) -----------------
+
+TEST_F(ServerTest, BadJsonBodyIs400AndConnectionSurvives) {
+  StartServer();
+  HttpClient c = Http();
+  Result<HttpClient::Response> resp =
+      c.Post("/query", "{\"query\": \"unterminated");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  // Body errors are request-level: the connection keeps serving.
+  EXPECT_EQ(c.Get("/healthz")->status, 200);
+}
+
+TEST_F(ServerTest, MalformedRequestLineIs400AndCloses) {
+  StartServer();
+  HttpClient c = Http();
+  ASSERT_TRUE(c.SendRaw("THIS IS NOT HTTP\r\n\r\n").ok());
+  const std::string raw = c.RecvSome();
+  EXPECT_NE(raw.find("HTTP/1.1 400"), std::string::npos) << raw;
+  EXPECT_GE(server_->stats().Get().malformed, 1u);
+}
+
+TEST_F(ServerTest, OversizedBodyIs413) {
+  ServerOptions options;
+  options.max_body_bytes = 1024;
+  StartServer(options);
+  HttpClient c = Http();
+  ASSERT_TRUE(c.SendRaw("POST /query HTTP/1.1\r\n"
+                        "Content-Length: 1000000\r\n\r\n")
+                  .ok());
+  const std::string raw = c.RecvSome();
+  EXPECT_NE(raw.find("HTTP/1.1 413"), std::string::npos) << raw;
+}
+
+TEST_F(ServerTest, TruncatedRequestThenDisconnectIsHarmless) {
+  StartServer();
+  {
+    HttpClient c = Http();
+    ASSERT_TRUE(c.SendRaw("POST /query HTTP/1.1\r\nContent-Le").ok());
+    c.Close();  // drop mid-header
+  }
+  {
+    HttpClient c = Http();
+    ASSERT_TRUE(
+        c.SendRaw("POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+                  "half a bo")
+            .ok());
+    c.Close();  // drop mid-body
+  }
+  // The server keeps serving new connections.
+  HttpClient c = Http();
+  EXPECT_EQ(c.Get("/healthz")->status, 200);
+}
+
+// -- Binary front end --------------------------------------------------
+
+TEST_F(ServerTest, BinaryPingAndQuery) {
+  StartServer();
+  BinaryClient c = Binary();
+  Result<ReplyBody> pong = c.Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+
+  Result<ReplyBody> reply = c.Query(Req(kScanQuery));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, StatusCode::kOk) << reply->text;
+  EXPECT_GE(reply->rows, 1u);
+  EXPECT_FALSE(reply->text.empty());
+}
+
+TEST_F(ServerTest, BinaryPrepareOnceExecuteMany) {
+  StartServer();
+  BinaryClient c = Binary();
+  Result<ReplyBody> prep = c.Prepare(1, Req(kScanQuery));
+  ASSERT_TRUE(prep.ok());
+  ASSERT_EQ(prep->code, StatusCode::kOk) << prep->text;
+  uint32_t rows_first = 0;
+  for (int i = 0; i < 5; ++i) {
+    Result<ReplyBody> reply = c.Execute(1);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->code, StatusCode::kOk) << reply->text;
+    if (i == 0) {
+      rows_first = reply->rows;
+    } else {
+      EXPECT_EQ(reply->rows, rows_first);  // same plan, same answer
+    }
+  }
+  // Repeated executions hit the service plan cache.
+  EXPECT_GT(service_->stats().total_cache_hits(), 0u);
+  // Executing an unknown statement id is a NotFound reply, not a
+  // connection error.
+  Result<ReplyBody> missing = c.Execute(999);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, BinaryPipeliningMatchesRepliesById) {
+  StartServer();
+  BinaryClient c = Binary();
+  // Fire several queries before reading any reply.
+  for (uint32_t id = 10; id < 15; ++id) {
+    ASSERT_TRUE(c.SendQuery(id, Req(kScanQuery)).ok());
+  }
+  bool seen[5] = {};
+  for (int i = 0; i < 5; ++i) {
+    Result<BinaryClient::Reply> reply = c.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_GE(reply->req_id, 10u);
+    ASSERT_LT(reply->req_id, 15u);
+    EXPECT_FALSE(seen[reply->req_id - 10]) << "duplicate reply";
+    seen[reply->req_id - 10] = true;
+    EXPECT_EQ(reply->body.code, StatusCode::kOk);
+  }
+}
+
+TEST_F(ServerTest, GarbageFrameAnswersErrorAndCloses) {
+  StartServer();
+  BinaryClient c = Binary();
+  std::string garbage;
+  AppendU32(&garbage, 2);  // length below the 5-byte minimum
+  garbage += "xy";
+  ASSERT_TRUE(c.SendRaw(garbage).ok());
+  Result<BinaryClient::Reply> reply = c.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->body.code, StatusCode::kOk);
+  // After the error reply the server closes the stream.
+  Result<BinaryClient::Reply> eof = c.ReadReply();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_GE(server_->stats().Get().malformed, 1u);
+}
+
+TEST_F(ServerTest, OversizedFrameIsRejected) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  StartServer(options);
+  BinaryClient c = Binary();
+  std::string huge;
+  AppendU32(&huge, 50 * 1024 * 1024);
+  ASSERT_TRUE(c.SendRaw(huge).ok());
+  Result<BinaryClient::Reply> reply = c.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply->body.code, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, UnknownOpcodeAnswersErrorAndCloses) {
+  StartServer();
+  BinaryClient c = Binary();
+  ASSERT_TRUE(
+      c.SendRaw(EncodeFrame(static_cast<Opcode>(0x7e), 5, "??")).ok());
+  Result<BinaryClient::Reply> reply = c.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->req_id, 5u);  // the offending request is identified
+  EXPECT_NE(reply->body.code, StatusCode::kOk);
+  EXPECT_FALSE(c.ReadReply().ok());
+}
+
+TEST_F(ServerTest, TruncatedBinaryBodyIsAReplyNotACrash) {
+  StartServer();
+  BinaryClient c = Binary();
+  // Valid frame envelope, garbage kQuery body (too short to decode).
+  ASSERT_TRUE(c.SendRaw(EncodeFrame(Opcode::kQuery, 6, "zz")).ok());
+  Result<BinaryClient::Reply> reply = c.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->req_id, 6u);
+  EXPECT_EQ(reply->body.code, StatusCode::kInvalidArgument);
+}
+
+// -- Backpressure + cancellation (satellite: robustness wiring) --------
+
+TEST_F(ServerTest, SaturationAnswers503OverHttp) {
+  StartServer();
+  fault::ScopedFault f(
+      "pool.submit", fault::FaultSpec{Status::Unavailable("overloaded")});
+  HttpClient c = Http();
+  Result<HttpClient::Response> resp =
+      c.Post("/query", FormatQueryRequestJson(Req(kScanQuery)));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 503);
+  Result<JsonValue> body = JsonValue::Parse(resp->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("code")->AsString(), "Unavailable");
+  EXPECT_GE(server_->stats().Get().busy_rejections, 1u);
+  // The connection survives rejection; a later request succeeds.
+  fault::DisarmAll();
+  EXPECT_EQ(c.Post("/query", FormatQueryRequestJson(Req(kScanQuery)))
+                ->status,
+            200);
+}
+
+TEST_F(ServerTest, SaturationAnswersBusyOverBinary) {
+  StartServer();
+  fault::ScopedFault f(
+      "pool.submit", fault::FaultSpec{Status::Unavailable("overloaded")});
+  BinaryClient c = Binary();
+  Result<ReplyBody> reply = c.Query(Req(kScanQuery));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, StatusCode::kUnavailable);
+  EXPECT_GE(server_->stats().Get().busy_rejections, 1u);
+  fault::DisarmAll();
+  Result<ReplyBody> again = c.Query(Req(kScanQuery));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->code, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, ClosingConnectionCancelsInflightStatement) {
+  StartServer();
+  // Every navigation sleeps, so kNavQuery stays in flight long enough
+  // for the disconnect to race ahead of its completion.
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 40;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  {
+    BinaryClient c = Binary();
+    ASSERT_TRUE(c.SendQuery(1, Req(kNavQuery)).ok());
+    // Give the server time to dispatch it into the worker pool.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    c.Close();
+  }
+  // The disconnect trips the statement's ExecGuard: it ends as
+  // kCancelled in the service taxonomy.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (server_->stats().Get().cancelled_on_disconnect >= 1 &&
+        service_->stats().total_cancelled() >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->stats().Get().cancelled_on_disconnect, 1u);
+  EXPECT_GE(service_->stats().total_cancelled(), 1u);
+}
+
+TEST_F(ServerTest, PreparedStatementCapIsResourceExhausted) {
+  ServerOptions options;
+  options.max_prepared_per_conn = 2;
+  StartServer(options);
+  BinaryClient c = Binary();
+  EXPECT_EQ(c.Prepare(1, Req(kScanQuery))->code, StatusCode::kOk);
+  EXPECT_EQ(c.Prepare(2, Req(kScanQuery))->code, StatusCode::kOk);
+  EXPECT_EQ(c.Prepare(3, Req(kScanQuery))->code,
+            StatusCode::kResourceExhausted);
+  // Re-preparing an existing id is an update, not growth.
+  EXPECT_EQ(c.Prepare(1, Req(kNavQuery))->code, StatusCode::kOk);
+}
+
+TEST_F(ServerTest, StopWithInflightStatementsIsClean) {
+  StartServer();
+  fault::FaultSpec slow_nav;
+  slow_nav.status = Status::OK();
+  slow_nav.delay_ms = 30;
+  fault::ScopedFault f("eval.nav", slow_nav);
+  BinaryClient c = Binary();
+  for (uint32_t id = 0; id < 4; ++id) {
+    ASSERT_TRUE(c.SendQuery(id, Req(kNavQuery)).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Stop();  // must join cleanly with statements in flight
+  server_.reset();
+}
+
+TEST_F(ServerTest, ConnectionCapClosesExtraClients) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  HttpClient first = Http();
+  ASSERT_EQ(first.Get("/healthz")->status, 200);
+  HttpClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server_->http_port()).ok());
+  // The server closes over-capacity connections immediately.
+  Result<HttpClient::Response> resp = second.Get("/healthz");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_GE(server_->stats().Get().over_capacity, 1u);
+  // The admitted connection is unaffected.
+  EXPECT_EQ(first.Get("/healthz")->status, 200);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::net
