@@ -92,6 +92,7 @@ void BM_IngestReplacePublish(benchmark::State& state) {
             static_cast<double>(publishes);
   state.counters["publish_us"] =
       static_cast<double>(store->snapshot_stats().last_publish_micros);
+  sgmlqdb::bench::ReportPostingsFootprint(state, *store);
 }
 BENCHMARK(BM_IngestReplacePublish)
     ->Unit(benchmark::kMillisecond)
@@ -127,6 +128,7 @@ void BM_ReaderLatencyFrozen(benchmark::State& state) {
   options.num_threads = 2;
   QueryService service(*store, options);
   RunReaderLoop(state, service);
+  sgmlqdb::bench::ReportPostingsFootprint(state, *store);
   service.Shutdown();
 }
 BENCHMARK(BM_ReaderLatencyFrozen)
@@ -167,6 +169,7 @@ void BM_ReaderLatencyDuringIngest(benchmark::State& state) {
   writer.join();
   state.counters["publishes"] =
       static_cast<double>(publishes.load());
+  sgmlqdb::bench::ReportPostingsFootprint(state, *store);
   service.Shutdown();
 }
 BENCHMARK(BM_ReaderLatencyDuringIngest)

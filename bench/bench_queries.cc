@@ -27,6 +27,7 @@ void RunQuery(benchmark::State& state, const std::string& query,
   }
   state.counters["rows"] = static_cast<double>(rows);
   state.counters["articles"] = static_cast<double>(state.range(0));
+  ReportPostingsFootprint(state, store);
 }
 
 
@@ -94,6 +95,7 @@ void RunPrepared(benchmark::State& state, const std::string& query,
   }
   state.counters["rows"] = static_cast<double>(rows);
   state.counters["articles"] = static_cast<double>(state.range(0));
+  ReportPostingsFootprint(state, store);
 }
 
 void BM_Q1_Algebraic_NoOpt(benchmark::State& state) {
@@ -146,9 +148,45 @@ void BM_Q5_Algebraic_Opt(benchmark::State& state) {
 }
 BENCHMARK(BM_Q5_Algebraic_Opt)->Arg(10)->Arg(50)->Arg(200);
 
+// --articles N adds large-corpus variants of the optimizer series on
+// demand (the static cases above stay at their fixed sizes): the
+// selective-contains and near-style shapes where the compressed
+// index's galloping pays off, optimizer off vs on.
+void RegisterScaled(size_t articles) {
+  const auto n = static_cast<int64_t>(articles);
+  struct ScaledCase {
+    const char* name;
+    const char* query;
+    bool optimize;
+  };
+  static const ScaledCase kCases[] = {
+      {"BM_Q1_Algebraic_NoOpt", nullptr, false},
+      {"BM_Q1_Algebraic_Opt", nullptr, true},
+      {"BM_Q1Selective_Algebraic_NoOpt", kQ1SelectiveContains, false},
+      {"BM_Q1Selective_Algebraic_Opt", kQ1SelectiveContains, true},
+      {"BM_Q2_Algebraic_NoOpt", nullptr, false},
+      {"BM_Q2_Algebraic_Opt", nullptr, true},
+  };
+  for (const ScaledCase& c : kCases) {
+    std::string query =
+        c.query != nullptr ? c.query
+        : std::string(c.name).find("Q1") != std::string::npos
+            ? PaperQueryText("Q1_TitleAndFirstAuthor")
+            : PaperQueryText("Q2_SubsectionsContaining");
+    bool optimize = c.optimize;
+    ::benchmark::RegisterBenchmark(
+        c.name,
+        [query, optimize](benchmark::State& state) {
+          RunPrepared(state, query, optimize);
+        })
+        ->Arg(n);
+  }
+}
+
 }  // namespace
 }  // namespace sgmlqdb::bench
 
 int main(int argc, char** argv) {
-  return sgmlqdb::bench::RunBenchmarks(argc, argv);
+  return sgmlqdb::bench::RunBenchmarks(argc, argv,
+                                       sgmlqdb::bench::RegisterScaled);
 }

@@ -81,6 +81,7 @@ void BM_ServiceQps_Threads(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["qps"] = benchmark::Counter(
       static_cast<double>(queries), benchmark::Counter::kIsRate);
+  ReportPostingsFootprint(state, service.store());
 }
 BENCHMARK(BM_ServiceQps_Threads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
@@ -106,6 +107,7 @@ void BM_HotCache(benchmark::State& state, oql::Engine engine) {
   }
   state.counters["cache_hits"] =
       static_cast<double>(service.plan_cache().hits());
+  ReportPostingsFootprint(state, store);
 }
 
 /// The same query with every execution forced to re-prepare: capacity-1
@@ -132,6 +134,7 @@ void BM_ColdCache(benchmark::State& state, oql::Engine engine) {
   }
   state.counters["cache_hits"] =
       static_cast<double>(service.plan_cache().hits());
+  ReportPostingsFootprint(state, store);
 }
 
 /// E12 — tail latency with per-query deadlines on vs off.
@@ -208,6 +211,7 @@ void BM_DeadlineMix(benchmark::State& state) {
           ? 0.0
           : static_cast<double>(misses) /
                 static_cast<double>(latencies_us.size());
+  ReportPostingsFootprint(state, store);
 }
 BENCHMARK(BM_DeadlineMix)
     ->Arg(0)->Arg(25)->Arg(50)

@@ -28,6 +28,7 @@ void BM_StorageOverhead(benchmark::State& state) {
   state.counters["raw_sgml_bytes"] = static_cast<double>(raw_bytes);
   state.counters["db_bytes"] = static_cast<double>(db_bytes);
   state.counters["index_bytes"] = static_cast<double>(index_bytes);
+  ReportPostingsFootprint(state, store);
   state.counters["overhead_x"] =
       static_cast<double>(db_bytes) / static_cast<double>(raw_bytes);
   state.counters["objects"] = static_cast<double>(store.db().object_count());

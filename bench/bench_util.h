@@ -21,12 +21,20 @@
 
 namespace sgmlqdb::bench {
 
-/// Benchmark main with a `--json <file>` (or `--json=<file>`)
-/// shorthand that expands to google-benchmark's
-/// --benchmark_out=<file> --benchmark_out_format=json, so
-/// scripts/bench.sh can emit machine-readable BENCH_*.json without
-/// hardcoding the library's flag spelling.
-inline int RunBenchmarks(int argc, char** argv) {
+/// Benchmark main with two shorthands google-benchmark lacks:
+///  * `--json <file>` (or `--json=<file>`) expands to
+///    --benchmark_out=<file> --benchmark_out_format=json, so
+///    scripts/bench.sh can emit machine-readable BENCH_*.json without
+///    hardcoding the library's flag spelling;
+///  * `--articles N` (or `--articles=N`) asks the binary to ALSO
+///    register its scaling series at corpus size N — the static
+///    BENCHMARK() cases keep their fixed sizes; `register_scaled`
+///    (when the binary provides one) adds N-article variants, which
+///    is how the 10^5-article points are produced on demand instead
+///    of on every run.
+inline int RunBenchmarks(int argc, char** argv,
+                         void (*register_scaled)(size_t articles) = nullptr) {
+  size_t scaled_articles = 0;
   std::vector<std::string> args;
   args.reserve(static_cast<size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -38,9 +46,18 @@ inline int RunBenchmarks(int argc, char** argv) {
       args.push_back("--benchmark_out=" +
                      std::string(arg.substr(sizeof("--json=") - 1)));
       args.push_back("--benchmark_out_format=json");
+    } else if (arg == "--articles" && i + 1 < argc) {
+      scaled_articles = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--articles=", 0) == 0) {
+      scaled_articles = static_cast<size_t>(
+          std::atoll(std::string(arg.substr(sizeof("--articles=") - 1))
+                         .c_str()));
     } else {
       args.emplace_back(arg);
     }
+  }
+  if (scaled_articles > 0 && register_scaled != nullptr) {
+    register_scaled(scaled_articles);
   }
   std::vector<char*> argv2;
   argv2.reserve(args.size());
@@ -88,15 +105,16 @@ inline DocumentStore& MutableCorpusStore(size_t articles, size_t sections) {
   params.sections = sections;
   params.subsection_prob = 0.3;
   params.figure_prob = 0.15;
-  bool first = true;
-  for (const std::string& article :
-       corpus::GenerateCorpus(articles, params)) {
+  // Streamed article-by-article so a 10^5-article corpus never holds
+  // every SGML text at once.
+  for (size_t i = 0; i < articles; ++i) {
     // The first document is additionally bound to "doc0" for
     // single-document queries.
-    if (!store->LoadDocument(article, first ? "doc0" : "").ok()) {
+    if (!store->LoadDocument(corpus::GenerateCorpusArticle(i, params),
+                             i == 0 ? "doc0" : "")
+             .ok()) {
       std::abort();
     }
-    first = false;
   }
   DocumentStore& ref = *store;
   cache[key] = std::move(store);
@@ -105,6 +123,19 @@ inline DocumentStore& MutableCorpusStore(size_t articles, size_t sections) {
 
 inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
   return MutableCorpusStore(articles, sections);
+}
+
+/// Attaches the text index's postings footprint to a benchmark case:
+/// the compressed layout actually in memory vs. what the flat
+/// pre-compression layout (std::vector<Posting>) would take for the
+/// same content. Every corpus-backed benchmark reports these, so any
+/// BENCH_*.json documents the compression ratio alongside the timing.
+inline void ReportPostingsFootprint(benchmark::State& state,
+                                    const DocumentStore& store) {
+  state.counters["postings_compressed_bytes"] =
+      static_cast<double>(store.text_index().ApproximateBytes());
+  state.counters["postings_flat_bytes"] =
+      static_cast<double>(store.text_index().FlatApproximateBytes());
 }
 
 /// The raw SGML texts of a memoized corpus (for parse/storage

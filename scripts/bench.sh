@@ -23,39 +23,106 @@
 # CMake build type actually used — numbers from a Debug or sanitizer
 # build are not comparable and the stamp makes that auditable.
 #
-#   bash scripts/bench.sh [jobs] [extra benchmark args...]
+#   bash scripts/bench.sh [jobs] [--allow-debug] [--baseline FILE] \
+#       [extra benchmark args...]
 #
-# Extra args are passed to the google-benchmark binaries, e.g.
+#   --allow-debug    run (and write JSON) even from a non-Release
+#                    build. Without it the script REFUSES: Debug /
+#                    sanitizer numbers committed as BENCH_*.json poison
+#                    every later comparison.
+#   --baseline FILE  after the run, compare the freshly written file
+#                    with the same basename as FILE against FILE
+#                    (scripts/bench_gate.py): exit non-zero if any
+#                    benchmark's p50 regressed by more than 15%.
+#
+# Remaining args are passed to the google-benchmark binaries, e.g.
 #   bash scripts/bench.sh 8 --benchmark_min_time=0.5
+#   bash scripts/bench.sh 8 --articles 100000
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
-jobs="${1:-$(nproc)}"
-shift || true
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$jobs" \
-  --target bench_queries bench_service bench_ingest bench_net qdb_server
-
-# The build type the cache actually resolved to (a pre-existing build/
-# configured differently wins over the -D above on some generators).
-build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' build/CMakeCache.txt)"
-build_type="${build_type:-unspecified}"
-if [[ "$build_type" != "Release" ]]; then
-  echo "" >&2
-  echo "##################################################################" >&2
-  echo "## WARNING: build type is '$build_type', not Release.            " >&2
-  echo "## These numbers are NOT comparable to Release runs.             " >&2
-  echo "## Delete build/ (or reconfigure with -DCMAKE_BUILD_TYPE=Release)" >&2
-  echo "## before publishing any BENCH_*.json produced by this run.      " >&2
-  echo "##################################################################" >&2
-  echo "" >&2
+jobs=""
+allow_debug=0
+baseline=""
+passthrough=()
+for arg in "$@"; do
+  if [[ -n "${expect_baseline:-}" ]]; then
+    baseline="$arg"
+    unset expect_baseline
+  elif [[ "$arg" == "--allow-debug" ]]; then
+    allow_debug=1
+  elif [[ "$arg" == "--baseline" ]]; then
+    expect_baseline=1
+  elif [[ "$arg" == --baseline=* ]]; then
+    baseline="${arg#--baseline=}"
+  elif [[ -z "$jobs" && ${#passthrough[@]} -eq 0 && "$arg" =~ ^[0-9]+$ ]]; then
+    jobs="$arg"
+  else
+    passthrough+=("$arg")
+  fi
+done
+if [[ -n "${expect_baseline:-}" ]]; then
+  echo "ERROR: --baseline needs a file argument" >&2
+  exit 2
+fi
+jobs="${jobs:-$(nproc)}"
+if [[ -n "$baseline" ]]; then
+  if [[ ! -r "$baseline" ]]; then
+    echo "ERROR: baseline file '$baseline' is missing or unreadable" >&2
+    exit 2
+  fi
+  # The run overwrites ./BENCH_*.json; a baseline that IS one of those
+  # files would be clobbered before the gate ever compared it.
+  if [[ "$(realpath "$baseline")" == \
+        "$(realpath -m "$(basename "$baseline")")" ]]; then
+    echo "ERROR: --baseline $baseline is this run's own output file; pass a" >&2
+    echo "saved copy (e.g. git show HEAD:BENCH_queries.json > /tmp/base.json)" >&2
+    exit 2
+  fi
 fi
 
-./build/bench/bench_queries --json BENCH_queries.json "$@"
-./build/bench/bench_service --json BENCH_service.json "$@"
-./build/bench/bench_ingest --json BENCH_ingest.json "$@"
-python3 scripts/loadgen --build-dir build --out BENCH_net.json
+# Release with LTO in a dedicated build tree (default build-release/,
+# override with BENCH_BUILD_DIR) so benching never flips the cache of
+# the day-to-day build/ tree. -flto is what ships; per-TU codegen
+# leaves cross-module inlining (postings cursor hot loops under the
+# index's API boundary) on the table and understates the index by a
+# measurable margin.
+build_dir="${BENCH_BUILD_DIR:-build-release}"
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON
+cmake --build "$build_dir" -j "$jobs" \
+  --target bench_queries bench_service bench_ingest bench_net qdb_server
+
+# The build type the cache actually resolved to (a pre-existing tree
+# configured differently wins over the -D above on some generators).
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' "$build_dir/CMakeCache.txt")"
+build_type="${build_type:-unspecified}"
+if [[ "$build_type" != "Release" ]]; then
+  if [[ "$allow_debug" -ne 1 ]]; then
+    echo "" >&2
+    echo "##################################################################" >&2
+    echo "## REFUSING to write BENCH_*.json: build type is '$build_type',  " >&2
+    echo "## not Release. Such numbers are not comparable to Release runs  " >&2
+    echo "## and must never land as committed baselines.                   " >&2
+    echo "## Delete $build_dir/ (or reconfigure it as Release), or pass    " >&2
+    echo "## --allow-debug to run anyway for local smoke-testing.          " >&2
+    echo "##################################################################" >&2
+    echo "" >&2
+    exit 3
+  fi
+  echo "" >&2
+  echo "WARNING: build type is '$build_type', not Release (--allow-debug):" >&2
+  echo "the emitted BENCH_*.json are stamped as such and must not be" >&2
+  echo "committed or compared against Release baselines." >&2
+  echo "" >&2
+fi
+set -- "${passthrough[@]+"${passthrough[@]}"}"
+
+"$build_dir/bench/bench_queries" --json BENCH_queries.json "$@"
+"$build_dir/bench/bench_service" --json BENCH_service.json "$@"
+"$build_dir/bench/bench_ingest" --json BENCH_ingest.json "$@"
+python3 scripts/loadgen --build-dir "$build_dir" --out BENCH_net.json
 
 status=0
 for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json \
@@ -107,6 +174,18 @@ fi
 if [[ "$status" -ne 0 ]]; then
   echo "benchmark output validation FAILED" >&2
   exit "$status"
+fi
+
+# Regression gate: the fresh file with the baseline's basename vs the
+# baseline. p50 per benchmark name, >15% slower fails the run.
+if [[ -n "$baseline" ]]; then
+  candidate="$(basename "$baseline")"
+  if [[ ! -s "$candidate" ]]; then
+    echo "ERROR: --baseline $baseline has basename '$candidate', which this" >&2
+    echo "run did not produce (expected one of the BENCH_*.json above)" >&2
+    exit 2
+  fi
+  python3 scripts/bench_gate.py --baseline "$baseline" --candidate "$candidate"
 fi
 
 echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json and BENCH_net.json (all valid JSON, build type: $build_type)"

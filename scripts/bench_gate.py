@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""p50 regression gate over google-benchmark JSON files.
+
+    python3 scripts/bench_gate.py --baseline OLD.json --candidate NEW.json \
+        [--tolerance 0.15]
+
+For every benchmark name present in BOTH files, compares the candidate
+p50 real_time against the baseline p50 and exits non-zero if any
+regresses by more than the tolerance (default 15%). The p50 is the
+``median`` aggregate when the run used --benchmark_repetitions, else
+the median of the per-iteration rows sharing the name (a single row's
+time is its own median).
+
+Two honesty refusals, both hard failures rather than silent passes:
+  * files stamped (by scripts/bench.sh) with a non-Release
+    ``cmake_build_type`` are rejected — Debug-vs-Release deltas are
+    build-flag noise, not regressions;
+  * zero overlapping benchmark names is an error — a gate that
+    compared nothing must not report success.
+"""
+
+import argparse
+import json
+import sys
+from statistics import median
+
+
+def load_p50s(path):
+    with open(path) as f:
+        data = json.load(f)
+    build_type = data.get("cmake_build_type", "unstamped")
+    aggregates = {}
+    samples = {}
+    for row in data.get("benchmarks", []):
+        name = row.get("run_name", row.get("name"))
+        if name is None or "real_time" not in row:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                aggregates[name] = float(row["real_time"])
+        else:
+            samples.setdefault(name, []).append(float(row["real_time"]))
+    p50s = {name: median(times) for name, times in samples.items()}
+    p50s.update(aggregates)  # a real median aggregate wins
+    return build_type, p50s
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args()
+
+    base_type, base = load_p50s(args.baseline)
+    cand_type, cand = load_p50s(args.candidate)
+    for label, path, build_type in (("baseline", args.baseline, base_type),
+                                    ("candidate", args.candidate, cand_type)):
+        if build_type not in ("Release", "unstamped"):
+            print(f"GATE ERROR: {label} {path} was produced by a "
+                  f"'{build_type}' build; only Release numbers are "
+                  "comparable", file=sys.stderr)
+            return 2
+
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("GATE ERROR: no benchmark names in common between "
+              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name in common:
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append(name)
+            marker = "  << REGRESSION"
+        print(f"  {name}: p50 {base[name]:.0f} -> {cand[name]:.0f} ns "
+              f"({ratio - 1.0:+.1%} vs baseline){marker}")
+
+    if regressions:
+        print(f"GATE FAILED: {len(regressions)}/{len(common)} benchmarks "
+              f"regressed >{args.tolerance:.0%} vs {args.baseline}:",
+              file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"GATE OK: {len(common)} benchmarks within "
+          f"{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,19 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target service_test algebra_test ingest_test net_test
-ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation|ServerTest'
+cmake --build build-tsan -j "$jobs" --target service_test algebra_test ingest_test net_test text_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation|ServerTest|PostingsRoundtrip|GallopingParity|PostingsCow'
 
 cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs" --target base_test service_test sgml_test property_test net_test
 ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz|ServerTest|HttpParser|FrameParser|JsonParse'
+
+# Release smoke: the optimized build is what benches and deployments
+# run, and NDEBUG both compiles out the postings Append asserts and
+# changes inlining enough to surface its own bugs. Build the text +
+# algebra stacks Release and re-run their suites.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON
+cmake --build build-release -j "$jobs" --target text_test algebra_test
+ctest --test-dir build-release --output-on-failure \
+  -R '^IndexTest|IndexEdgeTest|NearTest|PatternTest|RegexTest|TokenizeTest|PostingsRoundtrip|GallopingParity|PostingsCow|AlgebraTest|OpsTest|OptimizeParity|OptimizeShape|ParallelUnion'

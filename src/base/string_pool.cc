@@ -1,0 +1,38 @@
+#include "base/string_pool.h"
+
+namespace sgmlqdb {
+
+const std::string* StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lookup_.find(s);
+  if (it != lookup_.end()) return it->second;
+  arena_.emplace_back(s);
+  const std::string* interned = &arena_.back();
+  // Key the lookup by the arena copy, not the caller's buffer.
+  lookup_.emplace(std::string_view(*interned), interned);
+  bytes_ += s.size() + sizeof(std::string) + 2 * sizeof(void*);
+  return interned;
+}
+
+const std::string* StringPool::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lookup_.find(s);
+  return it == lookup_.end() ? nullptr : it->second;
+}
+
+size_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arena_.size();
+}
+
+size_t StringPool::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+StringPool& StringPool::Global() {
+  static StringPool& pool = *new StringPool();
+  return pool;
+}
+
+}  // namespace sgmlqdb

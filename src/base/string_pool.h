@@ -1,0 +1,67 @@
+// StringPool: an arena-backed string interner.
+//
+// Interning maps equal strings to one canonical `const std::string*`
+// that stays valid (and never moves) for the pool's lifetime, so hot
+// dictionaries can stop storing map nodes full of duplicate
+// std::strings and compare identities by pointer. Two users:
+//
+//  * the text inverted index's term dictionary — a flat sorted array
+//    of {interned term, postings ref} entries instead of a
+//    std::map<std::string, ...> (index copies share the pool, so a
+//    COW clone copies 16-byte entries, not strings);
+//  * om tuple field names — every AttrStep / FindField walks tuple
+//    field vectors, and interning collapses the per-tuple name
+//    storage to one pointer per field while making equality checks
+//    between interned names a pointer compare.
+//
+// Storage is append-only: strings live in block-allocated stable
+// storage (a deque of fixed-size chunks) and are never freed or
+// moved, which is what makes the handed-out pointers safe to embed in
+// shared copy-on-write structures. Intern/Find are thread-safe; the
+// returned pointers can be dereferenced without any lock.
+
+#ifndef SGMLQDB_BASE_STRING_POOL_H_
+#define SGMLQDB_BASE_STRING_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sgmlqdb {
+
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// The canonical pointer for `s`, inserting on first sight. The
+  /// pointer is stable for the pool's lifetime.
+  const std::string* Intern(std::string_view s);
+
+  /// The canonical pointer for `s`, or nullptr if never interned.
+  const std::string* Find(std::string_view s) const;
+
+  size_t size() const;
+  /// Rough footprint: interned characters + per-entry bookkeeping.
+  size_t ApproximateBytes() const;
+
+  /// The process-wide pool used for om tuple field names (schemas are
+  /// finite, so it stays small and is never torn down).
+  static StringPool& Global();
+
+ private:
+  mutable std::mutex mu_;
+  // Deque blocks never move on push_back, so &arena_[i] is stable —
+  // the arena property the interned pointers rely on.
+  std::deque<std::string> arena_;
+  std::unordered_map<std::string_view, const std::string*> lookup_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_BASE_STRING_POOL_H_

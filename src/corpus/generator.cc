@@ -1,5 +1,6 @@
 #include "corpus/generator.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sgmlqdb::corpus {
@@ -52,26 +53,41 @@ const std::vector<std::string>& Vocabulary() {
 
 namespace {
 
-const std::string& ZipfWord(Rng& rng) {
+/// Word of Zipf-skewed rank `idx` in the vocabulary extended to
+/// `total` words: built-in words first, synthetic "w<index>" tail.
+void AppendVocabWord(size_t idx, std::string* out) {
   const std::vector<std::string>& vocab = Vocabulary();
+  if (idx < vocab.size()) {
+    *out += vocab[idx];
+  } else {
+    *out += 'w';
+    *out += std::to_string(idx);
+  }
+}
+
+size_t ZipfIndex(Rng& rng, size_t total) {
   // Skewed index: cube of a uniform deviate biases towards the head.
   double u = rng.NextDouble();
-  size_t idx = static_cast<size_t>(u * u * u *
-                                   static_cast<double>(vocab.size()));
-  if (idx >= vocab.size()) idx = vocab.size() - 1;
-  return vocab[idx];
+  size_t idx = static_cast<size_t>(u * u * u * static_cast<double>(total));
+  if (idx >= total) idx = total - 1;
+  return idx;
 }
 
 }  // namespace
 
-std::string RandomSentence(Rng& rng, size_t words) {
+std::string RandomSentence(Rng& rng, size_t words, size_t vocabulary_words) {
+  const size_t total = std::max(vocabulary_words, Vocabulary().size());
   std::string out;
   for (size_t i = 0; i < words; ++i) {
     if (i > 0) out += ' ';
-    out += ZipfWord(rng);
+    AppendVocabWord(ZipfIndex(rng, total), &out);
   }
   out += '.';
   return out;
+}
+
+std::string RandomSentence(Rng& rng, size_t words) {
+  return RandomSentence(rng, words, 0);
 }
 
 namespace {
@@ -80,11 +96,11 @@ void AppendBody(Rng& rng, const ArticleParams& p, size_t fig_counter,
                 std::string* out) {
   if (rng.Chance(p.figure_prob)) {
     *out += "<body><figure label=\"fig" + std::to_string(fig_counter) +
-            "\"><picture><caption>" + RandomSentence(rng, 6) +
+            "\"><picture><caption>" + RandomSentence(rng, 6, p.vocabulary_words) +
             "</caption></figure></body>\n";
   } else {
     *out += "<body><paragr>" +
-            RandomSentence(rng, p.words_per_paragraph) +
+            RandomSentence(rng, p.words_per_paragraph, p.vocabulary_words) +
             "</paragr></body>\n";
   }
 }
@@ -96,16 +112,16 @@ std::string GenerateArticle(const ArticleParams& p) {
   std::string out = "<article status=\"";
   out += rng.Chance(0.5) ? "final" : "draft";
   out += "\">\n";
-  out += "<title>" + RandomSentence(rng, 7) + "</title>\n";
+  out += "<title>" + RandomSentence(rng, 7, p.vocabulary_words) + "</title>\n";
   for (size_t i = 0; i < p.authors; ++i) {
     out += "<author>Author " + std::to_string(rng.Below(1000)) + "\n";
   }
-  out += "<affil>" + RandomSentence(rng, 3) + "</affil>\n";
-  out += "<abstract>" + RandomSentence(rng, 2 * p.words_per_paragraph) +
+  out += "<affil>" + RandomSentence(rng, 3, p.vocabulary_words) + "</affil>\n";
+  out += "<abstract>" + RandomSentence(rng, 2 * p.words_per_paragraph, p.vocabulary_words) +
          "</abstract>\n";
   size_t fig_counter = p.seed % 100000;
   for (size_t s = 0; s < p.sections; ++s) {
-    out += "<section><title>" + RandomSentence(rng, 5) + "</title>\n";
+    out += "<section><title>" + RandomSentence(rng, 5, p.vocabulary_words) + "</title>\n";
     bool with_subsections = rng.Chance(p.subsection_prob);
     size_t bodies = 1 + rng.Below(p.bodies_per_section);
     if (with_subsections) {
@@ -115,7 +131,7 @@ std::string GenerateArticle(const ArticleParams& p) {
       }
       size_t subs = 1 + rng.Below(p.max_subsections);
       for (size_t k = 0; k < subs; ++k) {
-        out += "<subsectn><title>" + RandomSentence(rng, 4) + "</title>\n";
+        out += "<subsectn><title>" + RandomSentence(rng, 4, p.vocabulary_words) + "</title>\n";
         AppendBody(rng, p, ++fig_counter, &out);
         out += "</subsectn>\n";
       }
@@ -126,7 +142,7 @@ std::string GenerateArticle(const ArticleParams& p) {
     }
     out += "</section>\n";
   }
-  out += "<acknowl>" + RandomSentence(rng, 10) + "</acknowl>\n";
+  out += "<acknowl>" + RandomSentence(rng, 10, p.vocabulary_words) + "</acknowl>\n";
   out += "</article>\n";
   return out;
 }
@@ -134,12 +150,15 @@ std::string GenerateArticle(const ArticleParams& p) {
 std::vector<std::string> GenerateCorpus(size_t n, ArticleParams params) {
   std::vector<std::string> out;
   out.reserve(n);
-  uint64_t base_seed = params.seed;
   for (size_t i = 0; i < n; ++i) {
-    params.seed = base_seed + 0x9e3779b9ull * (i + 1);
-    out.push_back(GenerateArticle(params));
+    out.push_back(GenerateCorpusArticle(i, params));
   }
   return out;
+}
+
+std::string GenerateCorpusArticle(size_t i, ArticleParams params) {
+  params.seed += 0x9e3779b9ull * (i + 1);
+  return GenerateArticle(params);
 }
 
 }  // namespace sgmlqdb::corpus

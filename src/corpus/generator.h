@@ -42,6 +42,14 @@ struct ArticleParams {
   size_t words_per_paragraph = 40;
   /// Probability a body is a figure instead of a paragraph.
   double figure_prob = 0.1;
+  /// Extends the vocabulary with synthetic Zipf-tail words ("w0042",
+  /// "w0043", ...) up to this total size; 0 keeps just the built-in
+  /// ~115 paper words. The built-in vocabulary caps the
+  /// frequent-to-rare term frequency ratio at ~70, far below a real
+  /// corpus — a large tail reproduces realistic ratios (rare terms
+  /// selective at the 1e-4 level), which is what index skip
+  /// structures are sized against.
+  size_t vocabulary_words = 0;
 };
 
 /// One SGML article conforming to the Figure 1 DTD.
@@ -50,8 +58,19 @@ std::string GenerateArticle(const ArticleParams& params);
 /// `n` articles with seeds derived from params.seed.
 std::vector<std::string> GenerateCorpus(size_t n, ArticleParams params);
 
+/// The i-th article GenerateCorpus(n, params) would produce, without
+/// materializing the rest — the streaming path for large corpora
+/// (10^5 articles and up), where generation stays O(1) memory and the
+/// caller ingests article-by-article.
+std::string GenerateCorpusArticle(size_t i, ArticleParams params);
+
 /// A sentence of `words` vocabulary words (Zipf-skewed).
 std::string RandomSentence(Rng& rng, size_t words);
+
+/// As above over the vocabulary extended to `vocabulary_words` total
+/// words (see ArticleParams::vocabulary_words); tail words render as
+/// "w<index>".
+std::string RandomSentence(Rng& rng, size_t words, size_t vocabulary_words);
 
 /// The generator vocabulary, most-frequent first.
 const std::vector<std::string>& Vocabulary();

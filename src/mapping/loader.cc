@@ -346,16 +346,17 @@ class Loader {
     const std::string root_name = RootNameFor(dtd_.doctype());
     if (db_->schema().FindName(root_name) != nullptr &&
         doc.root.name == dtd_.doctype()) {
-      std::vector<Value> list;
-      Result<Value> existing = db_->LookupName(root_name);
-      if (existing.ok() && existing.value().kind() == om::ValueKind::kList) {
-        for (size_t i = 0; i < existing.value().size(); ++i) {
-          list.push_back(existing.value().Element(i));
-        }
+      // In-place append when the database uniquely owns the root list
+      // (copy otherwise), so loading N documents is O(N) — the old
+      // copy-the-whole-list-per-document path made bulk loads O(N²).
+      Status appended =
+          db_->AppendToBoundList(root_name, Value::Object(root));
+      if (!appended.ok()) {
+        // First document (root unbound) or bound to a non-list: start
+        // a fresh one-element list.
+        SGMLQDB_RETURN_IF_ERROR(
+            db_->BindName(root_name, Value::List({Value::Object(root)})));
       }
-      list.push_back(Value::Object(root));
-      SGMLQDB_RETURN_IF_ERROR(db_->BindName(root_name,
-                                            Value::List(std::move(list))));
     }
     return out;
   }

@@ -611,6 +611,22 @@ std::string Server::StatsJson() const {
   out += "\"epoch\":" + std::to_string(service_.store().epoch());
   out += ",\"documents\":" +
          std::to_string(service_.store().document_count());
+  const text::InvertedIndex& idx = service_.store().text_index();
+  const text::IndexMaintenanceStats& m = idx.maintenance_stats();
+  const text::IndexProbeStats p = idx.probe_stats();
+  out += "},\"text_index\":{";
+  out += "\"terms\":" + std::to_string(idx.term_count());
+  out += ",\"units\":" + std::to_string(idx.unit_count());
+  out += ",\"compressed_bytes\":" + std::to_string(idx.ApproximateBytes());
+  out += ",\"flat_bytes\":" + std::to_string(idx.FlatApproximateBytes());
+  out += ",\"probes\":" + std::to_string(p.probes);
+  out += ",\"blocks_decoded\":" + std::to_string(p.blocks_decoded);
+  out += ",\"blocks_skipped\":" + std::to_string(p.blocks_skipped);
+  out += ",\"postings_decoded\":" + std::to_string(p.postings_decoded);
+  out += ",\"postings_skipped\":" + std::to_string(p.postings_skipped);
+  out += ",\"units_added\":" + std::to_string(m.units_added);
+  out += ",\"units_removed\":" + std::to_string(m.units_removed);
+  out += ",\"term_copies\":" + std::to_string(m.term_copies);
   out += "}}";
   return out;
 }

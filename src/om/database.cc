@@ -77,6 +77,29 @@ Status Database::BindName(std::string_view name, Value v) {
   return Status::OK();
 }
 
+Status Database::AppendToBoundList(std::string_view name, Value element) {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::NotFound("persistence root '" + std::string(name) +
+                            "' is not bound");
+  }
+  if (it->second.kind() != ValueKind::kList) {
+    return Status::InvalidArgument("persistence root '" + std::string(name) +
+                                   "' is not bound to a list");
+  }
+  if (it->second.TryAppendToList(element)) return Status::OK();
+  // The list rep is shared (a Clone() snapshot holds it): copy the
+  // elements and rebind, leaving every sharer untouched.
+  std::vector<Value> elems;
+  elems.reserve(it->second.size() + 1);
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    elems.push_back(it->second.Element(i));
+  }
+  elems.push_back(std::move(element));
+  it->second = Value::List(std::move(elems));
+  return Status::OK();
+}
+
 Status Database::UnbindName(std::string_view name) {
   auto it = roots_.find(name);
   if (it == roots_.end()) {

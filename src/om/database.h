@@ -76,6 +76,13 @@ class Database {
   /// Binds a persistence root; the name must exist in the schema.
   Status BindName(std::string_view name, Value v);
 
+  /// Appends one element to a root bound to a list — in place when
+  /// this database uniquely owns the list's rep (the bulk-load fast
+  /// path), by copy otherwise (a Clone() snapshot shares the rep and
+  /// must not see the append). InvalidArgument when the root is
+  /// bound to a non-list, NotFound when unbound/unknown.
+  Status AppendToBoundList(std::string_view name, Value element);
+
   /// Drops a root's binding (the declared name stays in the schema, so
   /// cached plans still compile; LookupName fails until rebound).
   /// NotFound when the name is not bound.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "base/string_pool.h"
 #include "base/strutil.h"
 
 namespace sgmlqdb::om {
@@ -42,7 +43,11 @@ class ValueRep {
   bool boolean = false;
   std::string str;
   ObjectId oid;
-  std::vector<std::string> field_names;  // tuple only; parallel to children
+  // Tuple only; parallel to children. Names are interned in
+  // StringPool::Global() — schemas have a small fixed vocabulary, so
+  // each tuple carries one pointer per field instead of an owned
+  // std::string, and equal names compare equal by pointer.
+  std::vector<const std::string*> field_names;
   std::vector<Value> children;           // tuple fields / list / set elems
 };
 
@@ -101,12 +106,14 @@ Value Value::Tuple(std::vector<std::pair<std::string, Value>> fields) {
   rep->field_names.reserve(fields.size());
   rep->children.reserve(fields.size());
   for (auto& [name, value] : fields) {
+    const std::string* interned = StringPool::Global().Intern(name);
 #ifndef NDEBUG
-    assert(std::find(rep->field_names.begin(), rep->field_names.end(), name) ==
-               rep->field_names.end() &&
+    // Interned: distinct names <=> distinct pointers.
+    assert(std::find(rep->field_names.begin(), rep->field_names.end(),
+                     interned) == rep->field_names.end() &&
            "tuple field names must be distinct");
 #endif
-    rep->field_names.push_back(std::move(name));
+    rep->field_names.push_back(interned);
     rep->children.push_back(std::move(value));
   }
   return Value(std::move(rep));
@@ -164,7 +171,7 @@ size_t Value::size() const { return rep_->children.size(); }
 
 const std::string& Value::FieldName(size_t i) const {
   assert(kind() == ValueKind::kTuple && i < rep_->field_names.size());
-  return rep_->field_names[i];
+  return *rep_->field_names[i];
 }
 
 Value Value::FieldValue(size_t i) const {
@@ -175,7 +182,7 @@ Value Value::FieldValue(size_t i) const {
 std::optional<Value> Value::FindField(std::string_view name) const {
   if (kind() != ValueKind::kTuple) return std::nullopt;
   for (size_t i = 0; i < rep_->field_names.size(); ++i) {
-    if (rep_->field_names[i] == name) return rep_->children[i];
+    if (*rep_->field_names[i] == name) return rep_->children[i];
   }
   return std::nullopt;
 }
@@ -183,7 +190,7 @@ std::optional<Value> Value::FindField(std::string_view name) const {
 std::optional<size_t> Value::FieldIndex(std::string_view name) const {
   if (kind() != ValueKind::kTuple) return std::nullopt;
   for (size_t i = 0; i < rep_->field_names.size(); ++i) {
-    if (rep_->field_names[i] == name) return i;
+    if (*rep_->field_names[i] == name) return i;
   }
   return std::nullopt;
 }
@@ -202,6 +209,17 @@ Value Value::AsHeterogeneousList() const {
     elems.push_back(Value::Tuple({{FieldName(i), FieldValue(i)}}));
   }
   return Value::List(std::move(elems));
+}
+
+bool Value::TryAppendToList(Value element) {
+  if (kind() != ValueKind::kList) return false;
+  // use_count() == 1 means no other Value (snapshot, sibling copy)
+  // can observe the rep, so appending is indistinguishable from
+  // having built the longer list up front. NilRep is shared, so a
+  // default-constructed value can never take this path.
+  if (rep_.use_count() != 1) return false;
+  const_cast<ValueRep*>(rep_.get())->children.push_back(std::move(element));
+  return true;
 }
 
 int Value::Compare(const Value& a, const Value& b) {
@@ -232,9 +250,12 @@ int Value::Compare(const Value& a, const Value& b) {
     case ValueKind::kTuple: {
       size_t n = std::min(a.size(), b.size());
       for (size_t i = 0; i < n; ++i) {
-        int c = a.rep_->field_names[i].compare(b.rep_->field_names[i]);
-        if (c != 0) return c < 0 ? -1 : 1;
-        c = Compare(a.rep_->children[i], b.rep_->children[i]);
+        // Interned names: pointer equality is name equality.
+        if (a.rep_->field_names[i] != b.rep_->field_names[i]) {
+          int c = a.rep_->field_names[i]->compare(*b.rep_->field_names[i]);
+          if (c != 0) return c < 0 ? -1 : 1;
+        }
+        int c = Compare(a.rep_->children[i], b.rep_->children[i]);
         if (c != 0) return c;
       }
       return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
@@ -278,7 +299,7 @@ uint64_t Value::Hash() const {
       break;
     case ValueKind::kTuple:
       for (size_t i = 0; i < size(); ++i) {
-        h = HashCombine(h, Fnv1a(rep_->field_names[i]));
+        h = HashCombine(h, Fnv1a(*rep_->field_names[i]));
         h = HashCombine(h, rep_->children[i].Hash());
       }
       break;
@@ -310,7 +331,7 @@ std::string Value::ToString() const {
       std::string out = "tuple(";
       for (size_t i = 0; i < size(); ++i) {
         if (i > 0) out += ", ";
-        out += rep_->field_names[i];
+        out += *rep_->field_names[i];
         out += ": ";
         out += rep_->children[i].ToString();
       }

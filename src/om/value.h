@@ -107,6 +107,15 @@ class Value {
   /// [a1:v1,...,an:vn] -> list [[a1:v1],...,[an:vn]]. Requires a tuple.
   Value AsHeterogeneousList() const;
 
+  /// Appends `element` in place when this value is a list whose
+  /// representation no other Value shares (the mutation is then
+  /// unobservable, so immutability holds). Returns false — changing
+  /// nothing — when the rep is shared or this is not a list; the
+  /// caller falls back to copy-and-rebuild. This is the escape hatch
+  /// that keeps bulk-loading N documents into one persistence root
+  /// O(N) instead of O(N²).
+  bool TryAppendToList(Value element);
+
   /// True for a one-field tuple [a: v] — the encoding of a marked-union
   /// value whose chosen alternative is `a`.
   bool IsMarkedUnionValue() const {

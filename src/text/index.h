@@ -3,31 +3,43 @@
 // indexes every string reachable in the database and uses the index to
 // find candidate units for `contains` patterns instead of scanning.
 //
+// Storage layout (the raw-speed pass):
+//  * the term dictionary is a flat sorted array of
+//    {interned term pointer, postings ref} entries — binary-searched,
+//    cache-friendly, and O(#terms) 16-byte copies per index clone
+//    instead of a red-black tree of string nodes;
+//  * term strings are interned in an arena-backed StringPool shared
+//    by every copy in the lineage, so a term's bytes exist once no
+//    matter how many snapshots reference it;
+//  * each term's postings are a block-compressed, varint/delta-coded
+//    list with per-block skip headers (postings.h), so probes gallop
+//    over blocks instead of decoding whole lists, and the footprint
+//    is a fraction of the flat layout's.
+//
 // The postings are stored behind shared_ptrs, so copying an index is
-// cheap (term map nodes only — the postings vectors are shared) and
-// mutation is copy-on-write per term. This is what makes the ingest
-// subsystem's incremental maintenance possible: an IngestSession
-// clones the published index in O(#terms), applies per-document
-// posting adds/removes, and publishes the clone — the unchanged terms
-// keep sharing their postings with every earlier snapshot and no text
-// is ever re-tokenized.
+// cheap (the flat entry array only — the compressed lists are shared)
+// and mutation is copy-on-write per term. This is what makes the
+// ingest subsystem's incremental maintenance possible: an
+// IngestSession clones the published index in O(#terms), applies
+// per-document posting adds/removes, and publishes the clone — the
+// unchanged terms keep sharing their postings with every earlier
+// snapshot and no text is ever re-tokenized.
 
 #ifndef SGMLQDB_TEXT_INDEX_H_
 #define SGMLQDB_TEXT_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/string_pool.h"
 #include "text/pattern.h"
+#include "text/postings.h"
 
 namespace sgmlqdb::text {
-
-/// Identifies an indexed text unit (caller-assigned).
-using UnitId = uint64_t;
 
 /// Cumulative maintenance counters. Copied along with the index, so a
 /// snapshot lineage carries its history: the delta across a publish
@@ -45,16 +57,30 @@ struct IndexMaintenanceStats {
   uint64_t postings_added = 0;
   /// Postings dropped by Remove.
   uint64_t postings_removed = 0;
-  /// Copy-on-write term-vector copies (shared postings materialized
+  /// Copy-on-write term-list copies (shared postings materialized
   /// before mutation).
   uint64_t term_copies = 0;
 };
 
+/// Cumulative probe-side counters, shared across every copy in an
+/// index lineage (IndexMaintenanceStats-style, but for reads):
+/// how much compressed data probes actually decoded vs. galloped
+/// past. Surfaced by the server's /stats endpoint.
+struct IndexProbeStats {
+  /// Lookup / NearLookup / Candidates calls.
+  uint64_t probes = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t postings_decoded = 0;
+  uint64_t postings_skipped = 0;
+};
+
 class InvertedIndex {
  public:
-  InvertedIndex() = default;
-  /// Copies share the postings vectors (O(#terms) map nodes); the
-  /// copy diverges term-by-term on mutation (copy-on-write).
+  InvertedIndex();
+  /// Copies share the compressed postings lists, the term-string pool
+  /// and the probe counters (O(#terms) flat entries); the copy
+  /// diverges term-by-term on mutation (copy-on-write).
   InvertedIndex(const InvertedIndex&) = default;
   InvertedIndex& operator=(const InvertedIndex&) = default;
   InvertedIndex(InvertedIndex&&) = default;
@@ -73,7 +99,7 @@ class InvertedIndex {
   void Remove(UnitId id, std::string_view text);
 
   size_t unit_count() const { return unit_count_; }
-  size_t term_count() const { return postings_.size(); }
+  size_t term_count() const { return terms_.size(); }
 
   /// Units whose token list *may* match the pattern. The pattern's
   /// and/or/not structure is evaluated directly on the index
@@ -81,7 +107,8 @@ class InvertedIndex {
   /// always a superset of the true matches. `*exact` is set when the
   /// result is known to be the exact match set: plain single words
   /// combined with and/or, and `not` of an exact subpattern (the
-  /// complement against all units). Phrases and regexes are
+  /// complement against all units). Conjunctions of plain words run
+  /// the galloping block-skip intersection. Phrases and regexes are
   /// conservative — phrases contribute the intersection of their plain
   /// parts, regexes cannot prune. Purely negative and empty patterns
   /// return all units (inexact). Candidates must be confirmed with
@@ -92,7 +119,8 @@ class InvertedIndex {
   std::vector<UnitId> Lookup(std::string_view word) const;
 
   /// Units where `word1` and `word2` occur within `max_distance`
-  /// words (exact, via positions).
+  /// words (exact, via positions). Galloping unit intersection; only
+  /// co-occurring units' position data is decoded.
   std::vector<UnitId> NearLookup(std::string_view word1,
                                  std::string_view word2,
                                  size_t max_distance) const;
@@ -103,26 +131,58 @@ class InvertedIndex {
   /// Lifetime maintenance counters (carried across copies).
   const IndexMaintenanceStats& maintenance_stats() const { return stats_; }
 
-  /// Rough memory footprint of the postings (bytes) — reported by the
-  /// storage experiment.
+  /// Lifetime probe counters (shared across the whole lineage — a
+  /// probe against any snapshot counts here).
+  IndexProbeStats probe_stats() const;
+
+  /// The term's compressed postings, or null when absent (term is
+  /// lowercased by the caller). Probe-path primitive for benches and
+  /// tests; does not count as a probe by itself.
+  std::shared_ptr<const CompressedPostings> Postings(
+      std::string_view lowercased_term) const;
+
+  /// Rough memory footprint of the postings (bytes) — the compressed
+  /// reality: payload + skip headers + dictionary entries + the
+  /// interned term arena.
   size_t ApproximateBytes() const;
 
+  /// What the pre-compression flat layout (std::map term nodes over
+  /// std::vector<Posting>) would take for the same content — the
+  /// baseline the compression win is measured against.
+  size_t FlatApproximateBytes() const;
+
  private:
-  struct Posting {
-    UnitId unit;
-    uint32_t position;
+  struct TermEntry {
+    /// Interned in *pool_ (lowercased). Entry order == string order.
+    const std::string* term;
+    std::shared_ptr<const CompressedPostings> list;
   };
 
-  using PostingsList = std::vector<Posting>;
+  struct AtomicProbeStats {
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> blocks_decoded{0};
+    std::atomic<uint64_t> blocks_skipped{0};
+    std::atomic<uint64_t> postings_decoded{0};
+    std::atomic<uint64_t> postings_skipped{0};
+  };
 
-  /// The term's postings vector, uniquely owned by this index (copies
-  /// a shared vector first — the copy-on-write step).
-  PostingsList& MutablePostings(const std::string& term);
+  /// Binary search for `term`; null when absent.
+  const TermEntry* FindEntry(std::string_view term) const;
+  TermEntry* FindMutableEntry(std::string_view term);
 
-  // term (lowercased) -> postings sorted by (unit, position), shared
-  // across index copies until one of them mutates the term.
-  std::map<std::string, std::shared_ptr<const PostingsList>, std::less<>>
-      postings_;
+  /// The term's postings list, uniquely owned by this index (copies a
+  /// shared list first — the copy-on-write step).
+  CompressedPostings& MutableList(TermEntry* entry);
+
+  /// Folds one probe's decode counters into the lineage counters.
+  void CountProbe(const DecodeCounters& c) const;
+
+  // Flat sorted dictionary: entries ordered by term string. Shared
+  // lists diverge copy-on-write; the pool and probe stats are shared
+  // by the whole lineage.
+  std::vector<TermEntry> terms_;
+  std::shared_ptr<StringPool> pool_;
+  std::shared_ptr<AtomicProbeStats> probe_stats_;
   std::vector<UnitId> units_;  // sorted ascending (Add contract)
   size_t unit_count_ = 0;
   IndexMaintenanceStats stats_;

@@ -1,0 +1,202 @@
+#include "text/postings.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sgmlqdb::text {
+
+namespace {
+
+void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t GetVarint(const std::vector<uint8_t>& bytes, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    uint8_t b = bytes[*pos];
+    ++*pos;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void CompressedPostings::Append(UnitId unit, uint32_t position) {
+  assert(count_ == 0 || unit > tail_unit_ ||
+         (unit == tail_unit_ && position > tail_position_));
+  if (blocks_.empty() || blocks_.back().count == kBlockPostings) {
+    Block b;
+    b.first_unit = unit;
+    b.last_unit = unit;
+    b.offset = static_cast<uint32_t>(bytes_.size());
+    b.count = 1;
+    blocks_.push_back(b);
+    PutVarint(position, &bytes_);
+  } else {
+    Block& b = blocks_.back();
+    uint64_t gap = unit - tail_unit_;
+    PutVarint(gap, &bytes_);
+    if (gap == 0) {
+      PutVarint(position - tail_position_, &bytes_);
+    } else {
+      PutVarint(position, &bytes_);
+    }
+    b.last_unit = unit;
+    ++b.count;
+  }
+  tail_unit_ = unit;
+  tail_position_ = position;
+  ++count_;
+}
+
+void CompressedPostings::DecodeAll(std::vector<Posting>* out) const {
+  out->reserve(out->size() + count_);
+  for (Cursor c = cursor(); !c.at_end(); c.Next()) {
+    out->push_back(Posting{c.unit(), c.position()});
+  }
+}
+
+CompressedPostings::Cursor CompressedPostings::cursor(
+    DecodeCounters* counters) const {
+  if (count_ == 0) return Cursor();
+  return Cursor(this, counters);
+}
+
+CompressedPostings::Cursor::Cursor(const CompressedPostings* list,
+                                   DecodeCounters* counters)
+    : list_(list), counters_(counters) {
+  EnterBlock(0);
+}
+
+void CompressedPostings::Cursor::EnterBlock(size_t b) {
+  const Block& block = list_->blocks_[b];
+  block_ = b;
+  in_block_ = 1;
+  byte_ = block.offset;
+  unit_ = block.first_unit;
+  position_ = static_cast<uint32_t>(GetVarint(list_->bytes_, &byte_));
+  if (counters_ != nullptr) {
+    ++counters_->blocks_decoded;
+    ++counters_->postings_decoded;
+  }
+}
+
+void CompressedPostings::Cursor::DecodeNext() {
+  uint64_t gap = GetVarint(list_->bytes_, &byte_);
+  uint64_t p = GetVarint(list_->bytes_, &byte_);
+  if (gap == 0) {
+    position_ += static_cast<uint32_t>(p);
+  } else {
+    unit_ += gap;
+    position_ = static_cast<uint32_t>(p);
+  }
+  ++in_block_;
+  if (counters_ != nullptr) ++counters_->postings_decoded;
+}
+
+void CompressedPostings::Cursor::Next() {
+  if (list_ == nullptr) return;
+  if (in_block_ < list_->blocks_[block_].count) {
+    DecodeNext();
+    return;
+  }
+  if (block_ + 1 < list_->blocks_.size()) {
+    EnterBlock(block_ + 1);
+    return;
+  }
+  list_ = nullptr;  // at_end
+}
+
+bool CompressedPostings::Cursor::NextUnit() {
+  if (list_ == nullptr) return false;
+  const UnitId current = unit_;
+  // The common case: the next distinct unit is nearby in this block.
+  // If the block is exhausted and later blocks still start with the
+  // same unit (a unit's occurrences can span blocks), SkipToUnit's
+  // header walk takes over.
+  while (!at_end() && unit_ == current) {
+    if (in_block_ == list_->blocks_[block_].count &&
+        block_ + 1 < list_->blocks_.size() &&
+        list_->blocks_[block_ + 1].first_unit == current) {
+      return SkipToUnit(current + 1);
+    }
+    Next();
+  }
+  return !at_end();
+}
+
+bool CompressedPostings::Cursor::SkipToUnit(UnitId u) {
+  if (list_ == nullptr) return false;
+  if (unit_ >= u) return true;
+  const std::vector<Block>& blocks = list_->blocks_;
+  // Fast path: u is still within the current block's range.
+  if (blocks[block_].last_unit >= u) {
+    while (in_block_ < blocks[block_].count) {
+      DecodeNext();
+      if (unit_ >= u) return true;
+    }
+    // last_unit >= u guarantees the scan above finds it.
+  }
+  // Gallop over the skip headers: exponential probe from the current
+  // block, then binary search inside the bracketed window, so short
+  // skips stay O(1) and long skips O(log distance).
+  if (counters_ != nullptr) {
+    // The unread tail of the current block is skipped, whatever the
+    // gallop lands on.
+    counters_->postings_skipped += blocks[block_].count - in_block_;
+  }
+  size_t lo = block_ + 1;
+  if (lo >= blocks.size()) {
+    list_ = nullptr;
+    return false;
+  }
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < blocks.size() && blocks[hi].last_unit < u) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, blocks.size());
+  auto it = std::lower_bound(
+      blocks.begin() + static_cast<long>(lo), blocks.begin() + static_cast<long>(hi), u,
+      [](const Block& b, UnitId needle) { return b.last_unit < needle; });
+  size_t target = static_cast<size_t>(it - blocks.begin());
+  if (counters_ != nullptr) {
+    for (size_t b = block_ + 1; b < target; ++b) {
+      ++counters_->blocks_skipped;
+      counters_->postings_skipped += blocks[b].count;
+    }
+  }
+  if (target == blocks.size()) {
+    list_ = nullptr;
+    return false;
+  }
+  EnterBlock(target);
+  while (unit_ < u && in_block_ < blocks[target].count) DecodeNext();
+  if (unit_ >= u) return true;
+  // The block's last_unit was >= u, so this is unreachable; guard
+  // against a corrupted list anyway.
+  list_ = nullptr;
+  return false;
+}
+
+void CompressedPostings::Cursor::CurrentUnitPositions(
+    std::vector<uint32_t>* out) {
+  if (list_ == nullptr) return;
+  const UnitId current = unit_;
+  while (!at_end() && unit_ == current) {
+    out->push_back(position_);
+    Next();
+  }
+}
+
+}  // namespace sgmlqdb::text

@@ -1,0 +1,252 @@
+// Property tests for the block-compressed posting lists and their use
+// in the inverted index:
+//  * encode -> decode roundtrips for random lists (empty, single
+//    posting, multi-block),
+//  * galloping (skip-header) intersection agrees with the linear
+//    merge on random list pairs across a density sweep,
+//  * copy-on-write sharing: cloning an index and mutating the clone
+//    never disturbs the pinned original, and untouched terms keep
+//    sharing one compressed list.
+// The suite runs under the tier-1 TSan stage (scripts/tier1.sh), so
+// the lineage-shared atomic probe counters get exercised under the
+// race detector too.
+
+#include "text/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "text/index.h"
+
+namespace sgmlqdb::text {
+namespace {
+
+/// A valid random posting list of exactly `count` postings: units
+/// non-decreasing with geometric-ish gaps up to `max_unit_gap`,
+/// positions increasing within a unit.
+std::vector<Posting> RandomList(std::mt19937_64& rng, size_t count,
+                                uint64_t max_unit_gap) {
+  std::vector<Posting> out;
+  out.reserve(count);
+  UnitId unit = rng() % (max_unit_gap + 1);
+  uint32_t position = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0 || rng() % 3 == 0) {
+      unit += (i == 0) ? 0 : 1 + rng() % max_unit_gap;
+      position = static_cast<uint32_t>(rng() % 4);
+    } else {
+      position += 1 + static_cast<uint32_t>(rng() % 7);
+    }
+    out.push_back({unit, position});
+  }
+  return out;
+}
+
+CompressedPostings Encode(const std::vector<Posting>& postings) {
+  CompressedPostings list;
+  for (const Posting& p : postings) list.Append(p.unit, p.position);
+  return list;
+}
+
+TEST(PostingsRoundtrip, RandomListsOfEverySize) {
+  std::mt19937_64 rng(20260807);
+  // 600 and 2000 postings span >4 blocks at kBlockPostings == 128;
+  // 127/128/129 pin the block-boundary edges.
+  const size_t sizes[] = {0, 1, 2, 5, 127, 128, 129, 256, 600, 2000};
+  for (size_t size : sizes) {
+    for (uint64_t gap : {1u, 16u, 4096u}) {
+      std::vector<Posting> original = RandomList(rng, size, gap);
+      CompressedPostings list = Encode(original);
+      EXPECT_EQ(list.size(), original.size());
+      EXPECT_EQ(list.block_count(),
+                (size + CompressedPostings::kBlockPostings - 1) /
+                    CompressedPostings::kBlockPostings);
+      std::vector<Posting> decoded;
+      list.DecodeAll(&decoded);
+      EXPECT_EQ(decoded, original) << "size=" << size << " gap=" << gap;
+    }
+  }
+}
+
+TEST(PostingsRoundtrip, CompressesDenseLists) {
+  std::mt19937_64 rng(7);
+  CompressedPostings list = Encode(RandomList(rng, 4096, 4));
+  // Small deltas varint-code to ~1-3 bytes vs 16 flat.
+  EXPECT_LT(list.ByteSize(), list.FlatByteSize() / 2);
+}
+
+TEST(PostingsRoundtrip, CursorWalkMatchesDecodeAll) {
+  std::mt19937_64 rng(11);
+  std::vector<Posting> original = RandomList(rng, 1000, 8);
+  CompressedPostings list = Encode(original);
+  std::vector<Posting> walked;
+  for (auto c = list.cursor(); !c.at_end(); c.Next()) {
+    walked.push_back({c.unit(), c.position()});
+  }
+  EXPECT_EQ(walked, original);
+}
+
+/// Distinct units shared by both lists, via the galloping cursors.
+std::vector<UnitId> GallopIntersect(const CompressedPostings& a,
+                                    const CompressedPostings& b,
+                                    DecodeCounters* counters) {
+  std::vector<UnitId> out;
+  auto ca = a.cursor(counters);
+  auto cb = b.cursor(counters);
+  while (!ca.at_end() && !cb.at_end()) {
+    if (ca.unit() == cb.unit()) {
+      out.push_back(ca.unit());
+      UnitId u = ca.unit();
+      if (!ca.SkipToUnit(u + 1) || !cb.SkipToUnit(u + 1)) break;
+    } else if (ca.unit() < cb.unit()) {
+      if (!ca.SkipToUnit(cb.unit())) break;
+    } else {
+      if (!cb.SkipToUnit(ca.unit())) break;
+    }
+  }
+  return out;
+}
+
+/// The same intersection by full linear decode (the pre-compression
+/// reference semantics).
+std::vector<UnitId> LinearIntersect(const CompressedPostings& a,
+                                    const CompressedPostings& b) {
+  auto units = [](const CompressedPostings& l) {
+    std::vector<Posting> all;
+    l.DecodeAll(&all);
+    std::vector<UnitId> u;
+    for (const Posting& p : all) {
+      if (u.empty() || u.back() != p.unit) u.push_back(p.unit);
+    }
+    return u;
+  };
+  std::vector<UnitId> ua = units(a), ub = units(b), out;
+  std::set_intersection(ua.begin(), ua.end(), ub.begin(), ub.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(GallopingParity, MatchesLinearIntersectionAcrossDensitySweep) {
+  std::mt19937_64 rng(20260808);
+  // (count, max unit gap) pairs from dense-meets-dense to a selective
+  // list probing a long one — the shape galloping exists for.
+  struct Shape {
+    size_t count;
+    uint64_t gap;
+  };
+  const Shape shapes[] = {{0, 1},    {1, 100},   {50, 2},
+                          {500, 1},  {500, 50},  {3000, 1},
+                          {3000, 8}, {20, 2000}, {10000, 1}};
+  for (const Shape& sa : shapes) {
+    for (const Shape& sb : shapes) {
+      CompressedPostings a = Encode(RandomList(rng, sa.count, sa.gap));
+      CompressedPostings b = Encode(RandomList(rng, sb.count, sb.gap));
+      DecodeCounters counters;
+      EXPECT_EQ(GallopIntersect(a, b, &counters), LinearIntersect(a, b))
+          << "a=(" << sa.count << "," << sa.gap << ") b=(" << sb.count
+          << "," << sb.gap << ")";
+    }
+  }
+}
+
+TEST(GallopingParity, SelectiveProbeSkipsBlocks) {
+  // A 20-unit list driving a 10^4-posting dense list must gallop past
+  // most of the long list's blocks instead of decoding them.
+  std::mt19937_64 rng(3);
+  CompressedPostings sparse = Encode(RandomList(rng, 20, 2000));
+  CompressedPostings dense = Encode(RandomList(rng, 10000, 1));
+  DecodeCounters counters;
+  GallopIntersect(sparse, dense, &counters);
+  EXPECT_GT(counters.blocks_skipped, dense.block_count() / 2)
+      << "decoded=" << counters.blocks_decoded
+      << " skipped=" << counters.blocks_skipped;
+  EXPECT_GT(counters.postings_skipped, counters.postings_decoded);
+}
+
+TEST(GallopingParity, SkipToUnitAgreesWithLinearScan) {
+  std::mt19937_64 rng(17);
+  std::vector<Posting> original = RandomList(rng, 2000, 30);
+  CompressedPostings list = Encode(original);
+  for (int trial = 0; trial < 200; ++trial) {
+    UnitId target = rng() % (original.back().unit + 10);
+    auto c = list.cursor();
+    bool found = c.SkipToUnit(target);
+    // Reference: first posting with unit >= target.
+    auto it = std::lower_bound(
+        original.begin(), original.end(), target,
+        [](const Posting& p, UnitId u) { return p.unit < u; });
+    if (it == original.end()) {
+      EXPECT_FALSE(found) << "target=" << target;
+    } else {
+      ASSERT_TRUE(found) << "target=" << target;
+      EXPECT_EQ(c.unit(), it->unit);
+      EXPECT_EQ(c.position(), it->position);
+    }
+  }
+}
+
+TEST(PostingsCow, CloneAndRemoveLeavesPinnedSnapshotIntact) {
+  InvertedIndex original;
+  original.Add(1, "galloping skip pointers");
+  original.Add(2, "galloping intersection of postings");
+  original.Add(3, "flat sorted dictionary");
+  InvertedIndex clone = original;  // pinned snapshot semantics
+
+  // Untouched clones share one compressed list per term.
+  EXPECT_EQ(original.Postings("galloping").get(),
+            clone.Postings("galloping").get());
+
+  clone.Remove(2, "galloping intersection of postings");
+  EXPECT_EQ(clone.Lookup("galloping"), (std::vector<UnitId>{1}));
+  EXPECT_TRUE(clone.Lookup("intersection").empty());
+  // The pinned original still answers from its own postings.
+  EXPECT_EQ(original.Lookup("galloping"), (std::vector<UnitId>{1, 2}));
+  EXPECT_EQ(original.Lookup("intersection"), (std::vector<UnitId>{2}));
+  EXPECT_EQ(original.unit_count(), 3u);
+  EXPECT_EQ(clone.unit_count(), 2u);
+
+  // The mutation forced copy-on-write of exactly the removed unit's
+  // term lists; terms the removal never touched stay shared.
+  EXPECT_GT(clone.maintenance_stats().term_copies,
+            original.maintenance_stats().term_copies);
+  EXPECT_NE(original.Postings("galloping").get(),
+            clone.Postings("galloping").get());
+  EXPECT_EQ(original.Postings("flat").get(), clone.Postings("flat").get());
+}
+
+TEST(PostingsCow, CloneAndAddLeavesPinnedSnapshotIntact) {
+  InvertedIndex original;
+  original.Add(1, "compressed blocks");
+  InvertedIndex clone = original;
+  clone.Add(2, "compressed varint deltas");
+
+  EXPECT_EQ(original.Lookup("compressed"), (std::vector<UnitId>{1}));
+  EXPECT_EQ(clone.Lookup("compressed"), (std::vector<UnitId>{1, 2}));
+  EXPECT_TRUE(original.Lookup("varint").empty());
+  EXPECT_EQ(original.term_count(), 2u);
+  EXPECT_EQ(clone.term_count(), 4u);
+  // Appending to a shared list copies it; the original keeps the
+  // 1-unit version. "blocks" was never touched and stays shared.
+  EXPECT_NE(original.Postings("compressed").get(),
+            clone.Postings("compressed").get());
+  EXPECT_EQ(original.Postings("blocks").get(),
+            clone.Postings("blocks").get());
+}
+
+TEST(PostingsCow, ProbeCountersAreSharedAcrossLineage) {
+  InvertedIndex original;
+  original.Add(1, "shared probe counters");
+  InvertedIndex clone = original;
+  const uint64_t before = original.probe_stats().probes;
+  (void)clone.Lookup("shared");
+  (void)original.Lookup("counters");
+  // Probes against either copy land in one lineage-wide tally.
+  EXPECT_EQ(original.probe_stats().probes, before + 2);
+  EXPECT_EQ(clone.probe_stats().probes, before + 2);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::text
