@@ -178,8 +178,98 @@ BENCHMARK(BM_ReaderLatencyDuringIngest)
     ->Arg(200)
     ->Iterations(400);
 
+// E16 — parallel ingest apply vs shard count. Each iteration submits
+// ONE batch replacing 8 resident documents through the service; the
+// sharded facade routes every op to its home shard, applies the
+// per-shard sessions in parallel on the branch pool, and publishes
+// the cross-shard epoch vector atomically. The 8 documents were
+// loaded with consecutive sequence numbers, so round-robin placement
+// spreads them over min(8, shards) shards: at 1 shard the batch
+// applies serially, at 8 every shard indexes one document
+// concurrently. Corpus size stays constant, so iterations are i.i.d.
+// On a single-core host the series is flat — the honest shape.
+constexpr size_t kShardedBatchDocs = 8;
+
+std::unique_ptr<sgmlqdb::ShardedStore> FreshShardedStore(size_t articles,
+                                                         size_t shards) {
+  auto store = std::make_unique<sgmlqdb::ShardedStore>(shards);
+  if (!store->LoadDtd(sgmlqdb::sgml::ArticleDtdText()).ok()) std::abort();
+  sgmlqdb::corpus::ArticleParams params;
+  params.sections = 4;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  for (size_t i = 0; i < articles; ++i) {
+    if (!store
+             ->LoadDocument(sgmlqdb::corpus::GenerateCorpusArticle(i, params),
+                            i == 0 ? "doc0" : "")
+             .ok()) {
+      std::abort();
+    }
+  }
+  // The live documents land on consecutive shards (consecutive global
+  // sequence numbers under round-robin placement).
+  for (size_t i = 0; i < kShardedBatchDocs; ++i) {
+    if (!store
+             ->LoadDocument(LiveArticles()[i % LiveArticles().size()],
+                            "live" + std::to_string(i))
+             .ok()) {
+      std::abort();
+    }
+  }
+  store->Freeze();
+  return store;
+}
+
+void RunShardedIngest(benchmark::State& state, size_t articles) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  std::unique_ptr<sgmlqdb::ShardedStore> store =
+      FreshShardedStore(articles, shards);
+  QueryService::Options options;
+  options.num_threads = 1;
+  QueryService service(*store, options);
+  size_t next = 0;
+  uint64_t batches = 0;
+  for (auto _ : state) {
+    std::vector<QueryService::IngestOp> batch;
+    batch.reserve(kShardedBatchDocs);
+    for (size_t i = 0; i < kShardedBatchDocs; ++i) {
+      batch.push_back(QueryService::IngestOp::Replace(
+          "live" + std::to_string(i),
+          LiveArticles()[next++ % LiveArticles().size()]));
+    }
+    auto v = service.Ingest(batch);
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    ++batches;
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["batches_per_s"] = benchmark::Counter(
+      static_cast<double>(batches), benchmark::Counter::kIsRate);
+  state.counters["docs_per_s"] = benchmark::Counter(
+      static_cast<double>(batches * kShardedBatchDocs),
+      benchmark::Counter::kIsRate);
+  sgmlqdb::bench::ReportShardedFootprint(state, *store);
+  service.Shutdown();
+}
+
+void RegisterSharded(size_t articles, const std::vector<size_t>& shards) {
+  const size_t n = articles > 0 ? articles : 200;
+  auto* bench = ::benchmark::RegisterBenchmark(
+      "BM_ShardedIngestPublish",
+      [n](benchmark::State& state) { RunShardedIngest(state, n); });
+  for (size_t s : shards) bench->Arg(static_cast<int64_t>(s));
+  // Replace-apply cost grows with per-shard posting-list length, so a
+  // 1-shard batch at 10^4+ articles runs seconds; scale the iteration
+  // count down with corpus size to keep big sweeps bounded.
+  bench->Unit(benchmark::kMillisecond)
+      ->Iterations(n <= 1000 ? 40 : n <= 20000 ? 6 : 3)
+      ->UseRealTime();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  return sgmlqdb::bench::RunBenchmarks(argc, argv);
+  return sgmlqdb::bench::RunBenchmarks(argc, argv, nullptr, RegisterSharded);
 }

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "service/query_service.h"
 
 namespace sgmlqdb::bench {
 namespace {
@@ -183,10 +184,68 @@ void RegisterScaled(size_t articles) {
   }
 }
 
+// E16 — scatter-gather scan QPS vs shard count. The scan-dominated
+// paper queries (Q1, Q2 and Q6 iterate every article via the
+// broadcast `Articles` root) compile once, execute per-shard against
+// each pinned snapshot on the branch pool, and merge with
+// deterministic order and cross-shard dedup. Arg(0) is the shard
+// count; shards=1 measures the facade's overhead over the
+// pre-sharding single-store path (acceptance: within 10%). On a
+// single-core host the series is flat by construction — the honest
+// shape; the speedup claim needs a multi-core runner.
+void RunShardedScan(benchmark::State& state, size_t articles) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  ShardedStore& store = MutableShardedCorpusStore(articles, /*sections=*/4,
+                                                  shards);
+  service::QueryService::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1 << 20;
+  service::QueryService service(store, options);
+  static constexpr const char* kScanQueries[] = {
+      "Q1_TitleAndFirstAuthor", "Q2_SubsectionsContaining",
+      "Q6_PositionComparison"};
+  // Warm the plan cache: the series measures scatter-gather
+  // execution, not first-compile cost.
+  for (const char* q : kScanQueries) {
+    auto r = service.ExecuteSync(PaperQueryText(q));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  size_t queries = 0;
+  for (auto _ : state) {
+    for (const char* q : kScanQueries) {
+      auto r = service.ExecuteSync(PaperQueryText(q));
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r->size());
+      ++queries;
+    }
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+  ReportShardedFootprint(state, store);
+  service.Shutdown();
+}
+
+void RegisterSharded(size_t articles, const std::vector<size_t>& shards) {
+  const size_t n = articles > 0 ? articles : 200;
+  auto* bench = ::benchmark::RegisterBenchmark(
+      "BM_ShardedScanQps",
+      [n](benchmark::State& state) { RunShardedScan(state, n); });
+  for (size_t s : shards) bench->Arg(static_cast<int64_t>(s));
+  bench->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+
 }  // namespace
 }  // namespace sgmlqdb::bench
 
 int main(int argc, char** argv) {
   return sgmlqdb::bench::RunBenchmarks(argc, argv,
-                                       sgmlqdb::bench::RegisterScaled);
+                                       sgmlqdb::bench::RegisterScaled,
+                                       sgmlqdb::bench::RegisterSharded);
 }

@@ -12,9 +12,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "core/document_store.h"
+#include "core/sharded_store.h"
 #include "corpus/generator.h"
 #include "corpus/workload.h"
 #include "sgml/goldens.h"
@@ -31,10 +33,31 @@ namespace sgmlqdb::bench {
 ///    BENCHMARK() cases keep their fixed sizes; `register_scaled`
 ///    (when the binary provides one) adds N-article variants, which
 ///    is how the 10^5-article points are produced on demand instead
-///    of on every run.
-inline int RunBenchmarks(int argc, char** argv,
-                         void (*register_scaled)(size_t articles) = nullptr) {
+///    of on every run;
+///  * `--shards LIST` (e.g. `--shards 1,2,4,8`) sets the shard-count
+///    axis for binaries that provide a `register_sharded` hook. The
+///    hook always runs (default axis {1,2,4,8} at the default corpus
+///    size), so every emitted BENCH_*.json carries the shard series;
+///    the flag reshapes it, and `--articles` scales its corpus.
+inline int RunBenchmarks(
+    int argc, char** argv,
+    void (*register_scaled)(size_t articles) = nullptr,
+    void (*register_sharded)(size_t articles,
+                             const std::vector<size_t>& shards) = nullptr) {
   size_t scaled_articles = 0;
+  std::vector<size_t> shard_axis = {1, 2, 4, 8};
+  auto parse_shards = [&shard_axis](const std::string& list) {
+    std::vector<size_t> parsed;
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      long n = std::atol(list.substr(pos, comma - pos).c_str());
+      if (n > 0) parsed.push_back(static_cast<size_t>(n));
+      pos = comma + 1;
+    }
+    if (!parsed.empty()) shard_axis = parsed;
+  };
   std::vector<std::string> args;
   args.reserve(static_cast<size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -52,12 +75,19 @@ inline int RunBenchmarks(int argc, char** argv,
       scaled_articles = static_cast<size_t>(
           std::atoll(std::string(arg.substr(sizeof("--articles=") - 1))
                          .c_str()));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      parse_shards(argv[++i]);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      parse_shards(std::string(arg.substr(sizeof("--shards=") - 1)));
     } else {
       args.emplace_back(arg);
     }
   }
   if (scaled_articles > 0 && register_scaled != nullptr) {
     register_scaled(scaled_articles);
+  }
+  if (register_sharded != nullptr) {
+    register_sharded(scaled_articles, shard_axis);
   }
   std::vector<char*> argv2;
   argv2.reserve(args.size());
@@ -125,17 +155,78 @@ inline const DocumentStore& CorpusStore(size_t articles, size_t sections) {
   return MutableCorpusStore(articles, sections);
 }
 
+/// A partitioned corpus store, memoized by (articles, sections,
+/// shards). Unlike MutableCorpusStore, at most ONE sharded store is
+/// kept alive at a time: the shard axis walks {1,2,4,8} over the same
+/// corpus, and holding four full copies of a 10^5-article store would
+/// multiply peak memory for no measurement benefit. Cases sharing a
+/// shard count still reuse the cached store; switching shard counts
+/// reloads the corpus.
+inline ShardedStore& MutableShardedCorpusStore(size_t articles,
+                                               size_t sections,
+                                               size_t shards) {
+  using Key = std::tuple<size_t, size_t, size_t>;
+  static auto& cache = *new std::map<Key, std::unique_ptr<ShardedStore>>();
+  Key key{articles, sections, shards};
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+  cache.clear();  // single-resident policy (see above)
+  auto store = std::make_unique<ShardedStore>(shards);
+  if (!store->LoadDtd(sgml::ArticleDtdText()).ok()) std::abort();
+  corpus::ArticleParams params;
+  params.sections = sections;
+  params.subsection_prob = 0.3;
+  params.figure_prob = 0.15;
+  for (size_t i = 0; i < articles; ++i) {
+    if (!store->LoadDocument(corpus::GenerateCorpusArticle(i, params),
+                             i == 0 ? "doc0" : "")
+             .ok()) {
+      std::abort();
+    }
+  }
+  store->Freeze();
+  ShardedStore& ref = *store;
+  cache[key] = std::move(store);
+  return ref;
+}
+
 /// Attaches the text index's postings footprint to a benchmark case:
 /// the compressed layout actually in memory vs. what the flat
 /// pre-compression layout (std::vector<Posting>) would take for the
 /// same content. Every corpus-backed benchmark reports these, so any
 /// BENCH_*.json documents the compression ratio alongside the timing.
+/// shard_count is emitted too (1 here) so bench_gate.py baselines
+/// stay comparable across shard configurations.
 inline void ReportPostingsFootprint(benchmark::State& state,
                                     const DocumentStore& store) {
+  state.counters["shard_count"] = 1.0;
   state.counters["postings_compressed_bytes"] =
       static_cast<double>(store.text_index().ApproximateBytes());
   state.counters["postings_flat_bytes"] =
       static_cast<double>(store.text_index().FlatApproximateBytes());
+}
+
+/// The sharded equivalent: shard_count, the summed postings footprint
+/// (comparable to the single-store counters above), and per-shard
+/// document/postings splits so a skewed partition is visible in the
+/// JSON rather than averaged away.
+inline void ReportShardedFootprint(benchmark::State& state,
+                                   const ShardedStore& store) {
+  state.counters["shard_count"] = static_cast<double>(store.shard_count());
+  double compressed = 0, flat = 0;
+  for (size_t i = 0; i < store.shard_count(); ++i) {
+    const DocumentStore& shard = store.shard(i);
+    const double docs = static_cast<double>(shard.document_count());
+    const double bytes =
+        static_cast<double>(shard.text_index().ApproximateBytes());
+    compressed += bytes;
+    flat += static_cast<double>(shard.text_index().FlatApproximateBytes());
+    const std::string prefix = "shard" + std::to_string(i) + "_";
+    state.counters[prefix + "documents"] = docs;
+    state.counters[prefix + "postings_bytes"] = bytes;
+  }
+  state.counters["postings_compressed_bytes"] = compressed;
+  state.counters["postings_flat_bytes"] = flat;
 }
 
 /// The raw SGML texts of a memoized corpus (for parse/storage

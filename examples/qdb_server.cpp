@@ -6,6 +6,9 @@
 //
 //   ./build/examples/qdb_server [flags]
 //     --articles=N     corpus size (default 20)
+//     --shards=N       store partitions; queries scatter-gather and
+//                      ingest batches apply in parallel across them
+//                      (default 1)
 //     --threads=N      query worker threads (default 4)
 //     --queue-depth=N  admission-control limit (default 256)
 //     --http-port=P    HTTP port (default 0 = ephemeral)
@@ -25,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/sharded_store.h"
 #include "corpus/generator.h"
 #include "net/server.h"
 #include "service/query_service.h"
@@ -44,6 +48,7 @@ uint64_t FlagValue(std::string_view arg, std::string_view name) {
 
 int main(int argc, char** argv) {
   size_t articles = 20;
+  size_t shards = 1;
   size_t threads = 4;
   size_t queue_depth = 256;
   uint16_t http_port = 0;
@@ -53,6 +58,8 @@ int main(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (arg.rfind("--articles=", 0) == 0) {
       articles = FlagValue(arg, "--articles=");
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = FlagValue(arg, "--shards=");
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = FlagValue(arg, "--threads=");
     } else if (arg.rfind("--queue-depth=", 0) == 0) {
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
   }
 
   // -- Load phase (single-threaded, mutating) -------------------------
-  sgmlqdb::DocumentStore store;
+  sgmlqdb::ShardedStore store(shards);
   if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
     std::cerr << st << "\n";
     return 1;
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
   sgmlqdb::service::QueryService::Options options;
   options.num_threads = threads;
   options.max_queue_depth = queue_depth;
+  options.shards = shards;
   sgmlqdb::service::QueryService service(store, options);
 
   sgmlqdb::net::ServerOptions server_options;
@@ -103,9 +111,14 @@ int main(int argc, char** argv) {
     std::cerr << st << "\n";
     return 1;
   }
+  size_t objects = 0;
+  for (size_t i = 0; i < store.shard_count(); ++i) {
+    objects += store.shard(i).db().object_count();
+  }
   std::cout << "loaded " << articles << " articles ("
-            << store.db().object_count() << " objects), "
-            << service.num_threads() << " worker threads\n";
+            << objects << " objects) across " << store.shard_count()
+            << " shard(s), " << service.num_threads()
+            << " worker threads\n";
   std::cout << "serving http on " << server_options.bind_addr << ":"
             << server.http_port() << "\n";
   std::cout << "serving binary on " << server_options.bind_addr << ":"

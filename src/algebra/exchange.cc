@@ -1,0 +1,70 @@
+#include "algebra/exchange.h"
+
+#include <utility>
+
+namespace sgmlqdb::algebra {
+
+Status ExchangeOperator::GatherRows(size_t n, const RowTask& task,
+                                    std::vector<Row>* out) const {
+  if (!parallel_for(n)) {
+    for (size_t i = 0; i < n; ++i) {
+      SGMLQDB_RETURN_IF_ERROR(task(i, out));
+    }
+    return Status::OK();
+  }
+  std::vector<std::vector<Row>> parts(n);
+  std::vector<Status> statuses(n, Status::OK());
+  executor_->Run(n, [&](size_t i) { statuses[i] = task(i, &parts[i]); });
+  // Deterministic: errors and rows are taken in task order, exactly
+  // as the serial loop would produce them.
+  for (const Status& s : statuses) {
+    SGMLQDB_RETURN_IF_ERROR(s);
+  }
+  size_t total = 0;
+  for (const std::vector<Row>& p : parts) total += p.size();
+  out->reserve(out->size() + total);
+  for (std::vector<Row>& p : parts) {
+    for (Row& row : p) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<om::Value>> ExchangeOperator::GatherValues(
+    size_t n, const ValueTask& task) const {
+  std::vector<Result<om::Value>> parts(n, Result<om::Value>(om::Value()));
+  if (!parallel_for(n)) {
+    for (size_t i = 0; i < n; ++i) parts[i] = task(i);
+  } else {
+    executor_->Run(n, [&](size_t i) { parts[i] = task(i); });
+  }
+  std::vector<om::Value> out;
+  out.reserve(n);
+  for (Result<om::Value>& p : parts) {
+    if (!p.ok()) return p.status();
+    out.push_back(std::move(p).value());
+  }
+  return out;
+}
+
+Result<om::Value> ExchangeOperator::MergeSets(
+    const std::vector<om::Value>& parts) {
+  std::vector<om::Value> elems;
+  size_t total = 0;
+  for (const om::Value& part : parts) {
+    if (part.kind() != om::ValueKind::kSet) {
+      return Status::Internal(
+          "exchange merge expects set-valued partial results, got " +
+          std::string(om::ValueKindToString(part.kind())));
+    }
+    total += part.size();
+  }
+  elems.reserve(total);
+  for (const om::Value& part : parts) {
+    for (size_t i = 0; i < part.size(); ++i) {
+      elems.push_back(part.Element(i));
+    }
+  }
+  return om::Value::Set(std::move(elems));
+}
+
+}  // namespace sgmlqdb::algebra

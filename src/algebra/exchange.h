@@ -1,0 +1,71 @@
+// ExchangeOperator: the generic scatter-gather primitive of the
+// execution layer.
+//
+// One plan, N independent partitions of the work: scatter the same
+// task over indices 0..n-1 (on a BranchExecutor when one is present,
+// serially otherwise), gather the partial outputs, and merge them
+// deterministically — rows concatenate in task order (exactly what
+// the serial loop would produce), set-valued results merge through
+// om::Value::Set's canonical construction (cross-partition dedup +
+// total order). Two call sites share it:
+//
+//  * UnionAllNode fans the §5.4 expansion's union branches over the
+//    service's branch pool (the former parallel-union special case);
+//  * the sharded QueryService scatters a compiled plan to every
+//    shard's pinned snapshot and merges the per-shard result sets.
+//
+// Error semantics are deterministic too: when several tasks fail, the
+// error of the lowest task index wins — the same error a serial
+// left-to-right execution would have surfaced.
+
+#ifndef SGMLQDB_ALGEBRA_EXCHANGE_H_
+#define SGMLQDB_ALGEBRA_EXCHANGE_H_
+
+#include <functional>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "om/value.h"
+
+namespace sgmlqdb::algebra {
+
+class ExchangeOperator {
+ public:
+  /// `executor` may be null: every Gather degrades to the serial loop
+  /// (no fan-out, no intermediate buffers for rows).
+  explicit ExchangeOperator(BranchExecutor* executor)
+      : executor_(executor) {}
+
+  /// True when `n` tasks would actually fan out.
+  bool parallel_for(size_t n) const { return executor_ != nullptr && n > 1; }
+
+  using RowTask = std::function<Status(size_t, std::vector<Row>*)>;
+
+  /// Scatters task(0..n-1); gathers each task's rows concatenated in
+  /// task order into `out`. Serial execution appends straight to
+  /// `out` (no per-task buffer), so a single-task or executor-less
+  /// exchange is exactly the plain loop.
+  Status GatherRows(size_t n, const RowTask& task,
+                    std::vector<Row>* out) const;
+
+  using ValueTask = std::function<Result<om::Value>(size_t)>;
+
+  /// Scatters task(0..n-1); gathers the per-task values in task
+  /// order.
+  Result<std::vector<om::Value>> GatherValues(size_t n,
+                                              const ValueTask& task) const;
+
+  /// Merges per-partition result sets into one canonical set: every
+  /// part must be a kSet; their elements are pooled and rebuilt via
+  /// om::Value::Set, whose canonical construction deduplicates across
+  /// partitions and fixes the order — the merged result is
+  /// byte-identical to single-partition execution.
+  static Result<om::Value> MergeSets(const std::vector<om::Value>& parts);
+
+ private:
+  BranchExecutor* executor_;
+};
+
+}  // namespace sgmlqdb::algebra
+
+#endif  // SGMLQDB_ALGEBRA_EXCHANGE_H_

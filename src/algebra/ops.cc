@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "algebra/exchange.h"
 #include "base/exec_guard.h"
 #include "text/index.h"
 #include "text/query_cache.h"
@@ -1162,13 +1163,26 @@ class UnionAllNode : public Node {
   }
 
   Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
-    if (ctx.branch_executor != nullptr && children_.size() > 1) {
-      return ExecuteParallel(ctx, out);
+    // The union is an exchange over its branches: serial execution
+    // appends child rows straight to `out`; with a branch executor a
+    // multi-branch union scatters, gathers, and concatenates in
+    // branch order. One fan-out level: the scattered branches share
+    // the memo (thread-safe) but do not re-fan nested unions.
+    ExchangeOperator exchange(ctx.branch_executor);
+    if (!exchange.parallel_for(children_.size())) {
+      for (const PlanPtr& c : children_) {
+        SGMLQDB_RETURN_IF_ERROR(ExecuteChild(c, ctx, out));
+      }
+      return Status::OK();
     }
-    for (const PlanPtr& c : children_) {
-      SGMLQDB_RETURN_IF_ERROR(ExecuteChild(c, ctx, out));
-    }
-    return Status::OK();
+    ExecContext branch_ctx = ctx;
+    branch_ctx.branch_executor = nullptr;
+    return exchange.GatherRows(
+        children_.size(),
+        [&](size_t i, std::vector<Row>* part) {
+          return ExecuteChild(children_[i], branch_ctx, part);
+        },
+        out);
   }
 
   std::string Describe() const override {
@@ -1179,31 +1193,6 @@ class UnionAllNode : public Node {
 
   PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
     return std::make_shared<UnionAllNode>(std::move(children));
-  }
-
- private:
-  Status ExecuteParallel(const ExecContext& ctx, std::vector<Row>* out) const {
-    // One fan-out level: branches share the memo (thread-safe) but do
-    // not re-fan nested unions.
-    ExecContext branch_ctx = ctx;
-    branch_ctx.branch_executor = nullptr;
-    std::vector<std::vector<Row>> parts(children_.size());
-    std::vector<Status> statuses(children_.size(), Status::OK());
-    ctx.branch_executor->Run(children_.size(), [&](size_t i) {
-      statuses[i] = ExecuteChild(children_[i], branch_ctx, &parts[i]);
-    });
-    // Deterministic: errors and rows are taken in branch order,
-    // exactly as the serial loop would produce them.
-    for (const Status& s : statuses) {
-      SGMLQDB_RETURN_IF_ERROR(s);
-    }
-    size_t total = 0;
-    for (const std::vector<Row>& p : parts) total += p.size();
-    out->reserve(out->size() + total);
-    for (std::vector<Row>& p : parts) {
-      for (Row& row : p) out->push_back(std::move(row));
-    }
-    return Status::OK();
   }
 };
 

@@ -149,6 +149,44 @@ void CollectVariables(const DataTerm& term, std::set<Variable>* out) {
   }
 }
 
+void CollectRootNames(const DataTerm& term, std::set<std::string>* out) {
+  switch (term.kind()) {
+    case DataTerm::Kind::kName:
+      out->insert(term.root_name());
+      break;
+    case DataTerm::Kind::kVariable:
+    case DataTerm::Kind::kConstant:
+      break;
+    case DataTerm::Kind::kTupleCons:
+      for (const auto& [attr, t] : term.tuple_fields()) {
+        CollectRootNames(*t, out);
+      }
+      break;
+    case DataTerm::Kind::kListCons:
+    case DataTerm::Kind::kSetCons:
+    case DataTerm::Kind::kFunction:
+      for (const DataTermPtr& t : term.children()) {
+        CollectRootNames(*t, out);
+      }
+      break;
+    case DataTerm::Kind::kPathApply:
+      CollectRootNames(*term.base(), out);
+      break;
+    case DataTerm::Kind::kSubquery:
+      CollectRootNames(*term.subquery(), out);
+      break;
+  }
+}
+
+void CollectRootNames(const Formula& formula, std::set<std::string>* out) {
+  for (const DataTermPtr& t : formula.terms()) CollectRootNames(*t, out);
+  for (const FormulaPtr& c : formula.children()) CollectRootNames(*c, out);
+}
+
+void CollectRootNames(const Query& query, std::set<std::string>* out) {
+  if (query.body != nullptr) CollectRootNames(*query.body, out);
+}
+
 std::set<Variable> Formula::FreeVariables() const {
   std::set<Variable> out;
   for (const DataTermPtr& t : terms_) CollectVariables(*t, &out);

@@ -92,6 +92,14 @@ struct Query {
 void CollectVariables(const DataTerm& term, std::set<Variable>* out);
 void CollectVariables(const PathTerm& path, std::set<Variable>* out);
 
+/// Persistence-root names (kName terms) a term / formula / query
+/// references, anywhere — including tuple fields, function arguments
+/// and nested subqueries. The sharded execution layer routes
+/// statements by where these names are bound.
+void CollectRootNames(const DataTerm& term, std::set<std::string>* out);
+void CollectRootNames(const Formula& formula, std::set<std::string>* out);
+void CollectRootNames(const Query& query, std::set<std::string>* out);
+
 }  // namespace sgmlqdb::calculus
 
 #endif  // SGMLQDB_CALCULUS_FORMULA_H_

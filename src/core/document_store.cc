@@ -37,7 +37,8 @@ Status DocumentStore::LoadDtd(std::string_view dtd_text) {
 }
 
 Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
-                                                 std::string_view name) {
+                                                 std::string_view name,
+                                                 uint64_t oid_base) {
   if (frozen()) {
     return Status::Unavailable("store is frozen: LoadDocument is not "
                                "allowed after serving starts; use "
@@ -48,6 +49,11 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
   }
   ingest::StoreSnapshot* ws = state_.get();
   om::Database* db = ws->db.get();
+  // A caller-assigned oid block: number this document's objects from
+  // `oid_base` (refused if any oid there was already assigned).
+  if (oid_base != 0) {
+    SGMLQDB_RETURN_IF_ERROR(db->SetNextOid(oid_base));
+  }
   // Declare the per-document persistence name so its binding
   // typechecks against the doctype's class.
   if (!name.empty() && db->schema().FindName(name) == nullptr) {
@@ -75,6 +81,22 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
   ws->epoch = snapshots_.AdvanceEpoch();
   ws->cache->SetLiveEpochFloor(ws->epoch);
   return loaded.root;
+}
+
+Status DocumentStore::DeclareDocumentName(std::string_view name) {
+  if (frozen()) {
+    return Status::Unavailable("store is frozen: declare names through "
+                               "an ingest session");
+  }
+  if (!dtd_.has_value()) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  if (name.empty()) return Status::OK();
+  om::Database* db = state_->db.get();
+  if (db->schema().FindName(name) != nullptr) return Status::OK();
+  return db->DeclareName(
+      std::string(name),
+      om::Type::Class(mapping::ClassNameFor(dtd_->doctype())));
 }
 
 void DocumentStore::Freeze() {

@@ -61,8 +61,21 @@ class DocumentStore {
   /// non-empty, additionally binds the root object to that
   /// persistence name (e.g. "my_article"). Pre-freeze only; after
   /// Freeze() use BeginIngest()/PublishIngest().
+  ///
+  /// `oid_base` != 0 numbers the document's objects from that oid
+  /// (the sharded store assigns each document a disjoint oid block so
+  /// object identity is independent of shard placement); it must be
+  /// past every oid already assigned. 0 = continue numbering.
   Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
-                                    std::string_view name = "");
+                                    std::string_view name = "",
+                                    uint64_t oid_base = 0);
+
+  /// Declares a per-document persistence name (typed as the doctype's
+  /// class) without binding it. The sharded store declares every
+  /// document name on every shard — so one schema compiles every
+  /// statement — while binding it only on the document's home shard.
+  /// Idempotent; pre-freeze only.
+  Status DeclareDocumentName(std::string_view name);
 
   struct QueryOptions {
     oql::Engine engine = oql::Engine::kNaive;

@@ -1,0 +1,204 @@
+// ShardedStore: a partitioned DocumentStore facade for scatter-gather
+// execution.
+//
+// The store is split into N shards, each a full DocumentStore — its
+// own object database, inverted index, element-text maps, and
+// SnapshotManager epoch stream. Documents are routed to a shard by
+// their global load sequence number (seq % N); every shard compiles
+// the same DTD, so one schema (shard 0's) prepares every statement
+// and the compiled plan executes unchanged against any shard's
+// snapshot.
+//
+// Three invariants make per-shard execution composable:
+//
+//  1. Deterministic oids. Each document owns a disjoint oid block —
+//     global sequence k gets oids [k*kOidsPerDocument+1, ...) — so
+//     object identity is a function of load order alone, never of
+//     shard placement. The same corpus loaded at any shard count
+//     yields byte-identical query results (oids included).
+//
+//  2. Names everywhere, bindings at home. A per-document persistence
+//     name is *declared* in every shard's schema (so preparation
+//     against shard 0 typechecks) but *bound* only on the document's
+//     home shard. Routing asks where a name is bound: exactly one
+//     shard answers.
+//
+//  3. Epoch-vector snapshots. snapshot() returns a ShardedSnapshot
+//     pinning one StoreSnapshot per shard plus the epoch vector it
+//     was built from. Cross-shard ingest publishes every touched
+//     shard and rebuilds the combined snapshot under one mutex, so a
+//     reader either sees a whole batch or none of it.
+//
+// Ingest(ops) is the batched cross-shard writer: it partitions the
+// batch by home shard, opens one IngestSession per touched shard,
+// applies the per-shard slices in parallel (per-shard single-writer
+// latches still hold — parallelism is across shards), and publishes
+// atomically. Any failure abandons every session; the published state
+// is untouched.
+
+#ifndef SGMLQDB_CORE_SHARDED_STORE_H_
+#define SGMLQDB_CORE_SHARDED_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/document_store.h"
+#include "ingest/ingest_session.h"
+#include "ingest/snapshot.h"
+
+namespace sgmlqdb::algebra {
+class BranchExecutor;
+}  // namespace sgmlqdb::algebra
+
+namespace sgmlqdb {
+
+/// One consistent cross-shard version: shard i's pinned snapshot and
+/// the epoch it carried when the vector was built. Immutable once
+/// returned; hold the shared_ptr for the duration of one statement
+/// and every shard's structures stay valid across publishes.
+struct ShardedSnapshot {
+  std::vector<std::shared_ptr<const ingest::StoreSnapshot>> shards;
+  /// shards[i] == nullptr ? 0 : shards[i]->epoch, frozen at build
+  /// time. Torn vectors are impossible: publishes and rebuilds
+  /// serialize on the facade's snapshot mutex.
+  std::vector<uint64_t> epochs;
+  /// Monotone rebuild counter (distinct from any shard epoch).
+  uint64_t version = 0;
+};
+
+/// One document mutation in a cross-shard ingest batch. Mirrors the
+/// IngestSession verbs; the facade routes each op to its home shard.
+struct DocMutation {
+  enum class Kind { kLoad, kReplace, kRemove };
+  Kind kind = Kind::kLoad;
+  std::string name;  // empty for unnamed loads
+  std::string sgml;  // empty for removes
+
+  static DocMutation Load(std::string sgml_text, std::string doc_name = "") {
+    return {Kind::kLoad, std::move(doc_name), std::move(sgml_text)};
+  }
+  static DocMutation Replace(std::string doc_name, std::string sgml_text) {
+    return {Kind::kReplace, std::move(doc_name), std::move(sgml_text)};
+  }
+  static DocMutation Remove(std::string doc_name) {
+    return {Kind::kRemove, std::move(doc_name), {}};
+  }
+};
+
+class ShardedStore {
+ public:
+  /// Oid-block stride: document k numbers its objects from
+  /// k*kOidsPerDocument + 1. 2^20 oids per document is ~3 orders of
+  /// magnitude past the largest test corpus's element count.
+  static constexpr uint64_t kOidsPerDocument = uint64_t{1} << 20;
+
+  struct IngestResult {
+    /// Combined-snapshot version after the batch published.
+    uint64_t version = 0;
+    /// Aggregated over every touched shard's session.
+    ingest::IngestSession::Stats stats;
+    /// Wall time of the atomic publish phase (all shard publishes +
+    /// the combined-snapshot rebuild, under the snapshot mutex).
+    uint64_t publish_micros = 0;
+    size_t shards_touched = 0;
+  };
+
+  /// An owning store partitioned into `shards` partitions (>= 1).
+  /// Documents get disjoint oid blocks (invariant 1 above).
+  explicit ShardedStore(size_t shards);
+
+  /// A non-owning single-shard view over an existing store — how the
+  /// service layer adopts a caller-built DocumentStore unchanged.
+  /// Oid blocks are NOT assigned (the external store may already hold
+  /// arbitrary oids); `external` must outlive the view.
+  explicit ShardedStore(DocumentStore& external);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  /// Compiles the DTD into every shard's schema.
+  Status LoadDtd(std::string_view dtd_text);
+
+  /// Routes the document to shard (seq % shard_count()), assigns its
+  /// oid block, and declares `name` on every other shard. Pre-freeze
+  /// only (single-threaded loading), like DocumentStore::LoadDocument.
+  Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
+                                    std::string_view name = "");
+
+  /// Freezes every shard (publishes each loading workspace as its
+  /// shard's first served version).
+  void Freeze();
+  bool frozen() const { return shards_[0]->frozen(); }
+
+  /// The current cross-shard version, pinned. Rebuilt lazily when any
+  /// shard's epoch moved (covers both facade ingests and publishes
+  /// made directly against a shard, e.g. through the single-shard
+  /// view's underlying store).
+  std::shared_ptr<const ShardedSnapshot> snapshot() const;
+
+  /// Applies a batch of mutations across shards and publishes
+  /// atomically (invariant 3). `executor` != nullptr applies
+  /// per-shard slices in parallel; nullptr applies serially. On any
+  /// op failure the whole batch is abandoned (no shard publishes) and
+  /// the error of the smallest-index failing op is returned. One
+  /// facade-level writer at a time (Unavailable otherwise).
+  Result<IngestResult> Ingest(const std::vector<DocMutation>& ops,
+                              algebra::BranchExecutor* executor = nullptr);
+
+  /// The shards where `name` is *bound* (not merely declared) in
+  /// `snap` — the routing primitive. At most one element for names
+  /// maintained through this facade.
+  static std::vector<size_t> BoundShards(const ShardedSnapshot& snap,
+                                         std::string_view name);
+
+  size_t shard_count() const { return shards_.size(); }
+  DocumentStore& shard(size_t i) { return *shards_[i]; }
+  const DocumentStore& shard(size_t i) const { return *shards_[i]; }
+
+  bool has_dtd() const { return shards_[0]->has_dtd(); }
+  const sgml::Dtd& dtd() const { return shards_[0]->dtd(); }
+  /// Documents across all shards (current versions).
+  size_t document_count() const;
+  /// Global documents routed so far (the oid-block / routing
+  /// sequence; includes replaced documents' fresh blocks).
+  uint64_t document_sequence() const {
+    return doc_seq_.load(std::memory_order_relaxed);
+  }
+  /// False for the single-shard view over an external store.
+  bool assigns_oid_blocks() const { return assign_oid_blocks_; }
+
+  /// The `text()` operator across shards: at most one shard knows the
+  /// oid.
+  Result<std::string> TextOf(om::ObjectId oid) const;
+  /// Inverse mapping across shards (routes to the root's home shard).
+  Result<std::string> ExportSgml(om::ObjectId root) const;
+
+ private:
+  /// Rebuilds combined_ from the shards' current snapshots. Caller
+  /// holds snap_mu_.
+  void RebuildLocked() const;
+
+  std::vector<std::unique_ptr<DocumentStore>> owned_;
+  std::vector<DocumentStore*> shards_;  // size >= 1, never null
+  const bool assign_oid_blocks_;
+  /// Global document sequence: routing and oid-block assignment.
+  std::atomic<uint64_t> doc_seq_{0};
+  /// Facade-level single-writer latch for Ingest (each shard also has
+  /// its own; this one makes batch planning race-free).
+  std::atomic<bool> ingest_active_{false};
+  /// Guards combined_/version_ and serializes the publish phase
+  /// against snapshot rebuilds (the batch-atomicity mutex).
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const ShardedSnapshot> combined_;
+  mutable uint64_t version_ = 0;
+};
+
+}  // namespace sgmlqdb
+
+#endif  // SGMLQDB_CORE_SHARDED_STORE_H_

@@ -49,8 +49,21 @@ std::shared_ptr<StoreSnapshot> IngestSession::Consume() {
   return out;
 }
 
+Status IngestSession::DeclareName(std::string_view name) {
+  if (work_ == nullptr) {
+    return Status::InvalidArgument("ingest session already published");
+  }
+  if (name.empty()) return Status::OK();
+  om::Database* db = work_->db.get();
+  if (db->schema().FindName(name) != nullptr) return Status::OK();
+  return db->DeclareName(
+      std::string(name),
+      om::Type::Class(mapping::ClassNameFor(dtd_.doctype())));
+}
+
 Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
-                                             std::string_view name) {
+                                             std::string_view name,
+                                             uint64_t oid_base) {
   if (work_ == nullptr) {
     return Status::InvalidArgument("ingest session already published");
   }
@@ -58,6 +71,9 @@ Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
   // untouched (the workspace is private, so nothing to undo).
   SGMLQDB_FAULT_POINT("ingest.apply");
   om::Database* db = work_->db.get();
+  if (oid_base != 0) {
+    SGMLQDB_RETURN_IF_ERROR(db->SetNextOid(oid_base));
+  }
   if (!name.empty() && db->schema().FindName(name) == nullptr) {
     SGMLQDB_RETURN_IF_ERROR(db->DeclareName(
         std::string(name),
@@ -146,9 +162,10 @@ Status IngestSession::RemoveDocument(std::string_view name) {
 }
 
 Result<ObjectId> IngestSession::ReplaceDocument(std::string_view name,
-                                                std::string_view sgml_text) {
+                                                std::string_view sgml_text,
+                                                uint64_t oid_base) {
   SGMLQDB_RETURN_IF_ERROR(RemoveDocument(name));
-  Result<ObjectId> root = LoadDocument(sgml_text, name);
+  Result<ObjectId> root = LoadDocument(sgml_text, name, oid_base);
   if (root.ok()) {
     // The remove/load pair is one logical replace.
     --stats_.docs_removed;

@@ -58,13 +58,25 @@ class IngestSession {
   /// Parses, validates and loads a document into the workspace —
   /// the same pipeline as the pre-freeze DocumentStore::LoadDocument,
   /// against the cloned database. `name` optionally binds the root.
+  /// `oid_base` != 0 numbers the document's objects from that oid
+  /// (the sharded store's per-document oid blocks; must be past every
+  /// assigned oid); 0 = continue numbering.
   Result<om::ObjectId> LoadDocument(std::string_view sgml_text,
-                                    std::string_view name = "");
+                                    std::string_view name = "",
+                                    uint64_t oid_base = 0);
 
   /// Removes the named document and loads `sgml_text` under the same
-  /// name. The replacement gets fresh oids (oids are never reused).
+  /// name. The replacement gets fresh oids (oids are never reused;
+  /// `oid_base` as in LoadDocument).
   Result<om::ObjectId> ReplaceDocument(std::string_view name,
-                                       std::string_view sgml_text);
+                                       std::string_view sgml_text,
+                                       uint64_t oid_base = 0);
+
+  /// Declares a per-document persistence name (typed as the doctype's
+  /// class) without binding it — how the sharded store makes every
+  /// shard's schema know every document name while only the home
+  /// shard binds it. Idempotent.
+  Status DeclareName(std::string_view name);
 
   /// Removes the document bound to `name`: all its element objects,
   /// texts, index postings, its entry in the doctype's persistence

@@ -607,18 +607,53 @@ std::string Server::StatsJson() const {
          std::to_string(q.total_resource_exhausted());
   out += ",\"degraded\":" + std::to_string(q.total_degraded());
   out += ",\"inflight\":" + std::to_string(service_.inflight());
+  const ShardedStore& sharded = service_.sharded_store();
   out += "},\"store\":{";
   out += "\"epoch\":" + std::to_string(service_.store().epoch());
-  out += ",\"documents\":" +
-         std::to_string(service_.store().document_count());
-  const text::InvertedIndex& idx = service_.store().text_index();
-  const text::IndexMaintenanceStats& m = idx.maintenance_stats();
-  const text::IndexProbeStats p = idx.probe_stats();
+  out += ",\"version\":" + std::to_string(sharded.snapshot()->version);
+  out += ",\"shards\":" + std::to_string(sharded.shard_count());
+  out += ",\"documents\":" + std::to_string(sharded.document_count());
+  // Per-shard footprint: placement balance and index size at a glance.
+  out += ",\"per_shard\":[";
+  for (size_t i = 0; i < sharded.shard_count(); ++i) {
+    const DocumentStore& shard = sharded.shard(i);
+    const text::InvertedIndex& sidx = shard.text_index();
+    if (i > 0) out += ",";
+    out += "{\"epoch\":" + std::to_string(shard.epoch());
+    out += ",\"documents\":" + std::to_string(shard.document_count());
+    out += ",\"index_terms\":" + std::to_string(sidx.term_count());
+    out += ",\"index_units\":" + std::to_string(sidx.unit_count());
+    out += ",\"index_bytes\":" + std::to_string(sidx.ApproximateBytes());
+    out += "}";
+  }
+  out += "]";
+  // The text-index block aggregates across shards (it was the whole
+  // store's index before sharding; the sums keep it comparable).
+  uint64_t terms = 0, units = 0, comp_bytes = 0, flat_bytes = 0;
+  text::IndexProbeStats p;
+  text::IndexMaintenanceStats m;
+  for (size_t i = 0; i < sharded.shard_count(); ++i) {
+    const text::InvertedIndex& idx = sharded.shard(i).text_index();
+    terms += idx.term_count();
+    units += idx.unit_count();
+    comp_bytes += idx.ApproximateBytes();
+    flat_bytes += idx.FlatApproximateBytes();
+    const text::IndexProbeStats sp = idx.probe_stats();
+    p.probes += sp.probes;
+    p.blocks_decoded += sp.blocks_decoded;
+    p.blocks_skipped += sp.blocks_skipped;
+    p.postings_decoded += sp.postings_decoded;
+    p.postings_skipped += sp.postings_skipped;
+    const text::IndexMaintenanceStats& sm = idx.maintenance_stats();
+    m.units_added += sm.units_added;
+    m.units_removed += sm.units_removed;
+    m.term_copies += sm.term_copies;
+  }
   out += "},\"text_index\":{";
-  out += "\"terms\":" + std::to_string(idx.term_count());
-  out += ",\"units\":" + std::to_string(idx.unit_count());
-  out += ",\"compressed_bytes\":" + std::to_string(idx.ApproximateBytes());
-  out += ",\"flat_bytes\":" + std::to_string(idx.FlatApproximateBytes());
+  out += "\"terms\":" + std::to_string(terms);
+  out += ",\"units\":" + std::to_string(units);
+  out += ",\"compressed_bytes\":" + std::to_string(comp_bytes);
+  out += ",\"flat_bytes\":" + std::to_string(flat_bytes);
   out += ",\"probes\":" + std::to_string(p.probes);
   out += ",\"blocks_decoded\":" + std::to_string(p.blocks_decoded);
   out += ",\"blocks_skipped\":" + std::to_string(p.blocks_skipped);

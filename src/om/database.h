@@ -96,6 +96,23 @@ class Database {
 
   size_t object_count() const { return objects_.size(); }
 
+  /// Next oid NewObject would assign.
+  uint64_t next_oid() const { return next_oid_; }
+
+  /// Moves the oid counter forward (never backward: oids are assigned
+  /// disjointly and must not be reused). The sharded store numbers
+  /// each document from its own oid block so object identity is
+  /// independent of shard placement.
+  Status SetNextOid(uint64_t next) {
+    if (next < next_oid_) {
+      return Status::InvalidArgument(
+          "oid counter cannot move backward (next=" + std::to_string(next) +
+          ", current=" + std::to_string(next_oid_) + ")");
+    }
+    next_oid_ = next;
+    return Status::OK();
+  }
+
   /// Rough in-memory footprint of all object values and root bindings,
   /// in bytes (used by the storage-overhead experiment E6).
   size_t ApproximateBytes() const;

@@ -1,6 +1,7 @@
 #include "oql/oql.h"
 
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "oql/parser.h"
@@ -18,6 +19,15 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
   prepared.is_query = t.is_query;
   prepared.query = std::move(t.query);
   prepared.term = std::move(t.term);
+  {
+    std::set<std::string> roots;
+    if (prepared.is_query) {
+      calculus::CollectRootNames(prepared.query, &roots);
+    } else if (prepared.term != nullptr) {
+      calculus::CollectRootNames(*prepared.term, &roots);
+    }
+    prepared.root_refs.assign(roots.begin(), roots.end());
+  }
   if (prepared.is_query && options.engine == Engine::kAlgebraic) {
     Result<algebra::CompiledQuery> compiled =
         algebra::CompileQuery(schema, prepared.query);

@@ -14,6 +14,7 @@
 
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "algebra/compile.h"
 #include "algebra/optimize.h"
@@ -59,6 +60,11 @@ struct PreparedStatement {
   /// unoptimized plan instead (graceful degradation — the query still
   /// runs, the service layer counts the event).
   bool degraded_optimizer = false;
+  /// Persistence-root names the statement references, sorted (from
+  /// calculus::CollectRootNames; includes names inside subqueries).
+  /// The sharded service routes by where these are bound — computed
+  /// once here so routing never re-walks the calculus per execution.
+  std::vector<std::string> root_refs;
 
   /// Union branches of the algebraic expansion (0 when not compiled).
   size_t branch_count() const {

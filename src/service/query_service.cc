@@ -1,10 +1,12 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <utility>
 
+#include "algebra/exchange.h"
 #include "base/fault_injection.h"
 
 namespace sgmlqdb::service {
@@ -38,13 +40,33 @@ QueryService::QueryService(DocumentStore& store)
     : QueryService(store, Options{}) {}
 
 QueryService::QueryService(DocumentStore& store, const Options& options)
-    : store_(store),
+    : owned_view_(std::make_unique<ShardedStore>(store)),
+      sharded_(owned_view_.get()),
       options_(options),
       plan_cache_(options.plan_cache_capacity),
       watchdog_([this] { WatchdogLoop(); }),
       branch_pool_(ResolveThreads(options.branch_threads)),
       pool_(ResolveThreads(options.num_threads)) {
-  store.Freeze();
+  sharded_->Freeze();
+}
+
+QueryService::QueryService(ShardedStore& store)
+    : QueryService(store, Options{}) {}
+
+QueryService::QueryService(ShardedStore& store, const Options& options)
+    : sharded_(&store),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity),
+      watchdog_([this] { WatchdogLoop(); }),
+      branch_pool_(ResolveThreads(options.branch_threads)),
+      pool_(ResolveThreads(options.num_threads)) {
+  if (options.shards != 0 && options.shards != store.shard_count()) {
+    std::fprintf(stderr,
+                 "[sgmlqdb] Options::shards=%zu ignored: the store has %zu "
+                 "shards (the service never repartitions data)\n",
+                 options.shards, store.shard_count());
+  }
+  sharded_->Freeze();
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -219,84 +241,162 @@ std::vector<Result<om::Value>> QueryService::ExecuteBatch(
   return results;
 }
 
+Result<om::Value> QueryService::ExecuteOnSnapshot(
+    const std::shared_ptr<const ingest::StoreSnapshot>& snap,
+    const oql::PreparedStatement& prepared, const QueryOptions& options,
+    ExecGuard* guard, algebra::BranchExecutor* branch_executor,
+    std::atomic<bool>* degraded) {
+  calculus::EvalContext ctx = ingest::ContextFor(snap);
+  ctx.semantics = options.semantics;
+  ctx.guard = guard;
+  Result<om::Value> r = oql::ExecutePrepared(ctx, prepared, branch_executor);
+  if (!r.ok() && r.status().code() == StatusCode::kInternal) {
+    // Runtime degradation: an internal failure (e.g. a broken index
+    // probe) re-executes once on the reference evaluator with the
+    // index and pattern cache stripped — the slow but dependency-free
+    // path, over the same pinned snapshot. Deadlines/cancellation
+    // still apply via the same guard.
+    std::fprintf(stderr,
+                 "[sgmlqdb] execution failed (%s); retrying on the "
+                 "unindexed path\n",
+                 r.status().ToString().c_str());
+    calculus::EvalContext fallback = ingest::ContextFor(snap);
+    fallback.semantics = options.semantics;
+    fallback.guard = guard;
+    fallback.text_index = nullptr;
+    fallback.text_cache = nullptr;
+    degraded->store(true, std::memory_order_relaxed);
+    if (prepared.is_query) {
+      return calculus::EvaluateQuery(fallback, prepared.query);
+    }
+    return calculus::EvaluateClosedTerm(fallback, *prepared.term);
+  }
+  return r;
+}
+
 Result<om::Value> QueryService::RunOne(const std::string& oql,
                                        const QueryOptions& options,
                                        ExecGuard* guard) {
-  if (!store_.has_dtd()) {
+  if (!sharded_->has_dtd()) {
     return Status::InvalidArgument("load a DTD first");
   }
-  // Pin the current version for the whole statement: every publish
-  // after this line is invisible to it, and the snapshot (plus its
-  // parallel union branches, which copy the pinning context) keeps
-  // the structures alive.
-  std::shared_ptr<const ingest::StoreSnapshot> snap = store_.snapshot();
+  // Pin the current cross-shard version for the whole statement:
+  // every publish after this line is invisible to it, and the
+  // snapshot vector (plus its parallel branches, which copy the
+  // pinning contexts) keeps every shard's structures alive.
+  std::shared_ptr<const ShardedSnapshot> snap = sharded_->snapshot();
   const auto start = std::chrono::steady_clock::now();
   bool cache_hit = false;
-  bool degraded = false;
+  std::atomic<bool> degraded{false};
   std::shared_ptr<const oql::PreparedStatement> prepared;
   Result<om::Value> result = [&]() -> Result<om::Value> {
     // A statement cancelled (or already overdue) while queued returns
     // without preparing anything — this is how CancelAll +
     // Shutdown drains a deep queue quickly.
     SGMLQDB_RETURN_IF_ERROR(guard->Check());
+    const std::shared_ptr<const ingest::StoreSnapshot>& shard0 =
+        snap->shards[0];
+    if (shard0 == nullptr) {
+      return Status::InvalidArgument("load a DTD first");
+    }
     PlanKey key{oql, options.engine, options.semantics, options.optimize};
     prepared = plan_cache_.Get(key);
     cache_hit = prepared != nullptr;
     if (!cache_hit) {
-      // Prepare depends on the schema only (fixed at LoadDtd), never
-      // on document contents — which is why the plan cache is
-      // version-independent and survives publishes.
+      // Prepare depends on the schema only (fixed at LoadDtd; every
+      // shard compiles the same DTD and declares every document name,
+      // so shard 0's schema prepares for all of them) — which is why
+      // the plan cache is version- and shard-independent.
       oql::OqlOptions oql_options;
       oql_options.engine = options.engine;
       oql_options.optimize = options.optimize;
       Result<oql::PreparedStatement> p =
-          oql::Prepare(snap->db->schema(), oql, oql_options);
+          oql::Prepare(shard0->db->schema(), oql, oql_options);
       if (!p.ok()) return p.status();
       prepared = std::make_shared<const oql::PreparedStatement>(
           std::move(p).value());
       plan_cache_.Put(key, prepared);
     }
-    calculus::EvalContext ctx = ingest::ContextFor(snap);
-    ctx.semantics = options.semantics;
-    ctx.guard = guard;
-    Result<om::Value> r = oql::ExecutePrepared(
-        ctx, *prepared, options_.parallel_union ? &branch_exec_ : nullptr);
-    if (!r.ok() && r.status().code() == StatusCode::kInternal) {
-      // Runtime degradation: an internal failure (e.g. a broken index
-      // probe) re-executes once on the reference evaluator with the
-      // index and pattern cache stripped — the slow but dependency-free
-      // path, over the same pinned snapshot. Deadlines/cancellation
-      // still apply via the same guard.
-      std::fprintf(stderr,
-                   "[sgmlqdb] execution failed (%s); retrying on the "
-                   "unindexed path\n",
-                   r.status().ToString().c_str());
-      calculus::EvalContext fallback = ingest::ContextFor(snap);
-      fallback.semantics = options.semantics;
-      fallback.guard = guard;
-      fallback.text_index = nullptr;
-      fallback.text_cache = nullptr;
-      degraded = true;
-      if (prepared->is_query) {
-        return calculus::EvaluateQuery(fallback, prepared->query);
-      }
-      return calculus::EvaluateClosedTerm(fallback, *prepared->term);
+    algebra::BranchExecutor* exec =
+        options_.parallel_union ? &branch_exec_ : nullptr;
+    const size_t n = snap->shards.size();
+    if (n == 1) {
+      return ExecuteOnSnapshot(shard0, *prepared, options, guard, exec,
+                               &degraded);
     }
-    return r;
+    // Route by where the statement's root names are bound. A name
+    // bound on exactly one shard pins the statement there (invariant:
+    // facade-maintained document names have one home); a name bound
+    // on every shard (the doctype's persistence root, e.g. Articles)
+    // means the statement touches the whole partitioned corpus.
+    std::vector<size_t> homes;
+    bool broadcast = false;
+    for (const std::string& name : prepared->root_refs) {
+      std::vector<size_t> bound = ShardedStore::BoundShards(*snap, name);
+      if (bound.empty()) continue;  // unbound: same error on any shard
+      if (bound.size() == 1) {
+        if (std::find(homes.begin(), homes.end(), bound[0]) == homes.end()) {
+          homes.push_back(bound[0]);
+        }
+      } else {
+        broadcast = true;
+      }
+    }
+    if (homes.size() > 1 || (broadcast && !homes.empty())) {
+      return Status::Unsupported(
+          "statement joins documents living on different shards: "
+          "cross-shard joins are not supported (single-home or "
+          "whole-corpus statements only)");
+    }
+    if (!broadcast) {
+      // Single home shard (or no data references at all — evaluate
+      // anywhere; shard 0 is the convention). Intra-shard parallel
+      // union still applies.
+      const size_t target = homes.empty() ? 0 : homes[0];
+      return ExecuteOnSnapshot(snap->shards[target], *prepared, options,
+                               guard, exec, &degraded);
+    }
+    if (!prepared->is_query) {
+      // A bare expression over a broadcast name yields an ordered
+      // list (e.g. the root list itself); per-shard lists interleave
+      // by load order and cannot be merged soundly. Queries (set
+      // results) scatter fine.
+      return Status::Unsupported(
+          "whole-corpus expressions are not supported on a sharded "
+          "store: use a select statement (set results merge across "
+          "shards; bare list results do not)");
+    }
+    // Scatter-gather: the compiled plan executes against every
+    // shard's pinned snapshot in parallel; each per-shard execution
+    // runs its unions serially (the scatter already owns the branch
+    // pool — nesting would deadlock a bounded pool on itself), and
+    // the canonical set merge makes the result byte-identical to
+    // single-shard execution.
+    algebra::ExchangeOperator exchange(exec);
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::vector<om::Value> parts,
+        exchange.GatherValues(n, [&](size_t i) -> Result<om::Value> {
+          if (snap->shards[i] == nullptr) return om::Value::Set({});
+          return ExecuteOnSnapshot(snap->shards[i], *prepared, options,
+                                   guard, nullptr, &degraded);
+        }));
+    return algebra::ExchangeOperator::MergeSets(parts);
   }();
   // Deadline semantics are end-to-end: a result computed past the
   // deadline (e.g. the last probe predated it) still fails.
   if (result.ok() && guard != nullptr && !guard->Check().ok()) {
     result = guard->status();
   }
-  if (prepared != nullptr && prepared->degraded_optimizer) degraded = true;
+  if (prepared != nullptr && prepared->degraded_optimizer) {
+    degraded.store(true, std::memory_order_relaxed);
+  }
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   stats_.RecordExecution(oql, static_cast<uint64_t>(micros.count()),
                          result.ok() ? Status::OK() : result.status(),
                          cache_hit, RowsOf(result),
                          prepared == nullptr ? 0 : prepared->branch_count(),
-                         degraded);
+                         degraded.load(std::memory_order_relaxed));
   return result;
 }
 
@@ -305,7 +405,7 @@ Result<std::unique_ptr<ingest::IngestSession>> QueryService::BeginIngest() {
     return Status::Unavailable("query service is shut down");
   }
   SGMLQDB_ASSIGN_OR_RETURN(std::unique_ptr<ingest::IngestSession> session,
-                           store_.BeginIngest());
+                           sharded_->shard(0).BeginIngest());
   {
     std::lock_guard<std::mutex> lock(ingest_mu_);
     ingest_begin_ = std::chrono::steady_clock::now();
@@ -320,8 +420,8 @@ Result<uint64_t> QueryService::Publish(
   }
   const ingest::IngestSession::Stats applied = session->stats();
   const auto publish_start = std::chrono::steady_clock::now();
-  SGMLQDB_ASSIGN_OR_RETURN(uint64_t epoch,
-                           store_.PublishIngest(std::move(session)));
+  SGMLQDB_ASSIGN_OR_RETURN(
+      uint64_t epoch, sharded_->shard(0).PublishIngest(std::move(session)));
   const auto publish_end = std::chrono::steady_clock::now();
   IngestRecord record;
   record.epoch = epoch;
@@ -349,41 +449,54 @@ Result<uint64_t> QueryService::Publish(
 }
 
 Result<uint64_t> QueryService::Ingest(const std::vector<IngestOp>& ops) {
-  SGMLQDB_ASSIGN_OR_RETURN(std::unique_ptr<ingest::IngestSession> session,
-                           BeginIngest());
-  for (const IngestOp& op : ops) {
-    switch (op.kind) {
-      case IngestOp::Kind::kLoad: {
-        Result<om::ObjectId> root = session->LoadDocument(op.sgml, op.name);
-        if (!root.ok()) return root.status();
-        break;
-      }
-      case IngestOp::Kind::kReplace: {
-        Result<om::ObjectId> root = session->ReplaceDocument(op.name, op.sgml);
-        if (!root.ok()) return root.status();
-        break;
-      }
-      case IngestOp::Kind::kRemove:
-        SGMLQDB_RETURN_IF_ERROR(session->RemoveDocument(op.name));
-        break;
-    }
+  if (!serving_.load()) {
+    return Status::Unavailable("query service is shut down");
   }
-  return Publish(std::move(session));
+  const auto start = std::chrono::steady_clock::now();
+  SGMLQDB_ASSIGN_OR_RETURN(
+      ShardedStore::IngestResult applied,
+      sharded_->Ingest(ops,
+                       options_.parallel_union ? &branch_exec_ : nullptr));
+  const auto total_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  IngestRecord record;
+  record.epoch = applied.version;
+  record.docs_loaded = applied.stats.docs_loaded;
+  record.docs_replaced = applied.stats.docs_replaced;
+  record.docs_removed = applied.stats.docs_removed;
+  record.units_added = applied.stats.units_added;
+  record.units_removed = applied.stats.units_removed;
+  record.publish_micros = applied.publish_micros;
+  record.apply_micros = total_micros > applied.publish_micros
+                            ? total_micros - applied.publish_micros
+                            : 0;
+  stats_.RecordIngest(record);
+  return applied.version;
 }
 
 std::string QueryService::IngestReport() const {
-  const ingest::SnapshotManager::Stats snaps = store_.snapshot_stats();
-  const text::TextQueryCache::CacheStats cache = store_.text_cache_stats();
   std::string out = "=== ingest stats ===\n";
-  out += "epoch: " + std::to_string(store_.epoch()) +
-         "  documents: " + std::to_string(store_.document_count()) + "\n";
-  out += "publishes: " + std::to_string(snaps.publishes) +
-         "  last publish: " + std::to_string(snaps.last_publish_micros) +
-         "us\n";
-  out += "snapshots live: " + std::to_string(snaps.live_snapshots) +
-         "  min live epoch: " + std::to_string(snaps.min_live_epoch) +
-         "  current refcount: " + std::to_string(snaps.current_refcount) +
-         "\n";
+  out += "shards: " + std::to_string(sharded_->shard_count()) +
+         "  documents: " + std::to_string(sharded_->document_count()) + "\n";
+  text::TextQueryCache::CacheStats cache;
+  for (size_t i = 0; i < sharded_->shard_count(); ++i) {
+    const DocumentStore& shard = sharded_->shard(i);
+    const ingest::SnapshotManager::Stats snaps = shard.snapshot_stats();
+    out += "shard " + std::to_string(i) + ": epoch " +
+           std::to_string(shard.epoch()) + "  documents " +
+           std::to_string(shard.document_count()) + "  publishes " +
+           std::to_string(snaps.publishes) + " (last " +
+           std::to_string(snaps.last_publish_micros) + "us)  snapshots live " +
+           std::to_string(snaps.live_snapshots) + "  min live epoch " +
+           std::to_string(snaps.min_live_epoch) + "  current refcount " +
+           std::to_string(snaps.current_refcount) + "\n";
+    const text::TextQueryCache::CacheStats c = shard.text_cache_stats();
+    cache.hits += c.hits;
+    cache.misses += c.misses;
+    cache.stale_drops += c.stale_drops;
+  }
   out += "text cache: " + std::to_string(cache.hits) + " hits / " +
          std::to_string(cache.misses) + " misses, " +
          std::to_string(cache.stale_drops) + " stale entries dropped\n";

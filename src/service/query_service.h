@@ -1,4 +1,5 @@
-// QueryService: the concurrent front door over a frozen DocumentStore.
+// QueryService: the concurrent front door over a frozen store —
+// a single DocumentStore or a partitioned ShardedStore.
 //
 // The store is loaded single-threaded (the paper's load pipeline is
 // mutating), then handed to a QueryService which Freeze()s it — from
@@ -15,7 +16,12 @@
 //   * admission control — beyond `max_queue_depth` in-flight queries,
 //     Execute fails fast with Status::Unavailable instead of queueing
 //     unboundedly,
-//   * per-query latency/row/cache statistics (stats().Report()).
+//   * per-query latency/row/cache statistics (stats().Report()),
+//   * scatter-gather over a ShardedStore — a statement naming one
+//     document runs on its home shard; a whole-corpus statement is
+//     compiled once and executed against every shard's pinned
+//     snapshot in parallel, results merged deterministically through
+//     the ExchangeOperator (byte-identical to single-shard results).
 //
 // Usage:
 //
@@ -43,6 +49,7 @@
 #include "base/exec_guard.h"
 #include "base/status.h"
 #include "core/document_store.h"
+#include "core/sharded_store.h"
 #include "service/branch_executor.h"
 #include "service/plan_cache.h"
 #include "service/stats.h"
@@ -66,32 +73,23 @@ class QueryService {
     size_t branch_threads = 0;
     /// Fan a multi-branch algebraic UnionAll onto the branch pool.
     /// Results are identical to serial execution (deterministic branch
-    /// order); turn off to pin each query to one thread.
+    /// order); turn off to pin each query to one thread. Also gates
+    /// cross-shard scatter-gather and parallel per-shard ingest apply
+    /// (all three fan out through the same branch pool).
     bool parallel_union = true;
+    /// Expected shard count of the store being served; 0 = adopt
+    /// whatever partitioning the store has. A non-zero mismatch is
+    /// reported to stderr at construction (the store's own count
+    /// always wins — the service never repartitions data).
+    size_t shards = 0;
   };
 
   using QueryOptions = DocumentStore::QueryOptions;
 
-  /// One document mutation in an Ingest() batch.
-  struct IngestOp {
-    enum class Kind { kLoad, kReplace, kRemove };
-    Kind kind = Kind::kLoad;
-    /// Persistence name: optional for kLoad, required for
-    /// kReplace/kRemove.
-    std::string name;
-    /// Document text (unused for kRemove).
-    std::string sgml;
-
-    static IngestOp Load(std::string sgml, std::string name = "") {
-      return {Kind::kLoad, std::move(name), std::move(sgml)};
-    }
-    static IngestOp Replace(std::string name, std::string sgml) {
-      return {Kind::kReplace, std::move(name), std::move(sgml)};
-    }
-    static IngestOp Remove(std::string name) {
-      return {Kind::kRemove, std::move(name), ""};
-    }
-  };
+  /// One document mutation in an Ingest() batch (the sharded store's
+  /// DocMutation — kLoad/kReplace/kRemove with Load/Replace/Remove
+  /// factories; the facade routes each op to its home shard).
+  using IngestOp = DocMutation;
 
   /// A submitted statement: its query id (for Cancel) plus the future
   /// resolving to its result. id == 0 means the statement was rejected
@@ -102,8 +100,13 @@ class QueryService {
   };
 
   /// Freezes `store` (no LoadDocument afterwards) and starts serving.
+  /// The single-store overloads wrap `store` in a one-shard view;
+  /// the ShardedStore overloads serve every shard with scatter-gather
+  /// routing. Either way `store` must outlive the service.
   explicit QueryService(DocumentStore& store);
   QueryService(DocumentStore& store, const Options& options);
+  explicit QueryService(ShardedStore& store);
+  QueryService(ShardedStore& store, const Options& options);
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
   ~QueryService();  // Shutdown()
@@ -160,14 +163,17 @@ class QueryService {
   // -- Live ingestion ----------------------------------------------------
 
   /// Applies a batch of document mutations as one atomic publish:
-  /// opens the single-writer session, applies every op in order, and
-  /// publishes the new version. Readers never block; a failed op
-  /// discards the whole batch (the published store is untouched).
-  /// Returns the new epoch and records per-epoch ingest stats.
+  /// routes each op to its home shard, applies the per-shard slices
+  /// in parallel (single writer per shard), and publishes every
+  /// touched shard atomically. Readers never block and never observe
+  /// a partial batch; a failed op discards the whole batch (the
+  /// published store is untouched). Returns the new store version and
+  /// records per-version ingest stats.
   Result<uint64_t> Ingest(const std::vector<IngestOp>& ops);
 
-  /// Granular control: open the single-writer session directly (fails
-  /// with Unavailable while another writer is active)...
+  /// Granular single-shard control: open shard 0's single-writer
+  /// session directly (fails with Unavailable while another writer is
+  /// active). For multi-shard batches use Ingest().
   Result<std::unique_ptr<ingest::IngestSession>> BeginIngest();
 
   /// ...and publish it. Records per-epoch ingest stats.
@@ -177,7 +183,11 @@ class QueryService {
   /// latency, live snapshot refcounts, and text-cache stale drops.
   std::string IngestReport() const;
 
-  const DocumentStore& store() const { return store_; }
+  /// Shard 0 — the whole store when serving an unsharded
+  /// DocumentStore (the single-shard view).
+  const DocumentStore& store() const { return sharded_->shard(0); }
+  const ShardedStore& sharded_store() const { return *sharded_; }
+  size_t shard_count() const { return sharded_->shard_count(); }
   const PlanCache& plan_cache() const { return plan_cache_; }
   const ServiceStats& stats() const { return stats_; }
   size_t num_threads() const { return pool_.size(); }
@@ -186,19 +196,32 @@ class QueryService {
   size_t active_queries() const;
 
  private:
-  /// The worker-side path: cache lookup / prepare, execute, record.
-  /// On a runtime kInternal failure (e.g. a broken index probe) the
-  /// statement re-executes once on the unindexed reference path and
-  /// the degradation is counted instead of surfaced.
+  /// The worker-side path: cache lookup / prepare, route by the
+  /// statement's root-name references (home shard, or scatter-gather
+  /// across all shards through the ExchangeOperator), execute, record.
   Result<om::Value> RunOne(const std::string& oql,
                            const QueryOptions& options, ExecGuard* guard);
+
+  /// Executes a prepared statement against one shard's pinned
+  /// snapshot. On a runtime kInternal failure (e.g. a broken index
+  /// probe) the statement re-executes once on the unindexed reference
+  /// path, sets *degraded, and the failure is not surfaced.
+  Result<om::Value> ExecuteOnSnapshot(
+      const std::shared_ptr<const ingest::StoreSnapshot>& snap,
+      const oql::PreparedStatement& prepared, const QueryOptions& options,
+      ExecGuard* guard, algebra::BranchExecutor* branch_executor,
+      std::atomic<bool>* degraded);
 
   /// Trips guards whose steady-clock deadline has passed (belt and
   /// braces on top of the guards' own amortized deadline checks: a
   /// tripped flag is observed by the cheap per-iteration probe).
   void WatchdogLoop();
 
-  DocumentStore& store_;
+  /// Set when the service was built over a bare DocumentStore: the
+  /// adopting one-shard view. Declared before sharded_ (which points
+  /// at it in that case).
+  std::unique_ptr<ShardedStore> owned_view_;
+  ShardedStore* sharded_;  // never null
   const Options options_;
   /// Steady-clock start of the open ingest session (apply-time
   /// measurement for the per-epoch record). Guarded by ingest_mu_.

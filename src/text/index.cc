@@ -174,16 +174,13 @@ void InvertedIndex::Remove(UnitId id, std::string_view text) {
 
 namespace {
 
-/// Distinct units of one postings list, ascending.
+/// Distinct units of one postings list, ascending (the sequential
+/// whole-list decode — no cursor or skip-header overhead).
 std::vector<UnitId> UnitsOf(const CompressedPostings* list,
                             DecodeCounters* dc) {
   std::vector<UnitId> out;
   if (list == nullptr) return out;
-  CompressedPostings::Cursor c = list->cursor(dc);
-  while (!c.at_end()) {
-    out.push_back(c.unit());
-    if (!c.NextUnit()) break;
-  }
+  list->AppendDistinctUnits(&out, dc);
   return out;
 }
 

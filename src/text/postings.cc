@@ -15,12 +15,11 @@ void PutVarint(uint64_t v, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
-uint64_t GetVarint(const std::vector<uint8_t>& bytes, size_t* pos) {
+inline uint64_t GetVarint(const uint8_t** p) {
   uint64_t v = 0;
   int shift = 0;
   while (true) {
-    uint8_t b = bytes[*pos];
-    ++*pos;
+    uint8_t b = *(*p)++;
     v |= static_cast<uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) return v;
     shift += 7;
@@ -64,6 +63,30 @@ void CompressedPostings::DecodeAll(std::vector<Posting>* out) const {
   }
 }
 
+void CompressedPostings::AppendDistinctUnits(std::vector<UnitId>* out,
+                                             DecodeCounters* counters) const {
+  for (const Block& b : blocks_) {
+    const uint8_t* p = bytes_.data() + b.offset;
+    UnitId unit = b.first_unit;
+    GetVarint(&p);  // first posting's position
+    // A unit can span blocks: the block's first unit may continue the
+    // previous block's last.
+    if (out->empty() || out->back() != unit) out->push_back(unit);
+    for (uint32_t i = 1; i < b.count; ++i) {
+      uint64_t gap = GetVarint(&p);
+      GetVarint(&p);  // position, stepped over
+      if (gap != 0) {
+        unit += gap;
+        out->push_back(unit);
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->blocks_decoded += blocks_.size();
+    counters->postings_decoded += count_;
+  }
+}
+
 CompressedPostings::Cursor CompressedPostings::cursor(
     DecodeCounters* counters) const {
   if (count_ == 0) return Cursor();
@@ -79,10 +102,10 @@ CompressedPostings::Cursor::Cursor(const CompressedPostings* list,
 void CompressedPostings::Cursor::EnterBlock(size_t b) {
   const Block& block = list_->blocks_[b];
   block_ = b;
-  in_block_ = 1;
-  byte_ = block.offset;
+  left_ = block.count - 1;
+  p_ = list_->bytes_.data() + block.offset;
   unit_ = block.first_unit;
-  position_ = static_cast<uint32_t>(GetVarint(list_->bytes_, &byte_));
+  position_ = static_cast<uint32_t>(GetVarint(&p_));
   if (counters_ != nullptr) {
     ++counters_->blocks_decoded;
     ++counters_->postings_decoded;
@@ -90,21 +113,21 @@ void CompressedPostings::Cursor::EnterBlock(size_t b) {
 }
 
 void CompressedPostings::Cursor::DecodeNext() {
-  uint64_t gap = GetVarint(list_->bytes_, &byte_);
-  uint64_t p = GetVarint(list_->bytes_, &byte_);
+  uint64_t gap = GetVarint(&p_);
+  uint64_t p = GetVarint(&p_);
   if (gap == 0) {
     position_ += static_cast<uint32_t>(p);
   } else {
     unit_ += gap;
     position_ = static_cast<uint32_t>(p);
   }
-  ++in_block_;
+  --left_;
   if (counters_ != nullptr) ++counters_->postings_decoded;
 }
 
 void CompressedPostings::Cursor::Next() {
   if (list_ == nullptr) return;
-  if (in_block_ < list_->blocks_[block_].count) {
+  if (left_ > 0) {
     DecodeNext();
     return;
   }
@@ -118,19 +141,38 @@ void CompressedPostings::Cursor::Next() {
 bool CompressedPostings::Cursor::NextUnit() {
   if (list_ == nullptr) return false;
   const UnitId current = unit_;
-  // The common case: the next distinct unit is nearby in this block.
-  // If the block is exhausted and later blocks still start with the
-  // same unit (a unit's occurrences can span blocks), SkipToUnit's
-  // header walk takes over.
-  while (!at_end() && unit_ == current) {
-    if (in_block_ == list_->blocks_[block_].count &&
-        block_ + 1 < list_->blocks_.size() &&
-        list_->blocks_[block_ + 1].first_unit == current) {
-      return SkipToUnit(current + 1);
+  // Sequential fast path: with no skip target pending, decode the
+  // rest of the block on the raw payload pointer alone — no header
+  // lookups, no galloping setup. This is the pure-enumeration path
+  // (single-word lookups) that must stay close to a flat pointer
+  // walk.
+  uint64_t decoded = 0;
+  while (left_ > 0) {
+    uint64_t gap = GetVarint(&p_);
+    uint64_t p = GetVarint(&p_);
+    --left_;
+    ++decoded;
+    if (gap != 0) {
+      unit_ += gap;
+      position_ = static_cast<uint32_t>(p);
+      if (counters_ != nullptr) counters_->postings_decoded += decoded;
+      return true;
     }
-    Next();
+    position_ += static_cast<uint32_t>(p);
   }
-  return !at_end();
+  if (counters_ != nullptr) counters_->postings_decoded += decoded;
+  // Block exhausted. If later blocks still start with the same unit
+  // (a unit's occurrences can span blocks), SkipToUnit's header walk
+  // takes over; otherwise the next block begins the next unit.
+  if (block_ + 1 >= list_->blocks_.size()) {
+    list_ = nullptr;
+    return false;
+  }
+  if (list_->blocks_[block_ + 1].first_unit == current) {
+    return SkipToUnit(current + 1);
+  }
+  EnterBlock(block_ + 1);
+  return true;
 }
 
 bool CompressedPostings::Cursor::SkipToUnit(UnitId u) {
@@ -139,7 +181,7 @@ bool CompressedPostings::Cursor::SkipToUnit(UnitId u) {
   const std::vector<Block>& blocks = list_->blocks_;
   // Fast path: u is still within the current block's range.
   if (blocks[block_].last_unit >= u) {
-    while (in_block_ < blocks[block_].count) {
+    while (left_ > 0) {
       DecodeNext();
       if (unit_ >= u) return true;
     }
@@ -151,7 +193,7 @@ bool CompressedPostings::Cursor::SkipToUnit(UnitId u) {
   if (counters_ != nullptr) {
     // The unread tail of the current block is skipped, whatever the
     // gallop lands on.
-    counters_->postings_skipped += blocks[block_].count - in_block_;
+    counters_->postings_skipped += left_;
   }
   size_t lo = block_ + 1;
   if (lo >= blocks.size()) {
@@ -181,7 +223,7 @@ bool CompressedPostings::Cursor::SkipToUnit(UnitId u) {
     return false;
   }
   EnterBlock(target);
-  while (unit_ < u && in_block_ < blocks[target].count) DecodeNext();
+  while (unit_ < u && left_ > 0) DecodeNext();
   if (unit_ >= u) return true;
   // The block's last_unit was >= u, so this is unreachable; guard
   // against a corrupted list anyway.

@@ -86,6 +86,13 @@ class CompressedPostings {
   /// Decodes the whole list, appending to `out` (rebuilds, tests).
   void DecodeAll(std::vector<Posting>* out) const;
 
+  /// Appends the distinct units of the whole list, ascending — the
+  /// single-word lookup path. One tight pass over the raw payload
+  /// with no cursor state or per-posting header checks; positions are
+  /// decoded only to be stepped over.
+  void AppendDistinctUnits(std::vector<UnitId>* out,
+                           DecodeCounters* counters = nullptr) const;
+
   /// Forward decoder with skip-pointer galloping. Invalidated by any
   /// Append to the list. A default-constructed Cursor is at_end.
   class Cursor {
@@ -117,14 +124,20 @@ class CompressedPostings {
 
     /// Enters block `b` and decodes its first posting.
     void EnterBlock(size_t b);
-    /// Decodes the next posting of the current block (in_block_ < count).
+    /// Decodes the next posting of the current block (left_ > 0).
     void DecodeNext();
 
     const CompressedPostings* list_ = nullptr;  // null <=> at_end
     DecodeCounters* counters_ = nullptr;
-    size_t block_ = 0;     // current block index
-    size_t in_block_ = 0;  // postings consumed from the current block
-    size_t byte_ = 0;      // payload offset of the next posting
+    size_t block_ = 0;  // current block index
+    /// Raw payload pointer at the next undecoded posting and the
+    /// count of postings left in the current block. Sequential
+    /// decoding (Next/NextUnit with no skip target) runs entirely on
+    /// these two — no per-posting header lookups or bounds-indexed
+    /// byte access, which is what makes pure enumeration competitive
+    /// with a flat pointer walk (the E15 single-word regression).
+    const uint8_t* p_ = nullptr;
+    uint32_t left_ = 0;
     UnitId unit_ = 0;
     uint32_t position_ = 0;
   };
