@@ -1,0 +1,209 @@
+// E17 — the price of durability and the cost of coming back:
+//
+//   * ingest latency with the WAL fsyncing every batch (durable, the
+//     default), with durability=off (append without fsync), and with
+//     no WAL at all (the pre-durability baseline) — the fsync is the
+//     whole gap;
+//   * recovery time vs corpus size, split by recovery shape (pure WAL
+//     replay vs checkpoint + tail);
+//   * checkpoint write cost, with the WAL/checkpoint on-disk
+//     footprint reported as counters.
+//
+// Data dirs live under the bench process's CWD (the repo root when
+// run via scripts/bench.sh) and are removed afterwards.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "wal/checkpoint.h"
+#include "wal/manager.h"
+
+namespace {
+
+using sgmlqdb::DocMutation;
+using sgmlqdb::ShardedStore;
+
+class BenchDir {
+ public:
+  BenchDir() {
+    char tmpl[] = "benchwal-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    path_ = made == nullptr ? std::string() : std::string(made);
+  }
+  ~BenchDir() {
+    if (!path_.empty()) sgmlqdb::wal::RemoveDirRecursive(path_);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+const std::vector<std::string>& Corpus() {
+  static auto& docs = *new std::vector<std::string>([] {
+    sgmlqdb::corpus::ArticleParams params;
+    params.seed = 4242;
+    params.sections = 3;
+    params.bodies_per_section = 2;
+    return sgmlqdb::corpus::GenerateCorpus(512, params);
+  }());
+  return docs;
+}
+
+enum class Mode { kNoWal, kDurabilityOff, kDurable };
+
+std::unique_ptr<ShardedStore> LoadedStore(const std::string& dir,
+                                          Mode mode, size_t articles,
+                                          size_t shards) {
+  std::unique_ptr<ShardedStore> store;
+  if (mode == Mode::kNoWal) {
+    store = std::make_unique<ShardedStore>(shards);
+  } else {
+    sgmlqdb::wal::Options options;
+    options.data_dir = dir;
+    options.durable_sync = mode == Mode::kDurable;
+    auto opened = ShardedStore::OpenOrRecover(options, shards);
+    if (!opened.ok()) return nullptr;
+    store = std::move(opened).value();
+  }
+  if (!store->LoadDtd(sgmlqdb::sgml::ArticleDtdText()).ok()) return nullptr;
+  for (size_t i = 0; i < articles; ++i) {
+    if (!store
+             ->LoadDocument(Corpus()[i % Corpus().size()],
+                            "doc" + std::to_string(i))
+             .ok()) {
+      return nullptr;
+    }
+  }
+  store->Freeze();
+  return store;
+}
+
+/// One replace batch per iteration — the durable-vs-off p50 series.
+void RunIngest(benchmark::State& state, Mode mode) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  BenchDir dir;
+  auto store = LoadedStore(dir.path(), mode, articles, 1);
+  if (store == nullptr) {
+    state.SkipWithError("store setup failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto applied = store->Ingest({DocMutation::Replace(
+        "doc0", Corpus()[(i++ % 32) + 1])});
+    if (!applied.ok()) {
+      state.SkipWithError(applied.status().ToString().c_str());
+      return;
+    }
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  if (const sgmlqdb::wal::Manager* w = store->wal(); w != nullptr) {
+    const sgmlqdb::wal::WalStats ws = w->stats();
+    state.counters["wal_bytes"] = static_cast<double>(ws.wal_bytes);
+    state.counters["syncs"] = static_cast<double>(ws.syncs);
+  }
+}
+
+void BM_IngestNoWal(benchmark::State& state) {
+  RunIngest(state, Mode::kNoWal);
+}
+void BM_IngestDurabilityOff(benchmark::State& state) {
+  RunIngest(state, Mode::kDurabilityOff);
+}
+void BM_IngestDurable(benchmark::State& state) {
+  RunIngest(state, Mode::kDurable);
+}
+
+/// Recovery time vs corpus size. with_checkpoint=false leaves the
+/// whole corpus in the WAL (worst-case replay); true checkpoints
+/// first so recovery is a checkpoint load plus a short tail.
+void RunRecovery(benchmark::State& state, bool with_checkpoint) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  BenchDir dir;
+  {
+    auto store = LoadedStore(dir.path(), Mode::kDurable, articles, 1);
+    if (store == nullptr) {
+      state.SkipWithError("store setup failed");
+      return;
+    }
+    if (with_checkpoint && !store->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+    // A short tail past the recovery point either way.
+    for (size_t i = 0; i < 4; ++i) {
+      auto applied = store->Ingest({DocMutation::Replace(
+          "doc0", Corpus()[i + 1])});
+      if (!applied.ok()) {
+        state.SkipWithError(applied.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  sgmlqdb::wal::Options options;
+  options.data_dir = dir.path();
+  uint64_t docs = 0;
+  for (auto _ : state) {
+    auto opened = ShardedStore::OpenOrRecover(options, 1);
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      return;
+    }
+    docs = (*opened)->wal()->recovery_stats().docs_recovered;
+    benchmark::DoNotOptimize(*opened);
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["docs_recovered"] = static_cast<double>(docs);
+}
+
+void BM_RecoverWalReplay(benchmark::State& state) {
+  RunRecovery(state, /*with_checkpoint=*/false);
+}
+void BM_RecoverFromCheckpoint(benchmark::State& state) {
+  RunRecovery(state, /*with_checkpoint=*/true);
+}
+
+/// Checkpoint write cost + on-disk footprint at a given corpus size.
+void BM_Checkpoint(benchmark::State& state) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  BenchDir dir;
+  auto store = LoadedStore(dir.path(), Mode::kDurable, articles, 1);
+  if (store == nullptr) {
+    state.SkipWithError("store setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!store->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  const sgmlqdb::wal::WalStats ws = store->wal()->stats();
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["checkpoint_bytes"] =
+      static_cast<double>(ws.checkpoint_bytes);
+  state.counters["wal_bytes"] = static_cast<double>(ws.wal_bytes);
+}
+
+BENCHMARK(BM_IngestNoWal)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestDurabilityOff)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestDurable)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoverWalReplay)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoverFromCheckpoint)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Checkpoint)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sgmlqdb::bench::RunBenchmarks(argc, argv);
+}

@@ -14,19 +14,35 @@
 //     --http-port=P    HTTP port (default 0 = ephemeral)
 //     --bin-port=P     binary port (default 0 = ephemeral)
 //     --duration-s=S   exit after S seconds (default 0 = until SIGINT)
+//     --data-dir=PATH  durable mode: open-or-recover the store from
+//                      PATH (WAL + checkpoints). A fresh dir loads
+//                      and journals the generated corpus; a restart
+//                      recovers it instead. SIGTERM checkpoints
+//                      before exit. Without this flag the store is
+//                      in-memory, as before.
+//     --durability=on|off  off skips every fsync (bench knob; a
+//                      crash may lose acked batches). Default on.
 //
 // Prints one machine-parseable line per front end once bound:
 //   serving http on 127.0.0.1:PORT
 //   serving binary on 127.0.0.1:PORT
+//
+// In durable mode the ports bind (and /healthz answers 503
+// "recovering") *before* recovery replays, then a line:
+//   recovered epoch=E docs=D replayed=B torn=T ms=M
+// and /healthz flips to 200 once the service attaches.
 
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "wal/manager.h"
 
 #include "core/sharded_store.h"
 #include "corpus/generator.h"
@@ -54,6 +70,8 @@ int main(int argc, char** argv) {
   uint16_t http_port = 0;
   uint16_t bin_port = 0;
   uint64_t duration_s = 0;
+  std::string data_dir;
+  bool durable_sync = true;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--articles=", 0) == 0) {
@@ -70,30 +88,83 @@ int main(int argc, char** argv) {
       bin_port = static_cast<uint16_t>(FlagValue(arg, "--bin-port="));
     } else if (arg.rfind("--duration-s=", 0) == 0) {
       duration_s = FlagValue(arg, "--duration-s=");
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = std::string(arg.substr(std::strlen("--data-dir=")));
+    } else if (arg == "--durability=on") {
+      durable_sync = true;
+    } else if (arg == "--durability=off") {
+      durable_sync = false;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
   }
 
-  // -- Load phase (single-threaded, mutating) -------------------------
-  sgmlqdb::ShardedStore store(shards);
-  if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
+  // -- Bind phase -----------------------------------------------------
+  // Ports bind before any store work: in durable mode a restarting
+  // daemon is reachable (and reports 503 "recovering" on /healthz)
+  // for the whole replay, so orchestrators see liveness immediately
+  // and readiness exactly when the service attaches.
+  sgmlqdb::net::ServerOptions server_options;
+  server_options.http_port = http_port;
+  server_options.binary_port = bin_port;
+  sgmlqdb::net::Server server(server_options);
+  if (auto st = server.Start(); !st.ok()) {
     std::cerr << st << "\n";
     return 1;
   }
-  sgmlqdb::corpus::ArticleParams params;
-  params.sections = 4;
-  params.subsection_prob = 0.3;
-  params.figure_prob = 0.15;
-  bool first = true;
-  for (const std::string& article :
-       sgmlqdb::corpus::GenerateCorpus(articles, params)) {
-    if (auto r = store.LoadDocument(article, first ? "doc0" : ""); !r.ok()) {
-      std::cerr << r.status() << "\n";
+  std::cout << "serving http on " << server_options.bind_addr << ":"
+            << server.http_port() << "\n";
+  std::cout << "serving binary on " << server_options.bind_addr << ":"
+            << server.binary_port() << "\n";
+  std::cout.flush();
+
+  // -- Load / recover phase -------------------------------------------
+  std::unique_ptr<sgmlqdb::ShardedStore> owned_store;
+  if (data_dir.empty()) {
+    owned_store = std::make_unique<sgmlqdb::ShardedStore>(shards);
+  } else {
+    sgmlqdb::wal::Options wal_options;
+    wal_options.data_dir = data_dir;
+    wal_options.durable_sync = durable_sync;
+    auto opened = sgmlqdb::ShardedStore::OpenOrRecover(wal_options, shards);
+    if (!opened.ok()) {
+      std::cerr << opened.status() << "\n";
       return 1;
     }
-    first = false;
+    owned_store = std::move(opened).value();
+    const sgmlqdb::wal::RecoveryStats& r =
+        owned_store->wal()->recovery_stats();
+    if (r.recovered) {
+      std::cout << "recovered epoch=" << r.checkpoint_epoch
+                << " docs=" << r.docs_recovered
+                << " replayed=" << r.wal_batches_replayed
+                << " torn=" << r.torn_records_truncated
+                << " ms=" << r.recovery_ms << "\n";
+    }
+  }
+  sgmlqdb::ShardedStore& store = *owned_store;
+  if (!store.has_dtd()) {
+    // Fresh store (in-memory, or an empty data dir): load the
+    // generated corpus — journaled durably when a data dir is open.
+    if (auto st = store.LoadDtd(sgmlqdb::sgml::ArticleDtdText()); !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    sgmlqdb::corpus::ArticleParams params;
+    params.sections = 4;
+    params.subsection_prob = 0.3;
+    params.figure_prob = 0.15;
+    bool first = true;
+    for (const std::string& article :
+         sgmlqdb::corpus::GenerateCorpus(articles, params)) {
+      if (auto r = store.LoadDocument(article, first ? "doc0" : "");
+          !r.ok()) {
+        std::cerr << r.status() << "\n";
+        return 1;
+      }
+      first = false;
+    }
   }
 
   // -- Serve phase ----------------------------------------------------
@@ -102,27 +173,17 @@ int main(int argc, char** argv) {
   options.max_queue_depth = queue_depth;
   options.shards = shards;
   sgmlqdb::service::QueryService service(store, options);
+  server.AttachService(service);
 
-  sgmlqdb::net::ServerOptions server_options;
-  server_options.http_port = http_port;
-  server_options.binary_port = bin_port;
-  sgmlqdb::net::Server server(service, server_options);
-  if (auto st = server.Start(); !st.ok()) {
-    std::cerr << st << "\n";
-    return 1;
-  }
   size_t objects = 0;
+  size_t documents = 0;
   for (size_t i = 0; i < store.shard_count(); ++i) {
     objects += store.shard(i).db().object_count();
+    documents += store.shard(i).document_count();
   }
-  std::cout << "loaded " << articles << " articles ("
-            << objects << " objects) across " << store.shard_count()
-            << " shard(s), " << service.num_threads()
-            << " worker threads\n";
-  std::cout << "serving http on " << server_options.bind_addr << ":"
-            << server.http_port() << "\n";
-  std::cout << "serving binary on " << server_options.bind_addr << ":"
-            << server.binary_port() << "\n";
+  std::cout << "ready: " << documents << " documents (" << objects
+            << " objects) across " << store.shard_count() << " shard(s), "
+            << service.num_threads() << " worker threads\n";
   std::cout.flush();
 
   std::signal(SIGINT, OnSignal);
@@ -134,6 +195,10 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  // Shutdown order is the durability contract: the server drains its
+  // accepted ingest batches (each one fsynced + acked) before the
+  // epoll loop dies, the service drains its workers, and only then is
+  // the quiesced store checkpointed.
   server.Stop();
   const auto snap = server.stats().Get();
   std::cout << "shutting down: " << snap.accepted << " connections, "
@@ -142,5 +207,13 @@ int main(int argc, char** argv) {
             << snap.busy_rejections << " busy rejections, "
             << snap.malformed << " malformed\n";
   service.Shutdown();
+  if (!data_dir.empty()) {
+    if (auto st = store.Checkpoint(); !st.ok()) {
+      std::cerr << "checkpoint on shutdown failed: " << st << "\n";
+      return 1;
+    }
+    std::cout << "checkpointed at batch "
+              << store.wal()->last_batch_seq() << "\n";
+  }
   return 0;
 }

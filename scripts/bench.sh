@@ -16,6 +16,11 @@
 #                        concurrency levels, with and without live
 #                        ingest (scripts/loadgen driving qdb_server +
 #                        bench_net over real sockets)
+#   BENCH_durability.json — E17 durability series: ingest latency
+#                        durable vs durability=off vs no WAL, recovery
+#                        time vs corpus size (WAL replay vs checkpoint
+#                        + tail), checkpoint cost and on-disk footprint
+#                        (bench_durability)
 #
 # Every emitted file is validated as parseable JSON (a crashed or
 # interrupted bench run leaves a truncated file; better to fail here
@@ -92,7 +97,8 @@ build_dir="${BENCH_BUILD_DIR:-build-release}"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON
 cmake --build "$build_dir" -j "$jobs" \
-  --target bench_queries bench_service bench_ingest bench_net qdb_server
+  --target bench_queries bench_service bench_ingest bench_durability \
+           bench_net qdb_server
 
 # The build type the cache actually resolved to (a pre-existing tree
 # configured differently wins over the -D above on some generators).
@@ -122,11 +128,12 @@ set -- "${passthrough[@]+"${passthrough[@]}"}"
 "$build_dir/bench/bench_queries" --json BENCH_queries.json "$@"
 "$build_dir/bench/bench_service" --json BENCH_service.json "$@"
 "$build_dir/bench/bench_ingest" --json BENCH_ingest.json "$@"
+"$build_dir/bench/bench_durability" --json BENCH_durability.json "$@"
 python3 scripts/loadgen --build-dir "$build_dir" --out BENCH_net.json
 
 status=0
 for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json \
-         BENCH_net.json; do
+         BENCH_durability.json BENCH_net.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: $f is missing or empty" >&2
     status=1
@@ -188,4 +195,4 @@ if [[ -n "$baseline" ]]; then
   python3 scripts/bench_gate.py --baseline "$baseline" --candidate "$candidate"
 fi
 
-echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json and BENCH_net.json (all valid JSON, build type: $build_type)"
+echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json, BENCH_durability.json and BENCH_net.json (all valid JSON, build type: $build_type)"

@@ -8,7 +8,9 @@
 # and malformed-network-input suites re-run under
 # AddressSanitizer+UBSan (injected faults and garbage bytes exercise
 # the error and degraded paths, where leaks and lifetime bugs like to
-# hide).
+# hide), then the durability crash matrix (scripts/crash_matrix.sh):
+# the WAL fault-point suites under ASan plus a real qdb_server
+# SIGKILL/recovery sweep at shard counts {1,2,4}.
 #
 #   bash scripts/tier1.sh [jobs] [--bench-gate]
 #
@@ -45,6 +47,12 @@ ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|Plan
 cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs" --target base_test service_test sharded_test sgml_test property_test net_test
 ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz|ServerTest|HttpParser|FrameParser|JsonParse|ShardedStoreTest|ShardedIngestTest'
+
+# Durability crash matrix: WAL fault-point x kill-point sweep. Reuses
+# the build-asan tree above for the in-process fault matrix, then
+# SIGKILLs a live qdb_server --data-dir at shard counts {1,2,4} and
+# asserts recovery reproduces every acked batch byte-for-byte.
+bash scripts/crash_matrix.sh "$jobs"
 
 # Release smoke: the optimized build is what benches and deployments
 # run, and NDEBUG both compiles out the postings Append asserts and

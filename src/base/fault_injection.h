@@ -18,6 +18,10 @@
 //   eval.nav           — calculus path navigation (per path matched)
 //   ingest.apply       — IngestSession document apply (load/remove)
 //   ingest.publish     — DocumentStore::PublishIngest, before the swap
+//   wal.append         — wal::ShardLog::Append, before the write
+//   wal.fsync          — wal::ShardLog::Sync, before the fsync
+//   wal.checkpoint     — wal::WriteCheckpoint, before any file lands
+//   wal.recover        — wal::Manager::Open, before the dir scan
 //
 // The registry is process-global and thread-safe; tests should use
 // ScopedFault (or DisarmAll in TearDown) so points never leak between

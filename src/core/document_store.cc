@@ -31,8 +31,14 @@ Status DocumentStore::LoadDtd(std::string_view dtd_text) {
   SGMLQDB_ASSIGN_OR_RETURN(om::Schema schema,
                            mapping::CompileDtdToSchema(dtd));
   dtd_ = std::move(dtd);
-  std::lock_guard<std::mutex> lock(state_mu_);
-  state_ = ingest::StoreSnapshot::Initial(std::move(schema));
+  dtd_text_ = std::string(dtd_text);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = ingest::StoreSnapshot::Initial(std::move(schema));
+  }
+  if (wal_ != nullptr) {
+    SGMLQDB_RETURN_IF_ERROR(wal_->LogDtd(dtd_text));
+  }
   return Status::OK();
 }
 
@@ -80,6 +86,13 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
   // snapshots of the index) without discarding the cache itself.
   ws->epoch = snapshots_.AdvanceEpoch();
   ws->cache->SetLiveEpochFloor(ws->epoch);
+  if (wal_ != nullptr) {
+    std::vector<wal::LoggedOp> ops;
+    ops.push_back({wal::LoggedOp::Kind::kLoad, std::string(name),
+                   std::string(sgml_text), oid_base});
+    SGMLQDB_RETURN_IF_ERROR(
+        wal_->LogBatch(ops, {0}, ++wal_doc_seq_, ws->epoch));
+  }
   return loaded.root;
 }
 
@@ -139,7 +152,26 @@ Result<uint64_t> DocumentStore::PublishIngest(
   if (session == nullptr) {
     return Status::InvalidArgument("null ingest session");
   }
+  if (session->consumed()) {
+    return Status::InvalidArgument("ingest session already published");
+  }
   SGMLQDB_FAULT_POINT("ingest.publish");
+  // fsync-before-publish: the batch's journal must be durable before
+  // any reader can observe the new epoch. A log failure rejects the
+  // publish outright — the served state stays at the old epoch.
+  if (wal_ != nullptr && !session->journal().empty()) {
+    uint64_t consumed = 0;
+    for (const wal::LoggedOp& op : session->journal()) {
+      if (op.kind == wal::LoggedOp::Kind::kLoad ||
+          op.kind == wal::LoggedOp::Kind::kReplace) {
+        consumed++;
+      }
+    }
+    SGMLQDB_RETURN_IF_ERROR(wal_->LogBatch(session->journal(), {0},
+                                           wal_doc_seq_ + consumed,
+                                           epoch() + 1));
+    wal_doc_seq_ += consumed;
+  }
   std::shared_ptr<ingest::StoreSnapshot> next = session->Consume();
   if (next == nullptr) {
     return Status::InvalidArgument("ingest session already published");
@@ -228,6 +260,119 @@ Result<std::string> DocumentStore::TextOf(om::ObjectId oid) const {
 
 calculus::EvalContext DocumentStore::eval_context() const {
   return ingest::ContextFor(snapshot());
+}
+
+Result<std::vector<DocumentStore::DumpedDocument>>
+DocumentStore::DumpDocuments() const {
+  std::vector<DumpedDocument> out;
+  if (!dtd_.has_value()) return out;
+  std::shared_ptr<const ingest::StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) return out;
+  const om::Database& db = *snap->db;
+
+  // Smallest unit oid per document root. Every element object the
+  // loader creates is a unit (it records the object and its inner
+  // text in one step), so the minimum is the document's first oid.
+  std::map<uint64_t, uint64_t> first_oid;  // root -> min unit oid
+  for (const auto& [unit, root] : *snap->unit_docs) {
+    auto [it, inserted] = first_oid.emplace(root, unit);
+    if (!inserted && unit < it->second) it->second = unit;
+  }
+  // Reverse name bindings: root oid -> per-document persistence name.
+  const std::string root_name = mapping::RootNameFor(dtd_->doctype());
+  std::map<uint64_t, std::string> name_of;
+  for (const std::string& bound : db.BoundNames()) {
+    if (bound == root_name) continue;
+    Result<om::Value> v = db.LookupName(bound);
+    if (v.ok() && v.value().kind() == om::ValueKind::kObject) {
+      name_of[v.value().AsObject().id()] = bound;
+    }
+  }
+
+  Result<om::Value> roots = db.LookupName(root_name);
+  if (!roots.ok() || roots.value().kind() != om::ValueKind::kList) {
+    return out;  // no documents loaded yet
+  }
+  out.reserve(roots.value().size());
+  for (size_t i = 0; i < roots.value().size(); ++i) {
+    om::Value v = roots.value().Element(i);
+    if (v.kind() != om::ValueKind::kObject) continue;
+    const om::ObjectId root = v.AsObject();
+    DumpedDocument doc;
+    auto name_it = name_of.find(root.id());
+    if (name_it != name_of.end()) doc.name = name_it->second;
+    auto oid_it = first_oid.find(root.id());
+    doc.first_oid = oid_it != first_oid.end() ? oid_it->second : root.id();
+    SGMLQDB_ASSIGN_OR_RETURN(doc.sgml,
+                             mapping::ExportDocumentText(db, *dtd_, root));
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+std::vector<std::string> DocumentStore::DeclaredNames() const {
+  std::vector<std::string> out;
+  std::shared_ptr<const ingest::StoreSnapshot> snap = snapshot();
+  if (snap == nullptr) return out;
+  for (const om::NameDef& def : snap->db->schema().names()) {
+    if (def.type.kind() == om::TypeKind::kClass) out.push_back(def.name);
+  }
+  return out;
+}
+
+uint64_t DocumentStore::next_oid() const {
+  std::shared_ptr<const ingest::StoreSnapshot> snap = snapshot();
+  return snap == nullptr ? 1 : snap->db->next_oid();
+}
+
+Status DocumentStore::SetNextOid(uint64_t next) {
+  if (frozen()) {
+    return Status::Unavailable("store is frozen: oids advance through "
+                               "ingest sessions");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("load a DTD first");
+  }
+  return state_->db->SetNextOid(next);
+}
+
+Status DocumentStore::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no durability manager attached");
+  }
+  // Exclude concurrent writers: the checkpoint must capture a version
+  // no session is about to supersede mid-dump.
+  bool expected = false;
+  if (frozen() && !ingest_active_.compare_exchange_strong(
+                      expected, true, std::memory_order_acq_rel)) {
+    return Status::Unavailable("an ingest session is active");
+  }
+  Status result;
+  {
+    wal::CheckpointState state;
+    state.doc_seq = wal_doc_seq_;
+    state.dtd_text = dtd_text_;
+    state.declared_names = DeclaredNames();
+    wal::CheckpointShard shard;
+    shard.epoch = epoch();
+    shard.next_oid = next_oid();
+    Result<std::vector<DumpedDocument>> docs = DumpDocuments();
+    if (!docs.ok()) {
+      result = docs.status();
+    } else {
+      shard.docs.reserve(docs->size());
+      for (DumpedDocument& doc : *docs) {
+        shard.docs.push_back(
+            {std::move(doc.name), doc.first_oid, std::move(doc.sgml)});
+      }
+      state.shards.push_back(std::move(shard));
+      state.shard_count = 1;
+      result = wal_->Checkpoint(std::move(state));
+    }
+  }
+  if (frozen()) ingest_active_.store(false, std::memory_order_release);
+  return result;
 }
 
 }  // namespace sgmlqdb

@@ -33,10 +33,13 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "base/exec_guard.h"
 #include "base/status.h"
 #include "ingest/ingest_session.h"
 #include "ingest/snapshot.h"
+#include "wal/manager.h"
 #include "om/database.h"
 #include "oql/oql.h"
 #include "sgml/document.h"
@@ -154,6 +157,48 @@ class DocumentStore {
   }
   text::TextQueryCache::CacheStats text_cache_stats() const;
 
+  // -- Durability (src/wal/) ---------------------------------------------
+
+  /// Opens a data dir and returns a store rebuilt from its newest
+  /// valid checkpoint plus the WAL tail (torn tails are truncated,
+  /// never fatal). A fresh/empty dir returns an unfrozen store ready
+  /// for LoadDtd/LoadDocument — which, like every later mutation, are
+  /// then journaled durably. A recovered store comes back frozen.
+  static Result<std::unique_ptr<DocumentStore>> OpenOrRecover(
+      const wal::Options& options);
+
+  /// Attaches a durability manager: LoadDtd/LoadDocument and
+  /// PublishIngest journal through it (fsync before publish) once its
+  /// journaling is enabled. OpenOrRecover wires this up.
+  void AttachWal(std::shared_ptr<wal::Manager> wal) { wal_ = std::move(wal); }
+  wal::Manager* wal() const { return wal_.get(); }
+
+  /// Writes a whole-epoch checkpoint of the current version and
+  /// rotates the WAL. Requires an attached manager; excluded against
+  /// concurrent ingest by the single-writer latch.
+  Status Checkpoint();
+
+  /// One document of the current version, as the checkpoint stores it.
+  struct DumpedDocument {
+    std::string name;   // bound persistence name ("" if unnamed)
+    uint64_t first_oid; // smallest oid in the document's block
+    std::string sgml;   // exported text
+  };
+  /// Current version's documents, in persistence-root list order (the
+  /// order a reload must reproduce).
+  Result<std::vector<DumpedDocument>> DumpDocuments() const;
+  /// Per-document persistence names declared in the schema, in
+  /// declaration order (class-typed names; the list-typed doctype
+  /// root is excluded).
+  std::vector<std::string> DeclaredNames() const;
+  /// Next oid the current version's database would assign.
+  uint64_t next_oid() const;
+  /// Pre-freeze: restores the oid high-water mark (recovery preserves
+  /// the gaps removed documents left; oids are never reused).
+  Status SetNextOid(uint64_t next);
+  /// The DTD source text LoadDtd compiled (checkpoint metadata).
+  const std::string& dtd_text() const { return dtd_text_; }
+
   /// Serializes a loaded document back to SGML (inverse mapping).
   Result<std::string> ExportSgml(om::ObjectId root) const;
 
@@ -183,6 +228,11 @@ class DocumentStore {
   std::shared_ptr<const ingest::StoreSnapshot> state() const;
 
   std::optional<sgml::Dtd> dtd_;
+  std::string dtd_text_;
+  std::shared_ptr<wal::Manager> wal_;
+  /// Loads + replaces journaled so far (the WAL's doc_seq axis for a
+  /// standalone store; the sharded facade journals with its own).
+  uint64_t wal_doc_seq_ = 0;
   std::atomic<bool> frozen_{false};
   std::atomic<bool> ingest_active_{false};
   ingest::SnapshotManager snapshots_;

@@ -1,0 +1,209 @@
+// Startup recovery: OpenOrRecover for DocumentStore and ShardedStore.
+//
+// Both follow the same sequence over the wal::Manager's recovery
+// plan:
+//
+//   1. compile the DTD (checkpoint copy, or the WAL's kDtd record)
+//   2. re-declare every persistence name (so prepared statements
+//      naming since-removed documents still typecheck)
+//   3. load each checkpoint document pre-freeze with its recorded
+//      first oid — the proven SGML export round-trip, plus explicit
+//      oid bases, reproduces object identity bit-for-bit
+//   4. restore each shard's oid high-water mark (gaps left by removed
+//      documents survive; oids are never reused)
+//   5. Freeze, then replay the consistent WAL prefix batch by batch
+//      through the normal ingest machinery — the sharded facade
+//      re-runs Ingest with the restored document-sequence counter, so
+//      routing and oid blocks recompute to their original values
+//   6. enable journaling; later mutations append to the same logs
+//
+// Replay runs with journaling disabled (a replayed batch must not
+// re-log itself); a batch that was logged had already applied cleanly
+// once, so a replay failure is corruption-grade and fails the open.
+
+#include <chrono>
+
+#include "core/document_store.h"
+#include "core/sharded_store.h"
+#include "wal/manager.h"
+
+namespace sgmlqdb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MillisSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::OpenOrRecover(
+    const wal::Options& options) {
+  const Clock::time_point start = Clock::now();
+  SGMLQDB_ASSIGN_OR_RETURN(std::shared_ptr<wal::Manager> mgr,
+                           wal::Manager::Open(options, 1));
+  const wal::RecoveryPlan& plan = mgr->plan();
+  auto store = std::make_unique<DocumentStore>();
+
+  if (plan.has_dtd) {
+    SGMLQDB_RETURN_IF_ERROR(store->LoadDtd(plan.dtd_text));
+    uint64_t docs_recovered = 0;
+    if (plan.has_checkpoint) {
+      const wal::CheckpointState& ckpt = plan.checkpoint;
+      for (const std::string& name : ckpt.declared_names) {
+        SGMLQDB_RETURN_IF_ERROR(store->DeclareDocumentName(name));
+      }
+      for (const wal::CheckpointDoc& doc : ckpt.shards[0].docs) {
+        SGMLQDB_RETURN_IF_ERROR(
+            store->LoadDocument(doc.sgml, doc.name, doc.oid_base).status());
+        docs_recovered++;
+      }
+      if (ckpt.shards[0].next_oid > store->next_oid()) {
+        SGMLQDB_RETURN_IF_ERROR(store->SetNextOid(ckpt.shards[0].next_oid));
+      }
+      store->wal_doc_seq_ = ckpt.doc_seq;
+    }
+    store->Freeze();
+    for (const wal::WalRecord& batch : plan.batches) {
+      SGMLQDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<ingest::IngestSession> session,
+          store->BeginIngest());
+      for (const wal::LoggedOp& op : batch.ops) {
+        Status st;
+        switch (op.kind) {
+          case wal::LoggedOp::Kind::kLoad:
+            st = session->LoadDocument(op.sgml, op.name, op.oid_base)
+                     .status();
+            if (st.ok()) docs_recovered++;
+            break;
+          case wal::LoggedOp::Kind::kReplace:
+            st = session->ReplaceDocument(op.name, op.sgml, op.oid_base)
+                     .status();
+            break;
+          case wal::LoggedOp::Kind::kRemove:
+            st = session->RemoveDocument(op.name);
+            break;
+          case wal::LoggedOp::Kind::kDeclare:
+            st = session->DeclareName(op.name);
+            break;
+          case wal::LoggedOp::Kind::kRemoveRoot:
+            st = session->RemoveDocumentRoot(om::ObjectId(op.oid_base));
+            break;
+        }
+        if (!st.ok()) {
+          return Status::Internal("wal replay: batch " +
+                                  std::to_string(batch.batch_seq) +
+                                  " failed: " + st.ToString());
+        }
+      }
+      SGMLQDB_RETURN_IF_ERROR(store->PublishIngest(std::move(session))
+                                  .status());
+      store->wal_doc_seq_ = batch.doc_seq_after;
+    }
+    mgr->recovery_stats().docs_recovered = docs_recovered;
+  }
+  mgr->recovery_stats().recovery_ms = MillisSince(start);
+  mgr->EnableJournal();
+  store->AttachWal(std::move(mgr));
+  return store;
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::OpenOrRecover(
+    const wal::Options& options, size_t shards,
+    algebra::BranchExecutor* executor) {
+  const Clock::time_point start = Clock::now();
+  if (shards == 0) shards = 1;
+  SGMLQDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<wal::Manager> mgr,
+      wal::Manager::Open(options, static_cast<uint32_t>(shards)));
+  const wal::RecoveryPlan& plan = mgr->plan();
+  auto store = std::make_unique<ShardedStore>(shards);
+
+  if (plan.has_dtd) {
+    SGMLQDB_RETURN_IF_ERROR(store->LoadDtd(plan.dtd_text));
+    uint64_t docs_recovered = 0;
+    if (plan.has_checkpoint) {
+      const wal::CheckpointState& ckpt = plan.checkpoint;
+      for (const std::string& name : ckpt.declared_names) {
+        for (DocumentStore* shard : store->shards_) {
+          SGMLQDB_RETURN_IF_ERROR(shard->DeclareDocumentName(name));
+        }
+      }
+      for (size_t i = 0; i < store->shards_.size(); ++i) {
+        DocumentStore* shard = store->shards_[i];
+        for (const wal::CheckpointDoc& doc : ckpt.shards[i].docs) {
+          // Straight to the home shard: checkpoint placement is the
+          // original routing's outcome, not re-derived.
+          SGMLQDB_RETURN_IF_ERROR(
+              shard->LoadDocument(doc.sgml, doc.name, doc.oid_base)
+                  .status());
+          docs_recovered++;
+          // Names everywhere: declared on the siblings.
+          if (!doc.name.empty()) {
+            for (size_t j = 0; j < store->shards_.size(); ++j) {
+              if (j == i) continue;
+              SGMLQDB_RETURN_IF_ERROR(
+                  store->shards_[j]->DeclareDocumentName(doc.name));
+            }
+          }
+        }
+        if (ckpt.shards[i].next_oid > shard->next_oid()) {
+          SGMLQDB_RETURN_IF_ERROR(shard->SetNextOid(ckpt.shards[i].next_oid));
+        }
+      }
+      store->doc_seq_.store(ckpt.doc_seq, std::memory_order_relaxed);
+    }
+    store->Freeze();
+    for (const wal::WalRecord& batch : plan.batches) {
+      // Restore the sequence counter the batch planned against
+      // (failed batches consumed sequence numbers without being
+      // logged), then re-run the original Ingest: routing, oid blocks
+      // and name homes recompute to their logged-run values.
+      store->doc_seq_.store(batch.doc_seq_before, std::memory_order_relaxed);
+      std::vector<DocMutation> ops;
+      ops.reserve(batch.ops.size());
+      for (const wal::LoggedOp& op : batch.ops) {
+        DocMutation mutation;
+        switch (op.kind) {
+          case wal::LoggedOp::Kind::kLoad:
+            mutation.kind = DocMutation::Kind::kLoad;
+            break;
+          case wal::LoggedOp::Kind::kReplace:
+            mutation.kind = DocMutation::Kind::kReplace;
+            break;
+          case wal::LoggedOp::Kind::kRemove:
+            mutation.kind = DocMutation::Kind::kRemove;
+            break;
+          default:
+            return Status::Internal(
+                "wal replay: facade batch " +
+                std::to_string(batch.batch_seq) +
+                " holds a session-level op");
+        }
+        mutation.name = op.name;
+        mutation.sgml = op.sgml;
+        ops.push_back(std::move(mutation));
+      }
+      Result<IngestResult> applied = store->Ingest(ops, executor);
+      if (!applied.ok()) {
+        return Status::Internal("wal replay: batch " +
+                                std::to_string(batch.batch_seq) +
+                                " failed: " + applied.status().ToString());
+      }
+      docs_recovered += applied->stats.docs_loaded;
+      store->doc_seq_.store(batch.doc_seq_after, std::memory_order_relaxed);
+    }
+    mgr->recovery_stats().docs_recovered = docs_recovered;
+  }
+  mgr->recovery_stats().recovery_ms = MillisSince(start);
+  mgr->EnableJournal();
+  store->AttachWal(std::move(mgr));
+  return store;
+}
+
+}  // namespace sgmlqdb

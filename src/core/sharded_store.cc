@@ -45,6 +45,10 @@ Status ShardedStore::LoadDtd(std::string_view dtd_text) {
   for (DocumentStore* shard : shards_) {
     SGMLQDB_RETURN_IF_ERROR(shard->LoadDtd(dtd_text));
   }
+  dtd_text_ = std::string(dtd_text);
+  if (wal_ != nullptr) {
+    SGMLQDB_RETURN_IF_ERROR(wal_->LogDtd(dtd_text));
+  }
   return Status::OK();
 }
 
@@ -76,6 +80,16 @@ Result<om::ObjectId> ShardedStore::LoadDocument(std::string_view sgml_text,
       if (i == target) continue;
       SGMLQDB_RETURN_IF_ERROR(shards_[i]->DeclareDocumentName(name));
     }
+  }
+  if (wal_ != nullptr) {
+    // Journaled as a one-op facade batch; replay re-routes it with the
+    // restored sequence counter, reproducing target and oid block.
+    std::vector<wal::LoggedOp> ops;
+    ops.push_back({wal::LoggedOp::Kind::kLoad, std::string(name),
+                   std::string(sgml_text), 0});
+    SGMLQDB_RETURN_IF_ERROR(
+        wal_->LogBatch(ops, {static_cast<uint32_t>(target)}, seq + 1,
+                       shards_[target]->epoch()));
   }
   return root;
 }
@@ -288,6 +302,41 @@ Result<ShardedStore::IngestResult> ShardedStore::Ingest(
     result.stats.units_removed += s.units_removed;
   }
 
+  // -- Journal the batch, fsynced on every touched shard, before any
+  // reader can observe it (fsync-before-publish). A log failure
+  // abandons the sessions like an apply failure: nothing publishes. --
+  if (wal_ != nullptr) {
+    std::vector<wal::LoggedOp> logged;
+    logged.reserve(ops.size());
+    for (const DocMutation& op : ops) {
+      wal::LoggedOp entry;
+      switch (op.kind) {
+        case DocMutation::Kind::kLoad:
+          entry.kind = wal::LoggedOp::Kind::kLoad;
+          break;
+        case DocMutation::Kind::kReplace:
+          entry.kind = wal::LoggedOp::Kind::kReplace;
+          break;
+        case DocMutation::Kind::kRemove:
+          entry.kind = wal::LoggedOp::Kind::kRemove;
+          break;
+      }
+      entry.name = op.name;
+      entry.sgml = op.sgml;
+      logged.push_back(std::move(entry));
+    }
+    std::vector<uint32_t> touched_ids;
+    touched_ids.reserve(touched.size());
+    for (size_t s : touched) touched_ids.push_back(static_cast<uint32_t>(s));
+    Status st = wal_->LogBatch(
+        logged, touched_ids, doc_seq_.load(std::memory_order_relaxed),
+        shards_[touched[0]]->epoch() + 1);
+    if (!st.ok()) {
+      sessions.clear();
+      return st;
+    }
+  }
+
   // -- Publish atomically: all touched shards + the combined rebuild
   // under snap_mu_, so no reader observes a partial batch. ---------------
   const auto publish_start = std::chrono::steady_clock::now();
@@ -332,6 +381,46 @@ Result<std::string> ShardedStore::TextOf(om::ObjectId oid) const {
   }
   return Status::NotFound("no text recorded for oid " +
                           std::to_string(oid.id()));
+}
+
+Status ShardedStore::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no durability manager attached");
+  }
+  // The facade writer latch excludes concurrent Ingest, so every
+  // shard's current version is stable for the whole dump.
+  bool expected = false;
+  const bool latched =
+      frozen() && ingest_active_.compare_exchange_strong(
+                      expected, true, std::memory_order_acq_rel);
+  if (frozen() && !latched) {
+    return Status::Unavailable("an ingest batch is active");
+  }
+  ScopeExit release([this, latched] {
+    if (latched) ingest_active_.store(false, std::memory_order_release);
+  });
+
+  wal::CheckpointState state;
+  state.doc_seq = doc_seq_.load(std::memory_order_relaxed);
+  state.shard_count = static_cast<uint32_t>(shards_.size());
+  state.dtd_text = dtd_text_;
+  state.declared_names = shards_[0]->DeclaredNames();
+  state.shards.reserve(shards_.size());
+  for (DocumentStore* shard : shards_) {
+    wal::CheckpointShard entry;
+    entry.epoch = shard->epoch();
+    entry.next_oid = shard->next_oid();
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::vector<DocumentStore::DumpedDocument> docs,
+        shard->DumpDocuments());
+    entry.docs.reserve(docs.size());
+    for (DocumentStore::DumpedDocument& doc : docs) {
+      entry.docs.push_back(
+          {std::move(doc.name), doc.first_oid, std::move(doc.sgml)});
+    }
+    state.shards.push_back(std::move(entry));
+  }
+  return wal_->Checkpoint(std::move(state));
 }
 
 Result<std::string> ShardedStore::ExportSgml(om::ObjectId root) const {

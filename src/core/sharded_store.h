@@ -119,6 +119,19 @@ class ShardedStore {
   /// arbitrary oids); `external` must outlive the view.
   explicit ShardedStore(DocumentStore& external);
 
+  /// Opens a data dir and returns a facade rebuilt from its newest
+  /// valid checkpoint plus the cross-shard consistent WAL prefix
+  /// (batch b survives iff every shard it touched logged it; torn
+  /// tails are truncated, never fatal). A fresh dir returns an
+  /// unfrozen store ready for LoadDtd/LoadDocument/Freeze — journaled
+  /// durably from the first call. A recovered store comes back
+  /// frozen, serving exactly the recovered epoch. Refuses a dir
+  /// written at a different shard count. `executor` parallelizes the
+  /// per-shard replay applies, like Ingest.
+  static Result<std::unique_ptr<ShardedStore>> OpenOrRecover(
+      const wal::Options& options, size_t shards,
+      algebra::BranchExecutor* executor = nullptr);
+
   ShardedStore(const ShardedStore&) = delete;
   ShardedStore& operator=(const ShardedStore&) = delete;
 
@@ -179,6 +192,20 @@ class ShardedStore {
   /// Inverse mapping across shards (routes to the root's home shard).
   Result<std::string> ExportSgml(om::ObjectId root) const;
 
+  // -- Durability (src/wal/) ---------------------------------------------
+
+  /// Attaches the durability manager (OpenOrRecover wires this up):
+  /// LoadDtd, LoadDocument and Ingest journal through it, fsyncing
+  /// every touched shard's log before the atomic publish.
+  void AttachWal(std::shared_ptr<wal::Manager> wal) { wal_ = std::move(wal); }
+  wal::Manager* wal() const { return wal_.get(); }
+  /// Writes a whole-epoch checkpoint (every shard's documents + store
+  /// metadata) and rotates the WAL. Excluded against concurrent
+  /// ingest by the facade writer latch.
+  Status Checkpoint();
+  /// The DTD source text LoadDtd compiled (checkpoint metadata).
+  const std::string& dtd_text() const { return dtd_text_; }
+
  private:
   /// Rebuilds combined_ from the shards' current snapshots. Caller
   /// holds snap_mu_.
@@ -187,6 +214,8 @@ class ShardedStore {
   std::vector<std::unique_ptr<DocumentStore>> owned_;
   std::vector<DocumentStore*> shards_;  // size >= 1, never null
   const bool assign_oid_blocks_;
+  std::shared_ptr<wal::Manager> wal_;
+  std::string dtd_text_;
   /// Global document sequence: routing and oid-block assignment.
   std::atomic<uint64_t> doc_seq_{0};
   /// Facade-level single-writer latch for Ingest (each shard also has

@@ -13,6 +13,22 @@ namespace sgmlqdb::ingest {
 using om::ObjectId;
 using om::Value;
 
+namespace {
+
+/// Bumps the session's journal depth for one compound verb.
+class JournalScope {
+ public:
+  explicit JournalScope(int* depth) : depth_(depth) { ++*depth_; }
+  ~JournalScope() { --*depth_; }
+  JournalScope(const JournalScope&) = delete;
+  JournalScope& operator=(const JournalScope&) = delete;
+
+ private:
+  int* depth_;
+};
+
+}  // namespace
+
 IngestSession::IngestSession(const sgml::Dtd& dtd,
                              std::shared_ptr<const StoreSnapshot> base,
                              std::function<void()> release)
@@ -56,9 +72,14 @@ Status IngestSession::DeclareName(std::string_view name) {
   if (name.empty()) return Status::OK();
   om::Database* db = work_->db.get();
   if (db->schema().FindName(name) != nullptr) return Status::OK();
-  return db->DeclareName(
+  SGMLQDB_RETURN_IF_ERROR(db->DeclareName(
       std::string(name),
-      om::Type::Class(mapping::ClassNameFor(dtd_.doctype())));
+      om::Type::Class(mapping::ClassNameFor(dtd_.doctype()))));
+  if (journal_depth_ == 0) {
+    journal_.push_back({wal::LoggedOp::Kind::kDeclare, std::string(name),
+                        std::string(), 0});
+  }
+  return Status::OK();
 }
 
 Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
@@ -93,6 +114,10 @@ Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
   }
   ++work_->doc_count;
   ++stats_.docs_loaded;
+  if (journal_depth_ == 0) {
+    journal_.push_back({wal::LoggedOp::Kind::kLoad, std::string(name),
+                        std::string(sgml_text), oid_base});
+  }
   return loaded.root;
 }
 
@@ -146,6 +171,10 @@ Status IngestSession::RemoveDocumentRoot(ObjectId root) {
   }
   --work_->doc_count;
   ++stats_.docs_removed;
+  if (journal_depth_ == 0) {
+    journal_.push_back({wal::LoggedOp::Kind::kRemoveRoot, std::string(),
+                        std::string(), root.id()});
+  }
   return Status::OK();
 }
 
@@ -158,19 +187,36 @@ Status IngestSession::RemoveDocument(std::string_view name) {
     return Status::NotFound("'" + std::string(name) +
                             "' does not name a loaded document");
   }
-  return RemoveDocumentRoot(bound.value().AsObject());
+  {
+    JournalScope scope(&journal_depth_);
+    SGMLQDB_RETURN_IF_ERROR(RemoveDocumentRoot(bound.value().AsObject()));
+  }
+  if (journal_depth_ == 0) {
+    journal_.push_back({wal::LoggedOp::Kind::kRemove, std::string(name),
+                        std::string(), 0});
+  }
+  return Status::OK();
 }
 
 Result<ObjectId> IngestSession::ReplaceDocument(std::string_view name,
                                                 std::string_view sgml_text,
                                                 uint64_t oid_base) {
-  SGMLQDB_RETURN_IF_ERROR(RemoveDocument(name));
-  Result<ObjectId> root = LoadDocument(sgml_text, name, oid_base);
+  Result<ObjectId> root = Status::Internal("unreachable");
+  {
+    JournalScope scope(&journal_depth_);
+    Status removed = RemoveDocument(name);
+    if (!removed.ok()) return removed;
+    root = LoadDocument(sgml_text, name, oid_base);
+  }
   if (root.ok()) {
     // The remove/load pair is one logical replace.
     --stats_.docs_removed;
     --stats_.docs_loaded;
     ++stats_.docs_replaced;
+    if (journal_depth_ == 0) {
+      journal_.push_back({wal::LoggedOp::Kind::kReplace, std::string(name),
+                          std::string(sgml_text), oid_base});
+    }
   }
   return root;
 }

@@ -23,9 +23,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "base/status.h"
 #include "ingest/snapshot.h"
 #include "sgml/dtd.h"
+#include "wal/format.h"
 
 namespace sgmlqdb {
 class DocumentStore;
@@ -88,9 +91,16 @@ class IngestSession {
   Status RemoveDocumentRoot(om::ObjectId root);
 
   const Stats& stats() const { return stats_; }
+  /// Op journal for the durability layer: every successful mutation,
+  /// in apply order. A replace journals as one kReplace (not its
+  /// internal remove+load pair), so replaying the journal through a
+  /// fresh session reproduces the workspace exactly.
+  const std::vector<wal::LoggedOp>& journal() const { return journal_; }
   uint64_t base_epoch() const { return base_epoch_; }
   /// Documents the workspace currently holds.
   size_t doc_count() const { return work_ == nullptr ? 0 : work_->doc_count; }
+  /// True once the workspace was handed over for publishing.
+  bool consumed() const { return work_ == nullptr; }
 
  private:
   friend class sgmlqdb::DocumentStore;
@@ -104,6 +114,11 @@ class IngestSession {
   std::shared_ptr<StoreSnapshot> work_;  // null once consumed
   std::function<void()> release_;
   Stats stats_;
+  std::vector<wal::LoggedOp> journal_;
+  /// > 0 while inside a compound verb (replace = remove + load): the
+  /// nested calls' journal entries are suppressed in favor of the
+  /// compound's single entry.
+  int journal_depth_ = 0;
 };
 
 }  // namespace sgmlqdb::ingest

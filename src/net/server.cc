@@ -59,9 +59,15 @@ Server::Connection::Connection(uint64_t id, Fd sock, Proto proto,
       frame_parser(opt.max_frame_bytes) {}
 
 Server::Server(service::QueryService& service, const ServerOptions& options)
-    : service_(service), options_(options) {}
+    : service_(&service), options_(options) {}
+
+Server::Server(const ServerOptions& options) : options_(options) {}
 
 Server::~Server() { Stop(); }
+
+void Server::AttachService(service::QueryService& service) {
+  service_.store(&service);
+}
 
 Status Server::Start() {
   if (started_) return Status::InvalidArgument("server already started");
@@ -89,6 +95,17 @@ Status Server::Start() {
 void Server::Stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // The ingest writer drains first, while the epoll loop is still
+  // alive: every queued batch applies, fsyncs its WAL records and has
+  // its ack posted back to the loop before any connection is torn
+  // down. Shutting the loop down first would destroy connections out
+  // from under accepted-but-unanswered batches.
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    ingest_stop_ = true;
+  }
+  ingest_cv_.notify_all();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
   // The close runs on the loop thread (in Run()'s final posted-task
   // drain if the loop already observed stop) so connection state is
   // never touched concurrently.
@@ -102,12 +119,6 @@ void Server::Stop() {
     pending_cv_.wait(lock,
                      [this] { return pending_callbacks_.load() == 0; });
   }
-  {
-    std::lock_guard<std::mutex> lock(ingest_mu_);
-    ingest_stop_ = true;
-  }
-  ingest_cv_.notify_all();
-  if (ingest_thread_.joinable()) ingest_thread_.join();
 }
 
 void Server::CloseAll() {
@@ -245,12 +256,27 @@ bool Server::DispatchHttp(Connection& c, HttpRequest req) {
                                                 req.method)),
         req.keep_alive);
   }
+  // Liveness vs readiness: an unattached server is alive (it answers)
+  // but not ready (startup recovery is still replaying the WAL); load
+  // balancers read the 503 as "don't route here yet".
+  const bool ready = service_.load() != nullptr;
   if (path == "/healthz") {
+    if (!ready) {
+      return QueueHttpResponse(c, 503, "text/plain", "recovering\n",
+                               req.keep_alive);
+    }
     return QueueHttpResponse(c, 200, "text/plain", "ok\n", req.keep_alive);
   }
   if (path == "/stats") {
     return QueueHttpResponse(c, 200, kJsonType, StatsJson(),
                              req.keep_alive);
+  }
+  if (!ready && post_endpoint) {
+    return QueueHttpResponse(
+        c, 503, kJsonType,
+        FormatErrorJson(Status::Unavailable(
+            "recovering: durable state is still being replayed")),
+        req.keep_alive);
   }
   if (path == "/query") {
     Result<QueryRequest> parsed = ParseQueryRequestJson(req.body);
@@ -387,8 +413,17 @@ void Server::SubmitQuery(Connection& c, QueryRequest req, ResponseCtx ctx) {
   }
   c.inflight += 1;
   const uint64_t conn_id = c.id;
+  service::QueryService* svc = service_.load();
+  if (svc == nullptr) {  // binary clients racing startup recovery
+    loop_.Post([this, conn_id, ctx] {
+      OnQueryDone(conn_id, 0, ctx,
+                  Status::Unavailable(
+                      "recovering: durable state is still being replayed"));
+    });
+    return;
+  }
   pending_callbacks_.fetch_add(1);
-  uint64_t query_id = service_.SubmitAsync(
+  uint64_t query_id = svc->SubmitAsync(
       std::move(req.query), req.options,
       [this, conn_id, ctx](uint64_t id, Result<om::Value> result) {
         // Worker thread (or inline on rejection): hop back to the
@@ -485,11 +520,17 @@ void Server::IngestLoop() {
       ingest_cv_.wait(lock, [this] {
         return ingest_stop_ || !ingest_queue_.empty();
       });
-      if (ingest_stop_) return;  // queued jobs die with their connections
+      // Stop means drain, not drop: an accepted batch is a promise.
+      if (ingest_queue_.empty()) return;
       job = std::move(ingest_queue_.front());
       ingest_queue_.pop_front();
     }
-    Result<uint64_t> epoch = service_.Ingest(job.req.ops);
+    service::QueryService* svc = service_.load();
+    Result<uint64_t> epoch =
+        svc == nullptr
+            ? Result<uint64_t>(Status::Unavailable(
+                  "recovering: durable state is still being replayed"))
+            : svc->Ingest(job.req.ops);
     auto boxed = std::make_shared<Result<uint64_t>>(std::move(epoch));
     const uint64_t conn_id = job.conn_id;
     const ResponseCtx ctx = job.ctx;
@@ -569,8 +610,9 @@ void Server::DestroyConnection(uint64_t conn_id) {
   if (it == connections_.end()) return;
   std::unique_ptr<Connection> c = std::move(it->second);
   connections_.erase(it);
+  service::QueryService* svc = service_.load();
   for (uint64_t qid : c->inflight_queries) {
-    if (service_.Cancel(qid).ok()) {
+    if (svc != nullptr && svc->Cancel(qid).ok()) {
       stats_.cancelled_on_disconnect.fetch_add(1);
     }
   }
@@ -580,7 +622,15 @@ void Server::DestroyConnection(uint64_t conn_id) {
 
 std::string Server::StatsJson() const {
   const ServerStats::Snapshot s = stats_.Get();
-  const service::ServiceStats& q = service_.stats();
+  const service::QueryService* svc = service_.load();
+  if (svc == nullptr) {
+    // Startup recovery is still replaying: the store-side taxonomy
+    // does not exist yet, so report only the IO layer and the state.
+    return "{\"recovering\":true,\"server\":{\"accepted\":" +
+           std::to_string(s.accepted) +
+           ",\"active\":" + std::to_string(s.active) + "}}";
+  }
+  const service::ServiceStats& q = svc->stats();
   std::string out = "{\"server\":{";
   out += "\"accepted\":" + std::to_string(s.accepted);
   out += ",\"active\":" + std::to_string(s.active);
@@ -606,10 +656,10 @@ std::string Server::StatsJson() const {
   out += ",\"resource_exhausted\":" +
          std::to_string(q.total_resource_exhausted());
   out += ",\"degraded\":" + std::to_string(q.total_degraded());
-  out += ",\"inflight\":" + std::to_string(service_.inflight());
-  const ShardedStore& sharded = service_.sharded_store();
+  out += ",\"inflight\":" + std::to_string(svc->inflight());
+  const ShardedStore& sharded = svc->sharded_store();
   out += "},\"store\":{";
-  out += "\"epoch\":" + std::to_string(service_.store().epoch());
+  out += "\"epoch\":" + std::to_string(svc->store().epoch());
   out += ",\"version\":" + std::to_string(sharded.snapshot()->version);
   out += ",\"shards\":" + std::to_string(sharded.shard_count());
   out += ",\"documents\":" + std::to_string(sharded.document_count());
@@ -662,7 +712,36 @@ std::string Server::StatsJson() const {
   out += ",\"units_added\":" + std::to_string(m.units_added);
   out += ",\"units_removed\":" + std::to_string(m.units_removed);
   out += ",\"term_copies\":" + std::to_string(m.term_copies);
-  out += "}}";
+  out += "}";
+  // Durability: what startup recovery found/replayed, plus the live
+  // write-side counters. Present only when the store has a WAL.
+  if (const wal::Manager* w = sharded.wal(); w != nullptr) {
+    const wal::RecoveryStats& r = w->recovery_stats();
+    const wal::WalStats ws = w->stats();
+    out += ",\"durability\":{";
+    out += "\"recovered\":" + std::string(r.recovered ? "true" : "false");
+    out += ",\"wal_epochs_replayed\":" +
+           std::to_string(r.wal_batches_replayed);
+    out += ",\"checkpoint_epoch\":" + std::to_string(r.checkpoint_epoch);
+    out += ",\"recovery_ms\":" + std::to_string(r.recovery_ms);
+    out += ",\"torn_records_truncated\":" +
+           std::to_string(r.torn_records_truncated);
+    out += ",\"docs_recovered\":" + std::to_string(r.docs_recovered);
+    out += ",\"batches_logged\":" + std::to_string(ws.batches_logged);
+    out += ",\"records_appended\":" + std::to_string(ws.records_appended);
+    out += ",\"syncs\":" + std::to_string(ws.syncs);
+    out += ",\"wal_bytes\":" + std::to_string(ws.wal_bytes);
+    out += ",\"checkpoints_written\":" +
+           std::to_string(ws.checkpoints_written);
+    out += ",\"last_checkpoint_batch_seq\":" +
+           std::to_string(ws.last_checkpoint_batch_seq);
+    out += ",\"checkpoint_bytes\":" + std::to_string(ws.checkpoint_bytes);
+    out += ",\"durable_sync\":" +
+           std::string(ws.durable_sync ? "true" : "false");
+    out += ",\"poisoned\":" + std::string(ws.poisoned ? "true" : "false");
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 

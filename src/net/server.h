@@ -111,15 +111,29 @@ class ServerStats {
 class Server {
  public:
   Server(service::QueryService& service, const ServerOptions& options);
+
+  /// An unattached server: binds and answers immediately, but every
+  /// query/ingest (and /healthz) answers 503 "recovering" until
+  /// AttachService flips it ready. This is how a durable daemon binds
+  /// its ports *before* startup recovery: liveness is the socket,
+  /// readiness is the attach.
+  explicit Server(const ServerOptions& options);
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
   ~Server();  // Stop()
 
+  /// Marks the server ready: subsequent requests are served by
+  /// `service` (which must outlive the server). One-shot.
+  void AttachService(service::QueryService& service);
+  bool ready() const { return service_.load() != nullptr; }
+
   /// Binds both ports and starts the IO and ingest threads.
   Status Start();
 
-  /// Graceful stop: closes every connection (cancelling its in-flight
-  /// statements), joins the IO and ingest threads. Idempotent.
+  /// Graceful stop, in dependency order: the ingest queue drains
+  /// first (an accepted batch gets its WAL fsync and its ack before
+  /// any connection dies), then connections close (cancelling
+  /// in-flight statements) and the epoll loop tears down. Idempotent.
   void Stop();
 
   uint16_t http_port() const { return http_port_; }
@@ -190,7 +204,9 @@ class Server {
   void CloseAll();
   void IngestLoop();  // runs on ingest_thread_
 
-  service::QueryService& service_;
+  /// Null until AttachService: the readiness gate. Written once by
+  /// the recovering thread, read by the loop/ingest threads.
+  std::atomic<service::QueryService*> service_{nullptr};
   const ServerOptions options_;
   EventLoop loop_;
   Fd http_listen_;

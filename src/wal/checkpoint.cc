@@ -1,0 +1,265 @@
+#include "wal/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/fault_injection.h"
+#include "wal/format.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x53514B31;  // "SQK1"
+constexpr uint32_t kMaxCount = 1u << 24;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view bytes) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return IoError("open", path);
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status err = IoError("write", path);
+      ::close(fd);
+      return err;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status err = IoError("fsync", path);
+    ::close(fd);
+    return err;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("open dir", dir);
+  Status st;
+  if (::fsync(fd) != 0) st = IoError("fsync dir", dir);
+  ::close(fd);
+  return st;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("open", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return IoError("read", path);
+  return buf.str();
+}
+
+std::string EncodeManifest(const CheckpointState& state) {
+  std::string out;
+  PutU32(&out, kManifestMagic);
+  PutU64(&out, state.batch_seq);
+  PutU64(&out, state.doc_seq);
+  PutU32(&out, state.shard_count);
+  PutString(&out, state.dtd_text);
+  PutU32(&out, static_cast<uint32_t>(state.declared_names.size()));
+  for (const std::string& name : state.declared_names) PutString(&out, name);
+  for (const CheckpointShard& shard : state.shards) {
+    PutU64(&out, shard.epoch);
+    PutU64(&out, shard.next_oid);
+    PutU32(&out, static_cast<uint32_t>(shard.docs.size()));
+  }
+  return out;
+}
+
+Result<CheckpointState> DecodeManifest(std::string_view payload) {
+  auto corrupt = [](const char* what) {
+    return Status::InvalidArgument(std::string("checkpoint manifest: ") +
+                                   what);
+  };
+  CheckpointState state;
+  size_t off = 0;
+  uint32_t magic = 0;
+  if (!GetU32(payload, &off, &magic) || magic != kManifestMagic) {
+    return corrupt("bad magic");
+  }
+  if (!GetU64(payload, &off, &state.batch_seq) ||
+      !GetU64(payload, &off, &state.doc_seq) ||
+      !GetU32(payload, &off, &state.shard_count)) {
+    return corrupt("truncated header");
+  }
+  if (state.shard_count == 0 || state.shard_count > kMaxCount) {
+    return corrupt("bad shard count");
+  }
+  if (!GetString(payload, &off, &state.dtd_text)) {
+    return corrupt("truncated dtd");
+  }
+  uint32_t name_count = 0;
+  if (!GetU32(payload, &off, &name_count) || name_count > kMaxCount) {
+    return corrupt("bad name count");
+  }
+  state.declared_names.resize(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    if (!GetString(payload, &off, &state.declared_names[i])) {
+      return corrupt("truncated name");
+    }
+  }
+  state.shards.resize(state.shard_count);
+  for (CheckpointShard& shard : state.shards) {
+    uint32_t doc_count = 0;
+    if (!GetU64(payload, &off, &shard.epoch) ||
+        !GetU64(payload, &off, &shard.next_oid) ||
+        !GetU32(payload, &off, &doc_count) || doc_count > kMaxCount) {
+      return corrupt("truncated shard entry");
+    }
+    shard.docs.resize(doc_count);
+  }
+  if (off != payload.size()) return corrupt("trailing bytes");
+  return state;
+}
+
+}  // namespace
+
+std::string CheckpointDirName(uint64_t batch_seq) {
+  return "ckpt-" + std::to_string(batch_seq);
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::string child = dir + "/" + name;
+      struct stat st{};
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveDirRecursive(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+bool ParseCheckpointDirName(const std::string& name, uint64_t* batch_seq) {
+  if (name.rfind("ckpt-", 0) != 0) return false;
+  const std::string digits = name.substr(5);
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *batch_seq = value;
+  return true;
+}
+
+Status WriteCheckpoint(const std::string& data_dir,
+                       const CheckpointState& state) {
+  SGMLQDB_FAULT_POINT("wal.checkpoint");
+  if (state.shards.size() != state.shard_count) {
+    return Status::InvalidArgument("checkpoint shard vector size mismatch");
+  }
+  const std::string final_dir =
+      data_dir + "/" + CheckpointDirName(state.batch_seq);
+  const std::string tmp_dir = final_dir + ".tmp";
+  RemoveDirRecursive(tmp_dir);  // stale tmp from an earlier crash
+  if (::mkdir(tmp_dir.c_str(), 0755) != 0) return IoError("mkdir", tmp_dir);
+
+  std::string manifest;
+  AppendFramed(&manifest, EncodeManifest(state));
+  SGMLQDB_RETURN_IF_ERROR(WriteFileDurable(tmp_dir + "/manifest", manifest));
+
+  for (uint32_t i = 0; i < state.shard_count; ++i) {
+    std::string docs;
+    for (const CheckpointDoc& doc : state.shards[i].docs) {
+      WalRecord record;
+      record.type = WalRecord::Type::kDoc;
+      record.batch_seq = state.batch_seq;
+      record.shard_count = state.shard_count;
+      LoggedOp op;
+      op.kind = LoggedOp::Kind::kLoad;
+      op.name = doc.name;
+      op.sgml = doc.sgml;
+      op.oid_base = doc.oid_base;
+      record.ops.push_back(std::move(op));
+      AppendFramed(&docs, EncodeRecordPayload(record));
+    }
+    SGMLQDB_RETURN_IF_ERROR(WriteFileDurable(
+        tmp_dir + "/shard-" + std::to_string(i) + ".docs", docs));
+  }
+
+  SGMLQDB_RETURN_IF_ERROR(SyncDir(tmp_dir));
+  if (::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
+    // A same-watermark checkpoint already published is equivalent; any
+    // other rename failure leaves only the tmp dir (ignored on scan).
+    RemoveDirRecursive(final_dir);
+    if (::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
+      return IoError("rename", final_dir);
+    }
+  }
+  return SyncDir(data_dir);
+}
+
+Result<CheckpointState> ReadCheckpoint(const std::string& ckpt_dir) {
+  SGMLQDB_ASSIGN_OR_RETURN(std::string manifest_bytes,
+                           ReadWholeFile(ckpt_dir + "/manifest"));
+  size_t off = 0;
+  std::string_view payload;
+  if (ReadFramed(manifest_bytes, &off, &payload) != FrameOutcome::kOk ||
+      off != manifest_bytes.size()) {
+    return Status::InvalidArgument("checkpoint manifest: torn or trailing");
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(CheckpointState state, DecodeManifest(payload));
+
+  for (uint32_t i = 0; i < state.shard_count; ++i) {
+    const std::string path = ckpt_dir + "/shard-" + std::to_string(i) +
+                             ".docs";
+    SGMLQDB_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    size_t doc_off = 0;
+    size_t loaded = 0;
+    for (;;) {
+      std::string_view doc_payload;
+      FrameOutcome outcome = ReadFramed(bytes, &doc_off, &doc_payload);
+      if (outcome == FrameOutcome::kEnd) break;
+      if (outcome == FrameOutcome::kTorn) {
+        return Status::InvalidArgument("checkpoint docs: torn frame in " +
+                                       path);
+      }
+      SGMLQDB_ASSIGN_OR_RETURN(WalRecord record,
+                               DecodeRecordPayload(doc_payload));
+      if (record.type != WalRecord::Type::kDoc || record.ops.size() != 1 ||
+          record.ops[0].kind != LoggedOp::Kind::kLoad) {
+        return Status::InvalidArgument("checkpoint docs: bad record in " +
+                                       path);
+      }
+      if (loaded >= state.shards[i].docs.size()) {
+        return Status::InvalidArgument("checkpoint docs: extra docs in " +
+                                       path);
+      }
+      CheckpointDoc& doc = state.shards[i].docs[loaded++];
+      doc.name = std::move(record.ops[0].name);
+      doc.sgml = std::move(record.ops[0].sgml);
+      doc.oid_base = record.ops[0].oid_base;
+    }
+    if (loaded != state.shards[i].docs.size()) {
+      return Status::InvalidArgument("checkpoint docs: doc count mismatch in " +
+                                     path);
+    }
+  }
+  return state;
+}
+
+}  // namespace sgmlqdb::wal

@@ -1,0 +1,74 @@
+// Whole-epoch checkpoints.
+//
+// A checkpoint is a directory `ckpt-<W>` (W = the facade batch_seq
+// watermark it captures) inside the data dir:
+//
+//   ckpt-<W>/manifest       one framed+CRC'd metadata record:
+//                           batch_seq, doc_seq, shard_count, DTD
+//                           text, declared names, and per shard
+//                           {epoch, next_oid, doc_count}
+//   ckpt-<W>/shard-<i>.docs framed WalRecord(kDoc) per document, in
+//                           persistence-root list order, each holding
+//                           one kLoad op {name, oid_base, exported
+//                           SGML} — the proven export round-trip is
+//                           the serialization format
+//
+// Writes are atomic: everything lands in `ckpt-<W>.tmp`, every file
+// is fsync'd, the directory is renamed into place, and the parent
+// directory is fsync'd. Readers validate counts and CRCs; any
+// mismatch makes the whole checkpoint invalid (the manager falls back
+// to the next-newest one — which is why two are retained).
+//
+// Fault point: `wal.checkpoint` fires before any byte is written.
+
+#ifndef SGMLQDB_WAL_CHECKPOINT_H_
+#define SGMLQDB_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sgmlqdb::wal {
+
+struct CheckpointDoc {
+  std::string name;    // persistence name ("" if unnamed)
+  uint64_t oid_base;   // first oid of the document's block (0 = none)
+  std::string sgml;    // exported document text
+};
+
+struct CheckpointShard {
+  uint64_t epoch = 0;
+  uint64_t next_oid = 0;  // preserves oid gaps left by removed docs
+  std::vector<CheckpointDoc> docs;
+};
+
+struct CheckpointState {
+  uint64_t batch_seq = 0;  // WAL watermark: replay records > this
+  uint64_t doc_seq = 0;    // facade document sequence counter
+  uint32_t shard_count = 1;
+  std::string dtd_text;
+  std::vector<std::string> declared_names;  // facade declaration order
+  std::vector<CheckpointShard> shards;
+};
+
+/// Atomically writes `state` as `<data_dir>/ckpt-<batch_seq>`.
+Status WriteCheckpoint(const std::string& data_dir,
+                       const CheckpointState& state);
+
+/// Reads and fully validates one checkpoint directory.
+Result<CheckpointState> ReadCheckpoint(const std::string& ckpt_dir);
+
+/// Name of the checkpoint directory for a watermark ("ckpt-42").
+std::string CheckpointDirName(uint64_t batch_seq);
+
+/// Parses "ckpt-<W>" → W; false for anything else (incl. .tmp dirs).
+bool ParseCheckpointDirName(const std::string& name, uint64_t* batch_seq);
+
+/// Best-effort recursive delete (invalid checkpoints, stale tmp dirs).
+void RemoveDirRecursive(const std::string& dir);
+
+}  // namespace sgmlqdb::wal
+
+#endif  // SGMLQDB_WAL_CHECKPOINT_H_

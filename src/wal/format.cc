@@ -1,0 +1,216 @@
+#include "wal/format.h"
+
+#include <array>
+#include <cstring>
+
+namespace sgmlqdb::wal {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+// Limits that keep decode strict without constraining real data: a
+// single logged document tops out far below 1 GiB, and a batch far
+// below a million ops; anything larger is corruption, not input.
+constexpr uint32_t kMaxStringLen = 1u << 30;
+constexpr uint32_t kMaxListLen = 1u << 20;
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char ch : bytes) {
+    c = table[(c ^ ch) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool GetU8(std::string_view buf, size_t* off, uint8_t* v) {
+  if (buf.size() - *off < 1 || *off > buf.size()) return false;
+  *v = static_cast<uint8_t>(buf[*off]);
+  *off += 1;
+  return true;
+}
+
+bool GetU32(std::string_view buf, size_t* off, uint32_t* v) {
+  if (*off > buf.size() || buf.size() - *off < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(buf[*off + i]))
+         << (8 * i);
+  }
+  *v = r;
+  *off += 4;
+  return true;
+}
+
+bool GetU64(std::string_view buf, size_t* off, uint64_t* v) {
+  if (*off > buf.size() || buf.size() - *off < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(buf[*off + i]))
+         << (8 * i);
+  }
+  *v = r;
+  *off += 8;
+  return true;
+}
+
+bool GetString(std::string_view buf, size_t* off, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(buf, off, &len)) return false;
+  if (len > kMaxStringLen) return false;
+  if (*off > buf.size() || buf.size() - *off < len) return false;
+  s->assign(buf.data() + *off, len);
+  *off += len;
+  return true;
+}
+
+std::string EncodeRecordPayload(const WalRecord& record) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(record.type));
+  PutU64(&out, record.batch_seq);
+  PutU64(&out, record.doc_seq_before);
+  PutU64(&out, record.doc_seq_after);
+  PutU64(&out, record.epoch);
+  PutU32(&out, record.shard_count);
+  PutU32(&out, static_cast<uint32_t>(record.touched.size()));
+  for (uint32_t shard : record.touched) PutU32(&out, shard);
+  PutString(&out, record.dtd_text);
+  PutU32(&out, static_cast<uint32_t>(record.ops.size()));
+  for (const LoggedOp& op : record.ops) {
+    PutU8(&out, static_cast<uint8_t>(op.kind));
+    PutString(&out, op.name);
+    PutString(&out, op.sgml);
+    PutU64(&out, op.oid_base);
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeRecordPayload(std::string_view payload) {
+  auto corrupt = [](const char* what) {
+    return Status::InvalidArgument(std::string("wal record: ") + what);
+  };
+  WalRecord record;
+  size_t off = 0;
+  uint8_t type = 0;
+  if (!GetU8(payload, &off, &type)) return corrupt("truncated type");
+  if (type != static_cast<uint8_t>(WalRecord::Type::kDtd) &&
+      type != static_cast<uint8_t>(WalRecord::Type::kBatch) &&
+      type != static_cast<uint8_t>(WalRecord::Type::kDoc)) {
+    return corrupt("unknown record type");
+  }
+  record.type = static_cast<WalRecord::Type>(type);
+  if (!GetU64(payload, &off, &record.batch_seq)) {
+    return corrupt("truncated batch_seq");
+  }
+  if (!GetU64(payload, &off, &record.doc_seq_before)) {
+    return corrupt("truncated doc_seq_before");
+  }
+  if (!GetU64(payload, &off, &record.doc_seq_after)) {
+    return corrupt("truncated doc_seq_after");
+  }
+  if (!GetU64(payload, &off, &record.epoch)) {
+    return corrupt("truncated epoch");
+  }
+  if (!GetU32(payload, &off, &record.shard_count)) {
+    return corrupt("truncated shard_count");
+  }
+  uint32_t touched_count = 0;
+  if (!GetU32(payload, &off, &touched_count) || touched_count > kMaxListLen) {
+    return corrupt("bad touched list");
+  }
+  record.touched.reserve(touched_count);
+  for (uint32_t i = 0; i < touched_count; ++i) {
+    uint32_t shard = 0;
+    if (!GetU32(payload, &off, &shard)) return corrupt("truncated touched");
+    record.touched.push_back(shard);
+  }
+  if (!GetString(payload, &off, &record.dtd_text)) {
+    return corrupt("truncated dtd_text");
+  }
+  uint32_t op_count = 0;
+  if (!GetU32(payload, &off, &op_count) || op_count > kMaxListLen) {
+    return corrupt("bad op list");
+  }
+  record.ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    LoggedOp op;
+    uint8_t kind = 0;
+    if (!GetU8(payload, &off, &kind)) return corrupt("truncated op kind");
+    if (kind > static_cast<uint8_t>(LoggedOp::Kind::kRemoveRoot)) {
+      return corrupt("unknown op kind");
+    }
+    op.kind = static_cast<LoggedOp::Kind>(kind);
+    if (!GetString(payload, &off, &op.name)) return corrupt("truncated name");
+    if (!GetString(payload, &off, &op.sgml)) return corrupt("truncated sgml");
+    if (!GetU64(payload, &off, &op.oid_base)) {
+      return corrupt("truncated oid_base");
+    }
+    record.ops.push_back(std::move(op));
+  }
+  if (off != payload.size()) return corrupt("trailing bytes");
+  return record;
+}
+
+void AppendFramed(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+FrameOutcome ReadFramed(std::string_view buf, size_t* offset,
+                        std::string_view* payload) {
+  const size_t start = *offset;
+  if (start == buf.size()) return FrameOutcome::kEnd;
+  size_t off = start;
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  if (!GetU32(buf, &off, &len) || !GetU32(buf, &off, &crc)) {
+    return FrameOutcome::kTorn;
+  }
+  if (len > buf.size() || buf.size() - off < len) return FrameOutcome::kTorn;
+  std::string_view body(buf.data() + off, len);
+  if (Crc32(body) != crc) return FrameOutcome::kTorn;
+  *payload = body;
+  *offset = off + len;
+  return FrameOutcome::kOk;
+}
+
+}  // namespace sgmlqdb::wal

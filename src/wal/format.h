@@ -1,0 +1,124 @@
+// On-disk record format of the write-ahead log and the checkpoint
+// files (the durable-epochs layer; see README "Durability").
+//
+// Everything durable is a *framed record*:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// little-endian, CRC-32 (IEEE, reflected) over the payload only. The
+// frame is what makes torn tails detectable: a crash mid-write leaves
+// either a short header, a short payload, or a payload whose CRC does
+// not match — all three classified as a torn tail, never as data.
+//
+// A payload is one WalRecord:
+//
+//   u8  type            (kDtd | kBatch | kDoc)
+//   u64 batch_seq       facade-level batch sequence number
+//   u64 doc_seq_before  facade document sequence when the batch
+//                       started planning (failed batches consume
+//                       sequence numbers without being logged, so
+//                       replay must restore this before re-routing)
+//   u64 doc_seq_after   facade document sequence after this batch
+//   u64 epoch           shard epoch this record publishes as (info)
+//   u32 shard_count     facade shard count at write time (recovery
+//                       refuses a dir reopened at a different count)
+//   u32 touched[]       shards this batch wrote (completeness check)
+//   str dtd_text        (kDtd only)
+//   ops[]               (kBatch: this shard's slice, in apply order;
+//                        kDoc: exactly one kLoad per checkpoint doc)
+//
+// A LoggedOp mirrors one IngestSession verb so recovery replays the
+// exact apply sequence:
+//
+//   u8  kind   (kLoad | kReplace | kRemove | kDeclare | kRemoveRoot)
+//   str name   persistence name ("" for unnamed loads)
+//   str sgml   document text ("" for removes/declares)
+//   u64 oid_base  oid-block base for loads/replaces (0 = continue
+//                 numbering); root oid for kRemoveRoot
+//
+// Strings are u32-length-prefixed bytes. Decoding is strict: trailing
+// bytes, truncated fields and unknown enum values are all errors (a
+// record that decodes is byte-exact).
+
+#ifndef SGMLQDB_WAL_FORMAT_H_
+#define SGMLQDB_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace sgmlqdb::wal {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+/// classic zlib checksum, implemented locally so the WAL has no
+/// dependency the container may lack.
+uint32_t Crc32(std::string_view bytes);
+
+/// One journaled mutation (an IngestSession verb).
+struct LoggedOp {
+  enum class Kind : uint8_t {
+    kLoad = 0,
+    kReplace = 1,
+    kRemove = 2,
+    kDeclare = 3,
+    kRemoveRoot = 4,
+  };
+  Kind kind = Kind::kLoad;
+  std::string name;
+  std::string sgml;
+  uint64_t oid_base = 0;
+};
+
+struct WalRecord {
+  enum class Type : uint8_t {
+    kDtd = 1,
+    kBatch = 2,
+    kDoc = 3,
+  };
+  Type type = Type::kBatch;
+  uint64_t batch_seq = 0;
+  uint64_t doc_seq_before = 0;
+  uint64_t doc_seq_after = 0;
+  uint64_t epoch = 0;
+  uint32_t shard_count = 1;
+  std::vector<uint32_t> touched;
+  std::string dtd_text;
+  std::vector<LoggedOp> ops;
+};
+
+std::string EncodeRecordPayload(const WalRecord& record);
+Result<WalRecord> DecodeRecordPayload(std::string_view payload);
+
+/// Appends [len][crc][payload] to `out`.
+void AppendFramed(std::string* out, std::string_view payload);
+
+/// Outcome of pulling one framed record off a byte stream.
+enum class FrameOutcome {
+  kOk,    // *payload set, *offset advanced past the frame
+  kTorn,  // truncated header/payload or CRC mismatch: a torn tail
+  kEnd,   // exactly at end of stream
+};
+
+/// Reads the frame at `*offset`. On kOk advances *offset and points
+/// *payload into `buf`; on kTorn/kEnd leaves *offset at the frame
+/// start (the truncation point for a torn tail).
+FrameOutcome ReadFramed(std::string_view buf, size_t* offset,
+                        std::string_view* payload);
+
+// -- Low-level little-endian primitives (shared with the checkpoint
+// manifest encoder) ----------------------------------------------------
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, std::string_view s);
+bool GetU8(std::string_view buf, size_t* off, uint8_t* v);
+bool GetU32(std::string_view buf, size_t* off, uint32_t* v);
+bool GetU64(std::string_view buf, size_t* off, uint64_t* v);
+bool GetString(std::string_view buf, size_t* off, std::string* s);
+
+}  // namespace sgmlqdb::wal
+
+#endif  // SGMLQDB_WAL_FORMAT_H_

@@ -1,0 +1,131 @@
+#include "wal/log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/fault_injection.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, std::string_view bytes, const std::string& path) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardLog>> ShardLog::Open(const std::string& path,
+                                                 bool durable) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return IoError("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status err = IoError("fstat", path);
+    ::close(fd);
+    return err;
+  }
+  return std::unique_ptr<ShardLog>(
+      new ShardLog(path, fd, static_cast<uint64_t>(st.st_size), durable));
+}
+
+ShardLog::~ShardLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ShardLog::Append(std::string_view payload) {
+  SGMLQDB_FAULT_POINT("wal.append");
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  AppendFramed(&frame, payload);
+  SGMLQDB_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
+  size_ += frame.size();
+  return Status::OK();
+}
+
+Status ShardLog::Sync() {
+  SGMLQDB_FAULT_POINT("wal.fsync");
+  if (!durable_) return Status::OK();
+  if (::fsync(fd_) != 0) return IoError("fsync", path_);
+  return Status::OK();
+}
+
+Status ShardLog::TruncateTo(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return IoError("ftruncate", path_);
+  }
+  size_ = size;
+  // O_APPEND repositions writes at the (new) end automatically; fsync
+  // so a repaired log never resurrects the cut tail after a crash.
+  if (durable_ && ::fsync(fd_) != 0) return IoError("fsync", path_);
+  return Status::OK();
+}
+
+Result<SegmentScan> ScanSegment(const std::string& path) {
+  SegmentScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (::access(path.c_str(), F_OK) != 0) return scan;  // absent = empty
+    return IoError("open", path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return IoError("read", path);
+  const std::string bytes = buf.str();
+  scan.file_bytes = bytes.size();
+
+  size_t offset = 0;
+  for (;;) {
+    std::string_view payload;
+    FrameOutcome outcome = ReadFramed(bytes, &offset, &payload);
+    if (outcome == FrameOutcome::kEnd) break;
+    if (outcome == FrameOutcome::kTorn) {
+      scan.torn_records = 1;
+      break;
+    }
+    Result<WalRecord> record = DecodeRecordPayload(payload);
+    if (!record.ok()) {
+      // CRC-valid but undecodable: corruption past the checksum. The
+      // recovery contract is "truncate, never fatal" — same as torn.
+      scan.torn_records = 1;
+      break;
+    }
+    scan.records.push_back(std::move(record).value());
+    scan.record_ends.push_back(offset);
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return IoError("open", path);
+  Status st;
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    st = IoError("ftruncate", path);
+  } else if (::fsync(fd) != 0) {
+    st = IoError("fsync", path);
+  }
+  ::close(fd);
+  return st;
+}
+
+}  // namespace sgmlqdb::wal

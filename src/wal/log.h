@@ -1,0 +1,88 @@
+// Per-shard append-only log segment.
+//
+// A ShardLog owns one open segment file and provides the two durable
+// primitives the manager sequences: Append (buffered kernel write of
+// one framed record) and Sync (fsync — the durability barrier; a
+// record is recoverable only once the Sync *after* it returned).
+// TruncateTo backs out partially-logged batches when a sibling shard's
+// append failed (the cross-shard repair path).
+//
+// ScanSegment is the read side: it replays a segment file, stopping at
+// the first torn frame (short header, short payload, CRC mismatch, or
+// a CRC-valid payload that fails strict decode) and reporting the byte
+// offset of the valid prefix so recovery can physically truncate the
+// tail. A torn tail is expected after a crash and is never an error.
+//
+// Fault points: `wal.append` fires before the write, `wal.fsync`
+// before the fsync — both in the crash matrix.
+
+#ifndef SGMLQDB_WAL_LOG_H_
+#define SGMLQDB_WAL_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "wal/format.h"
+
+namespace sgmlqdb::wal {
+
+class ShardLog {
+ public:
+  /// Opens (creating if absent) `path` for appending. `durable`
+  /// controls whether Sync issues a real fsync (benches set it off).
+  static Result<std::unique_ptr<ShardLog>> Open(const std::string& path,
+                                                bool durable);
+  ~ShardLog();
+  ShardLog(const ShardLog&) = delete;
+  ShardLog& operator=(const ShardLog&) = delete;
+
+  /// Appends one framed record ([len][crc][payload] built here).
+  Status Append(std::string_view payload);
+
+  /// Durability barrier: everything appended so far survives a crash
+  /// once this returns OK. A no-op (beyond the fault point) when the
+  /// log was opened with durable=false.
+  Status Sync();
+
+  /// Cuts the file back to `size` bytes (batch repair / torn tail).
+  Status TruncateTo(uint64_t size);
+
+  /// Current file size = offset the next Append writes at.
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ShardLog(std::string path, int fd, uint64_t size, bool durable)
+      : path_(std::move(path)), fd_(fd), size_(size), durable_(durable) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  bool durable_ = true;
+};
+
+/// Result of replaying one segment file.
+struct SegmentScan {
+  std::vector<WalRecord> records;  // the valid prefix, in order
+  /// record_ends[i] = file offset just past records[i]'s frame — the
+  /// truncation boundary that keeps records[0..i].
+  std::vector<uint64_t> record_ends;
+  uint64_t valid_bytes = 0;        // file offset past the last valid frame
+  uint64_t file_bytes = 0;         // actual file size
+  uint64_t torn_records = 0;       // 1 if a torn tail was found, else 0
+};
+
+/// Replays `path` (missing file ⇒ empty scan). Torn tails stop the
+/// scan and are counted, never fatal; only I/O errors fail.
+Result<SegmentScan> ScanSegment(const std::string& path);
+
+/// Truncates `path` to `size` bytes and fsyncs it (recovery cleanup).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+}  // namespace sgmlqdb::wal
+
+#endif  // SGMLQDB_WAL_LOG_H_

@@ -1,0 +1,492 @@
+#include "wal/manager.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "base/fault_injection.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+Status MkdirAll(const std::string& dir) {
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    size_t next = dir.find('/', pos);
+    if (next == std::string::npos) next = dir.size();
+    prefix = dir.substr(0, next);
+    pos = next + 1;
+    if (prefix.empty() || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir " + prefix + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::Internal("opendir " + dir + ": " + std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string SegmentName(uint32_t shard, uint64_t watermark) {
+  return "wal-" + std::to_string(shard) + "-" + std::to_string(watermark) +
+         ".log";
+}
+
+/// Parses "wal-<shard>-<W>.log".
+bool ParseSegmentName(const std::string& name, uint32_t* shard,
+                      uint64_t* watermark) {
+  if (name.rfind("wal-", 0) != 0) return false;
+  if (name.size() < 4 + 4 || name.substr(name.size() - 4) != ".log") {
+    return false;
+  }
+  const std::string body = name.substr(4, name.size() - 8);
+  const size_t dash = body.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= body.size()) {
+    return false;
+  }
+  uint64_t s = 0;
+  uint64_t w = 0;
+  for (char c : body.substr(0, dash)) {
+    if (c < '0' || c > '9') return false;
+    s = s * 10 + static_cast<uint64_t>(c - '0');
+  }
+  for (char c : body.substr(dash + 1)) {
+    if (c < '0' || c > '9') return false;
+    w = w * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *shard = static_cast<uint32_t>(s);
+  *watermark = w;
+  return true;
+}
+
+uint64_t DirBytes(const std::string& dir) {
+  uint64_t total = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  ::closedir(d);
+  return total;
+}
+
+struct Segment {
+  std::string path;
+  uint64_t watermark = 0;
+  SegmentScan scan;
+};
+
+}  // namespace
+
+Status Manager::OpenActiveLogs(uint64_t watermark) {
+  logs_.clear();
+  active_watermarks_.clear();
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardLog> log,
+        ShardLog::Open(options_.data_dir + "/" + SegmentName(s, watermark),
+                       options_.durable_sync));
+    logs_.push_back(std::move(log));
+    active_watermarks_.push_back(watermark);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Manager>> Manager::Open(const Options& options,
+                                               uint32_t shard_count) {
+  SGMLQDB_FAULT_POINT("wal.recover");
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("wal: data_dir must be set");
+  }
+  if (shard_count == 0) {
+    return Status::InvalidArgument("wal: shard_count must be >= 1");
+  }
+  SGMLQDB_RETURN_IF_ERROR(MkdirAll(options.data_dir));
+
+  auto mgr = std::unique_ptr<Manager>(new Manager(options, shard_count));
+  SGMLQDB_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                           ListDir(options.data_dir));
+
+  // -- Newest valid checkpoint (invalid ones are deleted; their
+  // fallback is why two are retained). ----------------------------------
+  std::vector<std::pair<uint64_t, std::string>> ckpts;  // (watermark, name)
+  for (const std::string& name : entries) {
+    uint64_t w = 0;
+    if (ParseCheckpointDirName(name, &w)) {
+      ckpts.emplace_back(w, name);
+    } else if (name.rfind("ckpt-", 0) == 0) {
+      // Stale tmp dir from a crashed checkpoint write.
+      RemoveDirRecursive(options.data_dir + "/" + name);
+    }
+  }
+  std::sort(ckpts.rbegin(), ckpts.rend());
+  uint64_t ckpt_watermark = 0;
+  for (const auto& [w, name] : ckpts) {
+    if (mgr->plan_.has_checkpoint) {
+      continue;  // older checkpoints stay on disk (retention trims them)
+    }
+    Result<CheckpointState> state =
+        ReadCheckpoint(options.data_dir + "/" + name);
+    if (!state.ok()) {
+      RemoveDirRecursive(options.data_dir + "/" + name);
+      continue;
+    }
+    if (state->shard_count != shard_count) {
+      return Status::InvalidArgument(
+          "wal: data dir was written with " +
+          std::to_string(state->shard_count) + " shards, reopened with " +
+          std::to_string(shard_count));
+    }
+    mgr->plan_.has_checkpoint = true;
+    mgr->plan_.checkpoint = std::move(state).value();
+    ckpt_watermark = w;
+  }
+
+  // -- Scan per-shard segments (watermark >= the checkpoint's; older
+  // ones are fully covered by it). --------------------------------------
+  std::vector<std::vector<Segment>> segs(shard_count);
+  for (const std::string& name : entries) {
+    uint32_t s = 0;
+    uint64_t w = 0;
+    if (!ParseSegmentName(name, &s, &w)) continue;
+    if (s >= shard_count) {
+      return Status::InvalidArgument(
+          "wal: segment " + name + " names shard " + std::to_string(s) +
+          " but the store has " + std::to_string(shard_count));
+    }
+    if (w < ckpt_watermark) continue;
+    Segment seg;
+    seg.path = options.data_dir + "/" + name;
+    seg.watermark = w;
+    SGMLQDB_ASSIGN_OR_RETURN(seg.scan, ScanSegment(seg.path));
+    segs[s].push_back(std::move(seg));
+  }
+  for (auto& shard_segs : segs) {
+    std::sort(shard_segs.begin(), shard_segs.end(),
+              [](const Segment& a, const Segment& b) {
+                return a.watermark < b.watermark;
+              });
+  }
+
+  // -- Flatten each shard's stream; a torn mid-sequence segment ends
+  // the shard's stream there (later segments are unreachable). ----------
+  struct Cursor {
+    std::vector<const WalRecord*> records;
+    size_t next = 0;
+    const WalRecord* head() const {
+      return next < records.size() ? records[next] : nullptr;
+    }
+  };
+  std::vector<Cursor> cursors(shard_count);
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    for (const Segment& seg : segs[s]) {
+      for (const WalRecord& r : seg.scan.records) {
+        cursors[s].records.push_back(&r);
+      }
+      mgr->recovery_stats_.torn_records_truncated += seg.scan.torn_records;
+      if (seg.scan.torn_records != 0) break;
+    }
+  }
+
+  // The DTD record (batch_seq 0, shard 0) precedes every batch. The
+  // checkpoint's copy wins when both exist (same text by contract).
+  if (mgr->plan_.has_checkpoint) {
+    mgr->plan_.has_dtd = true;
+    mgr->plan_.dtd_text = mgr->plan_.checkpoint.dtd_text;
+  }
+  if (cursors[0].head() != nullptr &&
+      cursors[0].head()->type == WalRecord::Type::kDtd) {
+    if (!mgr->plan_.has_dtd) {
+      mgr->plan_.has_dtd = true;
+      mgr->plan_.dtd_text = cursors[0].head()->dtd_text;
+    }
+    cursors[0].next++;
+  }
+
+  // -- Consistent prefix: batch b is recoverable iff every shard in
+  // its touched set holds it. Logged batch_seqs are consecutive, so
+  // the walk stops at the first gap or incomplete batch. ----------------
+  uint64_t last_good = ckpt_watermark;
+  for (;;) {
+    const uint64_t b = last_good + 1;
+    const WalRecord* rec = nullptr;
+    for (uint32_t s = 0; s < shard_count && rec == nullptr; ++s) {
+      const WalRecord* head = cursors[s].head();
+      if (head != nullptr && head->type == WalRecord::Type::kBatch &&
+          head->batch_seq == b) {
+        rec = head;
+      }
+    }
+    if (rec == nullptr) break;
+    if (rec->shard_count != shard_count) {
+      return Status::InvalidArgument(
+          "wal: batch " + std::to_string(b) + " was logged at " +
+          std::to_string(rec->shard_count) + " shards, reopened with " +
+          std::to_string(shard_count));
+    }
+    bool complete = true;
+    for (uint32_t s : rec->touched) {
+      const WalRecord* head =
+          s < shard_count ? cursors[s].head() : nullptr;
+      if (head == nullptr || head->batch_seq != b) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) break;
+    for (uint32_t s : rec->touched) cursors[s].next++;
+    mgr->plan_.batches.push_back(*rec);
+    last_good = b;
+  }
+
+  // -- Physical truncation: cut each shard's newest reachable segment
+  // back to its last kept record; delete segments past the cut. ---------
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    bool cut = false;
+    for (const Segment& seg : segs[s]) {
+      if (cut) {
+        mgr->recovery_stats_.torn_records_truncated +=
+            seg.scan.records.size();
+        ::unlink(seg.path.c_str());
+        continue;
+      }
+      uint64_t keep = 0;
+      size_t kept = 0;
+      for (size_t j = 0; j < seg.scan.records.size(); ++j) {
+        if (seg.scan.records[j].batch_seq > last_good) break;
+        keep = seg.scan.record_ends[j];
+        kept = j + 1;
+      }
+      if (kept < seg.scan.records.size() || keep < seg.scan.file_bytes) {
+        mgr->recovery_stats_.torn_records_truncated +=
+            seg.scan.records.size() - kept;
+        SGMLQDB_RETURN_IF_ERROR(TruncateFile(seg.path, keep));
+        cut = true;
+      }
+    }
+  }
+
+  mgr->last_batch_seq_ = last_good;
+  mgr->last_checkpoint_batch_seq_ = ckpt_watermark;
+  if (mgr->plan_.has_checkpoint) {
+    mgr->checkpoints_written_ = 0;  // counts this process's writes only
+    mgr->checkpoint_bytes_ = DirBytes(options.data_dir + "/" +
+                                      CheckpointDirName(ckpt_watermark));
+    for (const CheckpointShard& shard : mgr->plan_.checkpoint.shards) {
+      mgr->recovery_stats_.checkpoint_epoch =
+          std::max(mgr->recovery_stats_.checkpoint_epoch, shard.epoch);
+    }
+  }
+  mgr->recovery_stats_.checkpoint_batch_seq = ckpt_watermark;
+  mgr->recovery_stats_.wal_batches_replayed = mgr->plan_.batches.size();
+  mgr->recovery_stats_.recovered =
+      mgr->plan_.has_dtd || mgr->plan_.has_checkpoint;
+
+  // Active segment per shard: the newest surviving one, or a fresh
+  // segment at the checkpoint watermark. Per-shard watermarks can
+  // differ after a crash mid-rotation; appends always go to the
+  // newest, which keeps the segment naming invariant (records in
+  // wal-<W> have batch_seq > W).
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    uint64_t watermark = ckpt_watermark;
+    for (const Segment& seg : segs[s]) {
+      struct stat st{};
+      if (::stat(seg.path.c_str(), &st) == 0) {
+        watermark = std::max(watermark, seg.watermark);
+      }
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardLog> log,
+        ShardLog::Open(options.data_dir + "/" + SegmentName(s, watermark),
+                       options.durable_sync));
+    mgr->logs_.push_back(std::move(log));
+    mgr->active_watermarks_.push_back(watermark);
+  }
+  return mgr;
+}
+
+Status Manager::LogDtd(std::string_view dtd_text) {
+  if (!journaling_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::Internal("wal is poisoned");
+  WalRecord record;
+  record.type = WalRecord::Type::kDtd;
+  record.batch_seq = 0;
+  record.shard_count = shard_count_;
+  record.dtd_text = std::string(dtd_text);
+  const uint64_t pre = logs_[0]->size();
+  Status st = logs_[0]->Append(EncodeRecordPayload(record));
+  if (st.ok()) st = logs_[0]->Sync();
+  if (!st.ok()) {
+    if (!logs_[0]->TruncateTo(pre).ok()) poisoned_ = true;
+    return st;
+  }
+  records_appended_++;
+  syncs_++;
+  return Status::OK();
+}
+
+Status Manager::LogBatch(const std::vector<LoggedOp>& ops,
+                         const std::vector<uint32_t>& touched,
+                         uint64_t doc_seq_after, uint64_t epoch_hint) {
+  if (!journaling_) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::Internal("wal is poisoned");
+  if (touched.empty()) return Status::OK();
+
+  WalRecord record;
+  record.type = WalRecord::Type::kBatch;
+  record.batch_seq = last_batch_seq_ + 1;
+  record.doc_seq_after = doc_seq_after;
+  uint64_t consumed = 0;
+  for (const LoggedOp& op : ops) {
+    if (op.kind == LoggedOp::Kind::kLoad ||
+        op.kind == LoggedOp::Kind::kReplace) {
+      consumed++;
+    }
+  }
+  record.doc_seq_before = doc_seq_after - consumed;
+  record.epoch = epoch_hint;
+  record.shard_count = shard_count_;
+  record.touched = touched;
+  std::sort(record.touched.begin(), record.touched.end());
+  record.ops = ops;
+  const std::string payload = EncodeRecordPayload(record);
+
+  std::vector<uint64_t> pre_sizes;
+  pre_sizes.reserve(record.touched.size());
+  for (uint32_t s : record.touched) {
+    if (s >= shard_count_) {
+      return Status::InvalidArgument("wal: touched shard out of range");
+    }
+    pre_sizes.push_back(logs_[s]->size());
+  }
+
+  auto repair = [&]() {
+    for (size_t i = 0; i < record.touched.size(); ++i) {
+      if (!logs_[record.touched[i]]->TruncateTo(pre_sizes[i]).ok()) {
+        poisoned_ = true;
+      }
+    }
+  };
+  for (uint32_t s : record.touched) {
+    Status st = logs_[s]->Append(payload);
+    if (!st.ok()) {
+      repair();
+      return st;
+    }
+  }
+  for (uint32_t s : record.touched) {
+    Status st = logs_[s]->Sync();
+    if (!st.ok()) {
+      // Some siblings may already be durable; cutting all of them back
+      // keeps the batch all-or-nothing on disk.
+      repair();
+      return st;
+    }
+    syncs_++;
+  }
+  last_batch_seq_ = record.batch_seq;
+  batches_logged_++;
+  records_appended_ += record.touched.size();
+  return Status::OK();
+}
+
+Status Manager::Checkpoint(CheckpointState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::Internal("wal is poisoned");
+  state.batch_seq = last_batch_seq_;
+  state.shard_count = shard_count_;
+  SGMLQDB_RETURN_IF_ERROR(WriteCheckpoint(options_.data_dir, state));
+
+  // Rotate: new records land in segments named by the new watermark,
+  // so replay from this checkpoint never re-reads older segments.
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    if (active_watermarks_[s] == state.batch_seq) continue;
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardLog> log,
+        ShardLog::Open(
+            options_.data_dir + "/" + SegmentName(s, state.batch_seq),
+            options_.durable_sync));
+    logs_[s] = std::move(log);
+    active_watermarks_[s] = state.batch_seq;
+  }
+
+  checkpoints_written_++;
+  last_checkpoint_batch_seq_ = state.batch_seq;
+  checkpoint_bytes_ = DirBytes(options_.data_dir + "/" +
+                               CheckpointDirName(state.batch_seq));
+  return ApplyRetention();
+}
+
+Status Manager::ApplyRetention() {
+  SGMLQDB_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                           ListDir(options_.data_dir));
+  std::vector<uint64_t> watermarks;
+  for (const std::string& name : entries) {
+    uint64_t w = 0;
+    if (ParseCheckpointDirName(name, &w)) watermarks.push_back(w);
+  }
+  std::sort(watermarks.rbegin(), watermarks.rend());
+  const uint32_t keep = options_.keep_checkpoints == 0
+                            ? 1
+                            : options_.keep_checkpoints;
+  if (watermarks.size() <= keep) return Status::OK();
+  const uint64_t min_keep = watermarks[keep - 1];
+  for (const std::string& name : entries) {
+    uint64_t w = 0;
+    if (ParseCheckpointDirName(name, &w) && w < min_keep) {
+      RemoveDirRecursive(options_.data_dir + "/" + name);
+      continue;
+    }
+    uint32_t s = 0;
+    if (ParseSegmentName(name, &s, &w) && w < min_keep) {
+      // Records <= min_keep are covered by the oldest kept checkpoint;
+      // a segment below its watermark holds nothing newer (rotation
+      // happens at every checkpoint).
+      ::unlink((options_.data_dir + "/" + name).c_str());
+    }
+  }
+  return Status::OK();
+}
+
+WalStats Manager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats stats;
+  stats.batches_logged = batches_logged_;
+  stats.records_appended = records_appended_;
+  stats.syncs = syncs_;
+  for (const auto& log : logs_) stats.wal_bytes += log->size();
+  stats.checkpoints_written = checkpoints_written_;
+  stats.last_checkpoint_batch_seq = last_checkpoint_batch_seq_;
+  stats.checkpoint_bytes = checkpoint_bytes_;
+  stats.durable_sync = options_.durable_sync;
+  stats.poisoned = poisoned_;
+  return stats;
+}
+
+}  // namespace sgmlqdb::wal

@@ -1,0 +1,173 @@
+// wal::Manager — the durability orchestrator one store facade owns.
+//
+// Layout of a data dir (one per store):
+//
+//   wal-<shard>-<W>.log   per-shard log segments; a segment named
+//                         with watermark W holds only records with
+//                         batch_seq > W; rotation happens at each
+//                         checkpoint
+//   ckpt-<W>/             whole-epoch checkpoints (see checkpoint.h)
+//
+// Write path (the facade's single-writer latch already serializes
+// callers): a batch is applied to the shards' COW sessions first,
+// then LogBatch appends the *facade-level* record — the full batch —
+// to every touched shard's log and fsyncs them all, and only then
+// does the caller publish. fsync-before-publish is the contract: a
+// published (acked) epoch is always recoverable. A batch whose ops
+// failed to apply is never logged at all.
+//
+// Writing the whole batch to every touched shard (instead of
+// per-shard slices) buys exact replay: recovery re-runs the original
+// facade Ingest with the restored document-sequence counter, so
+// routing, oid blocks and name homes reproduce bit-for-bit. The
+// redundancy is bounded by the batch size times its touched-shard
+// count.
+//
+// Recovery point: batch b is recoverable iff *every* shard in its
+// touched set holds a valid record for b — the cross-shard consistent
+// prefix, mirroring the atomic epoch-vector publish. The scan walks
+// batch_seq upward from the checkpoint watermark; the first gap or
+// torn record ends the prefix, and everything past it is physically
+// truncated (torn tails are expected crash artifacts, never fatal).
+//
+// A LogBatch failure mid-append (fault injection, disk error) repairs
+// by truncating every touched log back to its pre-batch offset; if
+// the repair itself fails the manager is poisoned and every later
+// durable write errors (the store stays queryable, just not durably
+// writable).
+
+#ifndef SGMLQDB_WAL_MANAGER_H_
+#define SGMLQDB_WAL_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "wal/checkpoint.h"
+#include "wal/format.h"
+#include "wal/log.h"
+
+namespace sgmlqdb::wal {
+
+struct Options {
+  std::string data_dir;
+  /// False skips every fsync (the `durability=off` bench knob):
+  /// records still reach the kernel, but a crash may lose acked
+  /// batches.
+  bool durable_sync = true;
+  /// Checkpoints retained after a new one lands. Two, so a checkpoint
+  /// that fails validation on recovery still has a fallback (the log
+  /// segments it needs are retained with it).
+  uint32_t keep_checkpoints = 2;
+};
+
+/// What startup recovery found and did (surfaced in /stats).
+struct RecoveryStats {
+  bool recovered = false;  // true if any prior state was found
+  uint64_t checkpoint_batch_seq = 0;
+  uint64_t checkpoint_epoch = 0;  // max shard epoch in the checkpoint
+  uint64_t wal_batches_replayed = 0;
+  uint64_t torn_records_truncated = 0;
+  uint64_t recovery_ms = 0;    // filled by the recovery driver
+  uint64_t docs_recovered = 0; // filled by the recovery driver
+};
+
+/// Live write-side counters (surfaced in /stats).
+struct WalStats {
+  uint64_t batches_logged = 0;
+  uint64_t records_appended = 0;
+  uint64_t syncs = 0;
+  uint64_t wal_bytes = 0;  // sum of active segment sizes
+  uint64_t checkpoints_written = 0;
+  uint64_t last_checkpoint_batch_seq = 0;
+  uint64_t checkpoint_bytes = 0;  // newest checkpoint's footprint
+  bool durable_sync = true;
+  bool poisoned = false;
+};
+
+/// The state Manager::Open reconstructed, for the store layer to
+/// apply: DTD, newest valid checkpoint, and the consistent-prefix
+/// batch records to replay (facade batches, in order).
+struct RecoveryPlan {
+  bool has_dtd = false;
+  std::string dtd_text;
+  bool has_checkpoint = false;
+  CheckpointState checkpoint;
+  std::vector<WalRecord> batches;
+};
+
+class Manager {
+ public:
+  /// Opens (creating if needed) a data dir for a store with
+  /// `shard_count` shards, scans checkpoints + logs, computes the
+  /// consistent recovery prefix, truncates torn/unrecoverable tails,
+  /// and leaves the plan in plan() for the store layer to apply.
+  /// Refuses a dir previously written at a different shard count.
+  /// Journaling starts disabled (replay must not re-log itself);
+  /// EnableJournal() after the plan is applied.
+  static Result<std::unique_ptr<Manager>> Open(const Options& options,
+                                               uint32_t shard_count);
+
+  const RecoveryPlan& plan() const { return plan_; }
+  RecoveryStats& recovery_stats() { return recovery_stats_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  void EnableJournal() { journaling_ = true; }
+  bool journaling() const { return journaling_; }
+
+  /// Journals the DTD (batch_seq 0, shard 0's log) and fsyncs.
+  Status LogDtd(std::string_view dtd_text);
+
+  /// Journals one facade batch: writes the full op list to every
+  /// shard in `touched`, fsyncs them all, then advances the batch
+  /// sequence. `doc_seq_after` is the facade document-sequence
+  /// counter after the batch (restored before replay); `epoch_hint`
+  /// is informational. Call between apply-success and publish.
+  Status LogBatch(const std::vector<LoggedOp>& ops,
+                  const std::vector<uint32_t>& touched,
+                  uint64_t doc_seq_after, uint64_t epoch_hint);
+
+  /// Writes `state` as the new checkpoint at the current batch
+  /// watermark (Manager fills batch_seq), rotates every shard's log
+  /// segment, and applies retention (keep_checkpoints newest + the
+  /// segments they need). Caller must hold the facade writer latch.
+  Status Checkpoint(CheckpointState state);
+
+  WalStats stats() const;
+
+  uint64_t last_batch_seq() const { return last_batch_seq_; }
+  uint32_t shard_count() const { return shard_count_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Manager(Options options, uint32_t shard_count)
+      : options_(std::move(options)), shard_count_(shard_count) {}
+
+  Status OpenActiveLogs(uint64_t watermark);
+  Status ApplyRetention();
+
+  Options options_;
+  uint32_t shard_count_;
+  std::vector<std::unique_ptr<ShardLog>> logs_;  // active segment/shard
+  std::vector<uint64_t> active_watermarks_;
+  uint64_t last_batch_seq_ = 0;
+  bool journaling_ = false;
+  bool poisoned_ = false;
+  RecoveryPlan plan_;
+  RecoveryStats recovery_stats_;
+  mutable std::mutex mu_;  // guards logs_/counters (belt: callers
+                           // already serialize on the writer latch)
+  uint64_t batches_logged_ = 0;
+  uint64_t records_appended_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t last_checkpoint_batch_seq_ = 0;
+  uint64_t checkpoint_bytes_ = 0;
+};
+
+}  // namespace sgmlqdb::wal
+
+#endif  // SGMLQDB_WAL_MANAGER_H_

@@ -422,6 +422,49 @@ TEST_F(ServerTest, StopWithInflightStatementsIsClean) {
   server_.reset();
 }
 
+// -- Readiness gate (durable startup) ---------------------------------
+
+TEST_F(ServerTest, UnattachedServerAnswersRecoveringUntilAttach) {
+  // The durable daemon binds its ports before startup recovery: the
+  // server is alive (it answers) but not ready, on both front ends.
+  server_ = std::make_unique<Server>(ServerOptions{});
+  ASSERT_TRUE(server_->Start().ok());
+  EXPECT_FALSE(server_->ready());
+  HttpClient c = Http();
+  Result<HttpClient::Response> health = c.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  EXPECT_EQ(health->body, "recovering\n");
+  Result<HttpClient::Response> stats = c.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  Result<JsonValue> parsed = JsonValue::Parse(stats->body);
+  ASSERT_TRUE(parsed.ok()) << stats->body;
+  ASSERT_NE(parsed->Find("recovering"), nullptr);
+  EXPECT_TRUE(parsed->Find("recovering")->AsBool());
+  Result<HttpClient::Response> query =
+      c.Post("/query", FormatQueryRequestJson(Req(kScanQuery)));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->status, 503);
+  BinaryClient b = Binary();
+  Result<ReplyBody> reply = b.Query(Req(kScanQuery));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->code, StatusCode::kUnavailable);
+
+  // Attaching the service flips readiness; the same connections serve.
+  server_->AttachService(*service_);
+  EXPECT_TRUE(server_->ready());
+  EXPECT_EQ(c.Get("/healthz")->status, 200);
+  EXPECT_EQ(c.Get("/healthz")->body, "ok\n");
+  Result<HttpClient::Response> served =
+      c.Post("/query", FormatQueryRequestJson(Req(kScanQuery)));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->status, 200) << served->body;
+  Result<ReplyBody> ok_reply = b.Query(Req(kScanQuery));
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->code, StatusCode::kOk) << ok_reply->text;
+}
+
 TEST_F(ServerTest, ConnectionCapClosesExtraClients) {
   ServerOptions options;
   options.max_connections = 1;

@@ -1,0 +1,301 @@
+// The in-process crash matrix: a fault fires at one of the WAL's
+// seams (append, fsync, checkpoint, publish, recover-entry), the
+// store is then dropped without a shutdown checkpoint (the simulated
+// kill), and recovery must land on a whole published epoch:
+//
+//   recovered state ∈ { acked, acked + 1 }
+//
+// exactly — the logged-but-unpublished batch (fault after the fsync,
+// before the epoch swap) is the only legal "+1", and a batch whose
+// log append/fsync failed must leave no trace at all, even when later
+// acked batches rode over the sequence gap it left. The real-process
+// kill -9 sweep lives in scripts/crash_matrix.sh; this matrix drives
+// the same seams deterministically under ASan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "core/sharded_store.h"
+#include "sgml/goldens.h"
+#include "wal/manager.h"
+#include "wal_test_util.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+constexpr size_t kBaseDocs = 6;
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+
+  std::unique_ptr<ShardedStore> Fresh(const std::string& dir,
+                                      size_t shards) {
+    Options options;
+    options.data_dir = dir;
+    auto opened = ShardedStore::OpenOrRecover(options, shards);
+    EXPECT_TRUE(opened.ok()) << opened.status();
+    if (!opened.ok()) return nullptr;
+    auto store = std::move(opened).value();
+    EXPECT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+    const std::vector<std::string> docs = TestCorpus(kBaseDocs);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_TRUE(
+          store->LoadDocument(docs[i], "doc" + std::to_string(i)).ok());
+    }
+    store->Freeze();
+    return store;
+  }
+
+  std::unique_ptr<ShardedStore> Reopen(const std::string& dir,
+                                       size_t shards) {
+    Options options;
+    options.data_dir = dir;
+    auto opened = ShardedStore::OpenOrRecover(options, shards);
+    EXPECT_TRUE(opened.ok()) << opened.status();
+    return opened.ok() ? std::move(opened).value() : nullptr;
+  }
+};
+
+// A batch whose log append (or fsync) failed was never acked and must
+// vanish; a later acked batch rides over the sequence gap and must
+// survive — byte-identically, at every shard count.
+TEST_F(CrashMatrixTest, LogFaultThenAckedBatchOverGap) {
+  const std::vector<std::string> extra = TestCorpus(kBaseDocs + 2);
+  for (const char* point : {"wal.append", "wal.fsync"}) {
+    for (size_t shards : {1u, 2u, 4u}) {
+      SCOPED_TRACE(std::string(point) + " shards=" +
+                   std::to_string(shards));
+      TempDir dir;
+      ASSERT_TRUE(dir.ok());
+      StoreImage acked;
+      {
+        auto store = Fresh(dir.path(), shards);
+        ASSERT_NE(store, nullptr);
+        {
+          fault::ScopedFault fault(
+              point, fault::FaultSpec{Status::Unavailable("injected"), 0,
+                                      false, 1});
+          auto failed = store->Ingest(
+              {DocMutation::Load(extra[kBaseDocs], "lost")});
+          ASSERT_FALSE(failed.ok());  // not acked
+          EXPECT_GE(fault::FireCount(point), 1u);
+        }
+        // The failed batch consumed sequence numbers; the next acked
+        // batch is logged over the gap.
+        auto ok = store->Ingest(
+            {DocMutation::Load(extra[kBaseDocs + 1], "kept"),
+             DocMutation::Remove("doc0")});
+        ASSERT_TRUE(ok.ok()) << ok.status();
+        acked = ImageOf(*store);
+      }  // crash
+      auto back = Reopen(dir.path(), shards);
+      ASSERT_NE(back, nullptr);
+      EXPECT_EQ(ImageOf(*back), acked);
+      EXPECT_EQ(back->wal()->recovery_stats().torn_records_truncated, 0u);
+      for (const DumpedDoc& doc : ImageOf(*back).docs) {
+        EXPECT_NE(doc.name, "lost");
+      }
+    }
+  }
+}
+
+// Fault after the batch hit the fsync'd log but before the epoch
+// swap: the caller saw an error (not acked), yet the batch is durable
+// — recovery replays it whole. This is the legal "acked + 1".
+TEST_F(CrashMatrixTest, PublishFaultRecoversLoggedBatch) {
+  const std::vector<std::string> extra = TestCorpus(kBaseDocs + 1);
+  for (size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    StoreImage acked;
+    uint64_t logged_doc_seq = 0;
+    {
+      auto store = Fresh(dir.path(), shards);
+      ASSERT_NE(store, nullptr);
+      acked = ImageOf(*store);
+      fault::ScopedFault fault(
+          "ingest.publish",
+          fault::FaultSpec{Status::Unavailable("injected"), 0, false, 1});
+      auto failed = store->Ingest(
+          {DocMutation::Load(extra[kBaseDocs], "beyond"),
+           DocMutation::Remove("doc1")});
+      ASSERT_FALSE(failed.ok());
+      logged_doc_seq = store->document_sequence();
+    }  // crash with the batch in the log, unpublished
+    auto back = Reopen(dir.path(), shards);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->wal()->recovery_stats().wal_batches_replayed,
+              kBaseDocs + 1);  // pre-freeze loads + the orphaned batch
+    const StoreImage recovered = ImageOf(*back);
+    // Exactly acked + 1: the orphaned batch applied whole — "beyond"
+    // exists, "doc1" is gone, everything else byte-identical to the
+    // acked image.
+    EXPECT_EQ(recovered.doc_seq, logged_doc_seq);
+    EXPECT_EQ(recovered.docs.size(), acked.docs.size());  // +1 load -1 rm
+    bool beyond = false, doc1 = false;
+    for (const DumpedDoc& doc : recovered.docs) {
+      if (doc.name == "beyond") beyond = true;
+      if (doc.name == "doc1") doc1 = true;
+    }
+    EXPECT_TRUE(beyond);
+    EXPECT_FALSE(doc1);
+    for (const DumpedDoc& doc : acked.docs) {
+      if (doc.name == "doc1") continue;
+      EXPECT_NE(std::find(recovered.docs.begin(), recovered.docs.end(),
+                          doc),
+                recovered.docs.end())
+          << doc.name << " not byte-identical after replay";
+    }
+    // A second crash+recover converges to the same state (the batch
+    // replays from the log each time until a checkpoint absorbs it).
+    back.reset();
+    auto again = Reopen(dir.path(), shards);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(ImageOf(*again), recovered);
+  }
+}
+
+// A failed checkpoint must not damage the recovery point: the old
+// checkpoint + the full WAL still reproduce every acked batch.
+TEST_F(CrashMatrixTest, CheckpointFaultKeepsOldRecoveryPoint) {
+  const std::vector<std::string> extra = TestCorpus(kBaseDocs + 2);
+  for (size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    StoreImage acked;
+    {
+      auto store = Fresh(dir.path(), shards);
+      ASSERT_NE(store, nullptr);
+      ASSERT_TRUE(store->Checkpoint().ok());  // a good baseline ckpt
+      auto b1 = store->Ingest(
+          {DocMutation::Load(extra[kBaseDocs], "after-ckpt")});
+      ASSERT_TRUE(b1.ok());
+      {
+        fault::ScopedFault fault(
+            "wal.checkpoint",
+            fault::FaultSpec{Status::Unavailable("injected"), 0, false,
+                            1});
+        EXPECT_FALSE(store->Checkpoint().ok());
+      }
+      // The store keeps serving and journaling after the failure.
+      auto b2 = store->Ingest(
+          {DocMutation::Replace("doc2", extra[kBaseDocs + 1])});
+      ASSERT_TRUE(b2.ok()) << b2.status();
+      acked = ImageOf(*store);
+    }  // crash
+    auto back = Reopen(dir.path(), shards);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(ImageOf(*back), acked);
+    EXPECT_GE(back->wal()->recovery_stats().wal_batches_replayed, 2u);
+  }
+}
+
+// A fault at the recovery entry surfaces as a failed open (the caller
+// decides about retries); the state on disk is untouched and the next
+// open succeeds.
+TEST_F(CrashMatrixTest, RecoverFaultFailsOpenWithoutDamage) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StoreImage acked;
+  {
+    auto store = Fresh(dir.path(), 2);
+    ASSERT_NE(store, nullptr);
+    acked = ImageOf(*store);
+  }
+  {
+    fault::ScopedFault fault(
+        "wal.recover",
+        fault::FaultSpec{Status::Unavailable("injected"), 0, false, 1});
+    Options options;
+    options.data_dir = dir.path();
+    auto failed = ShardedStore::OpenOrRecover(options, 2);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  }
+  auto back = Reopen(dir.path(), 2);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(ImageOf(*back), acked);
+}
+
+// Torn bytes appended to every live segment (the crash-mid-write
+// artifact): recovery truncates them, reports them, and recovers the
+// acked prefix; a second open sees a clean log.
+TEST_F(CrashMatrixTest, TornTailTruncatedNeverFatal) {
+  for (size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    StoreImage acked;
+    {
+      auto store = Fresh(dir.path(), shards);
+      ASSERT_NE(store, nullptr);
+      auto b = store->Ingest(
+          {DocMutation::Load(TestCorpus(kBaseDocs + 1)[kBaseDocs],
+                             "tail")});
+      ASSERT_TRUE(b.ok());
+      acked = ImageOf(*store);
+    }
+    // Simulate a crash mid-append: a torn frame (bogus length header,
+    // short payload) at the tail of every segment.
+    size_t segments = 0;
+    for (size_t i = 0; i < shards; ++i) {
+      const std::string path =
+          dir.path() + "/wal-" + std::to_string(i) + "-0.log";
+      FILE* f = ::fopen(path.c_str(), "ab");
+      if (f == nullptr) continue;
+      const char torn[] = "\xff\x00\x00\x00garbage";
+      ::fwrite(torn, 1, sizeof(torn) - 1, f);
+      ::fclose(f);
+      ++segments;
+    }
+    ASSERT_GT(segments, 0u);
+    auto back = Reopen(dir.path(), shards);
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->wal()->recovery_stats().torn_records_truncated,
+              segments);
+    EXPECT_EQ(ImageOf(*back), acked);
+    // The truncation was physical: reopening again finds no tears.
+    back.reset();
+    auto clean = Reopen(dir.path(), shards);
+    ASSERT_NE(clean, nullptr);
+    EXPECT_EQ(clean->wal()->recovery_stats().torn_records_truncated, 0u);
+    EXPECT_EQ(ImageOf(*clean), acked);
+  }
+}
+
+// durable_sync=off is the bench knob, not a correctness mode — but
+// absent a real power cut the records still reach the file, so a
+// process-level crash recovers the same way.
+TEST_F(CrashMatrixTest, DurabilityOffStillRecoversAfterCleanCrash) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Options options;
+  options.data_dir = dir.path();
+  options.durable_sync = false;
+  StoreImage acked;
+  {
+    auto opened = ShardedStore::OpenOrRecover(options, 2);
+    ASSERT_TRUE(opened.ok());
+    auto store = std::move(opened).value();
+    ASSERT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+    ASSERT_TRUE(store->LoadDocument(TestCorpus(1)[0], "doc0").ok());
+    store->Freeze();
+    EXPECT_FALSE(store->wal()->stats().durable_sync);
+    acked = ImageOf(*store);
+  }
+  auto back = ShardedStore::OpenOrRecover(options, 2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ImageOf(**back), acked);
+}
+
+}  // namespace
+}  // namespace sgmlqdb::wal

@@ -1,0 +1,259 @@
+// Startup recovery, end to end through the store facade: a durable
+// store that checkpointed, kept mutating (replace / remove / rename),
+// and then "crashed" (dropped without a final checkpoint) must come
+// back byte-identical — same documents, same exported SGML, same oid
+// bases, same declared names, same sequence counter, same query
+// results — at every shard count. The property satellite: the
+// checkpoint -> recover -> export composition equals the live store's
+// own export.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_store.h"
+#include "corpus/workload.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+#include "wal/manager.h"
+#include "wal_test_util.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+constexpr size_t kDocs = 8;
+
+/// Opens a fresh durable store in `dir`, loads the DTD + kDocs named
+/// documents, and freezes it.
+std::unique_ptr<ShardedStore> FreshStore(const std::string& dir,
+                                         size_t shards) {
+  Options options;
+  options.data_dir = dir;
+  auto opened = ShardedStore::OpenOrRecover(options, shards);
+  EXPECT_TRUE(opened.ok()) << opened.status();
+  if (!opened.ok()) return nullptr;
+  std::unique_ptr<ShardedStore> store = std::move(opened).value();
+  EXPECT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+  const std::vector<std::string> docs = TestCorpus(kDocs);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    auto root = store->LoadDocument(docs[i], "doc" + std::to_string(i));
+    EXPECT_TRUE(root.ok()) << root.status();
+  }
+  store->Freeze();
+  return store;
+}
+
+std::unique_ptr<ShardedStore> Reopen(const std::string& dir,
+                                     size_t shards) {
+  Options options;
+  options.data_dir = dir;
+  auto opened = ShardedStore::OpenOrRecover(options, shards);
+  EXPECT_TRUE(opened.ok()) << opened.status();
+  return opened.ok() ? std::move(opened).value() : nullptr;
+}
+
+/// Renders the paper query mix against `store` (algebraic engine).
+std::map<std::string, std::string> QueryImage(ShardedStore& store) {
+  service::QueryService::Options options;
+  options.num_threads = 2;
+  options.branch_threads = 2;
+  service::QueryService service(store, options);
+  std::map<std::string, std::string> out;
+  for (const corpus::WorkloadQuery& wq : corpus::PaperQueryMix()) {
+    Result<om::Value> r = service.ExecuteSync(wq.text);
+    out[wq.name] = r.ok() ? r->ToString() : r.status().ToString();
+  }
+  return out;
+}
+
+TEST(RecoveryTest, FreshDirOpensEmptyAndUnrecovered) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  auto store = Reopen(dir.path(), 2);
+  ASSERT_NE(store, nullptr);
+  EXPECT_FALSE(store->wal()->recovery_stats().recovered);
+  EXPECT_FALSE(store->has_dtd());
+  EXPECT_FALSE(store->frozen());
+}
+
+TEST(RecoveryTest, WalOnlyRecoveryNoCheckpoint) {
+  // Everything journaled pre-freeze + one live batch, no checkpoint
+  // ever: recovery rebuilds purely from the log.
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StoreImage live;
+  {
+    auto store = FreshStore(dir.path(), 2);
+    ASSERT_NE(store, nullptr);
+    auto applied = store->Ingest(
+        {DocMutation::Load(TestCorpus(kDocs + 1).back(), "late")});
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    live = ImageOf(*store);
+  }
+  auto back = Reopen(dir.path(), 2);
+  ASSERT_NE(back, nullptr);
+  const RecoveryStats& r = back->wal()->recovery_stats();
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.checkpoint_batch_seq, 0u);
+  EXPECT_EQ(r.docs_recovered, kDocs + 1);
+  EXPECT_TRUE(back->frozen());
+  EXPECT_EQ(ImageOf(*back), live);
+}
+
+// The tentpole property, at every shard count: load, mutate (replace
+// a doc, remove a doc, rename a doc = remove + load-under-new-name),
+// checkpoint, mutate more (the WAL tail), crash, recover — and the
+// recovered store's image and query results equal the live store's.
+TEST(RecoveryTest, CheckpointPlusTailRoundTripAtEveryShardCount) {
+  const std::vector<std::string> corpus = TestCorpus(kDocs + 3);
+  std::map<std::string, std::string> parity;  // query -> rendering
+  for (size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    StoreImage live;
+    std::map<std::string, std::string> live_queries;
+    {
+      auto store = FreshStore(dir.path(), shards);
+      ASSERT_NE(store, nullptr);
+      // Before the checkpoint: replace doc1, remove doc2, rename doc3.
+      auto b1 = store->Ingest({DocMutation::Replace("doc1", corpus[kDocs]),
+                               DocMutation::Remove("doc2")});
+      ASSERT_TRUE(b1.ok()) << b1.status();
+      auto b2 = store->Ingest(
+          {DocMutation::Remove("doc3"),
+           DocMutation::Load(corpus[3], "doc3-renamed")});
+      ASSERT_TRUE(b2.ok()) << b2.status();
+      ASSERT_TRUE(store->Checkpoint().ok());
+      // After the checkpoint (the replayed tail): one more of each.
+      auto b3 = store->Ingest(
+          {DocMutation::Load(corpus[kDocs + 1], "post-ckpt"),
+           DocMutation::Replace("doc4", corpus[kDocs + 2])});
+      ASSERT_TRUE(b3.ok()) << b3.status();
+      auto b4 = store->Ingest({DocMutation::Remove("doc5")});
+      ASSERT_TRUE(b4.ok()) << b4.status();
+      live = ImageOf(*store);
+      live_queries = QueryImage(*store);
+    }  // dropped without a shutdown checkpoint: the crash
+    auto back = Reopen(dir.path(), shards);
+    ASSERT_NE(back, nullptr);
+    const RecoveryStats& r = back->wal()->recovery_stats();
+    EXPECT_TRUE(r.recovered);
+    EXPECT_GT(r.checkpoint_batch_seq, 0u);
+    EXPECT_EQ(r.wal_batches_replayed, 2u);  // b3 + b4
+    EXPECT_EQ(r.torn_records_truncated, 0u);
+    EXPECT_TRUE(back->frozen());
+
+    // Byte-identical store image: documents, exports, oids, names.
+    EXPECT_EQ(ImageOf(*back), live);
+    // Byte-identical query results, live vs recovered...
+    const std::map<std::string, std::string> recovered_queries =
+        QueryImage(*back);
+    EXPECT_EQ(recovered_queries, live_queries);
+    // ...and across shard counts (1 vs 2 vs 4).
+    for (const auto& [name, rendered] : recovered_queries) {
+      auto [it, inserted] = parity.emplace(name, rendered);
+      if (!inserted) {
+        EXPECT_EQ(rendered, it->second)
+            << name << " diverged at shards=" << shards;
+      }
+    }
+
+    // Recovery is idempotent: a second crash+reopen reproduces the
+    // same image (and replays nothing new past its own checkpoints).
+    back.reset();
+    auto again = Reopen(dir.path(), shards);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(ImageOf(*again), live);
+  }
+}
+
+TEST(RecoveryTest, CheckpointOnlyRecovery) {
+  // A clean shutdown (checkpoint, no tail): recovery loads documents
+  // from the checkpoint and replays zero batches.
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StoreImage live;
+  {
+    auto store = FreshStore(dir.path(), 2);
+    ASSERT_NE(store, nullptr);
+    auto applied =
+        store->Ingest({DocMutation::Remove("doc0"),
+                       DocMutation::Load(TestCorpus(1)[0], "fresh")});
+    ASSERT_TRUE(applied.ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    live = ImageOf(*store);
+  }
+  auto back = Reopen(dir.path(), 2);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->wal()->recovery_stats().wal_batches_replayed, 0u);
+  EXPECT_EQ(ImageOf(*back), live);
+  // Oid gaps survive: doc0's block is not reused by the next load.
+  auto applied = back->Ingest({DocMutation::Load(TestCorpus(1)[0], "next")});
+  ASSERT_TRUE(applied.ok());
+  const StoreImage after = ImageOf(*back);
+  uint64_t max_base = 0;
+  for (const DumpedDoc& doc : after.docs) {
+    if (doc.name == "next") {
+      EXPECT_GE(doc.first_oid,
+                live.doc_seq * ShardedStore::kOidsPerDocument + 1);
+    }
+    max_base = std::max(max_base, doc.first_oid);
+  }
+  EXPECT_GT(max_base, 0u);
+}
+
+TEST(RecoveryTest, ShardCountMismatchRefused) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  { auto store = FreshStore(dir.path(), 2); ASSERT_NE(store, nullptr); }
+  Options options;
+  options.data_dir = dir.path();
+  auto wrong = ShardedStore::OpenOrRecover(options, 4);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  // The right count still opens.
+  auto right = ShardedStore::OpenOrRecover(options, 2);
+  EXPECT_TRUE(right.ok()) << right.status();
+}
+
+TEST(RecoveryTest, SingleStoreOpenOrRecoverRoundTrip) {
+  // The unsharded DocumentStore path shares the machinery.
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Options options;
+  options.data_dir = dir.path();
+  std::string live_export;
+  {
+    auto opened = DocumentStore::OpenOrRecover(options);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    std::unique_ptr<DocumentStore> store = std::move(opened).value();
+    ASSERT_TRUE(store->LoadDtd(sgml::ArticleDtdText()).ok());
+    ASSERT_TRUE(store->LoadDocument(TestCorpus(1)[0], "doc0").ok());
+    store->Freeze();
+    auto session = store->BeginIngest();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(
+        (*session)->ReplaceDocument("doc0", TestCorpus(2)[1]).ok());
+    ASSERT_TRUE(store->PublishIngest(std::move(*session)).ok());
+    auto dumped = store->DumpDocuments();
+    ASSERT_TRUE(dumped.ok());
+    ASSERT_EQ(dumped->size(), 1u);
+    live_export = (*dumped)[0].sgml;
+  }
+  auto back = DocumentStore::OpenOrRecover(options);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE((*back)->wal()->recovery_stats().recovered);
+  auto dumped = (*back)->DumpDocuments();
+  ASSERT_TRUE(dumped.ok());
+  ASSERT_EQ(dumped->size(), 1u);
+  EXPECT_EQ((*dumped)[0].sgml, live_export);
+  EXPECT_EQ((*dumped)[0].name, "doc0");
+}
+
+}  // namespace
+}  // namespace sgmlqdb::wal

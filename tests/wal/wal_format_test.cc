@@ -1,0 +1,289 @@
+// The on-disk format's contract: CRC-32 against the classic check
+// vector, strict encode/decode round-trips, and the torn-tail
+// taxonomy — a frame cut at *any* byte boundary must classify as
+// kTorn (never as data, never as a crash), both in-memory and through
+// ScanSegment over a real file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wal/format.h"
+#include "wal/log.h"
+#include "wal_test_util.h"
+
+namespace sgmlqdb::wal {
+namespace {
+
+WalRecord SampleBatch() {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kBatch;
+  rec.batch_seq = 42;
+  rec.doc_seq_before = 7;
+  rec.doc_seq_after = 9;
+  rec.epoch = 5;
+  rec.shard_count = 4;
+  rec.touched = {0, 2, 3};
+  rec.ops.push_back({LoggedOp::Kind::kLoad, "doc7", "<article>x</article>",
+                     7u << 20});
+  rec.ops.push_back({LoggedOp::Kind::kReplace, "doc1",
+                     "<article>y</article>", 8u << 20});
+  rec.ops.push_back({LoggedOp::Kind::kRemove, "doc2", "", 0});
+  rec.ops.push_back({LoggedOp::Kind::kDeclare, "doc9", "", 0});
+  rec.ops.push_back({LoggedOp::Kind::kRemoveRoot, "", "", 12345});
+  return rec;
+}
+
+TEST(WalFormatTest, Crc32CheckVector) {
+  // The CRC-32 "check" value from the IEEE 802.3 spec.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(WalFormatTest, RecordRoundTrip) {
+  const WalRecord rec = SampleBatch();
+  const std::string payload = EncodeRecordPayload(rec);
+  Result<WalRecord> back = DecodeRecordPayload(payload);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->type, rec.type);
+  EXPECT_EQ(back->batch_seq, rec.batch_seq);
+  EXPECT_EQ(back->doc_seq_before, rec.doc_seq_before);
+  EXPECT_EQ(back->doc_seq_after, rec.doc_seq_after);
+  EXPECT_EQ(back->epoch, rec.epoch);
+  EXPECT_EQ(back->shard_count, rec.shard_count);
+  EXPECT_EQ(back->touched, rec.touched);
+  ASSERT_EQ(back->ops.size(), rec.ops.size());
+  for (size_t i = 0; i < rec.ops.size(); ++i) {
+    EXPECT_EQ(back->ops[i].kind, rec.ops[i].kind) << i;
+    EXPECT_EQ(back->ops[i].name, rec.ops[i].name) << i;
+    EXPECT_EQ(back->ops[i].sgml, rec.ops[i].sgml) << i;
+    EXPECT_EQ(back->ops[i].oid_base, rec.ops[i].oid_base) << i;
+  }
+}
+
+TEST(WalFormatTest, DtdRecordRoundTrip) {
+  WalRecord rec;
+  rec.type = WalRecord::Type::kDtd;
+  rec.dtd_text = "<!DOCTYPE article [ ... ]>";
+  Result<WalRecord> back =
+      DecodeRecordPayload(EncodeRecordPayload(rec));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, WalRecord::Type::kDtd);
+  EXPECT_EQ(back->dtd_text, rec.dtd_text);
+}
+
+TEST(WalFormatTest, DecodeIsStrict) {
+  const std::string payload = EncodeRecordPayload(SampleBatch());
+  // Trailing garbage is an error, not ignored.
+  EXPECT_FALSE(DecodeRecordPayload(payload + "x").ok());
+  // Every proper prefix is an error (truncated field).
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeRecordPayload(payload.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  // Unknown record type / op kind.
+  std::string bad_type = payload;
+  bad_type[0] = '\x7f';
+  EXPECT_FALSE(DecodeRecordPayload(bad_type).ok());
+}
+
+TEST(WalFormatTest, FramedStreamAndTornSweep) {
+  std::string buf;
+  std::vector<std::string> payloads = {"alpha", "", "gamma-gamma"};
+  for (const std::string& p : payloads) AppendFramed(&buf, p);
+
+  // Full stream reads back exactly.
+  size_t off = 0;
+  std::string_view payload;
+  for (const std::string& p : payloads) {
+    ASSERT_EQ(ReadFramed(buf, &off, &payload), FrameOutcome::kOk);
+    EXPECT_EQ(payload, p);
+  }
+  EXPECT_EQ(ReadFramed(buf, &off, &payload), FrameOutcome::kEnd);
+  EXPECT_EQ(off, buf.size());
+
+  // Cut at every byte: the prefix of whole frames reads, the cut
+  // classifies as kTorn (or kEnd exactly on a frame boundary), and
+  // the offset stays at the truncation point.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view partial(buf.data(), cut);
+    size_t o = 0;
+    size_t frames = 0;
+    while (true) {
+      std::string_view p;
+      FrameOutcome oc = ReadFramed(partial, &o, &p);
+      if (oc == FrameOutcome::kOk) {
+        ASSERT_LT(frames, payloads.size());
+        EXPECT_EQ(p, payloads[frames]);
+        ++frames;
+        continue;
+      }
+      if (oc == FrameOutcome::kEnd) {
+        EXPECT_EQ(o, cut);  // boundary cut: clean end
+      } else {
+        EXPECT_LE(o, cut);  // torn: offset = start of the torn frame
+      }
+      break;
+    }
+  }
+}
+
+TEST(WalFormatTest, CrcMismatchIsTorn) {
+  std::string buf;
+  AppendFramed(&buf, "payload-one");
+  AppendFramed(&buf, "payload-two");
+  buf[buf.size() - 3] ^= 0x01;  // flip a bit inside the second payload
+  size_t off = 0;
+  std::string_view payload;
+  ASSERT_EQ(ReadFramed(buf, &off, &payload), FrameOutcome::kOk);
+  EXPECT_EQ(payload, "payload-one");
+  const size_t second_start = off;
+  EXPECT_EQ(ReadFramed(buf, &off, &payload), FrameOutcome::kTorn);
+  EXPECT_EQ(off, second_start);
+}
+
+TEST(WalLogTest, AppendSyncScanRoundTrip) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir.path() + "/wal-0-0.log";
+  std::vector<WalRecord> records;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    WalRecord rec = SampleBatch();
+    rec.batch_seq = seq;
+    records.push_back(rec);
+  }
+  {
+    auto log = ShardLog::Open(path, /*durable=*/true);
+    ASSERT_TRUE(log.ok()) << log.status();
+    for (const WalRecord& rec : records) {
+      ASSERT_TRUE((*log)->Append(EncodeRecordPayload(rec)).ok());
+    }
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  auto scan = ScanSegment(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->torn_records, 0u);
+  EXPECT_EQ(scan->valid_bytes, scan->file_bytes);
+  ASSERT_EQ(scan->record_ends.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scan->records[i].batch_seq, records[i].batch_seq);
+  }
+  // Reopening for append continues at the scanned size.
+  auto log = ShardLog::Open(path, true);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->size(), scan->file_bytes);
+}
+
+TEST(WalLogTest, ScanTruncatedAtEveryByte) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir.path() + "/wal-0-0.log";
+  std::string full;
+  std::vector<std::string> payloads;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    WalRecord rec = SampleBatch();
+    rec.batch_seq = seq;
+    payloads.push_back(EncodeRecordPayload(rec));
+    AppendFramed(&full, payloads.back());
+  }
+  {
+    auto log = ShardLog::Open(path, true);
+    ASSERT_TRUE(log.ok());
+    for (const std::string& p : payloads) {
+      ASSERT_TRUE((*log)->Append(p).ok());
+    }
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    {
+      // Rewrite the intact bytes (ftruncate back up would zero-fill),
+      // then cut.
+      FILE* f = ::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(::fwrite(full.data(), 1, full.size(), f), full.size());
+      ::fclose(f);
+    }
+    ASSERT_TRUE(TruncateFile(path, cut).ok());
+    auto scan = ScanSegment(path);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut << ": " << scan.status();
+    // The valid prefix is exactly the whole frames that fit.
+    size_t whole = 0, consumed = 0;
+    {
+      size_t o = 0;
+      std::string_view p;
+      std::string_view pref(full.data(), cut);
+      while (ReadFramed(pref, &o, &p) == FrameOutcome::kOk) {
+        ++whole;
+        consumed = o;
+      }
+    }
+    EXPECT_EQ(scan->records.size(), whole) << "cut=" << cut;
+    EXPECT_EQ(scan->valid_bytes, consumed) << "cut=" << cut;
+    EXPECT_EQ(scan->torn_records, cut == consumed ? 0u : 1u)
+        << "cut=" << cut;
+  }
+  // A missing file scans empty, not as an error.
+  auto missing = ScanSegment(dir.path() + "/no-such.log");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->records.empty());
+  EXPECT_EQ(missing->file_bytes, 0u);
+}
+
+TEST(WalCheckpointTest, WriteReadRoundTripAndNames) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  CheckpointState state;
+  state.batch_seq = 17;
+  state.doc_seq = 5;
+  state.shard_count = 2;
+  state.dtd_text = "<!DOCTYPE a [ ]>";
+  state.declared_names = {"doc0", "doc1", "doc2"};
+  state.shards.resize(2);
+  state.shards[0].epoch = 3;
+  state.shards[0].next_oid = 100;
+  state.shards[0].docs.push_back({"doc0", 1, "<a>zero</a>"});
+  state.shards[1].epoch = 2;
+  state.shards[1].next_oid = 200;
+  state.shards[1].docs.push_back({"doc1", 1u << 20, "<a>one</a>"});
+  state.shards[1].docs.push_back({"", 2u << 20, "<a>anon</a>"});
+  ASSERT_TRUE(WriteCheckpoint(dir.path(), state).ok());
+
+  EXPECT_EQ(CheckpointDirName(17), "ckpt-17");
+  uint64_t w = 0;
+  EXPECT_TRUE(ParseCheckpointDirName("ckpt-17", &w));
+  EXPECT_EQ(w, 17u);
+  EXPECT_FALSE(ParseCheckpointDirName("ckpt-17.tmp", &w));
+  EXPECT_FALSE(ParseCheckpointDirName("wal-0-0.log", &w));
+
+  auto back = ReadCheckpoint(dir.path() + "/ckpt-17");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->batch_seq, 17u);
+  EXPECT_EQ(back->doc_seq, 5u);
+  EXPECT_EQ(back->shard_count, 2u);
+  EXPECT_EQ(back->dtd_text, state.dtd_text);
+  EXPECT_EQ(back->declared_names, state.declared_names);
+  ASSERT_EQ(back->shards.size(), 2u);
+  EXPECT_EQ(back->shards[0].epoch, 3u);
+  EXPECT_EQ(back->shards[1].next_oid, 200u);
+  ASSERT_EQ(back->shards[1].docs.size(), 2u);
+  EXPECT_EQ(back->shards[1].docs[0].name, "doc1");
+  EXPECT_EQ(back->shards[1].docs[1].sgml, "<a>anon</a>");
+
+  // A corrupted manifest invalidates the whole checkpoint.
+  const std::string manifest = dir.path() + "/ckpt-17/manifest";
+  {
+    FILE* f = ::fopen(manifest.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::fseek(f, 12, SEEK_SET), 0);
+    ASSERT_EQ(::fputc(0x5a, f), 0x5a);
+    ::fclose(f);
+  }
+  EXPECT_FALSE(ReadCheckpoint(dir.path() + "/ckpt-17").ok());
+}
+
+}  // namespace
+}  // namespace sgmlqdb::wal

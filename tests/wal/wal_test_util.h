@@ -1,0 +1,94 @@
+// Shared fixtures for the durability tests: a self-cleaning temp data
+// dir (created under the build tree's CWD — never /tmp, so sandboxed
+// runs stay inside the workspace) and state-comparison helpers that
+// reduce a store to a comparable value (documents + oid bases +
+// exported SGML + declared names + the document-sequence counter).
+
+#ifndef SGMLQDB_TESTS_WAL_WAL_TEST_UTIL_H_
+#define SGMLQDB_TESTS_WAL_WAL_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sharded_store.h"
+#include "corpus/generator.h"
+#include "wal/checkpoint.h"
+
+namespace sgmlqdb::wal {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "waltest-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    path_ = made == nullptr ? std::string() : std::string(made);
+  }
+  ~TempDir() {
+    if (!path_.empty()) RemoveDirRecursive(path_);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One document in a store's comparable image.
+struct DumpedDoc {
+  size_t shard = 0;
+  std::string name;
+  uint64_t first_oid = 0;
+  std::string sgml;
+
+  bool operator==(const DumpedDoc& o) const {
+    return shard == o.shard && name == o.name && first_oid == o.first_oid &&
+           sgml == o.sgml;
+  }
+};
+
+/// The comparable image of a whole facade: per-shard document dumps
+/// (persistence-root order), declared names, and the facade sequence.
+struct StoreImage {
+  std::vector<DumpedDoc> docs;
+  std::vector<std::string> declared;
+  uint64_t doc_seq = 0;
+
+  bool operator==(const StoreImage& o) const {
+    return docs == o.docs && declared == o.declared && doc_seq == o.doc_seq;
+  }
+};
+
+inline StoreImage ImageOf(const ShardedStore& store) {
+  StoreImage image;
+  for (size_t i = 0; i < store.shard_count(); ++i) {
+    auto dumped = store.shard(i).DumpDocuments();
+    if (!dumped.ok()) continue;  // comparison will fail loudly
+    for (auto& doc : *dumped) {
+      image.docs.push_back(
+          DumpedDoc{i, std::move(doc.name), doc.first_oid,
+                    std::move(doc.sgml)});
+    }
+  }
+  image.declared = store.shard(0).DeclaredNames();
+  image.doc_seq = store.document_sequence();
+  return image;
+}
+
+inline std::vector<std::string> TestCorpus(size_t docs) {
+  corpus::ArticleParams params;
+  params.seed = 11;
+  params.sections = 2;
+  params.bodies_per_section = 2;
+  params.words_per_paragraph = 10;
+  return corpus::GenerateCorpus(docs, params);
+}
+
+}  // namespace sgmlqdb::wal
+
+#endif  // SGMLQDB_TESTS_WAL_WAL_TEST_UTIL_H_
