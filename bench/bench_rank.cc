@@ -1,0 +1,258 @@
+// E18 — ranked retrieval and aggregation. Three series:
+//
+//  * top-k vs full-sort: `rank ... limit k` probes the compressed
+//    postings through galloping cursors into a bounded k-heap, never
+//    materializing the full scored set; the no-limit variant sorts
+//    every matching document. The probe-counter deltas (docs scored,
+//    heap pushes, postings decoded vs skipped) ride along in the JSON
+//    as evidence of the bound, not just the timing.
+//  * per-shard partial aggregates: rank / group-by / order-by
+//    statements through the scatter-gather service across the shard
+//    axis — per-shard heaps and partial aggregates merge at the
+//    gather site against cross-shard global BM25 statistics.
+//  * incremental-stats ingest overhead: publish latency while the
+//    BM25 corpus statistics (N, total tokens, per-term df) are
+//    maintained delta-proportionally; the per-publish maintenance
+//    counters ride along so a rescan would be visible as counters
+//    proportional to the corpus instead of the delta.
+//
+// Static cases run at 200 and 1000 articles; the 10^4/10^5 points of
+// EXPERIMENTS.md are produced on demand via --articles (the
+// RegisterScaled hook), same as the other scaling series.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "rank/corpus_stats.h"
+#include "service/query_service.h"
+
+namespace sgmlqdb::bench {
+namespace {
+
+constexpr const char* kRankTopK =
+    "rank(Articles by (\"sgml\" and \"query\")) limit 10";
+constexpr const char* kRankFullSort =
+    "rank(Articles by (\"sgml\" and \"query\"))";
+
+/// Attaches the per-iteration probe-counter deltas: with a bounded
+/// k-heap, heap_pushes stays far below docs_scored and
+/// postings_skipped is non-zero on multi-block postings lists.
+void ReportProbeDeltas(benchmark::State& state,
+                       const rank::RankProbeStats& before,
+                       const rank::RankProbeStats& after) {
+  const double iters = static_cast<double>(state.iterations());
+  if (iters == 0) return;
+  state.counters["docs_scored_per_query"] =
+      static_cast<double>(after.docs_scored - before.docs_scored) / iters;
+  state.counters["heap_pushes_per_query"] =
+      static_cast<double>(after.heap_pushes - before.heap_pushes) / iters;
+  state.counters["postings_decoded_per_query"] =
+      static_cast<double>(after.postings_decoded - before.postings_decoded) /
+      iters;
+  state.counters["postings_skipped_per_query"] =
+      static_cast<double>(after.postings_skipped - before.postings_skipped) /
+      iters;
+  state.counters["max_heap_size"] =
+      static_cast<double>(after.max_heap_size);
+}
+
+void RunRanked(benchmark::State& state, const std::string& query,
+               oql::Engine engine) {
+  const DocumentStore& store =
+      CorpusStore(static_cast<size_t>(state.range(0)), /*sections=*/4);
+  DocumentStore::QueryOptions options;
+  options.engine = engine;
+  const rank::RankProbeStats before = store.rank_stats().probe_stats();
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = store.Query(query, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows = r->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  ReportProbeDeltas(state, before, store.rank_stats().probe_stats());
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["articles"] = static_cast<double>(state.range(0));
+  ReportPostingsFootprint(state, store);
+}
+
+void BM_RankTopK(benchmark::State& state) {
+  RunRanked(state, kRankTopK, oql::Engine::kAlgebraic);
+}
+BENCHMARK(BM_RankTopK)->Arg(200)->Arg(1000);
+
+void BM_RankFullSort(benchmark::State& state) {
+  RunRanked(state, kRankFullSort, oql::Engine::kAlgebraic);
+}
+BENCHMARK(BM_RankFullSort)->Arg(200)->Arg(1000);
+
+/// The brute-force reference: the naive engine tokenizes every
+/// document's text instead of probing the postings. The gap to
+/// BM_RankTopK is what the index + bounded heap buy.
+void BM_RankTopK_BruteScan(benchmark::State& state) {
+  RunRanked(state, kRankTopK, oql::Engine::kNaive);
+}
+BENCHMARK(BM_RankTopK_BruteScan)->Arg(200)->Arg(1000);
+
+void BM_GroupByCount(benchmark::State& state) {
+  RunRanked(state, PaperQueryText("Q8_CountByStatus"),
+            oql::Engine::kAlgebraic);
+}
+BENCHMARK(BM_GroupByCount)->Arg(200)->Arg(1000);
+
+void BM_OrderByDocOrder(benchmark::State& state) {
+  RunRanked(state, "select a from a in Articles order by a desc",
+            oql::Engine::kAlgebraic);
+}
+BENCHMARK(BM_OrderByDocOrder)->Arg(200)->Arg(1000);
+
+// --articles N adds the large-corpus points of the top-k vs
+// full-sort series on demand (10^4 and 10^5 in EXPERIMENTS.md E18).
+void RegisterScaled(size_t articles) {
+  const auto n = static_cast<int64_t>(articles);
+  struct ScaledCase {
+    const char* name;
+    const char* query;
+    oql::Engine engine;
+  };
+  static const ScaledCase kCases[] = {
+      {"BM_RankTopK", kRankTopK, oql::Engine::kAlgebraic},
+      {"BM_RankFullSort", kRankFullSort, oql::Engine::kAlgebraic},
+      {"BM_RankTopK_BruteScan", kRankTopK, oql::Engine::kNaive},
+  };
+  for (const ScaledCase& c : kCases) {
+    std::string query = c.query;
+    oql::Engine engine = c.engine;
+    ::benchmark::RegisterBenchmark(
+        c.name,
+        [query, engine](benchmark::State& state) {
+          RunRanked(state, query, engine);
+        })
+        ->Arg(n);
+  }
+}
+
+/// Per-shard partial aggregation through the scatter-gather service:
+/// each shard runs the compiled plan against its pinned snapshot
+/// (bounded k-heap / hash partial aggregate per shard) and the gather
+/// site merges — heaps against global BM25 statistics, partials by
+/// key. Arg(0) is the shard count; shards=1 is the facade baseline.
+void RunShardedRanked(benchmark::State& state, size_t articles) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  ShardedStore& store =
+      MutableShardedCorpusStore(articles, /*sections=*/4, shards);
+  service::QueryService::Options options;
+  options.num_threads = 1;
+  options.max_queue_depth = 1 << 20;
+  service::QueryService service(store, options);
+  static constexpr const char* kRankedQueries[] = {"Q7_RankedRetrieval",
+                                                   "Q8_CountByStatus"};
+  for (const char* q : kRankedQueries) {  // warm the plan cache
+    auto r = service.ExecuteSync(PaperQueryText(q));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  size_t queries = 0;
+  for (auto _ : state) {
+    for (const char* q : kRankedQueries) {
+      auto r = service.ExecuteSync(PaperQueryText(q));
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r->size());
+      ++queries;
+    }
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+  ReportShardedFootprint(state, store);
+  service.Shutdown();
+}
+
+void RegisterSharded(size_t articles, const std::vector<size_t>& shards) {
+  const size_t n = articles > 0 ? articles : 200;
+  auto* bench = ::benchmark::RegisterBenchmark(
+      "BM_ShardedRankedQps",
+      [n](benchmark::State& state) { RunShardedRanked(state, n); });
+  for (size_t s : shards) bench->Arg(static_cast<int64_t>(s));
+  bench->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+
+/// Incremental-stats maintenance cost: each iteration replaces one
+/// document and publishes. The BM25 statistics are updated from the
+/// delta alone, so tokens_added per publish must track the size of
+/// ONE article, independent of the corpus size — a rescan would show
+/// up as corpus-proportional counters (and corpus-proportional time).
+void BM_RankStatsReplacePublish(benchmark::State& state) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  auto store = std::make_unique<DocumentStore>();
+  if (!store->LoadDtd(sgml::ArticleDtdText()).ok()) {
+    state.SkipWithError("dtd");
+    return;
+  }
+  corpus::ArticleParams params;
+  params.sections = 4;
+  for (size_t i = 0; i < articles; ++i) {
+    if (!store->LoadDocument(corpus::GenerateCorpusArticle(i, params)).ok()) {
+      state.SkipWithError("load");
+      return;
+    }
+  }
+  store->Freeze();
+  corpus::ArticleParams live_params;
+  live_params.seed = 9001;
+  const std::vector<std::string> live = corpus::GenerateCorpus(8, live_params);
+  {
+    auto session = store->BeginIngest();
+    if (!session.ok() || !(*session)->LoadDocument(live[0], "live").ok() ||
+        !store->PublishIngest(std::move(*session)).ok()) {
+      state.SkipWithError("seed ingest failed");
+      return;
+    }
+  }
+  const rank::RankMaintenanceStats before =
+      store->rank_stats().maintenance_stats();
+  size_t i = 1;
+  for (auto _ : state) {
+    auto session = store->BeginIngest();
+    if (!session.ok() ||
+        !(*session)->ReplaceDocument("live", live[i++ % live.size()]).ok() ||
+        !store->PublishIngest(std::move(*session)).ok()) {
+      state.SkipWithError("ingest failed");
+      return;
+    }
+  }
+  const rank::RankMaintenanceStats after =
+      store->rank_stats().maintenance_stats();
+  const double iters = static_cast<double>(state.iterations());
+  if (iters > 0) {
+    state.counters["tokens_added_per_publish"] =
+        static_cast<double>(after.tokens_added - before.tokens_added) / iters;
+    state.counters["df_updates_per_publish"] =
+        static_cast<double>(after.df_updates - before.df_updates) / iters;
+  }
+  state.counters["articles"] = static_cast<double>(articles);
+  state.counters["corpus_tokens"] =
+      static_cast<double>(store->rank_stats().total_tokens());
+}
+BENCHMARK(BM_RankStatsReplacePublish)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace sgmlqdb::bench
+
+int main(int argc, char** argv) {
+  return sgmlqdb::bench::RunBenchmarks(argc, argv,
+                                       sgmlqdb::bench::RegisterScaled,
+                                       sgmlqdb::bench::RegisterSharded);
+}

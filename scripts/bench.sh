@@ -21,6 +21,11 @@
 #                        time vs corpus size (WAL replay vs checkpoint
 #                        + tail), checkpoint cost and on-disk footprint
 #                        (bench_durability)
+#   BENCH_rank.json    — E18 ranked retrieval & aggregation: top-k
+#                        bounded-heap vs full-sort vs brute scan,
+#                        sharded ranked/aggregate QPS vs shard count,
+#                        incremental BM25-stats maintenance cost per
+#                        publish (bench_rank)
 #
 # Every emitted file is validated as parseable JSON (a crashed or
 # interrupted bench run leaves a truncated file; better to fail here
@@ -98,7 +103,7 @@ cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON
 cmake --build "$build_dir" -j "$jobs" \
   --target bench_queries bench_service bench_ingest bench_durability \
-           bench_net qdb_server
+           bench_rank bench_net qdb_server
 
 # The build type the cache actually resolved to (a pre-existing tree
 # configured differently wins over the -D above on some generators).
@@ -129,11 +134,12 @@ set -- "${passthrough[@]+"${passthrough[@]}"}"
 "$build_dir/bench/bench_service" --json BENCH_service.json "$@"
 "$build_dir/bench/bench_ingest" --json BENCH_ingest.json "$@"
 "$build_dir/bench/bench_durability" --json BENCH_durability.json "$@"
+"$build_dir/bench/bench_rank" --json BENCH_rank.json "$@"
 python3 scripts/loadgen --build-dir "$build_dir" --out BENCH_net.json
 
 status=0
 for f in BENCH_queries.json BENCH_service.json BENCH_ingest.json \
-         BENCH_durability.json BENCH_net.json; do
+         BENCH_durability.json BENCH_rank.json BENCH_net.json; do
   if [[ ! -s "$f" ]]; then
     echo "ERROR: $f is missing or empty" >&2
     status=1
@@ -178,6 +184,40 @@ then
   status=1
 fi
 
+# BENCH_rank.json carries the E18 acceptance shape: the top-k and
+# full-sort series both present (that contrast IS the experiment), the
+# bounded-heap evidence counters on every top-k row, and the sharded
+# ranked series on >= 2 shard counts.
+if [[ "$status" -eq 0 ]] && ! python3 - <<'EOF'
+import json, sys
+with open("BENCH_rank.json") as f:
+    data = json.load(f)
+rows = data.get("benchmarks", [])
+names = {r.get("run_name", r.get("name", "")) for r in rows}
+for prefix in ("BM_RankTopK/", "BM_RankFullSort/", "BM_ShardedRankedQps/",
+               "BM_RankStatsReplacePublish/"):
+    if not any(n.startswith(prefix) for n in names):
+        sys.exit(f"BENCH_rank.json is missing the {prefix} series")
+for r in rows:
+    name = r.get("run_name", r.get("name", ""))
+    if name.startswith("BM_RankTopK/") and r.get("run_type") != "aggregate":
+        for key in ("docs_scored_per_query", "heap_pushes_per_query",
+                    "postings_skipped_per_query", "max_heap_size"):
+            if key not in r:
+                sys.exit(f"BENCH_rank.json {name} missing counter {key}")
+shard_counts = {r["shard_count"] for r in rows
+                if r.get("run_name", r.get("name", ""))
+                    .startswith("BM_ShardedRankedQps/")
+                and "shard_count" in r}
+if len(shard_counts) < 2:
+    sys.exit(f"BENCH_rank.json sharded ranked series needs >= 2 shard "
+             f"counts, got {shard_counts}")
+EOF
+then
+  echo "ERROR: BENCH_rank.json failed E18 shape validation" >&2
+  status=1
+fi
+
 if [[ "$status" -ne 0 ]]; then
   echo "benchmark output validation FAILED" >&2
   exit "$status"
@@ -195,4 +235,4 @@ if [[ -n "$baseline" ]]; then
   python3 scripts/bench_gate.py --baseline "$baseline" --candidate "$candidate"
 fi
 
-echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json, BENCH_durability.json and BENCH_net.json (all valid JSON, build type: $build_type)"
+echo "Wrote BENCH_queries.json, BENCH_service.json, BENCH_ingest.json, BENCH_durability.json, BENCH_rank.json and BENCH_net.json (all valid JSON, build type: $build_type)"

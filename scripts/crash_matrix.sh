@@ -17,9 +17,12 @@
 # prefix), after serving with the corpus only in the WAL (pure replay
 # recovery), and after an acked HTTP /ingest batch (the ack is the
 # promise being tested). After each kill the server restarts and is
-# probed over HTTP: /healthz must go ready, and a scan query must
-# return byte-identical results to the snapshot taken before the
-# kill. A final clean SIGTERM must checkpoint, and the restart after
+# probed over HTTP: /healthz must go ready, and a scan query, a
+# ranked (BM25) query and a group-by aggregate must all return
+# byte-identical results to the snapshot taken before the kill (the
+# ranked probe additionally certifies the recovery-rebuilt corpus
+# statistics match the live ones — a df or token-count drift would
+# change the scores). A final clean SIGTERM must checkpoint, and the restart after
 # it must recover from the checkpoint with zero WAL batches replayed
 # and zero torn records.
 #
@@ -72,6 +75,15 @@ import urllib.request
 workdir, server_bin = sys.argv[1], sys.argv[2]
 ARTICLES = 12
 SCAN = json.dumps({"query": "select a from a in Articles"}).encode()
+# Ranked + aggregated probes: BM25 scores depend on the corpus
+# statistics (N, total tokens, per-term df) that recovery rebuilds by
+# replaying documents, so a byte-identical ranked rendering across a
+# SIGKILL proves the rebuilt statistics match the live ones.
+RANKED = json.dumps(
+    {"query": 'rank(Articles by ("sgml" and "query")) limit 5'}).encode()
+GROUPED = json.dumps(
+    {"query": "select count(a) from a in Articles, a .. status(v)"
+              " group by v"}).encode()
 INGEST_DOC = ("<article><title>crash matrix probe</title>"
               "<author>nobody</author><affil>none</affil>"
               "<abstract>durable words</abstract>"
@@ -134,13 +146,19 @@ class Server:
         with urllib.request.urlopen(req, timeout=30) as resp:
             return resp.status, resp.read()
 
-    def scan(self):
-        """The probe: rows + full result text of a stable scan query."""
-        status, data = self.http("POST", "/query", SCAN)
+    def probe(self, body):
+        status, data = self.http("POST", "/query", body)
         if status != 200:
             raise RuntimeError(f"/query -> {status}: {data[:200]}")
         doc = json.loads(data)
         return doc["rows"], doc["result"]
+
+    def scan(self):
+        """The probe image: rows + full result text of a stable scan,
+        plus the ranked and group-by renderings (every element must be
+        byte-identical across a recovery)."""
+        rows, text = self.probe(SCAN)
+        return (rows, text, self.probe(RANKED)[1], self.probe(GROUPED)[1])
 
     def kill9(self):
         self.proc.send_signal(signal.SIGKILL)
@@ -182,7 +200,7 @@ for shards in (1, 2, 4):
           "mid-load recovery overshot the corpus")
     base = s.scan()
     print(f"    recovered after mid-load kill: {s.recovered}, "
-          f"rows={base[0]}", flush=True)
+          f"rows={base[0]}, ranked={'score' in base[2]}", flush=True)
 
     # Kill point 2: SIGKILL with everything still WAL-only (no
     # checkpoint has ever been written). Pure-replay recovery must

@@ -3,7 +3,8 @@
 # concurrent code re-built and re-run under ThreadSanitizer (the
 # thread pool, plan cache, exec guards, query service, the
 # live-ingestion path: pinned snapshot readers racing single-writer
-# publishes, and the network server: epoll loop vs. worker-pool
+# publishes, ranked/aggregate statements racing live ingest, and the
+# network server: epoll loop vs. worker-pool
 # completions vs. ingest thread), then the robustness/fault-injection
 # and malformed-network-input suites re-run under
 # AddressSanitizer+UBSan (injected faults and garbage bytes exercise
@@ -41,12 +42,12 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 cmake -B build-tsan -S . -DSGMLQDB_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target service_test sharded_test algebra_test ingest_test net_test text_test
-ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation|ServerTest|PostingsRoundtrip|GallopingParity|PostingsCow|ShardedIngestRace|ShardedParity'
+cmake --build build-tsan -j "$jobs" --target service_test sharded_test algebra_test ingest_test net_test text_test rank_test
+ctest --test-dir build-tsan --output-on-failure -R '^ServiceTest|ThreadPool|PlanCache|QueryService|OptimizeParity|OptimizeShape|ParallelUnion|IngestTest|SnapshotIsolation|ServerTest|PostingsRoundtrip|GallopingParity|PostingsCow|ShardedIngestRace|ShardedParity|RankIngestRace|RankParity'
 
 cmake -B build-asan -S . -DSGMLQDB_SANITIZE=address,undefined
-cmake --build build-asan -j "$jobs" --target base_test service_test sharded_test sgml_test property_test net_test
-ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz|ServerTest|HttpParser|FrameParser|JsonParse|ShardedStoreTest|ShardedIngestTest'
+cmake --build build-asan -j "$jobs" --target base_test service_test sharded_test sgml_test property_test net_test rank_test
+ctest --test-dir build-asan --output-on-failure -R '^ExecGuard|FaultInjection|QueryService|DocumentParser|OqlFuzz|ServerTest|HttpParser|FrameParser|JsonParse|ShardedStoreTest|ShardedIngestTest|RankOql|RankRecovery'
 
 # Durability crash matrix: WAL fault-point x kill-point sweep. Reuses
 # the build-asan tree above for the in-process fault matrix, then

@@ -1,0 +1,137 @@
+#include "algebra/aggregate.h"
+
+#include <utility>
+
+namespace sgmlqdb::algebra {
+
+namespace {
+
+class TopKScoreNode : public Node {
+ public:
+  explicit TopKScoreNode(std::shared_ptr<const rank::PostSpec> post)
+      : post_(std::move(post)) {}
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    SGMLQDB_ASSIGN_OR_RETURN(
+        std::vector<rank::Row> rows,
+        rank::TopKScoreRows(*ctx.calculus, post_->rank,
+                            ctx.calculus->rank_scoring,
+                            /*use_index=*/true));
+    out->insert(out->end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    std::string s =
+        "TopKScore " + post_->rank.root_name + " by " +
+        post_->rank.pattern.ToString();
+    if (post_->rank.limit > 0) {
+      s += " limit " + std::to_string(post_->rank.limit);
+    }
+    return s;
+  }
+
+  NodeKind kind() const override { return NodeKind::kTopKScore; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    (void)children;
+    return std::make_shared<TopKScoreNode>(post_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {"__doc", "__score"};
+  }
+
+ private:
+  std::shared_ptr<const rank::PostSpec> post_;
+};
+
+class GroupAggregateNode : public Node {
+ public:
+  GroupAggregateNode(PlanPtr input, std::shared_ptr<const rank::PostSpec> post)
+      : post_(std::move(post)) {
+    children_ = {std::move(input)};
+  }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->ExecuteShared(ctx, &in));
+    SGMLQDB_ASSIGN_OR_RETURN(std::vector<rank::Row> rows,
+                             rank::AggregateRows(post_->agg, in));
+    out->insert(out->end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return std::string("GroupAggregate ") + rank::AggKindName(post_->agg.kind) +
+           " keys=" + std::to_string(post_->agg.key_count);
+  }
+
+  NodeKind kind() const override { return NodeKind::kGroupAggregate; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<GroupAggregateNode>(std::move(children[0]), post_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {"__k", "__c", "__s"};
+  }
+
+ private:
+  std::shared_ptr<const rank::PostSpec> post_;
+};
+
+class OrderByNode : public Node {
+ public:
+  OrderByNode(PlanPtr input, std::shared_ptr<const rank::PostSpec> post)
+      : post_(std::move(post)) {
+    children_ = {std::move(input)};
+  }
+
+  Status Execute(const ExecContext& ctx, std::vector<Row>* out) const override {
+    std::vector<Row> in;
+    SGMLQDB_RETURN_IF_ERROR(children_[0]->ExecuteShared(ctx, &in));
+    SGMLQDB_ASSIGN_OR_RETURN(std::vector<rank::Row> rows,
+                             rank::OrderRows(post_->order, in));
+    out->insert(out->end(), std::make_move_iterator(rows.begin()),
+                std::make_move_iterator(rows.end()));
+    return Status::OK();
+  }
+
+  std::string Describe() const override {
+    return post_->order.descending ? "OrderBy desc" : "OrderBy asc";
+  }
+
+  NodeKind kind() const override { return NodeKind::kOrderBy; }
+
+  PlanPtr WithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<OrderByNode>(std::move(children[0]), post_);
+  }
+
+  std::vector<std::string> IntroducedColumns() const override {
+    return {"__k", "__v"};
+  }
+
+ private:
+  std::shared_ptr<const rank::PostSpec> post_;
+};
+
+}  // namespace
+
+PlanPtr TopKScore(std::shared_ptr<const rank::PostSpec> post) {
+  return std::make_shared<TopKScoreNode>(std::move(post));
+}
+
+PlanPtr GroupAggregate(PlanPtr input,
+                       std::shared_ptr<const rank::PostSpec> post) {
+  return std::make_shared<GroupAggregateNode>(std::move(input),
+                                              std::move(post));
+}
+
+PlanPtr OrderBy(PlanPtr input, std::shared_ptr<const rank::PostSpec> post) {
+  return std::make_shared<OrderByNode>(std::move(input), std::move(post));
+}
+
+}  // namespace sgmlqdb::algebra

@@ -1,0 +1,46 @@
+// Post-processing plan nodes for the ranked-retrieval / aggregation
+// subsystem (src/rank/): the three operators that sit at the root of a
+// plan, above the optimizer's Distinct(UnionAll(...)) shape, and turn
+// distinct binding rows into the statement's partial rows.
+//
+//  * TopKScore — leaf node for `rank(Root by <pattern>) limit k`:
+//    BM25-scores the index's candidate documents with a bounded
+//    k-heap and emits {__doc, __score} rows in final order.
+//  * GroupAggregate — hash aggregation over the child's distinct
+//    bindings into one {__k, __c, __s} partial row per group.
+//  * OrderBy — dedups and orders the child's (__o0, __r) pairs into
+//    {__k, __v} rows (merge-ordered: per-shard runs merge at the
+//    gather site by the same comparator).
+//
+// All three emit *partial* rows, not client values: the statement
+// layer (oql::ExecutePrepared / the sharded service) encodes them
+// with rank::PostRowsToPartial and merges any number of partials with
+// rank::FinalizePartials, which is what makes the sharded scatter
+// byte-identical to single-store execution.
+
+#ifndef SGMLQDB_ALGEBRA_AGGREGATE_H_
+#define SGMLQDB_ALGEBRA_AGGREGATE_H_
+
+#include <memory>
+
+#include "algebra/ops.h"
+#include "rank/scoring.h"
+
+namespace sgmlqdb::algebra {
+
+/// Leaf plan for a rank statement (kTopKScore). Candidates and term
+/// frequencies come from the context's inverted index via galloping
+/// cursors; scores use the context's rank_scoring when set (global
+/// cross-shard statistics), else the snapshot's own CorpusStats.
+PlanPtr TopKScore(std::shared_ptr<const rank::PostSpec> post);
+
+/// Hash-aggregate over `input`'s rows (kGroupAggregate).
+PlanPtr GroupAggregate(PlanPtr input,
+                       std::shared_ptr<const rank::PostSpec> post);
+
+/// Ordered dedup of `input`'s (__o0, __r) rows (kOrderBy).
+PlanPtr OrderBy(PlanPtr input, std::shared_ptr<const rank::PostSpec> post);
+
+}  // namespace sgmlqdb::algebra
+
+#endif  // SGMLQDB_ALGEBRA_AGGREGATE_H_

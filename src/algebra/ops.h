@@ -68,6 +68,9 @@ enum class NodeKind {
   kCrossProduct,
   kProject,
   kDistinct,
+  kTopKScore,
+  kGroupAggregate,
+  kOrderBy,
 };
 
 /// Runs the branches of a parallel UnionAll. Implementations must

@@ -35,6 +35,11 @@ class InvertedIndex;
 class TextQueryCache;
 }  // namespace sgmlqdb::text
 
+namespace sgmlqdb::rank {
+class CorpusStats;
+struct ScoringContext;
+}  // namespace sgmlqdb::rank
+
 namespace sgmlqdb::calculus {
 
 struct EvalContext {
@@ -68,6 +73,16 @@ struct EvalContext {
   /// algebra's IndexDocFilter discard whole documents whose units are
   /// all outside a candidate set. Optional.
   const std::map<uint64_t, uint64_t>* unit_docs = nullptr;
+  /// Corpus statistics of the same snapshot (document table, field
+  /// lengths, df map) — the BM25 state ranked statements score with.
+  /// Immutable once published; pinned by snapshot_pin like the index.
+  /// Optional (rank statements degrade to the brute scan without it).
+  const rank::CorpusStats* rank_stats = nullptr;
+  /// When set, ranked statements score with these statistics instead
+  /// of rank_stats' own sums — the sharded service injects the
+  /// cross-shard global sums here so every shard scores against the
+  /// same corpus. Null means "use rank_stats locally".
+  const rank::ScoringContext* rank_scoring = nullptr;
   /// Path-variable interpretation (§5.2).
   path::PathSemantics semantics = path::PathSemantics::kRestricted;
   /// Cooperative execution limiter (deadline / cancellation / budgets),

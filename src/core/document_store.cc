@@ -72,11 +72,15 @@ Result<om::ObjectId> DocumentStore::LoadDocument(std::string_view sgml_text,
       mapping::LoadDocumentText(*dtd_, sgml_text, db));
   // Conformance check: types + Figure 3 constraints.
   SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db, loaded.root));
+  std::vector<std::pair<uint64_t, std::string_view>> rank_units;
+  rank_units.reserve(loaded.element_texts.size());
   for (const auto& [oid, text] : loaded.element_texts) {
     (*ws->element_texts)[oid.id()] = text;
     (*ws->unit_docs)[oid.id()] = loaded.root.id();
     ws->index->Add(oid.id(), text);
+    rank_units.emplace_back(oid.id(), text);
   }
+  ws->rank_stats->AddDocument(loaded.root.id(), rank_units);
   if (!name.empty()) {
     SGMLQDB_RETURN_IF_ERROR(
         db->BindName(name, om::Value::Object(loaded.root)));

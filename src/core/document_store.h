@@ -214,6 +214,7 @@ class DocumentStore {
   const om::Database& db() const { return *state()->db; }
   const om::Schema& schema() const { return state()->db->schema(); }
   const text::InvertedIndex& text_index() const { return *state()->index; }
+  const rank::CorpusStats& rank_stats() const { return *state()->rank_stats; }
   const std::map<uint64_t, std::string>& element_texts() const {
     return *state()->element_texts;
   }

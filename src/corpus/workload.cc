@@ -32,6 +32,14 @@ const std::vector<WorkloadQuery>& PaperQueryMix() {
        "i in positions(a, \"abstract\"), "
        "j in positions(a, \"sections\") where i < j",
        oql::Engine::kNaive},
+      // The ranked-retrieval and aggregation surface (ROADMAP item 4):
+      // not in the paper's Q1..Q6, but served by the same front ends.
+      {"Q7_RankedRetrieval",
+       "rank(Articles by (\"sgml\" and \"query\")) limit 10",
+       oql::Engine::kAlgebraic},
+      {"Q8_CountByStatus",
+       "select count(a) from a in Articles, a .. status(v) group by v",
+       oql::Engine::kAlgebraic},
   };
   return mix;
 }

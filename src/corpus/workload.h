@@ -1,6 +1,7 @@
 // The canonical serving workload: the paper's Q1..Q6 example queries
-// in our concrete syntax, each with the engine the serving drivers
-// run it on, plus the live-ingest document stream. This is the single
+// in our concrete syntax plus Q7 (ranked retrieval) and Q8 (group-by
+// aggregation), each with the engine the serving drivers run it on,
+// plus the live-ingest document stream. This is the single
 // definition replayed by every front end — the in-process benches
 // (bench_queries, bench_service via bench_util.h), the qdb_serve and
 // qdb_server drivers, and the network load harness (bench_net) — so
@@ -25,7 +26,7 @@ struct WorkloadQuery {
   oql::Engine engine;
 };
 
-/// Q1..Q6, document order. The first corpus document is expected to
+/// Q1..Q8, document order. The first corpus document is expected to
 /// be bound to "doc0" for the single-document queries.
 const std::vector<WorkloadQuery>& PaperQueryMix();
 

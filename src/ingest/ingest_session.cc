@@ -44,6 +44,7 @@ IngestSession::IngestSession(const sgml::Dtd& dtd,
   work_->unit_docs =
       std::make_shared<std::map<uint64_t, uint64_t>>(*base->unit_docs);
   work_->index = std::make_shared<text::InvertedIndex>(*base->index);
+  work_->rank_stats = std::make_shared<rank::CorpusStats>(*base->rank_stats);
   work_->cache = base->cache;  // shared, epoch-keyed
   work_->doc_count = base->doc_count;
 }
@@ -103,12 +104,16 @@ Result<ObjectId> IngestSession::LoadDocument(std::string_view sgml_text,
   SGMLQDB_ASSIGN_OR_RETURN(mapping::LoadedDocument loaded,
                            mapping::LoadDocumentText(dtd_, sgml_text, db));
   SGMLQDB_RETURN_IF_ERROR(om::CheckConstraints(*db, loaded.root));
+  std::vector<std::pair<uint64_t, std::string_view>> rank_units;
+  rank_units.reserve(loaded.element_texts.size());
   for (const auto& [oid, text] : loaded.element_texts) {
     (*work_->element_texts)[oid.id()] = text;
     (*work_->unit_docs)[oid.id()] = loaded.root.id();
     work_->index->Add(oid.id(), text);
+    rank_units.emplace_back(oid.id(), text);
     ++stats_.units_added;
   }
+  work_->rank_stats->AddDocument(loaded.root.id(), rank_units);
   if (!name.empty()) {
     SGMLQDB_RETURN_IF_ERROR(db->BindName(name, Value::Object(loaded.root)));
   }
@@ -137,6 +142,17 @@ Status IngestSession::RemoveDocumentRoot(ObjectId root) {
     return Status::NotFound("oid " + std::to_string(root.id()) +
                             " is not a loaded document root");
   }
+  // Un-account the document before its texts are erased (the stats
+  // re-tokenize exactly the removed texts — delta-proportional).
+  std::vector<std::pair<uint64_t, std::string_view>> rank_units;
+  rank_units.reserve(units.size());
+  for (uint64_t unit : units) {
+    auto text_it = work_->element_texts->find(unit);
+    if (text_it != work_->element_texts->end()) {
+      rank_units.emplace_back(unit, text_it->second);
+    }
+  }
+  work_->rank_stats->RemoveDocument(root.id(), rank_units);
   for (uint64_t unit : units) {
     auto text_it = work_->element_texts->find(unit);
     if (text_it != work_->element_texts->end()) {

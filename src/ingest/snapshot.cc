@@ -11,6 +11,7 @@ std::shared_ptr<StoreSnapshot> StoreSnapshot::Initial(om::Schema schema) {
   snap->element_texts = std::make_shared<std::map<uint64_t, std::string>>();
   snap->unit_docs = std::make_shared<std::map<uint64_t, uint64_t>>();
   snap->index = std::make_shared<text::InvertedIndex>();
+  snap->rank_stats = std::make_shared<rank::CorpusStats>();
   snap->cache = std::make_shared<text::TextQueryCache>();
   return snap;
 }
@@ -22,6 +23,7 @@ calculus::EvalContext ContextFor(std::shared_ptr<const StoreSnapshot> snap) {
   ctx.text_index = snap->index.get();
   ctx.text_cache = snap->cache.get();
   ctx.unit_docs = snap->unit_docs.get();
+  ctx.rank_stats = snap->rank_stats.get();
   ctx.text_epoch = snap->epoch;
   ctx.snapshot_pin = std::move(snap);
   return ctx;

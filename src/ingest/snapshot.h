@@ -31,6 +31,7 @@
 
 #include "calculus/eval.h"
 #include "om/database.h"
+#include "rank/corpus_stats.h"
 #include "text/index.h"
 #include "text/query_cache.h"
 
@@ -51,6 +52,11 @@ struct StoreSnapshot {
   /// unit id -> document-root oid it was loaded under.
   std::shared_ptr<std::map<uint64_t, uint64_t>> unit_docs;
   std::shared_ptr<text::InvertedIndex> index;
+  /// BM25 corpus statistics (document table, field lengths, df map),
+  /// maintained incrementally next to the index and versioned with
+  /// the snapshot: a pinned statement scores against its own epoch's
+  /// statistics no matter how many publishes race it.
+  std::shared_ptr<rank::CorpusStats> rank_stats;
   /// Epoch-keyed text-predicate cache, shared across snapshots.
   std::shared_ptr<text::TextQueryCache> cache;
   /// Documents in this version (roots loaded and not removed).

@@ -1,10 +1,13 @@
 #include "net/server.h"
 
+#include "rank/corpus_stats.h"
+
 #include <cstring>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 #include <vector>
@@ -712,6 +715,52 @@ std::string Server::StatsJson() const {
   out += ",\"units_added\":" + std::to_string(m.units_added);
   out += ",\"units_removed\":" + std::to_string(m.units_removed);
   out += ",\"term_copies\":" + std::to_string(m.term_copies);
+  out += "}";
+  // Ranked retrieval: the BM25 corpus statistics and top-k execution
+  // counters, summed across shards like the text-index block (the
+  // global scoring context the service builds is exactly these sums).
+  uint64_t rank_docs = 0, rank_tokens = 0, rank_df_terms = 0;
+  rank::RankMaintenanceStats rm;
+  rank::RankProbeStats rp;
+  for (size_t i = 0; i < sharded.shard_count(); ++i) {
+    const rank::CorpusStats& rs = sharded.shard(i).rank_stats();
+    rank_docs += rs.doc_count();
+    rank_tokens += rs.total_tokens();
+    rank_df_terms += rs.df_term_count();
+    const rank::RankMaintenanceStats& sm2 = rs.maintenance_stats();
+    rm.docs_added += sm2.docs_added;
+    rm.docs_removed += sm2.docs_removed;
+    rm.tokens_added += sm2.tokens_added;
+    rm.tokens_removed += sm2.tokens_removed;
+    rm.df_updates += sm2.df_updates;
+    const rank::RankProbeStats sp2 = rs.probe_stats();
+    rp.rank_queries += sp2.rank_queries;
+    rp.docs_scored += sp2.docs_scored;
+    rp.heap_pushes += sp2.heap_pushes;
+    rp.max_heap_size = std::max(rp.max_heap_size, sp2.max_heap_size);
+    rp.postings_decoded += sp2.postings_decoded;
+    rp.postings_skipped += sp2.postings_skipped;
+  }
+  const double avg_len =
+      rank_docs == 0 ? 0.0
+                     : static_cast<double>(rank_tokens) /
+                           static_cast<double>(rank_docs);
+  out += ",\"rank\":{";
+  out += "\"documents\":" + std::to_string(rank_docs);
+  out += ",\"total_tokens\":" + std::to_string(rank_tokens);
+  out += ",\"avg_field_length\":" + std::to_string(avg_len);
+  out += ",\"df_terms\":" + std::to_string(rank_df_terms);
+  out += ",\"docs_added\":" + std::to_string(rm.docs_added);
+  out += ",\"docs_removed\":" + std::to_string(rm.docs_removed);
+  out += ",\"tokens_added\":" + std::to_string(rm.tokens_added);
+  out += ",\"tokens_removed\":" + std::to_string(rm.tokens_removed);
+  out += ",\"df_updates\":" + std::to_string(rm.df_updates);
+  out += ",\"rank_queries\":" + std::to_string(rp.rank_queries);
+  out += ",\"docs_scored\":" + std::to_string(rp.docs_scored);
+  out += ",\"heap_pushes\":" + std::to_string(rp.heap_pushes);
+  out += ",\"max_heap_size\":" + std::to_string(rp.max_heap_size);
+  out += ",\"postings_decoded\":" + std::to_string(rp.postings_decoded);
+  out += ",\"postings_skipped\":" + std::to_string(rp.postings_skipped);
   out += "}";
   // Durability: what startup recovery found/replayed, plus the live
   // write-side counters. Present only when the store has a WAL.

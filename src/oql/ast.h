@@ -91,13 +91,28 @@ struct SelectQuery {
   ExprPtr select;
   std::vector<FromBinding> from;
   ExprPtr where;  // may be null
+  /// `group by k1, ..., kn` — activates aggregate interpretation of
+  /// the select expression (count/sum/min/max/avg). Empty otherwise.
+  std::vector<ExprPtr> group_by;
+  /// `order by k [asc|desc]` — may be null; exclusive with group_by.
+  ExprPtr order_by;
+  bool order_desc = false;
 };
 
-/// A parsed OQL statement: either a select-from-where or a bare
-/// expression.
+/// `rank(Root by <pattern>) [limit k]`: BM25-ranked retrieval of the
+/// root's member documents.
+struct RankStatement {
+  std::string root;      // persistence root (e.g. Articles)
+  std::string pattern;   // raw contains-pattern text
+  uint64_t limit = 0;    // 0 == unlimited (score-all)
+};
+
+/// A parsed OQL statement: a select-from-where, a bare expression, or
+/// a rank statement.
 struct Statement {
   std::shared_ptr<const SelectQuery> select;  // one of these is set
   ExprPtr expr;
+  std::shared_ptr<const RankStatement> rank;
 };
 
 }  // namespace sgmlqdb::oql

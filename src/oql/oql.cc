@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "algebra/aggregate.h"
 #include "oql/parser.h"
 #include "oql/translate.h"
 
@@ -19,12 +20,17 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
   prepared.is_query = t.is_query;
   prepared.query = std::move(t.query);
   prepared.term = std::move(t.term);
+  prepared.post = t.post;
   {
     std::set<std::string> roots;
     if (prepared.is_query) {
       calculus::CollectRootNames(prepared.query, &roots);
     } else if (prepared.term != nullptr) {
       calculus::CollectRootNames(*prepared.term, &roots);
+    } else if (prepared.post != nullptr &&
+               prepared.post->kind == rank::PostSpec::Kind::kRank) {
+      // A rank statement has no calculus; it reads exactly its root.
+      roots.insert(prepared.post->rank.root_name);
     }
     prepared.root_refs.assign(roots.begin(), roots.end());
   }
@@ -63,12 +69,99 @@ Result<PreparedStatement> Prepare(const om::Schema& schema,
     // Unsupported shapes keep `compiled` empty and execute on the
     // reference evaluator.
   }
+  // Post statements get their algebra plan after the optimizer ran:
+  // the wrapper sits above the Distinct(UnionAll(...)) root the
+  // optimizer recognizes, and TopKScore plans never compile at all.
+  if (options.engine == Engine::kAlgebraic && prepared.post != nullptr) {
+    switch (prepared.post->kind) {
+      case rank::PostSpec::Kind::kRank:
+        prepared.post_plan = algebra::TopKScore(prepared.post);
+        break;
+      case rank::PostSpec::Kind::kAggregate:
+        if (prepared.compiled.has_value()) {
+          prepared.post_plan =
+              algebra::GroupAggregate(prepared.compiled->plan, prepared.post);
+        }
+        break;
+      case rank::PostSpec::Kind::kOrderBy:
+        if (prepared.compiled.has_value()) {
+          prepared.post_plan =
+              algebra::OrderBy(prepared.compiled->plan, prepared.post);
+        }
+        break;
+    }
+  }
   return prepared;
+}
+
+namespace {
+
+/// The row-level scatter half shared by both engines: post rows for
+/// one store.
+Result<std::vector<rank::Row>> PostRows(
+    const calculus::EvalContext& ctx, const PreparedStatement& prepared,
+    algebra::BranchExecutor* branch_executor) {
+  const rank::PostSpec& post = *prepared.post;
+  if (post.kind == rank::PostSpec::Kind::kRank) {
+    if (prepared.post_plan != nullptr) {
+      algebra::ExecContext ec;
+      ec.calculus = &ctx;
+      ec.branch_executor = branch_executor;
+      std::vector<algebra::Row> rows;
+      SGMLQDB_RETURN_IF_ERROR(prepared.post_plan->Execute(ec, &rows));
+      return rows;
+    }
+    // Naive engine: the brute-force scan is the ground truth the
+    // parity matrix compares the index path against.
+    return rank::TopKScoreRows(ctx, post.rank, ctx.rank_scoring,
+                               /*use_index=*/false);
+  }
+  // Aggregates / order-by: fold the engine's distinct binding rows.
+  if (prepared.post_plan != nullptr) {
+    algebra::ExecContext ec;
+    ec.calculus = &ctx;
+    ec.branch_executor = branch_executor;
+    std::vector<algebra::Row> rows;
+    Status run = prepared.post_plan->Execute(ec, &rows);
+    if (run.ok()) return rows;
+    if (run.code() != StatusCode::kUnsupported) return run;
+    // Fall back to the reference evaluator below.
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(om::Value bindings,
+                           calculus::EvaluateQuery(ctx, prepared.query));
+  std::vector<rank::Row> rows = rank::BindingsToRows(bindings);
+  if (post.kind == rank::PostSpec::Kind::kAggregate) {
+    return rank::AggregateRows(post.agg, rows);
+  }
+  return rank::OrderRows(post.order, rows);
+}
+
+}  // namespace
+
+Result<om::Value> ExecutePreparedPartial(
+    const calculus::EvalContext& ctx, const PreparedStatement& prepared,
+    algebra::BranchExecutor* branch_executor) {
+  if (prepared.post == nullptr) {
+    return Status::InvalidArgument(
+        "ExecutePreparedPartial: statement has no post spec");
+  }
+  SGMLQDB_ASSIGN_OR_RETURN(std::vector<rank::Row> rows,
+                           PostRows(ctx, prepared, branch_executor));
+  return rank::PostRowsToPartial(*prepared.post, rows);
 }
 
 Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
                                   const PreparedStatement& prepared,
                                   algebra::BranchExecutor* branch_executor) {
+  if (prepared.post != nullptr) {
+    // Single-store execution of a post statement: one partial,
+    // finalized directly (byte-identical to any sharded merge of the
+    // same data — see rank::FinalizePartials).
+    SGMLQDB_ASSIGN_OR_RETURN(
+        om::Value partial,
+        ExecutePreparedPartial(ctx, prepared, branch_executor));
+    return rank::FinalizePartials(*prepared.post, {partial});
+  }
   if (!prepared.is_query) {
     return calculus::EvaluateClosedTerm(ctx, *prepared.term);
   }

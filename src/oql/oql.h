@@ -21,6 +21,7 @@
 #include "base/status.h"
 #include "calculus/eval.h"
 #include "om/schema.h"
+#include "rank/scoring.h"
 
 namespace sgmlqdb::oql {
 
@@ -65,6 +66,20 @@ struct PreparedStatement {
   /// The sharded service routes by where these are bound — computed
   /// once here so routing never re-walks the calculus per execution.
   std::vector<std::string> root_refs;
+  /// Post-processing the statement needs (rank / group-by aggregate /
+  /// order-by); null for plain statements. Post statements execute
+  /// through the two-phase partial protocol: ExecutePreparedPartial
+  /// produces a mergeable partial per store, rank::FinalizePartials
+  /// merges them (one partial for single-store execution).
+  std::shared_ptr<const rank::PostSpec> post;
+  /// The post statement's algebra plan (engine == kAlgebraic): a
+  /// TopKScore leaf for rank, or the compiled query plan wrapped in
+  /// GroupAggregate / OrderBy *after* the optimizer pass (the wrapper
+  /// sits above the Distinct(UnionAll(...)) shape the optimizer
+  /// rewrites). Its rows are partial rows, never head tuples — so it
+  /// is executed here and by the sharded service, not by
+  /// algebra::ExecuteCompiled.
+  algebra::PlanPtr post_plan;
 
   /// Union branches of the algebraic expansion (0 when not compiled).
   size_t branch_count() const {
@@ -88,6 +103,15 @@ Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
                                   algebra::BranchExecutor* branch_executor);
 Result<om::Value> ExecutePrepared(const calculus::EvalContext& ctx,
                                   const PreparedStatement& prepared);
+
+/// Runs a post statement (prepared.post != null) against one store and
+/// returns its *partial* (see rank::PostRowsToPartial) — the scatter
+/// half of the two-phase protocol. Ranked statements score with
+/// ctx.rank_scoring when set (the service injects cross-shard global
+/// statistics there); aggregates and order-by are pure row folds.
+Result<om::Value> ExecutePreparedPartial(
+    const calculus::EvalContext& ctx, const PreparedStatement& prepared,
+    algebra::BranchExecutor* branch_executor);
 
 /// Executes an OQL statement (Prepare + ExecutePrepared). Select
 /// queries return a set (of values, or of head tuples); bare

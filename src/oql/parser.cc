@@ -203,6 +203,17 @@ class Parser {
     if (lex_.PeekIdent("select")) {
       SGMLQDB_ASSIGN_OR_RETURN(auto select, ParseSelect());
       stmt.select = std::move(select);
+    } else if (lex_.PeekIdent("rank")) {
+      // `rank(` at statement position is the ranked-retrieval form; a
+      // bare `rank` ident stays an ordinary expression.
+      Lexer saved = lex_;
+      lex_.Next();
+      if (lex_.PeekSymbol("(")) {
+        SGMLQDB_ASSIGN_OR_RETURN(stmt.rank, ParseRank());
+      } else {
+        lex_ = saved;
+        SGMLQDB_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
+      }
     } else {
       SGMLQDB_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
     }
@@ -231,7 +242,46 @@ class Parser {
     if (lex_.ConsumeIdent("where")) {
       SGMLQDB_ASSIGN_OR_RETURN(q->where, ParseExpr());
     }
+    if (lex_.ConsumeIdent("group")) {
+      if (!lex_.ConsumeIdent("by")) return Err("expected 'by' after 'group'");
+      while (true) {
+        SGMLQDB_ASSIGN_OR_RETURN(ExprPtr key, ParseExpr());
+        q->group_by.push_back(std::move(key));
+        if (!lex_.ConsumeSymbol(",")) break;
+      }
+    }
+    if (lex_.ConsumeIdent("order")) {
+      if (!lex_.ConsumeIdent("by")) return Err("expected 'by' after 'order'");
+      SGMLQDB_ASSIGN_OR_RETURN(q->order_by, ParseExpr());
+      if (lex_.ConsumeIdent("desc")) {
+        q->order_desc = true;
+      } else {
+        lex_.ConsumeIdent("asc");
+      }
+    }
     return std::shared_ptr<const SelectQuery>(std::move(q));
+  }
+
+  /// `rank(Root by <pattern>) [limit k]` — 'rank' already consumed.
+  Result<std::shared_ptr<const RankStatement>> ParseRank() {
+    if (!lex_.ConsumeSymbol("(")) return Err("expected '(' after 'rank'");
+    if (lex_.Peek().kind != Token::Kind::kIdent) {
+      return Err("expected a persistence root in rank()");
+    }
+    auto r = std::make_shared<RankStatement>();
+    r->root = lex_.Next().text;
+    if (!lex_.ConsumeIdent("by")) return Err("expected 'by' in rank()");
+    SGMLQDB_ASSIGN_OR_RETURN(r->pattern, lex_.CapturePattern());
+    if (!lex_.ConsumeSymbol(")")) return Err("expected ')' after rank pattern");
+    if (lex_.ConsumeIdent("limit")) {
+      if (lex_.Peek().kind != Token::Kind::kInteger) {
+        return Err("expected an integer after 'limit'");
+      }
+      int64_t k = lex_.Next().integer;
+      if (k < 0) return Err("limit must be non-negative");
+      r->limit = static_cast<uint64_t>(k);
+    }
+    return std::shared_ptr<const RankStatement>(std::move(r));
   }
 
   Result<FromBinding> ParseBinding() {

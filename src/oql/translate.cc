@@ -5,6 +5,7 @@
 
 #include "base/strutil.h"
 #include "om/subtype.h"
+#include "text/pattern.h"
 
 namespace sgmlqdb::oql {
 
@@ -36,9 +37,13 @@ class Translator {
 
   Result<Translated> Run(const Statement& stmt) {
     Translated out;
+    if (stmt.rank != nullptr) {
+      SGMLQDB_RETURN_IF_ERROR(TranslateRank(*stmt.rank, &out));
+      return out;
+    }
     if (stmt.select != nullptr) {
       out.is_query = true;
-      SGMLQDB_ASSIGN_OR_RETURN(out.query, TranslateSelect(*stmt.select));
+      SGMLQDB_RETURN_IF_ERROR(TranslateSelect(*stmt.select, &out));
       return out;
     }
     SGMLQDB_ASSIGN_OR_RETURN(TypedTerm t, TranslateValue(*stmt.expr));
@@ -52,9 +57,42 @@ class Translator {
     Type type;
   };
 
+  // -- Rank statements --------------------------------------------------
+
+  Status TranslateRank(const RankStatement& r, Translated* out) {
+    const om::NameDef* def = schema_.FindName(r.root);
+    if (def == nullptr) {
+      return Status::TypeError("unknown persistence root '" + r.root +
+                               "' in rank()");
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(text::Pattern pattern,
+                             text::Pattern::Parse(r.pattern));
+    auto post = std::make_shared<rank::PostSpec>();
+    post->kind = rank::PostSpec::Kind::kRank;
+    post->rank.root_name = r.root;
+    post->rank.pattern_text = r.pattern;
+    SGMLQDB_RETURN_IF_ERROR(
+        rank::ExtractRankWords(pattern, &post->rank.words));
+    post->rank.pattern = std::move(pattern);
+    post->rank.limit = r.limit;
+    out->is_query = false;
+    out->post = std::move(post);
+    return Status::OK();
+  }
+
   // -- Select queries ---------------------------------------------------
 
-  Result<Query> TranslateSelect(const SelectQuery& select) {
+  Status TranslateSelect(const SelectQuery& select, Translated* out) {
+    if (!select.group_by.empty() || select.order_by != nullptr) {
+      if (nested_) {
+        return Status::Unsupported(
+            "group by / order by are not allowed in subqueries");
+      }
+      if (!select.group_by.empty() && select.order_by != nullptr) {
+        return Status::Unsupported(
+            "group by and order by cannot be combined");
+      }
+    }
     std::vector<FormulaPtr> conjuncts;
     for (const FromBinding& b : select.from) {
       SGMLQDB_RETURN_IF_ERROR(TranslateBinding(b, &conjuncts));
@@ -64,20 +102,85 @@ class Translator {
                                TranslateCondition(*select.where));
       conjuncts.push_back(std::move(w));
     }
+
+    if (!select.group_by.empty()) {
+      return TranslateAggregate(select, std::move(conjuncts), out);
+    }
+
     SGMLQDB_ASSIGN_OR_RETURN(TypedTerm result, TranslateValue(*select.select));
     conjuncts.push_back(
         Formula::Eq(DataTerm::Var("__r"), std::move(result.term)));
 
-    // Quantify every scope variable; head is the single result.
+    Query q;
+    q.head = {calculus::DataVar("__r")};
+    if (select.order_by != nullptr) {
+      // Bind the sort key next to the value: distinct (key, value)
+      // pairs, ordered by the post-processing fold.
+      SGMLQDB_ASSIGN_OR_RETURN(TypedTerm key,
+                               TranslateValue(*select.order_by));
+      conjuncts.push_back(
+          Formula::Eq(DataTerm::Var("__o0"), std::move(key.term)));
+      q.head.insert(q.head.begin(), calculus::DataVar("__o0"));
+      auto post = std::make_shared<rank::PostSpec>();
+      post->kind = rank::PostSpec::Kind::kOrderBy;
+      post->order.descending = select.order_desc;
+      out->post = std::move(post);
+    }
+
+    // Quantify every scope variable; the head variables stay free.
     std::vector<Variable> quantified;
     for (const auto& [name, var] : scope_) {
       quantified.push_back(Variable{var.sort, name});
     }
-    Query q;
-    q.head = {calculus::DataVar("__r")};
     q.body = Formula::Exists(std::move(quantified),
                              Formula::And(std::move(conjuncts)));
-    return q;
+    out->query = std::move(q);
+    return Status::OK();
+  }
+
+  /// `select agg(e) from ... group by k1, ..., kn`: the query's rows
+  /// are the *distinct bindings* (every scope variable stays in the
+  /// head — no Exists projection), each carrying its group keys in
+  /// __g0..__g{n-1} and the aggregate argument in __a0; the
+  /// post-processing fold then aggregates each binding exactly once
+  /// (bag semantics over the join result, SQL-style).
+  Status TranslateAggregate(const SelectQuery& select,
+                            std::vector<FormulaPtr> conjuncts,
+                            Translated* out) {
+    const Expr& sel = *select.select;
+    const rank::AggKind* kind =
+        sel.kind == Expr::Kind::kCall
+            ? rank::AggKindFromName(AsciiToLower(sel.ident))
+            : nullptr;
+    if (kind == nullptr || sel.args.size() != 1) {
+      return Status::Unsupported(
+          "with group by, the select expression must be a single "
+          "aggregate call: count/sum/min/max/avg(expr)");
+    }
+    Query q;
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      SGMLQDB_ASSIGN_OR_RETURN(TypedTerm key,
+                               TranslateValue(*select.group_by[i]));
+      const std::string col = "__g" + std::to_string(i);
+      conjuncts.push_back(Formula::Eq(DataTerm::Var(col),
+                                      std::move(key.term)));
+      q.head.push_back(calculus::DataVar(col));
+    }
+    SGMLQDB_ASSIGN_OR_RETURN(TypedTerm arg, TranslateValue(*sel.args[0]));
+    conjuncts.push_back(
+        Formula::Eq(DataTerm::Var("__a0"), std::move(arg.term)));
+    q.head.push_back(calculus::DataVar("__a0"));
+    for (const auto& [name, var] : scope_) {
+      q.head.push_back(Variable{var.sort, name});
+    }
+    q.body = Formula::And(std::move(conjuncts));
+    auto post = std::make_shared<rank::PostSpec>();
+    post->kind = rank::PostSpec::Kind::kAggregate;
+    post->agg.kind = *kind;
+    post->agg.key_count = select.group_by.size();
+    out->query = std::move(q);
+    out->post = std::move(post);
+    return Status::OK();
   }
 
   Status TranslateBinding(const FromBinding& b,
@@ -281,6 +384,7 @@ class Translator {
         return TranslatePathSet(e);
       case Expr::Kind::kSelect: {
         Translator nested(schema_);
+        nested.nested_ = true;
         Statement s;
         s.select = e.select;
         SGMLQDB_ASSIGN_OR_RETURN(Translated t, nested.Run(s));
@@ -490,6 +594,9 @@ class Translator {
   const Schema& schema_;
   std::map<std::string, ScopeVar> scope_;
   size_t next_anon_ = 0;
+  /// True for subquery translators: group by / order by are
+  /// statement-level constructs (their fold runs after the engine).
+  bool nested_ = false;
 };
 
 }  // namespace

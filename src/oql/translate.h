@@ -12,19 +12,31 @@
 #ifndef SGMLQDB_OQL_TRANSLATE_H_
 #define SGMLQDB_OQL_TRANSLATE_H_
 
+#include <memory>
+
 #include "base/status.h"
 #include "calculus/formula.h"
 #include "om/schema.h"
 #include "oql/ast.h"
+#include "rank/scoring.h"
 
 namespace sgmlqdb::oql {
 
 struct Translated {
   /// True when the statement is a select-from-where (a calculus
-  /// query); false for a bare expression (a closed data term).
+  /// query); false for a bare expression (a closed data term) or a
+  /// rank statement.
   bool is_query = false;
   calculus::Query query;
   calculus::DataTermPtr term;
+  /// Post-processing the statement needs after engine execution:
+  ///  * rank statements (is_query == false, term == null) — the whole
+  ///    execution is the rank::TopKScoreRows probe;
+  ///  * group-by aggregates / order-by — `query` computes the binding
+  ///    rows (keys in __g*/__o0, argument in __a0, value in __r), the
+  ///    post spec folds them.
+  /// Null for plain statements.
+  std::shared_ptr<const rank::PostSpec> post;
 };
 
 Result<Translated> Translate(const om::Schema& schema,

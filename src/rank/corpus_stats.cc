@@ -1,0 +1,136 @@
+#include "rank/corpus_stats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strutil.h"
+#include "text/pattern.h"
+
+namespace sgmlqdb::rank {
+
+namespace {
+
+// Relaxed ordering everywhere: these are monitoring counters, not
+// synchronization.
+void BumpMax(std::atomic<uint64_t>& slot, uint64_t candidate) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !slot.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+CorpusStats::CorpusStats()
+    : probe_stats_(std::make_shared<AtomicProbeStats>()) {}
+
+void CorpusStats::AddDocument(
+    uint64_t doc_oid,
+    const std::vector<std::pair<uint64_t, std::string_view>>& units) {
+  DocEntry entry;
+  entry.doc = doc_oid;
+  entry.first_unit = units.empty() ? 0 : units.front().first;
+  entry.last_unit = units.empty() ? 0 : units.front().first;
+  // Distinct terms of this document only — the delta the df map pays.
+  std::set<std::string> seen;
+  for (const auto& [unit, text] : units) {
+    entry.first_unit = std::min(entry.first_unit, unit);
+    entry.last_unit = std::max(entry.last_unit, unit);
+    std::vector<std::string> tokens = text::Tokenize(text);
+    entry.tokens += tokens.size();
+    stats_.tokens_added += tokens.size();
+    for (std::string& t : tokens) {
+      seen.insert(AsciiToLower(t));
+    }
+  }
+  for (const std::string& term : seen) {
+    ++df_[term];
+    ++stats_.df_updates;
+  }
+  total_tokens_ += entry.tokens;
+  ++stats_.docs_added;
+  // Loads assign ascending oids, so this is an append in the common
+  // case; lower_bound keeps re-adds after out-of-order removal sound.
+  auto it = std::lower_bound(
+      docs_.begin(), docs_.end(), doc_oid,
+      [](const DocEntry& e, uint64_t oid) { return e.doc < oid; });
+  docs_.insert(it, entry);
+}
+
+void CorpusStats::RemoveDocument(
+    uint64_t doc_oid,
+    const std::vector<std::pair<uint64_t, std::string_view>>& units) {
+  auto it = std::lower_bound(
+      docs_.begin(), docs_.end(), doc_oid,
+      [](const DocEntry& e, uint64_t oid) { return e.doc < oid; });
+  if (it == docs_.end() || it->doc != doc_oid) return;
+  std::set<std::string> seen;
+  uint64_t tokens = 0;
+  for (const auto& [unit, text] : units) {
+    (void)unit;
+    std::vector<std::string> toks = text::Tokenize(text);
+    tokens += toks.size();
+    stats_.tokens_removed += toks.size();
+    for (std::string& t : toks) {
+      seen.insert(AsciiToLower(t));
+    }
+  }
+  for (const std::string& term : seen) {
+    auto df = df_.find(term);
+    if (df == df_.end()) continue;
+    ++stats_.df_updates;
+    if (--df->second == 0) df_.erase(df);
+  }
+  total_tokens_ -= std::min(total_tokens_, tokens);
+  ++stats_.docs_removed;
+  docs_.erase(it);
+}
+
+uint64_t CorpusStats::Df(const std::string& lowercased_term) const {
+  auto it = df_.find(lowercased_term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+const CorpusStats::DocEntry* CorpusStats::FindDocByUnit(uint64_t unit) const {
+  // Unit ranges are disjoint and sorted with the doc table (oid blocks
+  // never interleave): the owner is the last entry with first_unit <=
+  // unit.
+  auto it = std::upper_bound(
+      docs_.begin(), docs_.end(), unit,
+      [](uint64_t u, const DocEntry& e) { return u < e.first_unit; });
+  if (it == docs_.begin()) return nullptr;
+  --it;
+  return (unit >= it->first_unit && unit <= it->last_unit) ? &*it : nullptr;
+}
+
+const CorpusStats::DocEntry* CorpusStats::FindDoc(uint64_t doc_oid) const {
+  auto it = std::lower_bound(
+      docs_.begin(), docs_.end(), doc_oid,
+      [](const DocEntry& e, uint64_t oid) { return e.doc < oid; });
+  return (it != docs_.end() && it->doc == doc_oid) ? &*it : nullptr;
+}
+
+RankProbeStats CorpusStats::probe_stats() const {
+  RankProbeStats out;
+  const AtomicProbeStats& p = *probe_stats_;
+  out.rank_queries = p.rank_queries.load(std::memory_order_relaxed);
+  out.docs_scored = p.docs_scored.load(std::memory_order_relaxed);
+  out.heap_pushes = p.heap_pushes.load(std::memory_order_relaxed);
+  out.max_heap_size = p.max_heap_size.load(std::memory_order_relaxed);
+  out.postings_decoded = p.postings_decoded.load(std::memory_order_relaxed);
+  out.postings_skipped = p.postings_skipped.load(std::memory_order_relaxed);
+  return out;
+}
+
+void CorpusStats::CountRankQuery(const RankProbeStats& q) const {
+  AtomicProbeStats& p = *probe_stats_;
+  p.rank_queries.fetch_add(q.rank_queries, std::memory_order_relaxed);
+  p.docs_scored.fetch_add(q.docs_scored, std::memory_order_relaxed);
+  p.heap_pushes.fetch_add(q.heap_pushes, std::memory_order_relaxed);
+  BumpMax(p.max_heap_size, q.max_heap_size);
+  p.postings_decoded.fetch_add(q.postings_decoded, std::memory_order_relaxed);
+  p.postings_skipped.fetch_add(q.postings_skipped, std::memory_order_relaxed);
+}
+
+}  // namespace sgmlqdb::rank

@@ -1,0 +1,145 @@
+// Per-epoch corpus statistics for ranked retrieval (BM25): document
+// count, per-document field lengths (token counts), and per-term
+// document frequencies over the same tokenization the inverted index
+// uses (text::Tokenize + ASCII lowercasing).
+//
+// Maintenance is incremental and delta-proportional, mirroring the
+// inverted index's contract: loading a document tokenizes exactly
+// that document's units (AddDocument), removing one re-tokenizes
+// exactly the removed texts (RemoveDocument) — never a corpus rescan.
+// The lifetime maintenance counters are carried across copies, so the
+// delta across one ingest publish proves how much work the publish
+// did (the snapshot-isolation suites assert on it).
+//
+// A CorpusStats is snapshotted per epoch alongside the index: the
+// IngestSession clones it into its workspace (flat copies of the
+// document table and df map, O(docs + vocabulary) — the same order as
+// the index's O(#terms) dictionary clone) and publishes the clone.
+// Published copies are immutable and safe for unsynchronized reads.
+// The rank-probe counters (top-k heap and cursor work) are shared by
+// the whole lineage, like the index's probe stats.
+
+#ifndef SGMLQDB_RANK_CORPUS_STATS_H_
+#define SGMLQDB_RANK_CORPUS_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sgmlqdb::rank {
+
+/// Cumulative maintenance counters, copied with the stats (lineage
+/// history). A rebuild would re-count every document; incremental
+/// maintenance grows these by exactly the ingested delta.
+struct RankMaintenanceStats {
+  uint64_t docs_added = 0;
+  uint64_t docs_removed = 0;
+  /// Tokens tokenized by AddDocument / RemoveDocument calls.
+  uint64_t tokens_added = 0;
+  uint64_t tokens_removed = 0;
+  /// Distinct (document, term) df updates.
+  uint64_t df_updates = 0;
+};
+
+/// Cumulative probe-side counters for ranked execution, shared across
+/// every copy in a stats lineage (IndexProbeStats-style). Surfaced by
+/// the server's /stats `rank` block.
+struct RankProbeStats {
+  uint64_t rank_queries = 0;
+  /// Candidate documents considered by top-k scoring.
+  uint64_t docs_scored = 0;
+  /// Bounded-heap insertions (<= docs_scored; the gap is candidates
+  /// rejected against the current k-th score without a heap update).
+  uint64_t heap_pushes = 0;
+  /// High-water mark of the bounded heap (== k for limited queries —
+  /// the "never materializes the full scored set" evidence).
+  uint64_t max_heap_size = 0;
+  /// Postings decoded / galloped past by the tf-counting cursors.
+  uint64_t postings_decoded = 0;
+  uint64_t postings_skipped = 0;
+};
+
+class CorpusStats {
+ public:
+  /// One live document: its root oid, the contiguous unit-id range
+  /// its element objects occupy (units are assigned in ascending
+  /// order within one load and blocks never interleave across
+  /// documents), and its field length in tokens.
+  struct DocEntry {
+    uint64_t doc = 0;
+    uint64_t first_unit = 0;
+    uint64_t last_unit = 0;
+    uint64_t tokens = 0;
+  };
+
+  CorpusStats();
+  /// Copies share the probe counters (lineage-wide); the document
+  /// table and df map are flat copies that diverge independently.
+  CorpusStats(const CorpusStats&) = default;
+  CorpusStats& operator=(const CorpusStats&) = default;
+
+  /// Accounts a newly loaded document: `units` are its (unit id,
+  /// inner text) pairs, exactly what the loader hands the inverted
+  /// index. Cost is proportional to the document's text.
+  void AddDocument(
+      uint64_t doc_oid,
+      const std::vector<std::pair<uint64_t, std::string_view>>& units);
+
+  /// Removes a document previously added with exactly these units
+  /// (callers keep the original texts, e.g. the snapshot's
+  /// element_texts). Cost is proportional to the removed document.
+  void RemoveDocument(
+      uint64_t doc_oid,
+      const std::vector<std::pair<uint64_t, std::string_view>>& units);
+
+  size_t doc_count() const { return docs_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+  /// Terms with a nonzero document frequency.
+  size_t df_term_count() const { return df_.size(); }
+  /// Documents containing `term` (already lowercased).
+  uint64_t Df(const std::string& lowercased_term) const;
+
+  /// The document whose unit range contains `unit`, or null.
+  const DocEntry* FindDocByUnit(uint64_t unit) const;
+  /// The document with root oid `doc_oid`, or null.
+  const DocEntry* FindDoc(uint64_t doc_oid) const;
+  /// All live documents, ascending by root oid (== ascending by unit
+  /// range — load order).
+  const std::vector<DocEntry>& docs() const { return docs_; }
+
+  const RankMaintenanceStats& maintenance_stats() const { return stats_; }
+  /// Lineage-wide probe counters (a ranked query against any snapshot
+  /// of the lineage counts here).
+  RankProbeStats probe_stats() const;
+  /// Folds one ranked query's counters into the lineage counters.
+  void CountRankQuery(const RankProbeStats& q) const;
+
+ private:
+  struct AtomicProbeStats {
+    std::atomic<uint64_t> rank_queries{0};
+    std::atomic<uint64_t> docs_scored{0};
+    std::atomic<uint64_t> heap_pushes{0};
+    std::atomic<uint64_t> max_heap_size{0};
+    std::atomic<uint64_t> postings_decoded{0};
+    std::atomic<uint64_t> postings_skipped{0};
+  };
+
+  /// Document table sorted by root oid; binary-searched. Documents
+  /// are appended in load order (ascending oids), so maintenance is
+  /// O(log docs) search + amortized O(1) insert.
+  std::vector<DocEntry> docs_;
+  /// term -> number of live documents containing it.
+  std::map<std::string, uint64_t> df_;
+  uint64_t total_tokens_ = 0;
+  RankMaintenanceStats stats_;
+  std::shared_ptr<AtomicProbeStats> probe_stats_;
+};
+
+}  // namespace sgmlqdb::rank
+
+#endif  // SGMLQDB_RANK_CORPUS_STATS_H_

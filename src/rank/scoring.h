@@ -1,0 +1,183 @@
+// Ranked retrieval and aggregation post-processing (ROADMAP item 4):
+// the layer between the algebra/calculus engines and the client-
+// visible result for the three statement shapes that do not reduce to
+// a plain set of bindings —
+//
+//  * `rank(Root by <pattern>) [limit k]` — BM25-scored top-k document
+//    retrieval over the positional index;
+//  * `select agg(e) from ... group by k1, ...` — hash aggregation
+//    (count/sum/min/max/avg) over distinct binding rows;
+//  * `select e from ... order by k [asc|desc]` — merge-ordered
+//    results keyed on an expression (document order falls out of the
+//    oid total order).
+//
+// All three follow the same two-phase protocol so the sharded service
+// can scatter them: each shard produces a *partial* (an om::Value
+// that is mergeable, not client-visible), and FinalizePartials merges
+// any number of partials — per-shard top-k heaps, per-shard partial
+// aggregates, per-shard sorted runs — into the final value. A
+// single-shard execution is just FinalizePartials over one partial,
+// so the result is byte-identical at every shard count as long as the
+// BM25 scoring context (N, total tokens, df) holds the *global* sums;
+// ScoringContext carries exactly those, and the service sums them
+// across shards before scattering.
+//
+// BM25 here is the Lucene-flavoured variant: idf = ln(1 + (N - df +
+// 0.5)/(df + 0.5)) (always positive), k1 = 1.2, b = 0.75, field
+// length = the document's total token count. Scores are IEEE doubles
+// computed from integer statistics in a fixed order, hence
+// deterministic and byte-identical wherever the integers are.
+
+#ifndef SGMLQDB_RANK_SCORING_H_
+#define SGMLQDB_RANK_SCORING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "om/value.h"
+#include "rank/corpus_stats.h"
+#include "text/pattern.h"
+
+namespace sgmlqdb::calculus {
+struct EvalContext;
+}  // namespace sgmlqdb::calculus
+
+namespace sgmlqdb::rank {
+
+/// A binding row, structurally identical to algebra::Row.
+using Row = std::map<std::string, om::Value>;
+
+struct Bm25Params {
+  static constexpr double kK1 = 1.2;
+  static constexpr double kB = 0.75;
+};
+
+/// A `rank(Root by <pattern>) [limit k]` statement.
+struct RankSpec {
+  /// The persistence root whose member documents are ranked.
+  std::string root_name;
+  /// The raw pattern text (diagnostics / plan Describe).
+  std::string pattern_text;
+  /// Pre-parsed pattern (plain single words under and/or only —
+  /// ExtractRankWords enforces it, which keeps index candidate sets
+  /// exact and tf well-defined).
+  text::Pattern pattern;
+  /// The distinct query words, lowercased, in first-appearance order.
+  /// BM25 terms are summed in exactly this order.
+  std::vector<std::string> words;
+  /// Top-k bound; 0 scores every matching document (the full-sort
+  /// baseline E18 measures against).
+  uint64_t limit = 0;
+};
+
+enum class AggKind { kCount, kSum, kMin, kMax, kAvg };
+
+/// "count" / "sum" / ... or nullptr when `name` is not an aggregate.
+const AggKind* AggKindFromName(const std::string& lowercase_name);
+const char* AggKindName(AggKind kind);
+
+/// A `select agg(e) ... group by k1, ..., kn` statement. The
+/// translator binds the keys to columns __g0..__g{n-1} and the
+/// aggregate argument to __a0, and puts every scope variable in the
+/// head — so the engine's distinct rows are distinct *bindings*, and
+/// the aggregate folds each binding once (SQL-ish bag semantics over
+/// the join result). sum/avg require integer arguments; partial sums
+/// then merge associatively across shards.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  size_t key_count = 1;
+};
+
+/// A `select e ... order by k [asc|desc]` statement: key in __o0,
+/// value in __r; distinct (key, value) pairs, final order (key
+/// direction, then canonical value order — oid order for objects,
+/// which is document/load order).
+struct OrderSpec {
+  bool descending = false;
+};
+
+/// Which post-processing a prepared statement needs, if any.
+struct PostSpec {
+  enum class Kind { kRank, kAggregate, kOrderBy };
+  Kind kind = Kind::kRank;
+  RankSpec rank;      // kRank
+  AggregateSpec agg;  // kAggregate
+  OrderSpec order;    // kOrderBy
+};
+
+/// The global BM25 statistics a ranked execution scores with: df[i]
+/// aligned with RankSpec::words. On a sharded store these are the
+/// cross-shard sums; locally they come straight from one CorpusStats.
+struct ScoringContext {
+  uint64_t doc_count = 0;
+  uint64_t total_tokens = 0;
+  std::vector<uint64_t> df;
+};
+
+/// Validates the rankable pattern fragment — plain single words
+/// combined with and/or (no not/phrase/regex: candidates stay exact
+/// and every term has a postings list) — and collects the distinct
+/// lowercased words in first-appearance order.
+Status ExtractRankWords(const text::Pattern& pattern,
+                        std::vector<std::string>* words);
+
+/// This snapshot's contribution to the scoring context.
+ScoringContext LocalScoring(const CorpusStats& stats, const RankSpec& spec);
+
+/// One document's BM25 score: tf[i] aligned with ScoringContext::df.
+double Bm25Score(const ScoringContext& scoring,
+                 const std::vector<uint64_t>& tf, uint64_t doc_tokens);
+
+/// Scores the root's documents against the spec and returns the
+/// partial rows {__doc, __score}, ordered (score desc, oid asc) and
+/// truncated to limit. With `use_index` and a context carrying the
+/// inverted index + corpus stats, candidates come from the index and
+/// term frequencies from one forward galloping cursor per word with a
+/// bounded k-heap (the full scored set is never materialized);
+/// otherwise every document's text is tokenized and matched — the
+/// brute-force ground truth, byte-identical by construction. A null
+/// `scoring` derives local statistics (single-store execution).
+Result<std::vector<Row>> TopKScoreRows(const calculus::EvalContext& ctx,
+                                       const RankSpec& spec,
+                                       const ScoringContext* scoring,
+                                       bool use_index);
+
+/// Folds distinct binding rows into one partial group row
+/// {__k: list(keys), __c: count, __s: state} per group, ordered by
+/// key. Rows missing a key or argument column are skipped (union
+/// branches without the column — mirroring the head-tuple rule).
+Result<std::vector<Row>> AggregateRows(const AggregateSpec& spec,
+                                       const std::vector<Row>& rows);
+
+/// Dedups and orders (key, value) rows into partial rows
+/// {__k: key, __v: value} in final order.
+Result<std::vector<Row>> OrderRows(const OrderSpec& spec,
+                                   const std::vector<Row>& rows);
+
+/// Decomposes an engine result set (tuples of named head fields) into
+/// binding rows — the naive evaluator's bridge into the row-level
+/// folds above.
+std::vector<Row> BindingsToRows(const om::Value& result_set);
+
+/// Encodes post rows as the mergeable partial value the sharded
+/// gather ships: a list, one tuple per row, field order fixed.
+Result<om::Value> PostRowsToPartial(const PostSpec& post,
+                                    const std::vector<Row>& rows);
+
+/// Merges per-shard partials into the client-visible result:
+///  * rank     -> list of tuple(doc: object, score: float), score
+///                desc / oid asc, truncated to limit;
+///  * agg      -> set of tuple(key, value) (key unwrapped when there
+///                is a single group-by expression);
+///  * order-by -> list of the values in final order.
+/// One partial (single shard) and N partials produce byte-identical
+/// results.
+Result<om::Value> FinalizePartials(const PostSpec& post,
+                                   const std::vector<om::Value>& parts);
+
+}  // namespace sgmlqdb::rank
+
+#endif  // SGMLQDB_RANK_SCORING_H_

@@ -8,6 +8,7 @@
 
 #include "algebra/exchange.h"
 #include "base/fault_injection.h"
+#include "rank/scoring.h"
 
 namespace sgmlqdb::service {
 
@@ -32,6 +33,42 @@ int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// The scatter half of a post statement (rank / group-by / order-by)
+/// on one shard: produce the mergeable partial. `scoring` carries the
+/// cross-shard global BM25 statistics for ranked statements (null =
+/// derive locally — the single-store case). Mirrors
+/// ExecuteOnSnapshot's kInternal degradation: retry once on the
+/// reference path with the index, pattern cache, and post plan
+/// stripped.
+Result<om::Value> PartialOnSnapshot(
+    const std::shared_ptr<const ingest::StoreSnapshot>& snap,
+    const oql::PreparedStatement& prepared,
+    const DocumentStore::QueryOptions& options, ExecGuard* guard,
+    const rank::ScoringContext* scoring, std::atomic<bool>* degraded) {
+  calculus::EvalContext ctx = ingest::ContextFor(snap);
+  ctx.semantics = options.semantics;
+  ctx.guard = guard;
+  ctx.rank_scoring = scoring;
+  Result<om::Value> r = oql::ExecutePreparedPartial(ctx, prepared, nullptr);
+  if (!r.ok() && r.status().code() == StatusCode::kInternal) {
+    std::fprintf(stderr,
+                 "[sgmlqdb] partial execution failed (%s); retrying on "
+                 "the unindexed path\n",
+                 r.status().ToString().c_str());
+    calculus::EvalContext fallback = ingest::ContextFor(snap);
+    fallback.semantics = options.semantics;
+    fallback.guard = guard;
+    fallback.rank_scoring = scoring;
+    fallback.text_index = nullptr;
+    fallback.text_cache = nullptr;
+    oql::PreparedStatement reference = prepared;
+    reference.post_plan = nullptr;
+    degraded->store(true, std::memory_order_relaxed);
+    return oql::ExecutePreparedPartial(fallback, reference, nullptr);
+  }
+  return r;
 }
 
 }  // namespace
@@ -266,6 +303,14 @@ Result<om::Value> QueryService::ExecuteOnSnapshot(
     fallback.text_index = nullptr;
     fallback.text_cache = nullptr;
     degraded->store(true, std::memory_order_relaxed);
+    if (prepared.post != nullptr) {
+      // Post statements re-execute through the same partial protocol
+      // with the post plan stripped: brute-force scoring for rank,
+      // the reference evaluator's binding rows for aggregates.
+      oql::PreparedStatement reference = prepared;
+      reference.post_plan = nullptr;
+      return oql::ExecutePrepared(fallback, reference, nullptr);
+    }
     if (prepared.is_query) {
       return calculus::EvaluateQuery(fallback, prepared.query);
     }
@@ -355,6 +400,41 @@ Result<om::Value> QueryService::RunOne(const std::string& oql,
       const size_t target = homes.empty() ? 0 : homes[0];
       return ExecuteOnSnapshot(snap->shards[target], *prepared, options,
                                guard, exec, &degraded);
+    }
+    if (prepared->post != nullptr) {
+      // Post statements scatter as mergeable partials: per-shard
+      // top-k heaps / partial aggregates / sorted runs, merged at
+      // the gather site by FinalizePartials. Ranked statements score
+      // every shard against the *global* BM25 statistics — df, N and
+      // token totals summed across shards here — so the merged top-k
+      // is byte-identical to single-shard execution.
+      rank::ScoringContext global;
+      const rank::ScoringContext* scoring = nullptr;
+      if (prepared->post->kind == rank::PostSpec::Kind::kRank) {
+        global.df.resize(prepared->post->rank.words.size(), 0);
+        for (size_t i = 0; i < n; ++i) {
+          if (snap->shards[i] == nullptr) continue;
+          rank::ScoringContext local = rank::LocalScoring(
+              *snap->shards[i]->rank_stats, prepared->post->rank);
+          global.doc_count += local.doc_count;
+          global.total_tokens += local.total_tokens;
+          for (size_t w = 0; w < local.df.size(); ++w) {
+            global.df[w] += local.df[w];
+          }
+        }
+        scoring = &global;
+      }
+      algebra::ExchangeOperator exchange(exec);
+      SGMLQDB_ASSIGN_OR_RETURN(
+          std::vector<om::Value> parts,
+          exchange.GatherValues(n, [&](size_t i) -> Result<om::Value> {
+            if (snap->shards[i] == nullptr) {
+              return rank::PostRowsToPartial(*prepared->post, {});
+            }
+            return PartialOnSnapshot(snap->shards[i], *prepared, options,
+                                     guard, scoring, &degraded);
+          }));
+      return rank::FinalizePartials(*prepared->post, parts);
     }
     if (!prepared->is_query) {
       // A bare expression over a broadcast name yields an ordered

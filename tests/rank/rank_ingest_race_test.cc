@@ -1,0 +1,193 @@
+// The concurrency contract of ranked retrieval, exercised under TSan
+// (scripts/tier1.sh re-runs this suite in the thread-sanitized
+// build): a ranked statement's BM25 statistics are pinned at the
+// statement's snapshot epoch — pinned readers racing live publishes
+// return byte-identical scores no matter how many epochs publish
+// mid-loop — and service-level ranked statements never observe a torn
+// state (every result equals one of the per-epoch consistent
+// renderings computed ahead of time on an identical store).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/document_store.h"
+#include "corpus/generator.h"
+#include "ingest/snapshot.h"
+#include "oql/oql.h"
+#include "service/query_service.h"
+#include "sgml/goldens.h"
+
+namespace sgmlqdb::rank {
+namespace {
+
+constexpr size_t kBaseArticles = 10;
+constexpr size_t kIngestRounds = 5;
+
+void FillFrozenStore(DocumentStore& store, uint64_t seed) {
+  ASSERT_TRUE(store.LoadDtd(sgml::ArticleDtdText()).ok());
+  corpus::ArticleParams params;
+  params.seed = seed;
+  for (const std::string& article :
+       corpus::GenerateCorpus(kBaseArticles, params)) {
+    ASSERT_TRUE(store.LoadDocument(article).ok());
+  }
+  store.Freeze();
+}
+
+std::vector<std::string> ExtraArticles() {
+  corpus::ArticleParams params;
+  params.seed = 9090;  // disjoint from the base corpus
+  return corpus::GenerateCorpus(kIngestRounds, params);
+}
+
+const std::vector<std::string>& RankedWorkload() {
+  static const std::vector<std::string> queries = {
+      "rank(Articles by (\"sgml\" and \"query\")) limit 5",
+      "rank(Articles by (\"object\" or \"algebra\")) limit 3",
+      "select count(a) from a in Articles, a .. status(v) group by v",
+  };
+  return queries;
+}
+
+Result<om::Value> RunPinned(
+    const std::shared_ptr<const ingest::StoreSnapshot>& snap,
+    const std::string& statement, oql::Engine engine) {
+  calculus::EvalContext ctx = ingest::ContextFor(snap);
+  oql::OqlOptions options;
+  options.engine = engine;
+  return oql::ExecuteOql(ctx, snap->db->schema(), statement, options);
+}
+
+TEST(RankIngestRaceTest, PinnedScoresAreByteIdenticalDuringPublishes) {
+  DocumentStore store;
+  FillFrozenStore(store, 51);
+
+  std::vector<std::string> baselines;
+  for (const std::string& q : RankedWorkload()) {
+    auto r = store.Query(q, oql::Engine::kAlgebraic);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+    baselines.push_back(r->ToString());
+  }
+
+  std::shared_ptr<const ingest::StoreSnapshot> pinned = store.snapshot();
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const std::string& article : ExtraArticles()) {
+      auto session = store.BeginIngest();
+      ASSERT_TRUE(session.ok()) << session.status();
+      ASSERT_TRUE((*session)->LoadDocument(article).ok());
+      ASSERT_TRUE(store.PublishIngest(std::move(*session)).ok());
+    }
+    writer_done.store(true);
+  });
+
+  // Pinned ranked readers race the writer: the BM25 statistics (N,
+  // total tokens, df) live in the pinned snapshot, so every score is
+  // computed against the frozen epoch — byte-identical every run.
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> runs{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const oql::Engine engine =
+          t % 2 == 0 ? oql::Engine::kAlgebraic : oql::Engine::kNaive;
+      do {
+        for (size_t i = 0; i < RankedWorkload().size(); ++i) {
+          auto r = RunPinned(pinned, RankedWorkload()[i], engine);
+          if (!r.ok() || r->ToString() != baselines[i]) {
+            mismatches.fetch_add(1);
+          }
+          runs.fetch_add(1);
+        }
+      } while (!writer_done.load());
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  writer.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(runs.load(), 0u);
+
+  // A fresh statement sees the ingested documents in its statistics.
+  auto fresh = store.Query(RankedWorkload()[0], oql::Engine::kAlgebraic);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  pinned.reset();
+}
+
+TEST(RankIngestRaceTest, ServiceRankedStatementsSeeOnlyPublishedEpochs) {
+  // Precompute the per-epoch consistent rendering of the ranked query
+  // on a reference store that applies the identical publish sequence.
+  const std::string q = "rank(Articles by (\"sgml\" and \"query\")) limit 5";
+  std::set<std::string> consistent;
+  {
+    DocumentStore reference;
+    FillFrozenStore(reference, 52);
+    auto base = reference.Query(q, oql::Engine::kAlgebraic);
+    ASSERT_TRUE(base.ok()) << base.status();
+    consistent.insert(base->ToString());
+    for (const std::string& article : ExtraArticles()) {
+      auto session = reference.BeginIngest();
+      ASSERT_TRUE(session.ok());
+      ASSERT_TRUE((*session)->LoadDocument(article).ok());
+      ASSERT_TRUE(reference.PublishIngest(std::move(*session)).ok());
+      auto r = reference.Query(q, oql::Engine::kAlgebraic);
+      ASSERT_TRUE(r.ok()) << r.status();
+      consistent.insert(r->ToString());
+    }
+  }
+
+  DocumentStore store;
+  FillFrozenStore(store, 52);
+  service::QueryService::Options options;
+  options.num_threads = 4;
+  options.max_queue_depth = 4096;
+  service::QueryService service(store, options);
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (const std::string& article : ExtraArticles()) {
+      auto epoch = service.Ingest(
+          {service::QueryService::IngestOp::Load(article)});
+      ASSERT_TRUE(epoch.ok()) << epoch.status();
+    }
+    writer_done.store(true);
+  });
+
+  // Racing ranked statements: every result must be one of the
+  // per-epoch renderings — a torn read (index, database and BM25
+  // statistics from different versions) would produce a rendering
+  // outside the set.
+  size_t torn = 0, failures = 0, runs = 0;
+  service::QueryService::QueryOptions qo;
+  qo.engine = oql::Engine::kAlgebraic;
+  do {
+    std::vector<std::future<Result<om::Value>>> inflight;
+    for (size_t i = 0; i < 8; ++i) {
+      inflight.push_back(service.Execute(q, qo));
+    }
+    for (auto& f : inflight) {
+      Result<om::Value> r = f.get();
+      ++runs;
+      if (!r.ok()) {
+        ++failures;
+      } else if (consistent.find(r->ToString()) == consistent.end()) {
+        ++torn;
+      }
+    }
+  } while (!writer_done.load());
+  writer.join();
+
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(torn, 0u);
+  EXPECT_GT(runs, 0u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sgmlqdb::rank
